@@ -1,0 +1,46 @@
+// Ablation: batch-norm folding (TVM's SimplifyInference analogue). Folding
+// the per-channel scale/shift into conv weights removes one memory-bound op
+// per conv+BN pair. TVM-only flow, so the effect is isolated from BYOC.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "relay/build.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+
+using namespace tnp;
+
+int main() {
+  std::cout << "=== Ablation: batch-norm folding (TVM-only flow) ===\n\n";
+
+  const char* models[] = {"mobilenet_v1", "mobilenet_v2", "densenet", "inception_v3",
+                          "yolov3_tiny"};
+  support::Table table({"model", "BN ops", "unfused ms", "unfused+fold ms", "fold speedup",
+                        "fused ms", "fused+fold ms"});
+  for (const char* name : models) {
+    const relay::Module module = zoo::Build(name, bench::BenchOptions());
+    const int bn_ops = relay::CountCalls(module.main()->body(), "nn.batch_norm");
+
+    const auto latency = [&module](bool fuse, bool fold) {
+      relay::BuildOptions options;
+      options.enable_fusion = fuse;
+      options.fold_batch_norm = fold;
+      return relay::Build(module, options)->EstimateLatency().total_us();
+    };
+    const double unfused = latency(false, false);
+    const double unfused_fold = latency(false, true);
+    const double fused = latency(true, false);
+    const double fused_fold = latency(true, true);
+    table.AddRow({name, std::to_string(bn_ops), bench::Ms(unfused), bench::Ms(unfused_fold),
+                  support::FormatDouble(unfused / unfused_fold, 2), bench::Ms(fused),
+                  bench::Ms(fused_fold)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n  BN folding pays on per-op dispatch paths (unfused columns). With\n"
+            << "  operator fusion enabled the BN is already absorbed into its conv's\n"
+            << "  fused group, so folding is latency-neutral there — the two\n"
+            << "  optimizations are substitutes for this cost, not complements.\n"
+            << "  Numerics are preserved to float rounding\n"
+            << "  (tests/test_relay_passes.cc, FoldBatchNormPass suite).\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation: TVM-side operator fusion on/off. Fused groups pay the per-op
+// launch overhead once; on mobile-class cores with high dispatch cost this
+// is a significant share of small models' latency.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace tnp;
+
+int main() {
+  std::cout << "=== Ablation: operator fusion (TVM-only flow) ===\n\n";
+
+  const char* models[] = {"emotion_cnn", "mobilenet_v1", "mobilenet_v2", "densenet",
+                          "inception_v3"};
+  support::Table table({"model", "fused ms", "unfused ms", "fusion speedup"});
+  for (const char* name : models) {
+    const relay::Module module = zoo::Build(name, bench::BenchOptions());
+    core::FlowCompileSettings fused;
+    core::FlowCompileSettings unfused;
+    unfused.enable_tvm_fusion = false;
+    const double fused_us = core::CompileFlow(module, core::FlowKind::kTvmOnly, fused)
+                                ->EstimateLatency()
+                                .total_us();
+    const double unfused_us = core::CompileFlow(module, core::FlowKind::kTvmOnly, unfused)
+                                  ->EstimateLatency()
+                                  .total_us();
+    table.AddRow({name, bench::Ms(fused_us), bench::Ms(unfused_us),
+                  support::FormatDouble(unfused_us / fused_us, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace bench {
+
+/// Build options used by the latency benches: canonical input resolution,
+/// full width, reduced block-repeat depth (keeps graphs representative while
+/// bounding compile time; the static simulator never executes numerics).
+inline zoo::ZooOptions BenchOptions() {
+  zoo::ZooOptions options;
+  options.depth = 0.5;
+  return options;
+}
+
+/// Format microseconds as "12.34" (milliseconds, 2 decimals).
+inline std::string Ms(double us) { return support::FormatDouble(us / 1000.0, 2); }
+
+/// One row of a Figure-4/6 style table: model x 7 flow permutations, with
+/// "--" where compilation fails (the paper's missing bars).
+inline std::vector<std::string> FlowRow(const std::string& label,
+                                        const core::ModelProfile& profile) {
+  std::vector<std::string> row = {label};
+  for (const core::FlowKind flow : core::kAllFlows) {
+    const auto it = profile.latency_us.find(flow);
+    row.push_back(it == profile.latency_us.end() ? "--" : Ms(it->second));
+  }
+  return row;
+}
+
+inline std::vector<std::string> FlowHeader(const std::string& first) {
+  std::vector<std::string> header = {first};
+  for (const core::FlowKind flow : core::kAllFlows) header.push_back(core::FlowName(flow));
+  return header;
+}
+
+/// Print the per-flow failure reasons below a table (what the paper's prose
+/// explains: NeuroPilot does not support as many AI operations as TVM).
+inline void PrintUnsupportedReasons(std::ostream& os, const core::ModelProfile& profile) {
+  for (const auto& [flow, error] : profile.errors) {
+    // Keep only the first line of the error.
+    std::string reason = error;
+    const auto newline = reason.find('\n');
+    if (newline != std::string::npos) reason = reason.substr(0, newline);
+    os << "    " << profile.model << " @ " << core::FlowName(flow) << ": " << reason << "\n";
+  }
+}
+
+}  // namespace bench
+}  // namespace tnp

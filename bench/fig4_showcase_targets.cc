@@ -1,0 +1,69 @@
+// Figure 4 reproduction: inference time of the three application-showcase
+// models (face anti-spoofing / object detection / emotion detection) across
+// the seven target permutations. NeuroPilot-only entries are missing ("--")
+// exactly where NeuroPilot lacks operator support, and TVM-only is the
+// slowest column — the paper's two headline observations.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace tnp;
+
+int main() {
+  struct ShowcaseModel {
+    const char* zoo_name;
+    const char* label;
+  };
+  const ShowcaseModel models[] = {
+      {"deepixbis", "anti-spoofing (PyTorch)"},
+      {"mobilenet_ssd_quant", "object detection (TFLite, int8)"},
+      {"emotion_cnn", "emotion detection (Keras)"},
+  };
+
+  std::cout << "=== Figure 4: showcase-model inference time per target permutation"
+            << " (simulated ms) ===\n\n";
+
+  support::Table table(bench::FlowHeader("model"));
+  std::vector<core::ModelProfile> profiles;
+  for (const auto& model : models) {
+    const relay::Module module = zoo::Build(model.zoo_name, bench::BenchOptions());
+    core::ModelProfile profile = core::ProfileModel(module, model.zoo_name);
+    table.AddRow(bench::FlowRow(model.label, profile));
+    profiles.push_back(std::move(profile));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n  missing entries (NeuroPilot op-support gaps):\n";
+  for (const auto& profile : profiles) bench::PrintUnsupportedReasons(std::cout, profile);
+
+  // Verify the paper's qualitative claims and report them.
+  std::cout << "\n  checks:\n";
+  bool tvm_slowest = true;
+  for (const auto& profile : profiles) {
+    const double tvm = profile.latency_us.at(core::FlowKind::kTvmOnly);
+    for (const auto& [flow, us] : profile.latency_us) {
+      if (flow != core::FlowKind::kTvmOnly && us > tvm) tvm_slowest = false;
+    }
+  }
+  std::cout << "    TVM-only slowest for every model: " << (tvm_slowest ? "yes" : "NO")
+            << "\n";
+
+  const auto best = [](const core::ModelProfile& profile) {
+    return core::ComputationScheduler::BestFlow(profile).flow;
+  };
+  std::cout << "    best target per model (Section 5.1 computation scheduling):\n";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    std::cout << "      " << models[i].label << " -> " << core::FlowName(best(profiles[i]))
+              << "\n";
+  }
+
+  // Subgraph-count note (Section 5.1's anti-spoofing observation).
+  const auto anti = core::CompileFlow(zoo::Build("deepixbis", bench::BenchOptions()),
+                                      core::FlowKind::kByocCpuApu);
+  const auto emo = core::CompileFlow(zoo::Build("emotion_cnn", bench::BenchOptions()),
+                                     core::FlowKind::kByocCpuApu);
+  std::cout << "    NIR subgraphs: anti-spoofing=" << anti->NumPartitions()
+            << ", emotion=" << emo->NumPartitions()
+            << " (many subgraphs -> extra dispatch/transfer overhead)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 6 + Table 1 reproduction: inference time of the wider model zoo
+// (densenet, inception-resnet v2, inception v3/v4, mobilenet v1/v2, nasnet,
+// plus the quantized inception v3 and mobilenet v1/v2) across the seven
+// target permutations. "Results show the same pattern": TVM-only slowest,
+// NeuroPilot-only bars missing where ops are unsupported.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace tnp;
+
+int main() {
+  const char* models[] = {
+      "densenet",        "inception_resnet_v2", "inception_v3",
+      "inception_v4",    "mobilenet_v1",        "mobilenet_v2",
+      "nasnet",          "inception_v3_quant",  "mobilenet_v1_quant",
+      "mobilenet_v2_quant",
+  };
+
+  std::cout << "=== Figure 6: model-zoo inference time per target permutation"
+            << " (simulated ms) ===\n\n";
+
+  support::Table table(bench::FlowHeader("model"));
+  std::vector<core::ModelProfile> profiles;
+  for (const char* name : models) {
+    const relay::Module module = zoo::Build(name, bench::BenchOptions());
+    core::ModelProfile profile = core::ProfileModel(module, name);
+    table.AddRow(bench::FlowRow(name, profile));
+    profiles.push_back(std::move(profile));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n  missing entries (NeuroPilot op-support gaps):\n";
+  for (const auto& profile : profiles) bench::PrintUnsupportedReasons(std::cout, profile);
+
+  // Pattern checks the paper's prose makes for this figure.
+  int tvm_slowest = 0;
+  int byoc_beats_tvm = 0;
+  int apu_helps_quant = 0;
+  int quant_models = 0;
+  for (const auto& profile : profiles) {
+    const double tvm = profile.latency_us.at(core::FlowKind::kTvmOnly);
+    bool slowest = true;
+    for (const auto& [flow, us] : profile.latency_us) {
+      if (flow != core::FlowKind::kTvmOnly && us > tvm) slowest = false;
+    }
+    tvm_slowest += slowest ? 1 : 0;
+    byoc_beats_tvm += profile.latency_us.at(core::FlowKind::kByocCpuApu) < tvm ? 1 : 0;
+    if (profile.model.find("quant") != std::string::npos) {
+      ++quant_models;
+      const auto cpu = profile.latency_us.find(core::FlowKind::kNpCpu);
+      const auto both = profile.latency_us.find(core::FlowKind::kNpCpuApu);
+      if (cpu != profile.latency_us.end() && both != profile.latency_us.end() &&
+          both->second < cpu->second) {
+        ++apu_helps_quant;
+      }
+    }
+  }
+  std::cout << "\n  checks:\n";
+  std::cout << "    TVM-only slowest: " << tvm_slowest << "/" << profiles.size()
+            << " models\n";
+  std::cout << "    BYOC(CPU+APU) beats TVM-only: " << byoc_beats_tvm << "/"
+            << profiles.size() << " models\n";
+  std::cout << "    APU offload helps quantized models: " << apu_helps_quant << "/"
+            << quant_models << "\n";
+
+  // ---- Table 1 (models and data types) ----
+  std::cout << "\n=== Table 1: models used for testing and their data types ===\n\n";
+  support::Table table1({"Model", "Data Type"});
+  for (const char* name : models) {
+    const zoo::ModelInfo& info = zoo::Info(name);
+    table1.AddRow({name, DTypeName(info.data_type)});
+  }
+  table1.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the real CPU kernels (wall-clock
+// time, unlike the simulated-latency harnesses). Useful for validating that
+// the host kernels behind the numerics are not pathological.
+#include <benchmark/benchmark.h>
+
+#include "kernels/conv.h"
+#include "kernels/dense.h"
+#include "kernels/elementwise.h"
+#include "kernels/quantize.h"
+
+namespace {
+
+using namespace tnp;
+using namespace tnp::kernels;
+
+void BM_Conv2DF32(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  NDArray input = NDArray::RandomNormal(Shape({1, channels, 28, 28}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({channels, channels, 3, 3}), 2);
+  NDArray bias = NDArray::RandomNormal(Shape({channels}), 3);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  NDArray out = NDArray::Empty(Conv2DOutShape(input.shape(), weight.shape(), p),
+                               DType::kFloat32);
+  for (auto _ : state) {
+    Conv2DF32(input, weight, bias, out, p);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+  state.SetItemsProcessed(state.iterations() * out.NumElements() * channels * 9);
+}
+BENCHMARK(BM_Conv2DF32)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_QConv2DS8(benchmark::State& state) {
+  const std::int64_t channels = state.range(0);
+  NDArray input = NDArray::RandomInt8(Shape({1, channels, 28, 28}), 1);
+  NDArray weight = NDArray::RandomInt8(Shape({channels, channels, 3, 3}), 2);
+  NDArray bias = NDArray::Zeros(Shape({channels}), DType::kInt32);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  NDArray out = NDArray::Empty(Conv2DOutShape(input.shape(), weight.shape(), p), DType::kInt8);
+  const QuantParams q(0.05f, 0);
+  for (auto _ : state) {
+    QConv2DS8(input, weight, bias, out, p, q, q, QuantParams(0.2f, 0));
+    benchmark::DoNotOptimize(out.RawData());
+  }
+  state.SetItemsProcessed(state.iterations() * out.NumElements() * channels * 9);
+}
+BENCHMARK(BM_QConv2DS8)->Arg(16)->Arg(32);
+
+void BM_DepthwiseConv(benchmark::State& state) {
+  const std::int64_t channels = 64;
+  NDArray input = NDArray::RandomNormal(Shape({1, channels, 28, 28}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({channels, 1, 3, 3}), 2);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  p.groups = channels;
+  NDArray out = NDArray::Empty(Conv2DOutShape(input.shape(), weight.shape(), p),
+                               DType::kFloat32);
+  for (auto _ : state) {
+    Conv2DF32(input, weight, NDArray(), out, p);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+}
+BENCHMARK(BM_DepthwiseConv);
+
+void BM_DenseF32(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  NDArray input = NDArray::RandomNormal(Shape({1, k}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({1000, k}), 2);
+  NDArray bias = NDArray::RandomNormal(Shape({1000}), 3);
+  NDArray out = NDArray::Empty(Shape({1, 1000}), DType::kFloat32);
+  for (auto _ : state) {
+    DenseF32(input, weight, bias, out);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+}
+BENCHMARK(BM_DenseF32)->Arg(512)->Arg(2048);
+
+void BM_Softmax(benchmark::State& state) {
+  NDArray input = NDArray::RandomNormal(Shape({8, 1000}), 1);
+  NDArray out = NDArray::Empty(input.shape(), DType::kFloat32);
+  for (auto _ : state) {
+    SoftmaxF32(input, out, -1);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  NDArray real = NDArray::RandomNormal(Shape({1 << 16}), 1);
+  NDArray quantized = NDArray::Empty(real.shape(), DType::kInt8);
+  NDArray back = NDArray::Empty(real.shape(), DType::kFloat32);
+  const QuantParams q(0.05f, 0);
+  for (auto _ : state) {
+    QuantizeF32ToS8(real, quantized, q);
+    DequantizeS8ToF32(quantized, back, q);
+    benchmark::DoNotOptimize(back.RawData());
+  }
+  state.SetBytesProcessed(state.iterations() * real.SizeBytes() * 2);
+}
+BENCHMARK(BM_QuantizeRoundTrip);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  NDArray a = NDArray::RandomNormal(Shape({1, 64, 56, 56}), 1);
+  NDArray b = NDArray::RandomNormal(Shape({1, 64, 1, 1}), 2);
+  NDArray out = NDArray::Empty(a.shape(), DType::kFloat32);
+  for (auto _ : state) {
+    BroadcastBinaryF32(BinaryOp::kAdd, a, b, out);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+}
+BENCHMARK(BM_BroadcastAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Per-operator hotspot report (the debug-executor style profile) for the
+// three showcase models under the BYOC(CPU+APU) flow — makes the Figure-4
+// totals inspectable op by op.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/nir.h"
+#include "relay/build.h"
+
+using namespace tnp;
+
+int main() {
+  std::cout << "=== Per-operator hotspots, BYOC(CPU+APU) ===\n";
+
+  for (const char* name : {"deepixbis", "mobilenet_ssd_quant", "emotion_cnn"}) {
+    const relay::Module module = zoo::Build(name, bench::BenchOptions());
+    core::NirOptions options;
+    const relay::Module partitioned = core::PartitionForNir(module, options);
+    const relay::CompiledModulePtr compiled =
+        relay::Build(partitioned, core::MakeBuildOptions(options));
+
+    std::vector<relay::ProfileEntry> profile = compiled->Profile();
+    double total_us = 0.0;
+    for (const auto& entry : profile) total_us += entry.us;
+    std::sort(profile.begin(), profile.end(),
+              [](const relay::ProfileEntry& a, const relay::ProfileEntry& b) {
+                return a.us > b.us;
+              });
+
+    std::cout << "\n--- " << name << " (" << profile.size() << " ops, "
+              << bench::Ms(total_us) << " ms op time) ---\n";
+    support::Table table({"op", "device", "ms", "MMACs", "% of total"});
+    const std::size_t top = std::min<std::size_t>(10, profile.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& entry = profile[i];
+      table.AddRow({entry.name, sim::DeviceKindName(entry.device), bench::Ms(entry.us),
+                    support::FormatDouble(static_cast<double>(entry.macs) / 1e6, 1),
+                    support::FormatDouble(100.0 * entry.us / total_us, 1)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

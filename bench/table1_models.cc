@@ -1,0 +1,31 @@
+// Table 1 reproduction (standalone): every zoo model with its source
+// framework, task, data type, canonical input size and graph statistics.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "relay/visitor.h"
+
+using namespace tnp;
+
+int main() {
+  std::cout << "=== Table 1: models used for testing and their data types ===\n\n";
+
+  support::Table table({"Model", "Data Type", "Framework", "Task", "Input", "Relay ops",
+                        "NIR subgraphs"});
+  for (const auto& info : zoo::AllModels()) {
+    zoo::ZooOptions options = bench::BenchOptions();
+    const relay::Module module = zoo::Build(info.name, options);
+    const int ops = relay::CountCalls(module.main()->body());
+    std::string partitions = "--";
+    std::string error;
+    const auto session =
+        core::TryCompileFlow(module, core::FlowKind::kByocCpuApu, &error);
+    if (session != nullptr) partitions = std::to_string(session->NumPartitions());
+    table.AddRow({info.name, DTypeName(info.data_type), info.framework, info.task,
+                  std::to_string(info.canonical_size) + "x" +
+                      std::to_string(info.canonical_size),
+                  std::to_string(ops), partitions});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 2 reproduction: the experiment environment. Prints the simulated
+// OPPO Reno4 Z 5G / Dimensity 800 specification alongside the analytic
+// device-model parameters standing in for the physical silicon.
+#include <iostream>
+
+#include "sim/device.h"
+#include "support/string_util.h"
+#include "support/table.h"
+
+using namespace tnp;
+
+int main() {
+  std::cout << "=== Table 2: specifications of the (simulated) experiment environment ===\n\n";
+
+  const sim::PhoneSpec& phone = sim::PhoneSpec::OppoReno4Z();
+  support::Table table({"component", "value"});
+  table.AddRow({"OS", phone.os});
+  table.AddRow({"Chipset", phone.chipset});
+  table.AddRow({"CPU", phone.cpu});
+  table.AddRow({"GPU", phone.gpu});
+  table.AddRow({"APU", phone.apu});
+  table.Print(std::cout);
+
+  std::cout << "\n=== analytic device model (stands in for the physical testbed) ===\n\n";
+  const sim::Testbed& testbed = sim::Testbed::Dimensity800();
+  support::Table model({"device", "fp32 GFLOPS", "int8 GOPS", "mem GB/s", "launch us",
+                        "half-peak MACs"});
+  for (const sim::DeviceKind kind :
+       {sim::DeviceKind::kTvmCpu, sim::DeviceKind::kNeuronCpu, sim::DeviceKind::kNeuronApu}) {
+    const sim::DeviceSpec& spec = testbed.Spec(kind);
+    model.AddRow({spec.name, support::FormatDouble(spec.fp32_gflops, 0),
+                  support::FormatDouble(spec.int8_gops, 0),
+                  support::FormatDouble(spec.mem_bandwidth_gbps, 0),
+                  support::FormatDouble(spec.launch_overhead_us, 0),
+                  support::FormatDouble(spec.half_peak_macs, 0)});
+  }
+  model.Print(std::cout);
+  std::cout << "\nCPU<->APU DMA: " << support::FormatDouble(testbed.transfer_gbps, 1)
+            << " GB/s + " << support::FormatDouble(testbed.transfer_latency_us, 0)
+            << " us per transfer\n";
+  return 0;
+}

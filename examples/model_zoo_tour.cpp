@@ -1,0 +1,45 @@
+// Model-zoo tour: imports every model through its framework frontend,
+// prints graph statistics, partitions for NeuroPilot and reports which of
+// the seven flow permutations each model supports — a miniature of the
+// paper's Figure 6 evaluation loop.
+//
+// Build & run:  ./build/examples/model_zoo_tour
+#include <iostream>
+
+#include "core/scheduler.h"
+#include "relay/visitor.h"
+#include "support/string_util.h"
+#include "support/table.h"
+#include "zoo/zoo.h"
+
+using namespace tnp;
+
+int main() {
+  zoo::ZooOptions options;
+  options.depth = 0.5;  // representative graphs, quick compiles
+
+  support::Table table({"model", "framework", "dtype", "relay ops", "NIR regions",
+                        "supported flows", "best flow", "best ms"});
+  for (const auto& info : zoo::AllModels()) {
+    const std::string source = zoo::EmitSource(info.name, options);
+    const relay::Module module = zoo::Build(info.name, options);
+    const int ops = relay::CountCalls(module.main()->body());
+
+    const core::ModelProfile profile = core::ProfileModel(module, info.name);
+    std::string regions = "--";
+    std::string error;
+    const auto byoc = core::TryCompileFlow(module, core::FlowKind::kByocCpuApu, &error);
+    if (byoc != nullptr) regions = std::to_string(byoc->NumPartitions());
+
+    const core::Assignment best = core::ComputationScheduler::BestFlow(profile);
+    table.AddRow({info.name, info.framework, DTypeName(info.data_type), std::to_string(ops),
+                  regions, std::to_string(profile.latency_us.size()) + "/7",
+                  core::FlowName(best.flow),
+                  support::FormatDouble(best.latency_us / 1000.0, 2)});
+    std::cout << info.name << ": " << source.size() << "-byte " << info.framework
+              << " model file imported\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout, "model zoo summary:");
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "core/flows.h"
+
+#include "core/relay_to_neuron.h"
+#include "neuron/runtime.h"
+#include "relay/pass.h"
+
+namespace tnp {
+namespace core {
+
+const char* FlowName(FlowKind flow) {
+  switch (flow) {
+    case FlowKind::kTvmOnly: return "TVM-only";
+    case FlowKind::kByocCpu: return "BYOC(CPU)";
+    case FlowKind::kByocApu: return "BYOC(APU)";
+    case FlowKind::kByocCpuApu: return "BYOC(CPU+APU)";
+    case FlowKind::kNpCpu: return "NP-only(CPU)";
+    case FlowKind::kNpApu: return "NP-only(APU)";
+    case FlowKind::kNpCpuApu: return "NP-only(CPU+APU)";
+  }
+  return "?";
+}
+
+std::vector<sim::Resource> FlowResources(FlowKind flow) {
+  switch (flow) {
+    case FlowKind::kTvmOnly:
+    case FlowKind::kByocCpu:
+    case FlowKind::kNpCpu:
+      return {sim::Resource::kCpu};
+    case FlowKind::kNpApu:
+      return {sim::Resource::kApu};
+    case FlowKind::kByocApu:
+    case FlowKind::kByocCpuApu:
+    case FlowKind::kNpCpuApu:
+      return {sim::Resource::kCpu, sim::Resource::kApu};
+  }
+  return {sim::Resource::kCpu};
+}
+
+namespace {
+
+neuron::TargetConfig TargetOf(FlowKind flow) {
+  switch (flow) {
+    case FlowKind::kByocCpu:
+    case FlowKind::kNpCpu:
+      return neuron::TargetConfig::CpuOnly();
+    case FlowKind::kByocApu:
+    case FlowKind::kNpApu:
+      return neuron::TargetConfig::ApuOnly();
+    default:
+      return neuron::TargetConfig::CpuApu();
+  }
+}
+
+/// TVM-side session (TVM-only and all BYOC flows).
+class TvmSession final : public InferenceSession {
+ public:
+  explicit TvmSession(relay::CompiledModulePtr compiled)
+      : compiled_(std::move(compiled)), executor_(compiled_) {}
+
+  void SetInput(const std::string& name, NDArray value) override {
+    executor_.SetInput(name, std::move(value));
+  }
+  void Run() override { executor_.Run(); }
+  int NumOutputs() const override { return executor_.NumOutputs(); }
+  NDArray GetOutput(int index) const override { return executor_.GetOutput(index); }
+  const sim::SimClock& last_clock() const override { return executor_.last_clock(); }
+  sim::SimClock EstimateLatency() const override { return compiled_->EstimateLatency(); }
+  int NumPartitions() const override { return static_cast<int>(compiled_->externals.size()); }
+  int NumExternalOps() const override { return compiled_->NumExternalOps(); }
+
+  std::vector<sim::Resource> UsedResources() const override {
+    bool cpu = false;
+    bool apu = false;
+    for (const auto& inst : compiled_->instructions) {
+      if (inst.kind == relay::Instruction::Kind::kCallOp ||
+          inst.kind == relay::Instruction::Kind::kCallPrimitive) {
+        cpu = true;  // host instruction occupies the CPU
+      }
+    }
+    for (const auto& external : compiled_->externals) {
+      for (const sim::Resource resource : external->resources()) {
+        if (resource == sim::Resource::kCpu) cpu = true;
+        if (resource == sim::Resource::kApu) apu = true;
+      }
+    }
+    std::vector<sim::Resource> result;
+    if (cpu) result.push_back(sim::Resource::kCpu);
+    if (apu) result.push_back(sim::Resource::kApu);
+    if (result.empty()) result.push_back(sim::Resource::kCpu);
+    return result;
+  }
+
+ private:
+  relay::CompiledModulePtr compiled_;
+  relay::GraphExecutor executor_;
+};
+
+/// NeuroPilot-only session: the whole model is one NeuronPackage; no TVM
+/// runtime is involved at execution time.
+class NpSession final : public InferenceSession {
+ public:
+  NpSession(neuron::NeuronPackagePtr package, std::vector<std::string> input_names,
+            int num_outputs)
+      : package_(std::move(package)),
+        input_names_(std::move(input_names)),
+        num_outputs_(num_outputs) {
+    inputs_.resize(input_names_.size());
+  }
+
+  void SetInput(const std::string& name, NDArray value) override {
+    for (std::size_t i = 0; i < input_names_.size(); ++i) {
+      if (input_names_[i] == name) {
+        inputs_[i] = std::move(value);
+        return;
+      }
+    }
+    TNP_THROW(kInvalidArgument) << "no model input named '" << name << "'";
+  }
+
+  void Run() override {
+    clock_.Reset();
+    outputs_ = neuron::NeuronRuntime::Execute(*package_, inputs_, &clock_, true);
+  }
+
+  int NumOutputs() const override { return num_outputs_; }
+
+  NDArray GetOutput(int index) const override {
+    TNP_CHECK(index >= 0 && index < static_cast<int>(outputs_.size()))
+        << "output index out of range (did you call Run()?)";
+    return outputs_[static_cast<std::size_t>(index)];
+  }
+
+  const sim::SimClock& last_clock() const override { return clock_; }
+
+  sim::SimClock EstimateLatency() const override {
+    sim::SimClock clock;
+    neuron::NeuronRuntime::Execute(*package_, {}, &clock, false);
+    return clock;
+  }
+
+  int NumPartitions() const override { return 1; }
+  int NumExternalOps() const override { return package_->NumOps(); }
+
+  std::vector<sim::Resource> UsedResources() const override {
+    bool cpu = false;
+    bool apu = false;
+    for (const sim::DeviceKind device : package_->plan.placement) {
+      if (sim::ResourceOf(device) == sim::Resource::kCpu) cpu = true;
+      if (sim::ResourceOf(device) == sim::Resource::kApu) apu = true;
+    }
+    std::vector<sim::Resource> result;
+    if (cpu) result.push_back(sim::Resource::kCpu);
+    if (apu) result.push_back(sim::Resource::kApu);
+    if (result.empty()) result.push_back(sim::Resource::kCpu);
+    return result;
+  }
+
+ private:
+  neuron::NeuronPackagePtr package_;
+  std::vector<std::string> input_names_;
+  std::vector<NDArray> inputs_;
+  std::vector<NDArray> outputs_;
+  sim::SimClock clock_;
+  int num_outputs_ = 1;
+};
+
+}  // namespace
+
+InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
+                                const FlowCompileSettings& settings) {
+  EnsureNirCodegenRegistered();
+
+  if (flow == FlowKind::kTvmOnly) {
+    relay::BuildOptions options;
+    options.enable_fusion = settings.enable_tvm_fusion;
+    options.host_device = sim::DeviceKind::kTvmCpu;
+    options.testbed = settings.testbed;
+    return std::make_shared<TvmSession>(relay::Build(module, options));
+  }
+
+  if (flow == FlowKind::kByocCpu || flow == FlowKind::kByocApu ||
+      flow == FlowKind::kByocCpuApu) {
+    NirOptions options;
+    options.target = TargetOf(flow);
+    options.testbed = settings.testbed;
+    options.policy = settings.policy;
+    options.enable_tvm_fusion = settings.enable_tvm_fusion;
+    const relay::Module partitioned = PartitionForNir(module, options);
+    return std::make_shared<TvmSession>(
+        relay::Build(partitioned, MakeBuildOptions(options)));
+  }
+
+  // NeuroPilot-only: convert the *entire* model through the Relay->Neuron
+  // converter; any op without a Neuron mapping aborts compilation (this is
+  // what produces the paper's missing bars).
+  const relay::Module prepared =
+      relay::Sequential({relay::InferType(), relay::SimplifyExpr(), relay::FoldConstant(),
+                         relay::InferType()})
+          .Run(module);
+  const relay::FunctionPtr& main_fn = prepared.main();
+
+  RelayToNeuronConverter converter;
+  neuron::NeuronModel model = converter.Convert(main_fn);
+
+  neuron::CompilerOptions compiler_options;
+  compiler_options.target = TargetOf(flow);
+  compiler_options.testbed = settings.testbed;
+  compiler_options.policy = settings.policy;
+  const neuron::NeuronCompiler compiler(compiler_options);
+  neuron::NeuronPackagePtr package = compiler.Compile(std::move(model), "np_only");
+
+  std::vector<std::string> input_names;
+  for (const auto& param : main_fn->params()) input_names.push_back(param->name());
+  const int num_outputs =
+      static_cast<int>(package->model.model_outputs().size());
+  return std::make_shared<NpSession>(std::move(package), std::move(input_names), num_outputs);
+}
+
+InferenceSessionPtr TryCompileFlow(const relay::Module& module, FlowKind flow,
+                                   std::string* error, const FlowCompileSettings& settings) {
+  try {
+    return CompileFlow(module, flow, settings);
+  } catch (const Error& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+}
+
+}  // namespace core
+}  // namespace tnp

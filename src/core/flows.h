@@ -1,0 +1,91 @@
+// The seven compilation/execution permutations of the paper's evaluation
+// (Section 5/6):
+//   TVM-only, TVM BYOC with {CPU, APU, CPU+APU}, NeuroPilot-only with
+//   {CPU, APU, CPU+APU}.
+//
+// CompileFlow returns a uniform InferenceSession for each, or a
+// FlowUnsupported error carrying why (NeuroPilot-only flows fail when the
+// model contains ops outside Neuron's vocabulary or outside the enabled
+// devices' support — the paper's missing Figure-4/6 bars).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/nir.h"
+#include "relay/module.h"
+
+namespace tnp {
+namespace core {
+
+enum class FlowKind : std::uint8_t {
+  kTvmOnly,
+  kByocCpu,
+  kByocApu,
+  kByocCpuApu,
+  kNpCpu,
+  kNpApu,
+  kNpCpuApu,
+};
+
+inline constexpr FlowKind kAllFlows[] = {
+    FlowKind::kTvmOnly, FlowKind::kByocCpu,  FlowKind::kByocApu, FlowKind::kByocCpuApu,
+    FlowKind::kNpCpu,   FlowKind::kNpApu,    FlowKind::kNpCpuApu,
+};
+
+const char* FlowName(FlowKind flow);
+
+/// Resources a flow occupies while running (pipeline exclusivity, Fig. 5).
+std::vector<sim::Resource> FlowResources(FlowKind flow);
+
+/// Uniform inference handle over all seven flows.
+class InferenceSession {
+ public:
+  virtual ~InferenceSession() = default;
+
+  virtual void SetInput(const std::string& name, NDArray value) = 0;
+  virtual void Run() = 0;
+  virtual int NumOutputs() const = 0;
+  virtual NDArray GetOutput(int index = 0) const = 0;
+
+  /// Simulated time of the last Run().
+  virtual const sim::SimClock& last_clock() const = 0;
+
+  /// Static latency estimate: walks the compiled program without executing
+  /// kernels (usable at full model scale).
+  virtual sim::SimClock EstimateLatency() const = 0;
+
+  /// Number of NIR subgraphs (0 for TVM-only; 1 for NeuroPilot-only).
+  virtual int NumPartitions() const = 0;
+  /// Total ops inside NIR subgraphs.
+  virtual int NumExternalOps() const = 0;
+
+  /// Physical resources this compiled model actually occupies. Tighter than
+  /// FlowResources(flow): e.g. a BYOC(APU) model whose graph offloads
+  /// completely has no host ops and occupies only the APU — which is what
+  /// lets the paper's pipeline overlap it with CPU-resident detection.
+  virtual std::vector<sim::Resource> UsedResources() const = 0;
+};
+
+using InferenceSessionPtr = std::shared_ptr<InferenceSession>;
+
+struct FlowCompileSettings {
+  const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
+  neuron::PlannerPolicy policy = neuron::PlannerPolicy::kGreedyCost;
+  bool enable_tvm_fusion = true;
+};
+
+/// Compile `module` under `flow`. Throws tnp::Error (kUnsupportedOp /
+/// kCompileError) when the flow cannot run the model.
+InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
+                                const FlowCompileSettings& settings = {});
+
+/// Non-throwing variant for benchmark tables: returns nullptr and fills
+/// `error` when unsupported.
+InferenceSessionPtr TryCompileFlow(const relay::Module& module, FlowKind flow,
+                                   std::string* error,
+                                   const FlowCompileSettings& settings = {});
+
+}  // namespace core
+}  // namespace tnp

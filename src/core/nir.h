@@ -1,0 +1,66 @@
+// partition_for_nir + the "nir" external codegen — the glue that makes
+// NeuroPilot a TVM BYOC backend (paper Sections 3.1/3.2).
+//
+// Typical use (mirrors the paper's Listing 2):
+//
+//   relay::Module mod = frontend::FromPyTorch(...);
+//   mod = core::PartitionForNir(mod, opts);           // nir.partition_for_nir
+//   auto lib = relay::Build(mod, core::MakeBuildOptions(opts));
+//   relay::GraphExecutor m(lib);                      // graph_executor.GraphModule
+//   m.SetInput("data", face_region);
+//   m.Run();
+//   NDArray out = m.GetOutput(0);
+#pragma once
+
+#include "neuron/compiler.h"
+#include "relay/build.h"
+#include "relay/byoc_partition.h"
+
+namespace tnp {
+namespace core {
+
+struct NirOptions {
+  neuron::TargetConfig target = neuron::TargetConfig::CpuApu();
+  const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
+  neuron::PlannerPolicy policy = neuron::PlannerPolicy::kGreedyCost;
+  /// Disable FuseOps on the TVM side (ablation hook).
+  bool enable_tvm_fusion = true;
+};
+
+/// Partition module["main"] for the NeuroPilot backend: ops with a Neuron
+/// lowering supported by at least one enabled target device move into
+/// Compiler="nir" regions. Runs InferType + SimplifyExpr first so identity
+/// ops (dropout) don't fragment regions.
+relay::Module PartitionForNir(const relay::Module& module, const NirOptions& options = {});
+
+/// BuildOptions consistent with `options` (host device, external config).
+relay::BuildOptions MakeBuildOptions(const NirOptions& options);
+
+/// Registers the "nir" external codegen (idempotent; called by
+/// PartitionForNir and MakeBuildOptions).
+void EnsureNirCodegenRegistered();
+
+/// The ExternalModule produced by the nir codegen (exposed for tests and
+/// reports: gives access to the compiled NeuronPackage).
+class NirExternalModule final : public relay::ExternalModule {
+ public:
+  NirExternalModule(std::string name, neuron::NeuronPackagePtr package)
+      : name_(std::move(name)), package_(std::move(package)) {}
+
+  relay::Value Run(const std::vector<relay::Value>& inputs, sim::SimClock* clock,
+                   bool execute_numerics) override;
+
+  const std::string& name() const override { return name_; }
+  int num_ops() const override { return package_->NumOps(); }
+  std::vector<sim::Resource> resources() const override;
+  void AppendProfile(std::vector<relay::ProfileEntry>& out) const override;
+
+  const neuron::NeuronPackage& package() const { return *package_; }
+
+ private:
+  std::string name_;
+  neuron::NeuronPackagePtr package_;
+};
+
+}  // namespace core
+}  // namespace tnp

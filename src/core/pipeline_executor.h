@@ -1,0 +1,151 @@
+// Threaded pipeline executor — the runnable counterpart of the Figure-5
+// schedule. One worker thread per stage, bounded queues between stages, and
+// per-resource mutexes enforcing the paper's exclusive-resource constraint
+// (a CPU+APU stage locks both; a CPU-only object detector and an APU-only
+// emotion model of different frames genuinely overlap).
+//
+// Header-only template so applications can pipeline any packet type.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/device.h"
+#include "support/logging.h"
+
+namespace tnp {
+namespace core {
+
+/// Process-wide resource locks shared by every pipeline in the process
+/// (the phone has exactly one CPU and one APU).
+class ResourceLocks {
+ public:
+  static ResourceLocks& Global() {
+    static ResourceLocks locks;
+    return locks;
+  }
+
+  std::mutex& Of(sim::Resource resource) {
+    return mutexes_[static_cast<std::size_t>(resource)];
+  }
+
+ private:
+  std::array<std::mutex, sim::kNumResources> mutexes_;
+};
+
+template <typename Packet>
+class Pipeline {
+ public:
+  struct Stage {
+    std::string name;
+    std::vector<sim::Resource> resources;
+    /// Transform one packet; returning nullopt drops the packet (e.g. a
+    /// frame with no detected face skips downstream stages).
+    std::function<std::optional<Packet>(Packet)> fn;
+  };
+
+  explicit Pipeline(std::vector<Stage> stages, std::size_t queue_capacity = 4)
+      : stages_(std::move(stages)), queue_capacity_(queue_capacity) {
+    TNP_CHECK(!stages_.empty());
+    TNP_CHECK_GT(queue_capacity_, 0u);
+  }
+
+  /// Push all packets through every stage; returns surviving packets in
+  /// completion order of the final stage (input order is preserved because
+  /// each stage is a single worker).
+  std::vector<Packet> Run(std::vector<Packet> packets) {
+    const std::size_t num_stages = stages_.size();
+    std::vector<BoundedQueue> queues(num_stages + 1);
+    for (auto& queue : queues) queue.capacity = queue_capacity_;
+
+    std::vector<std::thread> workers;
+    workers.reserve(num_stages);
+    for (std::size_t s = 0; s < num_stages; ++s) {
+      workers.emplace_back([this, s, &queues] { StageLoop(s, queues[s], queues[s + 1]); });
+    }
+
+    // Feed from a dedicated thread: the bounded queues exert backpressure,
+    // so the producer must not be the same thread that drains the results
+    // (pushing everything up front would deadlock once the packets in
+    // flight exceed the total queue capacity).
+    std::thread feeder([&packets, &queues] {
+      for (auto& packet : packets) queues.front().Push(std::move(packet));
+      queues.front().Close();
+    });
+
+    std::vector<Packet> results;
+    while (auto packet = queues.back().Pop()) results.push_back(std::move(*packet));
+    feeder.join();
+    for (auto& worker : workers) worker.join();
+    return results;
+  }
+
+ private:
+  struct BoundedQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Packet> items;
+    std::size_t capacity = 4;
+    bool closed = false;
+
+    void Push(Packet packet) {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return items.size() < capacity; });
+      items.push_back(std::move(packet));
+      cv.notify_all();
+    }
+
+    std::optional<Packet> Pop() {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [this] { return !items.empty() || closed; });
+      if (items.empty()) return std::nullopt;
+      Packet packet = std::move(items.front());
+      items.pop_front();
+      cv.notify_all();
+      return packet;
+    }
+
+    void Close() {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+      cv.notify_all();
+    }
+  };
+
+  void StageLoop(std::size_t stage_index, BoundedQueue& in, BoundedQueue& out) {
+    Stage& stage = stages_[stage_index];
+    while (auto packet = in.Pop()) {
+      std::optional<Packet> result;
+      {
+        // Acquire every resource the stage occupies, in fixed order to
+        // avoid deadlock between stages with overlapping resource sets.
+        std::vector<std::unique_lock<std::mutex>> held;
+        std::vector<sim::Resource> sorted = stage.resources;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](sim::Resource a, sim::Resource b) {
+                    return static_cast<int>(a) < static_cast<int>(b);
+                  });
+        for (const sim::Resource resource : sorted) {
+          held.emplace_back(ResourceLocks::Global().Of(resource));
+        }
+        result = stage.fn(std::move(*packet));
+      }
+      if (result) out.Push(std::move(*result));
+    }
+    out.Close();
+  }
+
+  std::vector<Stage> stages_;
+  std::size_t queue_capacity_;
+};
+
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,488 @@
+#include "core/relay_to_neuron.h"
+
+#include <memory>
+
+#include "neuron/support_matrix.h"
+#include "support/logging.h"
+
+namespace tnp {
+namespace core {
+
+namespace {
+
+using neuron::NeuronOpAttrs;
+using neuron::NeuronOpType;
+using neuron::Operation;
+using relay::Attrs;
+using relay::Call;
+
+NeuronOpAttrs ConvAttrs(const Attrs& attrs) {
+  NeuronOpAttrs a;
+  a.strides = attrs.GetInts("strides", {1, 1});
+  a.padding = attrs.GetInts("padding", {0, 0});
+  a.dilation = attrs.GetInts("dilation", {1, 1});
+  a.groups = attrs.GetInt("groups", 1);
+  return a;
+}
+
+NeuronOpAttrs PoolAttrs(const Attrs& attrs) {
+  NeuronOpAttrs a;
+  a.pool_size = attrs.RequireInts("pool_size");
+  a.strides = attrs.GetInts("strides", a.pool_size);
+  a.padding = attrs.GetInts("padding", {0, 0});
+  a.count_include_pad = attrs.GetInt("count_include_pad", 0) != 0;
+  return a;
+}
+
+QuantParams AttrQuant(const Attrs& attrs, const char* scale_key, const char* zp_key) {
+  return QuantParams(static_cast<float>(attrs.RequireDouble(scale_key)),
+                     static_cast<std::int32_t>(attrs.RequireInt(zp_key)));
+}
+
+/// Quant params of the operand feeding slot 0 (pass-through ops).
+QuantParams PassThroughQuant(const NodeEntry& entry, RelayToNeuronConverter& converter) {
+  if (entry.inputs.empty()) return QuantParams();
+  return converter.model().operand(entry.inputs.front()).quant;
+}
+
+void Emit(RelayToNeuronConverter& converter, NeuronOpType type, NeuronOpAttrs attrs,
+          const std::vector<neuron::OperandId>& inputs, neuron::OperandId output) {
+  Operation op;
+  op.type = type;
+  op.attrs = std::move(attrs);
+  op.inputs = inputs;
+  op.outputs = {output};
+  converter.model().AddOperation(std::move(op));
+}
+
+// ------------------------------------------------------------ handler impls
+
+/// Handler defined by two lambdas (keeps the dictionary compact).
+class LambdaHandler final : public OpHandler {
+ public:
+  using CreateFn = std::function<void(const Call&, NodeEntry&, RelayToNeuronConverter&)>;
+
+  LambdaHandler(std::vector<NeuronOpType> lowers_to, CreateFn create)
+      : lowers_to_(std::move(lowers_to)), create_(std::move(create)) {}
+
+  void CreateOp(const Call& call, NodeEntry& entry,
+                RelayToNeuronConverter& converter) const override {
+    create_(call, entry, converter);
+  }
+
+  std::vector<NeuronOpType> LowersTo() const override { return lowers_to_; }
+
+ private:
+  std::vector<NeuronOpType> lowers_to_;
+  CreateFn create_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- converter
+
+RelayToNeuronConverter::RelayToNeuronConverter() = default;
+
+neuron::OperandId RelayToNeuronConverter::MakeOutputOperand(const relay::Expr& expr,
+                                                            QuantParams quant) {
+  const relay::TensorType& type = expr.checked_type().AsTensor();
+  neuron::Operand operand;
+  operand.name = "t" + std::to_string(temp_counter_++);
+  operand.shape = type.shape;
+  operand.dtype = type.dtype;
+  operand.quant = quant;
+  operand.kind = neuron::OperandKind::kTemporary;
+  return model_.AddOperand(std::move(operand));
+}
+
+neuron::OperandId RelayToNeuronConverter::OperandOf(const relay::ExprPtr& expr) const {
+  const auto it = node_entry_dict_.find(expr.get());
+  TNP_CHECK(it != node_entry_dict_.end()) << "expression not converted yet";
+  TNP_CHECK_EQ(it->second.outputs.size(), 1u) << "expected single-output node";
+  return it->second.outputs.front();
+}
+
+void RelayToNeuronConverter::EnsureOperandQuant(neuron::OperandId id,
+                                                const QuantParams& quant) {
+  neuron::Operand& operand = model_.operand(id);
+  if (!operand.quant.valid && quant.valid) {
+    operand.quant = quant;
+    if (operand.data.defined()) operand.data.set_quant(quant);
+  }
+}
+
+void RelayToNeuronConverter::VisitVar(const relay::VarPtr& var) {
+  // Listing 1, visit_var: convert to a Neuron input operand; inputs and
+  // outputs of the entry are the same operand.
+  const relay::TensorType& type = var->checked_type().AsTensor();
+  neuron::Operand operand;
+  operand.name = var->name();
+  operand.shape = type.shape;
+  operand.dtype = type.dtype;
+  operand.kind = neuron::OperandKind::kInput;
+  const neuron::OperandId id = model_.AddOperand(std::move(operand));
+
+  NodeEntry entry;
+  entry.inputs = {id};
+  entry.outputs = {id};
+  node_entry_dict_[var.get()] = std::move(entry);
+}
+
+void RelayToNeuronConverter::VisitConstant(const relay::ConstantPtr& constant) {
+  const neuron::OperandId id =
+      model_.AddConstant("c" + std::to_string(temp_counter_++), constant->data());
+  NodeEntry entry;
+  entry.inputs = {id};
+  entry.outputs = {id};
+  node_entry_dict_[constant.get()] = std::move(entry);
+}
+
+void RelayToNeuronConverter::VisitTuple(const relay::TuplePtr& tuple) {
+  // Listing 1, visit_tuple: gather the fields' outputs.
+  NodeEntry entry;
+  for (const auto& field : tuple->fields()) {
+    const NodeEntry& field_entry = node_entry_dict_.at(field.get());
+    entry.inputs.insert(entry.inputs.end(), field_entry.outputs.begin(),
+                        field_entry.outputs.end());
+  }
+  entry.outputs = entry.inputs;
+  node_entry_dict_[tuple.get()] = std::move(entry);
+}
+
+void RelayToNeuronConverter::VisitTupleGetItem(const relay::TupleGetItemPtr& get) {
+  const NodeEntry& tuple_entry = node_entry_dict_.at(get->tuple().get());
+  TNP_CHECK(get->index() >= 0 &&
+            get->index() < static_cast<int>(tuple_entry.outputs.size()));
+  NodeEntry entry;
+  entry.inputs = {tuple_entry.outputs[static_cast<std::size_t>(get->index())]};
+  entry.outputs = entry.inputs;
+  node_entry_dict_[get.get()] = std::move(entry);
+}
+
+void RelayToNeuronConverter::VisitCall(const relay::CallPtr& call) {
+  if (call->callee_kind() != relay::CalleeKind::kOp) {
+    TNP_THROW(kUnsupportedOp)
+        << "Relay->Neuron conversion supports plain operator calls only "
+        << "(run conversion before fusion, or on partitioned regions)";
+  }
+  // Listing 1, visit_call: args were already visited (post-order DFS by
+  // ExprVisitor); collect their outputs, then let the handler build the op.
+  NodeEntry entry;
+  for (const auto& arg : call->args()) {
+    const NodeEntry& arg_entry = node_entry_dict_.at(arg.get());
+    entry.inputs.insert(entry.inputs.end(), arg_entry.outputs.begin(),
+                        arg_entry.outputs.end());
+  }
+
+  const std::string& op_name = call->op_name();
+  if (!OpHandlerDict::Global().Has(op_name)) {
+    TNP_THROW(kUnsupportedOp) << "no Neuron IR mapping for Relay operator '" << op_name << "'";
+  }
+  OpHandlerDict::Global().Get(op_name).CreateOp(*call, entry, *this);
+  TNP_CHECK(!entry.outputs.empty()) << "handler for '" << op_name << "' produced no outputs";
+  node_entry_dict_[call.get()] = std::move(entry);
+}
+
+neuron::NeuronModel RelayToNeuronConverter::Convert(const relay::FunctionPtr& fn) {
+  TNP_CHECK(fn->checked_type().defined())
+      << "Relay->Neuron conversion requires inferred types";
+  model_ = neuron::NeuronModel();
+  node_entry_dict_.clear();
+  temp_counter_ = 0;
+
+  std::vector<neuron::OperandId> model_inputs;
+  for (const auto& param : fn->params()) {
+    Visit(param);
+    model_inputs.push_back(OperandOf(param));
+  }
+  Visit(fn->body());
+
+  model_.SetModelInputs(std::move(model_inputs));
+  model_.SetModelOutputs(node_entry_dict_.at(fn->body().get()).outputs);
+  model_.Validate();
+  return std::move(model_);
+}
+
+// ----------------------------------------------------------- handler table
+
+OpHandlerDict::OpHandlerDict() {
+  const auto add = [this](const std::string& name, std::vector<NeuronOpType> lowers_to,
+                          LambdaHandler::CreateFn fn) {
+    handlers_[name] = std::make_unique<LambdaHandler>(std::move(lowers_to), std::move(fn));
+  };
+
+  // --- convolution / dense (float) ---
+  add("nn.conv2d", {NeuronOpType::kConv2d},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kConv2d, ConvAttrs(call.attrs()), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("nn.dense", {NeuronOpType::kFullyConnected},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kFullyConnected, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- QNN convolution / dense: operator-oriented -> tensor-oriented ---
+  add("qnn.conv2d", {NeuronOpType::kConv2d},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        cvt.EnsureOperandQuant(entry.inputs.at(0),
+                               AttrQuant(call.attrs(), "input_scale", "input_zero_point"));
+        cvt.EnsureOperandQuant(entry.inputs.at(1),
+                               AttrQuant(call.attrs(), "weight_scale", "weight_zero_point"));
+        const neuron::OperandId out = cvt.MakeOutputOperand(
+            call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+        Emit(cvt, NeuronOpType::kConv2d, ConvAttrs(call.attrs()), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("qnn.dense", {NeuronOpType::kFullyConnected},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        cvt.EnsureOperandQuant(entry.inputs.at(0),
+                               AttrQuant(call.attrs(), "input_scale", "input_zero_point"));
+        cvt.EnsureOperandQuant(entry.inputs.at(1),
+                               AttrQuant(call.attrs(), "weight_scale", "weight_zero_point"));
+        const neuron::OperandId out = cvt.MakeOutputOperand(
+            call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+        Emit(cvt, NeuronOpType::kFullyConnected, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- elementwise binary (float) ---
+  const auto binary = [&add](const std::string& name, NeuronOpType type) {
+    add(name, {type}, [type](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+      const neuron::OperandId out = cvt.MakeOutputOperand(call);
+      Emit(cvt, type, NeuronOpAttrs(), entry.inputs, out);
+      entry.outputs = {out};
+    });
+  };
+  binary("add", NeuronOpType::kAdd);
+  binary("subtract", NeuronOpType::kSub);
+  binary("multiply", NeuronOpType::kMul);
+  binary("divide", NeuronOpType::kDiv);
+  binary("maximum", NeuronOpType::kMax);
+  binary("minimum", NeuronOpType::kMin);
+
+  // nn.bias_add lowers to ADD (the bias constant broadcasts along channels).
+  add("nn.bias_add", {NeuronOpType::kAdd},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        // Reshape the bias constant to (1, C, 1, 1) broadcast form when the
+        // data is NCHW; Neuron's ADD broadcasts like the host kernel.
+        const neuron::OperandId data_id = entry.inputs.at(0);
+        neuron::OperandId bias_id = entry.inputs.at(1);
+        const neuron::Operand& data = cvt.model().operand(data_id);
+        const neuron::Operand& bias = cvt.model().operand(bias_id);
+        if (data.shape.rank() == 4 && bias.shape.rank() == 1) {
+          if (bias.kind != neuron::OperandKind::kConstant) {
+            TNP_THROW(kUnsupportedOp)
+                << "nn.bias_add with a non-constant bias has no Neuron lowering";
+          }
+          neuron::Operand reshaped = bias;
+          reshaped.shape = Shape({1, bias.shape[0], 1, 1});
+          reshaped.data = reshaped.data.Reshape(reshaped.shape);
+          bias_id = cvt.model().AddOperand(std::move(reshaped));
+        }
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kAdd, NeuronOpAttrs(), {data_id, bias_id}, out);
+        entry.outputs = {out};
+      });
+
+  // --- QNN elementwise ---
+  const auto qnn_binary = [&add](const std::string& name, NeuronOpType type) {
+    add(name, {type}, [type](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+      cvt.EnsureOperandQuant(entry.inputs.at(0),
+                             AttrQuant(call.attrs(), "lhs_scale", "lhs_zero_point"));
+      cvt.EnsureOperandQuant(entry.inputs.at(1),
+                             AttrQuant(call.attrs(), "rhs_scale", "rhs_zero_point"));
+      const neuron::OperandId out = cvt.MakeOutputOperand(
+          call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+      Emit(cvt, type, NeuronOpAttrs(), entry.inputs, out);
+      entry.outputs = {out};
+    });
+  };
+  qnn_binary("qnn.add", NeuronOpType::kAdd);
+  qnn_binary("qnn.mul", NeuronOpType::kMul);
+
+  // --- activations ---
+  add("nn.relu", {NeuronOpType::kRelu},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kRelu, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("qnn.relu", {NeuronOpType::kRelu},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kRelu, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("clip", {NeuronOpType::kClip},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        NeuronOpAttrs attrs;
+        attrs.clip_min = static_cast<float>(call.attrs().RequireDouble("a_min"));
+        attrs.clip_max = static_cast<float>(call.attrs().RequireDouble("a_max"));
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kClip, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- pooling (quant params pass through) ---
+  const auto pool = [&add](const std::string& name, NeuronOpType type) {
+    add(name, {type}, [type](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+      const neuron::OperandId out = cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+      Emit(cvt, type, PoolAttrs(call.attrs()), entry.inputs, out);
+      entry.outputs = {out};
+    });
+  };
+  pool("nn.max_pool2d", NeuronOpType::kMaxPool2d);
+  pool("nn.avg_pool2d", NeuronOpType::kAvgPool2d);
+  add("nn.global_avg_pool2d", {NeuronOpType::kGlobalAvgPool2d},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kGlobalAvgPool2d, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- softmax / batch norm ---
+  add("nn.softmax", {NeuronOpType::kSoftmax},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        NeuronOpAttrs attrs;
+        attrs.axis = static_cast<int>(call.attrs().GetInt("axis", -1));
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kSoftmax, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("nn.batch_norm", {NeuronOpType::kBatchNorm},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        NeuronOpAttrs attrs;
+        attrs.epsilon = static_cast<float>(call.attrs().GetDouble("epsilon", 1e-5));
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kBatchNorm, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- data movement ---
+  const auto reshape_like = [&add](const std::string& name) {
+    add(name, {NeuronOpType::kReshape},
+        [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+          NeuronOpAttrs attrs;
+          attrs.newshape = call.checked_type().AsTensor().shape.dims();
+          const neuron::OperandId out =
+              cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+          Emit(cvt, NeuronOpType::kReshape, std::move(attrs), entry.inputs, out);
+          entry.outputs = {out};
+        });
+  };
+  reshape_like("reshape");
+  reshape_like("nn.batch_flatten");
+
+  add("concatenate", {NeuronOpType::kConcat},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        NeuronOpAttrs attrs;
+        attrs.axis = static_cast<int>(call.attrs().GetInt("axis", 0));
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kConcat, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("qnn.concatenate", {NeuronOpType::kConcat},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const auto scales = call.attrs().GetDoubles("input_scales", {});
+        const auto zps = call.attrs().GetInts("input_zero_points", {});
+        TNP_CHECK_EQ(scales.size(), entry.inputs.size());
+        for (std::size_t i = 0; i < entry.inputs.size(); ++i) {
+          cvt.EnsureOperandQuant(entry.inputs[i],
+                                 QuantParams(static_cast<float>(scales[i]),
+                                             static_cast<std::int32_t>(zps[i])));
+        }
+        NeuronOpAttrs attrs;
+        attrs.axis = static_cast<int>(call.attrs().GetInt("axis", 0));
+        const neuron::OperandId out = cvt.MakeOutputOperand(
+            call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+        Emit(cvt, NeuronOpType::kConcat, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  add("nn.pad", {NeuronOpType::kPad},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        NeuronOpAttrs attrs;
+        attrs.pad_before = call.attrs().RequireInts("pad_before");
+        attrs.pad_after = call.attrs().RequireInts("pad_after");
+        attrs.pad_value = call.attrs().GetDouble("pad_value", 0.0);
+        const neuron::OperandId out =
+            cvt.MakeOutputOperand(call, PassThroughQuant(entry, cvt));
+        Emit(cvt, NeuronOpType::kPad, std::move(attrs), entry.inputs, out);
+        entry.outputs = {out};
+      });
+
+  // --- quantize / dequantize / requantize ---
+  add("qnn.quantize", {NeuronOpType::kQuantize},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        const neuron::OperandId out = cvt.MakeOutputOperand(
+            call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+        Emit(cvt, NeuronOpType::kQuantize, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("qnn.dequantize", {NeuronOpType::kDequantize},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        cvt.EnsureOperandQuant(entry.inputs.at(0),
+                               AttrQuant(call.attrs(), "input_scale", "input_zero_point"));
+        const neuron::OperandId out = cvt.MakeOutputOperand(call);
+        Emit(cvt, NeuronOpType::kDequantize, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+  add("qnn.requantize", {NeuronOpType::kRequantize},
+      [](const Call& call, NodeEntry& entry, RelayToNeuronConverter& cvt) {
+        cvt.EnsureOperandQuant(entry.inputs.at(0),
+                               AttrQuant(call.attrs(), "input_scale", "input_zero_point"));
+        const neuron::OperandId out = cvt.MakeOutputOperand(
+            call, AttrQuant(call.attrs(), "output_scale", "output_zero_point"));
+        Emit(cvt, NeuronOpType::kRequantize, NeuronOpAttrs(), entry.inputs, out);
+        entry.outputs = {out};
+      });
+}
+
+const OpHandlerDict& OpHandlerDict::Global() {
+  static const OpHandlerDict* dict = new OpHandlerDict();
+  return *dict;
+}
+
+const OpHandler& OpHandlerDict::Get(const std::string& relay_op) const {
+  const auto it = handlers_.find(relay_op);
+  if (it == handlers_.end()) {
+    TNP_THROW(kUnsupportedOp) << "no Neuron IR mapping for Relay operator '" << relay_op << "'";
+  }
+  return *it->second;
+}
+
+std::vector<std::string> OpHandlerDict::SupportedRelayOps() const {
+  std::vector<std::string> names;
+  names.reserve(handlers_.size());
+  for (const auto& [name, handler] : handlers_) names.push_back(name);
+  return names;
+}
+
+bool NirSupported(const relay::Call& call, const std::vector<sim::DeviceKind>& devices) {
+  if (call.callee_kind() != relay::CalleeKind::kOp) return false;
+  if (!OpHandlerDict::Global().Has(call.op_name())) return false;
+  for (const neuron::NeuronOpType type :
+       OpHandlerDict::Global().Get(call.op_name()).LowersTo()) {
+    bool supported = false;
+    for (const sim::DeviceKind device : devices) {
+      if (neuron::DeviceSupports(device, type)) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) return false;
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,117 @@
+// Relay -> Neuron IR conversion (paper Section 3.2, Listing 1).
+//
+// The converter subclasses relay::ExprVisitor (post-order DFS over the Relay
+// AST), stores each node's Neuron operand ids in a NodeEntry, and maps each
+// Relay operator to Neuron IR through a dictionary of OpHandlers
+// (`op_handler_dict` in the paper's pseudo-code).
+//
+// QNN augmentation (Section 3.3) happens inside the handlers: Relay QNN
+// carries quantization parameters as *operator* attributes; Neuron needs
+// them on *tensors*. Handlers write scale/zero-point onto the operands they
+// create, and pass-through handlers (pooling, reshape, concat, ...) copy the
+// input operand's parameters onto their output, "passing them on" exactly
+// as the paper describes for non-QNN ops inside quantized graphs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "neuron/ir.h"
+#include "relay/expr.h"
+#include "relay/visitor.h"
+#include "sim/device.h"
+
+namespace tnp {
+namespace core {
+
+/// Per-AST-node record of the Neuron operands that carry its inputs/outputs
+/// (the paper's NodeEntry structure).
+struct NodeEntry {
+  std::vector<neuron::OperandId> inputs;
+  std::vector<neuron::OperandId> outputs;
+};
+
+class RelayToNeuronConverter;
+
+/// Converts one Relay call into Neuron operations. Registered per op name.
+class OpHandler {
+ public:
+  virtual ~OpHandler() = default;
+  /// Emit Neuron IR for `call`. `entry.inputs` is pre-populated with the
+  /// operand ids of the call's arguments (flattened); the handler must fill
+  /// `entry.outputs`.
+  virtual void CreateOp(const relay::Call& call, NodeEntry& entry,
+                        RelayToNeuronConverter& converter) const = 0;
+
+  /// The Neuron op type(s) this Relay op lowers to (drives target-aware
+  /// partitioning: a Relay op only enters a region if some enabled device
+  /// supports its lowering).
+  virtual std::vector<neuron::NeuronOpType> LowersTo() const = 0;
+};
+
+/// The op-handler dictionary. Keyed by Relay op name.
+class OpHandlerDict {
+ public:
+  static const OpHandlerDict& Global();
+
+  bool Has(const std::string& relay_op) const { return handlers_.count(relay_op) != 0; }
+  const OpHandler& Get(const std::string& relay_op) const;
+
+  std::vector<std::string> SupportedRelayOps() const;
+
+ private:
+  OpHandlerDict();
+  std::map<std::string, std::unique_ptr<OpHandler>> handlers_;
+};
+
+/// ExprVisitor-based converter (Listing 1).
+class RelayToNeuronConverter : public relay::ExprVisitor {
+ public:
+  RelayToNeuronConverter();
+
+  /// Convert a Relay function (types must be inferred) into a NeuronModel.
+  /// Throws kUnsupportedOp when a call has no handler.
+  neuron::NeuronModel Convert(const relay::FunctionPtr& fn);
+
+  // ---- helpers used by OpHandlers ----
+  neuron::NeuronModel& model() { return model_; }
+
+  /// Create the output operand for `expr` (shape/dtype from its checked
+  /// type), optionally with tensor-oriented quantization parameters.
+  neuron::OperandId MakeOutputOperand(const relay::Expr& expr,
+                                      QuantParams quant = QuantParams());
+
+  /// The operand currently carrying `expr`'s (single) output.
+  neuron::OperandId OperandOf(const relay::ExprPtr& expr) const;
+
+  /// Set quantization parameters on an operand if it has none yet — this is
+  /// how operator-oriented QNN attrs land on input/weight tensors.
+  void EnsureOperandQuant(neuron::OperandId id, const QuantParams& quant);
+
+  const std::unordered_map<const relay::Expr*, NodeEntry>& node_entry_dict() const {
+    return node_entry_dict_;
+  }
+
+ protected:
+  void VisitVar(const relay::VarPtr& var) override;
+  void VisitConstant(const relay::ConstantPtr& constant) override;
+  void VisitTuple(const relay::TuplePtr& tuple) override;
+  void VisitTupleGetItem(const relay::TupleGetItemPtr& get) override;
+  void VisitCall(const relay::CallPtr& call) override;
+
+ private:
+  neuron::NeuronModel model_;
+  std::unordered_map<const relay::Expr*, NodeEntry> node_entry_dict_;
+  int temp_counter_ = 0;
+};
+
+/// True when the Relay call can be lowered to Neuron IR *and* at least one
+/// of the devices in `devices` supports the lowered op(s). This is the
+/// predicate handed to the BYOC partitioner.
+bool NirSupported(const relay::Call& call, const std::vector<sim::DeviceKind>& devices);
+
+}  // namespace core
+}  // namespace tnp

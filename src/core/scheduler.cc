@@ -1,0 +1,139 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace core {
+
+ModelProfile ProfileModel(const relay::Module& module, const std::string& name,
+                          const FlowCompileSettings& settings) {
+  ModelProfile profile;
+  profile.model = name;
+  for (const FlowKind flow : kAllFlows) {
+    std::string error;
+    const InferenceSessionPtr session = TryCompileFlow(module, flow, &error, settings);
+    if (session == nullptr) {
+      profile.errors[flow] = error;
+      continue;
+    }
+    profile.latency_us[flow] = session->EstimateLatency().total_us();
+    profile.resources[flow] = session->UsedResources();
+  }
+  return profile;
+}
+
+Assignment ComputationScheduler::BestFlow(const ModelProfile& profile) {
+  const auto best = BestFlowWithin(profile, {sim::Resource::kCpu, sim::Resource::kApu});
+  TNP_CHECK(best.has_value()) << "model '" << profile.model << "' supports no flow";
+  return *best;
+}
+
+std::optional<Assignment> ComputationScheduler::BestFlowWithin(
+    const ModelProfile& profile, const std::vector<sim::Resource>& allowed) {
+  std::optional<Assignment> best;
+  for (const auto& [flow, latency] : profile.latency_us) {
+    bool within = true;
+    for (const sim::Resource resource : profile.ResourcesOf(flow)) {
+      if (std::find(allowed.begin(), allowed.end(), resource) == allowed.end()) {
+        within = false;
+        break;
+      }
+    }
+    if (!within) continue;
+    if (!best || latency < best->latency_us) best = Assignment{flow, latency};
+  }
+  return best;
+}
+
+PipelineResult SchedulePipeline(const std::vector<PipelineStage>& stages, int num_frames) {
+  TNP_CHECK(!stages.empty());
+  TNP_CHECK_GT(num_frames, 0);
+
+  PipelineResult result;
+  result.stages = stages;
+
+  double per_frame_sequential = 0.0;
+  for (const auto& stage : stages) per_frame_sequential += stage.latency_us;
+  result.sequential_us = per_frame_sequential * num_frames;
+
+  // ready[s] per frame: end of the previous stage of the same frame.
+  for (int frame = 0; frame < num_frames; ++frame) {
+    double ready = 0.0;
+    for (const auto& stage : stages) {
+      const std::string label = stage.name + "#" + std::to_string(frame);
+      ready = result.timeline.ScheduleMulti(label, stage.resources(), ready, stage.latency_us);
+    }
+  }
+
+  result.makespan_us = result.timeline.makespan_us();
+  result.speedup = result.sequential_us / std::max(result.makespan_us, 1e-9);
+  result.throughput_fps = num_frames / (result.makespan_us / 1e6);
+  return result;
+}
+
+std::vector<PipelineStage> ChoosePipelineAssignment(const std::vector<ModelProfile>& profiles,
+                                                    int num_frames) {
+  TNP_CHECK(!profiles.empty());
+
+  std::vector<PipelineStage> best_stages;
+  double best_makespan = std::numeric_limits<double>::infinity();
+
+  // Exhaustive product over each stage's supported flows.
+  std::vector<std::vector<std::pair<FlowKind, double>>> choices;
+  for (const auto& profile : profiles) {
+    TNP_CHECK(!profile.latency_us.empty())
+        << "model '" << profile.model << "' supports no flow";
+    choices.emplace_back(profile.latency_us.begin(), profile.latency_us.end());
+  }
+
+  std::vector<std::size_t> index(choices.size(), 0);
+  for (;;) {
+    std::vector<PipelineStage> stages;
+    for (std::size_t s = 0; s < choices.size(); ++s) {
+      const auto& [flow, latency] = choices[s][index[s]];
+      stages.push_back(
+          PipelineStage{profiles[s].model, flow, latency, profiles[s].ResourcesOf(flow)});
+    }
+    const PipelineResult result = SchedulePipeline(stages, num_frames);
+    if (result.makespan_us < best_makespan) {
+      best_makespan = result.makespan_us;
+      best_stages = std::move(stages);
+    }
+
+    // Advance the mixed-radix counter.
+    std::size_t s = 0;
+    while (s < index.size() && ++index[s] == choices[s].size()) {
+      index[s] = 0;
+      ++s;
+    }
+    if (s == index.size()) break;
+  }
+  return best_stages;
+}
+
+std::vector<PipelineStage> PaperPrototypeAssignment(const std::vector<ModelProfile>& profiles) {
+  TNP_CHECK(!profiles.empty());
+  std::vector<PipelineStage> stages;
+  for (std::size_t s = 0; s < profiles.size(); ++s) {
+    Assignment assignment;
+    if (s == 0) {
+      // Move the producer stage to CPU-only for exclusive resource use
+      // (Figure 5: object detection switched from CPU+APU to CPU-only).
+      const auto cpu_only =
+          ComputationScheduler::BestFlowWithin(profiles[s], {sim::Resource::kCpu});
+      assignment = cpu_only ? *cpu_only : ComputationScheduler::BestFlow(profiles[s]);
+    } else {
+      assignment = ComputationScheduler::BestFlow(profiles[s]);
+    }
+    stages.push_back(PipelineStage{profiles[s].model, assignment.flow,
+                                   assignment.latency_us,
+                                   profiles[s].ResourcesOf(assignment.flow)});
+  }
+  return stages;
+}
+
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,101 @@
+// Computation scheduling (paper Section 5.1) and pipeline scheduling
+// (Section 5.2).
+//
+// Computation scheduling is model-level: profile every flow permutation per
+// model and pin each model to its fastest *supported* flow. Pipeline
+// scheduling adds the resource-exclusivity constraint (models must not use
+// the mobile CPU or APU simultaneously) and overlaps the dependent
+// three-model chain across frames; the paper's prototype moves the object
+// detection model from CPU+APU to CPU-only so it can run concurrently with
+// the APU-resident emotion model of the previous frame.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flows.h"
+#include "sim/timeline.h"
+
+namespace tnp {
+namespace core {
+
+/// Per-flow latency of one model (missing entries = unsupported flow).
+struct ModelProfile {
+  std::string model;
+  std::map<FlowKind, double> latency_us;
+  std::map<FlowKind, std::string> errors;  ///< why an unsupported flow failed
+  /// Resources the compiled model actually occupies per flow (from
+  /// InferenceSession::UsedResources). Falls back to FlowResources(flow)
+  /// when absent (hand-built profiles in tests).
+  std::map<FlowKind, std::vector<sim::Resource>> resources;
+
+  std::vector<sim::Resource> ResourcesOf(FlowKind flow) const {
+    const auto it = resources.find(flow);
+    return it != resources.end() ? it->second : FlowResources(flow);
+  }
+};
+
+/// Estimate latency of every flow permutation with the static simulator.
+ModelProfile ProfileModel(const relay::Module& module, const std::string& name,
+                          const FlowCompileSettings& settings = {});
+
+struct Assignment {
+  FlowKind flow = FlowKind::kTvmOnly;
+  double latency_us = 0.0;
+};
+
+class ComputationScheduler {
+ public:
+  /// Fastest supported flow (the Section 5.1 model-level policy).
+  static Assignment BestFlow(const ModelProfile& profile);
+
+  /// Fastest supported flow whose resource usage is within `allowed`.
+  static std::optional<Assignment> BestFlowWithin(const ModelProfile& profile,
+                                                  const std::vector<sim::Resource>& allowed);
+};
+
+// ---------------------------------------------------------------- pipeline
+
+struct PipelineStage {
+  std::string name;
+  FlowKind flow = FlowKind::kTvmOnly;
+  double latency_us = 0.0;
+  /// Actual resource set (empty = derive conservatively from the flow).
+  std::vector<sim::Resource> resource_set;
+
+  std::vector<sim::Resource> resources() const {
+    return resource_set.empty() ? FlowResources(flow) : resource_set;
+  }
+};
+
+struct PipelineResult {
+  std::vector<PipelineStage> stages;
+  sim::Timeline timeline;
+  double makespan_us = 0.0;
+  double sequential_us = 0.0;  ///< no-overlap baseline
+  double speedup = 1.0;
+  double throughput_fps = 0.0;
+};
+
+/// Simulate `num_frames` frames through the dependent stage chain with
+/// exclusive resource use (stage s of frame f waits for stage s-1 of the
+/// same frame; resources serialize everything else).
+PipelineResult SchedulePipeline(const std::vector<PipelineStage>& stages, int num_frames);
+
+/// Pick a flow per stage maximizing pipelined throughput under resource
+/// exclusivity, by exhaustive search over supported flow combinations (the
+/// "harder computation scheduling" the paper leaves as future work —
+/// tractable here because there are at most 7^3 combinations).
+std::vector<PipelineStage> ChoosePipelineAssignment(const std::vector<ModelProfile>& profiles,
+                                                    int num_frames = 16);
+
+/// The paper's Figure-5 prototype policy: every stage takes its best flow,
+/// except that the *first* stage (object detection, the producer for the
+/// next frame) is moved to its best CPU-only flow so it never contends with
+/// downstream APU work.
+std::vector<PipelineStage> PaperPrototypeAssignment(const std::vector<ModelProfile>& profiles);
+
+}  // namespace core
+}  // namespace tnp

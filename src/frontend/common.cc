@@ -1,0 +1,109 @@
+#include "frontend/common.h"
+
+#include "relay/pass.h"
+
+namespace tnp {
+namespace frontend {
+
+relay::ExprPtr TypedCall(const std::string& op_name, std::vector<relay::ExprPtr> args,
+                         relay::Attrs attrs) {
+  std::vector<relay::Type> arg_types;
+  arg_types.reserve(args.size());
+  for (const auto& arg : args) {
+    TNP_CHECK(arg->checked_type().defined()) << "frontend: untyped argument to " << op_name;
+    arg_types.push_back(arg->checked_type());
+  }
+  auto call = relay::MakeCall(op_name, std::move(args), std::move(attrs));
+  call->set_checked_type(relay::InferCallType(*call, arg_types));
+  return call;
+}
+
+relay::ExprPtr TypedTuple(std::vector<relay::ExprPtr> fields) {
+  std::vector<relay::Type> field_types;
+  field_types.reserve(fields.size());
+  for (const auto& field : fields) {
+    TNP_CHECK(field->checked_type().defined());
+    field_types.push_back(field->checked_type());
+  }
+  auto tuple = relay::MakeTuple(std::move(fields));
+  tuple->set_checked_type(relay::Type::Tuple(std::move(field_types)));
+  return tuple;
+}
+
+relay::VarPtr TypedVar(const std::string& name, Shape shape, DType dtype) {
+  auto var = relay::MakeVar(name, relay::Type::Tensor(shape, dtype));
+  var->set_checked_type(relay::Type::Tensor(std::move(shape), dtype));
+  return var;
+}
+
+namespace {
+
+relay::ExprPtr TypedConstant(NDArray data) {
+  auto constant = relay::MakeConstant(std::move(data));
+  constant->set_checked_type(
+      relay::Type::Tensor(constant->data().shape(), constant->data().dtype()));
+  return constant;
+}
+
+}  // namespace
+
+relay::ExprPtr WeightF32(Shape shape, std::uint64_t seed, float stddev) {
+  return TypedConstant(NDArray::RandomNormal(std::move(shape), seed, stddev));
+}
+
+relay::ExprPtr WeightS8(Shape shape, std::uint64_t seed) {
+  return TypedConstant(NDArray::RandomInt8(std::move(shape), seed));
+}
+
+relay::ExprPtr BiasS32(Shape shape, std::uint64_t seed) {
+  NDArray bias = NDArray::Empty(std::move(shape), DType::kInt32);
+  support::SplitMix64 rng(seed);
+  std::int32_t* data = bias.Data<std::int32_t>();
+  for (std::int64_t i = 0; i < bias.NumElements(); ++i) {
+    data[i] = static_cast<std::int32_t>(rng.UniformInt(-2048, 2048));
+  }
+  return TypedConstant(std::move(bias));
+}
+
+relay::ExprPtr ZeroBiasF32(std::int64_t channels) {
+  return TypedConstant(NDArray::Zeros(Shape({channels}), DType::kFloat32));
+}
+
+relay::ExprPtr FilledConstant(Shape shape, std::uint64_t seed, float fill, float stddev,
+                              float min_value) {
+  NDArray data = NDArray::Empty(std::move(shape), DType::kFloat32);
+  support::SplitMix64 rng(seed);
+  float* p = data.Data<float>();
+  for (std::int64_t i = 0; i < data.NumElements(); ++i) {
+    const float value = fill + static_cast<float>(rng.Normal()) * stddev;
+    p[i] = value < min_value ? min_value : value;
+  }
+  return TypedConstant(std::move(data));
+}
+
+std::vector<relay::ExprPtr> BatchNormConstants(std::int64_t channels, std::uint64_t seed) {
+  return {
+      FilledConstant(Shape({channels}), seed + 0, 1.0f, 0.1f, 0.05f),   // gamma
+      FilledConstant(Shape({channels}), seed + 1, 0.0f, 0.1f, -10.0f),  // beta
+      FilledConstant(Shape({channels}), seed + 2, 0.0f, 0.1f, -10.0f),  // running mean
+      FilledConstant(Shape({channels}), seed + 3, 1.0f, 0.1f, 0.05f),   // running var
+  };
+}
+
+const Shape& ShapeOf(const relay::ExprPtr& expr) {
+  return expr->tensor_type().shape;
+}
+
+std::int64_t ChannelsOf(const relay::ExprPtr& expr) {
+  const Shape& shape = ShapeOf(expr);
+  TNP_CHECK_GE(shape.rank(), 2);
+  return shape[1];
+}
+
+relay::Module FinishModule(std::vector<relay::VarPtr> params, relay::ExprPtr body) {
+  relay::Module module(relay::MakeFunction(std::move(params), std::move(body)));
+  return relay::InferType().Run(module);
+}
+
+}  // namespace frontend
+}  // namespace tnp

@@ -1,0 +1,65 @@
+// Shared helpers for the framework frontends.
+//
+// Every frontend parses a textual model format into Relay, assigning checked
+// types incrementally (bottom-up) so layer parsers can read the running
+// shape — e.g. a Keras Dense layer needs the flattened feature count, and a
+// Conv2D layer needs the incoming channel count to size its weights.
+//
+// Weights in model files are *seeded*, not inline: `seed=123` describes a
+// deterministic N(0, stddev) or uniform-int8 tensor. This keeps model files
+// small while making every import bit-reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relay/expr.h"
+#include "relay/module.h"
+#include "relay/op.h"
+
+namespace tnp {
+namespace frontend {
+
+/// Build an op call and immediately infer + cache its checked type from the
+/// (already typed) arguments. Throws kTypeError / kParseError on bad graphs.
+relay::ExprPtr TypedCall(const std::string& op_name, std::vector<relay::ExprPtr> args,
+                         relay::Attrs attrs = relay::Attrs());
+
+/// Typed tuple (for concatenate).
+relay::ExprPtr TypedTuple(std::vector<relay::ExprPtr> fields);
+
+/// Typed input variable.
+relay::VarPtr TypedVar(const std::string& name, Shape shape, DType dtype);
+
+/// Seeded float32 weight constant, N(0, stddev).
+relay::ExprPtr WeightF32(Shape shape, std::uint64_t seed, float stddev = 0.05f);
+
+/// Seeded int8 weight constant (uniform in [-127, 127]).
+relay::ExprPtr WeightS8(Shape shape, std::uint64_t seed);
+
+/// Seeded int32 bias constant (uniform in [-2048, 2048], typical of
+/// quantized conv biases).
+relay::ExprPtr BiasS32(Shape shape, std::uint64_t seed);
+
+/// Zero bias of the given length.
+relay::ExprPtr ZeroBiasF32(std::int64_t channels);
+
+/// Seeded constant `fill + N(0, stddev)`, clamped to >= min_value.
+/// Covers batch-norm parameters (gamma around 1, variance kept positive).
+relay::ExprPtr FilledConstant(Shape shape, std::uint64_t seed, float fill, float stddev,
+                              float min_value);
+
+/// {gamma, beta, mean, var} constants for a batch-norm over `channels`.
+std::vector<relay::ExprPtr> BatchNormConstants(std::int64_t channels, std::uint64_t seed);
+
+/// Shape of an already-typed expression.
+const Shape& ShapeOf(const relay::ExprPtr& expr);
+
+/// Channel count (axis 1) of an already-typed NCHW expression.
+std::int64_t ChannelsOf(const relay::ExprPtr& expr);
+
+/// Wrap a typed body into a single-function module and re-infer types.
+relay::Module FinishModule(std::vector<relay::VarPtr> params, relay::ExprPtr body);
+
+}  // namespace frontend
+}  // namespace tnp

@@ -1,0 +1,212 @@
+// Darknet-like frontend: the cfg-section format of the YOLO family
+// ("relay.frontend.from_darknet" in the paper's Listing 3).
+//
+// Format:
+//   DARKNET_CFG v1
+//   [net]
+//   width=416
+//   height=416
+//   channels=3
+//
+//   [convolutional]
+//   batch_normalize=1
+//   filters=16
+//   size=3
+//   stride=1
+//   pad=1
+//   activation=leaky
+//   seed=31
+//
+//   [maxpool] / [upsample] / [route] / [shortcut] / [avgpool] /
+//   [connected] / [softmax] / [yolo]
+//
+// Layers are indexed in order (the [net] section is not a layer); [route]
+// and [shortcut] reference earlier layers by relative (negative) or
+// absolute index, exactly like Darknet. Every [yolo] section marks its
+// input as a model output head.
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDouble;
+using support::ParseInt;
+
+struct Section {
+  std::string type;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+ExprPtr DarknetActivation(ExprPtr x, const std::string& activation,
+                          const std::string& location) {
+  if (activation == "linear" || activation.empty()) return x;
+  if (activation == "leaky") {
+    return TypedCall("nn.leaky_relu", {std::move(x)}, Attrs().SetDouble("alpha", 0.1));
+  }
+  if (activation == "relu") return TypedCall("nn.relu", {std::move(x)});
+  if (activation == "logistic") return TypedCall("sigmoid", {std::move(x)});
+  TNP_THROW(kParseError) << location << ": unknown darknet activation '" << activation << "'";
+}
+
+}  // namespace
+
+relay::Module FromDarknet(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("DARKNET_CFG v1");
+
+  // Gather sections.
+  std::vector<Section> sections;
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (line->front() == '[') {
+      if (line->back() != ']') {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": malformed section header";
+      }
+      Section section;
+      section.type = line->substr(1, line->size() - 2);
+      section.location = tokenizer.Location();
+      sections.push_back(std::move(section));
+      continue;
+    }
+    if (sections.empty()) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": key/value outside a section";
+    }
+    const auto [key, value] = support::ParseKeyValue(*line, tokenizer.Location());
+    sections.back().kv[key] = value;
+  }
+  if (sections.empty() || sections.front().type != "net") {
+    TNP_THROW(kParseError) << source_name << ": cfg must start with a [net] section";
+  }
+
+  const Section& net = sections.front();
+  const std::int64_t width = net.Int("width", 416);
+  const std::int64_t height = net.Int("height", 416);
+  const std::int64_t channels = net.Int("channels", 3);
+  auto input = TypedVar("data", Shape({1, channels, height, width}), DType::kFloat32);
+
+  std::vector<ExprPtr> layers;  // output of each indexed layer
+  std::vector<ExprPtr> heads;   // [yolo] outputs
+  ExprPtr current = input;
+
+  const auto layer_at = [&](std::int64_t index, const std::string& location) -> ExprPtr {
+    const std::int64_t absolute =
+        index < 0 ? static_cast<std::int64_t>(layers.size()) + index : index;
+    if (absolute < 0 || absolute >= static_cast<std::int64_t>(layers.size())) {
+      TNP_THROW(kParseError) << location << ": layer reference " << index << " out of range";
+    }
+    return layers[static_cast<std::size_t>(absolute)];
+  };
+
+  for (std::size_t i = 1; i < sections.size(); ++i) {
+    const Section& section = sections[i];
+
+    if (section.type == "convolutional") {
+      const std::int64_t filters = section.Int("filters", 1);
+      const std::int64_t size = section.Int("size", 3);
+      const std::int64_t stride = section.Int("stride", 1);
+      const std::int64_t pad = section.Int("pad", 0) != 0 ? size / 2 : 0;
+      const auto seed = static_cast<std::uint64_t>(section.Int("seed", 0));
+      const bool batch_normalize = section.Int("batch_normalize", 0) != 0;
+
+      ExprPtr weight = WeightF32(Shape({filters, ChannelsOf(current), size, size}), seed);
+      ExprPtr bias = batch_normalize ? ZeroBiasF32(filters)
+                                     : WeightF32(Shape({filters}), seed + 1, 0.01f);
+      current = TypedCall("nn.conv2d", {current, std::move(weight), std::move(bias)},
+                          Attrs()
+                              .SetInts("strides", {stride, stride})
+                              .SetInts("padding", {pad, pad}));
+      if (batch_normalize) {
+        auto bn = BatchNormConstants(filters, seed + 2);
+        current = TypedCall("nn.batch_norm", {current, bn[0], bn[1], bn[2], bn[3]},
+                            Attrs().SetDouble("epsilon", 1e-5));
+      }
+      current = DarknetActivation(current, section.Str("activation", "linear"),
+                                  section.location);
+    } else if (section.type == "maxpool") {
+      const std::int64_t size = section.Int("size", 2);
+      const std::int64_t stride = section.Int("stride", size);
+      // Darknet pads odd-sized/unit-stride maxpools to preserve extent.
+      const std::int64_t pad = stride == 1 ? size / 2 : 0;
+      current = TypedCall("nn.max_pool2d", {current},
+                          Attrs()
+                              .SetInts("pool_size", {size, size})
+                              .SetInts("strides", {stride, stride})
+                              .SetInts("padding", {pad, pad}));
+    } else if (section.type == "avgpool") {
+      current = TypedCall("nn.global_avg_pool2d", {current});
+      current = TypedCall("nn.batch_flatten", {current});
+    } else if (section.type == "upsample") {
+      const std::int64_t stride = section.Int("stride", 2);
+      current = TypedCall("nn.upsampling", {current},
+                          Attrs().SetInt("scale_h", stride).SetInt("scale_w", stride));
+    } else if (section.type == "route") {
+      const auto refs = support::Split(section.Str("layers", ""), ',');
+      if (refs.empty()) {
+        TNP_THROW(kParseError) << section.location << ": route requires layers=";
+      }
+      std::vector<ExprPtr> pieces;
+      for (const auto& ref : refs) {
+        pieces.push_back(layer_at(ParseInt(ref, section.location), section.location));
+      }
+      current = pieces.size() == 1
+                    ? pieces.front()
+                    : TypedCall("concatenate", {TypedTuple(std::move(pieces))},
+                                Attrs().SetInt("axis", 1));
+    } else if (section.type == "shortcut") {
+      const ExprPtr from = layer_at(section.Int("from", -2), section.location);
+      current = TypedCall("add", {current, from});
+      current = DarknetActivation(current, section.Str("activation", "linear"),
+                                  section.location);
+    } else if (section.type == "connected") {
+      if (ShapeOf(current).rank() != 2) {
+        current = TypedCall("nn.batch_flatten", {current});
+      }
+      const std::int64_t output = section.Int("output", 1);
+      const auto seed = static_cast<std::uint64_t>(section.Int("seed", 0));
+      ExprPtr weight = WeightF32(Shape({output, ShapeOf(current)[1]}), seed);
+      ExprPtr bias = WeightF32(Shape({output}), seed + 1, 0.01f);
+      current = TypedCall("nn.dense", {current, std::move(weight), std::move(bias)});
+      current = DarknetActivation(current, section.Str("activation", "linear"),
+                                  section.location);
+    } else if (section.type == "softmax") {
+      current = TypedCall("nn.softmax", {current}, Attrs().SetInt("axis", -1));
+    } else if (section.type == "yolo") {
+      heads.push_back(current);
+    } else {
+      TNP_THROW(kParseError) << section.location << ": unknown section [" << section.type
+                             << "]";
+    }
+    layers.push_back(current);
+  }
+
+  ExprPtr body;
+  if (heads.empty()) {
+    body = current;
+  } else if (heads.size() == 1) {
+    body = heads.front();
+  } else {
+    body = TypedTuple(std::move(heads));
+  }
+  return FinishModule({input}, std::move(body));
+}
+
+}  // namespace frontend
+}  // namespace tnp

@@ -1,0 +1,40 @@
+// Framework frontends — "TVM's front-end accepts a variety of machine
+// learning frameworks" (paper Section 2.2). Five textual model formats with
+// genuinely different structure are supported, mirroring the import paths
+// the paper's application showcase uses:
+//
+//   * Keras-like     — sequential layer list (the emotion-detection model)
+//   * TorchScript-like — traced aten:: graph (the DeePixBiS anti-spoofing model)
+//   * TFLite-like    — flat tensor/op tables with per-tensor quantization
+//                      (the quantized Mobilenet-SSD object detector)
+//   * Darknet-like   — cfg sections (YOLOv3)
+//   * ONNX-like      — named node list (the wider model zoo)
+//
+// All frontends lower to the same Relay module form. Weights are seeded
+// rather than inline (see common.h).
+#pragma once
+
+#include <string>
+
+#include "relay/module.h"
+
+namespace tnp {
+namespace frontend {
+
+/// `source_name` is used in parse-error messages.
+relay::Module FromKeras(const std::string& source, const std::string& source_name = "<keras>");
+relay::Module FromTorchScript(const std::string& source,
+                              const std::string& source_name = "<torchscript>");
+relay::Module FromTflite(const std::string& source, const std::string& source_name = "<tflite>");
+relay::Module FromDarknet(const std::string& source,
+                          const std::string& source_name = "<darknet>");
+relay::Module FromOnnx(const std::string& source, const std::string& source_name = "<onnx>");
+relay::Module FromMxnet(const std::string& source, const std::string& source_name = "<mxnet>");
+
+/// Dispatch on framework name ("keras", "pytorch", "tflite", "darknet",
+/// "onnx", "mxnet"); throws kInvalidArgument for unknown frameworks.
+relay::Module Import(const std::string& framework, const std::string& source,
+                     const std::string& source_name = "<model>");
+
+}  // namespace frontend
+}  // namespace tnp

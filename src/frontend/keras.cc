@@ -1,0 +1,248 @@
+// Keras-like frontend: a Sequential model as a layer list.
+//
+// Format:
+//   KERAS_MODEL v1
+//   name: emotion_cnn
+//   input: shape=1x1x48x48 dtype=float32
+//   layer Conv2D filters=32 kernel=3x3 strides=1x1 padding=valid activation=relu seed=101
+//   layer MaxPooling2D pool=2x2 strides=2x2
+//   layer Dropout rate=0.25
+//   layer Flatten
+//   layer Dense units=1024 activation=relu seed=102
+//   layer Dense units=7 activation=softmax seed=103
+//
+// Activations fold into the layer line like Keras' `activation=` argument.
+// `padding=same` pads symmetrically by (kernel-1)/2 (odd kernels).
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDims;
+using support::ParseDouble;
+using support::ParseInt;
+
+struct LayerSpec {
+  std::string type;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  bool Has(const std::string& key) const { return kv.count(key) != 0; }
+  std::string Str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+  std::int64_t RequireInt(const std::string& key) const {
+    if (!Has(key)) {
+      TNP_THROW(kParseError) << location << ": layer " << type << " requires " << key << "=";
+    }
+    return ParseInt(kv.at(key), location);
+  }
+  double Dbl(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDouble(it->second, location);
+  }
+  std::vector<std::int64_t> Dims(const std::string& key,
+                                 std::vector<std::int64_t> fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDims(it->second, location);
+  }
+  std::uint64_t Seed() const {
+    return static_cast<std::uint64_t>(Int("seed", 0));
+  }
+};
+
+ExprPtr ApplyActivation(ExprPtr x, const std::string& activation, const std::string& location) {
+  if (activation.empty() || activation == "none" || activation == "linear") return x;
+  if (activation == "relu") return TypedCall("nn.relu", {std::move(x)});
+  if (activation == "relu6") {
+    return TypedCall("clip", {std::move(x)},
+                     Attrs().SetDouble("a_min", 0.0).SetDouble("a_max", 6.0));
+  }
+  if (activation == "sigmoid") return TypedCall("sigmoid", {std::move(x)});
+  if (activation == "tanh") return TypedCall("tanh", {std::move(x)});
+  if (activation == "softmax") {
+    return TypedCall("nn.softmax", {std::move(x)}, Attrs().SetInt("axis", -1));
+  }
+  TNP_THROW(kParseError) << location << ": unknown activation '" << activation << "'";
+}
+
+std::vector<std::int64_t> SamePadding(const std::vector<std::int64_t>& kernel,
+                                      const std::string& location) {
+  if (kernel.size() != 2 || kernel[0] % 2 == 0 || kernel[1] % 2 == 0) {
+    TNP_THROW(kParseError) << location << ": padding=same requires odd 2-D kernels";
+  }
+  return {(kernel[0] - 1) / 2, (kernel[1] - 1) / 2};
+}
+
+ExprPtr BuildConv(const LayerSpec& layer, ExprPtr x, bool depthwise) {
+  const auto kernel = layer.Dims("kernel", {3, 3});
+  const auto strides = layer.Dims("strides", {1, 1});
+  const std::string padding_mode = layer.Str("padding", "valid");
+  const std::vector<std::int64_t> padding =
+      padding_mode == "same" ? SamePadding(kernel, layer.location)
+                             : std::vector<std::int64_t>{0, 0};
+
+  const std::int64_t in_channels = ChannelsOf(x);
+  std::int64_t filters;
+  std::int64_t groups;
+  Shape weight_shape;
+  if (depthwise) {
+    const std::int64_t multiplier = layer.Int("depth_multiplier", 1);
+    filters = in_channels * multiplier;
+    groups = in_channels;
+    weight_shape = Shape({filters, 1, kernel[0], kernel[1]});
+  } else {
+    filters = layer.RequireInt("filters");
+    groups = 1;
+    weight_shape = Shape({filters, in_channels, kernel[0], kernel[1]});
+  }
+
+  const std::uint64_t seed = layer.Seed();
+  ExprPtr weight = WeightF32(weight_shape, seed);
+  ExprPtr bias = layer.Int("use_bias", 1) != 0 ? WeightF32(Shape({filters}), seed + 1, 0.01f)
+                                               : ZeroBiasF32(filters);
+  ExprPtr conv = TypedCall("nn.conv2d", {std::move(x), std::move(weight), std::move(bias)},
+                           Attrs()
+                               .SetInts("strides", strides)
+                               .SetInts("padding", padding)
+                               .SetInt("groups", groups));
+  return ApplyActivation(std::move(conv), layer.Str("activation"), layer.location);
+}
+
+ExprPtr BuildPool(const LayerSpec& layer, ExprPtr x, const char* op) {
+  const auto pool = layer.Dims("pool", {2, 2});
+  const auto strides = layer.Dims("strides", pool);
+  return TypedCall(op, {std::move(x)},
+                   Attrs().SetInts("pool_size", pool).SetInts("strides", strides).SetInts(
+                       "padding", {0, 0}));
+}
+
+}  // namespace
+
+relay::Module FromKeras(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("KERAS_MODEL v1");
+
+  relay::VarPtr input;
+  ExprPtr x;
+
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (support::StartsWith(*line, "name:")) continue;
+
+    if (support::StartsWith(*line, "input:")) {
+      Shape shape;
+      DType dtype = DType::kFloat32;
+      for (const auto& token : support::SplitWhitespace(line->substr(6))) {
+        const auto [key, value] = support::ParseKeyValue(token, tokenizer.Location());
+        if (key == "shape") {
+          shape = Shape(ParseDims(value, tokenizer.Location()));
+        } else if (key == "dtype") {
+          dtype = DTypeFromName(value);
+        }
+      }
+      if (shape.rank() == 0) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": input requires shape=";
+      }
+      input = TypedVar("input", shape, dtype);
+      x = input;
+      continue;
+    }
+
+    if (!support::StartsWith(*line, "layer ")) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": expected 'layer ...', got '"
+                             << *line << "'";
+    }
+    if (x == nullptr) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": layer before input declaration";
+    }
+
+    const auto tokens = support::SplitWhitespace(line->substr(6));
+    if (tokens.empty()) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": empty layer line";
+    }
+    LayerSpec layer;
+    layer.type = tokens[0];
+    layer.location = tokenizer.Location();
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto [key, value] = support::ParseKeyValue(tokens[i], layer.location);
+      layer.kv[key] = value;
+    }
+
+    if (layer.type == "Conv2D") {
+      x = BuildConv(layer, std::move(x), /*depthwise=*/false);
+    } else if (layer.type == "DepthwiseConv2D") {
+      x = BuildConv(layer, std::move(x), /*depthwise=*/true);
+    } else if (layer.type == "MaxPooling2D") {
+      x = BuildPool(layer, std::move(x), "nn.max_pool2d");
+    } else if (layer.type == "AveragePooling2D") {
+      x = BuildPool(layer, std::move(x), "nn.avg_pool2d");
+    } else if (layer.type == "GlobalAveragePooling2D") {
+      x = TypedCall("nn.global_avg_pool2d", {std::move(x)});
+      x = TypedCall("nn.batch_flatten", {std::move(x)});
+    } else if (layer.type == "Dense") {
+      if (ShapeOf(x).rank() != 2) {
+        TNP_THROW(kParseError) << layer.location << ": Dense requires flattened input "
+                               << "(insert a Flatten layer)";
+      }
+      const std::int64_t units = layer.RequireInt("units");
+      const std::int64_t in_features = ShapeOf(x)[1];
+      const std::uint64_t seed = layer.Seed();
+      ExprPtr weight = WeightF32(Shape({units, in_features}), seed);
+      ExprPtr bias = WeightF32(Shape({units}), seed + 1, 0.01f);
+      x = TypedCall("nn.dense", {std::move(x), std::move(weight), std::move(bias)});
+      x = ApplyActivation(std::move(x), layer.Str("activation"), layer.location);
+    } else if (layer.type == "Dropout") {
+      x = TypedCall("nn.dropout", {std::move(x)},
+                    Attrs().SetDouble("rate", layer.Dbl("rate", 0.5)));
+    } else if (layer.type == "Flatten") {
+      x = TypedCall("nn.batch_flatten", {std::move(x)});
+    } else if (layer.type == "BatchNormalization") {
+      auto bn = BatchNormConstants(ChannelsOf(x), layer.Seed());
+      x = TypedCall("nn.batch_norm", {std::move(x), bn[0], bn[1], bn[2], bn[3]},
+                    Attrs().SetDouble("epsilon", layer.Dbl("epsilon", 1e-3)));
+    } else if (layer.type == "Activation") {
+      x = ApplyActivation(std::move(x), layer.Str("activation", "relu"), layer.location);
+    } else if (layer.type == "ZeroPadding2D") {
+      const auto pad = layer.Dims("pad", {1, 1});
+      x = TypedCall("nn.pad", {std::move(x)},
+                    Attrs()
+                        .SetInts("pad_before", {0, 0, pad[0], pad[1]})
+                        .SetInts("pad_after", {0, 0, pad[0], pad[1]}));
+    } else if (layer.type == "ReLU") {
+      if (layer.Has("max_value")) {
+        x = TypedCall("clip", {std::move(x)},
+                      Attrs()
+                          .SetDouble("a_min", 0.0)
+                          .SetDouble("a_max", layer.Dbl("max_value", 6.0)));
+      } else {
+        x = TypedCall("nn.relu", {std::move(x)});
+      }
+    } else {
+      TNP_THROW(kParseError) << layer.location << ": unknown Keras layer '" << layer.type
+                             << "'";
+    }
+  }
+
+  if (input == nullptr || x == nullptr) {
+    TNP_THROW(kParseError) << source_name << ": model has no input declaration";
+  }
+  return FinishModule({input}, x);
+}
+
+}  // namespace frontend
+}  // namespace tnp

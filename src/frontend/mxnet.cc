@@ -1,0 +1,220 @@
+// MXNet-like frontend: a symbol-graph node list in the style of MXNet's
+// exported symbol.json (flattened to one line per node). The paper's
+// abstract names MXNet among the frameworks the combined flow accepts.
+//
+// Format:
+//   MXNET_SYMBOL v1
+//   name: resnet18
+//   var data shape=1x3x224x224
+//   sym conv0 op=Convolution in=data num_filter=64 kernel=7x7 stride=2x2 pad=3x3 seed=1
+//   sym bn0 op=BatchNorm in=conv0 eps=1e-5 seed=2
+//   sym act0 op=Activation in=bn0 act_type=relu
+//   sym pool0 op=Pooling in=act0 pool_type=max kernel=3x3 stride=2x2 pad=1x1
+//   sym plus0 op=elemwise_add in=a,b
+//   sym fc op=FullyConnected in=flat num_hidden=1000 seed=9
+//   sym out op=SoftmaxOutput in=fc
+//   output out
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDims;
+using support::ParseDouble;
+using support::ParseInt;
+
+struct SymLine {
+  std::string name;
+  std::string op;
+  std::vector<std::string> in;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  std::vector<std::int64_t> Dims2(const std::string& key,
+                                  std::vector<std::int64_t> fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDims(it->second, location);
+  }
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+  std::int64_t RequireInt(const std::string& key) const {
+    if (kv.count(key) == 0) {
+      TNP_THROW(kParseError) << location << ": " << op << " requires " << key << "=";
+    }
+    return ParseInt(kv.at(key), location);
+  }
+  double Dbl(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDouble(it->second, location);
+  }
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  std::uint64_t Seed() const { return static_cast<std::uint64_t>(Int("seed", 0)); }
+};
+
+}  // namespace
+
+relay::Module FromMxnet(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("MXNET_SYMBOL v1");
+
+  std::vector<relay::VarPtr> params;
+  std::map<std::string, ExprPtr> env;
+  std::vector<std::string> output_names;
+
+  const auto lookup = [&](const std::string& name, const std::string& location) -> ExprPtr {
+    const auto it = env.find(name);
+    if (it == env.end()) {
+      TNP_THROW(kParseError) << location << ": undefined symbol '" << name << "'";
+    }
+    return it->second;
+  };
+
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (support::StartsWith(*line, "name:")) continue;
+    const auto tokens = support::SplitWhitespace(*line);
+    const std::string& head = tokens.at(0);
+
+    if (head == "var") {
+      Shape shape;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = support::ParseKeyValue(tokens[i], tokenizer.Location());
+        if (key == "shape") shape = Shape(ParseDims(value, tokenizer.Location()));
+      }
+      auto var = TypedVar(tokens.at(1), shape, DType::kFloat32);
+      params.push_back(var);
+      env[tokens[1]] = var;
+      continue;
+    }
+    if (head == "output") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        for (const auto& name : support::Split(tokens[i], ',')) {
+          if (!name.empty()) output_names.push_back(name);
+        }
+      }
+      continue;
+    }
+    if (head != "sym") {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": unexpected line '" << *line << "'";
+    }
+
+    SymLine sym;
+    sym.name = tokens.at(1);
+    sym.location = tokenizer.Location();
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = support::ParseKeyValue(tokens[i], sym.location);
+      if (key == "op") sym.op = value;
+      else if (key == "in") sym.in = support::Split(value, ',');
+      else sym.kv[key] = value;
+    }
+    const auto in = [&](std::size_t i) -> ExprPtr {
+      if (i >= sym.in.size()) {
+        TNP_THROW(kParseError) << sym.location << ": " << sym.op << " requires " << (i + 1)
+                               << " inputs";
+      }
+      return lookup(sym.in[i], sym.location);
+    };
+
+    ExprPtr expr;
+    if (sym.op == "Convolution") {
+      const std::int64_t num_filter = sym.RequireInt("num_filter");
+      const auto kernel = sym.Dims2("kernel", {3, 3});
+      const std::int64_t groups = sym.Int("num_group", 1);
+      const std::int64_t in_channels = ChannelsOf(in(0));
+      const std::uint64_t seed = sym.Seed();
+      ExprPtr weight =
+          WeightF32(Shape({num_filter, in_channels / groups, kernel[0], kernel[1]}), seed);
+      ExprPtr bias = sym.Int("no_bias", 0) != 0
+                         ? ZeroBiasF32(num_filter)
+                         : WeightF32(Shape({num_filter}), seed + 1, 0.01f);
+      expr = TypedCall("nn.conv2d", {in(0), std::move(weight), std::move(bias)},
+                       Attrs()
+                           .SetInts("strides", sym.Dims2("stride", {1, 1}))
+                           .SetInts("padding", sym.Dims2("pad", {0, 0}))
+                           .SetInts("dilation", sym.Dims2("dilate", {1, 1}))
+                           .SetInt("groups", groups));
+    } else if (sym.op == "BatchNorm") {
+      auto bn = BatchNormConstants(ChannelsOf(in(0)), sym.Seed());
+      expr = TypedCall("nn.batch_norm", {in(0), bn[0], bn[1], bn[2], bn[3]},
+                       Attrs().SetDouble("epsilon", sym.Dbl("eps", 1e-5)));
+    } else if (sym.op == "Activation") {
+      const std::string act = sym.Str("act_type", "relu");
+      if (act == "relu") expr = TypedCall("nn.relu", {in(0)});
+      else if (act == "sigmoid") expr = TypedCall("sigmoid", {in(0)});
+      else if (act == "tanh") expr = TypedCall("tanh", {in(0)});
+      else {
+        TNP_THROW(kParseError) << sym.location << ": unknown act_type '" << act << "'";
+      }
+    } else if (sym.op == "LeakyReLU") {
+      expr = TypedCall("nn.leaky_relu", {in(0)},
+                       Attrs().SetDouble("alpha", sym.Dbl("slope", 0.25)));
+    } else if (sym.op == "Pooling") {
+      const std::string pool_type = sym.Str("pool_type", "max");
+      if (sym.Int("global_pool", 0) != 0) {
+        expr = TypedCall("nn.global_avg_pool2d", {in(0)});
+      } else {
+        const auto kernel = sym.Dims2("kernel", {2, 2});
+        expr = TypedCall(pool_type == "max" ? "nn.max_pool2d" : "nn.avg_pool2d", {in(0)},
+                         Attrs()
+                             .SetInts("pool_size", kernel)
+                             .SetInts("strides", sym.Dims2("stride", kernel))
+                             .SetInts("padding", sym.Dims2("pad", {0, 0})));
+      }
+    } else if (sym.op == "FullyConnected") {
+      ExprPtr data = in(0);
+      if (ShapeOf(data).rank() != 2) data = TypedCall("nn.batch_flatten", {data});
+      const std::int64_t num_hidden = sym.RequireInt("num_hidden");
+      const std::uint64_t seed = sym.Seed();
+      ExprPtr weight = WeightF32(Shape({num_hidden, ShapeOf(data)[1]}), seed);
+      ExprPtr bias = WeightF32(Shape({num_hidden}), seed + 1, 0.01f);
+      expr = TypedCall("nn.dense", {data, std::move(weight), std::move(bias)});
+    } else if (sym.op == "Flatten") {
+      expr = TypedCall("nn.batch_flatten", {in(0)});
+    } else if (sym.op == "elemwise_add" || sym.op == "broadcast_add") {
+      expr = TypedCall("add", {in(0), in(1)});
+    } else if (sym.op == "elemwise_mul" || sym.op == "broadcast_mul") {
+      expr = TypedCall("multiply", {in(0), in(1)});
+    } else if (sym.op == "Concat") {
+      std::vector<ExprPtr> fields;
+      for (const auto& name : sym.in) fields.push_back(lookup(name, sym.location));
+      expr = TypedCall("concatenate", {TypedTuple(std::move(fields))},
+                       Attrs().SetInt("axis", sym.Int("dim", 1)));
+    } else if (sym.op == "SoftmaxOutput" || sym.op == "softmax") {
+      expr = TypedCall("nn.softmax", {in(0)}, Attrs().SetInt("axis", -1));
+    } else if (sym.op == "Dropout") {
+      expr = TypedCall("nn.dropout", {in(0)}, Attrs().SetDouble("rate", sym.Dbl("p", 0.5)));
+    } else {
+      TNP_THROW(kParseError) << sym.location << ": unsupported MXNet op '" << sym.op << "'";
+    }
+    env[sym.name] = std::move(expr);
+  }
+
+  if (params.empty() || output_names.empty()) {
+    TNP_THROW(kParseError) << source_name << ": symbol graph needs a var and an output line";
+  }
+  ExprPtr body;
+  if (output_names.size() == 1) {
+    body = lookup(output_names[0], source_name);
+  } else {
+    std::vector<ExprPtr> fields;
+    for (const auto& name : output_names) fields.push_back(lookup(name, source_name));
+    body = TypedTuple(std::move(fields));
+  }
+  return FinishModule(std::move(params), std::move(body));
+}
+
+}  // namespace frontend
+}  // namespace tnp

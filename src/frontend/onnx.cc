@@ -1,0 +1,291 @@
+// ONNX-like frontend: named initializers plus a node list — the exchange
+// format the wider model zoo (densenet, the inception family, nasnet)
+// arrives through.
+//
+// Format:
+//   ONNX_MODEL v1
+//   name: inception_v3
+//   input x shape=1x3x299x299 dtype=float32
+//   init W1 shape=32x3x3x3 seed=41
+//   init G1 shape=32 fill=1.0 stddev=0.1 min=0.05
+//   node Conv in=x,W1 out=c1 strides=2,2 pads=0,0 group=1
+//   node Relu in=c1 out=r1
+//   node Concat in=a,b,c out=cat1 axis=1
+//   output sm1
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDims;
+using support::ParseDouble;
+using support::ParseInt;
+
+struct NodeLine {
+  std::string type;
+  std::vector<std::string> in;
+  std::string out;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  std::vector<std::int64_t> Ints(const std::string& key,
+                                 std::vector<std::int64_t> fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDims(it->second, location);
+  }
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+  double Dbl(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDouble(it->second, location);
+  }
+};
+
+}  // namespace
+
+relay::Module FromOnnx(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("ONNX_MODEL v1");
+
+  std::vector<relay::VarPtr> params;
+  std::map<std::string, ExprPtr> env;
+  std::vector<std::string> output_names;
+
+  const auto lookup = [&](const std::string& name, const std::string& location) -> ExprPtr {
+    const auto it = env.find(name);
+    if (it == env.end()) {
+      TNP_THROW(kParseError) << location << ": undefined value '" << name << "'";
+    }
+    return it->second;
+  };
+
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (support::StartsWith(*line, "name:")) continue;
+
+    const auto tokens = support::SplitWhitespace(*line);
+    const std::string& head = tokens.at(0);
+
+    if (head == "input") {
+      if (tokens.size() < 3) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": malformed input line";
+      }
+      Shape shape;
+      DType dtype = DType::kFloat32;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = support::ParseKeyValue(tokens[i], tokenizer.Location());
+        if (key == "shape") shape = Shape(ParseDims(value, tokenizer.Location()));
+        if (key == "dtype") dtype = DTypeFromName(value);
+      }
+      auto var = TypedVar(tokens[1], shape, dtype);
+      params.push_back(var);
+      env[tokens[1]] = var;
+      continue;
+    }
+
+    if (head == "init") {
+      if (tokens.size() < 3) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": malformed init line";
+      }
+      Shape shape;
+      std::uint64_t seed = 0;
+      double fill = 0.0;
+      double stddev = 0.05;
+      double min_value = -1e30;
+      bool filled = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = support::ParseKeyValue(tokens[i], tokenizer.Location());
+        if (key == "shape") shape = Shape(ParseDims(value, tokenizer.Location()));
+        else if (key == "seed") seed = static_cast<std::uint64_t>(ParseInt(value, tokenizer.Location()));
+        else if (key == "fill") { fill = ParseDouble(value, tokenizer.Location()); filled = true; }
+        else if (key == "stddev") stddev = ParseDouble(value, tokenizer.Location());
+        else if (key == "min") { min_value = ParseDouble(value, tokenizer.Location()); filled = true; }
+        else if (key == "dtype") { /* float32 only */ }
+        else {
+          TNP_THROW(kParseError) << tokenizer.Location() << ": unknown init field '" << key
+                                 << "'";
+        }
+      }
+      env[tokens[1]] =
+          filled ? FilledConstant(shape, seed, static_cast<float>(fill),
+                                  static_cast<float>(stddev), static_cast<float>(min_value))
+                 : WeightF32(shape, seed, static_cast<float>(stddev));
+      continue;
+    }
+
+    if (head == "output") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        for (const auto& name : support::Split(tokens[i], ',')) {
+          if (!name.empty()) output_names.push_back(name);
+        }
+      }
+      continue;
+    }
+
+    if (head != "node") {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": unexpected line '" << *line << "'";
+    }
+
+    NodeLine node;
+    node.type = tokens.at(1);
+    node.location = tokenizer.Location();
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const auto [key, value] = support::ParseKeyValue(tokens[i], node.location);
+      if (key == "in") node.in = support::Split(value, ',');
+      else if (key == "out") node.out = value;
+      else node.kv[key] = value;
+    }
+    if (node.out.empty()) {
+      TNP_THROW(kParseError) << node.location << ": node requires out=";
+    }
+    const auto in = [&](std::size_t i) -> ExprPtr {
+      if (i >= node.in.size()) {
+        TNP_THROW(kParseError) << node.location << ": node " << node.type << " requires "
+                               << (i + 1) << " inputs";
+      }
+      return lookup(node.in[i], node.location);
+    };
+
+    ExprPtr expr;
+    if (node.type == "Conv") {
+      ExprPtr bias =
+          node.in.size() > 2 ? in(2) : ZeroBiasF32(ShapeOf(in(1))[0]);
+      expr = TypedCall("nn.conv2d", {in(0), in(1), bias},
+                       Attrs()
+                           .SetInts("strides", node.Ints("strides", {1, 1}))
+                           .SetInts("padding", node.Ints("pads", {0, 0}))
+                           .SetInts("dilation", node.Ints("dilations", {1, 1}))
+                           .SetInt("groups", node.Int("group", 1)));
+    } else if (node.type == "Gemm") {
+      ExprPtr bias = node.in.size() > 2 ? in(2) : ZeroBiasF32(ShapeOf(in(1))[0]);
+      expr = TypedCall("nn.dense", {in(0), in(1), bias});
+    } else if (node.type == "Relu") {
+      expr = TypedCall("nn.relu", {in(0)});
+    } else if (node.type == "LeakyRelu") {
+      expr = TypedCall("nn.leaky_relu", {in(0)},
+                       Attrs().SetDouble("alpha", node.Dbl("alpha", 0.01)));
+    } else if (node.type == "Sigmoid") {
+      expr = TypedCall("sigmoid", {in(0)});
+    } else if (node.type == "Tanh") {
+      expr = TypedCall("tanh", {in(0)});
+    } else if (node.type == "Exp") {
+      expr = TypedCall("exp", {in(0)});
+    } else if (node.type == "Sqrt") {
+      expr = TypedCall("sqrt", {in(0)});
+    } else if (node.type == "Clip") {
+      expr = TypedCall("clip", {in(0)},
+                       Attrs()
+                           .SetDouble("a_min", node.Dbl("min", 0.0))
+                           .SetDouble("a_max", node.Dbl("max", 6.0)));
+    } else if (node.type == "MaxPool" || node.type == "AveragePool") {
+      const auto kernel = node.Ints("kernel", {2, 2});
+      Attrs attrs;
+      attrs.SetInts("pool_size", kernel)
+          .SetInts("strides", node.Ints("strides", kernel))
+          .SetInts("padding", node.Ints("pads", {0, 0}));
+      if (node.type == "AveragePool") {
+        attrs.SetInt("count_include_pad", node.Int("count_include_pad", 0));
+      }
+      expr = TypedCall(node.type == "MaxPool" ? "nn.max_pool2d" : "nn.avg_pool2d", {in(0)},
+                       std::move(attrs));
+    } else if (node.type == "GlobalAveragePool") {
+      expr = TypedCall("nn.global_avg_pool2d", {in(0)});
+    } else if (node.type == "Concat") {
+      std::vector<ExprPtr> fields;
+      for (const auto& name : node.in) fields.push_back(lookup(name, node.location));
+      expr = TypedCall("concatenate", {TypedTuple(std::move(fields))},
+                       Attrs().SetInt("axis", node.Int("axis", 1)));
+    } else if (node.type == "Add" || node.type == "Mul" || node.type == "Sub" ||
+               node.type == "Div") {
+      static const std::map<std::string, std::string> kBinary = {
+          {"Add", "add"}, {"Mul", "multiply"}, {"Sub", "subtract"}, {"Div", "divide"}};
+      expr = TypedCall(kBinary.at(node.type), {in(0), in(1)});
+    } else if (node.type == "Softmax") {
+      expr = TypedCall("nn.softmax", {in(0)}, Attrs().SetInt("axis", node.Int("axis", -1)));
+    } else if (node.type == "Flatten") {
+      expr = TypedCall("nn.batch_flatten", {in(0)});
+    } else if (node.type == "Reshape") {
+      expr = TypedCall("reshape", {in(0)}, Attrs().SetInts("newshape", node.Ints("shape", {})));
+    } else if (node.type == "Transpose") {
+      expr = TypedCall("transpose", {in(0)}, Attrs().SetInts("axes", node.Ints("perm", {})));
+    } else if (node.type == "Pad") {
+      const auto pads = node.Ints("pads", {});
+      const int rank = ShapeOf(in(0)).rank();
+      if (static_cast<int>(pads.size()) != 2 * rank) {
+        TNP_THROW(kParseError) << node.location << ": Pad needs 2*rank pads values";
+      }
+      std::vector<std::int64_t> before(pads.begin(), pads.begin() + rank);
+      std::vector<std::int64_t> after(pads.begin() + rank, pads.end());
+      expr = TypedCall("nn.pad", {in(0)},
+                       Attrs()
+                           .SetInts("pad_before", before)
+                           .SetInts("pad_after", after)
+                           .SetDouble("pad_value", node.Dbl("value", 0.0)));
+    } else if (node.type == "Slice") {
+      expr = TypedCall("strided_slice", {in(0)},
+                       Attrs()
+                           .SetInts("begin", node.Ints("starts", {}))
+                           .SetInts("end", node.Ints("ends", {}))
+                           .SetInts("strides",
+                                    node.Ints("steps", std::vector<std::int64_t>(
+                                                           node.Ints("starts", {}).size(), 1))));
+    } else if (node.type == "BatchNormalization") {
+      expr = TypedCall("nn.batch_norm", {in(0), in(1), in(2), in(3), in(4)},
+                       Attrs().SetDouble("epsilon", node.Dbl("epsilon", 1e-5)));
+    } else if (node.type == "Upsample") {
+      const std::int64_t scale = node.Int("scale", 2);
+      expr = TypedCall("nn.upsampling", {in(0)},
+                       Attrs().SetInt("scale_h", scale).SetInt("scale_w", scale));
+    } else if (node.type == "ReduceMean") {
+      expr = TypedCall("mean", {in(0)},
+                       Attrs()
+                           .SetInts("axis", node.Ints("axes", {2, 3}))
+                           .SetInt("keepdims", node.Int("keepdims", 0)));
+    } else if (node.type == "Dropout") {
+      expr = TypedCall("nn.dropout", {in(0)},
+                       Attrs().SetDouble("rate", node.Dbl("ratio", 0.5)));
+    } else {
+      TNP_THROW(kParseError) << node.location << ": unsupported ONNX op '" << node.type << "'";
+    }
+    env[node.out] = std::move(expr);
+  }
+
+  if (params.empty() || output_names.empty()) {
+    TNP_THROW(kParseError) << source_name << ": model needs inputs and an output line";
+  }
+  ExprPtr body;
+  if (output_names.size() == 1) {
+    body = lookup(output_names[0], source_name);
+  } else {
+    std::vector<ExprPtr> fields;
+    for (const auto& name : output_names) fields.push_back(lookup(name, source_name));
+    body = TypedTuple(std::move(fields));
+  }
+  return FinishModule(std::move(params), std::move(body));
+}
+
+relay::Module Import(const std::string& framework, const std::string& source,
+                     const std::string& source_name) {
+  if (framework == "keras") return FromKeras(source, source_name);
+  if (framework == "pytorch" || framework == "torchscript") {
+    return FromTorchScript(source, source_name);
+  }
+  if (framework == "tflite") return FromTflite(source, source_name);
+  if (framework == "darknet") return FromDarknet(source, source_name);
+  if (framework == "onnx") return FromOnnx(source, source_name);
+  if (framework == "mxnet") return FromMxnet(source, source_name);
+  TNP_THROW(kInvalidArgument) << "unknown framework '" << framework << "'";
+}
+
+}  // namespace frontend
+}  // namespace tnp

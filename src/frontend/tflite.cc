@@ -1,0 +1,348 @@
+// TFLite-like frontend: flat tensor/operator tables with *per-tensor*
+// quantization parameters — the representation pre-quantized models arrive
+// in. Importing it into Relay QNN moves those parameters into operator
+// attributes (operator-oriented), which is precisely the representation the
+// paper's Section 3.3 later converts back onto Neuron tensors.
+//
+// Format:
+//   TFLITE_MODEL v1
+//   name: mobilenet_v1_quant
+//   tensor 0 name=input shape=1x3x224x224 dtype=int8 scale=0.0078 zero_point=0 kind=input
+//   tensor 1 name=w1 shape=32x3x3x3 dtype=int8 scale=0.02 zero_point=0 kind=const seed=11
+//   tensor 2 name=b1 shape=32 dtype=int32 kind=const seed=12
+//   tensor 3 name=a1 shape=1x32x112x112 dtype=int8 scale=0.05 zero_point=3 kind=temp
+//   op CONV_2D inputs=0,1,2 outputs=3 strides=2x2 padding=1x1 groups=1
+//   outputs 3
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDims;
+using support::ParseDouble;
+using support::ParseInt;
+
+struct TensorEntry {
+  std::string name;
+  Shape shape;
+  DType dtype = DType::kFloat32;
+  QuantParams quant;
+  std::string kind = "temp";  // input | const | temp
+  std::uint64_t seed = 0;
+  ExprPtr expr;  ///< materialized value (inputs/constants up front, temps by ops)
+};
+
+struct OpLine {
+  std::string type;
+  std::vector<int> inputs;
+  std::vector<int> outputs;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  std::vector<std::int64_t> Dims2(const std::string& key,
+                                  std::vector<std::int64_t> fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDims(it->second, location);
+  }
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+};
+
+std::vector<int> ParseIdList(const std::string& text, const std::string& location) {
+  std::vector<int> ids;
+  for (const auto& piece : support::Split(text, ',')) {
+    ids.push_back(static_cast<int>(ParseInt(piece, location)));
+  }
+  return ids;
+}
+
+/// Adds the QNN quantization attributes of one tensor under a prefix
+/// ("input", "weight", "output", "lhs", "rhs").
+void AddQuantAttrs(Attrs& attrs, const std::string& prefix, const TensorEntry& tensor,
+                   const std::string& location) {
+  if (!tensor.quant.valid) {
+    TNP_THROW(kParseError) << location << ": tensor '" << tensor.name
+                           << "' lacks quantization parameters required by a quantized op";
+  }
+  attrs.SetDouble(prefix + "_scale", tensor.quant.scale);
+  attrs.SetInt(prefix + "_zero_point", tensor.quant.zero_point);
+}
+
+}  // namespace
+
+relay::Module FromTflite(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("TFLITE_MODEL v1");
+
+  std::vector<TensorEntry> tensors;
+  std::vector<relay::VarPtr> params;
+  std::vector<int> model_outputs;
+
+  const auto tensor_at = [&](int id, const std::string& location) -> TensorEntry& {
+    if (id < 0 || id >= static_cast<int>(tensors.size())) {
+      TNP_THROW(kParseError) << location << ": tensor id " << id << " out of range";
+    }
+    return tensors[static_cast<std::size_t>(id)];
+  };
+  const auto expr_of = [&](int id, const std::string& location) -> ExprPtr {
+    TensorEntry& tensor = tensor_at(id, location);
+    if (tensor.expr == nullptr) {
+      TNP_THROW(kParseError) << location << ": tensor " << id << " used before it is produced";
+    }
+    return tensor.expr;
+  };
+
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (support::StartsWith(*line, "name:")) continue;
+
+    if (support::StartsWith(*line, "tensor ")) {
+      const auto tokens = support::SplitWhitespace(line->substr(7));
+      if (tokens.empty()) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": malformed tensor line";
+      }
+      const int id = static_cast<int>(ParseInt(tokens[0], tokenizer.Location()));
+      if (id != static_cast<int>(tensors.size())) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": tensor ids must be sequential";
+      }
+      TensorEntry tensor;
+      bool has_scale = false;
+      float scale = 0.0f;
+      std::int32_t zero_point = 0;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = support::ParseKeyValue(tokens[i], tokenizer.Location());
+        if (key == "name") tensor.name = value;
+        else if (key == "shape") tensor.shape = Shape(ParseDims(value, tokenizer.Location()));
+        else if (key == "dtype") tensor.dtype = DTypeFromName(value);
+        else if (key == "scale") { scale = static_cast<float>(ParseDouble(value, tokenizer.Location())); has_scale = true; }
+        else if (key == "zero_point") zero_point = static_cast<std::int32_t>(ParseInt(value, tokenizer.Location()));
+        else if (key == "kind") tensor.kind = value;
+        else if (key == "seed") tensor.seed = static_cast<std::uint64_t>(ParseInt(value, tokenizer.Location()));
+        else {
+          TNP_THROW(kParseError) << tokenizer.Location() << ": unknown tensor field '" << key
+                                 << "'";
+        }
+      }
+      if (has_scale) tensor.quant = QuantParams(scale, zero_point);
+
+      if (tensor.kind == "input") {
+        auto var = TypedVar(tensor.name.empty() ? "input" : tensor.name, tensor.shape,
+                            tensor.dtype);
+        params.push_back(var);
+        tensor.expr = var;
+      } else if (tensor.kind == "const") {
+        switch (tensor.dtype) {
+          case DType::kInt8: tensor.expr = WeightS8(tensor.shape, tensor.seed); break;
+          case DType::kInt32: tensor.expr = BiasS32(tensor.shape, tensor.seed); break;
+          case DType::kFloat32: tensor.expr = WeightF32(tensor.shape, tensor.seed); break;
+          default:
+            TNP_THROW(kParseError) << tokenizer.Location() << ": unsupported const dtype";
+        }
+      } else if (tensor.kind != "temp") {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": unknown tensor kind '"
+                               << tensor.kind << "'";
+      }
+      tensors.push_back(std::move(tensor));
+      continue;
+    }
+
+    if (support::StartsWith(*line, "outputs")) {
+      model_outputs = ParseIdList(std::string(support::Trim(line->substr(7))),
+                                  tokenizer.Location());
+      continue;
+    }
+
+    if (!support::StartsWith(*line, "op ")) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": unexpected line '" << *line << "'";
+    }
+
+    const auto tokens = support::SplitWhitespace(line->substr(3));
+    if (tokens.empty()) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": empty op line";
+    }
+    OpLine op;
+    op.type = tokens[0];
+    op.location = tokenizer.Location();
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto [key, value] = support::ParseKeyValue(tokens[i], op.location);
+      if (key == "inputs") op.inputs = ParseIdList(value, op.location);
+      else if (key == "outputs") op.outputs = ParseIdList(value, op.location);
+      else op.kv[key] = value;
+    }
+    if (op.outputs.size() != 1) {
+      TNP_THROW(kParseError) << op.location << ": ops must have exactly one output";
+    }
+    TensorEntry& out = tensor_at(op.outputs[0], op.location);
+    const bool quantized = out.dtype == DType::kInt8;
+
+    ExprPtr expr;
+    if (op.type == "CONV_2D" || op.type == "DEPTHWISE_CONV_2D") {
+      const TensorEntry& data = tensor_at(op.inputs.at(0), op.location);
+      const TensorEntry& weight = tensor_at(op.inputs.at(1), op.location);
+      const std::int64_t groups =
+          op.type == "DEPTHWISE_CONV_2D" ? data.shape[1] : op.Int("groups", 1);
+      Attrs attrs;
+      attrs.SetInts("strides", op.Dims2("strides", {1, 1}))
+          .SetInts("padding", op.Dims2("padding", {0, 0}))
+          .SetInt("groups", groups);
+      if (quantized) {
+        AddQuantAttrs(attrs, "input", data, op.location);
+        AddQuantAttrs(attrs, "weight", weight, op.location);
+        AddQuantAttrs(attrs, "output", out, op.location);
+        expr = TypedCall("qnn.conv2d",
+                         {expr_of(op.inputs[0], op.location), expr_of(op.inputs[1], op.location),
+                          expr_of(op.inputs.at(2), op.location)},
+                         std::move(attrs));
+      } else {
+        ExprPtr bias = op.inputs.size() > 2 ? expr_of(op.inputs[2], op.location)
+                                            : ZeroBiasF32(weight.shape[0]);
+        expr = TypedCall("nn.conv2d",
+                         {expr_of(op.inputs[0], op.location), expr_of(op.inputs[1], op.location),
+                          bias},
+                         std::move(attrs));
+      }
+    } else if (op.type == "FULLY_CONNECTED") {
+      const TensorEntry& data = tensor_at(op.inputs.at(0), op.location);
+      const TensorEntry& weight = tensor_at(op.inputs.at(1), op.location);
+      (void)data;
+      Attrs attrs;
+      if (quantized) {
+        AddQuantAttrs(attrs, "input", tensor_at(op.inputs[0], op.location), op.location);
+        AddQuantAttrs(attrs, "weight", weight, op.location);
+        AddQuantAttrs(attrs, "output", out, op.location);
+        expr = TypedCall("qnn.dense",
+                         {expr_of(op.inputs[0], op.location), expr_of(op.inputs[1], op.location),
+                          expr_of(op.inputs.at(2), op.location)},
+                         std::move(attrs));
+      } else {
+        ExprPtr bias = op.inputs.size() > 2 ? expr_of(op.inputs[2], op.location)
+                                            : ZeroBiasF32(weight.shape[0]);
+        expr = TypedCall("nn.dense", {expr_of(op.inputs[0], op.location),
+                                      expr_of(op.inputs[1], op.location), bias});
+      }
+    } else if (op.type == "ADD" || op.type == "MUL") {
+      if (quantized) {
+        Attrs attrs;
+        AddQuantAttrs(attrs, "lhs", tensor_at(op.inputs.at(0), op.location), op.location);
+        AddQuantAttrs(attrs, "rhs", tensor_at(op.inputs.at(1), op.location), op.location);
+        AddQuantAttrs(attrs, "output", out, op.location);
+        expr = TypedCall(op.type == "ADD" ? "qnn.add" : "qnn.mul",
+                         {expr_of(op.inputs[0], op.location),
+                          expr_of(op.inputs[1], op.location)},
+                         std::move(attrs));
+      } else {
+        expr = TypedCall(op.type == "ADD" ? "add" : "multiply",
+                         {expr_of(op.inputs.at(0), op.location),
+                          expr_of(op.inputs.at(1), op.location)});
+      }
+    } else if (op.type == "CONCATENATION") {
+      std::vector<ExprPtr> fields;
+      for (const int id : op.inputs) fields.push_back(expr_of(id, op.location));
+      Attrs attrs;
+      attrs.SetInt("axis", op.Int("axis", 1));
+      if (quantized) {
+        std::vector<double> scales;
+        std::vector<std::int64_t> zps;
+        for (const int id : op.inputs) {
+          const TensorEntry& tensor = tensor_at(id, op.location);
+          if (!tensor.quant.valid) {
+            TNP_THROW(kParseError) << op.location << ": concat input lacks quant params";
+          }
+          scales.push_back(tensor.quant.scale);
+          zps.push_back(tensor.quant.zero_point);
+        }
+        attrs.SetDoubles("input_scales", scales).SetInts("input_zero_points", zps);
+        AddQuantAttrs(attrs, "output", out, op.location);
+        expr = TypedCall("qnn.concatenate", {TypedTuple(std::move(fields))}, std::move(attrs));
+      } else {
+        expr = TypedCall("concatenate", {TypedTuple(std::move(fields))}, std::move(attrs));
+      }
+    } else if (op.type == "MAX_POOL_2D" || op.type == "AVERAGE_POOL_2D") {
+      const auto pool = op.Dims2("filter", {2, 2});
+      expr = TypedCall(op.type == "MAX_POOL_2D" ? "nn.max_pool2d" : "nn.avg_pool2d",
+                       {expr_of(op.inputs.at(0), op.location)},
+                       Attrs()
+                           .SetInts("pool_size", pool)
+                           .SetInts("strides", op.Dims2("strides", pool))
+                           .SetInts("padding", op.Dims2("padding", {0, 0})));
+    } else if (op.type == "SOFTMAX") {
+      expr = TypedCall("nn.softmax", {expr_of(op.inputs.at(0), op.location)},
+                       Attrs().SetInt("axis", op.Int("axis", -1)));
+    } else if (op.type == "LOGISTIC") {
+      expr = TypedCall("sigmoid", {expr_of(op.inputs.at(0), op.location)});
+    } else if (op.type == "EXP") {
+      expr = TypedCall("exp", {expr_of(op.inputs.at(0), op.location)});
+    } else if (op.type == "RELU") {
+      if (quantized) {
+        const TensorEntry& data = tensor_at(op.inputs.at(0), op.location);
+        expr = TypedCall("qnn.relu", {expr_of(op.inputs[0], op.location)},
+                         Attrs().SetInt("zero_point",
+                                        data.quant.valid ? data.quant.zero_point : 0));
+      } else {
+        expr = TypedCall("nn.relu", {expr_of(op.inputs.at(0), op.location)});
+      }
+    } else if (op.type == "RESHAPE") {
+      expr = TypedCall("reshape", {expr_of(op.inputs.at(0), op.location)},
+                       Attrs().SetInts("newshape", out.shape.dims()));
+    } else if (op.type == "PAD") {
+      expr = TypedCall("nn.pad", {expr_of(op.inputs.at(0), op.location)},
+                       Attrs()
+                           .SetInts("pad_before", op.Dims2("pad_before", {}))
+                           .SetInts("pad_after", op.Dims2("pad_after", {})));
+    } else if (op.type == "QUANTIZE") {
+      Attrs attrs;
+      AddQuantAttrs(attrs, "output", out, op.location);
+      expr = TypedCall("qnn.quantize", {expr_of(op.inputs.at(0), op.location)},
+                       std::move(attrs));
+    } else if (op.type == "DEQUANTIZE") {
+      Attrs attrs;
+      AddQuantAttrs(attrs, "input", tensor_at(op.inputs.at(0), op.location), op.location);
+      expr = TypedCall("qnn.dequantize", {expr_of(op.inputs[0], op.location)},
+                       std::move(attrs));
+    } else if (op.type == "REQUANTIZE") {
+      Attrs attrs;
+      AddQuantAttrs(attrs, "input", tensor_at(op.inputs.at(0), op.location), op.location);
+      AddQuantAttrs(attrs, "output", out, op.location);
+      expr = TypedCall("qnn.requantize", {expr_of(op.inputs[0], op.location)},
+                       std::move(attrs));
+    } else {
+      TNP_THROW(kParseError) << op.location << ": unsupported TFLite op '" << op.type << "'";
+    }
+
+    // Cross-check the declared output tensor against the inferred type.
+    const relay::TensorType& inferred = expr->tensor_type();
+    if (inferred.shape != out.shape || inferred.dtype != out.dtype) {
+      TNP_THROW(kParseError) << op.location << ": op " << op.type << " produces "
+                             << inferred.ToString() << " but tensor " << op.outputs[0]
+                             << " declares " << out.shape.ToString() << ":"
+                             << DTypeName(out.dtype);
+    }
+    out.expr = std::move(expr);
+  }
+
+  if (params.empty() || model_outputs.empty()) {
+    TNP_THROW(kParseError) << source_name << ": model needs inputs and an outputs line";
+  }
+  ExprPtr body;
+  if (model_outputs.size() == 1) {
+    body = expr_of(model_outputs[0], source_name);
+  } else {
+    std::vector<ExprPtr> fields;
+    for (const int id : model_outputs) fields.push_back(expr_of(id, source_name));
+    body = TypedTuple(std::move(fields));
+  }
+  return FinishModule(std::move(params), std::move(body));
+}
+
+}  // namespace frontend
+}  // namespace tnp

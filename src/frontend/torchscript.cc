@@ -1,0 +1,404 @@
+// TorchScript-like frontend: a traced graph of aten:: calls, the shape of
+// what `torch.jit.trace` + `relay.frontend.from_pytorch` consume in the
+// paper's Listing 2.
+//
+// Format:
+//   TORCHSCRIPT_GRAPH v1
+//   name: deepixbis
+//   input %x : Float(1,3,224,224)
+//   %1 = aten::conv2d(%x, weight<seed=7,shape=64x3x7x7>, bias<seed=8,shape=64>,
+//                     stride=[2,2], padding=[3,3], dilation=[1,1], groups=1)
+//   %2 = aten::relu(%1)
+//   %3 = aten::cat([%1, %2], dim=1)
+//   return %3
+//
+// Inline tensors: weight<seed=..,shape=..>, bias<..>, and the generic
+// const<seed=..,shape=..,fill=..,stddev=..,min=..>.
+#include <map>
+
+#include "frontend/common.h"
+#include "frontend/frontend.h"
+#include "support/string_util.h"
+#include "support/tokenizer.h"
+
+namespace tnp {
+namespace frontend {
+
+namespace {
+
+using relay::Attrs;
+using relay::ExprPtr;
+using support::ParseDims;
+using support::ParseDouble;
+using support::ParseInt;
+using support::Trim;
+
+/// One parsed argument of an aten:: call.
+struct Arg {
+  enum class Kind { kRef, kRefList, kInlineConst, kKeyValue };
+  Kind kind = Kind::kRef;
+  std::string ref;                    // kRef
+  std::vector<std::string> refs;      // kRefList
+  ExprPtr inline_const;               // kInlineConst
+  std::string key, value;             // kKeyValue
+};
+
+/// Split "a, b, [c, d], e=[1,2]" into top-level comma-separated pieces.
+std::vector<std::string> SplitTopLevel(std::string_view text) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      const auto piece = Trim(text.substr(start, i - start));
+      if (!piece.empty()) parts.emplace_back(piece);
+      start = i + 1;
+      continue;
+    }
+    if (text[i] == '[' || text[i] == '(' || text[i] == '<') ++depth;
+    if (text[i] == ']' || text[i] == ')' || text[i] == '>') --depth;
+  }
+  return parts;
+}
+
+ExprPtr ParseInlineConst(std::string_view text, const std::string& location) {
+  const std::size_t open = text.find('<');
+  const std::size_t close = text.rfind('>');
+  if (open == std::string_view::npos || close == std::string_view::npos || close <= open) {
+    TNP_THROW(kParseError) << location << ": malformed inline tensor '" << std::string(text)
+                           << "'";
+  }
+  const std::string role(Trim(text.substr(0, open)));
+  Shape shape;
+  std::uint64_t seed = 0;
+  double fill = 0.0;
+  double stddev = role == "bias" ? 0.01 : 0.05;
+  double min_value = -1e30;
+  for (const auto& part : SplitTopLevel(text.substr(open + 1, close - open - 1))) {
+    const auto [key, value] = support::ParseKeyValue(part, location);
+    if (key == "seed") {
+      seed = static_cast<std::uint64_t>(ParseInt(value, location));
+    } else if (key == "shape") {
+      shape = Shape(ParseDims(value, location));
+    } else if (key == "fill") {
+      fill = ParseDouble(value, location);
+    } else if (key == "stddev") {
+      stddev = ParseDouble(value, location);
+    } else if (key == "min") {
+      min_value = ParseDouble(value, location);
+    } else {
+      TNP_THROW(kParseError) << location << ": unknown inline tensor field '" << key << "'";
+    }
+  }
+  if (shape.rank() == 0) {
+    TNP_THROW(kParseError) << location << ": inline tensor requires shape=";
+  }
+  if (fill != 0.0 || min_value > -1e29) {
+    return FilledConstant(shape, seed, static_cast<float>(fill), static_cast<float>(stddev),
+                          static_cast<float>(min_value));
+  }
+  return WeightF32(shape, seed, static_cast<float>(stddev));
+}
+
+Arg ParseArg(std::string_view text, const std::string& location) {
+  Arg arg;
+  text = Trim(text);
+  if (text.empty()) {
+    TNP_THROW(kParseError) << location << ": empty argument";
+  }
+  if (text.front() == '%') {
+    arg.kind = Arg::Kind::kRef;
+    arg.ref = std::string(text.substr(1));
+    return arg;
+  }
+  if (text.front() == '[') {
+    if (text.back() != ']') {
+      TNP_THROW(kParseError) << location << ": unterminated list argument";
+    }
+    arg.kind = Arg::Kind::kRefList;
+    for (const auto& piece : SplitTopLevel(text.substr(1, text.size() - 2))) {
+      if (piece.empty() || piece.front() != '%') {
+        TNP_THROW(kParseError) << location << ": list arguments must be %refs";
+      }
+      arg.refs.push_back(piece.substr(1));
+    }
+    return arg;
+  }
+  const std::size_t angle = text.find('<');
+  const std::size_t eq = text.find('=');
+  if (angle != std::string_view::npos && (eq == std::string_view::npos || angle < eq)) {
+    arg.kind = Arg::Kind::kInlineConst;
+    arg.inline_const = ParseInlineConst(text, location);
+    return arg;
+  }
+  if (eq == std::string_view::npos) {
+    TNP_THROW(kParseError) << location << ": cannot parse argument '" << std::string(text)
+                           << "'";
+  }
+  arg.kind = Arg::Kind::kKeyValue;
+  arg.key = std::string(Trim(text.substr(0, eq)));
+  arg.value = std::string(Trim(text.substr(eq + 1)));
+  return arg;
+}
+
+/// "[2,2]" or "2" -> int vector.
+std::vector<std::int64_t> IntsOf(const std::string& value, const std::string& location) {
+  std::string_view text = Trim(value);
+  if (!text.empty() && text.front() == '[') text = text.substr(1, text.size() - 2);
+  return ParseDims(text, location);
+}
+
+struct CallCtx {
+  std::vector<ExprPtr> positional;
+  std::map<std::string, std::string> kv;
+  std::string location;
+
+  const ExprPtr& Pos(std::size_t index, const char* op) const {
+    if (index >= positional.size()) {
+      TNP_THROW(kParseError) << location << ": " << op << " expects at least " << (index + 1)
+                             << " tensor arguments";
+    }
+    return positional[index];
+  }
+  std::vector<std::int64_t> Ints(const std::string& key,
+                                 std::vector<std::int64_t> fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : IntsOf(it->second, location);
+  }
+  std::int64_t Int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseInt(it->second, location);
+  }
+  double Dbl(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : ParseDouble(it->second, location);
+  }
+};
+
+ExprPtr LowerAtenCall(const std::string& op, CallCtx& ctx,
+                      const std::vector<std::vector<ExprPtr>>& list_args) {
+  if (op == "aten::conv2d") {
+    ExprPtr bias = ctx.positional.size() > 2 ? ctx.Pos(2, "conv2d")
+                                             : ZeroBiasF32(ShapeOf(ctx.Pos(1, "conv2d"))[0]);
+    return TypedCall("nn.conv2d", {ctx.Pos(0, "conv2d"), ctx.Pos(1, "conv2d"), bias},
+                     Attrs()
+                         .SetInts("strides", ctx.Ints("stride", {1, 1}))
+                         .SetInts("padding", ctx.Ints("padding", {0, 0}))
+                         .SetInts("dilation", ctx.Ints("dilation", {1, 1}))
+                         .SetInt("groups", ctx.Int("groups", 1)));
+  }
+  if (op == "aten::linear") {
+    ExprPtr bias = ctx.positional.size() > 2 ? ctx.Pos(2, "linear")
+                                             : ZeroBiasF32(ShapeOf(ctx.Pos(1, "linear"))[0]);
+    return TypedCall("nn.dense", {ctx.Pos(0, "linear"), ctx.Pos(1, "linear"), bias});
+  }
+  if (op == "aten::relu") return TypedCall("nn.relu", {ctx.Pos(0, "relu")});
+  if (op == "aten::leaky_relu") {
+    return TypedCall("nn.leaky_relu", {ctx.Pos(0, "leaky_relu")},
+                     Attrs().SetDouble("alpha", ctx.Dbl("negative_slope", 0.01)));
+  }
+  if (op == "aten::sigmoid") return TypedCall("sigmoid", {ctx.Pos(0, "sigmoid")});
+  if (op == "aten::tanh") return TypedCall("tanh", {ctx.Pos(0, "tanh")});
+  if (op == "aten::hardtanh") {
+    return TypedCall("clip", {ctx.Pos(0, "hardtanh")},
+                     Attrs()
+                         .SetDouble("a_min", ctx.Dbl("min_val", -1.0))
+                         .SetDouble("a_max", ctx.Dbl("max_val", 1.0)));
+  }
+  if (op == "aten::max_pool2d" || op == "aten::avg_pool2d") {
+    const auto kernel = ctx.Ints("kernel", {2, 2});
+    return TypedCall(op == "aten::max_pool2d" ? "nn.max_pool2d" : "nn.avg_pool2d",
+                     {ctx.Pos(0, "pool2d")},
+                     Attrs()
+                         .SetInts("pool_size", kernel)
+                         .SetInts("strides", ctx.Ints("stride", kernel))
+                         .SetInts("padding", ctx.Ints("padding", {0, 0})));
+  }
+  if (op == "aten::adaptive_avg_pool2d") {
+    const auto out = ctx.Ints("output_size", {1, 1});
+    if (out != std::vector<std::int64_t>{1, 1}) {
+      TNP_THROW(kParseError) << ctx.location
+                             << ": adaptive_avg_pool2d only supports output_size=[1,1]";
+    }
+    return TypedCall("nn.global_avg_pool2d", {ctx.Pos(0, "adaptive_avg_pool2d")});
+  }
+  if (op == "aten::cat") {
+    if (list_args.empty()) {
+      TNP_THROW(kParseError) << ctx.location << ": aten::cat requires a [..] list argument";
+    }
+    return TypedCall("concatenate", {TypedTuple(list_args.front())},
+                     Attrs().SetInt("axis", ctx.Int("dim", 1)));
+  }
+  if (op == "aten::add") {
+    return TypedCall("add", {ctx.Pos(0, "add"), ctx.Pos(1, "add")});
+  }
+  if (op == "aten::mul") {
+    return TypedCall("multiply", {ctx.Pos(0, "mul"), ctx.Pos(1, "mul")});
+  }
+  if (op == "aten::flatten") {
+    return TypedCall("nn.batch_flatten", {ctx.Pos(0, "flatten")});
+  }
+  if (op == "aten::softmax") {
+    return TypedCall("nn.softmax", {ctx.Pos(0, "softmax")},
+                     Attrs().SetInt("axis", ctx.Int("dim", -1)));
+  }
+  if (op == "aten::dropout") {
+    return TypedCall("nn.dropout", {ctx.Pos(0, "dropout")},
+                     Attrs().SetDouble("rate", ctx.Dbl("p", 0.5)));
+  }
+  if (op == "aten::batch_norm") {
+    return TypedCall("nn.batch_norm",
+                     {ctx.Pos(0, "batch_norm"), ctx.Pos(1, "batch_norm"),
+                      ctx.Pos(2, "batch_norm"), ctx.Pos(3, "batch_norm"),
+                      ctx.Pos(4, "batch_norm")},
+                     Attrs().SetDouble("epsilon", ctx.Dbl("eps", 1e-5)));
+  }
+  if (op == "aten::upsample_nearest2d") {
+    const std::int64_t scale = ctx.Int("scale_factor", 2);
+    return TypedCall("nn.upsampling", {ctx.Pos(0, "upsample")},
+                     Attrs().SetInt("scale_h", scale).SetInt("scale_w", scale));
+  }
+  if (op == "aten::mean") {
+    return TypedCall("mean", {ctx.Pos(0, "mean")},
+                     Attrs()
+                         .SetInts("axis", ctx.Ints("dim", {2, 3}))
+                         .SetInt("keepdims", ctx.Int("keepdim", 0)));
+  }
+  if (op == "aten::slice") {
+    // Per-axis slice: axis/start/end/step on an otherwise full-range slice.
+    const ExprPtr& data = ctx.Pos(0, "slice");
+    const Shape& shape = ShapeOf(data);
+    std::vector<std::int64_t> begin(static_cast<std::size_t>(shape.rank()), 0);
+    std::vector<std::int64_t> end = shape.dims();
+    std::vector<std::int64_t> strides(static_cast<std::size_t>(shape.rank()), 1);
+    const std::int64_t axis = ctx.Int("dim", 0);
+    if (axis < 0 || axis >= shape.rank()) {
+      TNP_THROW(kParseError) << ctx.location << ": slice dim out of range";
+    }
+    begin[static_cast<std::size_t>(axis)] = ctx.Int("start", 0);
+    end[static_cast<std::size_t>(axis)] = ctx.Int("end", shape[static_cast<int>(axis)]);
+    strides[static_cast<std::size_t>(axis)] = ctx.Int("step", 1);
+    return TypedCall("strided_slice", {data},
+                     Attrs().SetInts("begin", begin).SetInts("end", end).SetInts("strides",
+                                                                                 strides));
+  }
+  TNP_THROW(kParseError) << ctx.location << ": unsupported TorchScript op '" << op << "'";
+}
+
+}  // namespace
+
+relay::Module FromTorchScript(const std::string& source, const std::string& source_name) {
+  support::Tokenizer tokenizer(source, source_name);
+  tokenizer.ExpectExact("TORCHSCRIPT_GRAPH v1");
+
+  std::vector<relay::VarPtr> params;
+  std::map<std::string, ExprPtr> env;
+  ExprPtr result;
+
+  const auto lookup = [&](const std::string& ref) -> const ExprPtr& {
+    const auto it = env.find(ref);
+    if (it == env.end()) {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": undefined value %" << ref;
+    }
+    return it->second;
+  };
+
+  for (auto line = tokenizer.NextLine(); line; line = tokenizer.NextLine()) {
+    if (support::StartsWith(*line, "name:")) continue;
+
+    if (support::StartsWith(*line, "input ")) {
+      // input %x : Float(1,3,224,224)
+      const auto colon = line->find(':');
+      if (colon == std::string::npos) {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": malformed input line";
+      }
+      std::string name(Trim(line->substr(6, colon - 6)));
+      if (name.empty() || name.front() != '%') {
+        TNP_THROW(kParseError) << tokenizer.Location() << ": input name must be a %ref";
+      }
+      name = name.substr(1);
+      const std::string type_text(Trim(line->substr(colon + 1)));
+      const auto open = type_text.find('(');
+      const auto close = type_text.rfind(')');
+      if (!support::StartsWith(type_text, "Float") || open == std::string::npos ||
+          close == std::string::npos) {
+        TNP_THROW(kParseError) << tokenizer.Location()
+                               << ": only Float(...) inputs are supported";
+      }
+      const Shape shape(ParseDims(type_text.substr(open + 1, close - open - 1),
+                                  tokenizer.Location()));
+      auto var = TypedVar(name, shape, DType::kFloat32);
+      params.push_back(var);
+      env[name] = var;
+      continue;
+    }
+
+    if (support::StartsWith(*line, "return")) {
+      std::string rest(Trim(line->substr(6)));
+      if (!rest.empty() && rest.front() == '(') {
+        // Tuple return.
+        std::vector<ExprPtr> fields;
+        for (const auto& piece : SplitTopLevel(
+                 std::string_view(rest).substr(1, rest.size() - 2))) {
+          if (piece.empty() || piece.front() != '%') {
+            TNP_THROW(kParseError) << tokenizer.Location() << ": return refs must be %refs";
+          }
+          fields.push_back(lookup(piece.substr(1)));
+        }
+        result = TypedTuple(std::move(fields));
+      } else {
+        if (rest.empty() || rest.front() != '%') {
+          TNP_THROW(kParseError) << tokenizer.Location() << ": return requires a %ref";
+        }
+        result = lookup(rest.substr(1));
+      }
+      continue;
+    }
+
+    // %id = aten::op(args...)
+    const auto eq = line->find('=');
+    const auto open = line->find('(', eq == std::string::npos ? 0 : eq);
+    const auto close = line->rfind(')');
+    if (eq == std::string::npos || open == std::string::npos || close == std::string::npos ||
+        line->front() != '%') {
+      TNP_THROW(kParseError) << tokenizer.Location() << ": cannot parse statement '" << *line
+                             << "'";
+    }
+    const std::string target(Trim(line->substr(1, eq - 1)));
+    const std::string op(Trim(line->substr(eq + 1, open - eq - 1)));
+
+    CallCtx ctx;
+    ctx.location = tokenizer.Location();
+    std::vector<std::vector<ExprPtr>> list_args;
+    for (const auto& piece : SplitTopLevel(
+             std::string_view(*line).substr(open + 1, close - open - 1))) {
+      Arg arg = ParseArg(piece, ctx.location);
+      switch (arg.kind) {
+        case Arg::Kind::kRef:
+          ctx.positional.push_back(lookup(arg.ref));
+          break;
+        case Arg::Kind::kRefList: {
+          std::vector<ExprPtr> exprs;
+          for (const auto& ref : arg.refs) exprs.push_back(lookup(ref));
+          list_args.push_back(std::move(exprs));
+          break;
+        }
+        case Arg::Kind::kInlineConst:
+          ctx.positional.push_back(arg.inline_const);
+          break;
+        case Arg::Kind::kKeyValue:
+          ctx.kv[arg.key] = arg.value;
+          break;
+      }
+    }
+    env[target] = LowerAtenCall(op, ctx, list_args);
+  }
+
+  if (params.empty() || result == nullptr) {
+    TNP_THROW(kParseError) << source_name << ": graph needs at least one input and a return";
+  }
+  return FinishModule(std::move(params), std::move(result));
+}
+
+}  // namespace frontend
+}  // namespace tnp

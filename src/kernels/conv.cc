@@ -1,0 +1,154 @@
+#include "kernels/conv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "support/thread_pool.h"
+
+namespace tnp {
+namespace kernels {
+
+namespace {
+
+// Gather one group's input patch matrix: rows = CI_g*KH*KW, cols = OH*OW.
+// Out-of-bounds (padding) positions contribute `pad_value`.
+template <typename T>
+void Im2Col(const T* input, std::int64_t ci_g, std::int64_t in_h, std::int64_t in_w,
+            std::int64_t kernel_h, std::int64_t kernel_w, std::int64_t out_h, std::int64_t out_w,
+            const Conv2DParams& p, T pad_value, T* column) {
+  for (std::int64_t c = 0; c < ci_g; ++c) {
+    for (std::int64_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel_w; ++kw) {
+        T* col_row = column + ((c * kernel_h + kh) * kernel_w + kw) * out_h * out_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * p.stride_h - p.pad_h + kh * p.dilation_h;
+          if (ih < 0 || ih >= in_h) {
+            std::fill(col_row + oh * out_w, col_row + (oh + 1) * out_w, pad_value);
+            continue;
+          }
+          const T* in_row = input + (c * in_h + ih) * in_w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * p.stride_w - p.pad_w + kw * p.dilation_w;
+            col_row[oh * out_w + ow] = (iw < 0 || iw >= in_w) ? pad_value : in_row[iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
+               NDArray& output, const Conv2DParams& p) {
+  const Shape expected = Conv2DOutShape(input.shape(), weight.shape(), p);
+  TNP_CHECK(output.shape() == expected)
+      << "conv2d output shape " << output.shape().ToString() << " != " << expected.ToString();
+
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t ci = input.shape()[1];
+  const std::int64_t in_h = input.shape()[2];
+  const std::int64_t in_w = input.shape()[3];
+  const std::int64_t co = weight.shape()[0];
+  const std::int64_t ci_g = weight.shape()[1];
+  const std::int64_t kernel_h = weight.shape()[2];
+  const std::int64_t kernel_w = weight.shape()[3];
+  const std::int64_t out_h = expected[2];
+  const std::int64_t out_w = expected[3];
+  const std::int64_t co_g = co / p.groups;
+  TNP_CHECK_EQ(co % p.groups, 0);
+
+  const float* in_data = input.Data<float>();
+  const float* w_data = weight.Data<float>();
+  const float* bias_data = bias.defined() ? bias.Data<float>() : nullptr;
+  float* out_data = output.Data<float>();
+
+  const std::int64_t col_rows = ci_g * kernel_h * kernel_w;
+  const std::int64_t col_cols = out_h * out_w;
+  std::vector<float> column(static_cast<std::size_t>(col_rows * col_cols));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t g = 0; g < p.groups; ++g) {
+      const float* in_group = in_data + (n * ci + g * ci_g) * in_h * in_w;
+      Im2Col(in_group, ci_g, in_h, in_w, kernel_h, kernel_w, out_h, out_w, p, 0.0f,
+             column.data());
+      const float* w_group = w_data + g * co_g * col_rows;
+      float* out_group = out_data + (n * co + g * co_g) * col_cols;
+      GemmF32(w_group, column.data(), out_group, co_g, col_rows, col_cols);
+    }
+  }
+
+  if (bias_data != nullptr) {
+    TNP_CHECK_EQ(bias.NumElements(), co);
+    support::ParallelFor(0, batch * co, [&](std::int64_t nc) {
+      const float b = bias_data[nc % co];
+      float* row = out_data + nc * col_cols;
+      for (std::int64_t i = 0; i < col_cols; ++i) row[i] += b;
+    }, /*grain_size=*/8);
+  }
+}
+
+void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
+               NDArray& output, const Conv2DParams& p, const QuantParams& input_q,
+               const QuantParams& weight_q, const QuantParams& output_q) {
+  TNP_CHECK(input_q.valid && weight_q.valid && output_q.valid);
+  const Shape expected = Conv2DOutShape(input.shape(), weight.shape(), p);
+  TNP_CHECK(output.shape() == expected);
+
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t ci = input.shape()[1];
+  const std::int64_t in_h = input.shape()[2];
+  const std::int64_t in_w = input.shape()[3];
+  const std::int64_t co = weight.shape()[0];
+  const std::int64_t ci_g = weight.shape()[1];
+  const std::int64_t kernel_h = weight.shape()[2];
+  const std::int64_t kernel_w = weight.shape()[3];
+  const std::int64_t out_h = expected[2];
+  const std::int64_t out_w = expected[3];
+  const std::int64_t co_g = co / p.groups;
+
+  const std::int8_t* in_data = input.Data<std::int8_t>();
+  const std::int8_t* w_data = weight.Data<std::int8_t>();
+  const std::int32_t* bias_data = bias.defined() ? bias.Data<std::int32_t>() : nullptr;
+  std::int8_t* out_data = output.Data<std::int8_t>();
+
+  const std::int64_t col_rows = ci_g * kernel_h * kernel_w;
+  const std::int64_t col_cols = out_h * out_w;
+  std::vector<std::int8_t> column(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(co_g * col_cols));
+
+  // Single real multiplier mapping the int32 accumulator back to int8 space.
+  const float multiplier = input_q.scale * weight_q.scale / output_q.scale;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t g = 0; g < p.groups; ++g) {
+      const std::int8_t* in_group = in_data + (n * ci + g * ci_g) * in_h * in_w;
+      // Padding positions must contribute zero *after* zero-point shift, so
+      // pad with the input zero-point itself.
+      Im2Col(in_group, ci_g, in_h, in_w, kernel_h, kernel_w, out_h, out_w, p,
+             static_cast<std::int8_t>(input_q.zero_point), column.data());
+      const std::int8_t* w_group = w_data + g * co_g * col_rows;
+      GemmS8S32(w_group, column.data(), acc.data(), co_g, col_rows, col_cols,
+                weight_q.zero_point, input_q.zero_point);
+
+      std::int8_t* out_group = out_data + (n * co + g * co_g) * col_cols;
+      support::ParallelFor(0, co_g, [&](std::int64_t oc) {
+        const std::int32_t b =
+            bias_data != nullptr ? bias_data[g * co_g + oc] : 0;
+        const std::int32_t* acc_row = acc.data() + oc * col_cols;
+        std::int8_t* out_row = out_group + oc * col_cols;
+        for (std::int64_t i = 0; i < col_cols; ++i) {
+          const float scaled =
+              std::nearbyintf(static_cast<float>(acc_row[i] + b) * multiplier) +
+              static_cast<float>(output_q.zero_point);
+          out_row[i] = static_cast<std::int8_t>(std::clamp(scaled, -128.0f, 127.0f));
+        }
+      }, /*grain_size=*/4);
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace tnp

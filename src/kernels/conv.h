@@ -1,0 +1,25 @@
+// 2-D convolution kernels (float32 and int8-quantized), NCHW / OIHW.
+#pragma once
+
+#include "kernels/common.h"
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+/// Float conv2d with groups (groups == channels gives depthwise).
+/// `bias` may be undefined; when defined it has shape (out_channels,).
+/// `output` must be pre-allocated with Conv2DOutShape(...).
+void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
+               NDArray& output, const Conv2DParams& params);
+
+/// Quantized conv2d: int8 input/weight, optional int32 bias, int8 output.
+/// Affine per-tensor quantization:
+///   real_out = clamp(round(acc * (s_in*s_w/s_out)) + z_out)
+/// where acc accumulates (q_in - z_in)*(q_w - z_w) in int32.
+void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
+               NDArray& output, const Conv2DParams& params, const QuantParams& input_q,
+               const QuantParams& weight_q, const QuantParams& output_q);
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,72 @@
+#include "kernels/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/thread_pool.h"
+
+namespace tnp {
+namespace kernels {
+
+void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
+              NDArray& output) {
+  TNP_CHECK_EQ(input.shape().rank(), 2);
+  TNP_CHECK_EQ(weight.shape().rank(), 2);
+  const std::int64_t m = input.shape()[0];
+  const std::int64_t k = input.shape()[1];
+  const std::int64_t n = weight.shape()[0];
+  TNP_CHECK_EQ(weight.shape()[1], k);
+  TNP_CHECK(output.shape() == Shape({m, n}));
+
+  const float* in_data = input.Data<float>();
+  const float* w_data = weight.Data<float>();
+  const float* bias_data = bias.defined() ? bias.Data<float>() : nullptr;
+  float* out_data = output.Data<float>();
+
+  support::ParallelFor(0, m * n, [&](std::int64_t mn) {
+    const std::int64_t i = mn / n;
+    const std::int64_t j = mn % n;
+    const float* in_row = in_data + i * k;
+    const float* w_row = w_data + j * k;
+    float acc = bias_data != nullptr ? bias_data[j] : 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) acc += in_row[kk] * w_row[kk];
+    out_data[mn] = acc;
+  }, /*grain_size=*/16);
+}
+
+void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
+              NDArray& output, const QuantParams& input_q, const QuantParams& weight_q,
+              const QuantParams& output_q) {
+  TNP_CHECK(input_q.valid && weight_q.valid && output_q.valid);
+  TNP_CHECK_EQ(input.shape().rank(), 2);
+  TNP_CHECK_EQ(weight.shape().rank(), 2);
+  const std::int64_t m = input.shape()[0];
+  const std::int64_t k = input.shape()[1];
+  const std::int64_t n = weight.shape()[0];
+  TNP_CHECK_EQ(weight.shape()[1], k);
+  TNP_CHECK(output.shape() == Shape({m, n}));
+
+  const std::int8_t* in_data = input.Data<std::int8_t>();
+  const std::int8_t* w_data = weight.Data<std::int8_t>();
+  const std::int32_t* bias_data = bias.defined() ? bias.Data<std::int32_t>() : nullptr;
+  std::int8_t* out_data = output.Data<std::int8_t>();
+  const float multiplier = input_q.scale * weight_q.scale / output_q.scale;
+
+  support::ParallelFor(0, m * n, [&](std::int64_t mn) {
+    const std::int64_t i = mn / n;
+    const std::int64_t j = mn % n;
+    const std::int8_t* in_row = in_data + i * k;
+    const std::int8_t* w_row = w_data + j * k;
+    std::int32_t acc = bias_data != nullptr ? bias_data[j] : 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      acc += (static_cast<std::int32_t>(in_row[kk]) - input_q.zero_point) *
+             (static_cast<std::int32_t>(w_row[kk]) - weight_q.zero_point);
+    }
+    const float scaled = std::nearbyintf(static_cast<float>(acc) * multiplier) +
+                         static_cast<float>(output_q.zero_point);
+    out_data[mn] = static_cast<std::int8_t>(std::clamp(scaled, -128.0f, 127.0f));
+  }, /*grain_size=*/16);
+}
+
+}  // namespace kernels
+}  // namespace tnp

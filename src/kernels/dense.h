@@ -1,0 +1,20 @@
+// Fully-connected kernels. Dense follows the Relay convention:
+// output[m, n] = sum_k input[m, k] * weight[n, k]  (weight is N x K).
+#pragma once
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+/// Float dense; `bias` optional with shape (units,).
+void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
+              NDArray& output);
+
+/// Quantized dense, same affine scheme as QConv2DS8; bias is int32.
+void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
+              NDArray& output, const QuantParams& input_q, const QuantParams& weight_q,
+              const QuantParams& output_q);
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,74 @@
+// Elementwise, reduction and data-movement kernels (float32 unless noted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+// ---- unary activations ----
+void ReluF32(const NDArray& input, NDArray& output);
+void LeakyReluF32(const NDArray& input, NDArray& output, float alpha);
+void SigmoidF32(const NDArray& input, NDArray& output);
+void TanhF32(const NDArray& input, NDArray& output);
+void ClipF32(const NDArray& input, NDArray& output, float lo, float hi);
+void ExpF32(const NDArray& input, NDArray& output);
+void SqrtF32(const NDArray& input, NDArray& output);
+
+/// int8 relu against the zero-point (used when relu stays in quantized form).
+void ReluS8(const NDArray& input, NDArray& output, std::int32_t zero_point);
+
+// ---- binary broadcast ----
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMax, kMin };
+
+/// NumPy-style broadcasting between float32 tensors up to rank 6.
+/// `output` must have the broadcast result shape.
+void BroadcastBinaryF32(BinaryOp op, const NDArray& lhs, const NDArray& rhs, NDArray& output);
+
+/// The broadcast result shape, or throws kInvalidArgument if incompatible.
+Shape BroadcastShape(const Shape& lhs, const Shape& rhs);
+
+// ---- fused inference-time layers ----
+/// output = input + bias broadcast along `axis` (default channel axis 1).
+void BiasAddF32(const NDArray& input, const NDArray& bias, NDArray& output, int axis);
+
+/// Inference batch norm: y = gamma * (x - mean) / sqrt(var + eps) + beta,
+/// all parameter tensors shaped (C,), input NCHW.
+void BatchNormF32(const NDArray& input, const NDArray& gamma, const NDArray& beta,
+                  const NDArray& mean, const NDArray& var, NDArray& output, float epsilon);
+
+/// Softmax along `axis` (negative axes allowed).
+void SoftmaxF32(const NDArray& input, NDArray& output, int axis);
+
+// ---- data movement ----
+/// Concatenate along `axis`; all inputs share the other dims and the dtype.
+void Concat(const std::vector<NDArray>& inputs, NDArray& output, int axis);
+
+/// Pad with a constant; `pad_before`/`pad_after` have one entry per axis.
+void PadConstant(const NDArray& input, NDArray& output,
+                 const std::vector<std::int64_t>& pad_before,
+                 const std::vector<std::int64_t>& pad_after, double pad_value);
+
+/// Nearest-neighbour 2x/3x/... upsampling of an NCHW activation.
+void UpsamplingNearestF32(const NDArray& input, NDArray& output, std::int64_t scale_h,
+                          std::int64_t scale_w);
+
+/// Strided slice with per-axis begin/end/stride (stride > 0 only).
+void StridedSlice(const NDArray& input, NDArray& output,
+                  const std::vector<std::int64_t>& begin, const std::vector<std::int64_t>& end,
+                  const std::vector<std::int64_t>& strides);
+
+/// Mean over the given axes (keepdims behaviour decided by output shape).
+void MeanF32(const NDArray& input, NDArray& output, const std::vector<int>& axes);
+
+/// Permute axes.
+void Transpose(const NDArray& input, NDArray& output, const std::vector<int>& axes);
+
+/// Elementwise dtype conversion (numeric casts with saturation to int8).
+void Cast(const NDArray& input, NDArray& output);
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,52 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/thread_pool.h"
+
+namespace tnp {
+namespace kernels {
+
+namespace {
+// Block over k to keep the hot B panel in cache; simple but ~memory-friendly.
+constexpr std::int64_t kKBlock = 256;
+}  // namespace
+
+void GemmF32(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n) {
+  support::ParallelFor(0, m, [&](std::int64_t i) {
+    float* crow = c + i * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kKBlock);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }, /*grain_size=*/4);
+}
+
+void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, std::int32_t a_zero, std::int32_t b_zero) {
+  support::ParallelFor(0, m, [&](std::int64_t i) {
+    std::int32_t* crow = c + i * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(std::int32_t));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int32_t aik = static_cast<std::int32_t>(a[i * k + kk]) - a_zero;
+      if (aik == 0) continue;
+      const std::int8_t* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += aik * (static_cast<std::int32_t>(brow[j]) - b_zero);
+      }
+    }
+  }, /*grain_size=*/4);
+}
+
+}  // namespace kernels
+}  // namespace tnp

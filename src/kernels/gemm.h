@@ -1,0 +1,19 @@
+// Dense matrix multiply primitives used by conv (via im2col) and dense.
+#pragma once
+
+#include <cstdint>
+
+namespace tnp {
+namespace kernels {
+
+/// C[m,n] = sum_k A[m,k] * B[k,n].  Row-major, C overwritten.
+/// Parallelized over rows of C on the global thread pool.
+void GemmF32(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n);
+
+/// C[m,n] = sum_k (A[m,k]-a_zero) * (B[k,n]-b_zero), int32 accumulation.
+void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, std::int32_t a_zero, std::int32_t b_zero);
+
+}  // namespace kernels
+}  // namespace tnp

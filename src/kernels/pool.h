@@ -1,0 +1,25 @@
+// Spatial pooling kernels over NCHW activations, float32 and int8.
+//
+// Max pooling on quantized tensors preserves quantization parameters (max of
+// affine-quantized values is the quantized max). Average pooling accumulates
+// in int32 and rounds, also preserving quantization parameters — this is why
+// the Relay->Neuron QNN augmentation can propagate quant params *through*
+// pooling ops (paper Section 3.3).
+#pragma once
+
+#include "kernels/common.h"
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+void MaxPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& params);
+void AvgPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& params);
+void GlobalAvgPool2DF32(const NDArray& input, NDArray& output);
+
+void MaxPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& params);
+void AvgPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& params);
+void GlobalAvgPool2DS8(const NDArray& input, NDArray& output);
+
+}  // namespace kernels
+}  // namespace tnp

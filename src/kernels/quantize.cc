@@ -1,0 +1,109 @@
+#include "kernels/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/elementwise.h"
+#include "support/thread_pool.h"
+
+namespace tnp {
+namespace kernels {
+
+namespace {
+
+inline std::int8_t SaturateToS8(float value) {
+  return static_cast<std::int8_t>(std::clamp(value, -128.0f, 127.0f));
+}
+
+}  // namespace
+
+void QuantizeF32ToS8(const NDArray& input, NDArray& output, const QuantParams& output_q) {
+  TNP_CHECK(output_q.valid);
+  TNP_CHECK(input.shape() == output.shape());
+  const float* in = input.Data<float>();
+  std::int8_t* out = output.Data<std::int8_t>();
+  const float inv_scale = 1.0f / output_q.scale;
+  const float zp = static_cast<float>(output_q.zero_point);
+  const std::int64_t n = input.NumElements();
+  support::ParallelFor(0, n, [&](std::int64_t i) {
+    out[i] = SaturateToS8(std::nearbyintf(in[i] * inv_scale) + zp);
+  }, /*grain_size=*/4096);
+}
+
+void DequantizeS8ToF32(const NDArray& input, NDArray& output, const QuantParams& input_q) {
+  TNP_CHECK(input_q.valid);
+  TNP_CHECK(input.shape() == output.shape());
+  const std::int8_t* in = input.Data<std::int8_t>();
+  float* out = output.Data<float>();
+  const float scale = input_q.scale;
+  const float zp = static_cast<float>(input_q.zero_point);
+  const std::int64_t n = input.NumElements();
+  support::ParallelFor(0, n, [&](std::int64_t i) {
+    out[i] = scale * (static_cast<float>(in[i]) - zp);
+  }, /*grain_size=*/4096);
+}
+
+void RequantizeS8(const NDArray& input, NDArray& output, const QuantParams& input_q,
+                  const QuantParams& output_q) {
+  TNP_CHECK(input_q.valid && output_q.valid);
+  TNP_CHECK(input.shape() == output.shape());
+  const std::int8_t* in = input.Data<std::int8_t>();
+  std::int8_t* out = output.Data<std::int8_t>();
+  const float multiplier = input_q.scale / output_q.scale;
+  const float in_zp = static_cast<float>(input_q.zero_point);
+  const float out_zp = static_cast<float>(output_q.zero_point);
+  const std::int64_t n = input.NumElements();
+  support::ParallelFor(0, n, [&](std::int64_t i) {
+    out[i] = SaturateToS8(std::nearbyintf((static_cast<float>(in[i]) - in_zp) * multiplier) + out_zp);
+  }, /*grain_size=*/4096);
+}
+
+void QAddS8(const NDArray& lhs, const NDArray& rhs, NDArray& output, const QuantParams& lhs_q,
+            const QuantParams& rhs_q, const QuantParams& output_q) {
+  TNP_CHECK(lhs_q.valid && rhs_q.valid && output_q.valid);
+  TNP_CHECK(lhs.shape() == rhs.shape());
+  TNP_CHECK(lhs.shape() == output.shape());
+  const std::int8_t* a = lhs.Data<std::int8_t>();
+  const std::int8_t* b = rhs.Data<std::int8_t>();
+  std::int8_t* out = output.Data<std::int8_t>();
+  const std::int64_t n = output.NumElements();
+  support::ParallelFor(0, n, [&](std::int64_t i) {
+    const float real = lhs_q.Dequantize(a[i]) + rhs_q.Dequantize(b[i]);
+    out[i] = output_q.Quantize(real);
+  }, /*grain_size=*/4096);
+}
+
+void QMulS8(const NDArray& lhs, const NDArray& rhs, NDArray& output, const QuantParams& lhs_q,
+            const QuantParams& rhs_q, const QuantParams& output_q) {
+  TNP_CHECK(lhs_q.valid && rhs_q.valid && output_q.valid);
+  TNP_CHECK(lhs.shape() == rhs.shape());
+  TNP_CHECK(lhs.shape() == output.shape());
+  const std::int8_t* a = lhs.Data<std::int8_t>();
+  const std::int8_t* b = rhs.Data<std::int8_t>();
+  std::int8_t* out = output.Data<std::int8_t>();
+  const std::int64_t n = output.NumElements();
+  support::ParallelFor(0, n, [&](std::int64_t i) {
+    const float real = lhs_q.Dequantize(a[i]) * rhs_q.Dequantize(b[i]);
+    out[i] = output_q.Quantize(real);
+  }, /*grain_size=*/4096);
+}
+
+void QConcatS8(const std::vector<NDArray>& inputs, const std::vector<QuantParams>& input_qs,
+               NDArray& output, const QuantParams& output_q, int axis) {
+  TNP_CHECK_EQ(inputs.size(), input_qs.size());
+  std::vector<NDArray> rescaled;
+  rescaled.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (input_qs[i] == output_q) {
+      rescaled.push_back(inputs[i]);
+    } else {
+      NDArray tmp = NDArray::Empty(inputs[i].shape(), DType::kInt8);
+      RequantizeS8(inputs[i], tmp, input_qs[i], output_q);
+      rescaled.push_back(std::move(tmp));
+    }
+  }
+  Concat(rescaled, output, axis);
+}
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,39 @@
+// Quantize / dequantize / requantize and quantized elementwise kernels.
+//
+// All quantization in this stack is per-tensor affine int8:
+//   real = scale * (q - zero_point)
+#pragma once
+
+#include <vector>
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+/// float32 -> int8 with round-to-nearest-even and saturation.
+void QuantizeF32ToS8(const NDArray& input, NDArray& output, const QuantParams& output_q);
+
+/// int8 -> float32.
+void DequantizeS8ToF32(const NDArray& input, NDArray& output, const QuantParams& input_q);
+
+/// int8 -> int8 under new quantization parameters.
+void RequantizeS8(const NDArray& input, NDArray& output, const QuantParams& input_q,
+                  const QuantParams& output_q);
+
+/// Quantized elementwise add: both inputs rescaled to real space, summed,
+/// and re-quantized to output params (TFLite-style, float intermediate).
+void QAddS8(const NDArray& lhs, const NDArray& rhs, NDArray& output, const QuantParams& lhs_q,
+            const QuantParams& rhs_q, const QuantParams& output_q);
+
+/// Quantized elementwise mul.
+void QMulS8(const NDArray& lhs, const NDArray& rhs, NDArray& output, const QuantParams& lhs_q,
+            const QuantParams& rhs_q, const QuantParams& output_q);
+
+/// Quantized concat: each input is requantized to the output params and
+/// concatenated along `axis`.
+void QConcatS8(const std::vector<NDArray>& inputs, const std::vector<QuantParams>& input_qs,
+               NDArray& output, const QuantParams& output_q, int axis);
+
+}  // namespace kernels
+}  // namespace tnp

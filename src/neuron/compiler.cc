@@ -1,0 +1,26 @@
+#include "neuron/compiler.h"
+
+namespace tnp {
+namespace neuron {
+
+int NeuronPackage::NumOpsOn(sim::DeviceKind device) const {
+  int count = 0;
+  for (const sim::DeviceKind d : plan.placement) {
+    if (d == device) ++count;
+  }
+  return count;
+}
+
+NeuronPackagePtr NeuronCompiler::Compile(NeuronModel model, const std::string& name) const {
+  model.Validate();
+  ExecutionPlan plan = PlanExecution(model, options_.target, *options_.testbed, options_.policy);
+  auto package = std::make_shared<NeuronPackage>();
+  package->name = name;
+  package->model = std::move(model);
+  package->plan = std::move(plan);
+  package->options = options_;
+  return package;
+}
+
+}  // namespace neuron
+}  // namespace tnp

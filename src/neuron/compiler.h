@@ -1,0 +1,45 @@
+// NeuronCompiler — validates a NeuronModel, runs the Execution Planner and
+// produces an executable NeuronPackage ("the Runtime will infer the output
+// binary after the Compiler has completed its work", paper Section 2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "neuron/planner.h"
+
+namespace tnp {
+namespace neuron {
+
+struct CompilerOptions {
+  TargetConfig target = TargetConfig::CpuOnly();
+  const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
+  PlannerPolicy policy = PlannerPolicy::kGreedyCost;
+};
+
+/// Compiled artifact: the model plus its device placement. Immutable.
+struct NeuronPackage {
+  std::string name;
+  NeuronModel model;
+  ExecutionPlan plan;
+  CompilerOptions options;
+
+  int NumOps() const { return static_cast<int>(model.operations().size()); }
+  int NumOpsOn(sim::DeviceKind device) const;
+};
+
+using NeuronPackagePtr = std::shared_ptr<const NeuronPackage>;
+
+class NeuronCompiler {
+ public:
+  explicit NeuronCompiler(CompilerOptions options) : options_(std::move(options)) {}
+
+  /// Throws kCompileError / kUnsupportedOp on invalid or unplannable models.
+  NeuronPackagePtr Compile(NeuronModel model, const std::string& name) const;
+
+ private:
+  CompilerOptions options_;
+};
+
+}  // namespace neuron
+}  // namespace tnp

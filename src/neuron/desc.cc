@@ -1,0 +1,68 @@
+#include "neuron/desc.h"
+
+namespace tnp {
+namespace neuron {
+
+namespace {
+
+sim::OpCategory CategoryOf(NeuronOpType type) {
+  switch (type) {
+    case NeuronOpType::kConv2d: return sim::OpCategory::kConv;
+    case NeuronOpType::kFullyConnected: return sim::OpCategory::kDense;
+    case NeuronOpType::kMaxPool2d:
+    case NeuronOpType::kAvgPool2d:
+    case NeuronOpType::kGlobalAvgPool2d:
+      return sim::OpCategory::kPool;
+    case NeuronOpType::kSoftmax: return sim::OpCategory::kSoftmax;
+    case NeuronOpType::kConcat:
+    case NeuronOpType::kReshape:
+    case NeuronOpType::kPad:
+      return sim::OpCategory::kDataMove;
+    case NeuronOpType::kQuantize:
+    case NeuronOpType::kDequantize:
+    case NeuronOpType::kRequantize:
+      return sim::OpCategory::kQuantize;
+    default:
+      return sim::OpCategory::kElementwise;
+  }
+}
+
+}  // namespace
+
+sim::OpDesc DescribeOperation(const NeuronModel& model, const Operation& op) {
+  sim::OpDesc desc;
+  desc.category = CategoryOf(op.type);
+  desc.name = NeuronOpTypeName(op.type);
+
+  for (const OperandId id : op.inputs) {
+    const Operand& operand = model.operand(id);
+    if (operand.kind == OperandKind::kConstant) {
+      desc.weight_bytes += operand.SizeBytes();
+    } else {
+      desc.input_bytes += operand.SizeBytes();
+    }
+  }
+  for (const OperandId id : op.outputs) {
+    desc.output_bytes += model.operand(id).SizeBytes();
+    desc.int8 = desc.int8 || model.operand(id).dtype == DType::kInt8;
+  }
+
+  if (op.type == NeuronOpType::kConv2d && op.inputs.size() >= 2 && !op.outputs.empty()) {
+    const Operand& weight = model.operand(op.inputs[1]);
+    const Operand& out = model.operand(op.outputs[0]);
+    if (weight.shape.rank() == 4) {
+      desc.macs = out.shape.NumElements() * weight.shape[1] * weight.shape[2] * weight.shape[3];
+    }
+  } else if (op.type == NeuronOpType::kFullyConnected && op.inputs.size() >= 2 &&
+             !op.outputs.empty()) {
+    const Operand& weight = model.operand(op.inputs[1]);
+    const Operand& out = model.operand(op.outputs[0]);
+    if (weight.shape.rank() == 2) {
+      desc.macs = out.shape.NumElements() * weight.shape[1];
+    }
+  }
+  return desc;
+}
+
+}  // namespace neuron
+}  // namespace tnp

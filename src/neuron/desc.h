@@ -1,0 +1,14 @@
+// Cost descriptors for Neuron operations (feeds the shared sim::CostModel).
+#pragma once
+
+#include "neuron/ir.h"
+#include "sim/cost_model.h"
+
+namespace tnp {
+namespace neuron {
+
+/// Build the device-independent cost descriptor of one Neuron operation.
+sim::OpDesc DescribeOperation(const NeuronModel& model, const Operation& operation);
+
+}  // namespace neuron
+}  // namespace tnp

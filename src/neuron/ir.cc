@@ -1,0 +1,150 @@
+#include "neuron/ir.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace neuron {
+
+const char* NeuronOpTypeName(NeuronOpType type) {
+  switch (type) {
+    case NeuronOpType::kConv2d: return "CONV_2D";
+    case NeuronOpType::kFullyConnected: return "FULLY_CONNECTED";
+    case NeuronOpType::kAdd: return "ADD";
+    case NeuronOpType::kMul: return "MUL";
+    case NeuronOpType::kSub: return "SUB";
+    case NeuronOpType::kDiv: return "DIV";
+    case NeuronOpType::kMax: return "MAXIMUM";
+    case NeuronOpType::kMin: return "MINIMUM";
+    case NeuronOpType::kRelu: return "RELU";
+    case NeuronOpType::kClip: return "CLIP";
+    case NeuronOpType::kMaxPool2d: return "MAX_POOL_2D";
+    case NeuronOpType::kAvgPool2d: return "AVERAGE_POOL_2D";
+    case NeuronOpType::kGlobalAvgPool2d: return "GLOBAL_AVERAGE_POOL_2D";
+    case NeuronOpType::kSoftmax: return "SOFTMAX";
+    case NeuronOpType::kConcat: return "CONCATENATION";
+    case NeuronOpType::kReshape: return "RESHAPE";
+    case NeuronOpType::kBatchNorm: return "BATCH_NORM";
+    case NeuronOpType::kPad: return "PAD";
+    case NeuronOpType::kQuantize: return "QUANTIZE";
+    case NeuronOpType::kDequantize: return "DEQUANTIZE";
+    case NeuronOpType::kRequantize: return "REQUANTIZE";
+  }
+  return "?";
+}
+
+OperandId NeuronModel::AddOperand(Operand operand) {
+  operands_.push_back(std::move(operand));
+  return static_cast<OperandId>(operands_.size()) - 1;
+}
+
+OperandId NeuronModel::AddConstant(const std::string& name, NDArray data) {
+  Operand operand;
+  operand.name = name;
+  operand.shape = data.shape();
+  operand.dtype = data.dtype();
+  operand.quant = data.quant();
+  operand.kind = OperandKind::kConstant;
+  operand.data = std::move(data);
+  return AddOperand(std::move(operand));
+}
+
+void NeuronModel::AddOperation(Operation operation) {
+  operations_.push_back(std::move(operation));
+}
+
+Operand& NeuronModel::operand(OperandId id) {
+  TNP_CHECK(id >= 0 && id < static_cast<OperandId>(operands_.size()));
+  return operands_[static_cast<std::size_t>(id)];
+}
+
+const Operand& NeuronModel::operand(OperandId id) const {
+  TNP_CHECK(id >= 0 && id < static_cast<OperandId>(operands_.size()));
+  return operands_[static_cast<std::size_t>(id)];
+}
+
+void NeuronModel::Validate() const {
+  const auto check_id = [&](OperandId id, const char* what) {
+    if (id < 0 || id >= static_cast<OperandId>(operands_.size())) {
+      TNP_THROW(kCompileError) << "NeuronModel: " << what << " operand id " << id
+                               << " out of range";
+    }
+  };
+
+  std::unordered_set<OperandId> produced;
+  for (const OperandId id : model_inputs_) {
+    check_id(id, "model input");
+    if (operand(id).kind != OperandKind::kInput) {
+      TNP_THROW(kCompileError) << "NeuronModel: model input operand " << id
+                               << " is not of kind kInput";
+    }
+    produced.insert(id);
+  }
+  for (OperandId id = 0; id < static_cast<OperandId>(operands_.size()); ++id) {
+    if (operand(id).kind == OperandKind::kConstant) {
+      if (!operand(id).data.defined()) {
+        TNP_THROW(kCompileError) << "NeuronModel: constant operand " << id << " has no data";
+      }
+      produced.insert(id);
+    }
+  }
+
+  for (std::size_t op_index = 0; op_index < operations_.size(); ++op_index) {
+    const Operation& op = operations_[op_index];
+    for (const OperandId id : op.inputs) {
+      check_id(id, "operation input");
+      if (produced.count(id) == 0) {
+        TNP_THROW(kCompileError) << "NeuronModel: operation " << op_index << " ("
+                                 << NeuronOpTypeName(op.type) << ") reads operand " << id
+                                 << " before it is produced (not topologically ordered)";
+      }
+    }
+    for (const OperandId id : op.outputs) {
+      check_id(id, "operation output");
+      if (!produced.insert(id).second) {
+        TNP_THROW(kCompileError) << "NeuronModel: operand " << id << " produced twice";
+      }
+    }
+  }
+
+  for (const OperandId id : model_outputs_) {
+    check_id(id, "model output");
+    if (produced.count(id) == 0) {
+      TNP_THROW(kCompileError) << "NeuronModel: model output " << id << " never produced";
+    }
+  }
+  if (model_outputs_.empty()) {
+    TNP_THROW(kCompileError) << "NeuronModel: no model outputs";
+  }
+}
+
+std::string NeuronModel::ToString() const {
+  std::ostringstream os;
+  os << "NeuronModel: " << operands_.size() << " operands, " << operations_.size()
+     << " operations\n";
+  for (std::size_t i = 0; i < operands_.size(); ++i) {
+    const Operand& operand = operands_[i];
+    os << "  %" << i << " " << operand.shape.ToString() << ":" << DTypeName(operand.dtype);
+    if (operand.quant.valid) os << " q(" << operand.quant.ToString() << ")";
+    switch (operand.kind) {
+      case OperandKind::kInput: os << " [input]"; break;
+      case OperandKind::kConstant: os << " [const]"; break;
+      case OperandKind::kTemporary: break;
+    }
+    if (!operand.name.empty()) os << " \"" << operand.name << "\"";
+    os << "\n";
+  }
+  for (const Operation& op : operations_) {
+    os << "  " << NeuronOpTypeName(op.type) << "(";
+    for (std::size_t i = 0; i < op.inputs.size(); ++i) os << (i ? ", %" : "%") << op.inputs[i];
+    os << ") -> ";
+    for (std::size_t i = 0; i < op.outputs.size(); ++i) os << (i ? ", %" : "%") << op.outputs[i];
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace neuron
+}  // namespace tnp

@@ -1,0 +1,131 @@
+// Neuron IR — the simulated NeuroPilot compiler's input representation.
+//
+// Unlike Relay (an expression AST with operator-oriented quantization
+// attributes), Neuron IR is *tensor-oriented* in the NNAPI style: a flat
+// table of operands (each carrying shape, dtype and, for quantized models,
+// its own per-tensor QuantParams) plus a list of operations referencing
+// operands by index. Converting Relay's operator-oriented quantization info
+// onto these operands is the paper's Section 3.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace neuron {
+
+enum class NeuronOpType : std::uint8_t {
+  kConv2d,          ///< grouped conv covers depthwise; dtype selects int8 path
+  kFullyConnected,
+  kAdd,
+  kMul,
+  kSub,
+  kDiv,
+  kMax,
+  kMin,
+  kRelu,
+  kClip,
+  kMaxPool2d,
+  kAvgPool2d,
+  kGlobalAvgPool2d,
+  kSoftmax,
+  kConcat,
+  kReshape,
+  kBatchNorm,
+  kPad,
+  kQuantize,
+  kDequantize,
+  kRequantize,
+};
+
+const char* NeuronOpTypeName(NeuronOpType type);
+
+/// Scalar/parameter attributes of a Neuron operation. NNAPI passes these as
+/// scalar operands; a typed struct is the C++-friendly equivalent.
+struct NeuronOpAttrs {
+  std::vector<std::int64_t> strides{1, 1};
+  std::vector<std::int64_t> padding{0, 0};
+  std::vector<std::int64_t> dilation{1, 1};
+  std::int64_t groups = 1;
+  std::vector<std::int64_t> pool_size{1, 1};
+  bool count_include_pad = false;
+  int axis = 1;
+  float alpha = 0.0f;
+  float clip_min = 0.0f;
+  float clip_max = 0.0f;
+  float epsilon = 1e-5f;
+  std::vector<std::int64_t> newshape;
+  std::vector<std::int64_t> pad_before;
+  std::vector<std::int64_t> pad_after;
+  double pad_value = 0.0;
+};
+
+enum class OperandKind : std::uint8_t {
+  kInput,      ///< model input, bound at execution time
+  kConstant,   ///< weights/bias captured at build time
+  kTemporary,  ///< intermediate tensor
+};
+
+struct Operand {
+  std::string name;
+  Shape shape;
+  DType dtype = DType::kFloat32;
+  /// Tensor-oriented quantization parameters (valid for quantized tensors).
+  QuantParams quant;
+  OperandKind kind = OperandKind::kTemporary;
+  NDArray data;  ///< defined only for kConstant
+
+  std::int64_t SizeBytes() const {
+    return shape.NumElements() * static_cast<std::int64_t>(DTypeBytes(dtype));
+  }
+};
+
+using OperandId = int;
+
+struct Operation {
+  NeuronOpType type = NeuronOpType::kConv2d;
+  NeuronOpAttrs attrs;
+  std::vector<OperandId> inputs;
+  std::vector<OperandId> outputs;
+};
+
+/// A complete Neuron model (one partitioned subgraph, or a whole network in
+/// the NeuroPilot-only flow).
+class NeuronModel {
+ public:
+  OperandId AddOperand(Operand operand);
+  /// Convenience for constants: captures shape/dtype/quant from the array.
+  OperandId AddConstant(const std::string& name, NDArray data);
+
+  void AddOperation(Operation operation);
+
+  void SetModelInputs(std::vector<OperandId> inputs) { model_inputs_ = std::move(inputs); }
+  void SetModelOutputs(std::vector<OperandId> outputs) { model_outputs_ = std::move(outputs); }
+
+  const std::vector<Operand>& operands() const { return operands_; }
+  const std::vector<Operation>& operations() const { return operations_; }
+  const std::vector<OperandId>& model_inputs() const { return model_inputs_; }
+  const std::vector<OperandId>& model_outputs() const { return model_outputs_; }
+
+  Operand& operand(OperandId id);
+  const Operand& operand(OperandId id) const;
+
+  /// Structural validation: operand ids in range, operations topologically
+  /// ordered (every input produced before use or input/constant), outputs
+  /// produced exactly once. Throws kCompileError on violations.
+  void Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Operand> operands_;
+  std::vector<Operation> operations_;
+  std::vector<OperandId> model_inputs_;
+  std::vector<OperandId> model_outputs_;
+};
+
+}  // namespace neuron
+}  // namespace tnp

@@ -1,0 +1,266 @@
+#include "neuron/planner.h"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace neuron {
+
+namespace {
+
+double DmaUs(const sim::CostModel& cost_model, std::int64_t bytes) {
+  return cost_model.TransferMicros(bytes, sim::DeviceKind::kNeuronCpu,
+                                   sim::DeviceKind::kNeuronApu);
+}
+
+/// The greedy policy described in the header: per-op argmin of compute +
+/// upstream transfer cost, with a download penalty for model outputs.
+ExecutionPlan PlanGreedy(const NeuronModel& model, const TargetConfig& target,
+                         const sim::Testbed& testbed, PlannerPolicy policy) {
+  const sim::CostModel cost_model(testbed);
+  const std::vector<sim::DeviceKind> devices = target.Devices();
+
+  ExecutionPlan plan;
+  plan.placement.reserve(model.operations().size());
+
+  // Resources each operand is currently resident on. Model inputs arrive in
+  // host (CPU) memory; constants are preloaded per device by the compiler,
+  // so they never incur runtime transfers.
+  std::vector<std::set<sim::Resource>> residence(model.operands().size());
+  for (const OperandId id : model.model_inputs()) {
+    residence[static_cast<std::size_t>(id)].insert(sim::Resource::kCpu);
+  }
+
+  for (const Operation& op : model.operations()) {
+    const sim::OpDesc desc = DescribeOperation(model, op);
+
+    // Does this op produce a model output? Its result must end up in host
+    // memory, so APU placement pays the download too.
+    bool produces_model_output = false;
+    for (const OperandId id : op.outputs) {
+      for (const OperandId out : model.model_outputs()) {
+        if (id == out) produces_model_output = true;
+      }
+    }
+
+    sim::DeviceKind best_device = sim::DeviceKind::kNeuronCpu;
+    double best_cost = std::numeric_limits<double>::infinity();
+    bool found = false;
+
+    for (const sim::DeviceKind device : devices) {
+      if (!DeviceSupports(device, op.type)) continue;
+      double cost = cost_model.OpMicros(desc, device);
+      if (produces_model_output && device == sim::DeviceKind::kNeuronApu) {
+        for (const OperandId id : op.outputs) {
+          cost += DmaUs(cost_model, model.operand(id).SizeBytes());
+        }
+      }
+      const sim::Resource resource = sim::ResourceOf(device);
+      for (const OperandId id : op.inputs) {
+        const Operand& operand = model.operand(id);
+        if (operand.kind == OperandKind::kConstant) continue;
+        if (residence[static_cast<std::size_t>(id)].count(resource) == 0) {
+          cost += DmaUs(cost_model, operand.SizeBytes());
+        }
+      }
+      if (!found || cost < best_cost) {
+        best_device = device;
+        best_cost = cost;
+        found = true;
+      }
+      if (policy == PlannerPolicy::kFirstDevice && found) break;
+    }
+
+    if (!found) {
+      TNP_THROW(kUnsupportedOp) << "NeuroPilot Execution Planner: operator "
+                                << NeuronOpTypeName(op.type)
+                                << " is not supported on any enabled device (targets: "
+                                << target.ToString() << ")";
+    }
+
+    const sim::Resource resource = sim::ResourceOf(best_device);
+    for (const OperandId id : op.inputs) {
+      if (model.operand(id).kind == OperandKind::kConstant) continue;
+      residence[static_cast<std::size_t>(id)].insert(resource);
+    }
+    for (const OperandId id : op.outputs) {
+      residence[static_cast<std::size_t>(id)].insert(resource);
+    }
+    plan.placement.push_back(best_device);
+  }
+  return plan;
+}
+
+/// Iterative refinement (the kDynamic policy): start from the greedy plan,
+/// then sweep the operation list re-choosing each op's device against its
+/// *actual* producers and consumers — i.e. with downstream I/O visibility,
+/// which the one-pass greedy lacks — until a fixed point.
+void RefinePlacement(const NeuronModel& model, const TargetConfig& target,
+                     const sim::Testbed& testbed, std::vector<sim::DeviceKind>& placement) {
+  const sim::CostModel cost_model(testbed);
+  const std::vector<sim::DeviceKind> devices = target.Devices();
+
+  // operand -> producing op index (-1 for inputs/constants).
+  std::unordered_map<OperandId, int> producer;
+  // op index -> list of (consumer op index) per operand it produces.
+  std::vector<std::vector<int>> consumers(model.operations().size());
+  for (std::size_t i = 0; i < model.operations().size(); ++i) {
+    for (const OperandId id : model.operations()[i].inputs) {
+      const auto it = producer.find(id);
+      if (it != producer.end()) consumers[static_cast<std::size_t>(it->second)].push_back(static_cast<int>(i));
+    }
+    for (const OperandId id : model.operations()[i].outputs) {
+      producer[id] = static_cast<int>(i);
+    }
+  }
+
+  const auto resource_of_op = [&](int index) {
+    return sim::ResourceOf(placement[static_cast<std::size_t>(index)]);
+  };
+
+  for (int sweep = 0; sweep < 6; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < model.operations().size(); ++i) {
+      const Operation& op = model.operations()[i];
+      const sim::OpDesc desc = DescribeOperation(model, op);
+
+      sim::DeviceKind best_device = placement[i];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (const sim::DeviceKind device : devices) {
+        if (!DeviceSupports(device, op.type)) continue;
+        const sim::Resource resource = sim::ResourceOf(device);
+        double cost = cost_model.OpMicros(desc, device);
+        // Upstream transfers: inputs produced on another resource.
+        for (const OperandId id : op.inputs) {
+          const Operand& operand = model.operand(id);
+          if (operand.kind == OperandKind::kConstant) continue;
+          const auto it = producer.find(id);
+          const sim::Resource from =
+              it != producer.end() ? resource_of_op(it->second) : sim::Resource::kCpu;
+          if (from != resource) cost += DmaUs(cost_model, operand.SizeBytes());
+        }
+        // Downstream transfers: consumers on another resource, and model
+        // outputs that must land on the host.
+        for (const OperandId id : op.outputs) {
+          const Operand& operand = model.operand(id);
+          std::set<sim::Resource> consumer_resources;
+          const auto it = producer.find(id);
+          if (it != producer.end()) {
+            for (const int consumer : consumers[static_cast<std::size_t>(it->second)]) {
+              consumer_resources.insert(resource_of_op(consumer));
+            }
+          }
+          for (const OperandId out : model.model_outputs()) {
+            if (id == out) consumer_resources.insert(sim::Resource::kCpu);
+          }
+          for (const sim::Resource to : consumer_resources) {
+            if (to != resource) cost += DmaUs(cost_model, operand.SizeBytes());
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_device = device;
+        }
+      }
+      if (best_device != placement[i]) {
+        placement[i] = best_device;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+}  // namespace
+
+double EstimatePlanUs(const NeuronModel& model, const std::vector<sim::DeviceKind>& placement,
+                      const sim::Testbed& testbed) {
+  TNP_CHECK_EQ(placement.size(), model.operations().size());
+  const sim::CostModel cost_model(testbed);
+  double total = 0.0;
+
+  std::vector<std::set<sim::Resource>> residence(model.operands().size());
+  for (const OperandId id : model.model_inputs()) {
+    residence[static_cast<std::size_t>(id)].insert(sim::Resource::kCpu);
+  }
+
+  for (std::size_t i = 0; i < model.operations().size(); ++i) {
+    const Operation& op = model.operations()[i];
+    const sim::DeviceKind device = placement[i];
+    const sim::Resource resource = sim::ResourceOf(device);
+    for (const OperandId id : op.inputs) {
+      const Operand& operand = model.operand(id);
+      if (operand.kind == OperandKind::kConstant) continue;
+      auto& where = residence[static_cast<std::size_t>(id)];
+      if (where.count(resource) == 0) {
+        total += cost_model.TransferMicros(operand.SizeBytes(), sim::DeviceKind::kNeuronCpu,
+                                           sim::DeviceKind::kNeuronApu);
+        where.insert(resource);
+      }
+    }
+    const sim::OpDesc desc = DescribeOperation(model, op);
+    total += cost_model.OpMicros(desc, device);
+    for (const OperandId id : op.outputs) {
+      residence[static_cast<std::size_t>(id)].insert(resource);
+    }
+  }
+  for (const OperandId id : model.model_outputs()) {
+    if (residence[static_cast<std::size_t>(id)].count(sim::Resource::kCpu) == 0) {
+      total += cost_model.TransferMicros(model.operand(id).SizeBytes(),
+                                         sim::DeviceKind::kNeuronApu,
+                                         sim::DeviceKind::kNeuronCpu);
+    }
+  }
+  return total;
+}
+
+ExecutionPlan PlanExecution(const NeuronModel& model, const TargetConfig& target,
+                            const sim::Testbed& testbed, PlannerPolicy policy) {
+  model.Validate();
+  ExecutionPlan plan = PlanGreedy(
+      model, target, testbed,
+      policy == PlannerPolicy::kFirstDevice ? PlannerPolicy::kFirstDevice
+                                            : PlannerPolicy::kGreedyCost);
+  if (policy == PlannerPolicy::kDynamic) {
+    // Local-search refinement from several starting points (the greedy plan
+    // and each feasible uniform placement); pairwise-coupled assignments
+    // like conv+activation both stranded on the APU are local minima a
+    // single start cannot escape. Keep the best candidate.
+    std::vector<std::vector<sim::DeviceKind>> candidates;
+    candidates.push_back(plan.placement);
+    for (const sim::DeviceKind device : target.Devices()) {
+      bool feasible = true;
+      for (const Operation& op : model.operations()) {
+        if (!DeviceSupports(device, op.type)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        candidates.emplace_back(model.operations().size(), device);
+      }
+    }
+
+    double best_us = std::numeric_limits<double>::infinity();
+    std::vector<sim::DeviceKind> best = plan.placement;
+    for (auto& candidate : candidates) {
+      RefinePlacement(model, target, testbed, candidate);
+      const double us = EstimatePlanUs(model, candidate, testbed);
+      if (us < best_us) {
+        best_us = us;
+        best = candidate;
+      }
+    }
+    if (best_us <= EstimatePlanUs(model, plan.placement, testbed)) {
+      plan.placement = std::move(best);
+    }
+  }
+  plan.estimated_us = EstimatePlanUs(model, plan.placement, testbed);
+  return plan;
+}
+
+}  // namespace neuron
+}  // namespace tnp

@@ -1,0 +1,55 @@
+// Execution Planner — NeuroPilot's device-assignment stage.
+//
+// Given a NeuronModel and the enabled target devices, assigns every
+// operation to a device. The greedy policy walks operations in topological
+// order and picks, per op, the eligible device minimizing
+//     op_cost(device) + transfer cost of inputs not yet resident there,
+// which naturally keeps chains on one device and offloads MAC-heavy ops to
+// the APU while leaving APU-unsupported ops on the CPU.
+//
+// An op supported by *no* enabled device is a hard compile error
+// (kUnsupportedOp) — in the NeuroPilot-only flow this is what produces the
+// paper's missing Figure-4/6 bars.
+#pragma once
+
+#include <vector>
+
+#include "neuron/desc.h"
+#include "neuron/support_matrix.h"
+#include "sim/device.h"
+
+namespace tnp {
+namespace neuron {
+
+struct ExecutionPlan {
+  /// Device of operations[i].
+  std::vector<sim::DeviceKind> placement;
+  /// Planner's own latency estimate (microseconds, incl. transfers).
+  double estimated_us = 0.0;
+};
+
+enum class PlannerPolicy {
+  kGreedyCost,   ///< cost-aware greedy (default, described above)
+  kFirstDevice,  ///< naive: first eligible enabled device (ablation baseline)
+  /// Dynamic-programming lookahead over the operation sequence: minimizes
+  /// total (compute + transfer) time over all device assignments, treating
+  /// the model as a chain keyed by where the "live frontier" resides. This
+  /// is the "harder computation scheduling algorithm ... consider the I/O
+  /// time while transferring data between targets" the paper defers to
+  /// future work (Section 5.1), at operation granularity.
+  kDynamic,
+};
+
+ExecutionPlan PlanExecution(const NeuronModel& model, const TargetConfig& target,
+                            const sim::Testbed& testbed,
+                            PlannerPolicy policy = PlannerPolicy::kGreedyCost);
+
+/// Sequential-execution time estimate of an arbitrary placement, using the
+/// same residence/transfer accounting as the Neuron runtime (excluding the
+/// fixed invocation overhead). Shared by the planner policies so their
+/// estimates are comparable.
+double EstimatePlanUs(const NeuronModel& model, const std::vector<sim::DeviceKind>& placement,
+                      const sim::Testbed& testbed);
+
+}  // namespace neuron
+}  // namespace tnp

@@ -1,0 +1,270 @@
+#include "neuron/runtime.h"
+
+#include <set>
+
+#include "kernels/conv.h"
+#include "kernels/dense.h"
+#include "kernels/elementwise.h"
+#include "kernels/pool.h"
+#include "kernels/quantize.h"
+#include "neuron/desc.h"
+#include "support/logging.h"
+
+namespace tnp {
+namespace neuron {
+
+namespace {
+
+kernels::Conv2DParams ConvParams(const NeuronOpAttrs& attrs) {
+  kernels::Conv2DParams p;
+  p.stride_h = attrs.strides[0];
+  p.stride_w = attrs.strides[1];
+  p.pad_h = attrs.padding[0];
+  p.pad_w = attrs.padding[1];
+  p.dilation_h = attrs.dilation[0];
+  p.dilation_w = attrs.dilation[1];
+  p.groups = attrs.groups;
+  return p;
+}
+
+kernels::Pool2DParams PoolParams(const NeuronOpAttrs& attrs) {
+  kernels::Pool2DParams p;
+  p.kernel_h = attrs.pool_size[0];
+  p.kernel_w = attrs.pool_size[1];
+  p.stride_h = attrs.strides[0];
+  p.stride_w = attrs.strides[1];
+  p.pad_h = attrs.padding[0];
+  p.pad_w = attrs.padding[1];
+  p.count_include_pad = attrs.count_include_pad;
+  return p;
+}
+
+/// Executes one Neuron operation numerically.
+void RunOperation(const NeuronModel& model, const Operation& op,
+                  std::vector<NDArray>& values) {
+  const auto in = [&](std::size_t i) -> const NDArray& {
+    const NDArray& value = values[static_cast<std::size_t>(op.inputs.at(i))];
+    TNP_CHECK(value.defined()) << "operand %" << op.inputs.at(i) << " not materialized";
+    return value;
+  };
+  const auto in_quant = [&](std::size_t i) -> const QuantParams& {
+    return model.operand(op.inputs.at(i)).quant;
+  };
+  const Operand& out_operand = model.operand(op.outputs.at(0));
+  NDArray out = NDArray::Empty(out_operand.shape, out_operand.dtype);
+  const QuantParams& out_quant = out_operand.quant;
+  const bool int8_out = out_operand.dtype == DType::kInt8;
+
+  switch (op.type) {
+    case NeuronOpType::kConv2d: {
+      const NDArray bias = op.inputs.size() > 2 ? in(2) : NDArray();
+      if (int8_out) {
+        kernels::QConv2DS8(in(0), in(1), bias, out, ConvParams(op.attrs), in_quant(0),
+                           in_quant(1), out_quant);
+      } else {
+        kernels::Conv2DF32(in(0), in(1), bias, out, ConvParams(op.attrs));
+      }
+      break;
+    }
+    case NeuronOpType::kFullyConnected: {
+      const NDArray bias = op.inputs.size() > 2 ? in(2) : NDArray();
+      if (int8_out) {
+        kernels::QDenseS8(in(0), in(1), bias, out, in_quant(0), in_quant(1), out_quant);
+      } else {
+        kernels::DenseF32(in(0), in(1), bias, out);
+      }
+      break;
+    }
+    case NeuronOpType::kAdd:
+      if (int8_out) {
+        kernels::QAddS8(in(0), in(1), out, in_quant(0), in_quant(1), out_quant);
+      } else {
+        kernels::BroadcastBinaryF32(kernels::BinaryOp::kAdd, in(0), in(1), out);
+      }
+      break;
+    case NeuronOpType::kMul:
+      if (int8_out) {
+        kernels::QMulS8(in(0), in(1), out, in_quant(0), in_quant(1), out_quant);
+      } else {
+        kernels::BroadcastBinaryF32(kernels::BinaryOp::kMul, in(0), in(1), out);
+      }
+      break;
+    case NeuronOpType::kSub:
+      kernels::BroadcastBinaryF32(kernels::BinaryOp::kSub, in(0), in(1), out);
+      break;
+    case NeuronOpType::kDiv:
+      kernels::BroadcastBinaryF32(kernels::BinaryOp::kDiv, in(0), in(1), out);
+      break;
+    case NeuronOpType::kMax:
+      kernels::BroadcastBinaryF32(kernels::BinaryOp::kMax, in(0), in(1), out);
+      break;
+    case NeuronOpType::kMin:
+      kernels::BroadcastBinaryF32(kernels::BinaryOp::kMin, in(0), in(1), out);
+      break;
+    case NeuronOpType::kRelu:
+      if (int8_out) {
+        kernels::ReluS8(in(0), out, in_quant(0).valid ? in_quant(0).zero_point : 0);
+      } else {
+        kernels::ReluF32(in(0), out);
+      }
+      break;
+    case NeuronOpType::kClip:
+      kernels::ClipF32(in(0), out, op.attrs.clip_min, op.attrs.clip_max);
+      break;
+    case NeuronOpType::kMaxPool2d:
+      if (int8_out) {
+        kernels::MaxPool2DS8(in(0), out, PoolParams(op.attrs));
+      } else {
+        kernels::MaxPool2DF32(in(0), out, PoolParams(op.attrs));
+      }
+      break;
+    case NeuronOpType::kAvgPool2d:
+      if (int8_out) {
+        kernels::AvgPool2DS8(in(0), out, PoolParams(op.attrs));
+      } else {
+        kernels::AvgPool2DF32(in(0), out, PoolParams(op.attrs));
+      }
+      break;
+    case NeuronOpType::kGlobalAvgPool2d:
+      if (int8_out) {
+        kernels::GlobalAvgPool2DS8(in(0), out);
+      } else {
+        kernels::GlobalAvgPool2DF32(in(0), out);
+      }
+      break;
+    case NeuronOpType::kSoftmax:
+      kernels::SoftmaxF32(in(0), out, op.attrs.axis);
+      break;
+    case NeuronOpType::kConcat: {
+      std::vector<NDArray> tensors;
+      tensors.reserve(op.inputs.size());
+      for (std::size_t i = 0; i < op.inputs.size(); ++i) tensors.push_back(in(i));
+      if (int8_out) {
+        std::vector<QuantParams> qs;
+        for (std::size_t i = 0; i < op.inputs.size(); ++i) qs.push_back(in_quant(i));
+        kernels::QConcatS8(tensors, qs, out, out_quant, op.attrs.axis);
+      } else {
+        kernels::Concat(tensors, out, op.attrs.axis);
+      }
+      break;
+    }
+    case NeuronOpType::kReshape:
+      out = in(0).Reshape(out_operand.shape).CopyDeep();
+      break;
+    case NeuronOpType::kBatchNorm:
+      kernels::BatchNormF32(in(0), in(1), in(2), in(3), in(4), out, op.attrs.epsilon);
+      break;
+    case NeuronOpType::kPad:
+      kernels::PadConstant(in(0), out, op.attrs.pad_before, op.attrs.pad_after,
+                           op.attrs.pad_value);
+      break;
+    case NeuronOpType::kQuantize:
+      kernels::QuantizeF32ToS8(in(0), out, out_quant);
+      break;
+    case NeuronOpType::kDequantize:
+      kernels::DequantizeS8ToF32(in(0), out, in_quant(0));
+      break;
+    case NeuronOpType::kRequantize:
+      kernels::RequantizeS8(in(0), out, in_quant(0), out_quant);
+      break;
+  }
+  values[static_cast<std::size_t>(op.outputs.at(0))] = std::move(out);
+}
+
+}  // namespace
+
+std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
+                                            const std::vector<NDArray>& inputs,
+                                            sim::SimClock* clock, bool execute_numerics) {
+  const NeuronModel& model = package.model;
+  const sim::CostModel cost_model(*package.options.testbed);
+
+  sim::SimClock local_clock;
+  local_clock.AddTransfer(0, kInvocationOverheadUs);  // session dispatch
+
+  std::vector<NDArray> values;
+  if (execute_numerics) {
+    TNP_CHECK_EQ(inputs.size(), model.model_inputs().size())
+        << "NeuronRuntime: input count mismatch for package '" << package.name << "'";
+    values.resize(model.operands().size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Operand& operand = model.operand(model.model_inputs()[i]);
+      TNP_CHECK(inputs[i].defined());
+      TNP_CHECK(inputs[i].shape() == operand.shape)
+          << "input " << i << " shape " << inputs[i].shape().ToString() << " != operand "
+          << operand.shape.ToString();
+      TNP_CHECK(inputs[i].dtype() == operand.dtype);
+      values[static_cast<std::size_t>(model.model_inputs()[i])] = inputs[i];
+    }
+    for (OperandId id = 0; id < static_cast<OperandId>(model.operands().size()); ++id) {
+      if (model.operand(id).kind == OperandKind::kConstant) {
+        values[static_cast<std::size_t>(id)] = model.operand(id).data;
+      }
+    }
+  }
+
+  // Residence tracking mirrors the planner so transfer costs match the plan.
+  std::vector<std::set<sim::Resource>> residence(model.operands().size());
+  for (const OperandId id : model.model_inputs()) {
+    residence[static_cast<std::size_t>(id)].insert(sim::Resource::kCpu);
+  }
+
+  TNP_CHECK_EQ(package.plan.placement.size(), model.operations().size());
+  for (std::size_t op_index = 0; op_index < model.operations().size(); ++op_index) {
+    const Operation& op = model.operations()[op_index];
+    const sim::DeviceKind device = package.plan.placement[op_index];
+    const sim::Resource resource = sim::ResourceOf(device);
+
+    // DMA any non-resident inputs.
+    for (const OperandId id : op.inputs) {
+      const Operand& operand = model.operand(id);
+      if (operand.kind == OperandKind::kConstant) continue;
+      auto& where = residence[static_cast<std::size_t>(id)];
+      if (where.count(resource) == 0) {
+        local_clock.AddTransfer(
+            operand.SizeBytes(),
+            cost_model.TransferMicros(operand.SizeBytes(), sim::DeviceKind::kNeuronCpu,
+                                      resource == sim::Resource::kApu
+                                          ? sim::DeviceKind::kNeuronApu
+                                          : sim::DeviceKind::kNeuronCpu) +
+                (resource == sim::Resource::kApu
+                     ? 0.0
+                     : cost_model.TransferMicros(operand.SizeBytes(),
+                                                 sim::DeviceKind::kNeuronApu,
+                                                 sim::DeviceKind::kNeuronCpu)));
+        where.insert(resource);
+      }
+    }
+
+    const sim::OpDesc desc = DescribeOperation(model, op);
+    local_clock.AddOp(desc, device, cost_model.OpMicros(desc, device));
+    for (const OperandId id : op.outputs) {
+      residence[static_cast<std::size_t>(id)].insert(resource);
+    }
+
+    if (execute_numerics) RunOperation(model, op, values);
+  }
+
+  // Download APU-resident outputs to host memory.
+  std::vector<NDArray> outputs;
+  for (const OperandId id : model.model_outputs()) {
+    const Operand& operand = model.operand(id);
+    if (residence[static_cast<std::size_t>(id)].count(sim::Resource::kCpu) == 0) {
+      local_clock.AddTransfer(operand.SizeBytes(),
+                              cost_model.TransferMicros(operand.SizeBytes(),
+                                                        sim::DeviceKind::kNeuronApu,
+                                                        sim::DeviceKind::kNeuronCpu));
+    }
+    if (execute_numerics) {
+      const NDArray& value = values[static_cast<std::size_t>(id)];
+      TNP_CHECK(value.defined()) << "model output %" << id << " not produced";
+      outputs.push_back(value);
+    }
+  }
+
+  if (clock != nullptr) clock->Merge(local_clock);
+  return outputs;
+}
+
+}  // namespace neuron
+}  // namespace tnp

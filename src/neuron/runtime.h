@@ -1,0 +1,35 @@
+// Neuron Runtime — executes a compiled NeuronPackage.
+//
+// Numerics run on the host through the shared kernel library (dispatching
+// the int8 kernels when operands carry quantized dtypes); time is accounted
+// against the plan's devices through the analytic cost model, including
+// CPU<->APU DMA transfers and a fixed per-invocation dispatch overhead.
+// That overhead is what makes "a model partitioned into too many subgraphs"
+// slow — the paper's Section 5.1 observation about the anti-spoofing model.
+#pragma once
+
+#include <vector>
+
+#include "neuron/compiler.h"
+#include "sim/timeline.h"
+
+namespace tnp {
+namespace neuron {
+
+/// Fixed cost of entering the Neuron runtime once (session dispatch, command
+/// buffer setup). Paid per package invocation.
+inline constexpr double kInvocationOverheadUs = 15.0;
+
+class NeuronRuntime {
+ public:
+  /// Execute `package` on `inputs` (order matches model_inputs()).
+  /// When `execute_numerics` is false, no kernels run and the returned
+  /// vector is empty — only `clock` is advanced (used for full-scale
+  /// latency simulation). `clock` may be null.
+  static std::vector<NDArray> Execute(const NeuronPackage& package,
+                                      const std::vector<NDArray>& inputs,
+                                      sim::SimClock* clock, bool execute_numerics = true);
+};
+
+}  // namespace neuron
+}  // namespace tnp

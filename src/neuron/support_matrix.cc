@@ -1,0 +1,78 @@
+#include "neuron/support_matrix.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace tnp {
+namespace neuron {
+
+bool DeviceSupports(sim::DeviceKind device, NeuronOpType type) {
+  switch (device) {
+    case sim::DeviceKind::kTvmCpu:
+      return false;
+    case sim::DeviceKind::kNeuronCpu:
+      return true;  // vendor CPU kernels cover the whole Neuron op set
+    case sim::DeviceKind::kNeuronApu:
+      switch (type) {
+        case NeuronOpType::kConv2d:
+        case NeuronOpType::kFullyConnected:
+        case NeuronOpType::kAdd:
+        case NeuronOpType::kMul:
+        case NeuronOpType::kRelu:
+        case NeuronOpType::kClip:
+        case NeuronOpType::kMaxPool2d:
+        case NeuronOpType::kAvgPool2d:
+        case NeuronOpType::kGlobalAvgPool2d:
+        case NeuronOpType::kSoftmax:
+        case NeuronOpType::kConcat:
+        case NeuronOpType::kReshape:
+        case NeuronOpType::kBatchNorm:
+        case NeuronOpType::kQuantize:
+        case NeuronOpType::kDequantize:
+        case NeuronOpType::kRequantize:
+          return true;
+        case NeuronOpType::kSub:
+        case NeuronOpType::kDiv:
+        case NeuronOpType::kMax:
+        case NeuronOpType::kMin:
+        case NeuronOpType::kPad:
+          return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+TargetConfig TargetConfig::FromString(const std::string& text) {
+  TargetConfig config{false, false};
+  for (const auto& part : support::Split(text, ',')) {
+    const std::string token(support::Trim(part));
+    if (token == "cpu") {
+      config.use_cpu = true;
+    } else if (token == "apu") {
+      config.use_apu = true;
+    } else if (!token.empty()) {
+      TNP_THROW(kInvalidArgument) << "unknown NeuroPilot target '" << token << "'";
+    }
+  }
+  if (!config.use_cpu && !config.use_apu) {
+    TNP_THROW(kInvalidArgument) << "NeuroPilot target config '" << text << "' enables no device";
+  }
+  return config;
+}
+
+std::vector<sim::DeviceKind> TargetConfig::Devices() const {
+  std::vector<sim::DeviceKind> devices;
+  if (use_cpu) devices.push_back(sim::DeviceKind::kNeuronCpu);
+  if (use_apu) devices.push_back(sim::DeviceKind::kNeuronApu);
+  return devices;
+}
+
+std::string TargetConfig::ToString() const {
+  if (use_cpu && use_apu) return "cpu,apu";
+  if (use_cpu) return "cpu";
+  return "apu";
+}
+
+}  // namespace neuron
+}  // namespace tnp

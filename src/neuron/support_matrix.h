@@ -1,0 +1,44 @@
+// NeuroPilot backend support matrices.
+//
+// Two layers of support exist, and the distinction drives the paper's
+// missing NeuroPilot-only bars (Figures 4 and 6):
+//  * Whether an operator exists in Neuron IR at all is decided by the
+//    Relay->Neuron op-handler dictionary in core/ (a Relay op with no
+//    handler can never enter a NeuroPilot partition).
+//  * Whether a *device* can run a Neuron op is decided here: the vendor CPU
+//    kernels cover every Neuron op; the APU covers the tensor-heavy subset
+//    (no SUB/DIV/MIN/MAX, no PAD).
+#pragma once
+
+#include "neuron/ir.h"
+#include "sim/device.h"
+
+namespace tnp {
+namespace neuron {
+
+/// Can `device` execute `type`? kTvmCpu is not a Neuron device and supports
+/// nothing here.
+bool DeviceSupports(sim::DeviceKind device, NeuronOpType type);
+
+/// Which NeuroPilot devices participate in compilation/execution.
+struct TargetConfig {
+  bool use_cpu = true;
+  bool use_apu = false;
+
+  static TargetConfig CpuOnly() { return {true, false}; }
+  static TargetConfig ApuOnly() { return {false, true}; }
+  static TargetConfig CpuApu() { return {true, true}; }
+
+  /// Parse "cpu", "apu", "cpu,apu" (order-insensitive).
+  static TargetConfig FromString(const std::string& text);
+
+  std::vector<sim::DeviceKind> Devices() const;
+  std::string ToString() const;
+
+  bool operator==(const TargetConfig& other) const {
+    return use_cpu == other.use_cpu && use_apu == other.use_apu;
+  }
+};
+
+}  // namespace neuron
+}  // namespace tnp

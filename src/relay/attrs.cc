@@ -1,0 +1,44 @@
+#include "relay/attrs.h"
+
+#include <sstream>
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+struct AttrPrinter {
+  std::ostringstream& os;
+  void operator()(std::int64_t v) { os << v; }
+  void operator()(double v) { os << v; }
+  void operator()(const std::string& v) { os << '"' << v << '"'; }
+  void operator()(const std::vector<std::int64_t>& v) {
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+    os << "]";
+  }
+  void operator()(const std::vector<double>& v) {
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+    os << "]";
+  }
+};
+
+}  // namespace
+
+std::string Attrs::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) os << ", ";
+    first = false;
+    os << key << "=";
+    std::visit(AttrPrinter{os}, value);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace relay
+}  // namespace tnp

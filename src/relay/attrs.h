@@ -1,0 +1,118 @@
+// Operator attributes: a small typed key/value map.
+//
+// Relay proper uses per-op attribute structs; a string-keyed variant map
+// keeps this reproduction compact while staying fully typed at access time
+// (wrong-kind access is a TypeError naming the key).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace relay {
+
+using AttrValue =
+    std::variant<std::int64_t, double, std::string, std::vector<std::int64_t>,
+                 std::vector<double>>;
+
+class Attrs {
+ public:
+  Attrs() = default;
+
+  Attrs& Set(const std::string& key, AttrValue value) {
+    values_[key] = std::move(value);
+    return *this;
+  }
+  Attrs& SetInt(const std::string& key, std::int64_t value) { return Set(key, value); }
+  Attrs& SetDouble(const std::string& key, double value) { return Set(key, value); }
+  Attrs& SetString(const std::string& key, std::string value) {
+    return Set(key, AttrValue(std::move(value)));
+  }
+  Attrs& SetInts(const std::string& key, std::vector<std::int64_t> value) {
+    return Set(key, AttrValue(std::move(value)));
+  }
+  Attrs& SetDoubles(const std::string& key, std::vector<double> value) {
+    return Set(key, AttrValue(std::move(value)));
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return Require<std::int64_t>(it, key);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    // Integer literals are acceptable where a double is expected.
+    if (std::holds_alternative<std::int64_t>(it->second)) {
+      return static_cast<double>(std::get<std::int64_t>(it->second));
+    }
+    return Require<double>(it, key);
+  }
+  std::string GetString(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return Require<std::string>(it, key);
+  }
+  std::vector<std::int64_t> GetInts(const std::string& key,
+                                    std::vector<std::int64_t> fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return Require<std::vector<std::int64_t>>(it, key);
+  }
+  std::vector<double> GetDoubles(const std::string& key, std::vector<double> fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return Require<std::vector<double>>(it, key);
+  }
+
+  /// Required-attribute accessors: throw TypeError when missing.
+  std::int64_t RequireInt(const std::string& key) const {
+    RequirePresent(key);
+    return GetInt(key, 0);
+  }
+  double RequireDouble(const std::string& key) const {
+    RequirePresent(key);
+    return GetDouble(key, 0.0);
+  }
+  std::string RequireString(const std::string& key) const {
+    RequirePresent(key);
+    return GetString(key, "");
+  }
+  std::vector<std::int64_t> RequireInts(const std::string& key) const {
+    RequirePresent(key);
+    return GetInts(key, {});
+  }
+
+  const std::map<std::string, AttrValue>& values() const { return values_; }
+
+  std::string ToString() const;
+
+ private:
+  void RequirePresent(const std::string& key) const {
+    if (!Has(key)) {
+      TNP_THROW(kTypeError) << "missing required attribute '" << key << "'";
+    }
+  }
+
+  template <typename T>
+  static T Require(std::map<std::string, AttrValue>::const_iterator it,
+                   const std::string& key) {
+    if (!std::holds_alternative<T>(it->second)) {
+      TNP_THROW(kTypeError) << "attribute '" << key << "' has the wrong kind";
+    }
+    return std::get<T>(it->second);
+  }
+
+  std::map<std::string, AttrValue> values_;
+};
+
+}  // namespace relay
+}  // namespace tnp

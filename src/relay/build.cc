@@ -1,0 +1,351 @@
+#include "relay/build.h"
+
+#include <chrono>
+
+#include "relay/op.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+#include "support/string_util.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+std::vector<ExprPtr> TopLevelPostOrder(const ExprPtr& body) {
+  struct Collector : ExprVisitor {
+    Collector() { visit_function_bodies_ = false; }
+    std::vector<ExprPtr> nodes;
+    void VisitVar(const VarPtr& v) override { nodes.push_back(v); }
+    void VisitConstant(const ConstantPtr& c) override { nodes.push_back(c); }
+    void VisitCall(const CallPtr& c) override { nodes.push_back(c); }
+    void VisitTuple(const TuplePtr& t) override { nodes.push_back(t); }
+    void VisitTupleGetItem(const TupleGetItemPtr& g) override { nodes.push_back(g); }
+  };
+  Collector collector;
+  collector.Visit(body);
+  return std::move(collector.nodes);
+}
+
+std::int64_t TypeBytes(const Type& type) {
+  if (type.IsTensor()) return type.AsTensor().NumBytes();
+  if (type.IsTuple()) {
+    std::int64_t total = 0;
+    for (const auto& field : type.AsTuple()) total += TypeBytes(field);
+    return total;
+  }
+  return 0;
+}
+
+bool TypeIsInt8(const Type& type) {
+  if (type.IsTensor()) return type.AsTensor().dtype == DType::kInt8;
+  if (type.IsTuple()) {
+    for (const auto& field : type.AsTuple()) {
+      if (TypeIsInt8(field)) return true;
+    }
+  }
+  return false;
+}
+
+/// Cost descriptor of one plain op call (types must be inferred).
+sim::OpDesc DescribeOpCall(const CallPtr& call) {
+  const OpDef& def = OpRegistry::Global().Get(call->op_name());
+  sim::OpDesc desc;
+  desc.category = def.category;
+  desc.name = call->op_name();
+  std::vector<Type> arg_types;
+  for (const auto& arg : call->args()) {
+    arg_types.push_back(arg->checked_type());
+    if (arg->kind() == ExprKind::kConstant) {
+      desc.weight_bytes += TypeBytes(arg->checked_type());
+    } else {
+      desc.input_bytes += TypeBytes(arg->checked_type());
+    }
+  }
+  desc.output_bytes = TypeBytes(call->checked_type());
+  desc.macs = CallMacs(*call, arg_types, call->checked_type());
+  desc.int8 = TypeIsInt8(call->checked_type());
+  return desc;
+}
+
+/// Aggregate cost descriptor of a fused primitive call: MACs add up, the
+/// launch overhead is paid once, and intermediate tensors never leave the
+/// register/cache tile so only the group's external inputs and final output
+/// count as memory traffic.
+sim::OpDesc DescribePrimitiveCall(const CallPtr& call) {
+  const FunctionPtr& fn = call->fn();
+  sim::OpDesc desc;
+  desc.name = "fused";
+  desc.fused_ops = 0;
+  std::int64_t best_macs = -1;
+  for (const auto& node : PostOrder(fn->body())) {
+    if (node->kind() != ExprKind::kCall) continue;
+    const auto inner = std::static_pointer_cast<Call>(node);
+    if (inner->callee_kind() != CalleeKind::kOp) continue;
+    ++desc.fused_ops;
+    desc.name += "." + inner->op_name();
+    std::vector<Type> arg_types;
+    for (const auto& arg : inner->args()) {
+      arg_types.push_back(arg->checked_type());
+      if (arg->kind() == ExprKind::kConstant) desc.weight_bytes += TypeBytes(arg->checked_type());
+    }
+    const std::int64_t macs = CallMacs(*inner, arg_types, inner->checked_type());
+    desc.macs += macs;
+    if (macs > best_macs) {
+      best_macs = macs;
+      desc.category = OpRegistry::Global().Get(inner->op_name()).category;
+    }
+  }
+  for (const auto& arg : call->args()) desc.input_bytes += TypeBytes(arg->checked_type());
+  desc.output_bytes = TypeBytes(call->checked_type());
+  desc.int8 = TypeIsInt8(call->checked_type());
+  if (desc.fused_ops == 0) desc.fused_ops = 1;
+  return desc;
+}
+
+}  // namespace
+
+sim::SimClock CompiledModule::EstimateLatency() const {
+  sim::SimClock clock;
+  const sim::CostModel cost_model(*options.testbed);
+  for (const auto& inst : instructions) {
+    switch (inst.kind) {
+      case Instruction::Kind::kCallOp:
+      case Instruction::Kind::kCallPrimitive:
+        clock.AddOp(inst.desc, options.host_device,
+                    cost_model.OpMicros(inst.desc, options.host_device));
+        break;
+      case Instruction::Kind::kCallExternal:
+        externals[static_cast<std::size_t>(inst.external_index)]->Run(
+            {}, &clock, /*execute_numerics=*/false);
+        break;
+      default:
+        break;  // constants / tuple plumbing are free
+    }
+  }
+  return clock;
+}
+
+std::vector<ProfileEntry> CompiledModule::Profile() const {
+  std::vector<ProfileEntry> entries;
+  const sim::CostModel cost_model(*options.testbed);
+  for (const auto& inst : instructions) {
+    switch (inst.kind) {
+      case Instruction::Kind::kCallOp:
+      case Instruction::Kind::kCallPrimitive:
+        entries.push_back(ProfileEntry{
+            inst.desc.name, options.host_device,
+            cost_model.OpMicros(inst.desc, options.host_device), inst.desc.macs});
+        break;
+      case Instruction::Kind::kCallExternal:
+        externals[static_cast<std::size_t>(inst.external_index)]->AppendProfile(entries);
+        break;
+      default:
+        break;
+    }
+  }
+  return entries;
+}
+
+std::int64_t CompiledModule::TotalMacs() const {
+  std::int64_t total = 0;
+  for (const auto& inst : instructions) total += inst.desc.macs;
+  return total;
+}
+
+int CompiledModule::NumExternalOps() const {
+  int total = 0;
+  for (const auto& external : externals) total += external->num_ops();
+  return total;
+}
+
+CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
+  // Standard optimization pipeline (the analogue of opt_level=3). InferType
+  // runs again before FuseOps because SimplifyExpr/FoldConstant rebuild
+  // nodes without cached types.
+  std::vector<Pass> pipeline = {InferType(), SimplifyExpr(), FoldConstant(), InferType()};
+  if (options.fold_batch_norm) pipeline.push_back(FoldBatchNorm());
+  if (options.enable_fusion) pipeline.push_back(FuseOps());
+  pipeline.push_back(InferType());
+  const Module optimized = Sequential(pipeline).Run(module);
+
+  auto compiled = std::make_shared<CompiledModule>();
+  compiled->options = options;
+
+  // Codegen every external function.
+  std::unordered_map<std::string, int> external_index;
+  for (const auto& [name, fn] : optimized.functions()) {
+    const std::string compiler = fn->compiler();
+    if (compiler.empty()) continue;
+    const auto& codegen = ExternalCodegenRegistry::Global().Get(compiler);
+    external_index[name] = static_cast<int>(compiled->externals.size());
+    compiled->externals.push_back(codegen(fn, name, options));
+  }
+
+  // Linearize main.
+  const FunctionPtr& main_fn = optimized.main();
+  TNP_CHECK(main_fn->checked_type().defined());
+  std::unordered_map<const Expr*, int> slot_of;
+  int next_slot = 0;
+
+  for (const auto& param : main_fn->params()) {
+    slot_of[param.get()] = next_slot;
+    compiled->input_slots[param->name()] = next_slot;
+    ++next_slot;
+  }
+
+  for (const auto& node : TopLevelPostOrder(main_fn->body())) {
+    if (slot_of.count(node.get()) != 0) continue;  // params already placed
+
+    Instruction inst;
+    switch (node->kind()) {
+      case ExprKind::kVar:
+        TNP_THROW(kCompileError) << "free variable '"
+                                 << std::static_pointer_cast<Var>(node)->name()
+                                 << "' is not a parameter of main";
+      case ExprKind::kConstant:
+        inst.kind = Instruction::Kind::kConstant;
+        inst.constant = std::static_pointer_cast<Constant>(node)->data();
+        break;
+      case ExprKind::kCall: {
+        const auto call = std::static_pointer_cast<Call>(node);
+        for (const auto& arg : call->args()) inst.input_slots.push_back(slot_of.at(arg.get()));
+        switch (call->callee_kind()) {
+          case CalleeKind::kOp:
+            inst.kind = Instruction::Kind::kCallOp;
+            inst.call = call;
+            inst.desc = DescribeOpCall(call);
+            break;
+          case CalleeKind::kFunction:
+            TNP_CHECK(call->fn()->IsPrimitive()) << "non-primitive embedded function at build";
+            inst.kind = Instruction::Kind::kCallPrimitive;
+            inst.primitive = call->fn();
+            inst.desc = DescribePrimitiveCall(call);
+            break;
+          case CalleeKind::kGlobal: {
+            const auto it = external_index.find(call->op_name());
+            if (it == external_index.end()) {
+              TNP_THROW(kCompileError)
+                  << "call to global '@" << call->op_name() << "' which is not external";
+            }
+            inst.kind = Instruction::Kind::kCallExternal;
+            inst.external_index = it->second;
+            break;
+          }
+        }
+        break;
+      }
+      case ExprKind::kTuple: {
+        const auto tuple = std::static_pointer_cast<Tuple>(node);
+        inst.kind = Instruction::Kind::kTuple;
+        for (const auto& field : tuple->fields()) {
+          inst.input_slots.push_back(slot_of.at(field.get()));
+        }
+        break;
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto get = std::static_pointer_cast<TupleGetItem>(node);
+        inst.kind = Instruction::Kind::kTupleGetItem;
+        inst.input_slots.push_back(slot_of.at(get->tuple().get()));
+        inst.tuple_index = get->index();
+        break;
+      }
+      case ExprKind::kFunction:
+        continue;  // embedded primitive bodies are materialized via their call
+    }
+
+    inst.output_slot = next_slot;
+    slot_of[node.get()] = next_slot;
+    ++next_slot;
+    compiled->instructions.push_back(std::move(inst));
+  }
+
+  compiled->num_slots = next_slot;
+  compiled->output_slot = slot_of.at(main_fn->body().get());
+  const Type& out_type = main_fn->body()->checked_type();
+  compiled->num_outputs = out_type.IsTuple() ? static_cast<int>(out_type.AsTuple().size()) : 1;
+  return compiled;
+}
+
+GraphExecutor::GraphExecutor(CompiledModulePtr compiled) : compiled_(std::move(compiled)) {
+  TNP_CHECK(compiled_ != nullptr);
+  slots_.resize(static_cast<std::size_t>(compiled_->num_slots));
+}
+
+void GraphExecutor::SetInput(const std::string& name, NDArray value) {
+  const auto it = compiled_->input_slots.find(name);
+  if (it == compiled_->input_slots.end()) {
+    TNP_THROW(kInvalidArgument) << "no graph input named '" << name << "'";
+  }
+  slots_[static_cast<std::size_t>(it->second)] = Value(std::move(value));
+}
+
+void GraphExecutor::Run() { Execute(/*execute_numerics=*/true); }
+
+void GraphExecutor::Execute(bool execute_numerics) {
+  last_clock_.Reset();
+  const sim::CostModel cost_model(*compiled_->options.testbed);
+  const sim::DeviceKind host = compiled_->options.host_device;
+
+  for (const auto& inst : compiled_->instructions) {
+    std::vector<Value> args;
+    args.reserve(inst.input_slots.size());
+    for (const int slot : inst.input_slots) {
+      args.push_back(slots_[static_cast<std::size_t>(slot)]);
+    }
+
+    Value result;
+    switch (inst.kind) {
+      case Instruction::Kind::kConstant:
+        result = Value(inst.constant);
+        break;
+      case Instruction::Kind::kCallOp:
+        last_clock_.AddOp(inst.desc, host, cost_model.OpMicros(inst.desc, host));
+        if (execute_numerics) {
+          result = EvalOpCall(inst.call->op_name(), inst.call->attrs(), *inst.call, args);
+        }
+        break;
+      case Instruction::Kind::kCallPrimitive: {
+        last_clock_.AddOp(inst.desc, host, cost_model.OpMicros(inst.desc, host));
+        if (execute_numerics) {
+          const FunctionPtr& fn = inst.primitive;
+          TNP_CHECK_EQ(fn->params().size(), args.size());
+          Environment env;
+          for (std::size_t i = 0; i < args.size(); ++i) env[fn->params()[i].get()] = args[i];
+          result = EvalExpr(fn->body(), env);
+        }
+        break;
+      }
+      case Instruction::Kind::kCallExternal: {
+        sim::SimClock external_clock;
+        result = compiled_->externals[static_cast<std::size_t>(inst.external_index)]->Run(
+            args, &external_clock, execute_numerics);
+        last_clock_.Merge(external_clock);
+        break;
+      }
+      case Instruction::Kind::kTuple:
+        result = Value(std::move(args));
+        break;
+      case Instruction::Kind::kTupleGetItem:
+        if (execute_numerics) {
+          const auto& fields = args.at(0).AsTuple();
+          result = fields.at(static_cast<std::size_t>(inst.tuple_index));
+        }
+        break;
+    }
+    slots_[static_cast<std::size_t>(inst.output_slot)] = std::move(result);
+  }
+}
+
+NDArray GraphExecutor::GetOutput(int index) const {
+  TNP_CHECK(index >= 0 && index < compiled_->num_outputs) << "output index out of range";
+  const Value& out = slots_[static_cast<std::size_t>(compiled_->output_slot)];
+  if (!out.is_tuple()) {
+    TNP_CHECK_EQ(index, 0);
+    return out.AsTensor();
+  }
+  return out.AsTuple().at(static_cast<std::size_t>(index)).AsTensor();
+}
+
+}  // namespace relay
+}  // namespace tnp

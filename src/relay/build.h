@@ -1,0 +1,114 @@
+// relay::Build — lower an optimized module to an executable program, the
+// analogue of TVM's `relay.build` + graph_executor.GraphModule pair:
+//
+//   Module mod = frontend::FromKeras(...);
+//   mod = core::PartitionForNir(mod, opts);          // optional BYOC step
+//   auto compiled = relay::Build(mod, build_options);
+//   relay::GraphExecutor exec(compiled);
+//   exec.SetInput("data", input);
+//   exec.Run();
+//   NDArray out = exec.GetOutput(0);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relay/external.h"
+#include "relay/module.h"
+
+namespace tnp {
+namespace relay {
+
+/// One lowered instruction of the linear program.
+struct Instruction {
+  enum class Kind : std::uint8_t {
+    kConstant,      ///< materialize an embedded constant
+    kCallOp,        ///< single operator call
+    kCallPrimitive, ///< fused primitive function call
+    kCallExternal,  ///< external (BYOC) subgraph call
+    kTuple,         ///< build a tuple value
+    kTupleGetItem,  ///< project a tuple field
+  };
+
+  Kind kind = Kind::kCallOp;
+  int output_slot = -1;
+  std::vector<int> input_slots;
+
+  // kCallOp
+  CallPtr call;  ///< original call (op name, attrs; needed by the interpreter)
+  // kCallPrimitive
+  FunctionPtr primitive;
+  // kCallExternal
+  int external_index = -1;
+  // kTupleGetItem
+  int tuple_index = 0;
+  // kConstant
+  NDArray constant;
+
+  /// Cost descriptor (kCallOp / kCallPrimitive; externals account internally).
+  sim::OpDesc desc;
+};
+
+class CompiledModule {
+ public:
+  std::vector<Instruction> instructions;
+  int num_slots = 0;
+  /// Graph input name -> slot.
+  std::unordered_map<std::string, int> input_slots;
+  /// Slot holding the program result (possibly a tuple value).
+  int output_slot = -1;
+  int num_outputs = 1;
+  std::vector<ExternalModulePtr> externals;
+  BuildOptions options;
+
+  /// Static (simulation-only) latency estimate: execute no numerics, only
+  /// walk the program accumulating simulated time.
+  sim::SimClock EstimateLatency() const;
+
+  /// Per-operator profile (host instructions + every op inside external
+  /// subgraphs), in execution order. Sort by `us` for a hotspot report.
+  std::vector<ProfileEntry> Profile() const;
+
+  /// Totals for reports.
+  std::int64_t TotalMacs() const;
+  int NumExternalOps() const;
+};
+
+using CompiledModulePtr = std::shared_ptr<const CompiledModule>;
+
+/// Lower `module` (optimize + codegen external functions + linearize main).
+/// The module may be pre-partitioned (global functions with Compiler attrs);
+/// plain modules build to a pure host program (the "TVM-only" flow).
+CompiledModulePtr Build(const Module& module, const BuildOptions& options = BuildOptions());
+
+/// Stateful executor over a CompiledModule (thread-compatible: use one
+/// executor per thread; the CompiledModule itself is immutable and shared).
+class GraphExecutor {
+ public:
+  explicit GraphExecutor(CompiledModulePtr compiled);
+
+  void SetInput(const std::string& name, NDArray value);
+
+  /// Execute numerically; simulated time for the run is in last_clock().
+  void Run();
+
+  int NumOutputs() const { return compiled_->num_outputs; }
+  NDArray GetOutput(int index = 0) const;
+
+  const sim::SimClock& last_clock() const { return last_clock_; }
+
+  const CompiledModule& compiled() const { return *compiled_; }
+
+ private:
+  void Execute(bool execute_numerics);
+
+  CompiledModulePtr compiled_;
+  std::vector<Value> slots_;
+  std::unordered_map<std::string, NDArray> pending_inputs_;
+  sim::SimClock last_clock_;
+};
+
+}  // namespace relay
+}  // namespace tnp

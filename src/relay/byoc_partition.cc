@@ -1,0 +1,422 @@
+#include "relay/byoc_partition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+/// Union-find over region ids.
+class UnionFind {
+ public:
+  int Fresh() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return parent_.back();
+  }
+  int Find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<std::size_t>(Find(b))] = Find(a); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+std::vector<ExprPtr> TopLevelPostOrder(const ExprPtr& body) {
+  struct Collector : ExprVisitor {
+    Collector() { visit_function_bodies_ = false; }
+    std::vector<ExprPtr> nodes;
+    void VisitVar(const VarPtr& v) override { nodes.push_back(v); }
+    void VisitConstant(const ConstantPtr& c) override { nodes.push_back(c); }
+    void VisitCall(const CallPtr& c) override { nodes.push_back(c); }
+    void VisitTuple(const TuplePtr& t) override { nodes.push_back(t); }
+    void VisitTupleGetItem(const TupleGetItemPtr& g) override { nodes.push_back(g); }
+  };
+  Collector collector;
+  collector.Visit(body);
+  return std::move(collector.nodes);
+}
+
+/// Direct data inputs of a node at this function's top level.
+std::vector<ExprPtr> DirectArgs(const ExprPtr& node) {
+  switch (node->kind()) {
+    case ExprKind::kCall: return std::static_pointer_cast<Call>(node)->args();
+    case ExprKind::kTuple: return std::static_pointer_cast<Tuple>(node)->fields();
+    case ExprKind::kTupleGetItem:
+      return {std::static_pointer_cast<TupleGetItem>(node)->tuple()};
+    default: return {};
+  }
+}
+
+/// Region-growing analysis state (AnnotateTarget + MergeCompilerRegions).
+class RegionBuilder {
+ public:
+  RegionBuilder(const FunctionPtr& fn, const SupportPredicate& pred) {
+    const auto nodes = TopLevelPostOrder(fn->body());
+
+    for (const auto& node : nodes) {
+      // `above`: all regions among transitive predecessors.
+      // `ext_above`: regions reachable only through a node outside them —
+      // merging the current node into such a region would break convexity.
+      //
+      // A not-yet-assigned Tuple argument is *transparent*: if this node
+      // joins a region, the tuple is absorbed with it (concatenate's tuple
+      // lives inside the region), so paths through the tuple must be judged
+      // by the tuple's fields, not by the tuple's own (absent) region.
+      std::vector<ExprPtr> effective_args;
+      for (const auto& arg : DirectArgs(node)) {
+        if (arg->kind() == ExprKind::kTuple && Normalized(arg.get()) < 0) {
+          for (const auto& field : DirectArgs(arg)) effective_args.push_back(field);
+        } else {
+          effective_args.push_back(arg);
+        }
+      }
+
+      std::set<int> above;
+      std::set<int> ext_above;
+      for (const auto& arg : effective_args) {
+        const int arg_region = Normalized(arg.get());
+        const auto& arg_above = above_[arg.get()];
+        const auto& arg_ext = ext_above_[arg.get()];
+        for (int r : arg_above) {
+          r = uf_.Find(r);
+          above.insert(r);
+          if (r != arg_region) ext_above.insert(r);  // path left region r at `arg`
+        }
+        for (int r : arg_ext) ext_above.insert(uf_.Find(r));
+        if (arg_region >= 0) above.insert(arg_region);
+      }
+
+      const bool is_supported_call =
+          node->kind() == ExprKind::kCall &&
+          std::static_pointer_cast<Call>(node)->callee_kind() == CalleeKind::kOp &&
+          pred(*std::static_pointer_cast<Call>(node));
+
+      if (is_supported_call) {
+        int rid = uf_.Fresh();
+        // Merge with every predecessor region that keeps the result convex.
+        for (const auto& arg : DirectArgs(node)) {
+          // An unassigned tuple argument is pulled into the region with its
+          // consumer, so candidate regions come from the tuple's fields. A
+          // tuple already claimed by another region is treated as a regular
+          // merge candidate instead of being reassigned.
+          const bool absorb_tuple =
+              arg->kind() == ExprKind::kTuple && Normalized(arg.get()) < 0;
+          std::vector<ExprPtr> candidates =
+              absorb_tuple ? DirectArgs(arg) : std::vector<ExprPtr>{arg};
+          for (const auto& candidate : candidates) {
+            const int pr = Normalized(candidate.get());
+            if (pr < 0) continue;
+            if (ext_above.count(pr) != 0) continue;  // would break convexity
+            uf_.Union(rid, pr);
+            rid = uf_.Find(rid);
+          }
+          if (absorb_tuple) region_of_[arg.get()] = rid;
+        }
+        region_of_[node.get()] = rid;
+      }
+
+      above_[node.get()] = std::move(above);
+      ext_above_[node.get()] = std::move(ext_above);
+    }
+
+    // Normalize to dense region ids ordered by first (topo) appearance.
+    std::map<int, int> dense;
+    for (const auto& node : nodes) {
+      const auto it = region_of_.find(node.get());
+      if (it == region_of_.end()) continue;
+      const int root = uf_.Find(it->second);
+      if (dense.find(root) == dense.end()) {
+        const int id = static_cast<int>(dense.size());
+        dense[root] = id;
+      }
+    }
+    for (auto& [expr, rid] : region_of_) rid = dense.at(uf_.Find(rid));
+    num_regions_ = static_cast<int>(dense.size());
+  }
+
+  RegionAssignment Result() && {
+    RegionAssignment assignment;
+    assignment.region_of = std::move(region_of_);
+    assignment.num_regions = num_regions_;
+    return assignment;
+  }
+
+ private:
+  int Normalized(const Expr* node) {
+    const auto it = region_of_.find(node);
+    return it == region_of_.end() ? -1 : uf_.Find(it->second);
+  }
+
+  UnionFind uf_;
+  std::unordered_map<const Expr*, int> region_of_;
+  std::unordered_map<const Expr*, std::set<int>> above_;
+  std::unordered_map<const Expr*, std::set<int>> ext_above_;
+  int num_regions_ = 0;
+};
+
+/// Extraction: turn each region into a global function and rewrite main.
+class Extractor {
+ public:
+  Extractor(const FunctionPtr& main_fn, const RegionAssignment& regions,
+            const std::string& compiler)
+      : regions_(regions), compiler_(compiler) {
+    nodes_ = TopLevelPostOrder(main_fn->body());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) topo_index_[nodes_[i].get()] = i;
+
+    // Group nodes per region (topo order preserved by construction).
+    region_nodes_.resize(static_cast<std::size_t>(regions.num_regions));
+    for (const auto& node : nodes_) {
+      const int rid = regions.RegionOf(node.get());
+      if (rid >= 0) region_nodes_[static_cast<std::size_t>(rid)].push_back(node);
+    }
+
+    // Consumers map for output detection.
+    for (const auto& node : nodes_) {
+      for (const auto& arg : DirectArgs(node)) consumers_[arg.get()].push_back(node);
+    }
+    body_root_ = main_fn->body();
+  }
+
+  Module Run(const Module& module, const FunctionPtr& main_fn) {
+    Module result;
+    for (const auto& [name, fn] : module.functions()) {
+      if (name != "main") result.Add(name, fn);
+    }
+
+    // Determine region outputs and build the external functions.
+    for (int rid = 0; rid < regions_.num_regions; ++rid) {
+      BuildRegionFunction(rid, result);
+    }
+
+    // Rewrite main.
+    const ExprPtr new_body = RewriteHost(body_root_);
+    result.Add("main", MakeFunction(main_fn->params(), new_body, main_fn->attrs()));
+    return result;
+  }
+
+ private:
+  struct RegionInfo {
+    std::string global_name;
+    std::vector<ExprPtr> inputs;    ///< host-side exprs feeding the region
+    std::vector<ExprPtr> outputs;   ///< region nodes consumed outside
+  };
+
+  void BuildRegionFunction(int rid, Module& module_out) {
+    const auto& nodes = region_nodes_[static_cast<std::size_t>(rid)];
+    TNP_CHECK(!nodes.empty());
+    RegionInfo info;
+    info.global_name = compiler_ + "_" + std::to_string(rid);
+
+    std::unordered_set<const Expr*> member_set;
+    for (const auto& node : nodes) member_set.insert(node.get());
+
+    // Inputs: non-constant external operands, in first-use order.
+    std::unordered_set<const Expr*> seen_inputs;
+    for (const auto& node : nodes) {
+      for (const auto& arg : DirectArgs(node)) {
+        if (member_set.count(arg.get()) != 0) continue;
+        if (arg->kind() == ExprKind::kConstant) continue;
+        if (seen_inputs.insert(arg.get()).second) info.inputs.push_back(arg);
+      }
+    }
+
+    // Outputs: members with a consumer outside the region, or the body root.
+    for (const auto& node : nodes) {
+      bool is_output = node == body_root_;
+      if (!is_output) {
+        for (const auto& consumer : consumers_[node.get()]) {
+          if (member_set.count(consumer.get()) == 0) {
+            is_output = true;
+            break;
+          }
+        }
+      }
+      // Tuples feeding only in-region consumers are interior; a tuple
+      // escaping the region would be unusual but is handled as an output.
+      if (is_output) info.outputs.push_back(node);
+    }
+    TNP_CHECK(!info.outputs.empty()) << "region " << rid << " has no outputs";
+
+    // Clone region body with params substituted for inputs.
+    std::vector<VarPtr> params;
+    std::unordered_map<const Expr*, ExprPtr> local;
+    for (std::size_t i = 0; i < info.inputs.size(); ++i) {
+      TNP_CHECK(info.inputs[i]->checked_type().defined())
+          << "PartitionGraph requires InferType";
+      auto param = MakeVar("i" + std::to_string(i), info.inputs[i]->checked_type());
+      params.push_back(param);
+      local[info.inputs[i].get()] = param;
+    }
+    for (const auto& node : nodes) {
+      std::vector<ExprPtr> new_args;
+      for (const auto& arg : DirectArgs(node)) {
+        if (arg->kind() == ExprKind::kConstant && member_set.count(arg.get()) == 0) {
+          new_args.push_back(arg);
+          continue;
+        }
+        const auto it = local.find(arg.get());
+        TNP_CHECK(it != local.end()) << "region operand not materialized";
+        new_args.push_back(it->second);
+      }
+      switch (node->kind()) {
+        case ExprKind::kCall: {
+          const auto call = std::static_pointer_cast<Call>(node);
+          local[node.get()] = MakeCall(call->op_name(), std::move(new_args), call->attrs());
+          break;
+        }
+        case ExprKind::kTuple:
+          local[node.get()] = MakeTuple(std::move(new_args));
+          break;
+        case ExprKind::kTupleGetItem: {
+          const auto get = std::static_pointer_cast<TupleGetItem>(node);
+          local[node.get()] = MakeTupleGetItem(new_args.at(0), get->index());
+          break;
+        }
+        default:
+          TNP_CHECK(false) << "unexpected node kind in region";
+      }
+    }
+
+    ExprPtr body;
+    if (info.outputs.size() == 1) {
+      body = local.at(info.outputs.front().get());
+    } else {
+      std::vector<ExprPtr> fields;
+      for (const auto& output : info.outputs) fields.push_back(local.at(output.get()));
+      body = MakeTuple(std::move(fields));
+    }
+
+    Attrs fn_attrs;
+    fn_attrs.SetString(kAttrCompiler, compiler_);
+    fn_attrs.SetString(kAttrGlobalSymbol, info.global_name);
+    module_out.Add(info.global_name, MakeFunction(std::move(params), body, fn_attrs));
+    region_info_[rid] = std::move(info);
+  }
+
+  /// Rewrite the host-side expression, replacing region outputs with calls
+  /// to the extracted global functions.
+  ExprPtr RewriteHost(const ExprPtr& expr) {
+    const auto memo_it = memo_.find(expr.get());
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    ExprPtr result;
+    const int rid = regions_.RegionOf(expr.get());
+    if (rid >= 0) {
+      const RegionInfo& info = region_info_.at(rid);
+      const ExprPtr call = RegionCall(rid);
+      // Which output is this node?
+      int output_index = -1;
+      for (std::size_t i = 0; i < info.outputs.size(); ++i) {
+        if (info.outputs[i] == expr) {
+          output_index = static_cast<int>(i);
+          break;
+        }
+      }
+      TNP_CHECK(output_index >= 0) << "interior region node referenced from host";
+      result = info.outputs.size() == 1 ? call : MakeTupleGetItem(call, output_index);
+    } else {
+      switch (expr->kind()) {
+        case ExprKind::kVar:
+        case ExprKind::kConstant:
+        case ExprKind::kFunction:
+          result = expr;
+          break;
+        case ExprKind::kCall: {
+          const auto call = std::static_pointer_cast<Call>(expr);
+          std::vector<ExprPtr> args;
+          for (const auto& arg : call->args()) args.push_back(RewriteHost(arg));
+          switch (call->callee_kind()) {
+            case CalleeKind::kOp:
+              result = MakeCall(call->op_name(), std::move(args), call->attrs());
+              break;
+            case CalleeKind::kFunction:
+              result = MakeFunctionCall(call->fn(), std::move(args));
+              break;
+            case CalleeKind::kGlobal:
+              result = MakeGlobalCall(call->op_name(), std::move(args));
+              break;
+          }
+          break;
+        }
+        case ExprKind::kTuple: {
+          std::vector<ExprPtr> fields;
+          for (const auto& field : std::static_pointer_cast<Tuple>(expr)->fields()) {
+            fields.push_back(RewriteHost(field));
+          }
+          result = MakeTuple(std::move(fields));
+          break;
+        }
+        case ExprKind::kTupleGetItem: {
+          const auto get = std::static_pointer_cast<TupleGetItem>(expr);
+          result = MakeTupleGetItem(RewriteHost(get->tuple()), get->index());
+          break;
+        }
+      }
+    }
+    memo_[expr.get()] = result;
+    return result;
+  }
+
+  ExprPtr RegionCall(int rid) {
+    const auto it = region_calls_.find(rid);
+    if (it != region_calls_.end()) return it->second;
+    const RegionInfo& info = region_info_.at(rid);
+    std::vector<ExprPtr> args;
+    args.reserve(info.inputs.size());
+    for (const auto& input : info.inputs) args.push_back(RewriteHost(input));
+    const ExprPtr call = MakeGlobalCall(info.global_name, std::move(args));
+    region_calls_[rid] = call;
+    return call;
+  }
+
+  const RegionAssignment& regions_;
+  std::string compiler_;
+  std::vector<ExprPtr> nodes_;
+  std::unordered_map<const Expr*, std::size_t> topo_index_;
+  std::vector<std::vector<ExprPtr>> region_nodes_;
+  std::unordered_map<const Expr*, std::vector<ExprPtr>> consumers_;
+  std::map<int, RegionInfo> region_info_;
+  std::map<int, ExprPtr> region_calls_;
+  std::unordered_map<const Expr*, ExprPtr> memo_;
+  ExprPtr body_root_;
+};
+
+}  // namespace
+
+RegionAssignment AnnotateAndMergeRegions(const FunctionPtr& fn, const SupportPredicate& pred) {
+  return RegionBuilder(fn, pred).Result();
+}
+
+Module PartitionGraph(const Module& module, const std::string& compiler,
+                      const SupportPredicate& pred) {
+  const FunctionPtr& main_fn = module.main();
+  TNP_CHECK(main_fn->checked_type().defined())
+      << "PartitionGraph requires InferType to have run";
+  const RegionAssignment regions = AnnotateAndMergeRegions(main_fn, pred);
+  if (regions.num_regions == 0) return module;
+  Extractor extractor(main_fn, regions, compiler);
+  Module result = extractor.Run(module, main_fn);
+  return InferType().Run(result);
+}
+
+Pass PartitionGraphPass(std::string compiler, SupportPredicate pred) {
+  return Pass("PartitionGraph", [compiler = std::move(compiler),
+                                 pred = std::move(pred)](const Module& module) {
+    return PartitionGraph(module, compiler, pred);
+  });
+}
+
+}  // namespace relay
+}  // namespace tnp

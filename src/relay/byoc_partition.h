@@ -1,0 +1,51 @@
+// BYOC graph partitioning (TVM-style AnnotateTarget -> MergeCompilerRegions
+// -> PartitionGraph).
+//
+// Given a predicate describing which operator calls an external compiler
+// supports, the partitioner grows maximal *convex* regions of supported
+// nodes (convex = no path leaves the region and re-enters, which would make
+// the extracted call graph cyclic), then extracts each region into a global
+// function tagged with the Compiler attribute and replaces it with a call.
+//
+// The extracted functions are what core/'s Relay->Neuron converter consumes.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "relay/module.h"
+#include "relay/pass.h"
+
+namespace tnp {
+namespace relay {
+
+/// True when the external compiler can execute this operator call.
+using SupportPredicate = std::function<bool(const Call& call)>;
+
+/// Result of AnnotateTarget + MergeCompilerRegions: a region id per
+/// expression node (-1 = stays on the host), with regions guaranteed convex.
+struct RegionAssignment {
+  std::unordered_map<const Expr*, int> region_of;
+  int num_regions = 0;
+
+  int RegionOf(const Expr* node) const {
+    const auto it = region_of.find(node);
+    return it == region_of.end() ? -1 : it->second;
+  }
+};
+
+/// Annotate supported calls and merge them into maximal convex regions.
+/// Requires checked types (run InferType first).
+RegionAssignment AnnotateAndMergeRegions(const FunctionPtr& fn, const SupportPredicate& pred);
+
+/// Full partition pipeline on module["main"]: annotate + merge + extract.
+/// Each region becomes a global function `<compiler>_<k>` with attributes
+/// Compiler=<compiler> and global_symbol. Re-runs InferType on the result.
+Module PartitionGraph(const Module& module, const std::string& compiler,
+                      const SupportPredicate& pred);
+
+/// The same as a composable Pass.
+Pass PartitionGraphPass(std::string compiler, SupportPredicate pred);
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,23 @@
+#include "relay/expr.h"
+
+namespace tnp {
+namespace relay {
+
+Call::Call(FunctionPtr fn, std::vector<ExprPtr> args)
+    : Expr(ExprKind::kCall),
+      callee_kind_(CalleeKind::kFunction),
+      fn_(std::move(fn)),
+      args_(std::move(args)) {}
+
+CallPtr MakeFunctionCall(FunctionPtr fn, std::vector<ExprPtr> args) {
+  return std::make_shared<Call>(std::move(fn), std::move(args));
+}
+
+bool IsCallTo(const ExprPtr& expr, const std::string& op_name) {
+  if (!expr || expr->kind() != ExprKind::kCall) return false;
+  const auto call = std::static_pointer_cast<Call>(expr);
+  return call->callee_kind() == CalleeKind::kOp && call->op_name() == op_name;
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,30 @@
+#include "relay/external.h"
+
+namespace tnp {
+namespace relay {
+
+ExternalCodegenRegistry& ExternalCodegenRegistry::Global() {
+  static ExternalCodegenRegistry registry;
+  return registry;
+}
+
+void ExternalCodegenRegistry::Register(const std::string& compiler, ExternalCodegenFn fn) {
+  TNP_CHECK(fn != nullptr);
+  codegens_[compiler] = std::move(fn);
+}
+
+bool ExternalCodegenRegistry::Has(const std::string& compiler) const {
+  return codegens_.count(compiler) != 0;
+}
+
+const ExternalCodegenFn& ExternalCodegenRegistry::Get(const std::string& compiler) const {
+  const auto it = codegens_.find(compiler);
+  if (it == codegens_.end()) {
+    TNP_THROW(kCompileError) << "no external codegen registered for compiler '" << compiler
+                             << "'";
+  }
+  return it->second;
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,91 @@
+// External codegen/runtime interface — the TVM side of the BYOC contract.
+//
+// relay::Build looks up a registered ExternalCodegenFn for every global
+// function tagged Compiler=<name> and obtains an ExternalModule, which the
+// graph executor later invokes like any other instruction. core/ registers
+// the "nir" codegen (Relay -> Neuron IR -> NeuronPackage).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relay/expr.h"
+#include "relay/interpreter.h"
+#include "sim/timeline.h"
+
+namespace tnp {
+namespace relay {
+
+/// One row of a per-operator profile report (TVM's debug-executor analogue).
+struct ProfileEntry {
+  std::string name;                                  ///< op / fused-group name
+  sim::DeviceKind device = sim::DeviceKind::kTvmCpu; ///< where it runs
+  double us = 0.0;                                   ///< simulated time
+  std::int64_t macs = 0;
+};
+
+/// Compiled external subgraph, executable by the graph executor.
+class ExternalModule {
+ public:
+  virtual ~ExternalModule() = default;
+
+  /// Execute the subgraph. When `execute_numerics` is false only simulated
+  /// time is accounted (used by the benchmark harnesses at full model
+  /// scale). `clock` may be null when the caller does not track time.
+  virtual Value Run(const std::vector<Value>& inputs, sim::SimClock* clock,
+                    bool execute_numerics) = 0;
+
+  virtual const std::string& name() const = 0;
+
+  /// Number of Neuron ops inside (reporting / ablations).
+  virtual int num_ops() const = 0;
+
+  /// Physical resources this subgraph occupies while executing (drives the
+  /// pipeline scheduler's exclusivity constraint). Defaults to the CPU.
+  virtual std::vector<sim::Resource> resources() const { return {sim::Resource::kCpu}; }
+
+  /// Append one ProfileEntry per internal operator (default: nothing).
+  virtual void AppendProfile(std::vector<ProfileEntry>& out) const { (void)out; }
+};
+
+using ExternalModulePtr = std::shared_ptr<ExternalModule>;
+
+/// Options controlling relay::Build (the analogue of TVM's PassContext).
+struct BuildOptions {
+  /// Run FuseOps before lowering (ablation hook).
+  bool enable_fusion = true;
+  /// Fold batch norms into conv weights before lowering (off by default so
+  /// latency tables stay comparable; see bench/ablation_bn_fold).
+  bool fold_batch_norm = false;
+  /// Device executing TVM-native instructions.
+  sim::DeviceKind host_device = sim::DeviceKind::kTvmCpu;
+  /// Simulated testbed (never null).
+  const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
+  /// Free-form configuration forwarded to external codegens
+  /// (e.g. {"nir.devices", "cpu,apu"}).
+  std::map<std::string, std::string> external_config;
+};
+
+/// Compiles a Compiler-tagged function to an ExternalModule.
+using ExternalCodegenFn =
+    std::function<ExternalModulePtr(const FunctionPtr& fn, const std::string& global_name,
+                                    const BuildOptions& options)>;
+
+/// Global registry of external codegens keyed by compiler name.
+class ExternalCodegenRegistry {
+ public:
+  static ExternalCodegenRegistry& Global();
+
+  void Register(const std::string& compiler, ExternalCodegenFn fn);
+  bool Has(const std::string& compiler) const;
+  const ExternalCodegenFn& Get(const std::string& compiler) const;
+
+ private:
+  std::map<std::string, ExternalCodegenFn> codegens_;
+};
+
+}  // namespace relay
+}  // namespace tnp

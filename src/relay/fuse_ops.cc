@@ -1,0 +1,235 @@
+// FuseOps: group an anchor op (conv2d/dense, float or QNN) with its chain of
+// single-consumer fusable followers (bias_add, activations, batch_norm, ...)
+// into one Primitive function. The graph executor runs a fused group as one
+// instruction, so in the device cost model a fused group pays the per-op
+// launch overhead once — mirroring why TVM's fused kernels beat a naive
+// per-op dispatch on mobile CPUs.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relay/op.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+/// Nodes of one function body, excluding embedded function bodies.
+std::vector<ExprPtr> TopLevelPostOrder(const ExprPtr& body) {
+  struct Collector : ExprVisitor {
+    Collector() { visit_function_bodies_ = false; }
+    std::vector<ExprPtr> nodes;
+    void VisitVar(const VarPtr& v) override { nodes.push_back(v); }
+    void VisitConstant(const ConstantPtr& c) override { nodes.push_back(c); }
+    void VisitCall(const CallPtr& c) override { nodes.push_back(c); }
+    void VisitTuple(const TuplePtr& t) override { nodes.push_back(t); }
+    void VisitTupleGetItem(const TupleGetItemPtr& g) override { nodes.push_back(g); }
+  };
+  Collector collector;
+  collector.Visit(body);
+  return std::move(collector.nodes);
+}
+
+bool IsPlainOpCall(const ExprPtr& expr) {
+  return expr->kind() == ExprKind::kCall &&
+         std::static_pointer_cast<Call>(expr)->callee_kind() == CalleeKind::kOp;
+}
+
+class FuseRewriter {
+ public:
+  explicit FuseRewriter(const ExprPtr& body) {
+    const auto nodes = TopLevelPostOrder(body);
+
+    // Use map: node -> consuming expressions (at this function's top level).
+    std::unordered_map<const Expr*, std::vector<ExprPtr>> uses;
+    for (const auto& node : nodes) {
+      if (node->kind() == ExprKind::kCall) {
+        for (const auto& arg : std::static_pointer_cast<Call>(node)->args()) {
+          uses[arg.get()].push_back(node);
+        }
+      } else if (node->kind() == ExprKind::kTuple) {
+        for (const auto& field : std::static_pointer_cast<Tuple>(node)->fields()) {
+          uses[field.get()].push_back(node);
+        }
+      } else if (node->kind() == ExprKind::kTupleGetItem) {
+        uses[std::static_pointer_cast<TupleGetItem>(node)->tuple().get()].push_back(node);
+      }
+    }
+
+    // Grow a chain from every anchor.
+    for (const auto& node : nodes) {
+      if (!IsPlainOpCall(node)) continue;
+      const auto call = std::static_pointer_cast<Call>(node);
+      const OpDef& def = OpRegistry::Global().Get(call->op_name());
+      if (!def.fusion_anchor || in_group_.count(node.get()) != 0) continue;
+
+      std::vector<CallPtr> chain = {call};
+      ExprPtr tail = node;
+      while (tail.get() != body.get()) {
+        const auto use_it = uses.find(tail.get());
+        if (use_it == uses.end() || use_it->second.size() != 1) break;
+        const ExprPtr& consumer = use_it->second.front();
+        if (!IsPlainOpCall(consumer)) break;
+        const auto consumer_call = std::static_pointer_cast<Call>(consumer);
+        const OpDef& consumer_def = OpRegistry::Global().Get(consumer_call->op_name());
+        if (!consumer_def.fusable_follower) break;
+        // Every other operand must be a leaf (constant / graph input) so the
+        // fused body stays a straight-line chain.
+        bool leaf_args = true;
+        for (const auto& arg : consumer_call->args()) {
+          if (arg == tail) continue;
+          if (arg->kind() != ExprKind::kConstant && arg->kind() != ExprKind::kVar) {
+            leaf_args = false;
+            break;
+          }
+        }
+        if (!leaf_args) break;
+        chain.push_back(consumer_call);
+        tail = consumer;
+      }
+
+      if (chain.size() < 2) continue;  // nothing to fuse
+      for (const auto& member : chain) in_group_.insert(member.get());
+      group_of_tail_[chain.back().get()] = std::move(chain);
+    }
+  }
+
+  ExprPtr Rewrite(const ExprPtr& expr) {
+    const auto memo_it = memo_.find(expr.get());
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    ExprPtr result;
+    const auto group_it = group_of_tail_.find(expr.get());
+    if (group_it != group_of_tail_.end()) {
+      result = BuildFusedCall(group_it->second);
+    } else {
+      TNP_CHECK(in_group_.count(expr.get()) == 0 || expr->kind() != ExprKind::kCall ||
+                group_of_tail_.count(expr.get()) != 0)
+          << "interior fused node referenced externally";
+      result = RebuildShallow(expr);
+    }
+    memo_[expr.get()] = result;
+    return result;
+  }
+
+ private:
+  ExprPtr RebuildShallow(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kVar:
+      case ExprKind::kConstant:
+      case ExprKind::kFunction:
+        return expr;
+      case ExprKind::kCall: {
+        const auto call = std::static_pointer_cast<Call>(expr);
+        std::vector<ExprPtr> args;
+        args.reserve(call->args().size());
+        bool changed = false;
+        for (const auto& arg : call->args()) {
+          args.push_back(Rewrite(arg));
+          changed |= args.back() != arg;
+        }
+        if (!changed) return expr;
+        switch (call->callee_kind()) {
+          case CalleeKind::kOp: return MakeCall(call->op_name(), std::move(args), call->attrs());
+          case CalleeKind::kFunction: return MakeFunctionCall(call->fn(), std::move(args));
+          case CalleeKind::kGlobal: return MakeGlobalCall(call->op_name(), std::move(args));
+        }
+        return expr;
+      }
+      case ExprKind::kTuple: {
+        const auto tuple = std::static_pointer_cast<Tuple>(expr);
+        std::vector<ExprPtr> fields;
+        bool changed = false;
+        for (const auto& field : tuple->fields()) {
+          fields.push_back(Rewrite(field));
+          changed |= fields.back() != field;
+        }
+        return changed ? MakeTuple(std::move(fields)) : expr;
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto get = std::static_pointer_cast<TupleGetItem>(expr);
+        const ExprPtr tuple = Rewrite(get->tuple());
+        return tuple == get->tuple() ? expr : MakeTupleGetItem(tuple, get->index());
+      }
+    }
+    return expr;
+  }
+
+  ExprPtr BuildFusedCall(const std::vector<CallPtr>& chain) {
+    std::unordered_set<const Expr*> members;
+    for (const auto& member : chain) members.insert(member.get());
+
+    // External (non-constant, non-member) operands become parameters;
+    // constants stay embedded in the primitive body.
+    std::vector<ExprPtr> outer_args;
+    std::vector<VarPtr> params;
+    std::unordered_map<const Expr*, ExprPtr> replacement;  // old node -> inner expr
+    int param_index = 0;
+
+    for (const auto& member : chain) {
+      for (const auto& arg : member->args()) {
+        if (members.count(arg.get()) != 0) continue;
+        if (replacement.count(arg.get()) != 0) continue;
+        if (arg->kind() == ExprKind::kConstant) {
+          replacement[arg.get()] = arg;
+          continue;
+        }
+        TNP_CHECK(arg->checked_type().defined())
+            << "FuseOps requires InferType to have run first";
+        auto param = MakeVar("fp" + std::to_string(param_index++), arg->checked_type());
+        params.push_back(param);
+        replacement[arg.get()] = param;
+        outer_args.push_back(Rewrite(arg));
+      }
+    }
+
+    // Rebuild the chain inside the primitive function.
+    for (const auto& member : chain) {
+      std::vector<ExprPtr> inner_args;
+      inner_args.reserve(member->args().size());
+      for (const auto& arg : member->args()) {
+        const auto it = replacement.find(arg.get());
+        TNP_CHECK(it != replacement.end());
+        inner_args.push_back(it->second);
+      }
+      replacement[member.get()] = MakeCall(member->op_name(), std::move(inner_args),
+                                           member->attrs());
+    }
+
+    Attrs fn_attrs;
+    fn_attrs.SetInt(kAttrPrimitive, 1);
+    auto fused = MakeFunction(std::move(params), replacement[chain.back().get()], fn_attrs);
+    return MakeFunctionCall(std::move(fused), std::move(outer_args));
+  }
+
+  std::unordered_map<const Expr*, std::vector<CallPtr>> group_of_tail_;
+  std::unordered_set<const Expr*> in_group_;
+  std::unordered_map<const Expr*, ExprPtr> memo_;
+};
+
+}  // namespace
+
+Pass FuseOps() {
+  return Pass("FuseOps", [](const Module& module) {
+    Module result;
+    for (const auto& [name, fn] : module.functions()) {
+      // External (BYOC) functions are compiled by the external codegen,
+      // which performs its own grouping; leave them untouched.
+      if (!fn->compiler().empty()) {
+        result.Add(name, fn);
+        continue;
+      }
+      FuseRewriter rewriter(fn->body());
+      const ExprPtr new_body = rewriter.Rewrite(fn->body());
+      result.Add(name, new_body == fn->body()
+                           ? fn
+                           : MakeFunction(fn->params(), new_body, fn->attrs()));
+    }
+    return result;
+  });
+}
+
+}  // namespace relay
+}  // namespace tnp

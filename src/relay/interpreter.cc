@@ -1,0 +1,402 @@
+#include "relay/interpreter.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "kernels/conv.h"
+#include "kernels/dense.h"
+#include "kernels/elementwise.h"
+#include "kernels/pool.h"
+#include "kernels/quantize.h"
+#include "relay/op.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+using kernels::BinaryOp;
+
+std::vector<Type> ArgTypes(const std::vector<Value>& args) {
+  std::vector<Type> types;
+  types.reserve(args.size());
+  for (const auto& arg : args) types.push_back(arg.GetType());
+  return types;
+}
+
+QuantParams QP(const Attrs& attrs, const char* scale_key, const char* zp_key) {
+  return QuantParams(static_cast<float>(attrs.RequireDouble(scale_key)),
+                     static_cast<std::int32_t>(attrs.RequireInt(zp_key)));
+}
+
+std::vector<int> ToIntVector(const std::vector<std::int64_t>& v) {
+  std::vector<int> out;
+  out.reserve(v.size());
+  for (const std::int64_t x : v) out.push_back(static_cast<int>(x));
+  return out;
+}
+
+kernels::Conv2DParams ConvParams(const Attrs& attrs) {
+  kernels::Conv2DParams p;
+  const auto strides = attrs.GetInts("strides", {1, 1});
+  const auto padding = attrs.GetInts("padding", {0, 0});
+  const auto dilation = attrs.GetInts("dilation", {1, 1});
+  p.stride_h = strides[0];
+  p.stride_w = strides[1];
+  p.pad_h = padding[0];
+  p.pad_w = padding[1];
+  p.dilation_h = dilation[0];
+  p.dilation_w = dilation[1];
+  p.groups = attrs.GetInt("groups", 1);
+  return p;
+}
+
+kernels::Pool2DParams PoolParams(const Attrs& attrs) {
+  kernels::Pool2DParams p;
+  const auto pool_size = attrs.RequireInts("pool_size");
+  const auto strides = attrs.GetInts("strides", pool_size);
+  const auto padding = attrs.GetInts("padding", {0, 0});
+  p.kernel_h = pool_size[0];
+  p.kernel_w = pool_size[1];
+  p.stride_h = strides[0];
+  p.stride_w = strides[1];
+  p.pad_h = padding[0];
+  p.pad_w = padding[1];
+  p.count_include_pad = attrs.GetInt("count_include_pad", 0) != 0;
+  return p;
+}
+
+}  // namespace
+
+Type Value::GetType() const {
+  if (is_tuple_) {
+    std::vector<Type> field_types;
+    field_types.reserve(fields_.size());
+    for (const auto& field : fields_) field_types.push_back(field.GetType());
+    return Type::Tuple(std::move(field_types));
+  }
+  TNP_CHECK(tensor_.defined());
+  return Type::Tensor(tensor_.shape(), tensor_.dtype());
+}
+
+Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
+                 const std::vector<Value>& args) {
+  // Output type drives allocation.
+  const Type out_type = InferCallType(call, ArgTypes(args));
+
+  const auto out_tensor = [&]() {
+    return NDArray::Empty(out_type.AsTensor().shape, out_type.AsTensor().dtype);
+  };
+  const auto tensor_arg = [&](std::size_t i) -> const NDArray& { return args[i].AsTensor(); };
+
+  if (op == "nn.conv2d") {
+    NDArray out = out_tensor();
+    kernels::Conv2DF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs));
+    return out;
+  }
+  if (op == "nn.dense") {
+    NDArray out = out_tensor();
+    kernels::DenseF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out);
+    return out;
+  }
+  if (op == "nn.bias_add") {
+    NDArray out = out_tensor();
+    kernels::BiasAddF32(tensor_arg(0), tensor_arg(1), out,
+                        static_cast<int>(attrs.GetInt("axis", 1)));
+    return out;
+  }
+  if (op == "nn.relu") {
+    NDArray out = out_tensor();
+    if (tensor_arg(0).dtype() == DType::kInt8) {
+      kernels::ReluS8(tensor_arg(0), out, 0);
+    } else {
+      kernels::ReluF32(tensor_arg(0), out);
+    }
+    return out;
+  }
+  if (op == "nn.leaky_relu") {
+    NDArray out = out_tensor();
+    kernels::LeakyReluF32(tensor_arg(0), out,
+                          static_cast<float>(attrs.GetDouble("alpha", 0.01)));
+    return out;
+  }
+  if (op == "sigmoid") {
+    NDArray out = out_tensor();
+    kernels::SigmoidF32(tensor_arg(0), out);
+    return out;
+  }
+  if (op == "tanh") {
+    NDArray out = out_tensor();
+    kernels::TanhF32(tensor_arg(0), out);
+    return out;
+  }
+  if (op == "exp") {
+    NDArray out = out_tensor();
+    kernels::ExpF32(tensor_arg(0), out);
+    return out;
+  }
+  if (op == "sqrt") {
+    NDArray out = out_tensor();
+    kernels::SqrtF32(tensor_arg(0), out);
+    return out;
+  }
+  if (op == "clip") {
+    NDArray out = out_tensor();
+    kernels::ClipF32(tensor_arg(0), out, static_cast<float>(attrs.RequireDouble("a_min")),
+                     static_cast<float>(attrs.RequireDouble("a_max")));
+    return out;
+  }
+  if (op == "add" || op == "subtract" || op == "multiply" || op == "divide" ||
+      op == "maximum" || op == "minimum") {
+    static const std::unordered_map<std::string, BinaryOp> kMap = {
+        {"add", BinaryOp::kAdd},         {"subtract", BinaryOp::kSub},
+        {"multiply", BinaryOp::kMul},    {"divide", BinaryOp::kDiv},
+        {"maximum", BinaryOp::kMax},     {"minimum", BinaryOp::kMin}};
+    NDArray out = out_tensor();
+    kernels::BroadcastBinaryF32(kMap.at(op), tensor_arg(0), tensor_arg(1), out);
+    return out;
+  }
+  if (op == "nn.max_pool2d") {
+    NDArray out = out_tensor();
+    if (tensor_arg(0).dtype() == DType::kInt8) {
+      kernels::MaxPool2DS8(tensor_arg(0), out, PoolParams(attrs));
+    } else {
+      kernels::MaxPool2DF32(tensor_arg(0), out, PoolParams(attrs));
+    }
+    return out;
+  }
+  if (op == "nn.avg_pool2d") {
+    NDArray out = out_tensor();
+    if (tensor_arg(0).dtype() == DType::kInt8) {
+      kernels::AvgPool2DS8(tensor_arg(0), out, PoolParams(attrs));
+    } else {
+      kernels::AvgPool2DF32(tensor_arg(0), out, PoolParams(attrs));
+    }
+    return out;
+  }
+  if (op == "nn.global_avg_pool2d") {
+    NDArray out = out_tensor();
+    if (tensor_arg(0).dtype() == DType::kInt8) {
+      kernels::GlobalAvgPool2DS8(tensor_arg(0), out);
+    } else {
+      kernels::GlobalAvgPool2DF32(tensor_arg(0), out);
+    }
+    return out;
+  }
+  if (op == "nn.batch_norm") {
+    NDArray out = out_tensor();
+    kernels::BatchNormF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), tensor_arg(3),
+                          tensor_arg(4), out,
+                          static_cast<float>(attrs.GetDouble("epsilon", 1e-5)));
+    return out;
+  }
+  if (op == "nn.softmax") {
+    NDArray out = out_tensor();
+    kernels::SoftmaxF32(tensor_arg(0), out, static_cast<int>(attrs.GetInt("axis", -1)));
+    return out;
+  }
+  if (op == "nn.dropout") {
+    // Inference mode: identity.
+    return tensor_arg(0).CopyDeep();
+  }
+  if (op == "nn.batch_flatten" || op == "reshape") {
+    return tensor_arg(0).Reshape(out_type.AsTensor().shape).CopyDeep();
+  }
+  if (op == "transpose") {
+    NDArray out = out_tensor();
+    kernels::Transpose(tensor_arg(0), out, ToIntVector(attrs.RequireInts("axes")));
+    return out;
+  }
+  if (op == "concatenate") {
+    const auto& fields = args.at(0).AsTuple();
+    std::vector<NDArray> tensors;
+    tensors.reserve(fields.size());
+    for (const auto& field : fields) tensors.push_back(field.AsTensor());
+    NDArray out = out_tensor();
+    kernels::Concat(tensors, out, static_cast<int>(attrs.GetInt("axis", 0)));
+    return out;
+  }
+  if (op == "nn.pad") {
+    NDArray out = out_tensor();
+    kernels::PadConstant(tensor_arg(0), out, attrs.RequireInts("pad_before"),
+                         attrs.RequireInts("pad_after"), attrs.GetDouble("pad_value", 0.0));
+    return out;
+  }
+  if (op == "nn.upsampling") {
+    NDArray out = out_tensor();
+    kernels::UpsamplingNearestF32(tensor_arg(0), out, attrs.GetInt("scale_h", 2),
+                                  attrs.GetInt("scale_w", 2));
+    return out;
+  }
+  if (op == "strided_slice") {
+    const auto& in = tensor_arg(0);
+    auto begin = attrs.RequireInts("begin");
+    auto end = attrs.RequireInts("end");
+    auto strides = attrs.GetInts("strides", std::vector<std::int64_t>(begin.size(), 1));
+    // Normalize negative / clamped indices the same way type inference does.
+    for (std::size_t i = 0; i < begin.size(); ++i) {
+      const std::int64_t extent = in.shape()[static_cast<int>(i)];
+      if (begin[i] < 0) begin[i] += extent;
+      if (end[i] < 0) end[i] += extent;
+      end[i] = std::min(end[i], extent);
+    }
+    NDArray out = out_tensor();
+    kernels::StridedSlice(in, out, begin, end, strides);
+    return out;
+  }
+  if (op == "mean") {
+    NDArray out = out_tensor();
+    kernels::MeanF32(tensor_arg(0), out, ToIntVector(attrs.RequireInts("axis")));
+    return out;
+  }
+  if (op == "cast") {
+    NDArray out = out_tensor();
+    kernels::Cast(tensor_arg(0), out);
+    return out;
+  }
+
+  // ---------------- QNN dialect ----------------
+  if (op == "qnn.quantize") {
+    NDArray out = out_tensor();
+    kernels::QuantizeF32ToS8(tensor_arg(0), out, QP(attrs, "output_scale", "output_zero_point"));
+    return out;
+  }
+  if (op == "qnn.dequantize") {
+    NDArray out = out_tensor();
+    kernels::DequantizeS8ToF32(tensor_arg(0), out, QP(attrs, "input_scale", "input_zero_point"));
+    return out;
+  }
+  if (op == "qnn.requantize") {
+    NDArray out = out_tensor();
+    kernels::RequantizeS8(tensor_arg(0), out, QP(attrs, "input_scale", "input_zero_point"),
+                          QP(attrs, "output_scale", "output_zero_point"));
+    return out;
+  }
+  if (op == "qnn.conv2d") {
+    NDArray out = out_tensor();
+    kernels::QConv2DS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs),
+                       QP(attrs, "input_scale", "input_zero_point"),
+                       QP(attrs, "weight_scale", "weight_zero_point"),
+                       QP(attrs, "output_scale", "output_zero_point"));
+    return out;
+  }
+  if (op == "qnn.dense") {
+    NDArray out = out_tensor();
+    kernels::QDenseS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out,
+                      QP(attrs, "input_scale", "input_zero_point"),
+                      QP(attrs, "weight_scale", "weight_zero_point"),
+                      QP(attrs, "output_scale", "output_zero_point"));
+    return out;
+  }
+  if (op == "qnn.add" || op == "qnn.mul") {
+    NDArray out = out_tensor();
+    const QuantParams lhs_q = QP(attrs, "lhs_scale", "lhs_zero_point");
+    const QuantParams rhs_q = QP(attrs, "rhs_scale", "rhs_zero_point");
+    const QuantParams out_q = QP(attrs, "output_scale", "output_zero_point");
+    if (op == "qnn.add") {
+      kernels::QAddS8(tensor_arg(0), tensor_arg(1), out, lhs_q, rhs_q, out_q);
+    } else {
+      kernels::QMulS8(tensor_arg(0), tensor_arg(1), out, lhs_q, rhs_q, out_q);
+    }
+    return out;
+  }
+  if (op == "qnn.concatenate") {
+    const auto& fields = args.at(0).AsTuple();
+    std::vector<NDArray> tensors;
+    std::vector<QuantParams> qs;
+    const auto scales = attrs.GetDoubles("input_scales", {});
+    const auto zps = attrs.GetInts("input_zero_points", {});
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      tensors.push_back(fields[i].AsTensor());
+      qs.emplace_back(static_cast<float>(scales[i]), static_cast<std::int32_t>(zps[i]));
+    }
+    NDArray out = out_tensor();
+    kernels::QConcatS8(tensors, qs, out, QP(attrs, "output_scale", "output_zero_point"),
+                       static_cast<int>(attrs.GetInt("axis", 0)));
+    return out;
+  }
+  if (op == "qnn.relu") {
+    NDArray out = out_tensor();
+    kernels::ReluS8(tensor_arg(0), out, static_cast<std::int32_t>(attrs.RequireInt("zero_point")));
+    return out;
+  }
+
+  TNP_THROW(kRuntimeError) << "interpreter: no kernel for operator '" << op << "'";
+}
+
+Value EvalExpr(const ExprPtr& expr, const Environment& env) {
+  std::unordered_map<const Expr*, Value> memo;
+
+  const std::function<Value(const ExprPtr&)> eval = [&](const ExprPtr& node) -> Value {
+    const auto it = memo.find(node.get());
+    if (it != memo.end()) return it->second;
+
+    Value result;
+    switch (node->kind()) {
+      case ExprKind::kVar: {
+        const auto env_it = env.find(node.get());
+        if (env_it == env.end()) {
+          TNP_THROW(kRuntimeError) << "unbound variable '"
+                                   << std::static_pointer_cast<Var>(node)->name() << "'";
+        }
+        result = env_it->second;
+        break;
+      }
+      case ExprKind::kConstant:
+        result = std::static_pointer_cast<Constant>(node)->data();
+        break;
+      case ExprKind::kTuple: {
+        const auto tuple = std::static_pointer_cast<Tuple>(node);
+        std::vector<Value> fields;
+        fields.reserve(tuple->fields().size());
+        for (const auto& field : tuple->fields()) fields.push_back(eval(field));
+        result = Value(std::move(fields));
+        break;
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto get = std::static_pointer_cast<TupleGetItem>(node);
+        const Value tuple_value = eval(get->tuple());
+        const auto& fields = tuple_value.AsTuple();
+        TNP_CHECK(get->index() >= 0 && get->index() < static_cast<int>(fields.size()));
+        result = fields[static_cast<std::size_t>(get->index())];
+        break;
+      }
+      case ExprKind::kCall: {
+        const auto call = std::static_pointer_cast<Call>(node);
+        std::vector<Value> arg_values;
+        arg_values.reserve(call->args().size());
+        for (const auto& arg : call->args()) arg_values.push_back(eval(arg));
+        switch (call->callee_kind()) {
+          case CalleeKind::kOp:
+            result = EvalOpCall(call->op_name(), call->attrs(), *call, arg_values);
+            break;
+          case CalleeKind::kFunction: {
+            const FunctionPtr& fn = call->fn();
+            TNP_CHECK_EQ(fn->params().size(), arg_values.size());
+            Environment inner;
+            for (std::size_t i = 0; i < arg_values.size(); ++i) {
+              inner[fn->params()[i].get()] = arg_values[i];
+            }
+            result = EvalExpr(fn->body(), inner);
+            break;
+          }
+          case CalleeKind::kGlobal:
+            TNP_THROW(kRuntimeError)
+                << "interpreter cannot evaluate global call '@" << call->op_name()
+                << "' without a module (use the graph executor)";
+        }
+        break;
+      }
+      case ExprKind::kFunction:
+        TNP_THROW(kRuntimeError) << "cannot evaluate a bare function to a value";
+    }
+    memo[node.get()] = result;
+    return result;
+  };
+
+  return eval(expr);
+}
+
+}  // namespace relay
+}  // namespace tnp

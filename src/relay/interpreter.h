@@ -1,0 +1,57 @@
+// Reference interpreter: evaluates Relay expressions by dispatching each op
+// call to the corresponding CPU kernel. This is the numerical ground truth
+// for the whole stack — the graph executor, constant folding and the tests
+// all route through EvalOpCall.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relay/expr.h"
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace relay {
+
+/// Runtime value: a tensor or a tuple of values.
+class Value {
+ public:
+  Value() = default;
+  Value(NDArray tensor) : tensor_(std::move(tensor)) {}  // NOLINT
+  explicit Value(std::vector<Value> fields) : fields_(std::move(fields)), is_tuple_(true) {}
+
+  bool is_tuple() const noexcept { return is_tuple_; }
+  bool defined() const noexcept { return is_tuple_ || tensor_.defined(); }
+
+  const NDArray& AsTensor() const {
+    TNP_CHECK(!is_tuple_ && tensor_.defined()) << "value is not a tensor";
+    return tensor_;
+  }
+  const std::vector<Value>& AsTuple() const {
+    TNP_CHECK(is_tuple_) << "value is not a tuple";
+    return fields_;
+  }
+
+  Type GetType() const;
+
+ private:
+  NDArray tensor_;
+  std::vector<Value> fields_;
+  bool is_tuple_ = false;
+};
+
+/// Evaluate one operator call on already-computed argument values.
+/// The output tensor is freshly allocated.
+Value EvalOpCall(const std::string& op_name, const Attrs& attrs, const Call& call,
+                 const std::vector<Value>& args);
+
+/// Environment mapping Vars (by identity) to values.
+using Environment = std::map<const Expr*, Value>;
+
+/// Evaluate a whole expression tree under `env`. Handles every node kind
+/// including calls to embedded (fused) functions.
+Value EvalExpr(const ExprPtr& expr, const Environment& env);
+
+}  // namespace relay
+}  // namespace tnp

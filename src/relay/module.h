@@ -1,0 +1,57 @@
+// IRModule: named global functions with a distinguished "main" entry.
+// BYOC partitioning adds one global function per external region.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relay/expr.h"
+
+namespace tnp {
+namespace relay {
+
+class Module {
+ public:
+  Module() = default;
+  explicit Module(FunctionPtr main) { Add("main", std::move(main)); }
+
+  void Add(const std::string& name, FunctionPtr fn) {
+    TNP_CHECK(fn != nullptr);
+    functions_[name] = std::move(fn);
+  }
+
+  bool Has(const std::string& name) const { return functions_.count(name) != 0; }
+
+  const FunctionPtr& Get(const std::string& name) const {
+    const auto it = functions_.find(name);
+    TNP_CHECK(it != functions_.end()) << "no global function '" << name << "'";
+    return it->second;
+  }
+
+  const FunctionPtr& main() const { return Get("main"); }
+
+  const std::map<std::string, FunctionPtr>& functions() const { return functions_; }
+
+  /// Names of all global functions with the given Compiler attribute.
+  std::vector<std::string> ExternalFunctions(const std::string& compiler) const {
+    std::vector<std::string> names;
+    for (const auto& [name, fn] : functions_) {
+      if (fn->compiler() == compiler) names.push_back(name);
+    }
+    return names;
+  }
+
+  /// Shallow copy (function pointers shared; map independent).
+  Module Clone() const {
+    Module copy;
+    copy.functions_ = functions_;
+    return copy;
+  }
+
+ private:
+  std::map<std::string, FunctionPtr> functions_;
+};
+
+}  // namespace relay
+}  // namespace tnp

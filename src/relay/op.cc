@@ -1,0 +1,59 @@
+#include "relay/op.h"
+
+namespace tnp {
+namespace relay {
+
+OpRegistry& OpRegistry::Global() {
+  // Leaked singleton: avoids destruction-order issues and guarantees the
+  // builtin vocabulary is in place before the first lookup.
+  static OpRegistry* registry = [] {
+    auto* r = new OpRegistry();
+    RegisterBuiltinOpsInto(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void OpRegistry::Register(OpDef def) {
+  TNP_CHECK(!def.name.empty());
+  TNP_CHECK(def.infer != nullptr) << "op '" << def.name << "' lacks a type inference fn";
+  const auto [it, inserted] = ops_.emplace(def.name, std::move(def));
+  TNP_CHECK(inserted) << "op '" << it->first << "' registered twice";
+}
+
+bool OpRegistry::Has(const std::string& name) const { return ops_.count(name) != 0; }
+
+const OpDef& OpRegistry::Get(const std::string& name) const {
+  const auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    TNP_THROW(kTypeError) << "unknown operator '" << name << "'";
+  }
+  return it->second;
+}
+
+std::vector<std::string> OpRegistry::AllNames() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) names.push_back(name);
+  return names;
+}
+
+Type InferCallType(const Call& call, const std::vector<Type>& arg_types) {
+  TNP_CHECK(call.callee_kind() == CalleeKind::kOp);
+  const OpDef& def = OpRegistry::Global().Get(call.op_name());
+  if (def.num_inputs >= 0 && static_cast<int>(arg_types.size()) != def.num_inputs) {
+    TNP_THROW(kTypeError) << "operator '" << def.name << "' expects " << def.num_inputs
+                          << " arguments, got " << arg_types.size();
+  }
+  return def.infer(call, arg_types);
+}
+
+std::int64_t CallMacs(const Call& call, const std::vector<Type>& arg_types,
+                      const Type& out_type) {
+  const OpDef& def = OpRegistry::Global().Get(call.op_name());
+  if (!def.macs) return 0;
+  return def.macs(call, arg_types, out_type);
+}
+
+}  // namespace relay
+}  // namespace tnp

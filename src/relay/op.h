@@ -1,0 +1,71 @@
+// Operator registry: every Relay op carries a type-inference function, a
+// cost-model category, and fusion metadata. Frontends and the converter
+// reference ops only by name, so the registry is the single source of truth
+// for the op vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relay/expr.h"
+#include "relay/type.h"
+#include "sim/cost_model.h"
+
+namespace tnp {
+namespace relay {
+
+/// Computes the result type of a call given its argument types.
+/// Throws tnp::Error(kTypeError) on invalid inputs.
+using TypeInferFn = std::function<Type(const Call& call, const std::vector<Type>& arg_types)>;
+
+/// Computes the multiply-accumulate count of a call (0 = memory-bound op).
+using MacsFn = std::function<std::int64_t(const Call& call, const std::vector<Type>& arg_types,
+                                          const Type& out_type)>;
+
+struct OpDef {
+  std::string name;
+  /// Expected argument count; -1 means variadic (e.g. concatenate's tuple).
+  int num_inputs = -1;
+  TypeInferFn infer;
+  sim::OpCategory category = sim::OpCategory::kElementwise;
+  MacsFn macs;  ///< optional; nullptr means 0 MACs
+  /// Fusable into a preceding anchor op (elementwise/injective follower).
+  bool fusable_follower = false;
+  /// Anchor of a fusion group (conv/dense).
+  bool fusion_anchor = false;
+};
+
+class OpRegistry {
+ public:
+  static OpRegistry& Global();
+
+  /// Registers an op definition; re-registering a name is an error.
+  void Register(OpDef def);
+
+  bool Has(const std::string& name) const;
+  const OpDef& Get(const std::string& name) const;
+
+  std::vector<std::string> AllNames() const;
+
+ private:
+  OpRegistry() = default;
+  std::map<std::string, OpDef> ops_;
+};
+
+/// Infers the checked type of a single op call from already-inferred
+/// argument types (shared by the InferType pass and the frontends).
+Type InferCallType(const Call& call, const std::vector<Type>& arg_types);
+
+/// MAC count for a call (0 when the op has no MacsFn).
+std::int64_t CallMacs(const Call& call, const std::vector<Type>& arg_types,
+                      const Type& out_type);
+
+/// Registers the builtin op vocabulary into `registry`. Invoked exactly once
+/// by OpRegistry::Global() during lazy construction.
+void RegisterBuiltinOpsInto(OpRegistry& registry);
+
+}  // namespace relay
+}  // namespace tnp

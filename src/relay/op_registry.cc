@@ -1,0 +1,606 @@
+// Builtin operator vocabulary: type inference, cost categories and fusion
+// metadata for every Relay op used by the model zoo and the frontends.
+//
+// Attribute conventions are documented per op below; frontends and zoo
+// builders must follow them exactly (they are validated here at infer time).
+#include <algorithm>
+
+#include "kernels/common.h"
+#include "kernels/elementwise.h"
+#include "relay/op.h"
+#include "support/string_util.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+using sim::OpCategory;
+
+const TensorType& TensorArg(const std::vector<Type>& args, std::size_t index,
+                            const char* op_name) {
+  if (index >= args.size() || !args[index].IsTensor()) {
+    TNP_THROW(kTypeError) << op_name << ": argument " << index << " must be a tensor";
+  }
+  return args[index].AsTensor();
+}
+
+void RequireDType(const TensorType& t, DType dtype, const char* op_name) {
+  if (t.dtype != dtype) {
+    TNP_THROW(kTypeError) << op_name << ": expected dtype " << DTypeName(dtype) << ", got "
+                          << DTypeName(t.dtype);
+  }
+}
+
+kernels::Conv2DParams ConvParamsFromAttrs(const Attrs& attrs) {
+  kernels::Conv2DParams p;
+  const auto strides = attrs.GetInts("strides", {1, 1});
+  const auto padding = attrs.GetInts("padding", {0, 0});
+  const auto dilation = attrs.GetInts("dilation", {1, 1});
+  if (strides.size() != 2 || padding.size() != 2 || dilation.size() != 2) {
+    TNP_THROW(kTypeError) << "conv2d strides/padding/dilation must have 2 entries";
+  }
+  p.stride_h = strides[0];
+  p.stride_w = strides[1];
+  p.pad_h = padding[0];
+  p.pad_w = padding[1];
+  p.dilation_h = dilation[0];
+  p.dilation_w = dilation[1];
+  p.groups = attrs.GetInt("groups", 1);
+  return p;
+}
+
+kernels::Pool2DParams PoolParamsFromAttrs(const Attrs& attrs) {
+  kernels::Pool2DParams p;
+  const auto pool_size = attrs.RequireInts("pool_size");
+  const auto strides = attrs.GetInts("strides", pool_size);
+  const auto padding = attrs.GetInts("padding", {0, 0});
+  if (pool_size.size() != 2 || strides.size() != 2 || padding.size() != 2) {
+    TNP_THROW(kTypeError) << "pool2d pool_size/strides/padding must have 2 entries";
+  }
+  p.kernel_h = pool_size[0];
+  p.kernel_w = pool_size[1];
+  p.stride_h = strides[0];
+  p.stride_w = strides[1];
+  p.pad_h = padding[0];
+  p.pad_w = padding[1];
+  p.count_include_pad = attrs.GetInt("count_include_pad", 0) != 0;
+  return p;
+}
+
+Type Conv2DInferShapeOnly(const Call& call, const std::vector<Type>& args, DType out_dtype) {
+  const TensorType& data = TensorArg(args, 0, "conv2d");
+  const TensorType& weight = TensorArg(args, 1, "conv2d");
+  if (data.shape.rank() != 4 || weight.shape.rank() != 4) {
+    TNP_THROW(kTypeError) << "conv2d expects NCHW data and OIHW weight";
+  }
+  const auto p = ConvParamsFromAttrs(call.attrs());
+  Shape out;
+  try {
+    out = kernels::Conv2DOutShape(data.shape, weight.shape, p);
+  } catch (const InternalError& error) {
+    TNP_THROW(kTypeError) << "conv2d: " << error.what();
+  }
+  return Type::Tensor(out, out_dtype);
+}
+
+std::int64_t Conv2DMacs(const Call& call, const std::vector<Type>& args, const Type& out) {
+  (void)call;
+  const TensorType& weight = TensorArg(args, 1, "conv2d");
+  const auto& out_t = out.AsTensor();
+  // per output element: CI/groups * KH * KW MACs
+  return out_t.shape.NumElements() * weight.shape[1] * weight.shape[2] * weight.shape[3];
+}
+
+Type DenseInferShapeOnly(const std::vector<Type>& args, DType out_dtype) {
+  const TensorType& data = TensorArg(args, 0, "dense");
+  const TensorType& weight = TensorArg(args, 1, "dense");
+  if (data.shape.rank() != 2 || weight.shape.rank() != 2 || data.shape[1] != weight.shape[1]) {
+    TNP_THROW(kTypeError) << "dense: incompatible shapes " << data.shape.ToString() << " and "
+                          << weight.shape.ToString();
+  }
+  return Type::Tensor(Shape({data.shape[0], weight.shape[0]}), out_dtype);
+}
+
+std::int64_t DenseMacs(const Call&, const std::vector<Type>& args, const Type& out) {
+  const TensorType& weight = TensorArg(args, 1, "dense");
+  return out.AsTensor().shape.NumElements() * weight.shape[1];
+}
+
+/// Same-type pass-through (unary elementwise).
+Type IdentityInfer(const Call&, const std::vector<Type>& args) {
+  if (args.size() != 1 || !args[0].IsTensor()) {
+    TNP_THROW(kTypeError) << "unary op expects one tensor argument";
+  }
+  return args[0];
+}
+
+Type FloatUnaryInfer(const Call& call, const std::vector<Type>& args) {
+  const TensorType& t = TensorArg(args, 0, "unary");
+  RequireDType(t, DType::kFloat32, call.op_name().c_str());
+  return args[0];
+}
+
+Type BroadcastBinaryInfer(const Call& call, const std::vector<Type>& args) {
+  const TensorType& a = TensorArg(args, 0, call.op_name().c_str());
+  const TensorType& b = TensorArg(args, 1, call.op_name().c_str());
+  if (a.dtype != b.dtype) {
+    TNP_THROW(kTypeError) << call.op_name() << ": dtype mismatch " << DTypeName(a.dtype)
+                          << " vs " << DTypeName(b.dtype);
+  }
+  try {
+    return Type::Tensor(kernels::BroadcastShape(a.shape, b.shape), a.dtype);
+  } catch (const Error& error) {
+    TNP_THROW(kTypeError) << call.op_name() << ": " << error.what();
+  }
+}
+
+Type PoolInfer(const Call& call, const std::vector<Type>& args) {
+  const TensorType& data = TensorArg(args, 0, call.op_name().c_str());
+  if (data.shape.rank() != 4) {
+    TNP_THROW(kTypeError) << call.op_name() << ": expects NCHW input";
+  }
+  const auto p = PoolParamsFromAttrs(call.attrs());
+  try {
+    return Type::Tensor(kernels::Pool2DOutShape(data.shape, p), data.dtype);
+  } catch (const InternalError& error) {
+    TNP_THROW(kTypeError) << call.op_name() << ": " << error.what();
+  }
+}
+
+// QNN attr helpers shared by several inferers.
+void RequireQnnAttrs(const Attrs& attrs, std::initializer_list<const char*> keys,
+                     const char* op_name) {
+  for (const char* key : keys) {
+    if (!attrs.Has(key)) {
+      TNP_THROW(kTypeError) << op_name << ": missing QNN attribute '" << key << "'";
+    }
+  }
+}
+
+}  // namespace
+
+void RegisterBuiltinOpsInto(OpRegistry& reg) {
+  // ---------------- convolution / dense ----------------
+  reg.Register(OpDef{
+      "nn.conv2d", 3,
+      [](const Call& call, const std::vector<Type>& args) {
+        // args: data, weight, bias (bias may be a 0-dim "none" marker; the
+        // zoo always passes a real bias or a zero bias).
+        const Type out = Conv2DInferShapeOnly(call, args, DType::kFloat32);
+        const TensorType& weight = TensorArg(args, 1, "nn.conv2d");
+        const TensorType& bias = TensorArg(args, 2, "nn.conv2d");
+        if (bias.shape.NumElements() != weight.shape[0]) {
+          TNP_THROW(kTypeError) << "nn.conv2d: bias size " << bias.shape.NumElements()
+                                << " != out channels " << weight.shape[0];
+        }
+        return out;
+      },
+      OpCategory::kConv, Conv2DMacs, false, true});
+
+  reg.Register(OpDef{
+      "nn.dense", 3,
+      [](const Call& call, const std::vector<Type>& args) {
+        (void)call;
+        const Type out = DenseInferShapeOnly(args, DType::kFloat32);
+        const TensorType& weight = TensorArg(args, 1, "nn.dense");
+        const TensorType& bias = TensorArg(args, 2, "nn.dense");
+        if (bias.shape.NumElements() != weight.shape[0]) {
+          TNP_THROW(kTypeError) << "nn.dense: bias size mismatch";
+        }
+        return out;
+      },
+      OpCategory::kDense, DenseMacs, false, true});
+
+  reg.Register(OpDef{
+      "nn.bias_add", 2,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.bias_add");
+        const TensorType& bias = TensorArg(args, 1, "nn.bias_add");
+        int axis = static_cast<int>(call.attrs().GetInt("axis", 1));
+        if (axis < 0) axis += data.shape.rank();
+        if (axis < 0 || axis >= data.shape.rank() ||
+            bias.shape.NumElements() != data.shape[axis]) {
+          TNP_THROW(kTypeError) << "nn.bias_add: bias/axis mismatch";
+        }
+        return args[0];
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+
+  // ---------------- activations ----------------
+  reg.Register(OpDef{"nn.relu", 1, IdentityInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{"nn.leaky_relu", 1, FloatUnaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{"sigmoid", 1, FloatUnaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{"tanh", 1, FloatUnaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{"exp", 1, FloatUnaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{"sqrt", 1, FloatUnaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  reg.Register(OpDef{
+      "clip", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        call.attrs().RequireDouble("a_min");
+        call.attrs().RequireDouble("a_max");
+        return FloatUnaryInfer(call, args);
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+
+  // ---------------- binary broadcast ----------------
+  for (const char* name : {"add", "subtract", "multiply", "divide", "maximum", "minimum"}) {
+    reg.Register(OpDef{name, 2, BroadcastBinaryInfer, OpCategory::kElementwise, nullptr, true, false});
+  }
+
+  // ---------------- pooling ----------------
+  reg.Register(OpDef{"nn.max_pool2d", 1, PoolInfer, OpCategory::kPool, nullptr, false, false});
+  reg.Register(OpDef{"nn.avg_pool2d", 1, PoolInfer, OpCategory::kPool, nullptr, false, false});
+  reg.Register(OpDef{
+      "nn.global_avg_pool2d", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.global_avg_pool2d");
+        (void)call;
+        if (data.shape.rank() != 4) {
+          TNP_THROW(kTypeError) << "nn.global_avg_pool2d expects NCHW";
+        }
+        return Type::Tensor(Shape({data.shape[0], data.shape[1], 1, 1}), data.dtype);
+      },
+      OpCategory::kPool, nullptr, false, false});
+
+  // ---------------- normalization / softmax ----------------
+  reg.Register(OpDef{
+      "nn.batch_norm", 5,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.batch_norm");
+        RequireDType(data, DType::kFloat32, "nn.batch_norm");
+        if (data.shape.rank() != 4) {
+          TNP_THROW(kTypeError) << "nn.batch_norm expects NCHW";
+        }
+        const std::int64_t channels = data.shape[1];
+        for (std::size_t i = 1; i < 5; ++i) {
+          if (TensorArg(args, i, "nn.batch_norm").shape.NumElements() != channels) {
+            TNP_THROW(kTypeError) << "nn.batch_norm: parameter " << i << " size mismatch";
+          }
+        }
+        call.attrs().GetDouble("epsilon", 1e-5);
+        return args[0];
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+
+  reg.Register(OpDef{
+      "nn.softmax", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        (void)call;
+        const TensorType& data = TensorArg(args, 0, "nn.softmax");
+        RequireDType(data, DType::kFloat32, "nn.softmax");
+        return args[0];
+      },
+      OpCategory::kSoftmax, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "nn.dropout", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        (void)call;
+        return IdentityInfer(call, args);
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+
+  // ---------------- data movement ----------------
+  reg.Register(OpDef{
+      "nn.batch_flatten", 1,
+      [](const Call&, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.batch_flatten");
+        if (data.shape.rank() < 1) {
+          TNP_THROW(kTypeError) << "nn.batch_flatten expects rank >= 1";
+        }
+        std::int64_t inner = 1;
+        for (int i = 1; i < data.shape.rank(); ++i) inner *= data.shape[i];
+        return Type::Tensor(Shape({data.shape[0], inner}), data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, true, false});
+
+  reg.Register(OpDef{
+      "reshape", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "reshape");
+        auto newshape = call.attrs().RequireInts("newshape");
+        // A single -1 dim is inferred from the remaining elements.
+        std::int64_t known = 1;
+        int infer_at = -1;
+        for (std::size_t i = 0; i < newshape.size(); ++i) {
+          if (newshape[i] == -1) {
+            if (infer_at != -1) TNP_THROW(kTypeError) << "reshape: multiple -1 dims";
+            infer_at = static_cast<int>(i);
+          } else {
+            known *= newshape[i];
+          }
+        }
+        if (infer_at >= 0) {
+          if (known == 0 || data.shape.NumElements() % known != 0) {
+            TNP_THROW(kTypeError) << "reshape: cannot infer -1 dim";
+          }
+          newshape[static_cast<std::size_t>(infer_at)] = data.shape.NumElements() / known;
+          known *= newshape[static_cast<std::size_t>(infer_at)];
+        }
+        if (known != data.shape.NumElements()) {
+          TNP_THROW(kTypeError) << "reshape: element count mismatch " << data.shape.ToString()
+                                << " -> " << support::FormatIntVector(newshape);
+        }
+        return Type::Tensor(Shape(newshape), data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, true, false});
+
+  reg.Register(OpDef{
+      "transpose", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "transpose");
+        const auto axes = call.attrs().RequireInts("axes");
+        if (static_cast<int>(axes.size()) != data.shape.rank()) {
+          TNP_THROW(kTypeError) << "transpose: axes rank mismatch";
+        }
+        std::vector<std::int64_t> dims;
+        std::vector<bool> seen(axes.size(), false);
+        for (const std::int64_t axis : axes) {
+          if (axis < 0 || axis >= data.shape.rank() || seen[static_cast<std::size_t>(axis)]) {
+            TNP_THROW(kTypeError) << "transpose: invalid axes";
+          }
+          seen[static_cast<std::size_t>(axis)] = true;
+          dims.push_back(data.shape[static_cast<int>(axis)]);
+        }
+        return Type::Tensor(Shape(dims), data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "concatenate", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        // Relay-style: the single argument is a Tuple of tensors.
+        if (args.size() != 1 || !args[0].IsTuple() || args[0].AsTuple().empty()) {
+          TNP_THROW(kTypeError) << "concatenate expects a non-empty tuple argument";
+        }
+        const auto& fields = args[0].AsTuple();
+        const TensorType& first = fields[0].AsTensor();
+        int axis = static_cast<int>(call.attrs().GetInt("axis", 0));
+        if (axis < 0) axis += first.shape.rank();
+        if (axis < 0 || axis >= first.shape.rank()) {
+          TNP_THROW(kTypeError) << "concatenate: bad axis";
+        }
+        std::int64_t axis_sum = 0;
+        for (const auto& field : fields) {
+          const TensorType& t = field.AsTensor();
+          if (t.dtype != first.dtype || t.shape.rank() != first.shape.rank()) {
+            TNP_THROW(kTypeError) << "concatenate: mismatched field types";
+          }
+          for (int i = 0; i < t.shape.rank(); ++i) {
+            if (i != axis && t.shape[i] != first.shape[i]) {
+              TNP_THROW(kTypeError) << "concatenate: mismatched non-axis dims";
+            }
+          }
+          axis_sum += t.shape[axis];
+        }
+        std::vector<std::int64_t> dims = first.shape.dims();
+        dims[static_cast<std::size_t>(axis)] = axis_sum;
+        return Type::Tensor(Shape(dims), first.dtype);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "nn.pad", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.pad");
+        const auto before = call.attrs().RequireInts("pad_before");
+        const auto after = call.attrs().RequireInts("pad_after");
+        if (static_cast<int>(before.size()) != data.shape.rank() ||
+            static_cast<int>(after.size()) != data.shape.rank()) {
+          TNP_THROW(kTypeError) << "nn.pad: pad vectors must match rank";
+        }
+        std::vector<std::int64_t> dims = data.shape.dims();
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+          if (before[i] < 0 || after[i] < 0) TNP_THROW(kTypeError) << "nn.pad: negative pad";
+          dims[i] += before[i] + after[i];
+        }
+        return Type::Tensor(Shape(dims), data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "nn.upsampling", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "nn.upsampling");
+        RequireDType(data, DType::kFloat32, "nn.upsampling");
+        if (data.shape.rank() != 4) TNP_THROW(kTypeError) << "nn.upsampling expects NCHW";
+        const std::int64_t sh = call.attrs().GetInt("scale_h", 2);
+        const std::int64_t sw = call.attrs().GetInt("scale_w", 2);
+        if (sh < 1 || sw < 1) TNP_THROW(kTypeError) << "nn.upsampling: bad scale";
+        return Type::Tensor(
+            Shape({data.shape[0], data.shape[1], data.shape[2] * sh, data.shape[3] * sw}),
+            data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "strided_slice", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "strided_slice");
+        const auto begin = call.attrs().RequireInts("begin");
+        const auto end = call.attrs().RequireInts("end");
+        const auto strides = call.attrs().GetInts(
+            "strides", std::vector<std::int64_t>(begin.size(), 1));
+        if (static_cast<int>(begin.size()) != data.shape.rank() || begin.size() != end.size() ||
+            begin.size() != strides.size()) {
+          TNP_THROW(kTypeError) << "strided_slice: rank mismatch";
+        }
+        std::vector<std::int64_t> dims;
+        for (std::size_t i = 0; i < begin.size(); ++i) {
+          const std::int64_t extent = data.shape[static_cast<int>(i)];
+          std::int64_t b = begin[i] < 0 ? begin[i] + extent : begin[i];
+          std::int64_t e = end[i] < 0 ? end[i] + extent : std::min(end[i], extent);
+          if (strides[i] <= 0 || b < 0 || e < b) {
+            TNP_THROW(kTypeError) << "strided_slice: invalid range on axis " << i;
+          }
+          dims.push_back((e - b + strides[i] - 1) / strides[i]);
+        }
+        return Type::Tensor(Shape(dims), data.dtype);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "mean", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "mean");
+        RequireDType(data, DType::kFloat32, "mean");
+        const auto axes = call.attrs().RequireInts("axis");
+        const bool keepdims = call.attrs().GetInt("keepdims", 0) != 0;
+        std::vector<bool> reduced(static_cast<std::size_t>(data.shape.rank()), false);
+        for (std::int64_t axis : axes) {
+          if (axis < 0) axis += data.shape.rank();
+          if (axis < 0 || axis >= data.shape.rank()) TNP_THROW(kTypeError) << "mean: bad axis";
+          reduced[static_cast<std::size_t>(axis)] = true;
+        }
+        std::vector<std::int64_t> dims;
+        for (int i = 0; i < data.shape.rank(); ++i) {
+          if (!reduced[static_cast<std::size_t>(i)]) {
+            dims.push_back(data.shape[i]);
+          } else if (keepdims) {
+            dims.push_back(1);
+          }
+        }
+        return Type::Tensor(Shape(dims), data.dtype);
+      },
+      OpCategory::kPool, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "cast", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "cast");
+        const DType dtype = DTypeFromName(call.attrs().RequireString("dtype"));
+        return Type::Tensor(data.shape, dtype);
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+
+  // ---------------- QNN dialect ----------------
+  // Operator-oriented quantization: scales/zero-points live in call attrs,
+  // exactly the representation the paper's Section 3.3 must convert away
+  // from when targeting the tensor-oriented Neuron IR.
+  reg.Register(OpDef{
+      "qnn.quantize", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.quantize");
+        RequireDType(data, DType::kFloat32, "qnn.quantize");
+        RequireQnnAttrs(call.attrs(), {"output_scale", "output_zero_point"}, "qnn.quantize");
+        return Type::Tensor(data.shape, DType::kInt8);
+      },
+      OpCategory::kQuantize, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "qnn.dequantize", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.dequantize");
+        RequireDType(data, DType::kInt8, "qnn.dequantize");
+        RequireQnnAttrs(call.attrs(), {"input_scale", "input_zero_point"}, "qnn.dequantize");
+        return Type::Tensor(data.shape, DType::kFloat32);
+      },
+      OpCategory::kQuantize, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "qnn.requantize", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.requantize");
+        RequireDType(data, DType::kInt8, "qnn.requantize");
+        RequireQnnAttrs(call.attrs(),
+                        {"input_scale", "input_zero_point", "output_scale", "output_zero_point"},
+                        "qnn.requantize");
+        return args[0];
+      },
+      OpCategory::kQuantize, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "qnn.conv2d", 3,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.conv2d");
+        const TensorType& weight = TensorArg(args, 1, "qnn.conv2d");
+        const TensorType& bias = TensorArg(args, 2, "qnn.conv2d");
+        RequireDType(data, DType::kInt8, "qnn.conv2d");
+        RequireDType(weight, DType::kInt8, "qnn.conv2d");
+        RequireDType(bias, DType::kInt32, "qnn.conv2d");
+        RequireQnnAttrs(call.attrs(),
+                        {"input_scale", "input_zero_point", "weight_scale", "weight_zero_point",
+                         "output_scale", "output_zero_point"},
+                        "qnn.conv2d");
+        if (bias.shape.NumElements() != weight.shape[0]) {
+          TNP_THROW(kTypeError) << "qnn.conv2d: bias size mismatch";
+        }
+        return Conv2DInferShapeOnly(call, args, DType::kInt8);
+      },
+      OpCategory::kConv,
+      [](const Call& call, const std::vector<Type>& args, const Type& out) {
+        return Conv2DMacs(call, args, out);
+      },
+      false, true});
+
+  reg.Register(OpDef{
+      "qnn.dense", 3,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.dense");
+        const TensorType& weight = TensorArg(args, 1, "qnn.dense");
+        const TensorType& bias = TensorArg(args, 2, "qnn.dense");
+        RequireDType(data, DType::kInt8, "qnn.dense");
+        RequireDType(weight, DType::kInt8, "qnn.dense");
+        RequireDType(bias, DType::kInt32, "qnn.dense");
+        RequireQnnAttrs(call.attrs(),
+                        {"input_scale", "input_zero_point", "weight_scale", "weight_zero_point",
+                         "output_scale", "output_zero_point"},
+                        "qnn.dense");
+        return DenseInferShapeOnly(args, DType::kInt8);
+      },
+      OpCategory::kDense, DenseMacs, false, true});
+
+  for (const char* name : {"qnn.add", "qnn.mul"}) {
+    reg.Register(OpDef{
+        name, 2,
+        [](const Call& call, const std::vector<Type>& args) {
+          const TensorType& a = TensorArg(args, 0, "qnn binary");
+          const TensorType& b = TensorArg(args, 1, "qnn binary");
+          RequireDType(a, DType::kInt8, "qnn binary");
+          RequireDType(b, DType::kInt8, "qnn binary");
+          if (a.shape != b.shape) {
+            TNP_THROW(kTypeError) << "qnn binary ops require equal shapes";
+          }
+          RequireQnnAttrs(call.attrs(),
+                          {"lhs_scale", "lhs_zero_point", "rhs_scale", "rhs_zero_point",
+                           "output_scale", "output_zero_point"},
+                          "qnn binary");
+          return args[0];
+        },
+        OpCategory::kElementwise, nullptr, true, false});
+  }
+
+  reg.Register(OpDef{
+      "qnn.concatenate", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        if (args.size() != 1 || !args[0].IsTuple() || args[0].AsTuple().empty()) {
+          TNP_THROW(kTypeError) << "qnn.concatenate expects a non-empty tuple argument";
+        }
+        const auto& fields = args[0].AsTuple();
+        const auto scales = call.attrs().GetDoubles("input_scales", {});
+        const auto zps = call.attrs().GetInts("input_zero_points", {});
+        if (scales.size() != fields.size() || zps.size() != fields.size()) {
+          TNP_THROW(kTypeError) << "qnn.concatenate: per-input quant params required";
+        }
+        RequireQnnAttrs(call.attrs(), {"output_scale", "output_zero_point"},
+                        "qnn.concatenate");
+        // Shape logic is identical to concatenate.
+        Call proxy("concatenate", {}, Attrs(call.attrs()));
+        return OpRegistry::Global().Get("concatenate").infer(proxy, args);
+      },
+      OpCategory::kDataMove, nullptr, false, false});
+
+  reg.Register(OpDef{
+      "qnn.relu", 1,
+      [](const Call& call, const std::vector<Type>& args) {
+        const TensorType& data = TensorArg(args, 0, "qnn.relu");
+        RequireDType(data, DType::kInt8, "qnn.relu");
+        RequireQnnAttrs(call.attrs(), {"zero_point"}, "qnn.relu");
+        return args[0];
+      },
+      OpCategory::kElementwise, nullptr, true, false});
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,247 @@
+#include "relay/pass.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relay/interpreter.h"
+#include "relay/op.h"
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+// ---------------------------------------------------------------- InferType
+
+class TypeInferencer : public ExprVisitor {
+ public:
+  void VisitVar(const VarPtr& var) override {
+    if (!var->type_annotation().defined()) {
+      TNP_THROW(kTypeError) << "variable '" << var->name() << "' has no type annotation";
+    }
+    var->set_checked_type(var->type_annotation());
+  }
+
+  void VisitConstant(const ConstantPtr& constant) override {
+    constant->set_checked_type(
+        Type::Tensor(constant->data().shape(), constant->data().dtype()));
+  }
+
+  void VisitTuple(const TuplePtr& tuple) override {
+    std::vector<Type> field_types;
+    field_types.reserve(tuple->fields().size());
+    for (const auto& field : tuple->fields()) field_types.push_back(field->checked_type());
+    tuple->set_checked_type(Type::Tuple(std::move(field_types)));
+  }
+
+  void VisitTupleGetItem(const TupleGetItemPtr& get) override {
+    const Type& tuple_type = get->tuple()->checked_type();
+    if (!tuple_type.IsTuple()) {
+      TNP_THROW(kTypeError) << "tuple_get_item on non-tuple value";
+    }
+    const auto& fields = tuple_type.AsTuple();
+    if (get->index() < 0 || get->index() >= static_cast<int>(fields.size())) {
+      TNP_THROW(kTypeError) << "tuple index " << get->index() << " out of range";
+    }
+    get->set_checked_type(fields[static_cast<std::size_t>(get->index())]);
+  }
+
+  void VisitFunction(const FunctionPtr& fn) override {
+    // Body was already visited (post-order); function type is its body type.
+    fn->set_checked_type(fn->body()->checked_type());
+  }
+
+  void VisitCall(const CallPtr& call) override {
+    std::vector<Type> arg_types;
+    arg_types.reserve(call->args().size());
+    for (const auto& arg : call->args()) arg_types.push_back(arg->checked_type());
+
+    switch (call->callee_kind()) {
+      case CalleeKind::kOp:
+        call->set_checked_type(InferCallType(*call, arg_types));
+        return;
+      case CalleeKind::kFunction: {
+        const FunctionPtr& fn = call->fn();
+        if (fn->params().size() != arg_types.size()) {
+          TNP_THROW(kTypeError) << "function call arity mismatch";
+        }
+        // The function body was visited by the traversal (params carry their
+        // own annotations); check argument compatibility.
+        for (std::size_t i = 0; i < arg_types.size(); ++i) {
+          const Type& expected = fn->params()[i]->type_annotation();
+          if (expected.defined() && expected != arg_types[i]) {
+            TNP_THROW(kTypeError)
+                << "argument " << i << " type " << arg_types[i].ToString()
+                << " does not match parameter type " << expected.ToString();
+          }
+        }
+        call->set_checked_type(fn->body()->checked_type());
+        return;
+      }
+      case CalleeKind::kGlobal: {
+        TNP_CHECK(module_ != nullptr) << "global call outside module-level inference";
+        if (!module_->Has(call->op_name())) {
+          TNP_THROW(kTypeError) << "call to undefined global '@" << call->op_name() << "'";
+        }
+        const FunctionPtr callee = module_->Get(call->op_name());
+        if (!callee->checked_type().defined()) {
+          TNP_THROW(kTypeError) << "global '" << call->op_name() << "' not yet inferred";
+        }
+        if (callee->params().size() != arg_types.size()) {
+          TNP_THROW(kTypeError) << "global call arity mismatch for '@" << call->op_name() << "'";
+        }
+        call->set_checked_type(callee->checked_type());
+        return;
+      }
+    }
+  }
+
+  const Module* module_ = nullptr;
+};
+
+// ------------------------------------------------------------- FoldConstant
+
+class ConstantFolder : public ExprMutator {
+ protected:
+  ExprPtr RewriteCall(const CallPtr& call) override {
+    if (call->callee_kind() != CalleeKind::kOp) return call;
+    // Don't fold ops whose output depends on runtime-only semantics.
+    if (call->op_name() == "nn.dropout") return call;
+    std::vector<Value> arg_values;
+    arg_values.reserve(call->args().size());
+    for (const auto& arg : call->args()) {
+      Value value = TryConstValue(arg);
+      if (!value.defined()) return call;
+      arg_values.push_back(std::move(value));
+    }
+    const Value folded = EvalOpCall(call->op_name(), call->attrs(), *call, arg_values);
+    if (folded.is_tuple()) return call;  // tuple-producing folds not needed
+    return MakeConstant(folded.AsTensor());
+  }
+
+ private:
+  /// Constant or Tuple-of-constants to Value; undefined Value otherwise.
+  static Value TryConstValue(const ExprPtr& expr) {
+    if (expr->kind() == ExprKind::kConstant) {
+      return Value(std::static_pointer_cast<Constant>(expr)->data());
+    }
+    if (expr->kind() == ExprKind::kTuple) {
+      std::vector<Value> fields;
+      for (const auto& field : std::static_pointer_cast<Tuple>(expr)->fields()) {
+        Value value = TryConstValue(field);
+        if (!value.defined()) return Value();
+        fields.push_back(std::move(value));
+      }
+      return Value(std::move(fields));
+    }
+    return Value();
+  }
+};
+
+// ------------------------------------------------------------- SimplifyExpr
+
+class Simplifier : public ExprMutator {
+ protected:
+  ExprPtr RewriteTupleGetItem(const TupleGetItemPtr& get) override {
+    if (get->tuple()->kind() == ExprKind::kTuple) {
+      const auto tuple = std::static_pointer_cast<Tuple>(get->tuple());
+      return tuple->fields().at(static_cast<std::size_t>(get->index()));
+    }
+    return get;
+  }
+
+  ExprPtr RewriteCall(const CallPtr& call) override {
+    if (call->callee_kind() == CalleeKind::kOp && call->op_name() == "nn.dropout") {
+      return call->args().at(0);
+    }
+    return call;
+  }
+};
+
+std::unordered_set<std::string> ReachableGlobals(const Module& module) {
+  std::unordered_set<std::string> reachable;
+  std::vector<std::string> worklist = {"main"};
+  while (!worklist.empty()) {
+    const std::string name = worklist.back();
+    worklist.pop_back();
+    if (!reachable.insert(name).second) continue;
+    if (!module.Has(name)) continue;
+    for (const auto& node : PostOrder(module.Get(name)->body())) {
+      if (node->kind() != ExprKind::kCall) continue;
+      const auto call = std::static_pointer_cast<Call>(node);
+      if (call->callee_kind() == CalleeKind::kGlobal) worklist.push_back(call->op_name());
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+Type InferFunctionTypes(const FunctionPtr& fn) {
+  TypeInferencer inferencer;
+  for (const auto& param : fn->params()) inferencer.Visit(param);
+  inferencer.Visit(fn->body());
+  fn->set_checked_type(fn->body()->checked_type());
+  return fn->checked_type();
+}
+
+Pass InferType() {
+  return Pass("InferType", [](const Module& module) {
+    Module result = module.Clone();
+    // Non-main functions first so global calls from main see their types.
+    TypeInferencer inferencer;
+    inferencer.module_ = &result;
+    for (const auto& [name, fn] : result.functions()) {
+      if (name == "main") continue;
+      for (const auto& param : fn->params()) inferencer.Visit(param);
+      inferencer.Visit(fn->body());
+      fn->set_checked_type(fn->body()->checked_type());
+    }
+    if (result.Has("main")) {
+      const FunctionPtr& main_fn = result.main();
+      for (const auto& param : main_fn->params()) inferencer.Visit(param);
+      inferencer.Visit(main_fn->body());
+      main_fn->set_checked_type(main_fn->body()->checked_type());
+    }
+    return result;
+  });
+}
+
+Pass FoldConstant() {
+  return Pass("FoldConstant", [](const Module& module) {
+    Module result;
+    for (const auto& [name, fn] : module.functions()) {
+      ConstantFolder folder;
+      const ExprPtr new_body = folder.Mutate(fn->body());
+      result.Add(name, new_body == fn->body()
+                           ? fn
+                           : MakeFunction(fn->params(), new_body, fn->attrs()));
+    }
+    return result;
+  });
+}
+
+Pass SimplifyExpr() {
+  return Pass("SimplifyExpr", [](const Module& module) {
+    Module rewritten;
+    for (const auto& [name, fn] : module.functions()) {
+      Simplifier simplifier;
+      const ExprPtr new_body = simplifier.Mutate(fn->body());
+      rewritten.Add(name, new_body == fn->body()
+                              ? fn
+                              : MakeFunction(fn->params(), new_body, fn->attrs()));
+    }
+    // Module-level DCE: drop globals unreachable from main.
+    if (!rewritten.Has("main")) return rewritten;
+    const auto reachable = ReachableGlobals(rewritten);
+    Module result;
+    for (const auto& [name, fn] : rewritten.functions()) {
+      if (reachable.count(name) != 0) result.Add(name, fn);
+    }
+    return result;
+  });
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,87 @@
+// Module-level pass infrastructure and the standard optimization passes.
+//
+// Passes are pure Module -> Module functions composed by Sequential, in the
+// spirit of TVM's transform.PassContext pipeline:
+//
+//   Module optimized = Sequential({InferType(), FoldConstant(), FuseOps()})
+//                          .Run(module);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relay/module.h"
+
+namespace tnp {
+namespace relay {
+
+class Pass {
+ public:
+  Pass(std::string name, std::function<Module(const Module&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  Module Run(const Module& module) const { return fn_(module); }
+
+ private:
+  std::string name_;
+  std::function<Module(const Module&)> fn_;
+};
+
+/// Runs the contained passes in order.
+class Sequential {
+ public:
+  Sequential(std::vector<Pass> passes) : passes_(std::move(passes)) {}  // NOLINT
+
+  Module Run(const Module& module) const {
+    Module current = module;
+    for (const auto& pass : passes_) current = pass.Run(current);
+    return current;
+  }
+
+ private:
+  std::vector<Pass> passes_;
+};
+
+// ---- standard passes ----
+
+/// Assign checked types to every expression of every function. Throws
+/// kTypeError on ill-typed programs. Idempotent.
+Pass InferType();
+
+/// Evaluate constant subexpressions (whole-constant op calls) at compile
+/// time and replace them with Constants. Requires InferType beforehand.
+Pass FoldConstant();
+
+/// Structural cleanups: TupleGetItem(Tuple(fields), i) -> fields[i],
+/// nn.dropout -> identity, and removal of module functions unreachable from
+/// main (DCE at module granularity).
+Pass SimplifyExpr();
+
+/// Fuse anchor ops (conv/dense) with trailing fusable followers
+/// (bias_add/activation/batch_norm/...) into Primitive functions. The fused
+/// group pays one launch overhead in the device cost model.
+Pass FuseOps();
+
+/// Fold inference-time nn.batch_norm into the preceding conv2d's constant
+/// weights/bias (per-output-channel scale + shift). Numerics preserved to
+/// float rounding; one fewer memory-bound op per conv+BN pair.
+Pass FoldBatchNorm();
+
+/// Lower the QNN dialect to a pure-float reference graph: quantized
+/// constants are dequantized, quantize/requantize become saturation clips,
+/// int8 graph inputs become float inputs. Outputs approximate the integer
+/// pipeline within a few quantization steps (asserted by the test suite).
+Pass QnnCanonicalize();
+
+// ---- type inference utility usable on bare expressions ----
+
+/// Infer checked types on one function in place (mutates the cached type
+/// fields only). Returns the function's result type.
+Type InferFunctionTypes(const FunctionPtr& fn);
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,127 @@
+#include "relay/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+class Printer : ExprVisitor {
+ public:
+  Printer() { visit_function_bodies_ = false; }
+
+  std::string Print(const ExprPtr& expr) {
+    Visit(expr);
+    os_ << "return " << Ref(expr) << "\n";
+    return os_.str();
+  }
+
+  std::string PrintFn(const FunctionPtr& fn) {
+    std::ostringstream header;
+    header << "fn (";
+    for (std::size_t i = 0; i < fn->params().size(); ++i) {
+      if (i != 0) header << ", ";
+      header << "%" << fn->params()[i]->name();
+      if (fn->params()[i]->type_annotation().defined()) {
+        header << ": " << fn->params()[i]->type_annotation().ToString();
+      }
+    }
+    header << ")";
+    if (!fn->attrs().values().empty()) header << " attrs=" << fn->attrs().ToString();
+    header << " {\n";
+    const std::string body = Print(fn->body());
+    return header.str() + body + "}\n";
+  }
+
+ private:
+  std::string Ref(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kVar:
+        return "%" + std::static_pointer_cast<Var>(expr)->name();
+      case ExprKind::kConstant: {
+        const auto c = std::static_pointer_cast<Constant>(expr);
+        return "const<" + c->data().shape().ToString() + ":" + DTypeName(c->data().dtype()) + ">";
+      }
+      default: {
+        const auto it = names_.find(expr.get());
+        TNP_CHECK(it != names_.end());
+        return it->second;
+      }
+    }
+  }
+
+  std::string Fresh(const Expr* expr) {
+    const std::string name = "%" + std::to_string(counter_++);
+    names_[expr] = name;
+    return name;
+  }
+
+  void VisitCall(const CallPtr& call) override {
+    const std::string name = Fresh(call.get());
+    os_ << name << " = ";
+    switch (call->callee_kind()) {
+      case CalleeKind::kOp: os_ << call->op_name(); break;
+      case CalleeKind::kGlobal: os_ << "@" << call->op_name(); break;
+      case CalleeKind::kFunction: os_ << "fn<" << call->fn()->attrs().ToString() << ">"; break;
+    }
+    os_ << "(";
+    for (std::size_t i = 0; i < call->args().size(); ++i) {
+      if (i != 0) os_ << ", ";
+      os_ << Ref(call->args()[i]);
+    }
+    os_ << ")";
+    if (call->callee_kind() == CalleeKind::kOp && !call->attrs().values().empty()) {
+      os_ << " " << call->attrs().ToString();
+    }
+    if (call->checked_type().defined()) os_ << " /* " << call->checked_type().ToString() << " */";
+    os_ << "\n";
+  }
+
+  void VisitTuple(const TuplePtr& tuple) override {
+    const std::string name = Fresh(tuple.get());
+    os_ << name << " = (";
+    for (std::size_t i = 0; i < tuple->fields().size(); ++i) {
+      if (i != 0) os_ << ", ";
+      os_ << Ref(tuple->fields()[i]);
+    }
+    os_ << ")\n";
+  }
+
+  void VisitTupleGetItem(const TupleGetItemPtr& get) override {
+    const std::string name = Fresh(get.get());
+    os_ << name << " = " << Ref(get->tuple()) << "." << get->index() << "\n";
+  }
+
+  void VisitFunction(const FunctionPtr& fn) override {
+    // Embedded functions print as opaque references; their bodies are
+    // printed separately when requested via PrintFunction.
+    names_[fn.get()] = "fn<" + fn->attrs().ToString() + ">";
+  }
+
+  std::ostringstream os_;
+  std::unordered_map<const Expr*, std::string> names_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::string PrintExpr(const ExprPtr& expr) { return Printer().Print(expr); }
+
+std::string PrintFunction(const FunctionPtr& fn) { return Printer().PrintFn(fn); }
+
+std::string PrintModule(const Module& module) {
+  std::ostringstream os;
+  for (const auto& [name, fn] : module.functions()) {
+    os << "def @" << name << " ";
+    os << PrintFunction(fn);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,19 @@
+// Human-readable text form of Relay expressions and modules, in an
+// A-normal-ish style with one binding per line:
+//   %0 = nn.conv2d(%data, const<...>, ...) {strides=[1, 1]}
+// Used by tests (structural assertions) and for debugging passes.
+#pragma once
+
+#include <string>
+
+#include "relay/module.h"
+
+namespace tnp {
+namespace relay {
+
+std::string PrintExpr(const ExprPtr& expr);
+std::string PrintFunction(const FunctionPtr& fn);
+std::string PrintModule(const Module& module);
+
+}  // namespace relay
+}  // namespace tnp

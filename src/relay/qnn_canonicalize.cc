@@ -1,0 +1,152 @@
+// QnnCanonicalize: lower the QNN dialect to plain float ops (the analogue
+// of TVM's qnn.transform.Canonicalize, with a float reference lowering).
+//
+// Quantized constants are dequantized into float constants; quantize /
+// requantize become range clips (saturation is the dominant quantization
+// artefact; rounding noise is bounded by half a scale step). The result is
+// a pure-float module whose outputs approximate the integer pipeline within
+// a few output quantization steps — which the test suite asserts. This is
+// the reference against which the int8 path is validated, and lets a
+// backend without integer kernels still run pre-quantized models.
+#include "relay/pass.h"
+
+#include "kernels/quantize.h"
+#include "relay/op.h"
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+QuantParams AttrQuant(const Attrs& attrs, const char* scale_key, const char* zp_key) {
+  return QuantParams(static_cast<float>(attrs.RequireDouble(scale_key)),
+                     static_cast<std::int32_t>(attrs.RequireInt(zp_key)));
+}
+
+/// Clip to the real range representable under `quant` (int8 saturation).
+ExprPtr ClipToRange(ExprPtr x, const QuantParams& quant) {
+  return MakeCall("clip", {std::move(x)},
+                  Attrs()
+                      .SetDouble("a_min", quant.Dequantize(-128))
+                      .SetDouble("a_max", quant.Dequantize(127)));
+}
+
+/// Dequantize an int8 constant into a float constant.
+ExprPtr DequantConstant(const ExprPtr& expr, const QuantParams& quant) {
+  TNP_CHECK(expr->kind() == ExprKind::kConstant)
+      << "QnnCanonicalize requires constant quantized weights";
+  const NDArray& q = As<Constant>(expr)->data();
+  NDArray f = NDArray::Empty(q.shape(), DType::kFloat32);
+  kernels::DequantizeS8ToF32(q, f, quant);
+  return MakeConstant(std::move(f));
+}
+
+/// Convert an int32 bias constant into float with scale in*w.
+ExprPtr FloatBias(const ExprPtr& expr, float scale) {
+  TNP_CHECK(expr->kind() == ExprKind::kConstant);
+  const NDArray& b = As<Constant>(expr)->data();
+  TNP_CHECK(b.dtype() == DType::kInt32);
+  NDArray f = NDArray::Empty(b.shape(), DType::kFloat32);
+  const std::int32_t* src = b.Data<std::int32_t>();
+  float* dst = f.Data<float>();
+  for (std::int64_t i = 0; i < b.NumElements(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * scale;
+  }
+  return MakeConstant(std::move(f));
+}
+
+class Canonicalizer : public ExprMutator {
+ protected:
+  ExprPtr RewriteVar(const VarPtr& var) override {
+    // Int8 graph inputs become float inputs (callers feed real values).
+    if (var->type_annotation().defined() && var->type_annotation().IsTensor() &&
+        var->type_annotation().AsTensor().dtype == DType::kInt8) {
+      const auto it = var_replacements_.find(var.get());
+      if (it != var_replacements_.end()) return it->second;
+      auto replacement = MakeVar(
+          var->name(),
+          Type::Tensor(var->type_annotation().AsTensor().shape, DType::kFloat32));
+      var_replacements_[var.get()] = replacement;
+      return replacement;
+    }
+    return var;
+  }
+
+  ExprPtr RewriteCall(const CallPtr& call) override {
+    if (call->callee_kind() != CalleeKind::kOp) return call;
+    const std::string& op = call->op_name();
+    const Attrs& attrs = call->attrs();
+    const auto& args = call->args();
+
+    if (op == "qnn.quantize") {
+      return ClipToRange(args[0], AttrQuant(attrs, "output_scale", "output_zero_point"));
+    }
+    if (op == "qnn.dequantize") {
+      return args[0];  // already float in the canonicalized graph
+    }
+    if (op == "qnn.requantize") {
+      return ClipToRange(args[0], AttrQuant(attrs, "output_scale", "output_zero_point"));
+    }
+    if (op == "qnn.conv2d" || op == "qnn.dense") {
+      const QuantParams in_q = AttrQuant(attrs, "input_scale", "input_zero_point");
+      const QuantParams w_q = AttrQuant(attrs, "weight_scale", "weight_zero_point");
+      const QuantParams out_q = AttrQuant(attrs, "output_scale", "output_zero_point");
+      Attrs float_attrs;
+      if (op == "qnn.conv2d") {
+        float_attrs.SetInts("strides", attrs.GetInts("strides", {1, 1}))
+            .SetInts("padding", attrs.GetInts("padding", {0, 0}))
+            .SetInts("dilation", attrs.GetInts("dilation", {1, 1}))
+            .SetInt("groups", attrs.GetInt("groups", 1));
+      }
+      ExprPtr result = MakeCall(op == "qnn.conv2d" ? "nn.conv2d" : "nn.dense",
+                                {args[0], DequantConstant(args[1], w_q),
+                                 FloatBias(args[2], in_q.scale * w_q.scale)},
+                                std::move(float_attrs));
+      return ClipToRange(std::move(result), out_q);
+    }
+    if (op == "qnn.add" || op == "qnn.mul") {
+      const QuantParams out_q = AttrQuant(attrs, "output_scale", "output_zero_point");
+      ExprPtr result = MakeCall(op == "qnn.add" ? "add" : "multiply", {args[0], args[1]});
+      return ClipToRange(std::move(result), out_q);
+    }
+    if (op == "qnn.relu") {
+      return MakeCall("nn.relu", {args[0]});
+    }
+    if (op == "qnn.concatenate") {
+      const QuantParams out_q = AttrQuant(attrs, "output_scale", "output_zero_point");
+      ExprPtr result = MakeCall("concatenate", {args[0]},
+                                Attrs().SetInt("axis", attrs.GetInt("axis", 0)));
+      return ClipToRange(std::move(result), out_q);
+    }
+    return call;
+  }
+
+ private:
+  std::unordered_map<const Expr*, VarPtr> var_replacements_;
+};
+
+}  // namespace
+
+Pass QnnCanonicalize() {
+  return Pass("QnnCanonicalize", [](const Module& module) {
+    Module result;
+    for (const auto& [name, fn] : module.functions()) {
+      Canonicalizer canonicalizer;
+      const ExprPtr new_body = canonicalizer.Mutate(fn->body());
+      std::vector<VarPtr> params;
+      params.reserve(fn->params().size());
+      for (const auto& param : fn->params()) {
+        const ExprPtr mutated = canonicalizer.Mutate(std::static_pointer_cast<Expr>(param));
+        params.push_back(std::static_pointer_cast<Var>(mutated));
+      }
+      result.Add(name, new_body == fn->body() && params == fn->params()
+                           ? fn
+                           : MakeFunction(std::move(params), new_body, fn->attrs()));
+    }
+    return InferType().Run(result);
+  });
+}
+
+}  // namespace relay
+}  // namespace tnp

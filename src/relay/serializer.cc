@@ -1,0 +1,448 @@
+#include "relay/serializer.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "relay/pass.h"
+#include "relay/visitor.h"
+#include "support/logging.h"
+
+namespace tnp {
+namespace relay {
+
+namespace {
+
+// ------------------------------------------------------------- primitives
+
+void WriteU32(std::ostream& os, std::uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteI64(std::ostream& os, std::int64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteF64(std::ostream& os, double value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteString(std::ostream& os, const std::string& text) {
+  WriteU32(os, static_cast<std::uint32_t>(text.size()));
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::uint32_t ReadU32(std::istream& is) {
+  std::uint32_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) TNP_THROW(kParseError) << "module artifact truncated (u32)";
+  return value;
+}
+
+std::int64_t ReadI64(std::istream& is) {
+  std::int64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) TNP_THROW(kParseError) << "module artifact truncated (i64)";
+  return value;
+}
+
+double ReadF64(std::istream& is) {
+  double value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!is) TNP_THROW(kParseError) << "module artifact truncated (f64)";
+  return value;
+}
+
+std::string ReadString(std::istream& is) {
+  const std::uint32_t size = ReadU32(is);
+  if (size > (64u << 20)) TNP_THROW(kParseError) << "implausible string size " << size;
+  std::string text(size, '\0');
+  is.read(text.data(), static_cast<std::streamsize>(size));
+  if (!is) TNP_THROW(kParseError) << "module artifact truncated (string)";
+  return text;
+}
+
+// ------------------------------------------------------------------ attrs
+
+enum class AttrTag : std::uint32_t {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+  kInts = 3,
+  kDoubles = 4,
+};
+
+void WriteAttrs(std::ostream& os, const Attrs& attrs) {
+  WriteU32(os, static_cast<std::uint32_t>(attrs.values().size()));
+  for (const auto& [key, value] : attrs.values()) {
+    WriteString(os, key);
+    if (const auto* v = std::get_if<std::int64_t>(&value)) {
+      WriteU32(os, static_cast<std::uint32_t>(AttrTag::kInt));
+      WriteI64(os, *v);
+    } else if (const auto* v = std::get_if<double>(&value)) {
+      WriteU32(os, static_cast<std::uint32_t>(AttrTag::kDouble));
+      WriteF64(os, *v);
+    } else if (const auto* v = std::get_if<std::string>(&value)) {
+      WriteU32(os, static_cast<std::uint32_t>(AttrTag::kString));
+      WriteString(os, *v);
+    } else if (const auto* v = std::get_if<std::vector<std::int64_t>>(&value)) {
+      WriteU32(os, static_cast<std::uint32_t>(AttrTag::kInts));
+      WriteU32(os, static_cast<std::uint32_t>(v->size()));
+      for (const std::int64_t x : *v) WriteI64(os, x);
+    } else if (const auto* v = std::get_if<std::vector<double>>(&value)) {
+      WriteU32(os, static_cast<std::uint32_t>(AttrTag::kDoubles));
+      WriteU32(os, static_cast<std::uint32_t>(v->size()));
+      for (const double x : *v) WriteF64(os, x);
+    } else {
+      TNP_CHECK(false) << "unhandled attr variant";
+    }
+  }
+}
+
+Attrs ReadAttrs(std::istream& is) {
+  Attrs attrs;
+  const std::uint32_t count = ReadU32(is);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string key = ReadString(is);
+    switch (static_cast<AttrTag>(ReadU32(is))) {
+      case AttrTag::kInt:
+        attrs.SetInt(key, ReadI64(is));
+        break;
+      case AttrTag::kDouble:
+        attrs.SetDouble(key, ReadF64(is));
+        break;
+      case AttrTag::kString:
+        attrs.SetString(key, ReadString(is));
+        break;
+      case AttrTag::kInts: {
+        std::vector<std::int64_t> values(ReadU32(is));
+        for (auto& value : values) value = ReadI64(is);
+        attrs.SetInts(key, std::move(values));
+        break;
+      }
+      case AttrTag::kDoubles: {
+        std::vector<double> values(ReadU32(is));
+        for (auto& value : values) value = ReadF64(is);
+        attrs.SetDoubles(key, std::move(values));
+        break;
+      }
+      default:
+        TNP_THROW(kParseError) << "unknown attribute tag in module artifact";
+    }
+  }
+  return attrs;
+}
+
+// ------------------------------------------------------------ types/arrays
+
+void WriteType(std::ostream& os, const Type& type) {
+  WriteU32(os, static_cast<std::uint32_t>(type.kind()));
+  if (type.IsTensor()) {
+    const TensorType& tensor = type.AsTensor();
+    WriteU32(os, static_cast<std::uint32_t>(tensor.shape.rank()));
+    for (const std::int64_t dim : tensor.shape.dims()) WriteI64(os, dim);
+    WriteU32(os, static_cast<std::uint32_t>(tensor.dtype));
+  } else if (type.IsTuple()) {
+    WriteU32(os, static_cast<std::uint32_t>(type.AsTuple().size()));
+    for (const Type& field : type.AsTuple()) WriteType(os, field);
+  }
+}
+
+Type ReadType(std::istream& is) {
+  const auto kind = static_cast<Type::Kind>(ReadU32(is));
+  switch (kind) {
+    case Type::Kind::kUnknown:
+      return Type();
+    case Type::Kind::kTensor: {
+      std::vector<std::int64_t> dims(ReadU32(is));
+      for (auto& dim : dims) dim = ReadI64(is);
+      const auto dtype = static_cast<DType>(ReadU32(is));
+      return Type::Tensor(Shape(std::move(dims)), dtype);
+    }
+    case Type::Kind::kTuple: {
+      std::vector<Type> fields(ReadU32(is));
+      for (auto& field : fields) field = ReadType(is);
+      return Type::Tuple(std::move(fields));
+    }
+  }
+  TNP_THROW(kParseError) << "unknown type kind in module artifact";
+}
+
+void WriteNDArray(std::ostream& os, const NDArray& array) {
+  WriteU32(os, static_cast<std::uint32_t>(array.shape().rank()));
+  for (const std::int64_t dim : array.shape().dims()) WriteI64(os, dim);
+  WriteU32(os, static_cast<std::uint32_t>(array.dtype()));
+  WriteU32(os, array.quant().valid ? 1 : 0);
+  if (array.quant().valid) {
+    WriteF64(os, array.quant().scale);
+    WriteI64(os, array.quant().zero_point);
+  }
+  WriteI64(os, static_cast<std::int64_t>(array.SizeBytes()));
+  os.write(static_cast<const char*>(array.RawData()),
+           static_cast<std::streamsize>(array.SizeBytes()));
+}
+
+NDArray ReadNDArray(std::istream& is) {
+  std::vector<std::int64_t> dims(ReadU32(is));
+  for (auto& dim : dims) dim = ReadI64(is);
+  const auto dtype = static_cast<DType>(ReadU32(is));
+  QuantParams quant;
+  if (ReadU32(is) != 0) {
+    const double scale = ReadF64(is);
+    const std::int64_t zero_point = ReadI64(is);
+    quant = QuantParams(static_cast<float>(scale), static_cast<std::int32_t>(zero_point));
+  }
+  NDArray array = NDArray::Empty(Shape(std::move(dims)), dtype);
+  const std::int64_t bytes = ReadI64(is);
+  if (bytes != static_cast<std::int64_t>(array.SizeBytes())) {
+    TNP_THROW(kParseError) << "constant byte-size mismatch in module artifact";
+  }
+  is.read(static_cast<char*>(array.RawData()), static_cast<std::streamsize>(bytes));
+  if (!is) TNP_THROW(kParseError) << "module artifact truncated (constant)";
+  array.set_quant(quant);
+  return array;
+}
+
+// ------------------------------------------------------------- expressions
+
+enum class NodeTag : std::uint32_t {
+  kVar = 0,
+  kConstant = 1,
+  kCallOp = 2,
+  kCallFunction = 3,
+  kCallGlobal = 4,
+  kTuple = 5,
+  kTupleGetItem = 6,
+  kFunction = 7,
+};
+
+/// Serialize one function's expression DAG: post-order node list where
+/// children precede parents, so indices written for args always refer to
+/// already-materialized nodes on load. Structural sharing is preserved.
+void WriteFunction(std::ostream& os, const FunctionPtr& fn) {
+  // Params may be unreferenced by the body; force them into the node order.
+  std::unordered_map<const Expr*, std::uint32_t> index_of;
+  std::vector<ExprPtr> nodes;
+  {
+    struct Collector : ExprVisitor {
+      std::vector<ExprPtr>* nodes;
+      void VisitVar(const VarPtr& v) override { nodes->push_back(v); }
+      void VisitConstant(const ConstantPtr& c) override { nodes->push_back(c); }
+      void VisitCall(const CallPtr& c) override { nodes->push_back(c); }
+      void VisitTuple(const TuplePtr& t) override { nodes->push_back(t); }
+      void VisitTupleGetItem(const TupleGetItemPtr& g) override { nodes->push_back(g); }
+      void VisitFunction(const FunctionPtr& f) override { nodes->push_back(f); }
+    };
+    Collector collector;
+    collector.nodes = &nodes;
+    for (const auto& param : fn->params()) collector.Visit(param);
+    collector.Visit(fn->body());
+  }
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) index_of[nodes[i].get()] = i;
+
+  const auto ref = [&](const ExprPtr& expr) {
+    const auto it = index_of.find(expr.get());
+    TNP_CHECK(it != index_of.end()) << "expression not in serialization order";
+    return it->second;
+  };
+
+  WriteU32(os, static_cast<std::uint32_t>(nodes.size()));
+  for (const auto& node : nodes) {
+    switch (node->kind()) {
+      case ExprKind::kVar: {
+        const auto var = As<Var>(node);
+        WriteU32(os, static_cast<std::uint32_t>(NodeTag::kVar));
+        WriteString(os, var->name());
+        WriteType(os, var->type_annotation());
+        break;
+      }
+      case ExprKind::kConstant: {
+        WriteU32(os, static_cast<std::uint32_t>(NodeTag::kConstant));
+        WriteNDArray(os, As<Constant>(node)->data());
+        break;
+      }
+      case ExprKind::kCall: {
+        const auto call = As<Call>(node);
+        switch (call->callee_kind()) {
+          case CalleeKind::kOp:
+            WriteU32(os, static_cast<std::uint32_t>(NodeTag::kCallOp));
+            WriteString(os, call->op_name());
+            WriteAttrs(os, call->attrs());
+            break;
+          case CalleeKind::kFunction:
+            WriteU32(os, static_cast<std::uint32_t>(NodeTag::kCallFunction));
+            WriteU32(os, ref(call->fn()));
+            break;
+          case CalleeKind::kGlobal:
+            WriteU32(os, static_cast<std::uint32_t>(NodeTag::kCallGlobal));
+            WriteString(os, call->op_name());
+            break;
+        }
+        WriteU32(os, static_cast<std::uint32_t>(call->args().size()));
+        for (const auto& arg : call->args()) WriteU32(os, ref(arg));
+        break;
+      }
+      case ExprKind::kTuple: {
+        const auto tuple = As<Tuple>(node);
+        WriteU32(os, static_cast<std::uint32_t>(NodeTag::kTuple));
+        WriteU32(os, static_cast<std::uint32_t>(tuple->fields().size()));
+        for (const auto& field : tuple->fields()) WriteU32(os, ref(field));
+        break;
+      }
+      case ExprKind::kTupleGetItem: {
+        const auto get = As<TupleGetItem>(node);
+        WriteU32(os, static_cast<std::uint32_t>(NodeTag::kTupleGetItem));
+        WriteU32(os, ref(get->tuple()));
+        WriteI64(os, get->index());
+        break;
+      }
+      case ExprKind::kFunction: {
+        const auto inner = As<Function>(node);
+        WriteU32(os, static_cast<std::uint32_t>(NodeTag::kFunction));
+        WriteU32(os, static_cast<std::uint32_t>(inner->params().size()));
+        for (const auto& param : inner->params()) WriteU32(os, ref(std::static_pointer_cast<Expr>(param)));
+        WriteU32(os, ref(inner->body()));
+        WriteAttrs(os, inner->attrs());
+        break;
+      }
+    }
+  }
+
+  // The function itself: param refs, body ref, attrs.
+  WriteU32(os, static_cast<std::uint32_t>(fn->params().size()));
+  for (const auto& param : fn->params()) WriteU32(os, ref(std::static_pointer_cast<Expr>(param)));
+  WriteU32(os, ref(fn->body()));
+  WriteAttrs(os, fn->attrs());
+}
+
+FunctionPtr ReadFunction(std::istream& is) {
+  const std::uint32_t num_nodes = ReadU32(is);
+  if (num_nodes > (1u << 24)) TNP_THROW(kParseError) << "implausible node count";
+  std::vector<ExprPtr> nodes;
+  nodes.reserve(num_nodes);
+
+  const auto node_at = [&](std::uint32_t index) -> const ExprPtr& {
+    if (index >= nodes.size()) {
+      TNP_THROW(kParseError) << "forward node reference in module artifact";
+    }
+    return nodes[index];
+  };
+  const auto var_at = [&](std::uint32_t index) {
+    const ExprPtr& node = node_at(index);
+    if (node->kind() != ExprKind::kVar) {
+      TNP_THROW(kParseError) << "parameter reference is not a Var";
+    }
+    return std::static_pointer_cast<Var>(node);
+  };
+
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    switch (static_cast<NodeTag>(ReadU32(is))) {
+      case NodeTag::kVar: {
+        const std::string name = ReadString(is);
+        nodes.push_back(MakeVar(name, ReadType(is)));
+        break;
+      }
+      case NodeTag::kConstant:
+        nodes.push_back(MakeConstant(ReadNDArray(is)));
+        break;
+      case NodeTag::kCallOp: {
+        const std::string op = ReadString(is);
+        Attrs attrs = ReadAttrs(is);
+        std::vector<ExprPtr> args(ReadU32(is));
+        for (auto& arg : args) arg = node_at(ReadU32(is));
+        nodes.push_back(MakeCall(op, std::move(args), std::move(attrs)));
+        break;
+      }
+      case NodeTag::kCallFunction: {
+        const ExprPtr callee = node_at(ReadU32(is));
+        if (callee->kind() != ExprKind::kFunction) {
+          TNP_THROW(kParseError) << "function-call callee is not a Function";
+        }
+        std::vector<ExprPtr> args(ReadU32(is));
+        for (auto& arg : args) arg = node_at(ReadU32(is));
+        nodes.push_back(
+            MakeFunctionCall(std::static_pointer_cast<Function>(callee), std::move(args)));
+        break;
+      }
+      case NodeTag::kCallGlobal: {
+        const std::string global = ReadString(is);
+        std::vector<ExprPtr> args(ReadU32(is));
+        for (auto& arg : args) arg = node_at(ReadU32(is));
+        nodes.push_back(MakeGlobalCall(global, std::move(args)));
+        break;
+      }
+      case NodeTag::kTuple: {
+        std::vector<ExprPtr> fields(ReadU32(is));
+        for (auto& field : fields) field = node_at(ReadU32(is));
+        nodes.push_back(MakeTuple(std::move(fields)));
+        break;
+      }
+      case NodeTag::kTupleGetItem: {
+        const ExprPtr tuple = node_at(ReadU32(is));
+        nodes.push_back(MakeTupleGetItem(tuple, static_cast<int>(ReadI64(is))));
+        break;
+      }
+      case NodeTag::kFunction: {
+        std::vector<VarPtr> params(ReadU32(is));
+        for (auto& param : params) param = var_at(ReadU32(is));
+        const ExprPtr body = node_at(ReadU32(is));
+        nodes.push_back(MakeFunction(std::move(params), body, ReadAttrs(is)));
+        break;
+      }
+      default:
+        TNP_THROW(kParseError) << "unknown node tag in module artifact";
+    }
+  }
+
+  std::vector<VarPtr> params(ReadU32(is));
+  for (auto& param : params) param = var_at(ReadU32(is));
+  const ExprPtr body = node_at(ReadU32(is));
+  return MakeFunction(std::move(params), body, ReadAttrs(is));
+}
+
+}  // namespace
+
+void SaveModule(const Module& module, std::ostream& os) {
+  WriteU32(os, kModuleMagic);
+  WriteU32(os, kModuleVersion);
+  WriteU32(os, static_cast<std::uint32_t>(module.functions().size()));
+  for (const auto& [name, fn] : module.functions()) {
+    WriteString(os, name);
+    WriteFunction(os, fn);
+  }
+  TNP_CHECK(os.good()) << "module serialization stream failure";
+}
+
+Module LoadModule(std::istream& is) {
+  if (ReadU32(is) != kModuleMagic) {
+    TNP_THROW(kParseError) << "not a TNP module artifact (bad magic)";
+  }
+  const std::uint32_t version = ReadU32(is);
+  if (version != kModuleVersion) {
+    TNP_THROW(kParseError) << "unsupported module artifact version " << version;
+  }
+  Module module;
+  const std::uint32_t num_functions = ReadU32(is);
+  for (std::uint32_t i = 0; i < num_functions; ++i) {
+    const std::string name = ReadString(is);
+    module.Add(name, ReadFunction(is));
+  }
+  return InferType().Run(module);
+}
+
+void SaveModuleToFile(const Module& module, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) TNP_THROW(kInvalidArgument) << "cannot open '" << path << "' for writing";
+  SaveModule(module, file);
+}
+
+Module LoadModuleFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) TNP_THROW(kInvalidArgument) << "cannot open '" << path << "' for reading";
+  return LoadModule(file);
+}
+
+}  // namespace relay
+}  // namespace tnp

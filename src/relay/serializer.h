@@ -1,0 +1,39 @@
+// Relay module (de)serialization — the repository's analogue of the paper's
+// Section 4.5 deployment flow: compile and partition on the host
+// ("server side"), `lib.export_library(...)`, then load the artifact on the
+// target ("android side") and run it through the runtime without any
+// framework frontend present.
+//
+// The artifact stores the full partitioned module: every global function,
+// every expression node (with structural sharing preserved), operator
+// attributes, and constant tensors (raw bytes + quantization metadata).
+// Loading re-infers types and re-runs codegen, which is cheap here; the
+// user-visible contract — save once, run anywhere without model sources —
+// matches TVM's exported .so.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "relay/module.h"
+
+namespace tnp {
+namespace relay {
+
+/// Binary format magic/version (stored in the header; bumped on breaking
+/// format changes).
+inline constexpr std::uint32_t kModuleMagic = 0x544E504Du;  // "TNPM"
+inline constexpr std::uint32_t kModuleVersion = 1;
+
+/// Serialize `module` (all global functions) to a binary stream.
+void SaveModule(const Module& module, std::ostream& os);
+
+/// Deserialize; throws kParseError on malformed/incompatible artifacts.
+/// Checked types are re-inferred before returning.
+Module LoadModule(std::istream& is);
+
+void SaveModuleToFile(const Module& module, const std::string& path);
+Module LoadModuleFromFile(const std::string& path);
+
+}  // namespace relay
+}  // namespace tnp

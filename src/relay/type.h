@@ -1,0 +1,97 @@
+// Relay-style types. Only two type forms exist at the graph level:
+// TensorType (static shape + dtype) and TupleType. Every expression gets a
+// checked type assigned by the InferType pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace tnp {
+namespace relay {
+
+class Type;
+
+struct TensorType {
+  Shape shape;
+  DType dtype = DType::kFloat32;
+
+  TensorType() = default;
+  TensorType(Shape shape_in, DType dtype_in) : shape(std::move(shape_in)), dtype(dtype_in) {}
+
+  std::int64_t NumBytes() const {
+    return shape.NumElements() * static_cast<std::int64_t>(DTypeBytes(dtype));
+  }
+
+  bool operator==(const TensorType& other) const {
+    return shape == other.shape && dtype == other.dtype;
+  }
+  bool operator!=(const TensorType& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    return "Tensor" + shape.ToString() + ":" + DTypeName(dtype);
+  }
+};
+
+class Type {
+ public:
+  enum class Kind { kUnknown, kTensor, kTuple };
+
+  Type() = default;
+  Type(TensorType tensor) : kind_(Kind::kTensor), tensor_(std::move(tensor)) {}  // NOLINT
+  explicit Type(std::vector<Type> fields) : kind_(Kind::kTuple), fields_(std::move(fields)) {}
+
+  static Type Tensor(Shape shape, DType dtype) {
+    return Type(TensorType(std::move(shape), dtype));
+  }
+  static Type Tuple(std::vector<Type> fields) { return Type(std::move(fields)); }
+
+  Kind kind() const noexcept { return kind_; }
+  bool defined() const noexcept { return kind_ != Kind::kUnknown; }
+  bool IsTensor() const noexcept { return kind_ == Kind::kTensor; }
+  bool IsTuple() const noexcept { return kind_ == Kind::kTuple; }
+
+  const TensorType& AsTensor() const {
+    TNP_CHECK(IsTensor()) << "type is not a tensor: " << ToString();
+    return tensor_;
+  }
+  const std::vector<Type>& AsTuple() const {
+    TNP_CHECK(IsTuple()) << "type is not a tuple: " << ToString();
+    return fields_;
+  }
+
+  bool operator==(const Type& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kTensor) return tensor_ == other.tensor_;
+    if (kind_ == Kind::kTuple) return fields_ == other.fields_;
+    return true;
+  }
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    switch (kind_) {
+      case Kind::kUnknown: return "?";
+      case Kind::kTensor: return tensor_.ToString();
+      case Kind::kTuple: {
+        std::string out = "(";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += fields_[i].ToString();
+        }
+        return out + ")";
+      }
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_ = Kind::kUnknown;
+  TensorType tensor_;
+  std::vector<Type> fields_;
+};
+
+}  // namespace relay
+}  // namespace tnp

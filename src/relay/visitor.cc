@@ -1,0 +1,188 @@
+#include "relay/visitor.h"
+
+#include <algorithm>
+
+namespace tnp {
+namespace relay {
+
+void ExprVisitor::Visit(const ExprPtr& expr) {
+  TNP_CHECK(expr != nullptr);
+  if (!visited_.insert(expr.get()).second) return;
+
+  switch (expr->kind()) {
+    case ExprKind::kVar:
+      VisitVar(std::static_pointer_cast<Var>(expr));
+      return;
+    case ExprKind::kConstant:
+      VisitConstant(std::static_pointer_cast<Constant>(expr));
+      return;
+    case ExprKind::kCall: {
+      const auto call = std::static_pointer_cast<Call>(expr);
+      for (const auto& arg : call->args()) Visit(arg);
+      if (call->callee_kind() == CalleeKind::kFunction && visit_function_bodies_) {
+        Visit(call->fn());
+      }
+      VisitCall(call);
+      return;
+    }
+    case ExprKind::kTuple: {
+      const auto tuple = std::static_pointer_cast<Tuple>(expr);
+      for (const auto& field : tuple->fields()) Visit(field);
+      VisitTuple(tuple);
+      return;
+    }
+    case ExprKind::kTupleGetItem: {
+      const auto get = std::static_pointer_cast<TupleGetItem>(expr);
+      Visit(get->tuple());
+      VisitTupleGetItem(get);
+      return;
+    }
+    case ExprKind::kFunction: {
+      const auto fn = std::static_pointer_cast<Function>(expr);
+      if (visit_function_bodies_) {
+        for (const auto& param : fn->params()) Visit(param);
+        Visit(fn->body());
+      }
+      VisitFunction(fn);
+      return;
+    }
+  }
+}
+
+void ExprVisitor::VisitFunction(const FunctionPtr& fn) { (void)fn; }
+
+ExprPtr ExprMutator::Mutate(const ExprPtr& expr) {
+  TNP_CHECK(expr != nullptr);
+  const auto it = memo_.find(expr.get());
+  if (it != memo_.end()) return it->second;
+
+  ExprPtr result;
+  switch (expr->kind()) {
+    case ExprKind::kVar:
+      result = RewriteVar(std::static_pointer_cast<Var>(expr));
+      break;
+    case ExprKind::kConstant:
+      result = RewriteConstant(std::static_pointer_cast<Constant>(expr));
+      break;
+    case ExprKind::kCall: {
+      const auto call = std::static_pointer_cast<Call>(expr);
+      std::vector<ExprPtr> new_args;
+      new_args.reserve(call->args().size());
+      bool changed = false;
+      for (const auto& arg : call->args()) {
+        new_args.push_back(Mutate(arg));
+        changed |= new_args.back() != arg;
+      }
+      FunctionPtr new_fn = call->callee_kind() == CalleeKind::kFunction ? call->fn() : nullptr;
+      if (new_fn && mutate_function_bodies_) {
+        const ExprPtr mutated = Mutate(std::static_pointer_cast<Expr>(new_fn));
+        TNP_CHECK(mutated->kind() == ExprKind::kFunction);
+        if (mutated.get() != new_fn.get()) {
+          new_fn = std::static_pointer_cast<Function>(mutated);
+          changed = true;
+        }
+      }
+      CallPtr rebuilt;
+      if (!changed) {
+        rebuilt = call;
+      } else {
+        switch (call->callee_kind()) {
+          case CalleeKind::kOp:
+            rebuilt = MakeCall(call->op_name(), std::move(new_args), call->attrs());
+            break;
+          case CalleeKind::kFunction:
+            rebuilt = MakeFunctionCall(new_fn, std::move(new_args));
+            break;
+          case CalleeKind::kGlobal:
+            rebuilt = MakeGlobalCall(call->op_name(), std::move(new_args));
+            break;
+        }
+      }
+      result = RewriteCall(rebuilt);
+      break;
+    }
+    case ExprKind::kTuple: {
+      const auto tuple = std::static_pointer_cast<Tuple>(expr);
+      std::vector<ExprPtr> new_fields;
+      new_fields.reserve(tuple->fields().size());
+      bool changed = false;
+      for (const auto& field : tuple->fields()) {
+        new_fields.push_back(Mutate(field));
+        changed |= new_fields.back() != field;
+      }
+      result = RewriteTuple(changed ? MakeTuple(std::move(new_fields)) : tuple);
+      break;
+    }
+    case ExprKind::kTupleGetItem: {
+      const auto get = std::static_pointer_cast<TupleGetItem>(expr);
+      const ExprPtr new_tuple = Mutate(get->tuple());
+      result = RewriteTupleGetItem(
+          new_tuple == get->tuple() ? get : MakeTupleGetItem(new_tuple, get->index()));
+      break;
+    }
+    case ExprKind::kFunction: {
+      const auto fn = std::static_pointer_cast<Function>(expr);
+      if (!mutate_function_bodies_) {
+        result = RewriteFunction(fn);
+        break;
+      }
+      const ExprPtr new_body = Mutate(fn->body());
+      result = RewriteFunction(new_body == fn->body()
+                                   ? fn
+                                   : MakeFunction(fn->params(), new_body, fn->attrs()));
+      break;
+    }
+  }
+  TNP_CHECK(result != nullptr);
+  memo_[expr.get()] = result;
+  return result;
+}
+
+std::vector<ExprPtr> PostOrder(const ExprPtr& expr) {
+  struct Collector : ExprVisitor {
+    std::vector<ExprPtr> nodes;
+    void VisitVar(const VarPtr& v) override { nodes.push_back(v); }
+    void VisitConstant(const ConstantPtr& c) override { nodes.push_back(c); }
+    void VisitCall(const CallPtr& c) override { nodes.push_back(c); }
+    void VisitTuple(const TuplePtr& t) override { nodes.push_back(t); }
+    void VisitTupleGetItem(const TupleGetItemPtr& g) override { nodes.push_back(g); }
+    void VisitFunction(const FunctionPtr& f) override { nodes.push_back(f); }
+  };
+  Collector collector;
+  collector.Visit(expr);
+  return std::move(collector.nodes);
+}
+
+int CountCalls(const ExprPtr& expr, const std::string& op_name) {
+  int count = 0;
+  for (const auto& node : PostOrder(expr)) {
+    if (node->kind() != ExprKind::kCall) continue;
+    const auto call = std::static_pointer_cast<Call>(node);
+    if (op_name.empty() ||
+        (call->callee_kind() == CalleeKind::kOp && call->op_name() == op_name)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<VarPtr> FreeVars(const ExprPtr& expr) {
+  // For graph-style modules (no Let/local binding except function params),
+  // free vars are all Vars reachable without descending into embedded
+  // function bodies, minus nothing. Function params shadow only inside
+  // their own body, which we do not descend into here.
+  struct Collector : ExprVisitor {
+    Collector() { visit_function_bodies_ = false; }
+    std::vector<VarPtr> vars;
+    std::unordered_set<const Expr*> seen;
+    void VisitVar(const VarPtr& v) override {
+      if (seen.insert(v.get()).second) vars.push_back(v);
+    }
+  };
+  Collector collector;
+  collector.Visit(expr);
+  return std::move(collector.vars);
+}
+
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,78 @@
+// ExprVisitor / ExprMutator: memoized post-order DFS traversal of the Relay
+// AST. This is the exact structure the paper's Listing 1 builds on: the
+// Relay->Neuron converter in core/ subclasses ExprVisitor and fills a
+// NodeEntry dictionary per visited node.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relay/expr.h"
+
+namespace tnp {
+namespace relay {
+
+/// Read-only traversal. Each distinct node is visited once (DAG-aware);
+/// children are visited before their parent (post-order).
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+
+  /// Visit `expr` and all reachable children (each exactly once).
+  void Visit(const ExprPtr& expr);
+
+ protected:
+  virtual void VisitVar(const VarPtr& var) { (void)var; }
+  virtual void VisitConstant(const ConstantPtr& constant) { (void)constant; }
+  /// Called after all args were visited.
+  virtual void VisitCall(const CallPtr& call) { (void)call; }
+  virtual void VisitTuple(const TuplePtr& tuple) { (void)tuple; }
+  virtual void VisitTupleGetItem(const TupleGetItemPtr& get) { (void)get; }
+  /// By default visits the function body (not the params); embedded
+  /// primitive functions can be skipped by overriding.
+  virtual void VisitFunction(const FunctionPtr& fn);
+
+  /// Visit children of embedded functions? (default: yes)
+  bool visit_function_bodies_ = true;
+
+ private:
+  std::unordered_set<const Expr*> visited_;
+};
+
+/// Rewriting traversal: returns a new expression tree where each node whose
+/// children changed is rebuilt; unchanged subtrees are shared. Subclasses
+/// override Rewrite* hooks which receive the node with already-mutated
+/// children.
+class ExprMutator {
+ public:
+  virtual ~ExprMutator() = default;
+
+  ExprPtr Mutate(const ExprPtr& expr);
+
+ protected:
+  /// Hooks: return the (possibly replaced) node. Default: identity.
+  virtual ExprPtr RewriteVar(const VarPtr& var) { return var; }
+  virtual ExprPtr RewriteConstant(const ConstantPtr& constant) { return constant; }
+  virtual ExprPtr RewriteCall(const CallPtr& call) { return call; }
+  virtual ExprPtr RewriteTuple(const TuplePtr& tuple) { return tuple; }
+  virtual ExprPtr RewriteTupleGetItem(const TupleGetItemPtr& get) { return get; }
+  virtual ExprPtr RewriteFunction(const FunctionPtr& fn) { return fn; }
+
+  /// Whether to descend into embedded function bodies (default true; the
+  /// partitioning passes disable this to treat extracted regions opaquely).
+  bool mutate_function_bodies_ = true;
+
+  std::unordered_map<const Expr*, ExprPtr> memo_;
+};
+
+/// Collect every node reachable from `expr` in post-order (children first).
+std::vector<ExprPtr> PostOrder(const ExprPtr& expr);
+
+/// Count the calls (optionally only calls to `op_name`).
+int CountCalls(const ExprPtr& expr, const std::string& op_name = "");
+
+/// Collect the free Vars of an expression in first-use order.
+std::vector<VarPtr> FreeVars(const ExprPtr& expr);
+
+}  // namespace relay
+}  // namespace tnp

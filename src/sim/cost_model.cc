@@ -1,0 +1,52 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace tnp {
+namespace sim {
+
+const char* OpCategoryName(OpCategory category) {
+  switch (category) {
+    case OpCategory::kConv: return "conv";
+    case OpCategory::kDense: return "dense";
+    case OpCategory::kPool: return "pool";
+    case OpCategory::kElementwise: return "elementwise";
+    case OpCategory::kSoftmax: return "softmax";
+    case OpCategory::kDataMove: return "datamove";
+    case OpCategory::kQuantize: return "quantize";
+  }
+  return "?";
+}
+
+double CostModel::OpMicros(const OpDesc& op, DeviceKind device) const {
+  const DeviceSpec& spec = testbed_.Spec(device);
+
+  // Utilization ramp: u in (0,1], 0.5 at half_peak_macs.
+  const double macs = static_cast<double>(std::max<std::int64_t>(op.macs, 0));
+  const double utilization = macs > 0.0 ? macs / (macs + spec.half_peak_macs) : 1.0;
+
+  const double peak_mac_per_us =
+      (op.int8 ? spec.int8_gops : spec.fp32_gflops) * 1e3;  // GOPS -> MAC/us
+  double compute_us = 0.0;
+  if (macs > 0.0) {
+    compute_us = macs / (peak_mac_per_us * std::max(utilization, 1e-3));
+  }
+
+  const double bytes = static_cast<double>(op.input_bytes + op.output_bytes + op.weight_bytes);
+  double memory_us = bytes / (spec.mem_bandwidth_gbps * 1e3);  // GB/s -> bytes/us
+
+  // Transcendental-heavy categories are effectively slower per byte.
+  if (op.category == OpCategory::kSoftmax) memory_us *= 4.0;
+  if (op.category == OpCategory::kQuantize) memory_us *= 1.5;
+
+  return spec.launch_overhead_us + std::max(compute_us, memory_us);
+}
+
+double CostModel::TransferMicros(std::int64_t bytes, DeviceKind from, DeviceKind to) const {
+  if (ResourceOf(from) == ResourceOf(to)) return 0.0;
+  return testbed_.transfer_latency_us +
+         static_cast<double>(bytes) / (testbed_.transfer_gbps * 1e3);
+}
+
+}  // namespace sim
+}  // namespace tnp

@@ -1,0 +1,66 @@
+// Analytic per-operator cost model.
+//
+// Every operator in the stack (whether executed by the TVM-side graph
+// executor or by the Neuron runtime) is summarized as an OpDesc; the cost
+// model prices an OpDesc on a DeviceSpec as
+//
+//   time = launch_overhead + max(compute_time, memory_time)
+//
+// where compute_time applies a utilization ramp so small operators cannot
+// reach peak throughput. Transfers between the CPU address space and the APU
+// are priced separately (bandwidth + fixed latency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/device.h"
+
+namespace tnp {
+namespace sim {
+
+enum class OpCategory : std::uint8_t {
+  kConv,        ///< convolutions (mac-dominated)
+  kDense,       ///< fully connected (mac-dominated)
+  kPool,        ///< pooling (memory-dominated)
+  kElementwise, ///< activations, binary ops (memory-dominated)
+  kSoftmax,     ///< softmax / normalization (memory + transcendental)
+  kDataMove,    ///< reshape/concat/slice/pad/transpose (pure memory)
+  kQuantize,    ///< quantize/dequantize/requantize
+};
+
+const char* OpCategoryName(OpCategory category);
+
+/// Device-independent description of one operator instance.
+struct OpDesc {
+  OpCategory category = OpCategory::kElementwise;
+  std::string name;            ///< operator name for reports ("nn.conv2d")
+  std::int64_t macs = 0;       ///< multiply-accumulate count (conv/dense)
+  std::int64_t input_bytes = 0;
+  std::int64_t output_bytes = 0;
+  std::int64_t weight_bytes = 0;
+  bool int8 = false;           ///< true when the op computes in int8
+  /// Number of primitive ops folded into this one by operator fusion;
+  /// a fused group pays launch overhead once instead of `fused_ops` times.
+  int fused_ops = 1;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const Testbed& testbed) : testbed_(testbed) {}
+
+  /// Microseconds to execute `op` on `device`.
+  double OpMicros(const OpDesc& op, DeviceKind device) const;
+
+  /// Microseconds to move `bytes` between two devices (0 when both map to
+  /// the same resource, e.g. tvm-cpu <-> np-cpu share CPU memory).
+  double TransferMicros(std::int64_t bytes, DeviceKind from, DeviceKind to) const;
+
+  const Testbed& testbed() const { return testbed_; }
+
+ private:
+  const Testbed& testbed_;
+};
+
+}  // namespace sim
+}  // namespace tnp

@@ -1,0 +1,71 @@
+#include "sim/device.h"
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace sim {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kTvmCpu: return "tvm-cpu";
+    case DeviceKind::kNeuronCpu: return "np-cpu";
+    case DeviceKind::kNeuronApu: return "np-apu";
+  }
+  return "?";
+}
+
+const char* ResourceName(Resource resource) {
+  switch (resource) {
+    case Resource::kCpu: return "CPU";
+    case Resource::kApu: return "APU";
+  }
+  return "?";
+}
+
+Resource ResourceOf(DeviceKind kind) {
+  return kind == DeviceKind::kNeuronApu ? Resource::kApu : Resource::kCpu;
+}
+
+const DeviceSpec& Testbed::Spec(DeviceKind kind) const {
+  switch (kind) {
+    case DeviceKind::kTvmCpu: return tvm_cpu;
+    case DeviceKind::kNeuronCpu: return neuron_cpu;
+    case DeviceKind::kNeuronApu: return neuron_apu;
+  }
+  throw InternalError("unknown device kind");
+}
+
+const Testbed& Testbed::Dimensity800() {
+  static const Testbed testbed = [] {
+    Testbed t;
+    // Mobile CPU through TVM-generated kernels: no vendor tuning, higher
+    // per-node dispatch cost in the graph runtime.
+    t.tvm_cpu = DeviceSpec{DeviceKind::kTvmCpu, "Dimensity800-CPU (TVM kernels)",
+                           /*fp32_gflops=*/8.0, /*int8_gops=*/10.0,
+                           /*mem_bandwidth_gbps=*/8.0, /*launch_overhead_us=*/40.0,
+                           /*half_peak_macs=*/5.0e4};
+    // The same CPU through NeuroPilot's hand-tuned NEON kernels.
+    t.neuron_cpu = DeviceSpec{DeviceKind::kNeuronCpu, "Dimensity800-CPU (NeuroPilot)",
+                              /*fp32_gflops=*/25.0, /*int8_gops=*/50.0,
+                              /*mem_bandwidth_gbps=*/12.0, /*launch_overhead_us=*/10.0,
+                              /*half_peak_macs=*/3.0e4};
+    // APU 3.0: very high int8 throughput, good fp throughput, but large
+    // per-op ramp and command submission overhead; needs DMA transfers.
+    t.neuron_apu = DeviceSpec{DeviceKind::kNeuronApu, "MediaTek APU 3.0",
+                              /*fp32_gflops=*/120.0, /*int8_gops=*/900.0,
+                              /*mem_bandwidth_gbps=*/25.0, /*launch_overhead_us=*/25.0,
+                              /*half_peak_macs=*/8.0e5};
+    t.transfer_gbps = 2.0;
+    t.transfer_latency_us = 30.0;
+    return t;
+  }();
+  return testbed;
+}
+
+const PhoneSpec& PhoneSpec::OppoReno4Z() {
+  static const PhoneSpec spec;
+  return spec;
+}
+
+}  // namespace sim
+}  // namespace tnp

@@ -1,0 +1,120 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace tnp {
+namespace sim {
+
+void SimClock::AddOp(const OpDesc& op, DeviceKind device, double micros) {
+  total_us_ += micros;
+  ++num_ops_;
+  per_device_us_[device] += micros;
+  per_category_us_[OpCategoryName(op.category)] += micros;
+}
+
+void SimClock::AddTransfer(std::int64_t bytes, double micros) {
+  (void)bytes;
+  total_us_ += micros;
+  transfer_us_ += micros;
+  ++num_transfers_;
+  per_category_us_["transfer"] += micros;
+}
+
+void SimClock::Reset() { *this = SimClock(); }
+
+void SimClock::Merge(const SimClock& other) {
+  total_us_ += other.total_us_;
+  transfer_us_ += other.transfer_us_;
+  num_ops_ += other.num_ops_;
+  num_transfers_ += other.num_transfers_;
+  for (const auto& [device, us] : other.per_device_us_) per_device_us_[device] += us;
+  for (const auto& [category, us] : other.per_category_us_) per_category_us_[category] += us;
+}
+
+std::string SimClock::Summary() const {
+  std::ostringstream os;
+  os << support::FormatDouble(total_us_ / 1000.0, 3) << " ms over " << num_ops_ << " ops";
+  if (num_transfers_ > 0) {
+    os << " (+" << num_transfers_ << " transfers, "
+       << support::FormatDouble(transfer_us_ / 1000.0, 3) << " ms)";
+  }
+  for (const auto& [device, us] : per_device_us_) {
+    os << " | " << DeviceKindName(device) << " " << support::FormatDouble(us / 1000.0, 3)
+       << " ms";
+  }
+  return os.str();
+}
+
+double Timeline::Schedule(const std::string& label, Resource resource, double ready_us,
+                          double duration_us) {
+  TNP_CHECK_GE(duration_us, 0.0);
+  double& free_at = resource_free_[static_cast<int>(resource)];
+  const double start = std::max(ready_us, free_at);
+  const double end = start + duration_us;
+  free_at = end;
+  spans_.push_back(Span{label, resource, start, end});
+  return end;
+}
+
+double Timeline::ScheduleMulti(const std::string& label, const std::vector<Resource>& resources,
+                               double ready_us, double duration_us) {
+  TNP_CHECK(!resources.empty());
+  TNP_CHECK_GE(duration_us, 0.0);
+  double start = ready_us;
+  for (const Resource resource : resources) {
+    start = std::max(start, resource_free_[static_cast<int>(resource)]);
+  }
+  const double end = start + duration_us;
+  for (const Resource resource : resources) {
+    resource_free_[static_cast<int>(resource)] = end;
+    spans_.push_back(Span{label, resource, start, end});
+  }
+  return end;
+}
+
+double Timeline::makespan_us() const {
+  double end = 0.0;
+  for (const auto& span : spans_) end = std::max(end, span.end_us);
+  return end;
+}
+
+double Timeline::ResourceBusyUs(Resource resource) const {
+  double busy = 0.0;
+  for (const auto& span : spans_) {
+    if (span.resource == resource) busy += span.end_us - span.start_us;
+  }
+  return busy;
+}
+
+std::string Timeline::RenderAscii(int width) const {
+  const double makespan = makespan_us();
+  std::ostringstream os;
+  if (makespan <= 0.0 || spans_.empty()) return "(empty timeline)\n";
+  const double us_per_col = makespan / width;
+
+  for (int r = 0; r < kNumResources; ++r) {
+    const auto resource = static_cast<Resource>(r);
+    std::string row(static_cast<std::size_t>(width), '.');
+    char tag = 'a';
+    std::ostringstream legend;
+    for (const auto& span : spans_) {
+      if (span.resource != resource) continue;
+      const int c0 = std::min(width - 1, static_cast<int>(span.start_us / us_per_col));
+      const int c1 = std::max(c0 + 1, std::min(width, static_cast<int>(std::ceil(span.end_us / us_per_col))));
+      for (int c = c0; c < c1; ++c) row[static_cast<std::size_t>(c)] = tag;
+      legend << "  " << tag << "=" << span.label;
+      tag = tag == 'z' ? 'a' : static_cast<char>(tag + 1);
+    }
+    os << ResourceName(resource) << " |" << row << "|" << legend.str() << "\n";
+  }
+  os << "makespan: " << support::FormatDouble(makespan / 1000.0, 3) << " ms\n";
+  return os.str();
+}
+
+}  // namespace sim
+}  // namespace tnp

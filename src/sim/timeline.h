@@ -1,0 +1,83 @@
+// Simulated-time accounting.
+//
+// SimClock accumulates sequential execution time and records per-device and
+// per-category breakdowns. Timeline records named spans (used by the
+// pipeline scheduler to produce Figure-5 style charts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace tnp {
+namespace sim {
+
+/// Sequential simulated clock with attribution.
+class SimClock {
+ public:
+  void AddOp(const OpDesc& op, DeviceKind device, double micros);
+  void AddTransfer(std::int64_t bytes, double micros);
+
+  double total_us() const noexcept { return total_us_; }
+  double transfer_us() const noexcept { return transfer_us_; }
+  int num_ops() const noexcept { return num_ops_; }
+  int num_transfers() const noexcept { return num_transfers_; }
+
+  const std::map<DeviceKind, double>& per_device_us() const { return per_device_us_; }
+  const std::map<std::string, double>& per_category_us() const { return per_category_us_; }
+
+  void Reset();
+
+  /// Merge another clock's accounting into this one (sequential composition).
+  void Merge(const SimClock& other);
+
+  std::string Summary() const;
+
+ private:
+  double total_us_ = 0.0;
+  double transfer_us_ = 0.0;
+  int num_ops_ = 0;
+  int num_transfers_ = 0;
+  std::map<DeviceKind, double> per_device_us_;
+  std::map<std::string, double> per_category_us_;
+};
+
+/// One span on a resource timeline (for pipeline scheduling charts).
+struct Span {
+  std::string label;     ///< e.g. "obj-det[frame 3]"
+  Resource resource = Resource::kCpu;
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// Resource-exclusive timeline builder: each resource runs one span at a
+/// time; spans are placed at max(ready_time, resource_free_time).
+class Timeline {
+ public:
+  /// Schedule a span of `duration_us` on `resource`, not before `ready_us`.
+  /// Returns the span end time.
+  double Schedule(const std::string& label, Resource resource, double ready_us,
+                  double duration_us);
+
+  /// Schedule a span that must hold several resources simultaneously
+  /// (e.g. a CPU+APU model execution). Starts when all are free.
+  double ScheduleMulti(const std::string& label, const std::vector<Resource>& resources,
+                       double ready_us, double duration_us);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  double makespan_us() const;
+  double ResourceBusyUs(Resource resource) const;
+
+  /// Render an ASCII Gantt chart (one row per resource).
+  std::string RenderAscii(int width = 72) const;
+
+ private:
+  std::vector<Span> spans_;
+  double resource_free_[kNumResources] = {0.0, 0.0};
+};
+
+}  // namespace sim
+}  // namespace tnp

@@ -1,0 +1,59 @@
+// Error handling primitives shared across the whole stack.
+//
+// The compiler/runtime stack throws `tnp::Error` for user-visible failures
+// (malformed model files, unsupported operators, shape mismatches).  Internal
+// invariant violations use TNP_CHECK/TNP_ICHECK from logging.h which throw
+// InternalError; those indicate a bug in this library, not bad input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tnp {
+
+/// Category of a user-visible failure. Used by tests and by callers that
+/// want to react differently to e.g. an unsupported operator (which, in the
+/// paper's evaluation, turns into a "missing bar") versus a malformed model.
+enum class ErrorKind {
+  kInvalidArgument,   ///< bad shapes, dtypes, attribute values
+  kParseError,        ///< malformed model file handed to a frontend
+  kUnsupportedOp,     ///< operator outside a backend's support matrix
+  kTypeError,         ///< Relay type inference failure
+  kCompileError,      ///< partitioning / codegen / planning failure
+  kRuntimeError,      ///< execution-time failure
+};
+
+/// Human-readable name of an ErrorKind (stable; used in messages and tests).
+inline const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalidArgument: return "InvalidArgument";
+    case ErrorKind::kParseError: return "ParseError";
+    case ErrorKind::kUnsupportedOp: return "UnsupportedOp";
+    case ErrorKind::kTypeError: return "TypeError";
+    case ErrorKind::kCompileError: return "CompileError";
+    case ErrorKind::kRuntimeError: return "RuntimeError";
+  }
+  return "UnknownError";
+}
+
+/// User-visible failure thrown by frontends, passes, compilers and runtimes.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(ErrorKindName(kind)) + ": " + message),
+        kind_(kind) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Invariant violation inside this library (a bug, not bad input).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& message)
+      : std::logic_error("InternalError: " + message) {}
+};
+
+}  // namespace tnp

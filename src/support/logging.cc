@@ -1,0 +1,68 @@
+#include "support/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+LogLevel ParseLevelFromEnv() {
+  const char* env = std::getenv("TNP_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string value(env);
+  if (value == "DEBUG" || value == "0") return LogLevel::kDebug;
+  if (value == "INFO" || value == "1") return LogLevel::kInfo;
+  if (value == "WARNING" || value == "2") return LogLevel::kWarning;
+  if (value == "ERROR" || value == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARNING";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+LogLevel ActiveLogLevel() {
+  static const LogLevel level = ParseLevelFromEnv();
+  return level;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip directories from the file path for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << stream_.str() << "\n";
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << file << ":" << line << " check failed: " << expr << " ";
+}
+
+void CheckFailure::Raise() { throw InternalError(stream_.str()); }
+
+void ErrorFailure::Raise() { throw Error(kind_, stream_.str()); }
+
+}  // namespace support
+}  // namespace tnp

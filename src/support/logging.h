@@ -1,0 +1,98 @@
+// Minimal leveled logging + check macros.
+//
+// TNP_CHECK(cond) << "msg"   -- throws tnp::InternalError when cond is false.
+// TNP_THROW(kind) << "msg"   -- throws tnp::Error of the given kind.
+// TNP_LOG(INFO) << "msg"     -- leveled logging to stderr (level filtered by
+//                               the TNP_LOG_LEVEL environment variable).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "support/error.h"
+
+namespace tnp {
+namespace support {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Currently active minimum level (read once from TNP_LOG_LEVEL; default INFO).
+LogLevel ActiveLogLevel();
+
+/// Stream that emits one log line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Stream that throws InternalError on destruction (via Raise(), because
+/// throwing from a destructor is forbidden).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  [[noreturn]] void Raise();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Stream that throws tnp::Error on destruction.
+class ErrorFailure {
+ public:
+  explicit ErrorFailure(ErrorKind kind) : kind_(kind) {}
+  [[noreturn]] void Raise();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  ErrorKind kind_;
+  std::ostringstream stream_;
+};
+
+// Helper that lets the macros below use `... ? (void)0 : Voidify() & stream`.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace support
+}  // namespace tnp
+
+#define TNP_LOG_DEBUG ::tnp::support::LogLevel::kDebug
+#define TNP_LOG_INFO ::tnp::support::LogLevel::kInfo
+#define TNP_LOG_WARNING ::tnp::support::LogLevel::kWarning
+#define TNP_LOG_ERROR ::tnp::support::LogLevel::kError
+
+#define TNP_LOG(level)                                              \
+  if (TNP_LOG_##level < ::tnp::support::ActiveLogLevel()) {         \
+  } else                                                            \
+    ::tnp::support::LogMessage(TNP_LOG_##level, __FILE__, __LINE__).stream()
+
+// Internal-invariant check: throws InternalError with expression + message.
+#define TNP_CHECK(cond)                                                     \
+  if (cond) {                                                               \
+  } else                                                                    \
+    for (::tnp::support::CheckFailure tnp_cf(__FILE__, __LINE__, #cond);;   \
+         tnp_cf.Raise())                                                    \
+  tnp_cf.stream()
+
+#define TNP_CHECK_EQ(a, b) TNP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TNP_CHECK_NE(a, b) TNP_CHECK((a) != (b))
+#define TNP_CHECK_LT(a, b) TNP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TNP_CHECK_LE(a, b) TNP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TNP_CHECK_GT(a, b) TNP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TNP_CHECK_GE(a, b) TNP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+// User-visible error: TNP_THROW(kParseError) << "unexpected token";
+#define TNP_THROW(kind)                                                     \
+  for (::tnp::support::ErrorFailure tnp_ef(::tnp::ErrorKind::kind);;        \
+       tnp_ef.Raise())                                                      \
+  tnp_ef.stream()

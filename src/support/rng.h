@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Everything in this repository that needs randomness (synthetic weights,
+// synthetic scenes, property-test inputs) goes through SplitMix64 seeded
+// explicitly, so results are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG (public-domain algorithm
+/// by Sebastiano Vigna). Deterministic for a given seed on every platform.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(Next() % span);
+  }
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// deterministic).
+  double Normal() {
+    double u1 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Vector of floats drawn from N(0, stddev^2).
+  std::vector<float> NormalFloats(std::size_t count, float stddev = 1.0f) {
+    std::vector<float> out(count);
+    for (auto& v : out) v = static_cast<float>(Normal() * stddev);
+    return out;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; used to derive per-name seeds so
+/// e.g. every model's weights depend only on the model name and a base seed.
+inline std::uint64_t StableHash(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t StableHash(const std::string& s) { return StableHash(s.c_str()); }
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,38 @@
+// Small string helpers used by frontends, printers and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Split on any whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Join `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Parse helpers that throw tnp::Error(kParseError) with context on failure.
+std::int64_t ParseInt(std::string_view text, std::string_view context);
+double ParseDouble(std::string_view text, std::string_view context);
+
+/// Render a vector like "[1, 2, 3]".
+std::string FormatIntVector(const std::vector<std::int64_t>& values);
+
+/// Fixed-precision float formatting ("12.345").
+std::string FormatDouble(double value, int precision);
+
+}  // namespace support
+}  // namespace tnp

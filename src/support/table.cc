@@ -1,0 +1,48 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TNP_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  TNP_CHECK_EQ(row.size(), header_.size()) << "row arity mismatch";
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << "\n";
+  };
+
+  if (!title.empty()) os << title << "\n";
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << (c + 1 == header_.size() ? "|" : "+");
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,30 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// paper's tables/figures as aligned text rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Render with column alignment, a header separator, and an optional title.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,122 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls from
+// inside a worker run inline to avoid deadlocking on a saturated pool.
+thread_local bool g_in_worker = false;
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("TNP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  TNP_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TNP_CHECK(!stopping_) << "Submit after shutdown";
+    tasks_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  g_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
+                             const std::function<void(std::int64_t)>& fn,
+                             std::int64_t grain_size) {
+  if (begin >= end) return;
+  if (g_in_worker) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::int64_t range = end - begin;
+  const std::int64_t max_chunks =
+      std::min<std::int64_t>(num_threads(), std::max<std::int64_t>(1, range / std::max<std::int64_t>(1, grain_size)));
+  if (max_chunks <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  const std::int64_t chunk = (range + max_chunks - 1) / max_chunks;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(max_chunks));
+
+  for (std::int64_t c = 0; c < max_chunks; ++c) {
+    const std::int64_t lo = begin + c * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(Submit([&, lo, hi] {
+      try {
+        for (std::int64_t i = lo; i < hi && !failed.load(std::memory_order_relaxed); ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    }));
+  }
+  for (auto& future : futures) future.wait();
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,62 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// This is the single parallel substrate of the repository: CPU kernels use
+// ParallelFor for data parallelism, and the pipeline executor (core/) uses
+// Submit for task parallelism. The pool is created lazily and sized to the
+// hardware concurrency (overridable via TNP_NUM_THREADS).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, sized from TNP_NUM_THREADS or hardware_concurrency.
+  static ThreadPool& Global();
+
+  int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue an arbitrary task; the returned future completes when it ran.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end), splitting the range into roughly
+  /// `num_threads` contiguous chunks. Blocks until all chunks finish.
+  /// Exceptions thrown by fn are rethrown (first one wins) on the caller.
+  /// Small ranges (or grain_size >= range) run inline with zero overhead.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn,
+                   std::int64_t grain_size = 1);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+inline void ParallelFor(std::int64_t begin, std::int64_t end,
+                        const std::function<void(std::int64_t)>& fn,
+                        std::int64_t grain_size = 1) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain_size);
+}
+
+}  // namespace support
+}  // namespace tnp

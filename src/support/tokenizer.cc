@@ -1,0 +1,85 @@
+#include "support/tokenizer.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace tnp {
+namespace support {
+
+Tokenizer::Tokenizer(std::string text, std::string source_name)
+    : source_name_(std::move(source_name)) {
+  for (const auto& raw : Split(text, '\n')) {
+    lines_.push_back(raw);
+  }
+}
+
+std::optional<std::string> Tokenizer::NextLine() {
+  while (next_ < lines_.size()) {
+    const std::size_t index = next_++;
+    std::string_view trimmed = Trim(lines_[index]);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    current_line_ = static_cast<int>(index) + 1;
+    return std::string(trimmed);
+  }
+  return std::nullopt;
+}
+
+std::string Tokenizer::ExpectLine(std::string_view what) {
+  auto line = NextLine();
+  if (!line) {
+    TNP_THROW(kParseError) << source_name_ << ": unexpected end of input, expected "
+                           << std::string(what);
+  }
+  return *line;
+}
+
+std::optional<std::string> Tokenizer::PeekLine() {
+  const std::size_t saved_next = next_;
+  const int saved_line = current_line_;
+  auto line = NextLine();
+  next_ = saved_next;
+  current_line_ = saved_line;
+  return line;
+}
+
+void Tokenizer::ExpectExact(std::string_view expected) {
+  const std::string line = ExpectLine(expected);
+  if (line != expected) {
+    TNP_THROW(kParseError) << Location() << ": expected '" << std::string(expected)
+                           << "', got '" << line << "'";
+  }
+}
+
+std::string Tokenizer::Location() const {
+  return source_name_ + ":" + std::to_string(current_line_);
+}
+
+std::pair<std::string, std::string> ParseKeyValue(std::string_view line,
+                                                  std::string_view context) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) {
+    TNP_THROW(kParseError) << std::string(context) << ": expected key=value, got '"
+                           << std::string(line) << "'";
+  }
+  return {std::string(Trim(line.substr(0, eq))), std::string(Trim(line.substr(eq + 1)))};
+}
+
+std::vector<std::int64_t> ParseDims(std::string_view text, std::string_view context) {
+  text = Trim(text);
+  std::vector<std::int64_t> dims;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == 'x' || text[i] == ',') {
+      if (i > start) dims.push_back(ParseInt(text.substr(start, i - start), context));
+      start = i + 1;
+    }
+  }
+  if (dims.empty()) {
+    TNP_THROW(kParseError) << std::string(context) << ": expected dims, got '"
+                           << std::string(text) << "'";
+  }
+  return dims;
+}
+
+}  // namespace support
+}  // namespace tnp

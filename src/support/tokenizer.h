@@ -1,0 +1,58 @@
+// Line/token scanner shared by the model-format frontends.
+//
+// Every frontend format in this repository is line-oriented text; the
+// Tokenizer provides position-tracked reading with parse errors that name
+// the offending line, so malformed model files produce actionable messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class Tokenizer {
+ public:
+  /// `source_name` appears in error messages (e.g. the pseudo-filename).
+  Tokenizer(std::string text, std::string source_name);
+
+  /// Next non-empty, non-comment line (comments start with '#'), trimmed.
+  /// Returns nullopt at end of input.
+  std::optional<std::string> NextLine();
+
+  /// Like NextLine but throws kParseError at end of input.
+  std::string ExpectLine(std::string_view what);
+
+  /// Peek the next significant line without consuming it.
+  std::optional<std::string> PeekLine();
+
+  /// Expect the next line to equal `expected` exactly.
+  void ExpectExact(std::string_view expected);
+
+  /// 1-based line number of the most recently returned line.
+  int current_line() const noexcept { return current_line_; }
+
+  const std::string& source_name() const noexcept { return source_name_; }
+
+  /// "file.ext:12" style location string for error messages.
+  std::string Location() const;
+
+ private:
+  std::vector<std::string> lines_;
+  std::string source_name_;
+  std::size_t next_ = 0;
+  int current_line_ = 0;
+};
+
+/// Parse "key=value" into its two halves; throws kParseError otherwise.
+std::pair<std::string, std::string> ParseKeyValue(std::string_view line,
+                                                  std::string_view context);
+
+/// Parse "1x3x224x224" or "1,3,224,224" into a dims vector.
+std::vector<std::int64_t> ParseDims(std::string_view text, std::string_view context);
+
+}  // namespace support
+}  // namespace tnp

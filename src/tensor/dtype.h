@@ -1,0 +1,72 @@
+// Element data types. The stack supports the types that appear in the
+// paper's evaluation: float32 models and int8 (QNN) quantized models, plus
+// the integer types needed as accumulators / indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace tnp {
+
+enum class DType : std::uint8_t {
+  kFloat32,
+  kInt8,
+  kUInt8,
+  kInt32,
+  kInt64,
+  kBool,
+};
+
+inline std::size_t DTypeBytes(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return 4;
+    case DType::kInt8: return 1;
+    case DType::kUInt8: return 1;
+    case DType::kInt32: return 4;
+    case DType::kInt64: return 8;
+    case DType::kBool: return 1;
+  }
+  throw InternalError("unknown dtype");
+}
+
+inline const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return "float32";
+    case DType::kInt8: return "int8";
+    case DType::kUInt8: return "uint8";
+    case DType::kInt32: return "int32";
+    case DType::kInt64: return "int64";
+    case DType::kBool: return "bool";
+  }
+  return "?";
+}
+
+/// Parse a dtype name as it appears in model files ("float32", "int8", ...).
+inline DType DTypeFromName(const std::string& name) {
+  if (name == "float32") return DType::kFloat32;
+  if (name == "int8") return DType::kInt8;
+  if (name == "uint8") return DType::kUInt8;
+  if (name == "int32") return DType::kInt32;
+  if (name == "int64") return DType::kInt64;
+  if (name == "bool") return DType::kBool;
+  throw Error(ErrorKind::kParseError, "unknown dtype name '" + name + "'");
+}
+
+/// True for the quantized storage types carried by QNN models.
+inline bool IsQuantizedStorageType(DType dtype) {
+  return dtype == DType::kInt8 || dtype == DType::kUInt8;
+}
+
+/// Map a C++ scalar type to its DType tag at compile time.
+template <typename T>
+struct DTypeOf;
+template <> struct DTypeOf<float> { static constexpr DType value = DType::kFloat32; };
+template <> struct DTypeOf<std::int8_t> { static constexpr DType value = DType::kInt8; };
+template <> struct DTypeOf<std::uint8_t> { static constexpr DType value = DType::kUInt8; };
+template <> struct DTypeOf<std::int32_t> { static constexpr DType value = DType::kInt32; };
+template <> struct DTypeOf<std::int64_t> { static constexpr DType value = DType::kInt64; };
+template <> struct DTypeOf<bool> { static constexpr DType value = DType::kBool; };
+
+}  // namespace tnp

@@ -1,0 +1,152 @@
+#include "tensor/ndarray.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace tnp {
+
+NDArray::Storage::Storage(std::size_t bytes_in) : bytes(bytes_in) {
+  // Always allocate at least one byte so zero-element tensors have distinct,
+  // valid storage.
+  const std::size_t alloc = std::max<std::size_t>(bytes, 1);
+  // 64-byte alignment for cache-line-aligned kernel access.
+  const std::size_t aligned = (alloc + 63) / 64 * 64;
+  data = std::aligned_alloc(64, aligned);
+  TNP_CHECK(data != nullptr) << "allocation of " << aligned << " bytes failed";
+}
+
+NDArray::Storage::~Storage() { std::free(data); }
+
+NDArray NDArray::Empty(Shape shape, DType dtype) {
+  const std::size_t bytes = static_cast<std::size_t>(shape.NumElements()) * DTypeBytes(dtype);
+  return NDArray(std::make_shared<Storage>(bytes), std::move(shape), dtype);
+}
+
+NDArray NDArray::Zeros(Shape shape, DType dtype) {
+  NDArray array = Empty(std::move(shape), dtype);
+  std::memset(array.storage_->data, 0, array.SizeBytes());
+  return array;
+}
+
+NDArray NDArray::Full(Shape shape, DType dtype, double value) {
+  NDArray array = Empty(std::move(shape), dtype);
+  const std::int64_t n = array.NumElements();
+  switch (dtype) {
+    case DType::kFloat32: {
+      float* p = array.Data<float>();
+      std::fill(p, p + n, static_cast<float>(value));
+      break;
+    }
+    case DType::kInt8: {
+      std::int8_t* p = array.Data<std::int8_t>();
+      std::fill(p, p + n, static_cast<std::int8_t>(value));
+      break;
+    }
+    case DType::kUInt8: {
+      std::uint8_t* p = array.Data<std::uint8_t>();
+      std::fill(p, p + n, static_cast<std::uint8_t>(value));
+      break;
+    }
+    case DType::kInt32: {
+      std::int32_t* p = array.Data<std::int32_t>();
+      std::fill(p, p + n, static_cast<std::int32_t>(value));
+      break;
+    }
+    case DType::kInt64: {
+      std::int64_t* p = array.Data<std::int64_t>();
+      std::fill(p, p + n, static_cast<std::int64_t>(value));
+      break;
+    }
+    case DType::kBool: {
+      bool* p = array.Data<bool>();
+      std::fill(p, p + n, value != 0.0);
+      break;
+    }
+  }
+  return array;
+}
+
+NDArray NDArray::RandomNormal(Shape shape, std::uint64_t seed, float stddev) {
+  NDArray array = Empty(std::move(shape), DType::kFloat32);
+  support::SplitMix64 rng(seed);
+  float* p = array.Data<float>();
+  const std::int64_t n = array.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.Normal()) * stddev;
+  }
+  return array;
+}
+
+NDArray NDArray::RandomInt8(Shape shape, std::uint64_t seed, int lo, int hi) {
+  NDArray array = Empty(std::move(shape), DType::kInt8);
+  support::SplitMix64 rng(seed);
+  std::int8_t* p = array.Data<std::int8_t>();
+  const std::int64_t n = array.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::int8_t>(rng.UniformInt(lo, hi));
+  }
+  return array;
+}
+
+NDArray NDArray::CopyDeep() const {
+  TNP_CHECK(defined());
+  NDArray copy = Empty(shape_, dtype_);
+  std::memcpy(copy.storage_->data, storage_->data, SizeBytes());
+  copy.quant_ = quant_;
+  return copy;
+}
+
+NDArray NDArray::Reshape(Shape new_shape) const {
+  TNP_CHECK(defined());
+  TNP_CHECK_EQ(new_shape.NumElements(), NumElements())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  NDArray view(storage_, std::move(new_shape), dtype_);
+  view.quant_ = quant_;
+  return view;
+}
+
+double NDArray::MaxAbsDiff(const NDArray& a, const NDArray& b) {
+  TNP_CHECK(a.defined() && b.defined());
+  TNP_CHECK(a.dtype() == DType::kFloat32 && b.dtype() == DType::kFloat32);
+  TNP_CHECK(a.shape() == b.shape()) << a.shape().ToString() << " vs " << b.shape().ToString();
+  const float* pa = a.Data<float>();
+  const float* pb = b.Data<float>();
+  double max_diff = 0.0;
+  const std::int64_t n = a.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, static_cast<double>(std::fabs(pa[i] - pb[i])));
+  }
+  return max_diff;
+}
+
+bool NDArray::BitEqual(const NDArray& a, const NDArray& b) {
+  if (!a.defined() || !b.defined()) return a.defined() == b.defined();
+  if (a.dtype() != b.dtype() || a.shape() != b.shape()) return false;
+  return std::memcmp(a.RawData(), b.RawData(), a.SizeBytes()) == 0;
+}
+
+std::string NDArray::ToString(std::int64_t max_elements) const {
+  if (!defined()) return "NDArray(null)";
+  std::ostringstream os;
+  os << "NDArray" << shape_.ToString() << " " << DTypeName(dtype_) << " [";
+  const std::int64_t n = std::min(max_elements, NumElements());
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i != 0) os << ", ";
+    switch (dtype_) {
+      case DType::kFloat32: os << Data<float>()[i]; break;
+      case DType::kInt8: os << static_cast<int>(Data<std::int8_t>()[i]); break;
+      case DType::kUInt8: os << static_cast<int>(Data<std::uint8_t>()[i]); break;
+      case DType::kInt32: os << Data<std::int32_t>()[i]; break;
+      case DType::kInt64: os << Data<std::int64_t>()[i]; break;
+      case DType::kBool: os << (Data<bool>()[i] ? "true" : "false"); break;
+    }
+  }
+  if (NumElements() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tnp

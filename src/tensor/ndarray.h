@@ -1,0 +1,121 @@
+// NDArray: dense, row-major, reference-counted host tensor.
+//
+// Copying an NDArray is cheap (shared storage). CopyDeep() clones storage.
+// Storage is 64-byte aligned so kernels can assume cache-line alignment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "tensor/dtype.h"
+#include "tensor/quant.h"
+#include "tensor/shape.h"
+
+namespace tnp {
+
+class NDArray {
+ public:
+  /// Default-constructed NDArray is "null"; defined() is false.
+  NDArray() = default;
+
+  /// Allocate an uninitialized array.
+  static NDArray Empty(Shape shape, DType dtype);
+
+  /// Allocate and zero-fill.
+  static NDArray Zeros(Shape shape, DType dtype);
+
+  /// Allocate and fill with a single value (value cast to the dtype).
+  static NDArray Full(Shape shape, DType dtype, double value);
+
+  /// Copy from a host vector (size must equal NumElements).
+  template <typename T>
+  static NDArray FromVector(Shape shape, const std::vector<T>& values) {
+    NDArray array = Empty(std::move(shape), DTypeOf<T>::value);
+    TNP_CHECK_EQ(static_cast<std::int64_t>(values.size()), array.NumElements());
+    std::copy(values.begin(), values.end(), array.Data<T>());
+    return array;
+  }
+
+  /// Seeded N(0, stddev) float32 initializer (synthetic weights).
+  static NDArray RandomNormal(Shape shape, std::uint64_t seed, float stddev = 0.1f);
+
+  /// Seeded uniform int8 initializer in [lo, hi] (synthetic quantized weights).
+  static NDArray RandomInt8(Shape shape, std::uint64_t seed, int lo = -127, int hi = 127);
+
+  bool defined() const noexcept { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  DType dtype() const noexcept { return dtype_; }
+  std::int64_t NumElements() const { return shape_.NumElements(); }
+  std::size_t SizeBytes() const { return static_cast<std::size_t>(NumElements()) * DTypeBytes(dtype_); }
+
+  /// Per-tensor quantization parameters (valid only for quantized tensors).
+  const QuantParams& quant() const noexcept { return quant_; }
+  void set_quant(QuantParams quant) { quant_ = quant; }
+
+  /// Typed raw pointers; dtype-checked.
+  template <typename T>
+  T* Data() {
+    TNP_CHECK(defined());
+    TNP_CHECK(DTypeOf<T>::value == dtype_)
+        << "dtype mismatch: stored " << DTypeName(dtype_) << " accessed as "
+        << DTypeName(DTypeOf<T>::value);
+    return reinterpret_cast<T*>(storage_->data);
+  }
+  template <typename T>
+  const T* Data() const {
+    TNP_CHECK(defined());
+    TNP_CHECK(DTypeOf<T>::value == dtype_)
+        << "dtype mismatch: stored " << DTypeName(dtype_) << " accessed as "
+        << DTypeName(DTypeOf<T>::value);
+    return reinterpret_cast<const T*>(storage_->data);
+  }
+
+  template <typename T>
+  std::span<T> Span() { return std::span<T>(Data<T>(), static_cast<std::size_t>(NumElements())); }
+  template <typename T>
+  std::span<const T> Span() const {
+    return std::span<const T>(Data<T>(), static_cast<std::size_t>(NumElements()));
+  }
+
+  void* RawData() { TNP_CHECK(defined()); return storage_->data; }
+  const void* RawData() const { TNP_CHECK(defined()); return storage_->data; }
+
+  /// Deep copy (new storage, same contents/metadata).
+  NDArray CopyDeep() const;
+
+  /// Same data reinterpreted with a new shape (element count must match).
+  NDArray Reshape(Shape new_shape) const;
+
+  /// Elementwise max-abs difference against another float32 array.
+  static double MaxAbsDiff(const NDArray& a, const NDArray& b);
+
+  /// True if same dtype/shape and bytes identical.
+  static bool BitEqual(const NDArray& a, const NDArray& b);
+
+  std::string ToString(std::int64_t max_elements = 8) const;
+
+ private:
+  struct Storage {
+    explicit Storage(std::size_t bytes);
+    ~Storage();
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
+    void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  NDArray(std::shared_ptr<Storage> storage, Shape shape, DType dtype)
+      : storage_(std::move(storage)), shape_(std::move(shape)), dtype_(dtype) {}
+
+  std::shared_ptr<Storage> storage_;
+  Shape shape_;
+  DType dtype_ = DType::kFloat32;
+  QuantParams quant_;
+};
+
+}  // namespace tnp

@@ -1,0 +1,52 @@
+// Per-tensor affine quantization parameters.
+//
+// real_value = scale * (quantized_value - zero_point)
+//
+// Relay QNN carries these as *operator* attributes (operator-oriented); the
+// Neuron IR carries them on *tensors* (tensor-oriented). Converting between
+// the two representations is the paper's Section 3.3 ("Augment QNN flow").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace tnp {
+
+struct QuantParams {
+  float scale = 0.0f;
+  std::int32_t zero_point = 0;
+  bool valid = false;
+
+  QuantParams() = default;
+  QuantParams(float scale_in, std::int32_t zero_point_in)
+      : scale(scale_in), zero_point(zero_point_in), valid(true) {}
+
+  static QuantParams None() { return QuantParams(); }
+
+  bool operator==(const QuantParams& other) const noexcept {
+    if (valid != other.valid) return false;
+    if (!valid) return true;
+    return scale == other.scale && zero_point == other.zero_point;
+  }
+  bool operator!=(const QuantParams& other) const noexcept { return !(*this == other); }
+
+  /// Quantize a real value to int8 with round-to-nearest and saturation.
+  std::int8_t Quantize(float real) const {
+    const float q = std::nearbyint(real / scale) + static_cast<float>(zero_point);
+    if (q < -128.0f) return -128;
+    if (q > 127.0f) return 127;
+    return static_cast<std::int8_t>(q);
+  }
+
+  float Dequantize(std::int8_t q) const {
+    return scale * (static_cast<float>(q) - static_cast<float>(zero_point));
+  }
+
+  std::string ToString() const {
+    if (!valid) return "none";
+    return "scale=" + std::to_string(scale) + " zp=" + std::to_string(zero_point);
+  }
+};
+
+}  // namespace tnp

@@ -1,0 +1,54 @@
+#include "tensor/shape.h"
+
+#include <ostream>
+
+#include "support/logging.h"
+
+namespace tnp {
+
+std::int64_t Shape::operator[](int axis) const {
+  TNP_CHECK(axis >= 0 && axis < rank()) << "axis " << axis << " out of range for " << ToString();
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::Dim(int axis) const {
+  if (axis < 0) axis += rank();
+  return (*this)[axis];
+}
+
+std::int64_t Shape::NumElements() const noexcept {
+  std::int64_t count = 1;
+  for (const std::int64_t d : dims_) count *= d;
+  return count;
+}
+
+std::vector<std::int64_t> Shape::Strides() const {
+  std::vector<std::int64_t> strides(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    strides[static_cast<std::size_t>(i)] =
+        strides[static_cast<std::size_t>(i) + 1] * dims_[static_cast<std::size_t>(i) + 1];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+void Shape::Validate() const {
+  for (const std::int64_t d : dims_) {
+    TNP_CHECK_GE(d, 0) << "negative dimension in shape";
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
+  return os << shape.ToString();
+}
+
+}  // namespace tnp

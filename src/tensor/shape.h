@@ -1,0 +1,48 @@
+// Tensor shapes. All shapes in this stack are static (the paper's models are
+// fixed-shape vision networks), which keeps type inference total and lets the
+// device cost model price every operator exactly.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tnp {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { Validate(); }
+
+  int rank() const noexcept { return static_cast<int>(dims_.size()); }
+  bool empty() const noexcept { return dims_.empty(); }
+
+  std::int64_t operator[](int axis) const;
+
+  /// Dim with negative-axis support (-1 == last axis).
+  std::int64_t Dim(int axis) const;
+
+  /// Total number of elements (1 for a rank-0 scalar).
+  std::int64_t NumElements() const noexcept;
+
+  const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+
+  /// Row-major strides in elements.
+  std::vector<std::int64_t> Strides() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const noexcept { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const noexcept { return dims_ != other.dims_; }
+
+ private:
+  void Validate() const;
+
+  std::vector<std::int64_t> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape);
+
+}  // namespace tnp

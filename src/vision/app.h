@@ -1,0 +1,114 @@
+// The application showcase (paper Section 4, Figure 1):
+//
+//   frame -> object detector + face detector -> overlap gate ->
+//   anti-spoofing model -> emotion detection model
+//
+// Three models from three frameworks run through the BYOC stack: the
+// quantized Mobilenet-SSD (TFLite import) provides the object-detection
+// stage, and the two functional models (vision/models.h) provide working
+// anti-spoofing and emotion classification. Each stage is pinned to a flow
+// permutation (Section 5.1 computation scheduling); RunPipelined overlaps
+// stages across frames under exclusive resource use (Section 5.2,
+// Figure 5) using the threaded pipeline executor.
+#pragma once
+
+#include <memory>
+
+#include "core/flows.h"
+#include "vision/detector.h"
+#include "vision/models.h"
+#include "vision/scene.h"
+
+namespace tnp {
+namespace vision {
+
+struct ShowcaseConfig {
+  /// Stage -> flow assignment. Defaults follow the paper's Figure-5
+  /// prototype: object detection moved to CPU-only for exclusive resource
+  /// use, anti-spoofing on CPU+APU, emotion on the APU alone.
+  core::FlowKind detection_flow = core::FlowKind::kByocCpu;
+  core::FlowKind antispoof_flow = core::FlowKind::kByocCpuApu;
+  core::FlowKind emotion_flow = core::FlowKind::kNpApu;
+
+  /// Run the Mobilenet-SSD model every frame (timing + decode plumbing). The
+  /// candidate boxes still come from the classical detectors unless
+  /// `use_model_boxes` is set.
+  bool run_object_model = true;
+  bool use_model_boxes = false;
+
+  /// SSD input resolution (small default keeps numerics fast; the latency
+  /// accounting is unaffected because stage latencies can also be taken
+  /// from the static simulator at canonical scale).
+  int object_image_size = 96;
+  double object_width = 0.25;
+
+  std::uint64_t seed = 2022;
+};
+
+struct FaceResult {
+  Box box;
+  double antispoof_score = 0.0;
+  bool spoof = false;
+  /// Valid only when !spoof (spoof faces are not emotion-classified).
+  int emotion = -1;
+};
+
+struct FrameResult {
+  int frame_index = 0;
+  std::vector<Detection> bodies;
+  std::vector<Detection> faces;
+  int num_candidates = 0;  ///< faces overlapping a body box
+  std::vector<FaceResult> results;
+};
+
+struct RunSummary {
+  std::vector<FrameResult> frames;
+  double wall_ms = 0.0;
+  /// Accumulated simulated time per stage (all frames).
+  double sim_detection_ms = 0.0;
+  double sim_antispoof_ms = 0.0;
+  double sim_emotion_ms = 0.0;
+  double SimTotalMs() const { return sim_detection_ms + sim_antispoof_ms + sim_emotion_ms; }
+};
+
+class ShowcaseApp {
+ public:
+  explicit ShowcaseApp(const ShowcaseConfig& config = {});
+
+  /// Run the three-stage cascade on one frame.
+  FrameResult ProcessFrame(const NDArray& frame, int frame_index);
+
+  /// Render + process `num_frames` frames one after another.
+  RunSummary RunSequential(const Scene& scene, int num_frames);
+
+  /// Same work, but stages overlap across frames on the threaded pipeline
+  /// executor with exclusive CPU/APU use.
+  RunSummary RunPipelined(const Scene& scene, int num_frames);
+
+  /// Per-stage simulated latency for one representative frame (used by the
+  /// scheduling benches).
+  double DetectionStageUs() const;
+  double AntiSpoofStageUs() const;
+  double EmotionStageUs() const;
+
+  const ShowcaseConfig& config() const { return config_; }
+
+ private:
+  struct StageClocks {
+    double detection_us = 0.0;
+    double antispoof_us = 0.0;
+    double emotion_us = 0.0;
+  };
+
+  FrameResult DetectStage(const NDArray& frame, int frame_index, StageClocks& clocks);
+  void AntiSpoofStage(const NDArray& frame, FrameResult& result, StageClocks& clocks);
+  void EmotionStage(const NDArray& frame, FrameResult& result, StageClocks& clocks);
+
+  ShowcaseConfig config_;
+  core::InferenceSessionPtr detection_session_;
+  core::InferenceSessionPtr antispoof_session_;
+  core::InferenceSessionPtr emotion_session_;
+};
+
+}  // namespace vision
+}  // namespace tnp

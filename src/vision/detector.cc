@@ -1,0 +1,200 @@
+#include "vision/detector.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace vision {
+
+namespace {
+
+/// Integral image of a per-pixel {0,1} colour-match mask.
+class MatchIntegral {
+ public:
+  MatchIntegral(const NDArray& frame, float r, float g, float b, double tolerance) {
+    TNP_CHECK_EQ(frame.shape().rank(), 4);
+    height_ = frame.shape()[2];
+    width_ = frame.shape()[3];
+    integral_.assign(static_cast<std::size_t>((height_ + 1) * (width_ + 1)), 0);
+
+    const float* data = frame.Data<float>();
+    const std::int64_t plane = height_ * width_;
+    for (std::int64_t y = 0; y < height_; ++y) {
+      for (std::int64_t x = 0; x < width_; ++x) {
+        const float pr = data[y * width_ + x];
+        const float pg = data[plane + y * width_ + x];
+        const float pb = data[2 * plane + y * width_ + x];
+        const bool match = std::fabs(pr - r) < tolerance && std::fabs(pg - g) < tolerance &&
+                           std::fabs(pb - b) < tolerance;
+        At(y + 1, x + 1) = At(y, x + 1) + At(y + 1, x) - At(y, x) + (match ? 1 : 0);
+      }
+    }
+  }
+
+  /// Count of matching pixels in [y0,y1) x [x0,x1).
+  std::int64_t Count(std::int64_t y0, std::int64_t x0, std::int64_t y1, std::int64_t x1) const {
+    return At(y1, x1) - At(y0, x1) - At(y1, x0) + At(y0, x0);
+  }
+
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+
+ private:
+  std::int64_t& At(std::int64_t y, std::int64_t x) {
+    return integral_[static_cast<std::size_t>(y * (width_ + 1) + x)];
+  }
+  std::int64_t At(std::int64_t y, std::int64_t x) const {
+    return integral_[static_cast<std::size_t>(y * (width_ + 1) + x)];
+  }
+
+  std::int64_t height_ = 0;
+  std::int64_t width_ = 0;
+  std::vector<std::int64_t> integral_;
+};
+
+/// Snap a detection to the tight bounding box of matching pixels inside a
+/// slightly inflated window (the synthetic patterns are contiguous, so the
+/// tight box localizes almost exactly).
+Box RefineBox(const MatchIntegral& integral, const Box& box) {
+  const std::int64_t x0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.x - box.w * 0.3));
+  const std::int64_t y0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.y - box.h * 0.3));
+  const std::int64_t x1 =
+      std::min(integral.width(), static_cast<std::int64_t>(box.x + box.w * 1.3));
+  const std::int64_t y1 =
+      std::min(integral.height(), static_cast<std::int64_t>(box.y + box.h * 1.3));
+  if (x1 <= x0 + 1 || y1 <= y0 + 1) return box;
+
+  constexpr double kLineDensity = 0.30;
+  std::int64_t top = -1;
+  std::int64_t bottom = -1;
+  for (std::int64_t y = y0; y < y1; ++y) {
+    const double density = static_cast<double>(integral.Count(y, x0, y + 1, x1)) /
+                           static_cast<double>(x1 - x0);
+    if (density >= kLineDensity) {
+      if (top < 0) top = y;
+      bottom = y + 1;
+    }
+  }
+  std::int64_t left = -1;
+  std::int64_t right = -1;
+  for (std::int64_t x = x0; x < x1; ++x) {
+    const double density = static_cast<double>(integral.Count(y0, x, y1, x + 1)) /
+                           static_cast<double>(y1 - y0);
+    if (density >= kLineDensity) {
+      if (left < 0) left = x;
+      right = x + 1;
+    }
+  }
+  if (top < 0 || left < 0 || bottom - top < 8 || right - left < 8) return box;
+  return Box{static_cast<double>(left), static_cast<double>(top),
+             static_cast<double>(right - left), static_cast<double>(bottom - top)};
+}
+
+std::vector<Detection> SlidingWindows(const MatchIntegral& integral,
+                                      const SlidingWindowConfig& config, double aspect) {
+  std::vector<Detection> detections;
+  for (const int size : config.window_sizes) {
+    const std::int64_t window_w = size;
+    const std::int64_t window_h = static_cast<std::int64_t>(size * aspect);
+    if (window_h > integral.height() || window_w > integral.width()) continue;
+    const double area = static_cast<double>(window_w * window_h);
+    for (std::int64_t y = 0; y + window_h <= integral.height(); y += config.stride) {
+      for (std::int64_t x = 0; x + window_w <= integral.width(); x += config.stride) {
+        const double fill =
+            static_cast<double>(integral.Count(y, x, y + window_h, x + window_w)) / area;
+        if (fill >= config.min_fill) {
+          detections.push_back(Detection{
+              Box{static_cast<double>(x), static_cast<double>(y),
+                  static_cast<double>(window_w), static_cast<double>(window_h)},
+              fill, 0});
+        }
+      }
+    }
+  }
+  detections = Nms(std::move(detections), config.nms_iou);
+  // Refine survivors to tight boxes, then dedupe the now-identical ones.
+  for (auto& detection : detections) detection.box = RefineBox(integral, detection.box);
+  return Nms(std::move(detections), 0.5);
+}
+
+}  // namespace
+
+std::vector<Detection> DetectFaces(const NDArray& frame, const SceneStyle& style,
+                                   const SlidingWindowConfig& config) {
+  // The mouth/eye offsets shift all channels equally, so a generous
+  // tolerance around the skin tone still matches most of the face while
+  // rejecting background and clothing.
+  const MatchIntegral integral(frame, style.skin_r, style.skin_g, style.skin_b,
+                               config.color_tolerance * 2.2);
+  return SlidingWindows(integral, config, /*aspect=*/1.0);
+}
+
+std::vector<Detection> DetectBodies(const NDArray& frame, const SceneStyle& style,
+                                    SlidingWindowConfig config) {
+  config.window_sizes = {64, 80, 96, 112, 128};
+  config.stride = 6;
+  const MatchIntegral integral(frame, style.body_r, style.body_g, style.body_b,
+                               config.color_tolerance);
+  return SlidingWindows(integral, config, /*aspect=*/1.25);
+}
+
+std::vector<Detection> DecodeSsd(const NDArray& boxes, const NDArray& scores,
+                                 const SsdDecodeConfig& config) {
+  TNP_CHECK(boxes.dtype() == DType::kFloat32 && scores.dtype() == DType::kFloat32);
+  const std::int64_t num_box_values = boxes.NumElements();
+  const std::int64_t num_score_values = scores.NumElements();
+  const std::int64_t cells_total = num_box_values / (config.num_anchors * 4);
+  TNP_CHECK_EQ(num_score_values, cells_total * config.num_anchors * config.num_classes);
+
+  // A regular anchor grid matching the flattened head layout: anchors vary
+  // fastest over (anchor, cell) in emission order; cell positions are laid
+  // out on a sqrt(cells)-sized grid per feature map (approximated as one
+  // combined grid — with synthetic weights this decoder demonstrates the
+  // output plumbing, not detection accuracy).
+  const std::int64_t grid = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::sqrt(static_cast<double>(cells_total))));
+  const double cell_px = static_cast<double>(config.image_size) / static_cast<double>(grid);
+
+  const float* box_data = boxes.Data<float>();
+  const float* score_data = scores.Data<float>();
+
+  std::vector<Detection> detections;
+  for (std::int64_t cell = 0; cell < cells_total; ++cell) {
+    const double cx = (static_cast<double>(cell % grid) + 0.5) * cell_px;
+    const double cy = (static_cast<double>((cell / grid) % grid) + 0.5) * cell_px;
+    for (int anchor = 0; anchor < config.num_anchors; ++anchor) {
+      const std::int64_t box_base = (cell * config.num_anchors + anchor) * 4;
+      if (box_base + 3 >= num_box_values) break;
+      const double anchor_size = cell_px * (1.0 + 0.5 * anchor);
+      const double dx = box_data[box_base + 0];
+      const double dy = box_data[box_base + 1];
+      const double dw = box_data[box_base + 2];
+      const double dh = box_data[box_base + 3];
+      const double w = anchor_size * std::exp(std::min(4.0, dw * 0.2));
+      const double h = anchor_size * std::exp(std::min(4.0, dh * 0.2));
+      const double center_x = cx + dx * 0.1 * anchor_size;
+      const double center_y = cy + dy * 0.1 * anchor_size;
+
+      const std::int64_t score_base =
+          (cell * config.num_anchors + anchor) * config.num_classes;
+      double best_score = 0.0;
+      int best_class = 0;
+      for (int c = 1; c < config.num_classes; ++c) {  // class 0 = background
+        if (score_base + c >= num_score_values) break;
+        if (score_data[score_base + c] > best_score) {
+          best_score = score_data[score_base + c];
+          best_class = c;
+        }
+      }
+      if (best_score >= config.threshold) {
+        detections.push_back(Detection{Box{center_x - w / 2.0, center_y - h / 2.0, w, h},
+                                       best_score, best_class});
+      }
+    }
+  }
+  return Nms(std::move(detections), config.nms_iou);
+}
+
+}  // namespace vision
+}  // namespace tnp

@@ -1,0 +1,50 @@
+// Classical detectors over synthetic frames, plus the SSD output decoder.
+//
+// The showcase needs candidate boxes per frame. Two sources exist:
+//  * the classical colour-matched sliding-window detectors below (reliable
+//    on the synthetic scenes — these drive the end-to-end assertions), and
+//  * DecodeSsd, which decodes the Mobilenet-SSD graph outputs (with seeded
+//    synthetic weights its detections are arbitrary, but it exercises the
+//    full model-output plumbing the paper's app uses).
+#pragma once
+
+#include "tensor/ndarray.h"
+#include "vision/scene.h"
+#include "vision/types.h"
+
+namespace tnp {
+namespace vision {
+
+struct SlidingWindowConfig {
+  std::vector<int> window_sizes = {32, 40, 48, 56, 64};
+  int stride = 4;
+  double min_fill = 0.55;    ///< fraction of matching pixels to fire
+  double nms_iou = 0.3;
+  double color_tolerance = 0.10;
+};
+
+/// Detect face-coloured regions (skin tone from SceneStyle).
+std::vector<Detection> DetectFaces(const NDArray& frame, const SceneStyle& style = {},
+                                   const SlidingWindowConfig& config = {});
+
+/// Detect person bodies (clothing colour from SceneStyle). Uses taller
+/// windows (bodies are ~2x higher than wide).
+std::vector<Detection> DetectBodies(const NDArray& frame, const SceneStyle& style = {},
+                                    SlidingWindowConfig config = {});
+
+/// Decode the SSD head outputs (boxes: (1, A*4*cells...), scores:
+/// (1, A*C*cells...)) against a regular anchor grid. Returns detections
+/// with score above `threshold` after NMS.
+struct SsdDecodeConfig {
+  int num_anchors = 3;
+  int num_classes = 21;
+  double threshold = 0.6;
+  double nms_iou = 0.45;
+  std::int64_t image_size = 300;
+};
+
+std::vector<Detection> DecodeSsd(const NDArray& boxes, const NDArray& scores,
+                                 const SsdDecodeConfig& config);
+
+}  // namespace vision
+}  // namespace tnp

@@ -1,0 +1,121 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace vision {
+
+namespace {
+
+void CheckImage(const NDArray& image) {
+  TNP_CHECK(image.defined());
+  TNP_CHECK(image.dtype() == DType::kFloat32);
+  TNP_CHECK_EQ(image.shape().rank(), 4);
+  TNP_CHECK_EQ(image.shape()[0], 1);
+}
+
+}  // namespace
+
+float GetPixel(const NDArray& image, int channel, int y, int x) {
+  const std::int64_t height = image.shape()[2];
+  const std::int64_t width = image.shape()[3];
+  TNP_CHECK(y >= 0 && y < height && x >= 0 && x < width);
+  return image.Data<float>()[(channel * height + y) * width + x];
+}
+
+void SetPixel(NDArray& image, int channel, int y, int x, float value) {
+  const std::int64_t height = image.shape()[2];
+  const std::int64_t width = image.shape()[3];
+  TNP_CHECK(y >= 0 && y < height && x >= 0 && x < width);
+  image.Data<float>()[(channel * height + y) * width + x] = value;
+}
+
+NDArray RgbToGray(const NDArray& frame) {
+  CheckImage(frame);
+  TNP_CHECK_EQ(frame.shape()[1], 3);
+  const std::int64_t height = frame.shape()[2];
+  const std::int64_t width = frame.shape()[3];
+  NDArray gray = NDArray::Empty(Shape({1, 1, height, width}), DType::kFloat32);
+  const float* in = frame.Data<float>();
+  float* out = gray.Data<float>();
+  const std::int64_t plane = height * width;
+  for (std::int64_t i = 0; i < plane; ++i) {
+    out[i] = 0.299f * in[i] + 0.587f * in[plane + i] + 0.114f * in[2 * plane + i];
+  }
+  return gray;
+}
+
+NDArray Crop(const NDArray& image, const Box& box) {
+  CheckImage(image);
+  const std::int64_t channels = image.shape()[1];
+  const std::int64_t height = image.shape()[2];
+  const std::int64_t width = image.shape()[3];
+
+  const std::int64_t x0 = std::clamp<std::int64_t>(static_cast<std::int64_t>(box.x), 0, width - 1);
+  const std::int64_t y0 = std::clamp<std::int64_t>(static_cast<std::int64_t>(box.y), 0, height - 1);
+  const std::int64_t x1 =
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(box.x + box.w), x0 + 1, width);
+  const std::int64_t y1 =
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(box.y + box.h), y0 + 1, height);
+
+  NDArray crop = NDArray::Empty(Shape({1, channels, y1 - y0, x1 - x0}), DType::kFloat32);
+  const float* in = image.Data<float>();
+  float* out = crop.Data<float>();
+  const std::int64_t out_h = y1 - y0;
+  const std::int64_t out_w = x1 - x0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      const float* src = in + (c * height + y0 + y) * width + x0;
+      float* dst = out + (c * out_h + y) * out_w;
+      std::copy(src, src + out_w, dst);
+    }
+  }
+  return crop;
+}
+
+NDArray ResizeBilinear(const NDArray& image, std::int64_t out_h, std::int64_t out_w) {
+  CheckImage(image);
+  const std::int64_t channels = image.shape()[1];
+  const std::int64_t in_h = image.shape()[2];
+  const std::int64_t in_w = image.shape()[3];
+  NDArray resized = NDArray::Empty(Shape({1, channels, out_h, out_w}), DType::kFloat32);
+
+  const float* in = image.Data<float>();
+  float* out = resized.Data<float>();
+  const double scale_y = out_h > 1 ? static_cast<double>(in_h - 1) / (out_h - 1) : 0.0;
+  const double scale_x = out_w > 1 ? static_cast<double>(in_w - 1) / (out_w - 1) : 0.0;
+
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* plane = in + c * in_h * in_w;
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      const double sy = y * scale_y;
+      const std::int64_t y0 = static_cast<std::int64_t>(sy);
+      const std::int64_t y1 = std::min(y0 + 1, in_h - 1);
+      const double fy = sy - y0;
+      for (std::int64_t x = 0; x < out_w; ++x) {
+        const double sx = x * scale_x;
+        const std::int64_t x0 = static_cast<std::int64_t>(sx);
+        const std::int64_t x1 = std::min(x0 + 1, in_w - 1);
+        const double fx = sx - x0;
+        const double v00 = plane[y0 * in_w + x0];
+        const double v01 = plane[y0 * in_w + x1];
+        const double v10 = plane[y1 * in_w + x0];
+        const double v11 = plane[y1 * in_w + x1];
+        out[(c * out_h + y) * out_w + x] = static_cast<float>(
+            v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx + v10 * fy * (1 - fx) +
+            v11 * fy * fx);
+      }
+    }
+  }
+  return resized;
+}
+
+NDArray FaceCrop48(const NDArray& frame, const Box& box) {
+  return ResizeBilinear(RgbToGray(Crop(frame, box)), 48, 48);
+}
+
+}  // namespace vision
+}  // namespace tnp

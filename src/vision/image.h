@@ -1,0 +1,30 @@
+// Image utilities over NDArray frames.
+//
+// Frames are float32 NCHW (1, 3, H, W) RGB in [0, 1]; face crops handed to
+// the models are (1, 1, 48, 48) grayscale.
+#pragma once
+
+#include "tensor/ndarray.h"
+#include "vision/types.h"
+
+namespace tnp {
+namespace vision {
+
+/// Luminance (0.299 R + 0.587 G + 0.114 B) of an RGB frame -> (1,1,H,W).
+NDArray RgbToGray(const NDArray& frame);
+
+/// Crop `box` (clamped to the frame) from a (1,C,H,W) image.
+NDArray Crop(const NDArray& image, const Box& box);
+
+/// Bilinear resize of a (1,C,H,W) image to (1,C,out_h,out_w).
+NDArray ResizeBilinear(const NDArray& image, std::int64_t out_h, std::int64_t out_w);
+
+/// Crop a face box and produce the (1,1,48,48) grayscale model input.
+NDArray FaceCrop48(const NDArray& frame, const Box& box);
+
+/// Pixel accessor helpers (bounds-checked in debug via TNP_CHECK).
+float GetPixel(const NDArray& image, int channel, int y, int x);
+void SetPixel(NDArray& image, int channel, int y, int x, float value);
+
+}  // namespace vision
+}  // namespace tnp

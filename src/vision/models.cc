@@ -1,0 +1,183 @@
+#include "vision/models.h"
+
+#include <cmath>
+
+#include "frontend/common.h"
+#include "relay/pass.h"
+#include "vision/scene.h"
+
+namespace tnp {
+namespace vision {
+
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using relay::Attrs;
+using relay::ExprPtr;
+
+constexpr int kCrop = kFaceCropSize;
+
+ExprPtr Const(NDArray data) {
+  auto constant = relay::MakeConstant(std::move(data));
+  constant->set_checked_type(
+      relay::Type::Tensor(constant->data().shape(), constant->data().dtype()));
+  return constant;
+}
+
+/// Mouth band in face-normalized coordinates (must match scene.cc DrawFace).
+bool InMouthBandRow(int y, int extent) {
+  const double v = (y + 0.5) / extent;
+  return v > 0.60 && v < 0.85;
+}
+
+}  // namespace
+
+relay::Module AntiSpoofFunctionalModule() {
+  auto input = TypedVar("face", Shape({1, 1, kCrop, kCrop}), DType::kFloat32);
+
+  // 3x3 Laplacian kernel (zero-sum: flat regions -> 0 response).
+  NDArray laplacian = NDArray::Zeros(Shape({1, 1, 3, 3}), DType::kFloat32);
+  {
+    float* k = laplacian.Data<float>();
+    const float weights[9] = {-1, -1, -1, -1, 8, -1, -1, -1, -1};
+    for (int i = 0; i < 9; ++i) k[i] = weights[i] / 8.0f;
+  }
+
+  ExprPtr x = TypedCall("nn.conv2d", {input, Const(std::move(laplacian)),
+                                      frontend::ZeroBiasF32(1)},
+                        Attrs().SetInts("strides", {1, 1}).SetInts("padding", {0, 0}));
+  // Texture energy = squared edge response.
+  x = TypedCall("multiply", {x, x});
+
+  // Mask out the mouth band (emotion stripes would add energy on spoof
+  // faces too) and the eye-blob borders; keep the rest of the face.
+  const int conv_extent = kCrop - 2;  // valid 3x3 conv output extent
+  NDArray mask = NDArray::Zeros(Shape({1, 1, conv_extent, conv_extent}), DType::kFloat32);
+  {
+    float* m = mask.Data<float>();
+    int kept = 0;
+    constexpr int kBorder = 4;  // detector boxes spill a little background in
+    for (int y = 0; y < conv_extent; ++y) {
+      const double v = (y + 1 + 0.5) / kCrop;  // +1: conv removed one border row
+      const bool in_mouth = v > 0.55 && v < 0.90;
+      const bool in_eyes = v > 0.18 && v < 0.44;  // eye-blob edges are common-mode
+      const bool y_border = y < kBorder || y >= conv_extent - kBorder;
+      for (int x_pos = 0; x_pos < conv_extent; ++x_pos) {
+        const bool x_border = x_pos < kBorder || x_pos >= conv_extent - kBorder;
+        const bool keep = !(in_mouth || in_eyes || x_border || y_border);
+        m[y * conv_extent + x_pos] = keep ? 1.0f : 0.0f;
+        kept += keep ? 1 : 0;
+      }
+    }
+    // Normalize so the following global mean equals the mean over *kept*
+    // pixels only (otherwise the masked zeros dilute the energy).
+    const float renorm = static_cast<float>(conv_extent * conv_extent) /
+                         static_cast<float>(std::max(kept, 1));
+    for (int i = 0; i < conv_extent * conv_extent; ++i) m[i] *= renorm;
+  }
+  x = TypedCall("multiply", {x, Const(std::move(mask))});
+  x = TypedCall("nn.global_avg_pool2d", {x});
+  x = TypedCall("nn.batch_flatten", {x});
+
+  // score = sigmoid(gain * (energy - threshold)).
+  // Measured on rendered scenes (48x48 crops, after the bilinear resize
+  // low-passes the 2x2 texture grain): real faces ~1.7e-3 masked Laplacian
+  // energy, spoof faces <= 3e-4. Threshold sits between with a gain that
+  // saturates the sigmoid on both sides.
+  const float kThreshold = 4.0e-4f;
+  const float kGain = 20000.0f;
+  NDArray weight = NDArray::Full(Shape({1, 1}), DType::kFloat32, kGain);
+  NDArray bias = NDArray::Full(Shape({1}), DType::kFloat32, -kGain * kThreshold);
+  x = TypedCall("nn.dense", {x, Const(std::move(weight)), Const(std::move(bias))});
+  x = TypedCall("sigmoid", {x});
+
+  relay::Module module(relay::MakeFunction({input}, x));
+  return relay::InferType().Run(module);
+}
+
+relay::Module EmotionFunctionalModule() {
+  auto input = TypedVar("face", Shape({1, 1, kCrop, kCrop}), DType::kFloat32);
+
+  // Quadrature matched filters over the mouth band: kernels 2m / 2m+1 are
+  // the cos / sin gratings of emotion m's stripe frequency.
+  NDArray filters = NDArray::Zeros(Shape({2 * kNumEmotions, 1, kCrop, kCrop}),
+                                   DType::kFloat32);
+  {
+    float* data = filters.Data<float>();
+    // Normalize so a perfectly matching stripe of unit amplitude gives a
+    // response of ~0.5 regardless of band size.
+    int band_rows = 0;
+    for (int y = 0; y < kCrop; ++y) band_rows += InMouthBandRow(y, kCrop) ? 1 : 0;
+    const float norm = 1.0f / (static_cast<float>(band_rows) * kCrop);
+    for (int m = 0; m < kNumEmotions; ++m) {
+      const double frequency = SceneStyle::EmotionFrequency(static_cast<Emotion>(m));
+      for (int y = 0; y < kCrop; ++y) {
+        if (!InMouthBandRow(y, kCrop)) continue;
+        for (int x = 0; x < kCrop; ++x) {
+          const double u = (x + 0.5) / kCrop;
+          const double phase = 2.0 * M_PI * frequency * u;
+          data[((2 * m) * kCrop + y) * kCrop + x] = static_cast<float>(std::cos(phase)) * norm;
+          data[((2 * m + 1) * kCrop + y) * kCrop + x] =
+              static_cast<float>(std::sin(phase)) * norm;
+        }
+      }
+    }
+  }
+
+  ExprPtr x = TypedCall("nn.conv2d",
+                        {input, Const(std::move(filters)),
+                         frontend::ZeroBiasF32(2 * kNumEmotions)},
+                        Attrs().SetInts("strides", {1, 1}).SetInts("padding", {0, 0}));
+  // (1, 14, 1, 1) responses -> energies.
+  x = TypedCall("multiply", {x, x});
+
+  // Pair cos^2 + sin^2 with a 1x1 conv: weight (7, 14, 1, 1).
+  NDArray pair = NDArray::Zeros(Shape({kNumEmotions, 2 * kNumEmotions, 1, 1}),
+                                DType::kFloat32);
+  {
+    float* w = pair.Data<float>();
+    for (int m = 0; m < kNumEmotions; ++m) {
+      w[m * 2 * kNumEmotions + 2 * m] = 1.0f;
+      w[m * 2 * kNumEmotions + 2 * m + 1] = 1.0f;
+    }
+  }
+  x = TypedCall("nn.conv2d", {x, Const(std::move(pair)),
+                              frontend::ZeroBiasF32(kNumEmotions)},
+                Attrs().SetInts("strides", {1, 1}).SetInts("padding", {0, 0}));
+  x = TypedCall("nn.batch_flatten", {x});
+
+  // Scale energies so softmax is decisive: a matching stripe of amplitude
+  // 0.3 yields energy ~(0.3/2)^2 = 0.0225; mismatches are orders smaller.
+  NDArray scale = NDArray::Zeros(Shape({kNumEmotions, kNumEmotions}), DType::kFloat32);
+  {
+    float* w = scale.Data<float>();
+    for (int m = 0; m < kNumEmotions; ++m) w[m * kNumEmotions + m] = 2000.0f;
+  }
+  x = TypedCall("nn.dense", {x, Const(std::move(scale)),
+                             frontend::ZeroBiasF32(kNumEmotions)});
+  x = TypedCall("nn.softmax", {x}, Attrs().SetInt("axis", -1));
+
+  relay::Module module(relay::MakeFunction({input}, x));
+  return relay::InferType().Run(module);
+}
+
+bool IsSpoof(const NDArray& anti_spoof_output) {
+  TNP_CHECK(anti_spoof_output.defined());
+  TNP_CHECK_GE(anti_spoof_output.NumElements(), 1);
+  return anti_spoof_output.Data<float>()[0] < 0.5f;
+}
+
+int ArgmaxEmotion(const NDArray& emotion_output) {
+  TNP_CHECK(emotion_output.defined());
+  TNP_CHECK_EQ(emotion_output.NumElements(), kNumEmotions);
+  const float* p = emotion_output.Data<float>();
+  int best = 0;
+  for (int i = 1; i < kNumEmotions; ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace vision
+}  // namespace tnp

@@ -1,0 +1,40 @@
+// Hand-constructed ("functional") models for the application showcase.
+//
+// The zoo's DeePixBiS / emotion-CNN replicas carry seeded random weights —
+// right for latency studies, useless for actual classification. The two
+// models below have analytically constructed weights matched to the
+// synthetic scene generator, so the end-to-end showcase genuinely works and
+// is assertable, while still being ordinary Relay modules that run through
+// the full BYOC compile/partition/execute stack:
+//
+//  * AntiSpoofFunctionalModule — a Laplacian micro-texture energy detector
+//    (the cue pixel-wise anti-spoofing models like DeePixBiS learn): conv
+//    (Laplacian) -> square -> masked mean -> dense threshold -> sigmoid.
+//    Real faces (textured) score > 0.5, spoof faces (flat) score < 0.5.
+//  * EmotionFunctionalModule — a quadrature matched-filter bank over the
+//    mouth band: one (cos, sin) kernel pair per emotion stripe frequency,
+//    energies combined by a 1x1 conv, softmax over the 7 emotions.
+//
+// Both consume the (1,1,48,48) grayscale face crop from FaceCrop48.
+#pragma once
+
+#include "relay/module.h"
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace vision {
+
+inline constexpr int kFaceCropSize = 48;
+
+relay::Module AntiSpoofFunctionalModule();
+relay::Module EmotionFunctionalModule();
+
+/// Decision helpers over raw model outputs.
+/// Anti-spoof output is (1,1): P(real face); spoof when < 0.5.
+bool IsSpoof(const NDArray& anti_spoof_output);
+
+/// Emotion output is (1,7) softmax; returns the argmax emotion index.
+int ArgmaxEmotion(const NDArray& emotion_output);
+
+}  // namespace vision
+}  // namespace tnp

@@ -1,0 +1,206 @@
+#include "vision/scene.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "vision/image.h"
+
+namespace tnp {
+namespace vision {
+
+namespace {
+
+/// Deterministic per-pixel noise in [-1, 1] (stable across runs).
+float HashNoise(std::int64_t x, std::int64_t y, std::uint64_t salt) {
+  std::uint64_t h = (static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL) ^ salt;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<float>(static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0);
+}
+
+void FillRect(NDArray& frame, const Box& box, float r, float g, float b) {
+  const std::int64_t height = frame.shape()[2];
+  const std::int64_t width = frame.shape()[3];
+  const std::int64_t x0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.x));
+  const std::int64_t y0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.y));
+  const std::int64_t x1 = std::min(width, static_cast<std::int64_t>(box.x + box.w));
+  const std::int64_t y1 = std::min(height, static_cast<std::int64_t>(box.y + box.h));
+  float* data = frame.Data<float>();
+  const std::int64_t plane = height * width;
+  for (std::int64_t y = y0; y < y1; ++y) {
+    for (std::int64_t x = x0; x < x1; ++x) {
+      data[y * width + x] = r;
+      data[plane + y * width + x] = g;
+      data[2 * plane + y * width + x] = b;
+    }
+  }
+}
+
+/// Draw one face pattern into `frame` at `box`.
+void DrawFace(NDArray& frame, const Box& box, Emotion emotion, bool spoof,
+              const SceneStyle& style) {
+  const std::int64_t height = frame.shape()[2];
+  const std::int64_t width = frame.shape()[3];
+  const std::int64_t x0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.x));
+  const std::int64_t y0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(box.y));
+  const std::int64_t x1 = std::min(width, static_cast<std::int64_t>(box.x + box.w));
+  const std::int64_t y1 = std::min(height, static_cast<std::int64_t>(box.y + box.h));
+  if (x1 <= x0 || y1 <= y0) return;
+
+  float* data = frame.Data<float>();
+  const std::int64_t plane = height * width;
+  const double frequency = SceneStyle::EmotionFrequency(emotion);
+
+  for (std::int64_t y = y0; y < y1; ++y) {
+    const double v = (y - box.y) / box.h;  // 0 at top of face, 1 at bottom
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const double u = (x - box.x) / box.w;
+
+      float luminance_offset = 0.0f;
+      // Eyes: two dark blobs in the upper third.
+      const bool in_left_eye = v > 0.22 && v < 0.40 && u > 0.18 && u < 0.36;
+      const bool in_right_eye = v > 0.22 && v < 0.40 && u > 0.64 && u < 0.82;
+      if (in_left_eye || in_right_eye) luminance_offset -= 0.40f;
+
+      // Mouth: vertical stripes whose frequency encodes the emotion.
+      const bool in_mouth = v > 0.60 && v < 0.85 && u > 0.15 && u < 0.85;
+      if (in_mouth) {
+        luminance_offset += style.stripe_amplitude *
+                            static_cast<float>(std::cos(2.0 * M_PI * frequency * u));
+      }
+
+      // Real faces carry micro-texture everywhere except the mouth band
+      // (keeping the emotion stripes clean); spoof faces are flat. The
+      // texture is blocky (2x2-pixel grain) so it survives the bilinear
+      // resize of the 48x48 face crop.
+      if (!spoof && !in_mouth) {
+        luminance_offset += style.texture_amplitude * HashNoise(x / 2, y / 2, 0x7ac3);
+      }
+
+      data[y * width + x] = style.skin_r + luminance_offset;
+      data[plane + y * width + x] = style.skin_g + luminance_offset;
+      data[2 * plane + y * width + x] = style.skin_b + luminance_offset;
+    }
+  }
+}
+
+}  // namespace
+
+Scene Scene::Random(std::int64_t width, std::int64_t height, int num_persons, int num_posters,
+                    std::uint64_t seed) {
+  TNP_CHECK_GE(width, 160);
+  TNP_CHECK_GE(height, 120);
+  support::SplitMix64 rng(seed);
+  Scene scene;
+  scene.width = width;
+  scene.height = height;
+
+  // Entities are rejection-sampled so they never overlap: the classical
+  // detectors localize by tight colour bounding boxes, which requires
+  // spatially separated patterns (real detectors handle occlusion; that is
+  // not the phenomenon this substrate needs to model).
+  const auto clear_of_everything = [&scene](const Box& box) {
+    const auto inflated = Box{box.x - 6, box.y - 6, box.w + 12, box.h + 12};
+    for (const auto& person : scene.persons) {
+      if (Overlaps(inflated, person.body) || Overlaps(inflated, person.face)) return false;
+    }
+    for (const auto& poster : scene.posters) {
+      if (Overlaps(inflated, poster.face)) return false;
+    }
+    return true;
+  };
+
+  for (int i = 0; i < num_persons; ++i) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      Person person;
+      const double face_size = rng.Uniform(36.0, 52.0);
+      const double body_w = face_size * rng.Uniform(1.5, 1.9);
+      const double body_h = face_size * rng.Uniform(1.8, 2.2);
+      const double x = rng.Uniform(4.0, std::max(5.0, static_cast<double>(width) - body_w - 8.0));
+      const double body_y = rng.Uniform(
+          face_size + 8.0,
+          std::max(face_size + 9.0, static_cast<double>(height) - body_h - 4.0));
+      person.body = Box{x, body_y, body_w, body_h};
+      // Face sits on top of (and overlapping) the body.
+      person.face = Box{x + (body_w - face_size) / 2.0, body_y - face_size * 0.8, face_size,
+                        face_size};
+      person.spoof = (i % 2) == 1;
+      person.emotion = static_cast<Emotion>(i % kNumEmotions);
+      person.velocity_x = 0.0;  // keep layouts non-overlapping across frames
+      // Footprint covers the union of face and body extents.
+      const double left = std::min(person.face.x, person.body.x);
+      const double right = std::max(person.face.x + person.face.w,
+                                    person.body.x + person.body.w);
+      const Box footprint{left, person.face.y, right - left,
+                          person.body.y + person.body.h - person.face.y};
+      if (clear_of_everything(footprint)) {
+        scene.persons.push_back(person);
+        break;
+      }
+    }
+  }
+
+  for (int i = 0; i < num_posters; ++i) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const double face_size = rng.Uniform(34.0, 44.0);
+      Poster poster;
+      poster.face = Box{rng.Uniform(2.0, std::max(3.0, static_cast<double>(width) - face_size - 2.0)),
+                        2.0, face_size, face_size};
+      if (clear_of_everything(poster.face)) {
+        scene.posters.push_back(poster);
+        break;
+      }
+    }
+  }
+  return scene;
+}
+
+std::vector<Person> PersonsAtFrame(const Scene& scene, int frame_index) {
+  std::vector<Person> persons = scene.persons;
+  for (auto& person : persons) {
+    const double range =
+        std::max(1.0, static_cast<double>(scene.width) - person.body.w - 8.0);
+    const double face_dx = person.face.x - person.body.x;
+    // Bounce between the frame edges (triangle wave over position).
+    double position = person.body.x - 4.0 + person.velocity_x * frame_index;
+    double wrapped = std::fmod(position, 2.0 * range);
+    if (wrapped < 0) wrapped += 2.0 * range;
+    person.body.x = 4.0 + (wrapped <= range ? wrapped : 2.0 * range - wrapped);
+    person.face.x = person.body.x + face_dx;
+  }
+  return persons;
+}
+
+NDArray RenderFrame(const Scene& scene, int frame_index, const SceneStyle& style) {
+  NDArray frame = NDArray::Empty(Shape({1, 3, scene.height, scene.width}), DType::kFloat32);
+  float* data = frame.Data<float>();
+  const std::int64_t plane = scene.height * scene.width;
+
+  // Background: flat grey + per-pixel noise (per-frame salt so video isn't
+  // static).
+  for (std::int64_t y = 0; y < scene.height; ++y) {
+    for (std::int64_t x = 0; x < scene.width; ++x) {
+      const float noise =
+          style.noise * HashNoise(x, y, 0x1234 + static_cast<std::uint64_t>(frame_index));
+      data[y * scene.width + x] = style.background + noise;
+      data[plane + y * scene.width + x] = style.background + noise;
+      data[2 * plane + y * scene.width + x] = style.background + noise;
+    }
+  }
+
+  for (const auto& poster : scene.posters) {
+    // Posters are printed faces: flat (spoof-like), neutral emotion.
+    DrawFace(frame, poster.face, Emotion::kNeutral, /*spoof=*/true, style);
+  }
+  for (const auto& person : PersonsAtFrame(scene, frame_index)) {
+    FillRect(frame, person.body, style.body_r, style.body_g, style.body_b);
+    DrawFace(frame, person.face, person.emotion, person.spoof, style);
+  }
+  return frame;
+}
+
+}  // namespace vision
+}  // namespace tnp

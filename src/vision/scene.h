@@ -1,0 +1,82 @@
+// Synthetic video scenes with ground truth.
+//
+// The paper's showcase runs on real video; offline we generate procedural
+// frames that carry the *signal structure* each model needs:
+//  * faces are skin-coloured patterns with eye blobs and a mouth whose
+//    stripe frequency encodes the person's emotion (one frequency per
+//    emotion, in face-normalized coordinates, so it survives crop+resize);
+//  * real faces carry high-frequency surface texture; presentation-attack
+//    (spoof) faces are the same pattern but textureless/flat — exactly the
+//    micro-texture cue pixel-wise anti-spoofing models exploit;
+//  * persons are clothing-coloured body rectangles with the face on top;
+//    wall "posters" are bare faces with no body, which the showcase's
+//    overlap gate (object box x face box) must reject.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ndarray.h"
+#include "vision/types.h"
+
+namespace tnp {
+namespace vision {
+
+struct Person {
+  Box body;
+  Box face;
+  bool spoof = false;  ///< presentation attack (photo held in front)
+  Emotion emotion = Emotion::kNeutral;
+  double velocity_x = 0.0;  ///< pixels per frame (horizontal drift)
+};
+
+struct Poster {
+  Box face;  ///< a bare face on the wall; never overlaps a person's body
+};
+
+struct Scene {
+  std::int64_t width = 320;
+  std::int64_t height = 240;
+  std::vector<Person> persons;
+  std::vector<Poster> posters;
+
+  /// Deterministic random scene with `num_persons` moving persons (faces
+  /// alternating real/spoof, emotions cycling) and `num_posters` posters.
+  static Scene Random(std::int64_t width, std::int64_t height, int num_persons,
+                      int num_posters, std::uint64_t seed);
+};
+
+/// Scene colour / pattern constants (shared with the classical detectors
+/// and the hand-weighted functional models).
+struct SceneStyle {
+  // Skin tone of face patterns.
+  float skin_r = 0.82f;
+  float skin_g = 0.62f;
+  float skin_b = 0.50f;
+  // Clothing colour of person bodies.
+  float body_r = 0.25f;
+  float body_g = 0.35f;
+  float body_b = 0.75f;
+  // Background base + noise amplitude.
+  float background = 0.35f;
+  float noise = 0.04f;
+  // Mouth stripe amplitude; stripe frequency of emotion k is 2 + 2k cycles
+  // across the face width.
+  float stripe_amplitude = 0.30f;
+  // Real-face texture amplitude (zero on spoof faces).
+  float texture_amplitude = 0.12f;
+
+  static double EmotionFrequency(Emotion emotion) {
+    return 2.0 + 2.0 * static_cast<int>(emotion);
+  }
+};
+
+/// Render one frame of the scene (persons advance by `frame_index` x their
+/// velocity, wrapping around). Returns a (1,3,H,W) float RGB image in [0,1].
+NDArray RenderFrame(const Scene& scene, int frame_index, const SceneStyle& style = {});
+
+/// Person positions at a given frame (ground truth for assertions).
+std::vector<Person> PersonsAtFrame(const Scene& scene, int frame_index);
+
+}  // namespace vision
+}  // namespace tnp

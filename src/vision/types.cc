@@ -1,0 +1,51 @@
+#include "vision/types.h"
+
+namespace tnp {
+namespace vision {
+
+double IoU(const Box& a, const Box& b) {
+  const double x0 = std::max(a.x, b.x);
+  const double y0 = std::max(a.y, b.y);
+  const double x1 = std::min(a.x + a.w, b.x + b.w);
+  const double y1 = std::min(a.y + a.h, b.y + b.h);
+  const double inter = std::max(0.0, x1 - x0) * std::max(0.0, y1 - y0);
+  const double uni = a.Area() + b.Area() - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+bool Overlaps(const Box& a, const Box& b) {
+  return a.x < b.x + b.w && b.x < a.x + a.w && a.y < b.y + b.h && b.y < a.y + a.h;
+}
+
+std::vector<Detection> Nms(std::vector<Detection> detections, double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> kept;
+  for (const auto& candidate : detections) {
+    bool suppressed = false;
+    for (const auto& keep : kept) {
+      if (IoU(candidate.box, keep.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+const char* EmotionName(Emotion emotion) {
+  switch (emotion) {
+    case Emotion::kAngry: return "angry";
+    case Emotion::kDisgusted: return "disgusted";
+    case Emotion::kFearful: return "fearful";
+    case Emotion::kHappy: return "happy";
+    case Emotion::kNeutral: return "neutral";
+    case Emotion::kSad: return "sad";
+    case Emotion::kSurprised: return "surprised";
+  }
+  return "?";
+}
+
+}  // namespace vision
+}  // namespace tnp

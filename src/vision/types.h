@@ -1,0 +1,58 @@
+// Basic geometry and label types for the application showcase.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnp {
+namespace vision {
+
+/// Axis-aligned box in pixel coordinates (x, y = top-left corner).
+struct Box {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  double Area() const { return std::max(0.0, w) * std::max(0.0, h); }
+  double CenterX() const { return x + w / 2.0; }
+  double CenterY() const { return y + h / 2.0; }
+};
+
+/// Intersection-over-union of two boxes.
+double IoU(const Box& a, const Box& b);
+
+/// True when the boxes overlap at all (the paper's "object box overlapped
+/// the face detector box" candidate test).
+bool Overlaps(const Box& a, const Box& b);
+
+/// Scored detection.
+struct Detection {
+  Box box;
+  double score = 0.0;
+  int label = 0;
+};
+
+/// Greedy non-maximum suppression; keeps detections in descending score
+/// order, dropping any with IoU > `iou_threshold` against a kept one.
+std::vector<Detection> Nms(std::vector<Detection> detections, double iou_threshold);
+
+/// The seven basic emotions of the paper's emotion-detection model.
+enum class Emotion : std::uint8_t {
+  kAngry = 0,
+  kDisgusted,
+  kFearful,
+  kHappy,
+  kNeutral,
+  kSad,
+  kSurprised,
+};
+
+inline constexpr int kNumEmotions = 7;
+
+const char* EmotionName(Emotion emotion);
+
+}  // namespace vision
+}  // namespace tnp

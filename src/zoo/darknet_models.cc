@@ -1,0 +1,165 @@
+// Darknet-format emitter: YOLOv3-tiny (paper Section 4.2 / Listing 3).
+#include "zoo/emit_util.h"
+
+namespace tnp {
+namespace zoo {
+
+std::string EmitYolov3Tiny(const ZooOptions& options) {
+  const int size = ScaledSize(options, 416);
+  SeedGen seeds("yolov3_tiny", options.seed);
+  std::ostringstream os;
+
+  const auto conv = [&](std::int64_t filters, int kernel, int stride,
+                        const char* activation) {
+    os << "\n[convolutional]\n";
+    os << "batch_normalize=1\n";
+    os << "filters=" << filters << "\n";
+    os << "size=" << kernel << "\n";
+    os << "stride=" << stride << "\n";
+    os << "pad=1\n";
+    os << "activation=" << activation << "\n";
+    os << "seed=" << seeds.Next() << "\n";
+  };
+  const auto maxpool = [&](int pool_size, int stride) {
+    os << "\n[maxpool]\n";
+    os << "size=" << pool_size << "\n";
+    os << "stride=" << stride << "\n";
+  };
+
+  os << "DARKNET_CFG v1\n";
+  os << "[net]\n";
+  os << "width=" << size << "\n";
+  os << "height=" << size << "\n";
+  os << "channels=3\n";
+
+  conv(C(options, 16), 3, 1, "leaky");   // 0
+  maxpool(2, 2);                         // 1
+  conv(C(options, 32), 3, 1, "leaky");   // 2
+  maxpool(2, 2);                         // 3
+  conv(C(options, 64), 3, 1, "leaky");   // 4
+  maxpool(2, 2);                         // 5
+  conv(C(options, 128), 3, 1, "leaky");  // 6
+  maxpool(2, 2);                         // 7
+  conv(C(options, 256), 3, 1, "leaky");  // 8  <- routed to the second head
+  maxpool(2, 2);                         // 9
+  conv(C(options, 512), 3, 1, "leaky");  // 10
+  // Darknet's tiny-yolo uses a 2x2/1 maxpool with asymmetric right/bottom
+  // padding here; a padded 3x3/1 pool preserves the extent symmetrically.
+  maxpool(3, 1);                         // 11 (stride-1 pool, padded)
+  conv(C(options, 1024), 3, 1, "leaky"); // 12
+  conv(C(options, 256), 1, 1, "leaky");  // 13 <- routed to the upsample path
+  conv(C(options, 512), 3, 1, "leaky");  // 14
+  conv(255, 1, 1, "linear");             // 15: head 1 (3 anchors x 85)
+  os << "\n[yolo]\n";                    // 16
+  os << "\n[route]\nlayers=13\n";        // 17
+  conv(C(options, 128), 1, 1, "leaky");  // 18
+  os << "\n[upsample]\nstride=2\n";      // 19
+  os << "\n[route]\nlayers=-1,8\n";      // 20
+  conv(C(options, 256), 3, 1, "leaky");  // 21
+  conv(255, 1, 1, "linear");             // 22: head 2
+  os << "\n[yolo]\n";                    // 23
+  return os.str();
+}
+
+std::string EmitYolov3(const ZooOptions& options) {
+  // Full YOLOv3: Darknet-53 backbone (residual [shortcut] blocks) + three
+  // detection heads at strides 32/16/8 connected by route/upsample — the
+  // model the paper runs "on the server side" (Section 4.2, Listing 3).
+  const int size = ScaledSize(options, 416);
+  SeedGen seeds("yolov3", options.seed);
+  std::ostringstream os;
+  int layer_index = -1;  // incremented per emitted section
+
+  const auto conv = [&](std::int64_t filters, int kernel, int stride,
+                        const char* activation) {
+    os << "\n[convolutional]\n";
+    os << "batch_normalize=1\n";
+    os << "filters=" << filters << "\n";
+    os << "size=" << kernel << "\n";
+    os << "stride=" << stride << "\n";
+    os << "pad=1\n";
+    os << "activation=" << activation << "\n";
+    os << "seed=" << seeds.Next() << "\n";
+    return ++layer_index;
+  };
+  const auto shortcut = [&](int from) {
+    os << "\n[shortcut]\nfrom=" << from << "\nactivation=linear\n";
+    return ++layer_index;
+  };
+  const auto route = [&](const std::string& layers) {
+    os << "\n[route]\nlayers=" << layers << "\n";
+    return ++layer_index;
+  };
+  const auto upsample = [&] {
+    os << "\n[upsample]\nstride=2\n";
+    return ++layer_index;
+  };
+  const auto yolo = [&] {
+    os << "\n[yolo]\n";
+    return ++layer_index;
+  };
+  /// One Darknet-53 residual block: 1x1 squeeze + 3x3 expand + shortcut.
+  const auto residual = [&](std::int64_t channels) {
+    conv(channels / 2, 1, 1, "leaky");
+    conv(channels, 3, 1, "leaky");
+    return shortcut(layer_index - 2);
+  };
+
+  os << "DARKNET_CFG v1\n";
+  os << "[net]\n";
+  os << "width=" << size << "\n";
+  os << "height=" << size << "\n";
+  os << "channels=3\n";
+
+  // Darknet-53 backbone.
+  conv(C(options, 32), 3, 1, "leaky");
+  conv(C(options, 64), 3, 2, "leaky");
+  for (int i = 0; i < Rep(options, 1); ++i) residual(C(options, 64));
+  conv(C(options, 128), 3, 2, "leaky");
+  for (int i = 0; i < Rep(options, 2); ++i) residual(C(options, 128));
+  conv(C(options, 256), 3, 2, "leaky");
+  int tap_stride8 = 0;
+  for (int i = 0; i < Rep(options, 8); ++i) tap_stride8 = residual(C(options, 256));
+  conv(C(options, 512), 3, 2, "leaky");
+  int tap_stride16 = 0;
+  for (int i = 0; i < Rep(options, 8); ++i) tap_stride16 = residual(C(options, 512));
+  conv(C(options, 1024), 3, 2, "leaky");
+  for (int i = 0; i < Rep(options, 4); ++i) residual(C(options, 1024));
+
+  /// Detection neck: 5 alternating convs; returns the index of the 5th
+  /// (the feature layer routed onward to the next scale).
+  const auto neck = [&](std::int64_t narrow, std::int64_t wide) {
+    conv(narrow, 1, 1, "leaky");
+    conv(wide, 3, 1, "leaky");
+    conv(narrow, 1, 1, "leaky");
+    conv(wide, 3, 1, "leaky");
+    return conv(narrow, 1, 1, "leaky");
+  };
+  const auto head = [&](std::int64_t wide) {
+    conv(wide, 3, 1, "leaky");
+    conv(255, 1, 1, "linear");
+    return yolo();
+  };
+
+  const int neck32 = neck(C(options, 512), C(options, 1024));
+  head(C(options, 1024));
+
+  route(std::to_string(neck32));
+  conv(C(options, 256), 1, 1, "leaky");
+  upsample();
+  route(std::to_string(layer_index) + "," + std::to_string(tap_stride16));
+  const int neck16 = neck(C(options, 256), C(options, 512));
+  head(C(options, 512));
+
+  route(std::to_string(neck16));
+  conv(C(options, 128), 1, 1, "leaky");
+  upsample();
+  route(std::to_string(layer_index) + "," + std::to_string(tap_stride8));
+  neck(C(options, 128), C(options, 256));
+  head(C(options, 256));
+
+  return os.str();
+}
+
+}  // namespace zoo
+}  // namespace tnp

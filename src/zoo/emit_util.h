@@ -1,0 +1,54 @@
+// Shared helpers for the zoo's model-format emitters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "support/rng.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace zoo {
+
+/// Input resolution after applying the override.
+inline int ScaledSize(const ZooOptions& options, int canonical) {
+  return options.image_size > 0 ? options.image_size : canonical;
+}
+
+/// Channel count after the width multiplier (minimum 4).
+inline std::int64_t C(const ZooOptions& options, std::int64_t base) {
+  return std::max<std::int64_t>(4, static_cast<std::int64_t>(std::lround(
+                                       static_cast<double>(base) * options.width)));
+}
+
+/// Block-repeat count after the depth multiplier (minimum 1).
+inline int Rep(const ZooOptions& options, int base) {
+  return std::max(1, static_cast<int>(std::lround(base * options.depth)));
+}
+
+/// Deterministic per-layer seed stream derived from model name + base seed.
+class SeedGen {
+ public:
+  SeedGen(const std::string& model, std::uint64_t base)
+      : state_(support::StableHash(model) ^ (base * 0x9e3779b97f4a7c15ULL)) {}
+
+  std::uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 1;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Conv/pool output extent with symmetric padding.
+inline std::int64_t OutDim(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace zoo
+}  // namespace tnp

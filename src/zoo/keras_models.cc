@@ -1,0 +1,82 @@
+// Keras-format emitters: the emotion-detection CNN (paper Listing 4) and
+// Mobilenet v1 (a purely sequential architecture).
+#include "zoo/emit_util.h"
+
+namespace tnp {
+namespace zoo {
+
+std::string EmitEmotionCnn(const ZooOptions& options) {
+  // The classic FER-2013 Keras model the paper's Listing 4 sketches:
+  // stacked 3x3 conv/pool blocks on 48x48 grayscale, two dense layers,
+  // 7-way softmax over {angry, disgusted, fearful, happy, neutral, sad,
+  // surprised}.
+  const int size = ScaledSize(options, 48);
+  SeedGen seeds("emotion_cnn", options.seed);
+  std::ostringstream os;
+  os << "KERAS_MODEL v1\n";
+  os << "name: emotion_cnn\n";
+  os << "input: shape=1x1x" << size << "x" << size << " dtype=float32\n";
+  os << "layer Conv2D filters=" << C(options, 32)
+     << " kernel=3x3 activation=relu seed=" << seeds.Next() << "\n";
+  os << "layer Conv2D filters=" << C(options, 64)
+     << " kernel=3x3 activation=relu seed=" << seeds.Next() << "\n";
+  os << "layer MaxPooling2D pool=2x2\n";
+  os << "layer Dropout rate=0.25\n";
+  os << "layer Conv2D filters=" << C(options, 128)
+     << " kernel=3x3 activation=relu seed=" << seeds.Next() << "\n";
+  os << "layer MaxPooling2D pool=2x2\n";
+  os << "layer Conv2D filters=" << C(options, 128)
+     << " kernel=3x3 activation=relu seed=" << seeds.Next() << "\n";
+  os << "layer MaxPooling2D pool=2x2\n";
+  os << "layer Dropout rate=0.25\n";
+  os << "layer Flatten\n";
+  os << "layer Dense units=" << C(options, 1024) << " activation=relu seed=" << seeds.Next()
+     << "\n";
+  os << "layer Dropout rate=0.5\n";
+  os << "layer Dense units=7 activation=softmax seed=" << seeds.Next() << "\n";
+  return os.str();
+}
+
+std::string EmitMobilenetV1(const ZooOptions& options) {
+  const int size = ScaledSize(options, 224);
+  SeedGen seeds("mobilenet_v1", options.seed);
+  std::ostringstream os;
+  os << "KERAS_MODEL v1\n";
+  os << "name: mobilenet_v1\n";
+  os << "input: shape=1x3x" << size << "x" << size << " dtype=float32\n";
+
+  const auto conv_bn = [&](std::int64_t filters, int kernel, int stride) {
+    os << "layer Conv2D filters=" << filters << " kernel=" << kernel << "x" << kernel
+       << " strides=" << stride << "x" << stride << " padding=same use_bias=0 seed="
+       << seeds.Next() << "\n";
+    os << "layer BatchNormalization seed=" << seeds.Next() << "\n";
+    os << "layer ReLU max_value=6\n";
+  };
+  const auto dw_separable = [&](std::int64_t filters, int stride) {
+    os << "layer DepthwiseConv2D kernel=3x3 strides=" << stride << "x" << stride
+       << " padding=same use_bias=0 seed=" << seeds.Next() << "\n";
+    os << "layer BatchNormalization seed=" << seeds.Next() << "\n";
+    os << "layer ReLU max_value=6\n";
+    conv_bn(filters, 1, 1);
+  };
+
+  conv_bn(C(options, 32), 3, 2);
+  dw_separable(C(options, 64), 1);
+  dw_separable(C(options, 128), 2);
+  dw_separable(C(options, 128), 1);
+  dw_separable(C(options, 256), 2);
+  dw_separable(C(options, 256), 1);
+  dw_separable(C(options, 512), 2);
+  for (int i = 0; i < Rep(options, 5); ++i) dw_separable(C(options, 512), 1);
+  dw_separable(C(options, 1024), 2);
+  dw_separable(C(options, 1024), 1);
+
+  os << "layer GlobalAveragePooling2D\n";
+  os << "layer Dropout rate=0.001\n";
+  os << "layer Dense units=" << C(options, 1000) << " activation=softmax seed=" << seeds.Next()
+     << "\n";
+  return os.str();
+}
+
+}  // namespace zoo
+}  // namespace tnp

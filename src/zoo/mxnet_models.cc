@@ -1,0 +1,74 @@
+// MXNet-format emitter: ResNet-18. Not part of the paper's Table 1, but the
+// abstract names MXNet among the frameworks the combined flow accepts, so
+// the zoo carries one model through that import path too.
+#include "zoo/emit_util.h"
+
+namespace tnp {
+namespace zoo {
+
+std::string EmitResnet18(const ZooOptions& options) {
+  const int size = ScaledSize(options, 224);
+  SeedGen seeds("resnet18", options.seed);
+  std::ostringstream os;
+  os << "MXNET_SYMBOL v1\n";
+  os << "name: resnet18\n";
+  os << "var data shape=1x3x" << size << "x" << size << "\n";
+
+  int counter = 0;
+  const auto fresh = [&counter](const char* prefix) {
+    return std::string(prefix) + std::to_string(counter++);
+  };
+
+  // conv + BN + relu.
+  const auto conv_block = [&](const std::string& input, std::int64_t filters, int kernel,
+                              int stride, int pad, bool relu) {
+    const std::string conv = fresh("conv");
+    os << "sym " << conv << " op=Convolution in=" << input << " num_filter=" << filters
+       << " kernel=" << kernel << "x" << kernel << " stride=" << stride << "x" << stride
+       << " pad=" << pad << "x" << pad << " no_bias=1 seed=" << seeds.Next() << "\n";
+    const std::string bn = fresh("bn");
+    os << "sym " << bn << " op=BatchNorm in=" << conv << " seed=" << seeds.Next() << "\n";
+    if (!relu) return bn;
+    const std::string act = fresh("act");
+    os << "sym " << act << " op=Activation in=" << bn << " act_type=relu\n";
+    return act;
+  };
+
+  std::string x = conv_block("data", C(options, 64), 7, 2, 3, true);
+  os << "sym pool0 op=Pooling in=" << x << " pool_type=max kernel=3x3 stride=2x2 pad=1x1\n";
+  x = "pool0";
+
+  // Four stages of two basic blocks each: (64, 128, 256, 512).
+  const std::int64_t stage_filters[4] = {C(options, 64), C(options, 128), C(options, 256),
+                                         C(options, 512)};
+  std::int64_t current_channels = C(options, 64);
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t filters = stage_filters[stage];
+    for (int block = 0; block < Rep(options, 2); ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      std::string shortcut = x;
+      if (stride != 1 || current_channels != filters) {
+        shortcut = conv_block(x, filters, 1, stride, 0, false);  // projection
+      }
+      std::string y = conv_block(x, filters, 3, stride, 1, true);
+      y = conv_block(y, filters, 3, 1, 1, false);
+      const std::string sum = fresh("plus");
+      os << "sym " << sum << " op=elemwise_add in=" << y << "," << shortcut << "\n";
+      const std::string act = fresh("act");
+      os << "sym " << act << " op=Activation in=" << sum << " act_type=relu\n";
+      x = act;
+      current_channels = filters;
+    }
+  }
+
+  os << "sym gpool op=Pooling in=" << x << " global_pool=1 pool_type=avg\n";
+  os << "sym flat op=Flatten in=gpool\n";
+  os << "sym fc op=FullyConnected in=flat num_hidden=" << C(options, 1000)
+     << " seed=" << seeds.Next() << "\n";
+  os << "sym sm op=SoftmaxOutput in=fc\n";
+  os << "output sm\n";
+  return os.str();
+}
+
+}  // namespace zoo
+}  // namespace tnp

@@ -1,0 +1,443 @@
+// TFLite-format emitters: the pre-quantized classification models
+// (mobilenet v1/v2, inception v3) and Mobilenet-SSD (float and int8).
+//
+// These models exercise the paper's Section 3.3 ("Augment QNN flow"):
+// quantization parameters live on *tensors* in the TFLite tables, become
+// *operator* attributes in Relay QNN on import, and must be moved back onto
+// Neuron operands by the converter.
+#include <map>
+#include <vector>
+
+#include "kernels/common.h"
+#include "zoo/emit_util.h"
+
+namespace tnp {
+namespace zoo {
+
+namespace {
+
+struct TensorDesc {
+  std::vector<std::int64_t> shape;
+  DType dtype = DType::kFloat32;
+};
+
+class TfliteWriter {
+ public:
+  TfliteWriter(const std::string& model_name, const ZooOptions& options)
+      : seeds_(model_name, options.seed) {
+    header_ << "TFLITE_MODEL v1\n";
+    header_ << "name: " << model_name << "\n";
+  }
+
+  int InputF32(std::vector<std::int64_t> shape) {
+    return AddTensor(std::move(shape), DType::kFloat32, "input", /*quant=*/false, 0.0f, 0, 0);
+  }
+
+  int TempS8(std::vector<std::int64_t> shape, float scale, int zero_point) {
+    return AddTensor(std::move(shape), DType::kInt8, "temp", true, scale, zero_point, 0);
+  }
+
+  int TempF32(std::vector<std::int64_t> shape) {
+    return AddTensor(std::move(shape), DType::kFloat32, "temp", false, 0.0f, 0, 0);
+  }
+
+  int ConstS8(std::vector<std::int64_t> shape, float scale) {
+    return AddTensor(std::move(shape), DType::kInt8, "const", true, scale, 0, seeds_.Next());
+  }
+
+  int ConstS32(std::vector<std::int64_t> shape) {
+    return AddTensor(std::move(shape), DType::kInt32, "const", false, 0.0f, 0, seeds_.Next());
+  }
+
+  int ConstF32(std::vector<std::int64_t> shape) {
+    return AddTensor(std::move(shape), DType::kFloat32, "const", false, 0.0f, 0, seeds_.Next());
+  }
+
+  void Op(const std::string& type, const std::vector<int>& inputs, int output,
+          const std::string& extra = "") {
+    body_ << "op " << type << " inputs=";
+    for (std::size_t i = 0; i < inputs.size(); ++i) body_ << (i ? "," : "") << inputs[i];
+    body_ << " outputs=" << output;
+    if (!extra.empty()) body_ << " " << extra;
+    body_ << "\n";
+  }
+
+  const TensorDesc& Desc(int id) const { return descs_.at(static_cast<std::size_t>(id)); }
+
+  /// Activation scale that drifts per layer but stays deterministic.
+  float NextScale() {
+    scale_step_ = (scale_step_ + 1) % 7;
+    return 0.02f + 0.005f * static_cast<float>(scale_step_);
+  }
+
+  // ---- composite helpers (quantized path) ----
+
+  /// Quantize a float input tensor to int8.
+  int Quantize(int input, float scale, int zero_point) {
+    const int out = TempS8(Desc(input).shape, scale, zero_point);
+    Op("QUANTIZE", {input}, out);
+    return out;
+  }
+
+  int Dequantize(int input) {
+    const int out = TempF32(Desc(input).shape);
+    Op("DEQUANTIZE", {input}, out);
+    return out;
+  }
+
+  /// int8 conv (+RELU when `relu`). `groups` <= 0 means depthwise.
+  int QConv(int input, std::int64_t out_channels, int kernel, int stride, int pad,
+            bool depthwise, bool relu) {
+    const std::vector<std::int64_t> in_shape = Desc(input).shape;  // copy: table grows below
+    const std::int64_t in_channels = in_shape[1];
+    const std::int64_t group_channels = depthwise ? 1 : in_channels;
+    const int weight = ConstS8({out_channels, group_channels, kernel, kernel}, 0.02f);
+    const int bias = ConstS32({out_channels});
+    const std::int64_t out_h = OutDim(in_shape[2], kernel, stride, pad);
+    const std::int64_t out_w = OutDim(in_shape[3], kernel, stride, pad);
+    int out = TempS8({in_shape[0], out_channels, out_h, out_w}, NextScale(), 0);
+    std::ostringstream extra;
+    extra << "strides=" << stride << "x" << stride << " padding=" << pad << "x" << pad;
+    Op(depthwise ? "DEPTHWISE_CONV_2D" : "CONV_2D", {input, weight, bias}, out, extra.str());
+    if (relu) {
+      // RELU does not rescale: the output tensor keeps its input's params.
+      const int activated = TempS8(Desc(out).shape, ScaleOf(out), ZpOf(out));
+      Op("RELU", {out}, activated);
+      out = activated;
+    }
+    return out;
+  }
+
+  /// Float conv (+RELU).
+  int FConv(int input, std::int64_t out_channels, int kernel, int stride, int pad, bool relu) {
+    const std::vector<std::int64_t> in_shape = Desc(input).shape;  // copy: table grows below
+    const int weight = ConstF32({out_channels, in_shape[1], kernel, kernel});
+    const int bias = ConstF32({out_channels});
+    const std::int64_t out_h = OutDim(in_shape[2], kernel, stride, pad);
+    const std::int64_t out_w = OutDim(in_shape[3], kernel, stride, pad);
+    int out = TempF32({in_shape[0], out_channels, out_h, out_w});
+    std::ostringstream extra;
+    extra << "strides=" << stride << "x" << stride << " padding=" << pad << "x" << pad;
+    Op("CONV_2D", {input, weight, bias}, out, extra.str());
+    if (relu) {
+      const int activated = TempF32(Desc(out).shape);
+      Op("RELU", {out}, activated);
+      out = activated;
+    }
+    return out;
+  }
+
+  int Reshape(int input, const std::vector<std::int64_t>& newshape) {
+    const TensorDesc& desc = Desc(input);
+    int out;
+    if (desc.dtype == DType::kInt8) {
+      // Quant params pass through a reshape unchanged.
+      out = TempS8(newshape, quant_scale_.at(static_cast<std::size_t>(input)),
+                   quant_zp_.at(static_cast<std::size_t>(input)));
+    } else {
+      out = TempF32(newshape);
+    }
+    Op("RESHAPE", {input}, out);
+    return out;
+  }
+
+  void Outputs(const std::vector<int>& ids) {
+    body_ << "outputs ";
+    for (std::size_t i = 0; i < ids.size(); ++i) body_ << (i ? "," : "") << ids[i];
+    body_ << "\n";
+  }
+
+  float ScaleOf(int id) const { return quant_scale_.at(static_cast<std::size_t>(id)); }
+  int ZpOf(int id) const { return quant_zp_.at(static_cast<std::size_t>(id)); }
+
+  std::string Source() const { return header_.str() + body_.str(); }
+
+ private:
+  // `shape` is taken by value everywhere: several call sites pass
+  // Desc(x).shape, a reference into descs_, which the push_back below would
+  // otherwise invalidate mid-call.
+  int AddTensor(std::vector<std::int64_t> shape, DType dtype, const std::string& kind,
+                bool quant, float scale, int zero_point, std::uint64_t seed) {
+    const int id = static_cast<int>(descs_.size());
+    descs_.push_back(TensorDesc{shape, dtype});
+    quant_scale_.push_back(scale);
+    quant_zp_.push_back(zero_point);
+    body_ << "tensor " << id << " name=t" << id << " shape=";
+    for (std::size_t i = 0; i < shape.size(); ++i) body_ << (i ? "x" : "") << shape[i];
+    body_ << " dtype=" << DTypeName(dtype);
+    if (quant) body_ << " scale=" << scale << " zero_point=" << zero_point;
+    body_ << " kind=" << kind;
+    if (kind == "const") body_ << " seed=" << seed;
+    body_ << "\n";
+    return id;
+  }
+
+  std::ostringstream header_;
+  std::ostringstream body_;
+  SeedGen seeds_;
+  std::vector<TensorDesc> descs_;
+  std::vector<float> quant_scale_;
+  std::vector<int> quant_zp_;
+  int scale_step_ = 0;
+};
+
+/// Shared mobilenet-v1 quantized backbone; returns the final feature tensor.
+int MobilenetV1QuantBackbone(TfliteWriter& w, const ZooOptions& options, int x,
+                             std::vector<int>* taps = nullptr) {
+  x = w.QConv(x, C(options, 32), 3, 2, 1, false, true);
+  const auto dw_block = [&](int input, std::int64_t filters, int stride) {
+    int y = w.QConv(input, w.Desc(input).shape[1], 3, stride, 1, /*depthwise=*/true, true);
+    return w.QConv(y, filters, 1, 1, 0, false, true);
+  };
+  x = dw_block(x, C(options, 64), 1);
+  x = dw_block(x, C(options, 128), 2);
+  x = dw_block(x, C(options, 128), 1);
+  x = dw_block(x, C(options, 256), 2);
+  x = dw_block(x, C(options, 256), 1);
+  x = dw_block(x, C(options, 512), 2);
+  for (int i = 0; i < Rep(options, 5); ++i) x = dw_block(x, C(options, 512), 1);
+  if (taps != nullptr) taps->push_back(x);  // stride-16 feature map
+  x = dw_block(x, C(options, 1024), 2);
+  x = dw_block(x, C(options, 1024), 1);
+  if (taps != nullptr) taps->push_back(x);  // stride-32 feature map
+  return x;
+}
+
+}  // namespace
+
+std::string EmitMobilenetV1Quant(const ZooOptions& options) {
+  const int size = ScaledSize(options, 224);
+  TfliteWriter w("mobilenet_v1_quant", options);
+  int x = w.InputF32({1, 3, size, size});
+  x = w.Quantize(x, 1.0f / 128.0f, 0);
+  x = MobilenetV1QuantBackbone(w, options, x);
+
+  // Global average pool expressed as a full-window AVERAGE_POOL_2D.
+  const std::vector<std::int64_t> shape = w.Desc(x).shape;
+  const int pooled = w.TempS8({1, shape[1], 1, 1}, w.ScaleOf(x), w.ZpOf(x));
+  std::ostringstream extra;
+  extra << "filter=" << shape[2] << "x" << shape[3] << " strides=1x1";
+  w.Op("AVERAGE_POOL_2D", {x}, pooled, extra.str());
+
+  int flat = w.Reshape(pooled, {1, shape[1]});
+  const int weight = w.ConstS8({C(options, 1000), shape[1]}, 0.02f);
+  const int bias = w.ConstS32({C(options, 1000)});
+  const int logits = w.TempS8({1, C(options, 1000)}, 0.1f, 0);
+  w.Op("FULLY_CONNECTED", {flat, weight, bias}, logits);
+  const int logits_f32 = w.Dequantize(logits);
+  const int probs = w.TempF32({1, C(options, 1000)});
+  w.Op("SOFTMAX", {logits_f32}, probs);
+  w.Outputs({probs});
+  return w.Source();
+}
+
+std::string EmitMobilenetV2Quant(const ZooOptions& options) {
+  const int size = ScaledSize(options, 224);
+  TfliteWriter w("mobilenet_v2_quant", options);
+  int x = w.InputF32({1, 3, size, size});
+  x = w.Quantize(x, 1.0f / 128.0f, 0);
+  x = w.QConv(x, C(options, 32), 3, 2, 1, false, true);
+
+  struct BlockSpec { int t; std::int64_t c; int n; int s; };
+  const BlockSpec specs[] = {
+      {1, C(options, 16), 1, 1},  {6, C(options, 24), Rep(options, 2), 2},
+      {6, C(options, 32), Rep(options, 3), 2},  {6, C(options, 64), Rep(options, 4), 2},
+      {6, C(options, 96), Rep(options, 3), 1},  {6, C(options, 160), Rep(options, 3), 2},
+      {6, C(options, 320), 1, 1},
+  };
+  for (const auto& spec : specs) {
+    for (int i = 0; i < spec.n; ++i) {
+      const int stride = i == 0 ? spec.s : 1;
+      const std::int64_t in_channels = w.Desc(x).shape[1];
+      int y = x;
+      if (spec.t != 1) y = w.QConv(y, in_channels * spec.t, 1, 1, 0, false, true);
+      y = w.QConv(y, w.Desc(y).shape[1], 3, stride, 1, /*depthwise=*/true, true);
+      y = w.QConv(y, spec.c, 1, 1, 0, false, false);
+      if (stride == 1 && in_channels == spec.c) {
+        const int sum = w.TempS8(w.Desc(y).shape, w.NextScale(), 0);
+        w.Op("ADD", {y, x}, sum);
+        y = sum;
+      }
+      x = y;
+    }
+  }
+
+  x = w.QConv(x, C(options, 1280), 1, 1, 0, false, true);
+  const std::vector<std::int64_t> shape = w.Desc(x).shape;
+  const int pooled = w.TempS8({1, shape[1], 1, 1}, w.ScaleOf(x), w.ZpOf(x));
+  std::ostringstream extra;
+  extra << "filter=" << shape[2] << "x" << shape[3] << " strides=1x1";
+  w.Op("AVERAGE_POOL_2D", {x}, pooled, extra.str());
+  int flat = w.Reshape(pooled, {1, shape[1]});
+  const int weight = w.ConstS8({C(options, 1000), shape[1]}, 0.02f);
+  const int bias = w.ConstS32({C(options, 1000)});
+  const int logits = w.TempS8({1, C(options, 1000)}, 0.1f, 0);
+  w.Op("FULLY_CONNECTED", {flat, weight, bias}, logits);
+  const int logits_f32 = w.Dequantize(logits);
+  const int probs = w.TempF32({1, C(options, 1000)});
+  w.Op("SOFTMAX", {logits_f32}, probs);
+  w.Outputs({probs});
+  return w.Source();
+}
+
+std::string EmitInceptionV3Quant(const ZooOptions& options) {
+  const int size = ScaledSize(options, 299);
+  TfliteWriter w("inception_v3_quant", options);
+  int x = w.InputF32({1, 3, size, size});
+  x = w.Quantize(x, 1.0f / 128.0f, 0);
+
+  // Stem.
+  x = w.QConv(x, C(options, 32), 3, 2, 1, false, true);
+  x = w.QConv(x, C(options, 64), 3, 1, 1, false, true);
+  {
+    const std::vector<std::int64_t> s = w.Desc(x).shape;
+    const int pooled = w.TempS8({1, s[1], OutDim(s[2], 3, 2, 1), OutDim(s[3], 3, 2, 1)},
+                                w.ScaleOf(x), w.ZpOf(x));
+    w.Op("MAX_POOL_2D", {x}, pooled, "filter=3x3 strides=2x2 padding=1x1");
+    x = pooled;
+  }
+  x = w.QConv(x, C(options, 192), 3, 2, 1, false, true);
+
+  const auto concat4 = [&](const std::vector<int>& pieces) {
+    std::int64_t channels = 0;
+    for (const int piece : pieces) channels += w.Desc(piece).shape[1];
+    const std::vector<std::int64_t> s0 = w.Desc(pieces[0]).shape;
+    const int out = w.TempS8({1, channels, s0[2], s0[3]}, w.NextScale(), 0);
+    w.Op("CONCATENATION", pieces, out, "axis=1");
+    return out;
+  };
+
+  const auto inception_block = [&](int input) {
+    const int b0 = w.QConv(input, C(options, 64), 1, 1, 0, false, true);
+    int b1 = w.QConv(input, C(options, 48), 1, 1, 0, false, true);
+    b1 = w.QConv(b1, C(options, 64), 5, 1, 2, false, true);
+    int b2 = w.QConv(input, C(options, 64), 1, 1, 0, false, true);
+    b2 = w.QConv(b2, C(options, 96), 3, 1, 1, false, true);
+    b2 = w.QConv(b2, C(options, 96), 3, 1, 1, false, true);
+    const int b3 = w.QConv(input, C(options, 64), 1, 1, 0, false, true);
+    return concat4({b0, b1, b2, b3});
+  };
+  const auto reduction = [&](int input) {
+    const int b0 = w.QConv(input, C(options, 384), 3, 2, 1, false, true);
+    int b1 = w.QConv(input, C(options, 96), 1, 1, 0, false, true);
+    b1 = w.QConv(b1, C(options, 96), 3, 2, 1, false, true);
+    const std::vector<std::int64_t> s = w.Desc(input).shape;
+    const int pooled = w.TempS8({1, s[1], OutDim(s[2], 3, 2, 1), OutDim(s[3], 3, 2, 1)},
+                                w.ScaleOf(input), w.ZpOf(input));
+    w.Op("MAX_POOL_2D", {input}, pooled, "filter=3x3 strides=2x2 padding=1x1");
+    return concat4({b0, b1, pooled});
+  };
+
+  for (int i = 0; i < Rep(options, 3); ++i) x = inception_block(x);
+  x = reduction(x);
+  for (int i = 0; i < Rep(options, 4); ++i) x = inception_block(x);
+  x = reduction(x);
+  for (int i = 0; i < Rep(options, 2); ++i) x = inception_block(x);
+
+  const std::vector<std::int64_t> shape = w.Desc(x).shape;
+  const int pooled = w.TempS8({1, shape[1], 1, 1}, w.ScaleOf(x), w.ZpOf(x));
+  std::ostringstream extra;
+  extra << "filter=" << shape[2] << "x" << shape[3] << " strides=1x1";
+  w.Op("AVERAGE_POOL_2D", {x}, pooled, extra.str());
+  int flat = w.Reshape(pooled, {1, shape[1]});
+  const int weight = w.ConstS8({C(options, 1000), shape[1]}, 0.02f);
+  const int bias = w.ConstS32({C(options, 1000)});
+  const int logits = w.TempS8({1, C(options, 1000)}, 0.1f, 0);
+  w.Op("FULLY_CONNECTED", {flat, weight, bias}, logits);
+  const int logits_f32 = w.Dequantize(logits);
+  const int probs = w.TempF32({1, C(options, 1000)});
+  w.Op("SOFTMAX", {logits_f32}, probs);
+  w.Outputs({probs});
+  return w.Source();
+}
+
+namespace {
+
+std::string EmitSsd(const std::string& name, const ZooOptions& options, bool quantized) {
+  // Mobilenet-SSD: a mobilenet-v1 backbone tapped at strides 16 and 32,
+  // one extra stride-64 feature layer, and per-feature-map box/class conv
+  // heads flattened and concatenated. The class tail (sigmoid) stays float
+  // — sigmoid has no Neuron lowering, so the SSD graph always keeps a TVM
+  // host portion (and NeuroPilot-only compilation of this model fails).
+  const int size = ScaledSize(options, 300);
+  const int num_anchors = 3;
+  const std::int64_t num_classes = 21;  // VOC-style: 20 + background
+  TfliteWriter w(name, options);
+  int x = w.InputF32({1, 3, size, size});
+
+  std::vector<int> taps;
+  if (quantized) {
+    x = w.Quantize(x, 1.0f / 128.0f, 0);
+    x = MobilenetV1QuantBackbone(w, options, x, &taps);
+    // Extra stride-64 feature layer.
+    int extra = w.QConv(x, C(options, 256), 1, 1, 0, false, true);
+    extra = w.QConv(extra, C(options, 512), 3, 2, 1, false, true);
+    taps.push_back(extra);
+  } else {
+    x = w.FConv(x, C(options, 32), 3, 2, 1, true);
+    const auto dw_block = [&](int input, std::int64_t filters, int stride) {
+      // Float backbone uses plain 3x3 convs (keeps the float emitter small).
+      return w.FConv(input, filters, 3, stride, 1, true);
+    };
+    x = dw_block(x, C(options, 64), 1);
+    x = dw_block(x, C(options, 128), 2);
+    x = dw_block(x, C(options, 256), 2);
+    x = dw_block(x, C(options, 512), 2);
+    for (int i = 0; i < Rep(options, 3); ++i) x = dw_block(x, C(options, 512), 1);
+    taps.push_back(x);  // stride 16
+    x = dw_block(x, C(options, 1024), 2);
+    taps.push_back(x);  // stride 32
+    int extra = w.FConv(x, C(options, 256), 1, 1, 0, true);
+    extra = w.FConv(extra, C(options, 512), 3, 2, 1, true);
+    taps.push_back(extra);
+  }
+
+  // Heads: box regressors (4 per anchor) and class logits per feature map.
+  std::vector<int> box_parts;
+  std::vector<int> cls_parts;
+  for (const int tap : taps) {
+    const std::vector<std::int64_t> shape = w.Desc(tap).shape;
+    const std::int64_t cells = shape[2] * shape[3];
+    int box;
+    int cls;
+    if (quantized) {
+      box = w.QConv(tap, num_anchors * 4, 3, 1, 1, false, false);
+      cls = w.QConv(tap, num_anchors * num_classes, 3, 1, 1, false, false);
+      box = w.Dequantize(box);
+      cls = w.Dequantize(cls);
+    } else {
+      box = w.FConv(tap, num_anchors * 4, 3, 1, 1, false);
+      cls = w.FConv(tap, num_anchors * num_classes, 3, 1, 1, false);
+    }
+    box_parts.push_back(w.Reshape(box, {1, num_anchors * 4 * cells}));
+    cls_parts.push_back(w.Reshape(cls, {1, num_anchors * num_classes * cells}));
+  }
+
+  const auto concat_flat = [&](const std::vector<int>& parts) {
+    std::int64_t total = 0;
+    for (const int part : parts) total += w.Desc(part).shape[1];
+    const int out = w.TempF32({1, total});
+    w.Op("CONCATENATION", parts, out, "axis=1");
+    return out;
+  };
+  const int boxes = concat_flat(box_parts);
+  int scores = concat_flat(cls_parts);
+  const int scores_sig = w.TempF32(w.Desc(scores).shape);
+  w.Op("LOGISTIC", {scores}, scores_sig);
+
+  w.Outputs({boxes, scores_sig});
+  return w.Source();
+}
+
+}  // namespace
+
+std::string EmitMobilenetSsd(const ZooOptions& options) {
+  return EmitSsd("mobilenet_ssd", options, /*quantized=*/false);
+}
+
+std::string EmitMobilenetSsdQuant(const ZooOptions& options) {
+  return EmitSsd("mobilenet_ssd_quant", options, /*quantized=*/true);
+}
+
+}  // namespace zoo
+}  // namespace tnp

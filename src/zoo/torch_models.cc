@@ -1,0 +1,314 @@
+// TorchScript-format emitters: Mobilenet v2, the DeePixBiS anti-spoofing
+// model, and Inception-ResNet v2.
+#include <map>
+#include <vector>
+
+#include "zoo/emit_util.h"
+
+namespace tnp {
+namespace zoo {
+
+namespace {
+
+/// Builds a TORCHSCRIPT_GRAPH source line by line, tracking value names and
+/// channel counts so conv weight shapes come out right.
+class TorchWriter {
+ public:
+  TorchWriter(const std::string& model_name, const ZooOptions& options)
+      : seeds_(model_name, options.seed) {
+    os_ << "TORCHSCRIPT_GRAPH v1\n";
+    os_ << "name: " << model_name << "\n";
+  }
+
+  std::string Input(std::int64_t channels, std::int64_t height, std::int64_t width) {
+    os_ << "input %x : Float(1," << channels << "," << height << "," << width << ")\n";
+    channels_["x"] = channels;
+    return "x";
+  }
+
+  /// conv2d + batch_norm + optional activation ("relu" | "relu6" | "").
+  std::string ConvBn(const std::string& x, std::int64_t out_channels, int kernel, int stride,
+                     int pad, std::int64_t groups = 1, const std::string& activation = "relu") {
+    std::string y = Conv(x, out_channels, kernel, stride, pad, groups, /*bias=*/false);
+    y = BatchNorm(y);
+    if (activation == "relu") {
+      y = Unary("aten::relu", y);
+    } else if (activation == "relu6") {
+      y = Unary("aten::hardtanh", y, "min_val=0, max_val=6");
+    }
+    return y;
+  }
+
+  std::string Conv(const std::string& x, std::int64_t out_channels, int kernel, int stride,
+                   int pad, std::int64_t groups = 1, bool bias = true) {
+    const std::int64_t in_channels = channels_.at(x);
+    const std::string y = Fresh(out_channels);
+    os_ << "%" << y << " = aten::conv2d(%" << x << ", weight<seed=" << seeds_.Next()
+        << ",shape=" << out_channels << "x" << in_channels / groups << "x" << kernel << "x"
+        << kernel << ">";
+    if (bias) os_ << ", bias<seed=" << seeds_.Next() << ",shape=" << out_channels << ">";
+    os_ << ", stride=[" << stride << "," << stride << "], padding=[" << pad << "," << pad
+        << "], groups=" << groups << ")\n";
+    return y;
+  }
+
+  std::string BatchNorm(const std::string& x) {
+    const std::int64_t channels = channels_.at(x);
+    const std::string y = Fresh(channels);
+    const std::uint64_t seed = seeds_.Next();
+    os_ << "%" << y << " = aten::batch_norm(%" << x
+        << ", const<seed=" << seed << ",shape=" << channels << ",fill=1.0,stddev=0.1,min=0.05>"
+        << ", const<seed=" << seed + 1 << ",shape=" << channels << ",stddev=0.1>"
+        << ", const<seed=" << seed + 2 << ",shape=" << channels << ",stddev=0.1>"
+        << ", const<seed=" << seed + 3 << ",shape=" << channels << ",fill=1.0,stddev=0.1,min=0.05>"
+        << ", eps=1e-5)\n";
+    return y;
+  }
+
+  std::string Unary(const std::string& aten_op, const std::string& x,
+                    const std::string& extra = "") {
+    const std::string y = Fresh(channels_.at(x));
+    os_ << "%" << y << " = " << aten_op << "(%" << x << (extra.empty() ? "" : ", " + extra)
+        << ")\n";
+    return y;
+  }
+
+  std::string Binary(const std::string& aten_op, const std::string& a, const std::string& b) {
+    const std::string y = Fresh(channels_.at(a));
+    os_ << "%" << y << " = " << aten_op << "(%" << a << ", %" << b << ")\n";
+    return y;
+  }
+
+  /// Elementwise multiply by a scalar constant (residual scaling).
+  std::string ScaleBy(const std::string& x, double scale) {
+    const std::string y = Fresh(channels_.at(x));
+    os_ << "%" << y << " = aten::mul(%" << x << ", const<seed=" << seeds_.Next()
+        << ",shape=1,fill=" << scale << ",stddev=0>)\n";
+    return y;
+  }
+
+  std::string MaxPool(const std::string& x, int kernel, int stride, int pad) {
+    const std::string y = Fresh(channels_.at(x));
+    os_ << "%" << y << " = aten::max_pool2d(%" << x << ", kernel=[" << kernel << "," << kernel
+        << "], stride=[" << stride << "," << stride << "], padding=[" << pad << "," << pad
+        << "])\n";
+    return y;
+  }
+
+  std::string AvgPool(const std::string& x, int kernel, int stride, int pad) {
+    const std::string y = Fresh(channels_.at(x));
+    os_ << "%" << y << " = aten::avg_pool2d(%" << x << ", kernel=[" << kernel << "," << kernel
+        << "], stride=[" << stride << "," << stride << "], padding=[" << pad << "," << pad
+        << "])\n";
+    return y;
+  }
+
+  std::string Cat(const std::vector<std::string>& pieces) {
+    std::int64_t channels = 0;
+    for (const auto& piece : pieces) channels += channels_.at(piece);
+    const std::string y = Fresh(channels);
+    os_ << "%" << y << " = aten::cat([";
+    for (std::size_t i = 0; i < pieces.size(); ++i) os_ << (i ? ", %" : "%") << pieces[i];
+    os_ << "], dim=1)\n";
+    return y;
+  }
+
+  std::string GlobalPool(const std::string& x) {
+    const std::string y = Fresh(channels_.at(x));
+    os_ << "%" << y << " = aten::adaptive_avg_pool2d(%" << x << ", output_size=[1,1])\n";
+    return y;
+  }
+
+  std::string Flatten(const std::string& x) { return Unary("aten::flatten", x); }
+
+  std::string Linear(const std::string& x, std::int64_t in_features, std::int64_t units) {
+    const std::string y = Fresh(units);
+    os_ << "%" << y << " = aten::linear(%" << x << ", weight<seed=" << seeds_.Next()
+        << ",shape=" << units << "x" << in_features << ">, bias<seed=" << seeds_.Next()
+        << ",shape=" << units << ">)\n";
+    return y;
+  }
+
+  std::string Softmax(const std::string& x) { return Unary("aten::softmax", x, "dim=-1"); }
+
+  std::string Mean(const std::string& x) { return Unary("aten::mean", x, "dim=[2,3]"); }
+
+  void Return(const std::string& x) { os_ << "return %" << x << "\n"; }
+  void ReturnTuple(const std::vector<std::string>& xs) {
+    os_ << "return (";
+    for (std::size_t i = 0; i < xs.size(); ++i) os_ << (i ? ", %" : "%") << xs[i];
+    os_ << ")\n";
+  }
+
+  std::int64_t ChannelsOf(const std::string& x) const { return channels_.at(x); }
+  std::string Source() const { return os_.str(); }
+
+ private:
+  std::string Fresh(std::int64_t channels) {
+    const std::string name = "v" + std::to_string(next_++);
+    channels_[name] = channels;
+    prev_ = name;
+    return name;
+  }
+  const std::string& Prev() const { return prev_; }
+
+  std::ostringstream os_;
+  SeedGen seeds_;
+  std::map<std::string, std::int64_t> channels_;
+  int next_ = 0;
+  std::string prev_;
+};
+
+}  // namespace
+
+std::string EmitMobilenetV2(const ZooOptions& options) {
+  const int size = ScaledSize(options, 224);
+  TorchWriter w("mobilenet_v2", options);
+  std::string x = w.Input(3, size, size);
+
+  x = w.ConvBn(x, C(options, 32), 3, 2, 1, 1, "relu6");
+
+  // (expansion t, out channels c, repeats n, first stride s)
+  struct BlockSpec { int t; std::int64_t c; int n; int s; };
+  const BlockSpec specs[] = {
+      {1, C(options, 16), 1, 1},  {6, C(options, 24), Rep(options, 2), 2},
+      {6, C(options, 32), Rep(options, 3), 2},  {6, C(options, 64), Rep(options, 4), 2},
+      {6, C(options, 96), Rep(options, 3), 1},  {6, C(options, 160), Rep(options, 3), 2},
+      {6, C(options, 320), 1, 1},
+  };
+  for (const auto& spec : specs) {
+    for (int i = 0; i < spec.n; ++i) {
+      const int stride = i == 0 ? spec.s : 1;
+      const std::int64_t in_channels = w.ChannelsOf(x);
+      std::string y = x;
+      const std::int64_t hidden = in_channels * spec.t;
+      if (spec.t != 1) y = w.ConvBn(y, hidden, 1, 1, 0, 1, "relu6");
+      y = w.ConvBn(y, w.ChannelsOf(y), 3, stride, 1, /*groups=*/w.ChannelsOf(y), "relu6");
+      y = w.ConvBn(y, spec.c, 1, 1, 0, 1, /*activation=*/"");
+      if (stride == 1 && in_channels == spec.c) y = w.Binary("aten::add", y, x);
+      x = y;
+    }
+  }
+
+  x = w.ConvBn(x, C(options, 1280), 1, 1, 0, 1, "relu6");
+  x = w.GlobalPool(x);
+  x = w.Flatten(x);
+  x = w.Linear(x, C(options, 1280), C(options, 1000));
+  x = w.Softmax(x);
+  w.Return(x);
+  return w.Source();
+}
+
+std::string EmitDeePixBiS(const ZooOptions& options) {
+  // Deep Pixel-wise Binary Supervision (George & Marcel, ICB'19): a dense
+  // CNN trunk producing a pixel-wise liveness map at 1/16 resolution plus a
+  // scalar liveness score. Our variant inserts sigmoid pixel-attention
+  // gates between the dense blocks — the gates keep the pixel-wise
+  // supervision signal flowing, and because sigmoid has no Neuron lowering
+  // they split the BYOC graph into many NIR subgraphs, reproducing the
+  // many-subgraph behaviour the paper reports for this model (Section 5.1).
+  const int size = ScaledSize(options, 224);
+  TorchWriter w("deepixbis", options);
+  std::string x = w.Input(3, size, size);
+
+  x = w.ConvBn(x, C(options, 64), 7, 2, 3);
+  x = w.MaxPool(x, 3, 2, 1);
+
+  const auto dense_block = [&](std::string input, int layers, std::int64_t growth) {
+    std::string current = input;
+    for (int i = 0; i < layers; ++i) {
+      std::string y = w.ConvBn(current, growth * 2, 1, 1, 0);
+      y = w.ConvBn(y, growth, 3, 1, 1);
+      current = w.Cat({current, y});
+    }
+    return current;
+  };
+  const auto attention_gate = [&](const std::string& input) {
+    std::string gate = w.Conv(input, w.ChannelsOf(input), 1, 1, 0);
+    gate = w.Unary("aten::sigmoid", gate);
+    return w.Binary("aten::mul", input, gate);
+  };
+
+  x = dense_block(x, Rep(options, 4), C(options, 32));
+  x = attention_gate(x);
+  x = w.ConvBn(x, w.ChannelsOf(x) / 2, 1, 1, 0);  // transition
+  x = w.AvgPool(x, 2, 2, 0);
+
+  x = dense_block(x, Rep(options, 4), C(options, 32));
+  x = attention_gate(x);
+  x = w.ConvBn(x, w.ChannelsOf(x) / 2, 1, 1, 0);
+  x = w.AvgPool(x, 2, 2, 0);
+
+  x = dense_block(x, Rep(options, 4), C(options, 32));
+  x = attention_gate(x);
+
+  // Pixel-wise binary map (1 channel, 1/16 resolution) + scalar score.
+  std::string map = w.Conv(x, 1, 1, 1, 0);
+  map = w.Unary("aten::sigmoid", map);
+  const std::string score = w.Mean(map);
+  w.ReturnTuple({map, score});
+  return w.Source();
+}
+
+std::string EmitInceptionResnetV2(const ZooOptions& options) {
+  const int size = ScaledSize(options, 299);
+  TorchWriter w("inception_resnet_v2", options);
+  std::string x = w.Input(3, size, size);
+
+  // Stem.
+  x = w.ConvBn(x, C(options, 32), 3, 2, 1);
+  x = w.ConvBn(x, C(options, 32), 3, 1, 1);
+  x = w.ConvBn(x, C(options, 64), 3, 1, 1);
+  x = w.MaxPool(x, 3, 2, 1);
+  x = w.ConvBn(x, C(options, 80), 1, 1, 0);
+  x = w.ConvBn(x, C(options, 192), 3, 1, 1);
+  x = w.MaxPool(x, 3, 2, 1);
+  x = w.ConvBn(x, C(options, 320), 1, 1, 0);
+
+  const auto resnet_block = [&](std::string input, std::int64_t b0, std::int64_t b1,
+                                std::int64_t b2, double scale) {
+    const std::int64_t channels = w.ChannelsOf(input);
+    const std::string branch0 = w.ConvBn(input, b0, 1, 1, 0);
+    std::string branch1 = w.ConvBn(input, b1, 1, 1, 0);
+    branch1 = w.ConvBn(branch1, b1, 3, 1, 1);
+    std::string branch2 = w.ConvBn(input, b2, 1, 1, 0);
+    branch2 = w.ConvBn(branch2, b2 + b2 / 2, 3, 1, 1);
+    branch2 = w.ConvBn(branch2, b2 * 2, 3, 1, 1);
+    std::string mixed = w.Cat({branch0, branch1, branch2});
+    mixed = w.Conv(mixed, channels, 1, 1, 0);  // linear projection
+    mixed = w.ScaleBy(mixed, scale);
+    std::string out = w.Binary("aten::add", input, mixed);
+    return w.Unary("aten::relu", out);
+  };
+  const auto reduction = [&](std::string input, std::int64_t k) {
+    const std::string branch0 = w.MaxPool(input, 3, 2, 1);
+    const std::string branch1 = w.ConvBn(input, k, 3, 2, 1);
+    std::string branch2 = w.ConvBn(input, k / 2, 1, 1, 0);
+    branch2 = w.ConvBn(branch2, k / 2, 3, 1, 1);
+    branch2 = w.ConvBn(branch2, k, 3, 2, 1);
+    return w.Cat({branch0, branch1, branch2});
+  };
+
+  for (int i = 0; i < Rep(options, 5); ++i) {
+    x = resnet_block(x, C(options, 32), C(options, 32), C(options, 32), 0.17);
+  }
+  x = reduction(x, C(options, 384));
+  for (int i = 0; i < Rep(options, 10); ++i) {
+    x = resnet_block(x, C(options, 128), C(options, 128), C(options, 96), 0.10);
+  }
+  x = reduction(x, C(options, 288));
+  for (int i = 0; i < Rep(options, 5); ++i) {
+    x = resnet_block(x, C(options, 192), C(options, 192), C(options, 128), 0.20);
+  }
+
+  x = w.ConvBn(x, C(options, 1536), 1, 1, 0);
+  x = w.GlobalPool(x);
+  x = w.Flatten(x);
+  x = w.Linear(x, C(options, 1536), C(options, 1000));
+  x = w.Softmax(x);
+  w.Return(x);
+  return w.Source();
+}
+
+}  // namespace zoo
+}  // namespace tnp

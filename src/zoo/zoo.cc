@@ -1,0 +1,71 @@
+#include "zoo/zoo.h"
+
+#include "frontend/frontend.h"
+#include "support/logging.h"
+
+namespace tnp {
+namespace zoo {
+
+const std::vector<ModelInfo>& AllModels() {
+  static const std::vector<ModelInfo> models = {
+      // Application showcase (Figure 4).
+      {"deepixbis", "pytorch", DType::kFloat32, 224, "anti-spoofing"},
+      {"mobilenet_ssd_quant", "tflite", DType::kInt8, 300, "detection"},
+      {"emotion_cnn", "keras", DType::kFloat32, 48, "emotion"},
+      // Wider evaluation set (Table 1 / Figure 6).
+      {"densenet", "onnx", DType::kFloat32, 224, "classification"},
+      {"inception_resnet_v2", "pytorch", DType::kFloat32, 299, "classification"},
+      {"inception_v3", "onnx", DType::kFloat32, 299, "classification"},
+      {"inception_v4", "onnx", DType::kFloat32, 299, "classification"},
+      {"mobilenet_v1", "keras", DType::kFloat32, 224, "classification"},
+      {"mobilenet_v2", "pytorch", DType::kFloat32, 224, "classification"},
+      {"nasnet", "onnx", DType::kFloat32, 224, "classification"},
+      // Quantized variants (Section 3.3 / Figure 6).
+      {"inception_v3_quant", "tflite", DType::kInt8, 299, "classification"},
+      {"mobilenet_v1_quant", "tflite", DType::kInt8, 224, "classification"},
+      {"mobilenet_v2_quant", "tflite", DType::kInt8, 224, "classification"},
+      // Additional showcase pieces.
+      {"mobilenet_ssd", "tflite", DType::kFloat32, 300, "detection"},
+      // Extra import-path coverage (the abstract also names MXNet).
+      {"resnet18", "mxnet", DType::kFloat32, 224, "classification"},
+      {"yolov3_tiny", "darknet", DType::kFloat32, 416, "detection"},
+      {"yolov3", "darknet", DType::kFloat32, 416, "detection"},
+  };
+  return models;
+}
+
+const ModelInfo& Info(const std::string& name) {
+  for (const auto& model : AllModels()) {
+    if (model.name == name) return model;
+  }
+  TNP_THROW(kInvalidArgument) << "unknown zoo model '" << name << "'";
+}
+
+std::string EmitSource(const std::string& name, const ZooOptions& options) {
+  if (name == "emotion_cnn") return EmitEmotionCnn(options);
+  if (name == "mobilenet_v1") return EmitMobilenetV1(options);
+  if (name == "mobilenet_v2") return EmitMobilenetV2(options);
+  if (name == "deepixbis") return EmitDeePixBiS(options);
+  if (name == "inception_resnet_v2") return EmitInceptionResnetV2(options);
+  if (name == "densenet") return EmitDensenet121(options);
+  if (name == "inception_v3") return EmitInceptionV3(options);
+  if (name == "inception_v4") return EmitInceptionV4(options);
+  if (name == "nasnet") return EmitNasnetMobile(options);
+  if (name == "yolov3_tiny") return EmitYolov3Tiny(options);
+  if (name == "yolov3") return EmitYolov3(options);
+  if (name == "mobilenet_v1_quant") return EmitMobilenetV1Quant(options);
+  if (name == "mobilenet_v2_quant") return EmitMobilenetV2Quant(options);
+  if (name == "inception_v3_quant") return EmitInceptionV3Quant(options);
+  if (name == "mobilenet_ssd") return EmitMobilenetSsd(options);
+  if (name == "mobilenet_ssd_quant") return EmitMobilenetSsdQuant(options);
+  if (name == "resnet18") return EmitResnet18(options);
+  TNP_THROW(kInvalidArgument) << "unknown zoo model '" << name << "'";
+}
+
+relay::Module Build(const std::string& name, const ZooOptions& options) {
+  const ModelInfo& info = Info(name);
+  return frontend::Import(info.framework, EmitSource(name, options), name + ".model");
+}
+
+}  // namespace zoo
+}  // namespace tnp

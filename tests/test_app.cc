@@ -1,0 +1,152 @@
+// The application showcase end-to-end: cascade correctness (overlap gate,
+// spoof gating, emotion recovery), sequential vs pipelined equivalence,
+// and stage time accounting.
+#include <gtest/gtest.h>
+
+#include "vision/app.h"
+
+namespace tnp {
+namespace vision {
+namespace {
+
+/// Shared app with a small SSD so the suite stays fast.
+ShowcaseApp& App() {
+  static ShowcaseApp app = [] {
+    ShowcaseConfig config;
+    config.object_image_size = 64;
+    config.object_width = 0.25;
+    return ShowcaseApp(config);
+  }();
+  return app;
+}
+
+const Scene& TestScene() {
+  static const Scene scene = Scene::Random(320, 240, 4, 2, 7);
+  return scene;
+}
+
+TEST(Showcase, CandidatesRequireBodyOverlap) {
+  const NDArray frame = RenderFrame(TestScene(), 0);
+  const FrameResult result = App().ProcessFrame(frame, 0);
+  // Posters (bare faces without bodies) must not become candidates.
+  for (const auto& face : result.results) {
+    bool near_poster = false;
+    for (const auto& poster : TestScene().posters) {
+      if (IoU(face.box, poster.face) > 0.5) near_poster = true;
+    }
+    EXPECT_FALSE(near_poster) << "poster passed the overlap gate";
+  }
+  // Every (non-occluded) person face becomes a candidate.
+  EXPECT_GE(result.num_candidates, static_cast<int>(TestScene().persons.size()) - 1);
+}
+
+TEST(Showcase, SpoofGateBlocksEmotionStage) {
+  const NDArray frame = RenderFrame(TestScene(), 0);
+  const FrameResult result = App().ProcessFrame(frame, 0);
+  for (const auto& face : result.results) {
+    if (face.spoof) {
+      EXPECT_EQ(face.emotion, -1) << "spoof face was emotion-classified";
+    } else {
+      EXPECT_GE(face.emotion, 0);
+      EXPECT_LT(face.emotion, kNumEmotions);
+    }
+  }
+}
+
+TEST(Showcase, MatchesGroundTruth) {
+  const NDArray frame = RenderFrame(TestScene(), 0);
+  const FrameResult result = App().ProcessFrame(frame, 0);
+  int matched = 0;
+  for (const auto& face : result.results) {
+    const Person* gt = nullptr;
+    for (const auto& person : PersonsAtFrame(TestScene(), 0)) {
+      if (IoU(face.box, person.face) > 0.5) gt = &person;
+    }
+    if (gt == nullptr) continue;
+    ++matched;
+    EXPECT_EQ(face.spoof, gt->spoof);
+    if (!gt->spoof) EXPECT_EQ(face.emotion, static_cast<int>(gt->emotion));
+  }
+  EXPECT_GE(matched, 3);
+}
+
+TEST(Showcase, SequentialSummaryAccounting) {
+  const RunSummary summary = App().RunSequential(TestScene(), 3);
+  EXPECT_EQ(summary.frames.size(), 3u);
+  EXPECT_GT(summary.sim_detection_ms, 0.0);  // SSD runs per frame
+  EXPECT_GT(summary.sim_antispoof_ms, 0.0);
+  EXPECT_GT(summary.sim_emotion_ms, 0.0);
+  EXPECT_GT(summary.wall_ms, 0.0);
+  EXPECT_NEAR(summary.SimTotalMs(),
+              summary.sim_detection_ms + summary.sim_antispoof_ms + summary.sim_emotion_ms,
+              1e-9);
+}
+
+TEST(Showcase, PipelinedMatchesSequentialResults) {
+  const RunSummary seq = App().RunSequential(TestScene(), 4);
+  const RunSummary pipe = App().RunPipelined(TestScene(), 4);
+  ASSERT_EQ(seq.frames.size(), pipe.frames.size());
+  for (std::size_t f = 0; f < seq.frames.size(); ++f) {
+    ASSERT_EQ(seq.frames[f].results.size(), pipe.frames[f].results.size()) << "frame " << f;
+    for (std::size_t i = 0; i < seq.frames[f].results.size(); ++i) {
+      EXPECT_EQ(seq.frames[f].results[i].spoof, pipe.frames[f].results[i].spoof);
+      EXPECT_EQ(seq.frames[f].results[i].emotion, pipe.frames[f].results[i].emotion);
+      EXPECT_FLOAT_EQ(seq.frames[f].results[i].antispoof_score,
+                      pipe.frames[f].results[i].antispoof_score);
+    }
+  }
+  // Pipelined preserves frame order.
+  for (std::size_t f = 0; f < pipe.frames.size(); ++f) {
+    EXPECT_EQ(pipe.frames[f].frame_index, static_cast<int>(f));
+  }
+}
+
+TEST(Showcase, StageLatencyEstimatesPositive) {
+  EXPECT_GT(App().DetectionStageUs(), 0.0);
+  EXPECT_GT(App().AntiSpoofStageUs(), 0.0);
+  EXPECT_GT(App().EmotionStageUs(), 0.0);
+}
+
+TEST(Showcase, ModelBoxMode) {
+  // Decode-SSD mode exercises the model-output plumbing; with synthetic
+  // weights the boxes are arbitrary but the pipeline must stay well-formed.
+  ShowcaseConfig config;
+  config.object_image_size = 64;
+  config.object_width = 0.25;
+  config.use_model_boxes = true;
+  ShowcaseApp app(config);
+  const NDArray frame = RenderFrame(TestScene(), 0);
+  const FrameResult result = app.ProcessFrame(frame, 0);
+  EXPECT_GE(result.num_candidates, 0);
+  for (const auto& face : result.results) {
+    EXPECT_GE(face.antispoof_score, 0.0);
+    EXPECT_LE(face.antispoof_score, 1.0);
+  }
+}
+
+TEST(Showcase, NoObjectModelMode) {
+  ShowcaseConfig config;
+  config.run_object_model = false;
+  ShowcaseApp app(config);
+  const RunSummary summary = app.RunSequential(TestScene(), 2);
+  EXPECT_EQ(summary.sim_detection_ms, 0.0);
+  EXPECT_GT(summary.sim_antispoof_ms, 0.0);
+}
+
+TEST(Showcase, DeterministicAcrossRuns) {
+  const RunSummary a = App().RunSequential(TestScene(), 2);
+  const RunSummary b = App().RunSequential(TestScene(), 2);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t f = 0; f < a.frames.size(); ++f) {
+    ASSERT_EQ(a.frames[f].results.size(), b.frames[f].results.size());
+    for (std::size_t i = 0; i < a.frames[f].results.size(); ++i) {
+      EXPECT_FLOAT_EQ(a.frames[f].results[i].antispoof_score,
+                      b.frames[f].results[i].antispoof_score);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.SimTotalMs(), b.SimTotalMs());
+}
+
+}  // namespace
+}  // namespace vision
+}  // namespace tnp

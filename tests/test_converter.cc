@@ -1,0 +1,229 @@
+// Relay -> Neuron IR conversion (paper Listing 1 + Section 3.3 QNN
+// augmentation): NodeEntry bookkeeping, op-handler dictionary coverage,
+// tensor-oriented quantization propagation.
+#include <gtest/gtest.h>
+
+#include "core/relay_to_neuron.h"
+#include "frontend/common.h"
+#include "relay/pass.h"
+
+namespace tnp {
+namespace core {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedTuple;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+using relay::Attrs;
+
+relay::FunctionPtr MakeFn(std::vector<relay::VarPtr> params, relay::ExprPtr body) {
+  auto fn = relay::MakeFunction(std::move(params), std::move(body));
+  relay::InferFunctionTypes(fn);
+  return fn;
+}
+
+TEST(Converter, VarBecomesInputOperand) {
+  auto x = TypedVar("data", Shape({1, 3, 4, 4}), DType::kFloat32);
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, TypedCall("nn.relu", {x})));
+  ASSERT_EQ(model.model_inputs().size(), 1u);
+  const neuron::Operand& input = model.operand(model.model_inputs()[0]);
+  EXPECT_EQ(input.kind, neuron::OperandKind::kInput);
+  EXPECT_EQ(input.name, "data");
+  EXPECT_EQ(input.shape, Shape({1, 3, 4, 4}));
+}
+
+TEST(Converter, NodeEntryDictPopulated) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto relu = TypedCall("nn.relu", {x});
+  RelayToNeuronConverter converter;
+  converter.Convert(MakeFn({x}, relu));
+  // Listing 1: every visited node has a NodeEntry with inputs/outputs.
+  const auto& dict = converter.node_entry_dict();
+  ASSERT_EQ(dict.count(x.get()), 1u);
+  ASSERT_EQ(dict.count(relu.get()), 1u);
+  const NodeEntry& var_entry = dict.at(x.get());
+  EXPECT_EQ(var_entry.inputs, var_entry.outputs);  // visit_var convention
+  const NodeEntry& call_entry = dict.at(relu.get());
+  EXPECT_EQ(call_entry.inputs.front(), var_entry.outputs.front());
+  EXPECT_NE(call_entry.outputs.front(), call_entry.inputs.front());
+}
+
+TEST(Converter, ConvLowersWithConstWeights) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("strides", {2, 2}).SetInts("padding", {1, 1}));
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, conv));
+  ASSERT_EQ(model.operations().size(), 1u);
+  const neuron::Operation& op = model.operations()[0];
+  EXPECT_EQ(op.type, neuron::NeuronOpType::kConv2d);
+  EXPECT_EQ(op.attrs.strides, (std::vector<std::int64_t>{2, 2}));
+  EXPECT_EQ(model.operand(op.inputs[1]).kind, neuron::OperandKind::kConstant);
+  EXPECT_EQ(model.operand(op.outputs[0]).shape, Shape({1, 4, 4, 4}));
+}
+
+TEST(Converter, TupleFlattensIntoConcat) {
+  auto a = TypedVar("a", Shape({1, 2, 4, 4}), DType::kFloat32);
+  auto b = TypedVar("b", Shape({1, 3, 4, 4}), DType::kFloat32);
+  auto cat = TypedCall("concatenate", {TypedTuple({a, b})}, Attrs().SetInt("axis", 1));
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({a, b}, cat));
+  ASSERT_EQ(model.operations().size(), 1u);
+  EXPECT_EQ(model.operations()[0].type, neuron::NeuronOpType::kConcat);
+  EXPECT_EQ(model.operations()[0].inputs.size(), 2u);  // tuple flattened
+}
+
+TEST(Converter, TupleOutputsMultipleModelOutputs) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto relu = TypedCall("nn.relu", {x});
+  auto clip = TypedCall("clip", {x}, Attrs().SetDouble("a_min", 0).SetDouble("a_max", 1));
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model =
+      converter.Convert(MakeFn({x}, TypedTuple({relu, clip})));
+  EXPECT_EQ(model.model_outputs().size(), 2u);
+}
+
+TEST(Converter, BiasAddReshapesConstBias) {
+  auto x = TypedVar("x", Shape({1, 4, 4, 4}), DType::kFloat32);
+  auto biased = TypedCall("nn.bias_add", {x, WeightF32(Shape({4}), 3, 0.1f)});
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, biased));
+  ASSERT_EQ(model.operations().size(), 1u);
+  const neuron::Operation& op = model.operations()[0];
+  EXPECT_EQ(op.type, neuron::NeuronOpType::kAdd);
+  EXPECT_EQ(model.operand(op.inputs[1]).shape, Shape({1, 4, 1, 1}));  // broadcastable
+}
+
+TEST(Converter, UnsupportedOpThrows) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto sig = TypedCall("sigmoid", {x});
+  RelayToNeuronConverter converter;
+  try {
+    converter.Convert(MakeFn({x}, sig));
+    FAIL() << "expected UnsupportedOp";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kUnsupportedOp);
+    EXPECT_NE(std::string(e.what()).find("sigmoid"), std::string::npos);
+  }
+}
+
+TEST(Converter, FusedFunctionCallRejected) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto inner_param = TypedVar("p", Shape({1, 4}), DType::kFloat32);
+  relay::Attrs prim;
+  prim.SetInt(relay::kAttrPrimitive, 1);
+  auto fused = relay::MakeFunction({inner_param}, TypedCall("nn.relu", {inner_param}), prim);
+  auto call = relay::MakeFunctionCall(fused, {x});
+  call->set_checked_type(x->checked_type());
+  RelayToNeuronConverter converter;
+  EXPECT_THROW(converter.Convert(MakeFn({x}, call)), Error);
+}
+
+// ---------------- QNN augmentation (paper Section 3.3) ----------------
+
+TEST(QnnAugment, ConvAttrsLandOnOperands) {
+  // Operator-oriented attrs must end up on the input/weight/output tensors.
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kInt8);
+  Attrs attrs;
+  attrs.SetDouble("input_scale", 0.1).SetInt("input_zero_point", 2);
+  attrs.SetDouble("weight_scale", 0.05).SetInt("weight_zero_point", 0);
+  attrs.SetDouble("output_scale", 0.3).SetInt("output_zero_point", -1);
+  attrs.SetInts("padding", {1, 1});
+  auto conv = TypedCall("qnn.conv2d",
+                        {x, frontend::WeightS8(Shape({4, 3, 3, 3}), 1),
+                         frontend::BiasS32(Shape({4}), 2)},
+                        attrs);
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, conv));
+  const neuron::Operation& op = model.operations()[0];
+  EXPECT_EQ(model.operand(op.inputs[0]).quant, QuantParams(0.1f, 2));
+  EXPECT_EQ(model.operand(op.inputs[1]).quant, QuantParams(0.05f, 0));
+  EXPECT_EQ(model.operand(op.outputs[0]).quant, QuantParams(0.3f, -1));
+}
+
+TEST(QnnAugment, ParamsPropagateThroughNonQnnOps) {
+  // "even if the model has been pre-quantized, there are still some non-qnn
+  // options ... we pass the output quantization parameters directly to the
+  // input and continue passing them" — pooling and reshape here.
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto q = TypedCall("qnn.quantize", {x},
+                     Attrs().SetDouble("output_scale", 0.25).SetInt("output_zero_point", 4));
+  auto pooled = TypedCall("nn.max_pool2d", {q},
+                          Attrs().SetInts("pool_size", {2, 2}).SetInts("strides", {2, 2}));
+  auto flat = TypedCall("reshape", {pooled}, Attrs().SetInts("newshape", {1, -1}));
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, flat));
+  // The pool and reshape outputs carry the quantize's params.
+  for (const auto& op : model.operations()) {
+    if (op.type == neuron::NeuronOpType::kMaxPool2d ||
+        op.type == neuron::NeuronOpType::kReshape) {
+      EXPECT_EQ(model.operand(op.outputs[0]).quant, QuantParams(0.25f, 4))
+          << NeuronOpTypeName(op.type);
+    }
+  }
+}
+
+TEST(QnnAugment, ConcatInputScalesLand) {
+  auto a = TypedVar("a", Shape({1, 2, 4, 4}), DType::kInt8);
+  auto b = TypedVar("b", Shape({1, 2, 4, 4}), DType::kInt8);
+  Attrs attrs;
+  attrs.SetDoubles("input_scales", {0.1, 0.2});
+  attrs.SetInts("input_zero_points", {0, 3});
+  attrs.SetDouble("output_scale", 0.2).SetInt("output_zero_point", 0);
+  attrs.SetInt("axis", 1);
+  auto cat = TypedCall("qnn.concatenate", {TypedTuple({a, b})}, attrs);
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({a, b}, cat));
+  const neuron::Operation& op = model.operations()[0];
+  EXPECT_EQ(model.operand(op.inputs[0]).quant, QuantParams(0.1f, 0));
+  EXPECT_EQ(model.operand(op.inputs[1]).quant, QuantParams(0.2f, 3));
+}
+
+TEST(QnnAugment, EnsureQuantDoesNotOverwrite) {
+  // Two consumers with different attr claims: the first wins; the operand's
+  // params are tensor properties, not per-use.
+  auto x = TypedVar("x", Shape({1, 2}), DType::kInt8);
+  auto dq1 = TypedCall("qnn.dequantize", {x},
+                       Attrs().SetDouble("input_scale", 0.1).SetInt("input_zero_point", 0));
+  auto dq2 = TypedCall("qnn.dequantize", {x},
+                       Attrs().SetDouble("input_scale", 0.9).SetInt("input_zero_point", 9));
+  auto sum = TypedCall("add", {dq1, dq2});
+  RelayToNeuronConverter converter;
+  const neuron::NeuronModel model = converter.Convert(MakeFn({x}, sum));
+  EXPECT_EQ(model.operand(model.model_inputs()[0]).quant, QuantParams(0.1f, 0));
+}
+
+// ---------------- handler dictionary / support predicate ----------------
+
+TEST(OpHandlerDictTest, CoverageMatchesDesign) {
+  const auto& dict = OpHandlerDict::Global();
+  for (const char* supported :
+       {"nn.conv2d", "nn.dense", "nn.relu", "clip", "nn.max_pool2d", "nn.avg_pool2d",
+        "nn.global_avg_pool2d", "nn.softmax", "concatenate", "reshape", "nn.batch_flatten",
+        "nn.batch_norm", "nn.pad", "add", "multiply", "qnn.conv2d", "qnn.dense", "qnn.add",
+        "qnn.quantize", "qnn.dequantize", "qnn.requantize", "qnn.concatenate"}) {
+    EXPECT_TRUE(dict.Has(supported)) << supported;
+  }
+  for (const char* unsupported :
+       {"sigmoid", "tanh", "nn.leaky_relu", "nn.upsampling", "strided_slice", "mean",
+        "transpose", "cast", "exp", "sqrt"}) {
+    EXPECT_FALSE(dict.Has(unsupported)) << unsupported;
+  }
+}
+
+TEST(NirSupportedTest, TargetAware) {
+  auto x = TypedVar("x", Shape({1, 2, 4, 4}), DType::kFloat32);
+  auto sub = relay::As<relay::Call>(TypedCall("subtract", {x, x}));
+  auto relu = relay::As<relay::Call>(TypedCall("nn.relu", {x}));
+  // SUB exists in Neuron IR but the APU cannot run it.
+  EXPECT_TRUE(NirSupported(*sub, {sim::DeviceKind::kNeuronCpu}));
+  EXPECT_FALSE(NirSupported(*sub, {sim::DeviceKind::kNeuronApu}));
+  EXPECT_TRUE(NirSupported(*relu, {sim::DeviceKind::kNeuronApu}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,181 @@
+// The seven flow permutations: support patterns, output equivalence, and
+// the latency orderings the paper's Figures 4/6 rest on.
+#include <gtest/gtest.h>
+
+#include "core/flows.h"
+#include "frontend/common.h"
+#include "relay/pass.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace core {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+/// Fully Neuron-mappable conv net (all 7 flows should support it).
+relay::Module FullySupportedModel() {
+  auto x = TypedVar("data", Shape({1, 3, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto pool = TypedCall("nn.global_avg_pool2d", {relu});
+  auto flat = TypedCall("nn.batch_flatten", {pool});
+  auto dense = TypedCall("nn.dense", {flat, WeightF32(Shape({5, 8}), 2), ZeroBiasF32(5)});
+  auto softmax = TypedCall("nn.softmax", {dense});
+  return relay::Module(relay::MakeFunction({x}, softmax));
+}
+
+/// Contains sigmoid: NP-only flows must fail, BYOC must split.
+relay::Module PartiallySupportedModel() {
+  auto x = TypedVar("data", Shape({1, 3, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  auto gate = TypedCall("sigmoid", {conv});
+  auto gated = TypedCall("multiply", {conv, gate});
+  return relay::Module(relay::MakeFunction({x}, gated));
+}
+
+TEST(Flows, NamesAndResources) {
+  EXPECT_STREQ(FlowName(FlowKind::kTvmOnly), "TVM-only");
+  EXPECT_STREQ(FlowName(FlowKind::kNpCpuApu), "NP-only(CPU+APU)");
+  EXPECT_EQ(FlowResources(FlowKind::kTvmOnly),
+            (std::vector<sim::Resource>{sim::Resource::kCpu}));
+  EXPECT_EQ(FlowResources(FlowKind::kNpApu),
+            (std::vector<sim::Resource>{sim::Resource::kApu}));
+  EXPECT_EQ(FlowResources(FlowKind::kByocCpuApu).size(), 2u);
+}
+
+TEST(Flows, FullySupportedRunsEverywhere) {
+  const relay::Module module = FullySupportedModel();
+  for (const FlowKind flow : kAllFlows) {
+    std::string error;
+    const InferenceSessionPtr session = TryCompileFlow(module, flow, &error);
+    ASSERT_NE(session, nullptr) << FlowName(flow) << ": " << error;
+    EXPECT_GT(session->EstimateLatency().total_us(), 0.0) << FlowName(flow);
+  }
+}
+
+TEST(Flows, OutputsIdenticalAcrossAllFlows) {
+  const relay::Module module = FullySupportedModel();
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 16, 16}), 17, 0.5f);
+  NDArray reference;
+  for (const FlowKind flow : kAllFlows) {
+    const InferenceSessionPtr session = CompileFlow(module, flow);
+    session->SetInput("data", input);
+    session->Run();
+    const NDArray out = session->GetOutput(0);
+    if (!reference.defined()) {
+      reference = out;
+    } else {
+      EXPECT_TRUE(NDArray::BitEqual(reference, out))
+          << FlowName(flow) << " diverges from TVM-only";
+    }
+  }
+}
+
+TEST(Flows, NpOnlyFailsOnUnsupportedOps) {
+  const relay::Module module = PartiallySupportedModel();
+  for (const FlowKind flow : {FlowKind::kNpCpu, FlowKind::kNpApu, FlowKind::kNpCpuApu}) {
+    std::string error;
+    EXPECT_EQ(TryCompileFlow(module, flow, &error), nullptr) << FlowName(flow);
+    EXPECT_NE(error.find("sigmoid"), std::string::npos);
+  }
+  // BYOC flows still work (sigmoid stays on the TVM host).
+  for (const FlowKind flow : {FlowKind::kByocCpu, FlowKind::kByocApu, FlowKind::kByocCpuApu}) {
+    std::string error;
+    const InferenceSessionPtr session = TryCompileFlow(module, flow, &error);
+    ASSERT_NE(session, nullptr) << FlowName(flow) << ": " << error;
+    EXPECT_GE(session->NumPartitions(), 1) << FlowName(flow);
+  }
+}
+
+TEST(Flows, ByocMatchesTvmOnlyOnPartialModel) {
+  const relay::Module module = PartiallySupportedModel();
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 16, 16}), 23, 0.5f);
+  const InferenceSessionPtr tvm = CompileFlow(module, FlowKind::kTvmOnly);
+  const InferenceSessionPtr byoc = CompileFlow(module, FlowKind::kByocCpuApu);
+  tvm->SetInput("data", input);
+  byoc->SetInput("data", input);
+  tvm->Run();
+  byoc->Run();
+  EXPECT_TRUE(NDArray::BitEqual(tvm->GetOutput(0), byoc->GetOutput(0)));
+}
+
+TEST(Flows, TvmOnlyIsSlowest) {
+  // The paper's headline: TVM-only inference takes longer than flows using
+  // NeuroPilot backends.
+  const relay::Module module = FullySupportedModel();
+  const double tvm_us =
+      CompileFlow(module, FlowKind::kTvmOnly)->EstimateLatency().total_us();
+  for (const FlowKind flow :
+       {FlowKind::kByocCpu, FlowKind::kByocCpuApu, FlowKind::kNpCpu, FlowKind::kNpCpuApu}) {
+    EXPECT_LT(CompileFlow(module, flow)->EstimateLatency().total_us(), tvm_us)
+        << FlowName(flow);
+  }
+}
+
+TEST(Flows, QuantModelFasterOnApuThanCpu) {
+  // Canonical size so conv layers are big enough for APU offload to pay
+  // (only the static simulator runs; no numerics at this scale).
+  zoo::ZooOptions options;
+  const relay::Module module = zoo::Build("mobilenet_v1_quant", options);
+  const double np_cpu = CompileFlow(module, FlowKind::kNpCpu)->EstimateLatency().total_us();
+  const double np_cpu_apu =
+      CompileFlow(module, FlowKind::kNpCpuApu)->EstimateLatency().total_us();
+  EXPECT_LT(np_cpu_apu, np_cpu);
+}
+
+TEST(Flows, PartitionCountsMatchModelStructure) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  // deepixbis: sigmoid gates split the graph into several NIR subgraphs.
+  const InferenceSessionPtr anti =
+      CompileFlow(zoo::Build("deepixbis", options), FlowKind::kByocCpuApu);
+  EXPECT_GT(anti->NumPartitions(), 1);
+  // mobilenet_v1: fully supported -> exactly one subgraph.
+  const InferenceSessionPtr mobilenet =
+      CompileFlow(zoo::Build("mobilenet_v1", options), FlowKind::kByocCpuApu);
+  EXPECT_EQ(mobilenet->NumPartitions(), 1);
+  EXPECT_GT(mobilenet->NumExternalOps(), 10);
+}
+
+TEST(Flows, SessionIsReRunnable) {
+  const relay::Module module = FullySupportedModel();
+  const InferenceSessionPtr session = CompileFlow(module, FlowKind::kByocCpuApu);
+  NDArray a = NDArray::RandomNormal(Shape({1, 3, 16, 16}), 1);
+  NDArray b = NDArray::RandomNormal(Shape({1, 3, 16, 16}), 2);
+  session->SetInput("data", a);
+  session->Run();
+  const NDArray out_a = session->GetOutput(0).CopyDeep();
+  session->SetInput("data", b);
+  session->Run();
+  const NDArray out_b = session->GetOutput(0).CopyDeep();
+  session->SetInput("data", a);
+  session->Run();
+  EXPECT_TRUE(NDArray::BitEqual(session->GetOutput(0), out_a));
+  EXPECT_FALSE(NDArray::BitEqual(out_a, out_b));
+}
+
+TEST(Flows, NpSessionRejectsUnknownInput) {
+  const InferenceSessionPtr session =
+      CompileFlow(FullySupportedModel(), FlowKind::kNpCpu);
+  EXPECT_THROW(session->SetInput("wrong", NDArray::Zeros(Shape({1}), DType::kFloat32)),
+               Error);
+}
+
+TEST(Flows, EstimateIsDeterministic) {
+  const relay::Module module = FullySupportedModel();
+  const InferenceSessionPtr session = CompileFlow(module, FlowKind::kByocCpuApu);
+  EXPECT_DOUBLE_EQ(session->EstimateLatency().total_us(),
+                   session->EstimateLatency().total_us());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,414 @@
+// Framework frontends: each textual format parses to the expected Relay
+// structure; malformed inputs produce ParseErrors with location info.
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "relay/build.h"
+#include "relay/visitor.h"
+
+namespace tnp {
+namespace frontend {
+namespace {
+
+using relay::CountCalls;
+using relay::Module;
+
+// ----------------------------------------------------------------- keras
+
+constexpr const char* kTinyKeras = R"(KERAS_MODEL v1
+name: tiny
+input: shape=1x1x12x12 dtype=float32
+layer Conv2D filters=4 kernel=3x3 activation=relu seed=1
+layer MaxPooling2D pool=2x2
+layer Flatten
+layer Dense units=3 activation=softmax seed=2
+)";
+
+TEST(KerasFrontend, ParsesSequentialModel) {
+  const Module module = FromKeras(kTinyKeras);
+  const auto& body = module.main()->body();
+  EXPECT_EQ(CountCalls(body, "nn.conv2d"), 1);
+  EXPECT_EQ(CountCalls(body, "nn.relu"), 1);
+  EXPECT_EQ(CountCalls(body, "nn.max_pool2d"), 1);
+  EXPECT_EQ(CountCalls(body, "nn.dense"), 1);
+  EXPECT_EQ(CountCalls(body, "nn.softmax"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 3}));
+}
+
+TEST(KerasFrontend, RunsEndToEnd) {
+  relay::GraphExecutor exec(relay::Build(FromKeras(kTinyKeras)));
+  exec.SetInput("input", NDArray::RandomNormal(Shape({1, 1, 12, 12}), 3));
+  exec.Run();
+  double sum = 0;
+  for (float v : exec.GetOutput(0).Span<float>()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-5);  // softmax output
+}
+
+TEST(KerasFrontend, SamePadding) {
+  const Module module = FromKeras(
+      "KERAS_MODEL v1\ninput: shape=1x2x8x8 dtype=float32\n"
+      "layer Conv2D filters=2 kernel=3x3 padding=same seed=1\n");
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 2, 8, 8}));
+}
+
+TEST(KerasFrontend, DepthwiseAndBatchNorm) {
+  const Module module = FromKeras(
+      "KERAS_MODEL v1\ninput: shape=1x4x8x8 dtype=float32\n"
+      "layer DepthwiseConv2D kernel=3x3 padding=same use_bias=0 seed=1\n"
+      "layer BatchNormalization seed=2\n"
+      "layer ReLU max_value=6\n");
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.batch_norm"), 1);
+  EXPECT_EQ(CountCalls(module.main()->body(), "clip"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 4, 8, 8}));
+}
+
+TEST(KerasFrontend, Errors) {
+  EXPECT_THROW(FromKeras("WRONG_HEADER\n"), Error);
+  EXPECT_THROW(FromKeras("KERAS_MODEL v1\nlayer Conv2D filters=2\n"), Error);  // no input
+  EXPECT_THROW(FromKeras("KERAS_MODEL v1\ninput: shape=1x1x8x8\nlayer Blah\n"), Error);
+  EXPECT_THROW(FromKeras("KERAS_MODEL v1\ninput: shape=1x1x8x8\n"
+                         "layer Conv2D kernel=3x3\n"),
+               Error);  // missing filters
+  EXPECT_THROW(FromKeras("KERAS_MODEL v1\ninput: shape=1x1x8x8\n"
+                         "layer Dense units=3\n"),
+               Error);  // dense without flatten
+  EXPECT_THROW(FromKeras("KERAS_MODEL v1\ninput: shape=1x1x8x8\n"
+                         "layer Conv2D filters=2 kernel=4x4 padding=same\n"),
+               Error);  // even kernel with same padding
+}
+
+// ----------------------------------------------------------- torchscript
+
+constexpr const char* kTinyTorch = R"(TORCHSCRIPT_GRAPH v1
+name: tiny
+input %x : Float(1,2,8,8)
+%1 = aten::conv2d(%x, weight<seed=1,shape=4x2x3x3>, bias<seed=2,shape=4>, stride=[1,1], padding=[1,1])
+%2 = aten::relu(%1)
+%3 = aten::adaptive_avg_pool2d(%2, output_size=[1,1])
+%4 = aten::flatten(%3)
+%5 = aten::linear(%4, weight<seed=3,shape=3x4>, bias<seed=4,shape=3>)
+%6 = aten::softmax(%5, dim=-1)
+return %6
+)";
+
+TEST(TorchFrontend, ParsesGraph) {
+  const Module module = FromTorchScript(kTinyTorch);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.conv2d"), 1);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.global_avg_pool2d"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 3}));
+}
+
+TEST(TorchFrontend, CatAndTupleReturn) {
+  const Module module = FromTorchScript(
+      "TORCHSCRIPT_GRAPH v1\n"
+      "input %x : Float(1,2,4,4)\n"
+      "%1 = aten::relu(%x)\n"
+      "%2 = aten::sigmoid(%x)\n"
+      "%3 = aten::cat([%1, %2], dim=1)\n"
+      "return (%3, %1)\n");
+  ASSERT_TRUE(module.main()->checked_type().IsTuple());
+  EXPECT_EQ(module.main()->checked_type().AsTuple()[0].AsTensor().shape,
+            Shape({1, 4, 4, 4}));
+}
+
+TEST(TorchFrontend, SliceAndUpsample) {
+  const Module module = FromTorchScript(
+      "TORCHSCRIPT_GRAPH v1\n"
+      "input %x : Float(1,4,8,8)\n"
+      "%1 = aten::slice(%x, dim=1, start=0, end=2)\n"
+      "%2 = aten::upsample_nearest2d(%1, scale_factor=2)\n"
+      "return %2\n");
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 2, 16, 16}));
+}
+
+TEST(TorchFrontend, Errors) {
+  EXPECT_THROW(FromTorchScript("TORCHSCRIPT_GRAPH v1\nreturn %x\n"), Error);  // undefined
+  EXPECT_THROW(FromTorchScript("TORCHSCRIPT_GRAPH v1\n"
+                               "input %x : Float(1,2,4,4)\n"
+                               "%1 = aten::nope(%x)\nreturn %1\n"),
+               Error);
+  EXPECT_THROW(FromTorchScript("TORCHSCRIPT_GRAPH v1\n"
+                               "input %x : Int8(1,2,4,4)\nreturn %x\n"),
+               Error);  // only Float inputs
+  EXPECT_THROW(FromTorchScript("bad"), Error);
+}
+
+// ----------------------------------------------------------------- tflite
+
+constexpr const char* kTinyTfliteQuant = R"(TFLITE_MODEL v1
+name: tinyq
+tensor 0 name=input shape=1x2x6x6 dtype=float32 kind=input
+tensor 1 name=q0 shape=1x2x6x6 dtype=int8 scale=0.02 zero_point=0 kind=temp
+tensor 2 name=w shape=3x2x3x3 dtype=int8 scale=0.01 zero_point=0 kind=const seed=5
+tensor 3 name=b shape=3 dtype=int32 kind=const seed=6
+tensor 4 name=c shape=1x3x6x6 dtype=int8 scale=0.05 zero_point=1 kind=temp
+tensor 5 name=f shape=1x3x6x6 dtype=float32 kind=temp
+op QUANTIZE inputs=0 outputs=1
+op CONV_2D inputs=1,2,3 outputs=4 strides=1x1 padding=1x1
+op DEQUANTIZE inputs=4 outputs=5
+outputs 5
+)";
+
+TEST(TfliteFrontend, ParsesQuantModel) {
+  const Module module = FromTflite(kTinyTfliteQuant);
+  const auto& body = module.main()->body();
+  EXPECT_EQ(CountCalls(body, "qnn.quantize"), 1);
+  EXPECT_EQ(CountCalls(body, "qnn.conv2d"), 1);
+  EXPECT_EQ(CountCalls(body, "qnn.dequantize"), 1);
+  // Tensor-oriented quant params became operator attrs on the conv.
+  for (const auto& node : relay::PostOrder(body)) {
+    if (relay::IsCallTo(node, "qnn.conv2d")) {
+      const auto call = relay::As<relay::Call>(node);
+      EXPECT_NEAR(call->attrs().GetDouble("input_scale", 0), 0.02, 1e-6);
+      EXPECT_NEAR(call->attrs().GetDouble("output_scale", 0), 0.05, 1e-6);
+      EXPECT_EQ(call->attrs().GetInt("output_zero_point", 99), 1);
+    }
+  }
+}
+
+TEST(TfliteFrontend, RunsQuantModel) {
+  relay::GraphExecutor exec(relay::Build(FromTflite(kTinyTfliteQuant)));
+  exec.SetInput("input", NDArray::RandomNormal(Shape({1, 2, 6, 6}), 4, 0.5f));
+  exec.Run();
+  EXPECT_EQ(exec.GetOutput(0).dtype(), DType::kFloat32);
+}
+
+TEST(TfliteFrontend, DeclaredShapeMismatchThrows) {
+  const std::string bad = R"(TFLITE_MODEL v1
+tensor 0 name=input shape=1x2x6x6 dtype=float32 kind=input
+tensor 1 name=w shape=3x2x3x3 dtype=float32 kind=const seed=1
+tensor 2 name=o shape=1x3x6x6 dtype=float32 kind=temp
+op CONV_2D inputs=0,1 outputs=2 strides=1x1 padding=0x0
+outputs 2
+)";
+  EXPECT_THROW(FromTflite(bad), Error);
+}
+
+TEST(TfliteFrontend, Errors) {
+  EXPECT_THROW(FromTflite("TFLITE_MODEL v1\ntensor 5 name=x shape=1 dtype=float32 kind=temp\n"),
+               Error);  // ids must be sequential
+  EXPECT_THROW(FromTflite("TFLITE_MODEL v1\noutputs 0\n"), Error);  // no tensors
+  EXPECT_THROW(FromTflite("nope"), Error);
+}
+
+// ---------------------------------------------------------------- darknet
+
+constexpr const char* kTinyDarknet = R"(DARKNET_CFG v1
+[net]
+width=16
+height=16
+channels=3
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+seed=7
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=8
+size=1
+stride=1
+pad=0
+activation=linear
+seed=8
+
+[avgpool]
+
+[connected]
+output=5
+activation=linear
+seed=9
+
+[softmax]
+)";
+
+TEST(DarknetFrontend, ParsesCfg) {
+  const Module module = FromDarknet(kTinyDarknet);
+  const auto& body = module.main()->body();
+  EXPECT_EQ(CountCalls(body, "nn.conv2d"), 2);
+  EXPECT_EQ(CountCalls(body, "nn.leaky_relu"), 1);
+  EXPECT_EQ(CountCalls(body, "nn.batch_norm"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 5}));
+}
+
+TEST(DarknetFrontend, RouteConcat) {
+  const Module module = FromDarknet(
+      "DARKNET_CFG v1\n[net]\nwidth=8\nheight=8\nchannels=2\n"
+      "[convolutional]\nfilters=2\nsize=3\nstride=1\npad=1\nactivation=linear\nseed=1\n"
+      "[convolutional]\nfilters=3\nsize=3\nstride=1\npad=1\nactivation=linear\nseed=2\n"
+      "[route]\nlayers=-1,0\n");
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 5, 8, 8}));
+}
+
+TEST(DarknetFrontend, Shortcut) {
+  const Module module = FromDarknet(
+      "DARKNET_CFG v1\n[net]\nwidth=8\nheight=8\nchannels=2\n"
+      "[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\nactivation=linear\nseed=1\n"
+      "[convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\nactivation=linear\nseed=2\n"
+      "[shortcut]\nfrom=0\nactivation=relu\n");
+  EXPECT_EQ(CountCalls(module.main()->body(), "add"), 1);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.relu"), 1);
+}
+
+TEST(DarknetFrontend, MultiHeadYolo) {
+  const Module module = FromDarknet(
+      "DARKNET_CFG v1\n[net]\nwidth=16\nheight=16\nchannels=3\n"
+      "[convolutional]\nfilters=4\nsize=3\nstride=2\npad=1\nactivation=leaky\nseed=1\n"
+      "[yolo]\n"
+      "[route]\nlayers=0\n"
+      "[convolutional]\nfilters=6\nsize=1\nstride=1\npad=0\nactivation=linear\nseed=2\n"
+      "[yolo]\n");
+  ASSERT_TRUE(module.main()->checked_type().IsTuple());
+  EXPECT_EQ(module.main()->checked_type().AsTuple().size(), 2u);
+}
+
+TEST(DarknetFrontend, Errors) {
+  EXPECT_THROW(FromDarknet("DARKNET_CFG v1\n[convolutional]\nfilters=2\n"), Error);  // no [net]
+  EXPECT_THROW(FromDarknet("DARKNET_CFG v1\n[net]\nwidth=8\nheight=8\nchannels=1\n"
+                           "[route]\nlayers=5\n"),
+               Error);  // out-of-range reference
+  EXPECT_THROW(FromDarknet("DARKNET_CFG v1\n[net]\nwidth=8\nheight=8\nchannels=1\n[blah]\n"),
+               Error);
+}
+
+// ------------------------------------------------------------------- onnx
+
+constexpr const char* kTinyOnnx = R"(ONNX_MODEL v1
+name: tiny
+input x shape=1x2x8x8 dtype=float32
+init W shape=4x2x3x3 seed=1
+init B shape=4 stddev=0.01 seed=2
+node Conv in=x,W,B out=c strides=1,1 pads=1,1
+node Relu in=c out=r
+node GlobalAveragePool in=r out=g
+node Flatten in=g out=f
+init W2 shape=3x4 seed=3
+node Gemm in=f,W2 out=d
+node Softmax in=d out=s axis=-1
+output s
+)";
+
+TEST(OnnxFrontend, ParsesNodeList) {
+  const Module module = FromOnnx(kTinyOnnx);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.conv2d"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 3}));
+}
+
+TEST(OnnxFrontend, ConcatSlice) {
+  const Module module = FromOnnx(
+      "ONNX_MODEL v1\n"
+      "input x shape=1x2x4x4\n"
+      "node Relu in=x out=a\n"
+      "node Tanh in=x out=b\n"
+      "node Concat in=a,b out=c axis=1\n"
+      "node Slice in=c out=d starts=0,1,0,0 ends=1,3,4,4\n"
+      "output d\n");
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 2, 4, 4}));
+}
+
+TEST(OnnxFrontend, MultipleOutputs) {
+  const Module module = FromOnnx(
+      "ONNX_MODEL v1\ninput x shape=1x4\n"
+      "node Relu in=x out=a\nnode Sigmoid in=x out=b\noutput a,b\n");
+  EXPECT_TRUE(module.main()->checked_type().IsTuple());
+}
+
+TEST(OnnxFrontend, Errors) {
+  EXPECT_THROW(FromOnnx("ONNX_MODEL v1\ninput x shape=1x4\noutput missing\n"), Error);
+  EXPECT_THROW(FromOnnx("ONNX_MODEL v1\ninput x shape=1x4\nnode Nope in=x out=y\noutput y\n"),
+               Error);
+  EXPECT_THROW(FromOnnx("ONNX_MODEL v1\ninput x shape=1x2x4x4\n"
+                        "node Pad in=x out=y pads=1,1\noutput y\n"),
+               Error);  // pads must be 2*rank
+}
+
+// ------------------------------------------------------------------ mxnet
+
+constexpr const char* kTinyMxnet = R"(MXNET_SYMBOL v1
+name: tiny
+var data shape=1x3x16x16
+sym conv0 op=Convolution in=data num_filter=8 kernel=3x3 stride=2x2 pad=1x1 no_bias=1 seed=1
+sym bn0 op=BatchNorm in=conv0 seed=2
+sym act0 op=Activation in=bn0 act_type=relu
+sym proj op=Convolution in=act0 num_filter=8 kernel=1x1 seed=3
+sym plus0 op=elemwise_add in=act0,proj
+sym gpool op=Pooling in=plus0 global_pool=1 pool_type=avg
+sym fc op=FullyConnected in=gpool num_hidden=4 seed=4
+sym sm op=SoftmaxOutput in=fc
+output sm
+)";
+
+TEST(MxnetFrontend, ParsesSymbolGraph) {
+  const Module module = FromMxnet(kTinyMxnet);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.conv2d"), 2);
+  EXPECT_EQ(CountCalls(module.main()->body(), "add"), 1);
+  EXPECT_EQ(CountCalls(module.main()->body(), "nn.batch_norm"), 1);
+  EXPECT_EQ(module.main()->checked_type().AsTensor().shape, Shape({1, 4}));
+}
+
+TEST(MxnetFrontend, RunsEndToEnd) {
+  relay::GraphExecutor exec(relay::Build(FromMxnet(kTinyMxnet)));
+  exec.SetInput("data", NDArray::RandomNormal(Shape({1, 3, 16, 16}), 5));
+  exec.Run();
+  double sum = 0;
+  for (float v : exec.GetOutput(0).Span<float>()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(MxnetFrontend, Errors) {
+  EXPECT_THROW(FromMxnet("MXNET_SYMBOL v1\noutput nothing\n"), Error);  // no var
+  EXPECT_THROW(FromMxnet("MXNET_SYMBOL v1\nvar data shape=1x3x8x8\n"
+                         "sym a op=Nope in=data\noutput a\n"),
+               Error);
+  EXPECT_THROW(FromMxnet("MXNET_SYMBOL v1\nvar data shape=1x3x8x8\n"
+                         "sym a op=Convolution in=data kernel=3x3\noutput a\n"),
+               Error);  // missing num_filter
+  EXPECT_THROW(FromMxnet("MXNET_SYMBOL v1\nvar data shape=1x3x8x8\n"
+                         "sym a op=Activation in=data act_type=gelu\noutput a\n"),
+               Error);  // unknown activation
+}
+
+// ------------------------------------------------------------- dispatcher
+
+TEST(ImportDispatch, RoutesByFramework) {
+  EXPECT_NO_THROW(Import("keras", kTinyKeras));
+  EXPECT_NO_THROW(Import("pytorch", kTinyTorch));
+  EXPECT_NO_THROW(Import("tflite", kTinyTfliteQuant));
+  EXPECT_NO_THROW(Import("darknet", kTinyDarknet));
+  EXPECT_NO_THROW(Import("onnx", kTinyOnnx));
+  EXPECT_NO_THROW(Import("mxnet", kTinyMxnet));
+  EXPECT_THROW(Import("caffe", kTinyOnnx), Error);
+}
+
+TEST(SeededWeights, DeterministicAcrossImports) {
+  const Module a = FromKeras(kTinyKeras);
+  const Module b = FromKeras(kTinyKeras);
+  // Find the conv weights in both and compare bit-for-bit.
+  NDArray wa, wb;
+  for (const auto& node : relay::PostOrder(a.main()->body())) {
+    if (node->kind() == relay::ExprKind::kConstant) {
+      const auto c = relay::As<relay::Constant>(node);
+      if (c->data().shape().rank() == 4) wa = c->data();
+    }
+  }
+  for (const auto& node : relay::PostOrder(b.main()->body())) {
+    if (node->kind() == relay::ExprKind::kConstant) {
+      const auto c = relay::As<relay::Constant>(node);
+      if (c->data().shape().rank() == 4) wb = c->data();
+    }
+  }
+  ASSERT_TRUE(wa.defined());
+  EXPECT_TRUE(NDArray::BitEqual(wa, wb));
+}
+
+}  // namespace
+}  // namespace frontend
+}  // namespace tnp

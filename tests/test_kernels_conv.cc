@@ -1,0 +1,247 @@
+// Convolution / dense kernels, checked against independent naive reference
+// implementations across a parameterized sweep of shapes, strides, padding,
+// dilation and groups.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/conv.h"
+#include "kernels/dense.h"
+#include "kernels/quantize.h"
+#include "support/rng.h"
+
+namespace tnp {
+namespace kernels {
+namespace {
+
+/// Naive direct convolution, written independently of the im2col kernel.
+void NaiveConv2D(const NDArray& input, const NDArray& weight, const NDArray& bias,
+                 NDArray& output, const Conv2DParams& p) {
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t ci = input.shape()[1];
+  const std::int64_t in_h = input.shape()[2];
+  const std::int64_t in_w = input.shape()[3];
+  const std::int64_t co = weight.shape()[0];
+  const std::int64_t ci_g = weight.shape()[1];
+  const std::int64_t kh = weight.shape()[2];
+  const std::int64_t kw = weight.shape()[3];
+  const std::int64_t out_h = output.shape()[2];
+  const std::int64_t out_w = output.shape()[3];
+  const std::int64_t co_g = co / p.groups;
+
+  const float* in = input.Data<float>();
+  const float* w = weight.Data<float>();
+  const float* b = bias.defined() ? bias.Data<float>() : nullptr;
+  float* out = output.Data<float>();
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < co; ++oc) {
+      const std::int64_t g = oc / co_g;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = b != nullptr ? b[oc] : 0.0;
+          for (std::int64_t ic = 0; ic < ci_g; ++ic) {
+            const std::int64_t in_c = g * ci_g + ic;
+            for (std::int64_t y = 0; y < kh; ++y) {
+              const std::int64_t ih = oh * p.stride_h - p.pad_h + y * p.dilation_h;
+              if (ih < 0 || ih >= in_h) continue;
+              for (std::int64_t x = 0; x < kw; ++x) {
+                const std::int64_t iw = ow * p.stride_w - p.pad_w + x * p.dilation_w;
+                if (iw < 0 || iw >= in_w) continue;
+                acc += in[((n * ci + in_c) * in_h + ih) * in_w + iw] *
+                       w[((oc * ci_g + ic) * kh + y) * kw + x];
+              }
+            }
+          }
+          out[((n * co + oc) * out_h + oh) * out_w + ow] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+}
+
+struct ConvCase {
+  std::int64_t batch, ci, hw, co, kernel, stride, pad, dilation, groups;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, MatchesNaiveReference) {
+  const ConvCase& c = GetParam();
+  NDArray input = NDArray::RandomNormal(Shape({c.batch, c.ci, c.hw, c.hw}), 10, 1.0f);
+  NDArray weight =
+      NDArray::RandomNormal(Shape({c.co, c.ci / c.groups, c.kernel, c.kernel}), 11, 0.5f);
+  NDArray bias = NDArray::RandomNormal(Shape({c.co}), 12, 0.1f);
+
+  Conv2DParams p;
+  p.stride_h = p.stride_w = c.stride;
+  p.pad_h = p.pad_w = c.pad;
+  p.dilation_h = p.dilation_w = c.dilation;
+  p.groups = c.groups;
+
+  const Shape out_shape = Conv2DOutShape(input.shape(), weight.shape(), p);
+  NDArray fast = NDArray::Empty(out_shape, DType::kFloat32);
+  NDArray naive = NDArray::Empty(out_shape, DType::kFloat32);
+  Conv2DF32(input, weight, bias, fast, p);
+  NaiveConv2D(input, weight, bias, naive, p);
+  EXPECT_LT(NDArray::MaxAbsDiff(fast, naive), 1e-3) << "case hw=" << c.hw << " k=" << c.kernel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvSweep,
+    ::testing::Values(
+        ConvCase{1, 3, 8, 4, 3, 1, 0, 1, 1},    // basic valid conv
+        ConvCase{1, 3, 8, 4, 3, 1, 1, 1, 1},    // padded
+        ConvCase{1, 3, 9, 4, 3, 2, 1, 1, 1},    // strided odd extent
+        ConvCase{2, 4, 8, 6, 3, 2, 1, 1, 1},    // batch 2
+        ConvCase{1, 4, 8, 4, 1, 1, 0, 1, 1},    // 1x1
+        ConvCase{1, 6, 8, 6, 3, 1, 1, 1, 6},    // depthwise
+        ConvCase{1, 8, 8, 16, 3, 1, 1, 1, 4},   // grouped
+        ConvCase{1, 3, 12, 4, 5, 1, 2, 1, 1},   // 5x5
+        ConvCase{1, 3, 12, 4, 3, 1, 2, 2, 1},   // dilated
+        ConvCase{1, 3, 16, 8, 7, 2, 3, 1, 1},   // 7x7/2 stem conv
+        ConvCase{1, 2, 5, 2, 5, 1, 2, 1, 1},    // kernel ~ input size
+        ConvCase{3, 5, 7, 5, 3, 3, 1, 1, 1}));  // stride 3, batch 3
+
+TEST(Conv2D, OutputShapeMismatchThrows) {
+  NDArray input = NDArray::Zeros(Shape({1, 3, 8, 8}), DType::kFloat32);
+  NDArray weight = NDArray::Zeros(Shape({4, 3, 3, 3}), DType::kFloat32);
+  NDArray bias = NDArray::Zeros(Shape({4}), DType::kFloat32);
+  NDArray bad = NDArray::Zeros(Shape({1, 4, 8, 8}), DType::kFloat32);
+  EXPECT_THROW(Conv2DF32(input, weight, bias, bad, Conv2DParams{}), InternalError);
+}
+
+TEST(Conv2D, WindowLargerThanInputThrows) {
+  Conv2DParams p;
+  EXPECT_THROW(Conv2DOutShape(Shape({1, 3, 2, 2}), Shape({4, 3, 5, 5}), p), InternalError);
+}
+
+TEST(Conv2D, NoBiasMatchesZeroBias) {
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 6, 6}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({2, 3, 3, 3}), 2);
+  Conv2DParams p;
+  const Shape out_shape = Conv2DOutShape(input.shape(), weight.shape(), p);
+  NDArray with_zero = NDArray::Empty(out_shape, DType::kFloat32);
+  NDArray without = NDArray::Empty(out_shape, DType::kFloat32);
+  Conv2DF32(input, weight, NDArray::Zeros(Shape({2}), DType::kFloat32), with_zero, p);
+  Conv2DF32(input, weight, NDArray(), without, p);
+  EXPECT_TRUE(NDArray::BitEqual(with_zero, without));
+}
+
+// ---------------------------------------------------------------- quantized
+
+struct QConvCase {
+  std::int64_t ci, hw, co, kernel, stride, pad, groups;
+};
+
+class QConvSweep : public ::testing::TestWithParam<QConvCase> {};
+
+TEST_P(QConvSweep, TracksFloatReference) {
+  // Property: dequantize(QConv(quantize(x))) ~= float conv within a few
+  // quantization steps.
+  const QConvCase& c = GetParam();
+  const QuantParams in_q(0.05f, 3);
+  const QuantParams w_q(0.02f, 0);
+  const QuantParams out_q(0.2f, -5);
+
+  NDArray q_input = NDArray::RandomInt8(Shape({1, c.ci, c.hw, c.hw}), 20, -100, 100);
+  NDArray q_weight =
+      NDArray::RandomInt8(Shape({c.co, c.ci / c.groups, c.kernel, c.kernel}), 21, -100, 100);
+  NDArray bias = NDArray::Zeros(Shape({c.co}), DType::kInt32);
+
+  Conv2DParams p;
+  p.stride_h = p.stride_w = c.stride;
+  p.pad_h = p.pad_w = c.pad;
+  p.groups = c.groups;
+  const Shape out_shape = Conv2DOutShape(q_input.shape(), q_weight.shape(), p);
+
+  NDArray q_out = NDArray::Empty(out_shape, DType::kInt8);
+  QConv2DS8(q_input, q_weight, bias, q_out, p, in_q, w_q, out_q);
+
+  // Float reference over dequantized operands.
+  NDArray f_input = NDArray::Empty(q_input.shape(), DType::kFloat32);
+  NDArray f_weight = NDArray::Empty(q_weight.shape(), DType::kFloat32);
+  DequantizeS8ToF32(q_input, f_input, in_q);
+  DequantizeS8ToF32(q_weight, f_weight, w_q);
+  NDArray f_out = NDArray::Empty(out_shape, DType::kFloat32);
+  NaiveConv2D(f_input, f_weight, NDArray(), f_out, p);
+
+  const float* fo = f_out.Data<float>();
+  const std::int8_t* qo = q_out.Data<std::int8_t>();
+  for (std::int64_t i = 0; i < f_out.NumElements(); ++i) {
+    const float expected = std::clamp(fo[i], out_q.Dequantize(-128), out_q.Dequantize(127));
+    EXPECT_NEAR(out_q.Dequantize(qo[i]), expected, out_q.scale * 1.01f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QConvSweep,
+                         ::testing::Values(QConvCase{3, 8, 4, 3, 1, 1, 1},
+                                           QConvCase{4, 8, 4, 3, 2, 1, 1},
+                                           QConvCase{6, 8, 6, 3, 1, 1, 6},
+                                           QConvCase{4, 6, 8, 1, 1, 0, 1},
+                                           QConvCase{8, 10, 8, 5, 2, 2, 2}));
+
+TEST(QConv2D, ZeroPointPaddingIsNeutral) {
+  // With a non-zero input zero-point, padded positions must contribute
+  // exactly zero after the zero-point shift.
+  const QuantParams in_q(0.1f, 7);
+  const QuantParams w_q(0.1f, 0);
+  const QuantParams out_q(0.1f, 0);
+  // Input where every value equals the zero-point: real value 0 everywhere.
+  NDArray q_input = NDArray::Full(Shape({1, 1, 4, 4}), DType::kInt8, 7);
+  NDArray q_weight = NDArray::RandomInt8(Shape({1, 1, 3, 3}), 5, -50, 50);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  NDArray out = NDArray::Empty(Shape({1, 1, 4, 4}), DType::kInt8);
+  QConv2DS8(q_input, q_weight, NDArray(), out, p, in_q, w_q, out_q);
+  for (std::int8_t v : out.Span<std::int8_t>()) EXPECT_EQ(v, 0);  // zp_out == 0
+}
+
+// -------------------------------------------------------------------- dense
+
+TEST(Dense, MatchesManual) {
+  NDArray input = NDArray::FromVector<float>(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  NDArray weight = NDArray::FromVector<float>(Shape({2, 3}), {1, 0, 0, 0, 1, 0});
+  NDArray bias = NDArray::FromVector<float>(Shape({2}), {10, 20});
+  NDArray out = NDArray::Empty(Shape({2, 2}), DType::kFloat32);
+  DenseF32(input, weight, bias, out);
+  const float* o = out.Data<float>();
+  EXPECT_FLOAT_EQ(o[0], 11.0f);  // 1 + 10
+  EXPECT_FLOAT_EQ(o[1], 22.0f);  // 2 + 20
+  EXPECT_FLOAT_EQ(o[2], 14.0f);  // 4 + 10
+  EXPECT_FLOAT_EQ(o[3], 25.0f);  // 5 + 20
+}
+
+TEST(Dense, ShapeMismatchThrows) {
+  NDArray input = NDArray::Zeros(Shape({1, 3}), DType::kFloat32);
+  NDArray weight = NDArray::Zeros(Shape({2, 4}), DType::kFloat32);
+  NDArray out = NDArray::Zeros(Shape({1, 2}), DType::kFloat32);
+  EXPECT_THROW(DenseF32(input, weight, NDArray(), out), InternalError);
+}
+
+TEST(QDense, TracksFloatReference) {
+  const QuantParams in_q(0.05f, 0);
+  const QuantParams w_q(0.02f, 2);
+  const QuantParams out_q(0.5f, 0);
+  NDArray q_input = NDArray::RandomInt8(Shape({2, 16}), 30, -100, 100);
+  NDArray q_weight = NDArray::RandomInt8(Shape({4, 16}), 31, -100, 100);
+  NDArray bias = NDArray::Zeros(Shape({4}), DType::kInt32);
+  NDArray q_out = NDArray::Empty(Shape({2, 4}), DType::kInt8);
+  QDenseS8(q_input, q_weight, bias, q_out, in_q, w_q, out_q);
+
+  NDArray f_input = NDArray::Empty(q_input.shape(), DType::kFloat32);
+  NDArray f_weight = NDArray::Empty(q_weight.shape(), DType::kFloat32);
+  DequantizeS8ToF32(q_input, f_input, in_q);
+  DequantizeS8ToF32(q_weight, f_weight, w_q);
+  NDArray f_out = NDArray::Empty(Shape({2, 4}), DType::kFloat32);
+  DenseF32(f_input, f_weight, NDArray(), f_out);
+
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(out_q.Dequantize(q_out.Data<std::int8_t>()[i]), f_out.Data<float>()[i],
+                out_q.scale);
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,316 @@
+// Elementwise / pooling / data-movement kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/elementwise.h"
+#include "kernels/pool.h"
+
+namespace tnp {
+namespace kernels {
+namespace {
+
+NDArray F32(Shape shape, std::vector<float> values) {
+  return NDArray::FromVector<float>(std::move(shape), values);
+}
+
+TEST(Unary, Relu) {
+  NDArray in = F32(Shape({4}), {-1, 0, 2, -3});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  ReluF32(in, out);
+  EXPECT_EQ(out.Data<float>()[0], 0.0f);
+  EXPECT_EQ(out.Data<float>()[2], 2.0f);
+}
+
+TEST(Unary, LeakyRelu) {
+  NDArray in = F32(Shape({2}), {-10, 10});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  LeakyReluF32(in, out, 0.1f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], -1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 10.0f);
+}
+
+TEST(Unary, SigmoidBounds) {
+  NDArray in = F32(Shape({3}), {-100, 0, 100});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  SigmoidF32(in, out);
+  EXPECT_NEAR(out.Data<float>()[0], 0.0f, 1e-6);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 0.5f);
+  EXPECT_NEAR(out.Data<float>()[2], 1.0f, 1e-6);
+}
+
+TEST(Unary, Clip) {
+  NDArray in = F32(Shape({3}), {-5, 3, 50});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  ClipF32(in, out, 0.0f, 6.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 0.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 3.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 6.0f);
+}
+
+TEST(Unary, ReluS8UsesZeroPoint) {
+  NDArray in = NDArray::FromVector<std::int8_t>(Shape({3}), {-10, 5, 20});
+  NDArray out = NDArray::Empty(in.shape(), DType::kInt8);
+  ReluS8(in, out, 5);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 5);
+  EXPECT_EQ(out.Data<std::int8_t>()[1], 5);
+  EXPECT_EQ(out.Data<std::int8_t>()[2], 20);
+}
+
+// ---------------------------------------------------------------- broadcast
+
+TEST(Broadcast, ShapeRules) {
+  EXPECT_EQ(BroadcastShape(Shape({1, 3, 4}), Shape({2, 1, 4})), Shape({2, 3, 4}));
+  EXPECT_EQ(BroadcastShape(Shape({4}), Shape({2, 3, 4})), Shape({2, 3, 4}));
+  EXPECT_EQ(BroadcastShape(Shape({}), Shape({5})), Shape({5}));
+  EXPECT_THROW(BroadcastShape(Shape({3}), Shape({4})), Error);
+}
+
+TEST(Broadcast, SameShapeFastPath) {
+  NDArray a = F32(Shape({4}), {1, 2, 3, 4});
+  NDArray b = F32(Shape({4}), {10, 20, 30, 40});
+  NDArray out = NDArray::Empty(Shape({4}), DType::kFloat32);
+  BroadcastBinaryF32(BinaryOp::kAdd, a, b, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[3], 44.0f);
+}
+
+TEST(Broadcast, ScalarPath) {
+  NDArray a = F32(Shape({3}), {1, 2, 3});
+  NDArray s = F32(Shape({1}), {10});
+  NDArray out = NDArray::Empty(Shape({3}), DType::kFloat32);
+  BroadcastBinaryF32(BinaryOp::kMul, a, s, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 30.0f);
+  BroadcastBinaryF32(BinaryOp::kSub, s, a, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 7.0f);
+}
+
+TEST(Broadcast, ChannelBias) {
+  // (1,2,2,2) + (1,2,1,1): the per-channel pattern bias_add lowers to.
+  NDArray a = F32(Shape({1, 2, 2, 2}), {1, 1, 1, 1, 2, 2, 2, 2});
+  NDArray b = F32(Shape({1, 2, 1, 1}), {10, 20});
+  NDArray out = NDArray::Empty(Shape({1, 2, 2, 2}), DType::kFloat32);
+  BroadcastBinaryF32(BinaryOp::kAdd, a, b, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 11.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[4], 22.0f);
+}
+
+TEST(Broadcast, AllOps) {
+  NDArray a = F32(Shape({2}), {6, -2});
+  NDArray b = F32(Shape({2}), {3, 4});
+  NDArray out = NDArray::Empty(Shape({2}), DType::kFloat32);
+  BroadcastBinaryF32(BinaryOp::kDiv, a, b, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 2.0f);
+  BroadcastBinaryF32(BinaryOp::kMax, a, b, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 4.0f);
+  BroadcastBinaryF32(BinaryOp::kMin, a, b, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], -2.0f);
+}
+
+// ------------------------------------------------------------------ softmax
+
+TEST(Softmax, SumsToOne) {
+  NDArray in = NDArray::RandomNormal(Shape({2, 5}), 3, 2.0f);
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  SoftmaxF32(in, out, -1);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 5; ++c) sum += out.Data<float>()[r * 5 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, ShiftInvariant) {
+  NDArray a = F32(Shape({1, 3}), {1, 2, 3});
+  NDArray b = F32(Shape({1, 3}), {101, 102, 103});
+  NDArray oa = NDArray::Empty(a.shape(), DType::kFloat32);
+  NDArray ob = NDArray::Empty(b.shape(), DType::kFloat32);
+  SoftmaxF32(a, oa, 1);
+  SoftmaxF32(b, ob, 1);
+  EXPECT_LT(NDArray::MaxAbsDiff(oa, ob), 1e-6);
+}
+
+TEST(Softmax, AxisOne) {
+  // Axis over channels of NCHW.
+  NDArray in = NDArray::RandomNormal(Shape({1, 4, 2, 2}), 5);
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  SoftmaxF32(in, out, 1);
+  for (int pos = 0; pos < 4; ++pos) {
+    double sum = 0.0;
+    for (int c = 0; c < 4; ++c) sum += out.Data<float>()[c * 4 + pos];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+// ------------------------------------------------------------------ pooling
+
+TEST(Pool, MaxBasic) {
+  NDArray in = F32(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  NDArray out = NDArray::Empty(Shape({1, 1, 1, 1}), DType::kFloat32);
+  Pool2DParams p;
+  MaxPool2DF32(in, out, p);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 4.0f);
+}
+
+TEST(Pool, AvgExcludesPadByDefault) {
+  NDArray in = F32(Shape({1, 1, 2, 2}), {2, 2, 2, 2});
+  Pool2DParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 1;
+  p.pad_h = p.pad_w = 1;
+  NDArray out = NDArray::Empty(Shape({1, 1, 2, 2}), DType::kFloat32);
+  AvgPool2DF32(in, out, p);
+  // Every window sees only value-2 pixels; count excludes padding.
+  for (float v : out.Span<float>()) EXPECT_FLOAT_EQ(v, 2.0f);
+
+  p.count_include_pad = true;
+  AvgPool2DF32(in, out, p);
+  // Top-left window: 4 real pixels of 9 -> 8/9.
+  EXPECT_NEAR(out.Data<float>()[0], 8.0f / 9.0f, 1e-6);
+}
+
+TEST(Pool, GlobalAvg) {
+  NDArray in = F32(Shape({1, 2, 2, 2}), {1, 2, 3, 4, 10, 10, 10, 10});
+  NDArray out = NDArray::Empty(Shape({1, 2, 1, 1}), DType::kFloat32);
+  GlobalAvgPool2DF32(in, out);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 2.5f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 10.0f);
+}
+
+TEST(Pool, Int8MaxAndAvg) {
+  NDArray in = NDArray::FromVector<std::int8_t>(Shape({1, 1, 2, 2}), {-8, 3, 5, 1});
+  NDArray out = NDArray::Empty(Shape({1, 1, 1, 1}), DType::kInt8);
+  Pool2DParams p;
+  MaxPool2DS8(in, out, p);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 5);
+  AvgPool2DS8(in, out, p);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 0);  // mean 0.25 rounds to 0
+
+  NDArray gout = NDArray::Empty(Shape({1, 1, 1, 1}), DType::kInt8);
+  GlobalAvgPool2DS8(in, gout);
+  EXPECT_EQ(gout.Data<std::int8_t>()[0], 0);
+}
+
+// ----------------------------------------------------------- data movement
+
+TEST(Concat, AxisOne) {
+  NDArray a = F32(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  NDArray b = F32(Shape({1, 2, 2, 2}), {5, 6, 7, 8, 9, 10, 11, 12});
+  NDArray out = NDArray::Empty(Shape({1, 3, 2, 2}), DType::kFloat32);
+  Concat({a, b}, out, 1);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[4], 5.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[11], 12.0f);
+}
+
+TEST(Concat, LastAxis) {
+  NDArray a = F32(Shape({2, 1}), {1, 2});
+  NDArray b = F32(Shape({2, 2}), {3, 4, 5, 6});
+  NDArray out = NDArray::Empty(Shape({2, 3}), DType::kFloat32);
+  Concat({a, b}, out, 1);
+  const float expect[6] = {1, 3, 4, 2, 5, 6};
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(out.Data<float>()[i], expect[i]);
+}
+
+TEST(Pad, SpatialPad) {
+  NDArray in = F32(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  NDArray out = NDArray::Empty(Shape({1, 1, 4, 4}), DType::kFloat32);
+  PadConstant(in, out, {0, 0, 1, 1}, {0, 0, 1, 1}, 9.0);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 9.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[5], 1.0f);   // (1,1)
+  EXPECT_FLOAT_EQ(out.Data<float>()[10], 4.0f);  // (2,2)
+  EXPECT_FLOAT_EQ(out.Data<float>()[15], 9.0f);
+}
+
+TEST(Pad, AsymmetricPad) {
+  NDArray in = F32(Shape({2}), {1, 2});
+  NDArray out = NDArray::Empty(Shape({5}), DType::kFloat32);
+  PadConstant(in, out, {1}, {2}, 0.0);
+  const float expect[5] = {0, 1, 2, 0, 0};
+  for (int i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(out.Data<float>()[i], expect[i]);
+}
+
+TEST(Upsampling, Nearest2x) {
+  NDArray in = F32(Shape({1, 1, 2, 2}), {1, 2, 3, 4});
+  NDArray out = NDArray::Empty(Shape({1, 1, 4, 4}), DType::kFloat32);
+  UpsamplingNearestF32(in, out, 2, 2);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[5], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[15], 4.0f);
+}
+
+TEST(StridedSliceTest, Basic) {
+  NDArray in = F32(Shape({1, 4}), {10, 11, 12, 13});
+  NDArray out = NDArray::Empty(Shape({1, 2}), DType::kFloat32);
+  StridedSlice(in, out, {0, 1}, {1, 3}, {1, 1});
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 11.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 12.0f);
+}
+
+TEST(StridedSliceTest, WithStride) {
+  NDArray in = F32(Shape({6}), {0, 1, 2, 3, 4, 5});
+  NDArray out = NDArray::Empty(Shape({3}), DType::kFloat32);
+  StridedSlice(in, out, {0}, {6}, {2});
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 4.0f);
+}
+
+TEST(MeanTest, SpatialMean) {
+  NDArray in = F32(Shape({1, 2, 2, 2}), {1, 2, 3, 4, 5, 5, 5, 5});
+  NDArray out = NDArray::Empty(Shape({1, 2}), DType::kFloat32);
+  MeanF32(in, out, {2, 3});
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 2.5f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 5.0f);
+}
+
+TEST(TransposeTest, Permute) {
+  NDArray in = F32(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  NDArray out = NDArray::Empty(Shape({3, 2}), DType::kFloat32);
+  Transpose(in, out, {1, 0});
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[1], 4.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[2], 2.0f);
+}
+
+TEST(CastTest, FloatToInt8Saturates) {
+  NDArray in = F32(Shape({3}), {300.0f, -300.0f, 2.6f});
+  NDArray out = NDArray::Empty(Shape({3}), DType::kInt8);
+  Cast(in, out);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 127);
+  EXPECT_EQ(out.Data<std::int8_t>()[1], -128);
+  EXPECT_EQ(out.Data<std::int8_t>()[2], 2);
+}
+
+TEST(BatchNorm, FoldsToScaleShift) {
+  NDArray in = NDArray::RandomNormal(Shape({1, 2, 3, 3}), 8);
+  NDArray gamma = F32(Shape({2}), {2.0f, 1.0f});
+  NDArray beta = F32(Shape({2}), {0.5f, -0.5f});
+  NDArray mean = F32(Shape({2}), {1.0f, 0.0f});
+  NDArray var = F32(Shape({2}), {4.0f, 1.0f});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  BatchNormF32(in, gamma, beta, mean, var, out, 0.0f);
+  // channel 0: y = 2*(x-1)/2 + 0.5 = x - 0.5
+  EXPECT_NEAR(out.Data<float>()[0], in.Data<float>()[0] - 0.5f, 1e-5);
+  // channel 1: y = x - 0.5
+  EXPECT_NEAR(out.Data<float>()[9], in.Data<float>()[9] - 0.5f, 1e-5);
+}
+
+TEST(BiasAdd, ChannelAxis) {
+  NDArray in = NDArray::Zeros(Shape({1, 2, 2, 2}), DType::kFloat32);
+  NDArray bias = F32(Shape({2}), {1.0f, 2.0f});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  BiasAddF32(in, bias, out, 1);
+  EXPECT_FLOAT_EQ(out.Data<float>()[0], 1.0f);
+  EXPECT_FLOAT_EQ(out.Data<float>()[4], 2.0f);
+}
+
+TEST(BiasAdd, LastAxis) {
+  NDArray in = NDArray::Zeros(Shape({2, 3}), DType::kFloat32);
+  NDArray bias = F32(Shape({3}), {1, 2, 3});
+  NDArray out = NDArray::Empty(in.shape(), DType::kFloat32);
+  BiasAddF32(in, bias, out, -1);
+  EXPECT_FLOAT_EQ(out.Data<float>()[5], 3.0f);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,136 @@
+// Quantization kernels: round trips, requantize, quantized elementwise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/quantize.h"
+#include "support/rng.h"
+
+namespace tnp {
+namespace kernels {
+namespace {
+
+class QuantRoundTrip : public ::testing::TestWithParam<std::pair<float, int>> {};
+
+TEST_P(QuantRoundTrip, ErrorBoundedByHalfScale) {
+  const auto [scale, zero_point] = GetParam();
+  const QuantParams q(scale, zero_point);
+  NDArray real = NDArray::RandomNormal(Shape({512}), 77, scale * 40);
+  NDArray quantized = NDArray::Empty(real.shape(), DType::kInt8);
+  NDArray recovered = NDArray::Empty(real.shape(), DType::kFloat32);
+  QuantizeF32ToS8(real, quantized, q);
+  DequantizeS8ToF32(quantized, recovered, q);
+
+  const float lo = q.Dequantize(-128);
+  const float hi = q.Dequantize(127);
+  for (std::int64_t i = 0; i < real.NumElements(); ++i) {
+    const float clamped = std::clamp(real.Data<float>()[i], lo, hi);
+    EXPECT_NEAR(recovered.Data<float>()[i], clamped, scale / 2 + 1e-6)
+        << "scale=" << scale << " zp=" << zero_point;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, QuantRoundTrip,
+                         ::testing::Values(std::make_pair(0.1f, 0),
+                                           std::make_pair(0.05f, 10),
+                                           std::make_pair(0.02f, -20),
+                                           std::make_pair(1.0f, 0),
+                                           std::make_pair(0.007f, 3)));
+
+TEST(Requantize, IdentityWhenSameParams) {
+  const QuantParams q(0.1f, 5);
+  NDArray in = NDArray::RandomInt8(Shape({64}), 9);
+  NDArray out = NDArray::Empty(in.shape(), DType::kInt8);
+  RequantizeS8(in, out, q, q);
+  EXPECT_TRUE(NDArray::BitEqual(in, out));
+}
+
+TEST(Requantize, HalvesScale) {
+  const QuantParams in_q(0.2f, 0);
+  const QuantParams out_q(0.4f, 0);
+  NDArray in = NDArray::FromVector<std::int8_t>(Shape({3}), {10, -20, 100});
+  NDArray out = NDArray::Empty(in.shape(), DType::kInt8);
+  RequantizeS8(in, out, in_q, out_q);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 5);
+  EXPECT_EQ(out.Data<std::int8_t>()[1], -10);
+  EXPECT_EQ(out.Data<std::int8_t>()[2], 50);
+}
+
+TEST(Requantize, ZeroPointShift) {
+  const QuantParams in_q(0.1f, 0);
+  const QuantParams out_q(0.1f, 10);
+  NDArray in = NDArray::FromVector<std::int8_t>(Shape({2}), {0, 50});
+  NDArray out = NDArray::Empty(in.shape(), DType::kInt8);
+  RequantizeS8(in, out, in_q, out_q);
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 10);
+  EXPECT_EQ(out.Data<std::int8_t>()[1], 60);
+}
+
+TEST(QAdd, TracksRealAddition) {
+  const QuantParams a_q(0.1f, 0);
+  const QuantParams b_q(0.05f, -4);
+  const QuantParams out_q(0.2f, 2);
+  NDArray a = NDArray::RandomInt8(Shape({128}), 1, -100, 100);
+  NDArray b = NDArray::RandomInt8(Shape({128}), 2, -100, 100);
+  NDArray out = NDArray::Empty(a.shape(), DType::kInt8);
+  QAddS8(a, b, out, a_q, b_q, out_q);
+  for (std::int64_t i = 0; i < 128; ++i) {
+    const float real = a_q.Dequantize(a.Data<std::int8_t>()[i]) +
+                       b_q.Dequantize(b.Data<std::int8_t>()[i]);
+    const float clamped = std::clamp(real, out_q.Dequantize(-128), out_q.Dequantize(127));
+    EXPECT_NEAR(out_q.Dequantize(out.Data<std::int8_t>()[i]), clamped, out_q.scale);
+  }
+}
+
+TEST(QMul, TracksRealMultiplication) {
+  const QuantParams a_q(0.1f, 0);
+  const QuantParams b_q(0.1f, 0);
+  const QuantParams out_q(0.5f, 0);
+  NDArray a = NDArray::RandomInt8(Shape({64}), 3, -50, 50);
+  NDArray b = NDArray::RandomInt8(Shape({64}), 4, -50, 50);
+  NDArray out = NDArray::Empty(a.shape(), DType::kInt8);
+  QMulS8(a, b, out, a_q, b_q, out_q);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    const float real = a_q.Dequantize(a.Data<std::int8_t>()[i]) *
+                       b_q.Dequantize(b.Data<std::int8_t>()[i]);
+    const float clamped = std::clamp(real, out_q.Dequantize(-128), out_q.Dequantize(127));
+    EXPECT_NEAR(out_q.Dequantize(out.Data<std::int8_t>()[i]), clamped, out_q.scale);
+  }
+}
+
+TEST(QConcat, RescalesInputs) {
+  const QuantParams a_q(0.1f, 0);
+  const QuantParams b_q(0.2f, 0);
+  const QuantParams out_q(0.2f, 0);
+  NDArray a = NDArray::FromVector<std::int8_t>(Shape({1, 2}), {20, 40});   // 2.0, 4.0
+  NDArray b = NDArray::FromVector<std::int8_t>(Shape({1, 2}), {10, 20});   // 2.0, 4.0
+  NDArray out = NDArray::Empty(Shape({1, 4}), DType::kInt8);
+  QConcatS8({a, b}, {a_q, b_q}, out, out_q, 1);
+  // In output scale 0.2: 2.0 -> 10, 4.0 -> 20 for both halves.
+  EXPECT_EQ(out.Data<std::int8_t>()[0], 10);
+  EXPECT_EQ(out.Data<std::int8_t>()[1], 20);
+  EXPECT_EQ(out.Data<std::int8_t>()[2], 10);
+  EXPECT_EQ(out.Data<std::int8_t>()[3], 20);
+}
+
+TEST(QConcat, SameParamsAvoidCopyError) {
+  const QuantParams q(0.1f, 0);
+  NDArray a = NDArray::RandomInt8(Shape({1, 3}), 5);
+  NDArray b = NDArray::RandomInt8(Shape({1, 3}), 6);
+  NDArray out = NDArray::Empty(Shape({1, 6}), DType::kInt8);
+  QConcatS8({a, b}, {q, q}, out, q, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.Data<std::int8_t>()[i], a.Data<std::int8_t>()[i]);
+    EXPECT_EQ(out.Data<std::int8_t>()[3 + i], b.Data<std::int8_t>()[i]);
+  }
+}
+
+TEST(Quantize, InvalidParamsThrow) {
+  NDArray in = NDArray::Zeros(Shape({2}), DType::kFloat32);
+  NDArray out = NDArray::Empty(Shape({2}), DType::kInt8);
+  EXPECT_THROW(QuantizeF32ToS8(in, out, QuantParams::None()), InternalError);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,178 @@
+// The hand-weighted functional models: anti-spoofing separates real from
+// spoof faces, the emotion matched-filter bank recovers all 7 emotions,
+// both with ground-truth and with detector-localized crops, and both
+// produce identical outputs through every supported flow.
+#include <gtest/gtest.h>
+
+#include "core/flows.h"
+#include "vision/detector.h"
+#include "vision/image.h"
+#include "vision/models.h"
+#include "vision/scene.h"
+
+namespace tnp {
+namespace vision {
+namespace {
+
+NDArray RenderedFaceCrop(Emotion emotion, bool spoof, double face_size,
+                         std::uint64_t seed) {
+  Scene scene;
+  scene.width = 160;
+  scene.height = 160;
+  Person person;
+  person.face = Box{40.0 + (seed % 7), 40.0 + (seed % 5), face_size, face_size};
+  person.body = Box{30, 90, 80, 60};
+  person.spoof = spoof;
+  person.emotion = emotion;
+  scene.persons.push_back(person);
+  const NDArray frame = RenderFrame(scene, static_cast<int>(seed));
+  return FaceCrop48(frame, person.face);
+}
+
+core::InferenceSessionPtr AntiSpoofSession() {
+  static core::InferenceSessionPtr session =
+      core::CompileFlow(AntiSpoofFunctionalModule(), core::FlowKind::kByocCpuApu);
+  return session;
+}
+
+core::InferenceSessionPtr EmotionSession() {
+  static core::InferenceSessionPtr session =
+      core::CompileFlow(EmotionFunctionalModule(), core::FlowKind::kNpApu);
+  return session;
+}
+
+struct FaceCase {
+  int emotion;
+  double size;
+};
+
+class AntiSpoofSweep : public ::testing::TestWithParam<FaceCase> {};
+
+TEST_P(AntiSpoofSweep, SeparatesRealFromSpoof) {
+  const FaceCase c = GetParam();
+  const auto session = AntiSpoofSession();
+
+  const NDArray real = RenderedFaceCrop(static_cast<Emotion>(c.emotion), false, c.size, 3);
+  session->SetInput("face", real);
+  session->Run();
+  const float real_score = session->GetOutput(0).Data<float>()[0];
+  EXPECT_GT(real_score, 0.5f) << "real face misclassified (size " << c.size << ")";
+
+  const NDArray spoof = RenderedFaceCrop(static_cast<Emotion>(c.emotion), true, c.size, 3);
+  session->SetInput("face", spoof);
+  session->Run();
+  const float spoof_score = session->GetOutput(0).Data<float>()[0];
+  EXPECT_LT(spoof_score, 0.5f) << "spoof face misclassified (size " << c.size << ")";
+  EXPECT_TRUE(IsSpoof(session->GetOutput(0)));
+}
+
+class EmotionSweep : public ::testing::TestWithParam<FaceCase> {};
+
+TEST_P(EmotionSweep, RecoversEmotion) {
+  const FaceCase c = GetParam();
+  const auto session = EmotionSession();
+  const NDArray crop = RenderedFaceCrop(static_cast<Emotion>(c.emotion), false, c.size, 5);
+  session->SetInput("face", crop);
+  session->Run();
+  const NDArray probs = session->GetOutput(0);
+  EXPECT_EQ(ArgmaxEmotion(probs), c.emotion) << "size " << c.size;
+  // Decisive: the winning probability dominates.
+  EXPECT_GT(probs.Data<float>()[c.emotion], 0.8f);
+}
+
+std::vector<FaceCase> AllCases() {
+  std::vector<FaceCase> cases;
+  for (int emotion = 0; emotion < kNumEmotions; ++emotion) {
+    for (const double size : {36.0, 44.0, 52.0}) {
+      cases.push_back(FaceCase{emotion, size});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(EmotionsAndSizes, AntiSpoofSweep, ::testing::ValuesIn(AllCases()));
+INSTANTIATE_TEST_SUITE_P(EmotionsAndSizes, EmotionSweep, ::testing::ValuesIn(AllCases()));
+
+TEST(FunctionalModels, WorkWithDetectorBoxes) {
+  // End-to-end: detector-localized (not ground-truth) crops still classify.
+  const Scene scene = Scene::Random(320, 240, 4, 0, 21);
+  const NDArray frame = RenderFrame(scene, 0);
+  const auto faces = DetectFaces(frame);
+  int checked = 0;
+  for (const auto& detection : faces) {
+    const Person* match = nullptr;
+    for (const auto& person : scene.persons) {
+      if (IoU(detection.box, person.face) > 0.5) match = &person;
+    }
+    if (match == nullptr) continue;
+    ++checked;
+    const NDArray crop = FaceCrop48(frame, detection.box);
+    const auto anti = AntiSpoofSession();
+    anti->SetInput("face", crop);
+    anti->Run();
+    EXPECT_EQ(IsSpoof(anti->GetOutput(0)), match->spoof);
+    if (!match->spoof) {
+      const auto emo = EmotionSession();
+      emo->SetInput("face", crop);
+      emo->Run();
+      EXPECT_EQ(ArgmaxEmotion(emo->GetOutput(0)), static_cast<int>(match->emotion));
+    }
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(FunctionalModels, AntiSpoofConsistentAcrossFlows) {
+  // sigmoid keeps NP-only flows unsupported; all others agree bitwise.
+  const relay::Module module = AntiSpoofFunctionalModule();
+  const NDArray crop = RenderedFaceCrop(Emotion::kHappy, false, 44, 1);
+  NDArray reference;
+  int supported = 0;
+  for (const core::FlowKind flow : core::kAllFlows) {
+    std::string error;
+    const auto session = core::TryCompileFlow(module, flow, &error);
+    if (session == nullptr) {
+      EXPECT_NE(error.find("sigmoid"), std::string::npos) << core::FlowName(flow);
+      continue;
+    }
+    ++supported;
+    session->SetInput("face", crop);
+    session->Run();
+    if (!reference.defined()) {
+      reference = session->GetOutput(0);
+    } else {
+      EXPECT_TRUE(NDArray::BitEqual(reference, session->GetOutput(0)))
+          << core::FlowName(flow);
+    }
+  }
+  EXPECT_EQ(supported, 4);  // TVM-only + 3 BYOC
+}
+
+TEST(FunctionalModels, EmotionSupportedOnAllSevenFlows) {
+  // The emotion model maps fully onto Neuron (no sigmoid/tanh), so even the
+  // NeuroPilot-only APU flow compiles — mirroring the paper's observation
+  // that the emotion model is most efficient on the APU alone.
+  const relay::Module module = EmotionFunctionalModule();
+  for (const core::FlowKind flow : core::kAllFlows) {
+    std::string error;
+    EXPECT_NE(core::TryCompileFlow(module, flow, &error), nullptr)
+        << core::FlowName(flow) << ": " << error;
+  }
+}
+
+TEST(FunctionalModels, AntiSpoofSplitsIntoMultipleSubgraphs) {
+  const auto session =
+      core::CompileFlow(AntiSpoofFunctionalModule(), core::FlowKind::kByocCpuApu);
+  EXPECT_GE(session->NumPartitions(), 1);
+  EXPECT_GT(session->NumExternalOps(), 2);
+}
+
+TEST(FunctionalModels, ArgmaxHelperValidation) {
+  NDArray probs = NDArray::Zeros(Shape({1, kNumEmotions}), DType::kFloat32);
+  probs.Data<float>()[4] = 1.0f;
+  EXPECT_EQ(ArgmaxEmotion(probs), 4);
+  EXPECT_THROW(ArgmaxEmotion(NDArray::Zeros(Shape({1, 3}), DType::kFloat32)), InternalError);
+}
+
+}  // namespace
+}  // namespace vision
+}  // namespace tnp

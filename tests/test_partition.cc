@@ -1,0 +1,232 @@
+// BYOC partitioning: region structure, convexity, multi-output extraction,
+// and a randomized property test asserting that partitioning never changes
+// program semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/common.h"
+#include "relay/byoc_partition.h"
+#include "relay/interpreter.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+#include "support/rng.h"
+
+namespace tnp {
+namespace relay {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+/// Predicate used by most tests: everything except `sigmoid` is supported.
+bool AllButSigmoid(const Call& call) {
+  return call.callee_kind() == CalleeKind::kOp && call.op_name() != "sigmoid";
+}
+
+Module SimpleChainModule() {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto a = TypedCall("nn.relu", {x});
+  auto b = TypedCall("sigmoid", {a});
+  auto c = TypedCall("tanh", {b});
+  return Module(MakeFunction({x}, c));
+}
+
+int NumExternal(const Module& module) {
+  return static_cast<int>(module.ExternalFunctions("nir").size());
+}
+
+TEST(Partition, ChainSplitsAroundUnsupported) {
+  Module module = InferType().Run(SimpleChainModule());
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  // relu and tanh each form a region; sigmoid stays hosted.
+  EXPECT_EQ(NumExternal(partitioned), 2);
+  EXPECT_EQ(CountCalls(partitioned.main()->body(), "sigmoid"), 1);
+  EXPECT_EQ(CountCalls(partitioned.main()->body(), "nn.relu"), 0);
+}
+
+TEST(Partition, FullySupportedIsOneRegion) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto a = TypedCall("nn.relu", {x});
+  auto b = TypedCall("tanh", {a});
+  Module module = InferType().Run(Module(MakeFunction({x}, b)));
+  const Module partitioned =
+      PartitionGraph(module, "nir", [](const Call&) { return true; });
+  EXPECT_EQ(NumExternal(partitioned), 1);
+  // Main body is just the external call.
+  const auto body = As<Call>(partitioned.main()->body());
+  EXPECT_EQ(body->callee_kind(), CalleeKind::kGlobal);
+}
+
+TEST(Partition, NothingSupportedNoChange) {
+  Module module = InferType().Run(SimpleChainModule());
+  const Module partitioned =
+      PartitionGraph(module, "nir", [](const Call&) { return false; });
+  EXPECT_EQ(NumExternal(partitioned), 0);
+}
+
+TEST(Partition, DiamondStaysOneRegion) {
+  // x -> relu -> {tanh, exp} -> add : all supported, must be ONE region
+  // (merging both branches is convex).
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto r = TypedCall("nn.relu", {x});
+  auto t = TypedCall("tanh", {r});
+  auto e = TypedCall("exp", {r});
+  auto sum = TypedCall("add", {t, e});
+  Module module = InferType().Run(Module(MakeFunction({x}, sum)));
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  EXPECT_EQ(NumExternal(partitioned), 1);
+}
+
+TEST(Partition, ConvexityPreventsCycle) {
+  // r -> sigmoid(host) -> add(r, .): merging add with r's region would
+  // create a region the host sigmoid both depends on and feeds.
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto r = TypedCall("nn.relu", {x});
+  auto s = TypedCall("sigmoid", {r});
+  auto sum = TypedCall("add", {r, s});
+  Module module = InferType().Run(Module(MakeFunction({x}, sum)));
+  const RegionAssignment regions = AnnotateAndMergeRegions(module.main(), AllButSigmoid);
+  EXPECT_EQ(regions.num_regions, 2);
+  EXPECT_NE(regions.RegionOf(r.get()), regions.RegionOf(sum.get()));
+  // And the partitioned module still builds + runs (no cyclic call graph).
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  EXPECT_EQ(NumExternal(partitioned), 2);
+}
+
+TEST(Partition, MultiOutputRegionReturnsTuple) {
+  // Region output consumed twice outside: relu feeds host sigmoid AND is
+  // part of the final add -> region has one output used by two consumers;
+  // a second region output appears when two distinct nodes escape.
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto r1 = TypedCall("nn.relu", {x});
+  auto r2 = TypedCall("tanh", {r1});
+  auto host1 = TypedCall("sigmoid", {r1});
+  auto host2 = TypedCall("sigmoid", {r2});
+  auto sum = TypedCall("add", {host1, host2});
+  Module module = InferType().Run(Module(MakeFunction({x}, sum)));
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  // Two regions: {relu, tanh} (its outputs both escape to host sigmoids)
+  // and {add} downstream of them.
+  ASSERT_EQ(NumExternal(partitioned), 2);
+  bool found_tuple_region = false;
+  for (const auto& name : partitioned.ExternalFunctions("nir")) {
+    if (partitioned.Get(name)->body()->kind() == ExprKind::kTuple) found_tuple_region = true;
+  }
+  EXPECT_TRUE(found_tuple_region) << "multi-output region should return a tuple";
+}
+
+TEST(Partition, ConstantsEmbeddedNotParams) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  Module module = InferType().Run(Module(MakeFunction({x}, conv)));
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  ASSERT_EQ(NumExternal(partitioned), 1);
+  const FunctionPtr region = partitioned.Get(partitioned.ExternalFunctions("nir")[0]);
+  EXPECT_EQ(region->params().size(), 1u);  // only x; weights embedded
+  EXPECT_EQ(region->attrs().GetString(kAttrCompiler, ""), "nir");
+  EXPECT_FALSE(region->attrs().GetString(kAttrGlobalSymbol, "").empty());
+}
+
+TEST(Partition, TupleAbsorbedWithConcat) {
+  auto x = TypedVar("x", Shape({1, 2, 4, 4}), DType::kFloat32);
+  auto a = TypedCall("nn.relu", {x});
+  auto b = TypedCall("tanh", {x});
+  auto cat = TypedCall("concatenate", {frontend::TypedTuple({a, b})},
+                       Attrs().SetInt("axis", 1));
+  Module module = InferType().Run(Module(MakeFunction({x}, cat)));
+  const Module partitioned = PartitionGraph(module, "nir", AllButSigmoid);
+  // Everything (including the tuple) is one region.
+  EXPECT_EQ(NumExternal(partitioned), 1);
+}
+
+TEST(Partition, RequiresInferredTypes) {
+  Module module = SimpleChainModule();
+  // Wipe cached types by rebuilding an untyped clone.
+  auto x = MakeVar("y", Type::Tensor(Shape({1, 4}), DType::kFloat32));
+  Module untyped(MakeFunction({x}, MakeCall("nn.relu", {x})));
+  EXPECT_THROW(PartitionGraph(untyped, "nir", AllButSigmoid), InternalError);
+}
+
+// ------------------------- randomized property test -------------------------
+
+/// Random DAG of unary/binary float ops (some NIR-supported, some not).
+/// Property: partitioned module evaluates identically to the original.
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, SemanticsPreserved) {
+  support::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  auto x = TypedVar("x", Shape({1, 8}), DType::kFloat32);
+
+  std::vector<ExprPtr> pool = {x};
+  const char* unary_ops[] = {"nn.relu", "tanh", "sigmoid", "exp", "nn.leaky_relu"};
+  const int num_nodes = 12 + static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < num_nodes; ++i) {
+    const ExprPtr pick_a = pool[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    if (rng.Uniform() < 0.6) {
+      const char* op = unary_ops[rng.UniformInt(0, 4)];
+      Attrs attrs;
+      if (std::string(op) == "nn.leaky_relu") attrs.SetDouble("alpha", 0.1);
+      pool.push_back(TypedCall(op, {pick_a}, attrs));
+    } else {
+      const ExprPtr pick_b = pool[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      pool.push_back(TypedCall(rng.Uniform() < 0.5 ? "add" : "multiply", {pick_a, pick_b}));
+    }
+  }
+  // Combine a few leaves into the final output so the DAG has one root.
+  ExprPtr root = pool.back();
+  root = TypedCall("add", {root, pool[pool.size() / 2]});
+  Module module = InferType().Run(Module(MakeFunction({x}, root)));
+
+  // Supported = everything except sigmoid and leaky_relu (mirrors how the
+  // real Neuron matrix excludes some activations).
+  const SupportPredicate pred = [](const Call& call) {
+    return call.op_name() != "sigmoid" && call.op_name() != "nn.leaky_relu";
+  };
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 8}), 1000 + GetParam(), 0.7f);
+  Environment env;
+  env[module.main()->params()[0].get()] = Value(input);
+  const Value expected = EvalExpr(module.main()->body(), env);
+
+  const Module partitioned = PartitionGraph(module, "nir", pred);
+
+  // Every supported call must live inside a region; no supported op remains
+  // in main.
+  for (const auto& node : PostOrder(partitioned.main()->body())) {
+    if (node->kind() != ExprKind::kCall) continue;
+    const auto call = std::static_pointer_cast<Call>(node);
+    if (call->callee_kind() != CalleeKind::kOp) continue;
+    EXPECT_FALSE(pred(*call)) << "supported op '" << call->op_name() << "' left in main";
+  }
+
+  // Evaluate the partitioned module by inlining the global functions.
+  struct Inliner : ExprMutator {
+    const Module* module = nullptr;
+    ExprPtr RewriteCall(const CallPtr& call) override {
+      if (call->callee_kind() != CalleeKind::kGlobal) return call;
+      const FunctionPtr callee = module->Get(call->op_name());
+      return MakeFunctionCall(MakeFunction(callee->params(), callee->body()), call->args());
+    }
+  };
+  Inliner inliner;
+  inliner.module = &partitioned;
+  const ExprPtr inlined = inliner.Mutate(partitioned.main()->body());
+  Environment env2;
+  env2[partitioned.main()->params()[0].get()] = Value(input);
+  const Value actual = EvalExpr(inlined, env2);
+
+  EXPECT_TRUE(NDArray::BitEqual(expected.AsTensor(), actual.AsTensor()))
+      << "partitioning changed program semantics (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace relay
+}  // namespace tnp

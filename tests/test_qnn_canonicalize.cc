@@ -1,0 +1,137 @@
+// QnnCanonicalize: the float reference lowering of the QNN dialect.
+// Property: for pre-quantized models, the canonicalized float graph tracks
+// the dequantized int8 pipeline within a small multiple of the output scale.
+#include <gtest/gtest.h>
+
+#include "core/flows.h"
+#include "frontend/common.h"
+#include "relay/build.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace relay {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+
+TEST(QnnCanonicalizeTest, RemovesAllQnnOps) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  const Module module = zoo::Build("mobilenet_v1_quant", options);
+  const Module canonical = QnnCanonicalize().Run(module);
+  for (const auto& node : PostOrder(canonical.main()->body())) {
+    if (node->kind() != ExprKind::kCall) continue;
+    const auto call = As<Call>(node);
+    if (call->callee_kind() != CalleeKind::kOp) continue;
+    EXPECT_NE(call->op_name().substr(0, 4), "qnn.")
+        << "residual QNN op " << call->op_name();
+  }
+  // Result type stays float (the model already dequantized before softmax).
+  EXPECT_EQ(canonical.main()->checked_type().AsTensor().dtype, DType::kFloat32);
+}
+
+TEST(QnnCanonicalizeTest, Int8InputsBecomeFloat) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kInt8);
+  auto dq = TypedCall("qnn.dequantize", {x},
+                      Attrs().SetDouble("input_scale", 0.1).SetInt("input_zero_point", 0));
+  Module module(MakeFunction({x}, dq));
+  const Module canonical = QnnCanonicalize().Run(InferType().Run(module));
+  EXPECT_EQ(canonical.main()->params()[0]->type_annotation().AsTensor().dtype,
+            DType::kFloat32);
+}
+
+TEST(QnnCanonicalizeTest, QuantizeBecomesSaturationClip) {
+  auto x = TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto q = TypedCall("qnn.quantize", {x},
+                     Attrs().SetDouble("output_scale", 0.1).SetInt("output_zero_point", 0));
+  Module module(MakeFunction({x}, q));
+  const Module canonical = QnnCanonicalize().Run(InferType().Run(module));
+  const auto body = As<Call>(canonical.main()->body());
+  ASSERT_EQ(body->op_name(), "clip");
+  EXPECT_NEAR(body->attrs().GetDouble("a_min", 0), -12.8, 1e-5);
+  EXPECT_NEAR(body->attrs().GetDouble("a_max", 0), 12.7, 1e-5);
+
+  // Saturation semantics verified numerically.
+  GraphExecutor exec(Build(canonical));
+  exec.SetInput("x", NDArray::FromVector<float>(Shape({1, 4}), {-100, -1, 1, 100}));
+  exec.Run();
+  const float* out = exec.GetOutput(0).Data<float>();
+  EXPECT_FLOAT_EQ(out[0], -12.8f);
+  EXPECT_FLOAT_EQ(out[3], 12.7f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+}
+
+class QnnCanonicalizeSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QnnCanonicalizeSweep, FloatReferenceTracksIntegerPipeline) {
+  // The canonicalized float graph and the genuine int8 graph, fed the same
+  // real-valued input, must agree within a modest error bound (quantization
+  // rounding accumulates through the stack; saturation is modeled exactly).
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  const Module quant_module = zoo::Build(GetParam(), options);
+  const Module float_module = QnnCanonicalize().Run(quant_module);
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 32, 32}), 31, 0.4f);
+
+  GraphExecutor int_exec(Build(quant_module));
+  int_exec.SetInput("t0", input);
+  int_exec.Run();
+  const NDArray int_out = int_exec.GetOutput(0);
+
+  GraphExecutor float_exec(Build(float_module));
+  float_exec.SetInput("t0", input);
+  float_exec.Run();
+  const NDArray float_out = float_exec.GetOutput(0);
+
+  ASSERT_EQ(int_out.shape(), float_out.shape());
+  ASSERT_EQ(int_out.dtype(), DType::kFloat32);  // both models end in softmax
+
+  // Softmax outputs live in [0,1]; rounding noise through a quantized
+  // backbone perturbs the logits, so compare loosely but meaningfully.
+  const double diff = NDArray::MaxAbsDiff(int_out, float_out);
+  EXPECT_LT(diff, 0.35) << GetParam();
+  // And the float reference is not a constant function.
+  double spread = 0.0;
+  const float* p = float_out.Data<float>();
+  for (std::int64_t i = 1; i < float_out.NumElements(); ++i) {
+    spread = std::max(spread, static_cast<double>(std::fabs(p[i] - p[0])));
+  }
+  EXPECT_GT(spread, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuantModels, QnnCanonicalizeSweep,
+                         ::testing::Values("mobilenet_v1_quant", "mobilenet_v2_quant"));
+
+TEST(QnnCanonicalizeTest, CanonicalizedModelRunsAllFloatFlows) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  const Module canonical =
+      QnnCanonicalize().Run(zoo::Build("mobilenet_v1_quant", options));
+  // Fully float + all ops Neuron-mappable: every flow compiles.
+  for (const core::FlowKind flow : core::kAllFlows) {
+    std::string error;
+    EXPECT_NE(core::TryCompileFlow(canonical, flow, &error), nullptr)
+        << core::FlowName(flow) << ": " << error;
+  }
+}
+
+TEST(QnnCanonicalizeTest, FloatGraphUntouched) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  const Module module = InferType().Run(zoo::Build("mobilenet_v1", options));
+  const Module canonical = QnnCanonicalize().Run(module);
+  EXPECT_EQ(CountCalls(module.main()->body()), CountCalls(canonical.main()->body()));
+}
+
+}  // namespace
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,282 @@
+// Optimization passes: FoldConstant, SimplifyExpr (incl. module DCE), FuseOps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/common.h"
+#include "relay/interpreter.h"
+#include "relay/pass.h"
+#include "relay/visitor.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace relay {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+int CountModuleCalls(const Module& module, const std::string& op = "") {
+  return CountCalls(module.main()->body(), op);
+}
+
+TEST(FoldConstantPass, FoldsConstSubtree) {
+  // relu(add(c1, c2)) with x unused in that branch folds to a constant.
+  auto c1 = MakeConstant(NDArray::Full(Shape({2}), DType::kFloat32, 1.0));
+  auto c2 = MakeConstant(NDArray::Full(Shape({2}), DType::kFloat32, -3.0));
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto folded_branch = MakeCall("nn.relu", {MakeCall("add", {c1, c2})});
+  auto body = MakeCall("add", {x, folded_branch});
+  Module module(MakeFunction({x}, body));
+  module = Sequential({InferType(), FoldConstant()}).Run(module);
+  // Only the outer add survives.
+  EXPECT_EQ(CountModuleCalls(module), 1);
+  const auto call = As<Call>(module.main()->body());
+  ASSERT_EQ(call->args()[1]->kind(), ExprKind::kConstant);
+  const auto constant = As<Constant>(call->args()[1]);
+  EXPECT_FLOAT_EQ(constant->data().Data<float>()[0], 0.0f);  // relu(1-3)=0
+}
+
+TEST(FoldConstantPass, DoesNotFoldVarDependent) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto body = MakeCall("nn.relu", {x});
+  Module module(MakeFunction({x}, body));
+  module = Sequential({InferType(), FoldConstant()}).Run(module);
+  EXPECT_EQ(CountModuleCalls(module, "nn.relu"), 1);
+}
+
+TEST(FoldConstantPass, FoldsConstantTupleConcat) {
+  auto c1 = MakeConstant(NDArray::Full(Shape({1, 2}), DType::kFloat32, 1.0));
+  auto c2 = MakeConstant(NDArray::Full(Shape({1, 3}), DType::kFloat32, 2.0));
+  auto cat = MakeCall("concatenate", {MakeTuple({c1, c2})}, Attrs().SetInt("axis", 1));
+  auto x = TypedVar("x", Shape({1, 5}), DType::kFloat32);
+  Module module(MakeFunction({x}, MakeCall("add", {x, cat})));
+  module = Sequential({InferType(), FoldConstant()}).Run(module);
+  EXPECT_EQ(CountModuleCalls(module, "concatenate"), 0);
+}
+
+TEST(SimplifyExprPass, RemovesDropoutAndTupleGet) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto dropped = MakeCall("nn.dropout", {x}, Attrs().SetDouble("rate", 0.5));
+  auto tuple = MakeTuple({dropped, x});
+  auto get = MakeTupleGetItem(tuple, 0);
+  auto body = MakeCall("nn.relu", {get});
+  Module module(MakeFunction({x}, body));
+  module = Sequential({InferType(), SimplifyExpr()}).Run(module);
+  EXPECT_EQ(CountModuleCalls(module, "nn.dropout"), 0);
+  const auto relu = As<Call>(module.main()->body());
+  EXPECT_EQ(relu->args()[0]->kind(), ExprKind::kVar);  // tuple-get collapsed
+}
+
+TEST(SimplifyExprPass, ModuleDceDropsUnreachable) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  Module module(MakeFunction({x}, MakeCall("nn.relu", {x})));
+  auto y = TypedVar("y", Shape({2}), DType::kFloat32);
+  module.Add("orphan", MakeFunction({y}, MakeCall("sigmoid", {y})));
+  auto z = TypedVar("z", Shape({2}), DType::kFloat32);
+  module.Add("nir_0", MakeFunction({z}, MakeCall("tanh", {z})));
+  // Reference nir_0 from main; orphan stays unreferenced.
+  auto body = MakeGlobalCall("nir_0", {MakeCall("nn.relu", {x})});
+  module.Add("main", MakeFunction({x}, body));
+
+  const Module cleaned = SimplifyExpr().Run(module);
+  EXPECT_TRUE(cleaned.Has("main"));
+  EXPECT_TRUE(cleaned.Has("nir_0"));
+  EXPECT_FALSE(cleaned.Has("orphan"));
+}
+
+TEST(FuseOpsPass, FusesConvBiasRelu) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto biased = TypedCall("nn.bias_add", {conv, WeightF32(Shape({4}), 2, 0.1f)});
+  auto relu = TypedCall("nn.relu", {biased});
+  Module module(MakeFunction({x}, relu));
+  module = Sequential({InferType(), FuseOps()}).Run(module);
+
+  const auto body = As<Call>(module.main()->body());
+  ASSERT_EQ(body->callee_kind(), CalleeKind::kFunction);
+  EXPECT_TRUE(body->fn()->IsPrimitive());
+  // One external input: x (constants stay embedded).
+  EXPECT_EQ(body->args().size(), 1u);
+  EXPECT_EQ(CountCalls(body->fn()->body()), 3);
+}
+
+TEST(FuseOpsPass, PreservesSemantics) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  Module module(MakeFunction({x}, relu));
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 8, 8}), 7);
+  Environment env;
+  env[x.get()] = Value(input);
+  const Value before = EvalExpr(module.main()->body(), env);
+
+  module = Sequential({InferType(), FuseOps()}).Run(module);
+  Environment env2;
+  env2[module.main()->params()[0].get()] = Value(input);
+  const Value after = EvalExpr(module.main()->body(), env2);
+  EXPECT_TRUE(NDArray::BitEqual(before.AsTensor(), after.AsTensor()));
+}
+
+TEST(FuseOpsPass, StopsAtMultiConsumer) {
+  // conv feeds both relu and sigmoid: the intermediate escapes, no fusion
+  // past it.
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto sig = TypedCall("sigmoid", {conv});
+  auto sum = TypedCall("add", {relu, sig});
+  Module module(MakeFunction({x}, sum));
+  module = Sequential({InferType(), FuseOps()}).Run(module);
+  // conv must remain a standalone call (not fused into either consumer).
+  EXPECT_EQ(CountModuleCalls(module, "nn.conv2d"), 1);
+}
+
+TEST(FuseOpsPass, StopsAtNonLeafSecondOperand) {
+  // add(conv, other_conv): the second operand is not a leaf, so the add is
+  // not absorbed into the first conv's group.
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv1 = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                         Attrs().SetInts("padding", {1, 1}));
+  auto conv2 = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 2), ZeroBiasF32(4)},
+                         Attrs().SetInts("padding", {1, 1}));
+  auto sum = TypedCall("add", {conv1, conv2});
+  Module module(MakeFunction({x}, sum));
+  module = Sequential({InferType(), FuseOps()}).Run(module);
+  EXPECT_EQ(CountModuleCalls(module, "add"), 1);
+  EXPECT_EQ(CountModuleCalls(module, "nn.conv2d"), 2);
+}
+
+TEST(FuseOpsPass, SkipsExternalFunctions) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  Attrs ext;
+  ext.SetString(kAttrCompiler, "nir");
+  Module module;
+  module.Add("nir_0", MakeFunction({x}, relu, ext));
+  auto y = TypedVar("y", Shape({1, 3, 8, 8}), DType::kFloat32);
+  module.Add("main", MakeFunction({y}, MakeGlobalCall("nir_0", {y})));
+  const Module fused = Sequential({InferType(), FuseOps()}).Run(module);
+  // The external body keeps its plain op calls.
+  EXPECT_EQ(CountCalls(fused.Get("nir_0")->body(), "nn.conv2d"), 1);
+}
+
+TEST(FoldBatchNormPass, FoldsConvBnPair) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto bn_params = frontend::BatchNormConstants(4, 7);
+  auto bn = TypedCall("nn.batch_norm",
+                      {conv, bn_params[0], bn_params[1], bn_params[2], bn_params[3]},
+                      Attrs().SetDouble("epsilon", 1e-5));
+  Module module(MakeFunction({x}, bn));
+  module = InferType().Run(module);
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 8, 8}), 13);
+  Environment env;
+  env[module.main()->params()[0].get()] = Value(input);
+  const Value expected = EvalExpr(module.main()->body(), env);
+
+  const Module folded = FoldBatchNorm().Run(module);
+  EXPECT_EQ(CountModuleCalls(folded, "nn.batch_norm"), 0);
+  EXPECT_EQ(CountModuleCalls(folded, "nn.conv2d"), 1);
+
+  Environment env2;
+  env2[folded.main()->params()[0].get()] = Value(input);
+  const Value actual = EvalExpr(folded.main()->body(), env2);
+  EXPECT_LT(NDArray::MaxAbsDiff(expected.AsTensor(), actual.AsTensor()), 1e-4);
+}
+
+TEST(FoldBatchNormPass, GroupedConvFolds) {
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({4, 1, 3, 3}), 1), ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}).SetInt("groups", 4));
+  auto bn_params = frontend::BatchNormConstants(4, 3);
+  auto bn = TypedCall("nn.batch_norm",
+                      {conv, bn_params[0], bn_params[1], bn_params[2], bn_params[3]});
+  Module module = InferType().Run(Module(MakeFunction({x}, bn)));
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 4, 8, 8}), 21);
+  Environment env;
+  env[module.main()->params()[0].get()] = Value(input);
+  const Value expected = EvalExpr(module.main()->body(), env);
+
+  const Module folded = FoldBatchNorm().Run(module);
+  EXPECT_EQ(CountModuleCalls(folded, "nn.batch_norm"), 0);
+  Environment env2;
+  env2[folded.main()->params()[0].get()] = Value(input);
+  EXPECT_LT(NDArray::MaxAbsDiff(expected.AsTensor(),
+                                EvalExpr(folded.main()->body(), env2).AsTensor()),
+            1e-4);
+}
+
+TEST(FoldBatchNormPass, LeavesStandaloneBn) {
+  // BN whose input is a graph input (no conv to fold into) must survive.
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kFloat32);
+  auto bn_params = frontend::BatchNormConstants(4, 3);
+  auto bn = TypedCall("nn.batch_norm",
+                      {x, bn_params[0], bn_params[1], bn_params[2], bn_params[3]});
+  Module module = InferType().Run(Module(MakeFunction({x}, bn)));
+  const Module folded = FoldBatchNorm().Run(module);
+  EXPECT_EQ(CountModuleCalls(folded, "nn.batch_norm"), 1);
+}
+
+TEST(FoldBatchNormPass, WholeModelNumericsPreserved) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  const Module module = InferType().Run(zoo::Build("mobilenet_v1", options));
+  const int bn_before = CountModuleCalls(module, "nn.batch_norm");
+  ASSERT_GT(bn_before, 5);
+  const Module folded = FoldBatchNorm().Run(module);
+  EXPECT_EQ(CountModuleCalls(folded, "nn.batch_norm"), 0);
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 32, 32}), 9, 0.4f);
+  Environment env_a;
+  env_a[module.main()->params()[0].get()] = Value(input);
+  Environment env_b;
+  env_b[folded.main()->params()[0].get()] = Value(input);
+  const NDArray a = EvalExpr(module.main()->body(), env_a).AsTensor();
+  const NDArray b = EvalExpr(folded.main()->body(), env_b).AsTensor();
+  EXPECT_LT(NDArray::MaxAbsDiff(a, b), 1e-3);  // softmax outputs
+}
+
+TEST(Interpreter, EvaluatesTupleResults) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto relu = TypedCall("nn.relu", {x});
+  auto tanh_e = TypedCall("tanh", {x});
+  auto tuple = MakeTuple({relu, tanh_e});
+  Environment env;
+  NDArray input = NDArray::FromVector<float>(Shape({2}), {-1.0f, 1.0f});
+  env[x.get()] = Value(input);
+  const Value result = EvalExpr(tuple, env);
+  ASSERT_TRUE(result.is_tuple());
+  EXPECT_FLOAT_EQ(result.AsTuple()[0].AsTensor().Data<float>()[0], 0.0f);
+  EXPECT_NEAR(result.AsTuple()[1].AsTensor().Data<float>()[1], std::tanh(1.0f), 1e-6);
+}
+
+TEST(Interpreter, UnboundVarThrows) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto relu = TypedCall("nn.relu", {x});
+  EXPECT_THROW(EvalExpr(relu, Environment{}), Error);
+}
+
+TEST(Interpreter, GlobalCallWithoutModuleThrows) {
+  auto x = TypedVar("x", Shape({2}), DType::kFloat32);
+  auto call = MakeGlobalCall("somewhere", {x});
+  Environment env;
+  env[x.get()] = Value(NDArray::Zeros(Shape({2}), DType::kFloat32));
+  EXPECT_THROW(EvalExpr(call, env), Error);
+}
+
+}  // namespace
+}  // namespace relay
+}  // namespace tnp

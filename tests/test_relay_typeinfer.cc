@@ -1,0 +1,271 @@
+// Type inference for every registered operator, including failure cases.
+#include <gtest/gtest.h>
+
+#include "frontend/common.h"
+#include "relay/op.h"
+#include "relay/pass.h"
+
+namespace tnp {
+namespace relay {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedTuple;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+Type TensorF32(std::initializer_list<std::int64_t> dims) {
+  return Type::Tensor(Shape(dims), DType::kFloat32);
+}
+
+TEST(TypeInfer, Conv2D) {
+  auto x = TypedVar("x", Shape({1, 3, 32, 32}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        Attrs().SetInts("strides", {2, 2}).SetInts("padding", {1, 1}));
+  EXPECT_EQ(conv->checked_type(), TensorF32({1, 8, 16, 16}));
+}
+
+TEST(TypeInfer, Conv2DGrouped) {
+  auto x = TypedVar("x", Shape({1, 8, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 1, 3, 3}), 1), ZeroBiasF32(8)},
+                        Attrs().SetInts("padding", {1, 1}).SetInt("groups", 8));
+  EXPECT_EQ(conv->checked_type(), TensorF32({1, 8, 16, 16}));
+}
+
+TEST(TypeInfer, Conv2DBadWeightChannelsThrows) {
+  auto x = TypedVar("x", Shape({1, 3, 32, 32}), DType::kFloat32);
+  EXPECT_THROW(
+      TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 4, 3, 3}), 1), ZeroBiasF32(8)}, Attrs()),
+      Error);
+}
+
+TEST(TypeInfer, Conv2DBiasMismatchThrows) {
+  auto x = TypedVar("x", Shape({1, 3, 32, 32}), DType::kFloat32);
+  EXPECT_THROW(
+      TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(4)}, Attrs()),
+      Error);
+}
+
+TEST(TypeInfer, Dense) {
+  auto x = TypedVar("x", Shape({2, 10}), DType::kFloat32);
+  auto dense = TypedCall("nn.dense", {x, WeightF32(Shape({5, 10}), 1), ZeroBiasF32(5)});
+  EXPECT_EQ(dense->checked_type(), TensorF32({2, 5}));
+}
+
+TEST(TypeInfer, DenseMismatchThrows) {
+  auto x = TypedVar("x", Shape({2, 10}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("nn.dense", {x, WeightF32(Shape({5, 11}), 1), ZeroBiasF32(5)}), Error);
+}
+
+TEST(TypeInfer, BroadcastBinary) {
+  auto a = TypedVar("a", Shape({1, 3, 4, 4}), DType::kFloat32);
+  auto b = TypedVar("b", Shape({1, 3, 1, 1}), DType::kFloat32);
+  EXPECT_EQ(TypedCall("add", {a, b})->checked_type(), TensorF32({1, 3, 4, 4}));
+}
+
+TEST(TypeInfer, BinaryDtypeMismatchThrows) {
+  auto a = TypedVar("a", Shape({4}), DType::kFloat32);
+  auto b = TypedVar("b", Shape({4}), DType::kInt8);
+  EXPECT_THROW(TypedCall("add", {a, b}), Error);
+}
+
+TEST(TypeInfer, PoolsAndGlobalPool) {
+  auto x = TypedVar("x", Shape({1, 4, 16, 16}), DType::kFloat32);
+  auto pool = TypedCall("nn.max_pool2d", {x},
+                        Attrs().SetInts("pool_size", {2, 2}).SetInts("strides", {2, 2}));
+  EXPECT_EQ(pool->checked_type(), TensorF32({1, 4, 8, 8}));
+  auto gap = TypedCall("nn.global_avg_pool2d", {x});
+  EXPECT_EQ(gap->checked_type(), TensorF32({1, 4, 1, 1}));
+}
+
+TEST(TypeInfer, PoolPreservesInt8) {
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kInt8);
+  auto pool = TypedCall("nn.avg_pool2d", {x}, Attrs().SetInts("pool_size", {2, 2}));
+  EXPECT_EQ(pool->checked_type().AsTensor().dtype, DType::kInt8);
+}
+
+TEST(TypeInfer, BatchFlattenAndReshape) {
+  auto x = TypedVar("x", Shape({2, 3, 4, 5}), DType::kFloat32);
+  EXPECT_EQ(TypedCall("nn.batch_flatten", {x})->checked_type(), TensorF32({2, 60}));
+  EXPECT_EQ(TypedCall("reshape", {x}, Attrs().SetInts("newshape", {2, -1}))->checked_type(),
+            TensorF32({2, 60}));
+  EXPECT_THROW(TypedCall("reshape", {x}, Attrs().SetInts("newshape", {7, 7})), Error);
+  EXPECT_THROW(TypedCall("reshape", {x}, Attrs().SetInts("newshape", {-1, -1})), Error);
+}
+
+TEST(TypeInfer, Concatenate) {
+  auto a = TypedVar("a", Shape({1, 2, 4, 4}), DType::kFloat32);
+  auto b = TypedVar("b", Shape({1, 3, 4, 4}), DType::kFloat32);
+  auto cat = TypedCall("concatenate", {TypedTuple({a, b})}, Attrs().SetInt("axis", 1));
+  EXPECT_EQ(cat->checked_type(), TensorF32({1, 5, 4, 4}));
+}
+
+TEST(TypeInfer, ConcatenateMismatchThrows) {
+  auto a = TypedVar("a", Shape({1, 2, 4, 4}), DType::kFloat32);
+  auto b = TypedVar("b", Shape({1, 3, 5, 4}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("concatenate", {TypedTuple({a, b})}, Attrs().SetInt("axis", 1)),
+               Error);
+}
+
+TEST(TypeInfer, ConcatenateNonTupleThrows) {
+  auto a = TypedVar("a", Shape({1, 2}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("concatenate", {a}, Attrs().SetInt("axis", 1)), Error);
+}
+
+TEST(TypeInfer, PadUpsamplingSlice) {
+  auto x = TypedVar("x", Shape({1, 2, 8, 8}), DType::kFloat32);
+  EXPECT_EQ(TypedCall("nn.pad", {x},
+                      Attrs()
+                          .SetInts("pad_before", {0, 0, 1, 1})
+                          .SetInts("pad_after", {0, 0, 1, 1}))
+                ->checked_type(),
+            TensorF32({1, 2, 10, 10}));
+  EXPECT_EQ(TypedCall("nn.upsampling", {x}, Attrs().SetInt("scale_h", 2).SetInt("scale_w", 2))
+                ->checked_type(),
+            TensorF32({1, 2, 16, 16}));
+  EXPECT_EQ(TypedCall("strided_slice", {x},
+                      Attrs()
+                          .SetInts("begin", {0, 0, 2, 2})
+                          .SetInts("end", {1, 2, 6, 6})
+                          .SetInts("strides", {1, 1, 2, 2}))
+                ->checked_type(),
+            TensorF32({1, 2, 2, 2}));
+}
+
+TEST(TypeInfer, StridedSliceNegativeIndices) {
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kFloat32);
+  auto sliced = TypedCall("strided_slice", {x},
+                          Attrs().SetInts("begin", {0, 0, 1, 1}).SetInts(
+                              "end", {1, 4, 1 << 20, 1 << 20}));
+  EXPECT_EQ(sliced->checked_type(), TensorF32({1, 4, 7, 7}));
+}
+
+TEST(TypeInfer, MeanKeepdims) {
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kFloat32);
+  EXPECT_EQ(TypedCall("mean", {x}, Attrs().SetInts("axis", {2, 3}).SetInt("keepdims", 1))
+                ->checked_type(),
+            TensorF32({1, 4, 1, 1}));
+  EXPECT_EQ(TypedCall("mean", {x}, Attrs().SetInts("axis", {2, 3}))->checked_type(),
+            TensorF32({1, 4}));
+}
+
+TEST(TypeInfer, Transpose) {
+  auto x = TypedVar("x", Shape({1, 2, 3}), DType::kFloat32);
+  EXPECT_EQ(TypedCall("transpose", {x}, Attrs().SetInts("axes", {2, 0, 1}))->checked_type(),
+            TensorF32({3, 1, 2}));
+  EXPECT_THROW(TypedCall("transpose", {x}, Attrs().SetInts("axes", {0, 0, 1})), Error);
+}
+
+TEST(TypeInfer, Cast) {
+  auto x = TypedVar("x", Shape({4}), DType::kFloat32);
+  auto cast = TypedCall("cast", {x}, Attrs().SetString("dtype", "int8"));
+  EXPECT_EQ(cast->checked_type().AsTensor().dtype, DType::kInt8);
+}
+
+TEST(TypeInfer, BatchNorm) {
+  auto x = TypedVar("x", Shape({1, 4, 8, 8}), DType::kFloat32);
+  auto bn = frontend::BatchNormConstants(4, 1);
+  EXPECT_EQ(TypedCall("nn.batch_norm", {x, bn[0], bn[1], bn[2], bn[3]})->checked_type(),
+            TensorF32({1, 4, 8, 8}));
+  auto bad = frontend::BatchNormConstants(5, 1);
+  EXPECT_THROW(TypedCall("nn.batch_norm", {x, bad[0], bad[1], bad[2], bad[3]}), Error);
+}
+
+// ---------------- QNN ----------------
+
+Attrs QnnConvAttrs() {
+  Attrs attrs;
+  attrs.SetDouble("input_scale", 0.1).SetInt("input_zero_point", 0);
+  attrs.SetDouble("weight_scale", 0.05).SetInt("weight_zero_point", 0);
+  attrs.SetDouble("output_scale", 0.2).SetInt("output_zero_point", 0);
+  attrs.SetInts("strides", {1, 1}).SetInts("padding", {1, 1});
+  return attrs;
+}
+
+TEST(TypeInfer, QnnConv2D) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kInt8);
+  auto conv = TypedCall("qnn.conv2d",
+                        {x, frontend::WeightS8(Shape({4, 3, 3, 3}), 1),
+                         frontend::BiasS32(Shape({4}), 2)},
+                        QnnConvAttrs());
+  EXPECT_EQ(conv->checked_type().AsTensor().dtype, DType::kInt8);
+  EXPECT_EQ(conv->checked_type().AsTensor().shape, Shape({1, 4, 8, 8}));
+}
+
+TEST(TypeInfer, QnnConvMissingQuantAttrThrows) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kInt8);
+  EXPECT_THROW(TypedCall("qnn.conv2d",
+                         {x, frontend::WeightS8(Shape({4, 3, 3, 3}), 1),
+                          frontend::BiasS32(Shape({4}), 2)},
+                         Attrs().SetInts("padding", {1, 1})),
+               Error);
+}
+
+TEST(TypeInfer, QnnConvFloatInputThrows) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("qnn.conv2d",
+                         {x, frontend::WeightS8(Shape({4, 3, 3, 3}), 1),
+                          frontend::BiasS32(Shape({4}), 2)},
+                         QnnConvAttrs()),
+               Error);
+}
+
+TEST(TypeInfer, QuantizeDequantizeRequantize) {
+  auto f = TypedVar("f", Shape({4}), DType::kFloat32);
+  auto q = TypedCall("qnn.quantize", {f},
+                     Attrs().SetDouble("output_scale", 0.1).SetInt("output_zero_point", 0));
+  EXPECT_EQ(q->checked_type().AsTensor().dtype, DType::kInt8);
+  auto rq = TypedCall("qnn.requantize", {q},
+                      Attrs()
+                          .SetDouble("input_scale", 0.1)
+                          .SetInt("input_zero_point", 0)
+                          .SetDouble("output_scale", 0.2)
+                          .SetInt("output_zero_point", 0));
+  EXPECT_EQ(rq->checked_type().AsTensor().dtype, DType::kInt8);
+  auto dq = TypedCall("qnn.dequantize", {rq},
+                      Attrs().SetDouble("input_scale", 0.2).SetInt("input_zero_point", 0));
+  EXPECT_EQ(dq->checked_type().AsTensor().dtype, DType::kFloat32);
+}
+
+TEST(TypeInfer, UnknownOpThrows) {
+  auto x = TypedVar("x", Shape({1}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("nn.not_an_op", {x}), Error);
+}
+
+TEST(TypeInfer, ArityMismatchThrows) {
+  auto x = TypedVar("x", Shape({1}), DType::kFloat32);
+  EXPECT_THROW(TypedCall("nn.relu", {x, x}), Error);
+}
+
+TEST(TypeInfer, ModulePassAssignsAllTypes) {
+  auto x = TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = MakeCall("nn.conv2d", {x, WeightF32(Shape({4, 3, 3, 3}), 1), ZeroBiasF32(4)},
+                       Attrs().SetInts("padding", {1, 1}));
+  Module module(MakeFunction({x}, conv));
+  const Module typed = InferType().Run(module);
+  EXPECT_TRUE(typed.main()->checked_type().defined());
+  EXPECT_EQ(typed.main()->checked_type(), TensorF32({1, 4, 8, 8}));
+}
+
+TEST(TypeInfer, UnannotatedVarThrows) {
+  auto x = std::make_shared<Var>("x", Type());
+  auto relu = MakeCall("nn.relu", {x});
+  Module module(MakeFunction({x}, relu));
+  EXPECT_THROW(InferType().Run(module), Error);
+}
+
+TEST(OpRegistryTest, MetadataConsistent) {
+  const auto& reg = OpRegistry::Global();
+  EXPECT_TRUE(reg.Has("nn.conv2d"));
+  EXPECT_FALSE(reg.Has("bogus"));
+  EXPECT_GE(reg.AllNames().size(), 35u);
+  EXPECT_TRUE(reg.Get("nn.conv2d").fusion_anchor);
+  EXPECT_TRUE(reg.Get("nn.relu").fusable_follower);
+  EXPECT_FALSE(reg.Get("nn.softmax").fusable_follower);
+  EXPECT_EQ(reg.Get("qnn.conv2d").category, sim::OpCategory::kConv);
+}
+
+}  // namespace
+}  // namespace relay
+}  // namespace tnp

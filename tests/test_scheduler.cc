@@ -1,0 +1,212 @@
+// Computation scheduling (Section 5.1) and pipeline scheduling (Section 5.2):
+// best-flow selection, timeline properties, assignment policies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/scheduler.h"
+
+namespace tnp {
+namespace core {
+namespace {
+
+ModelProfile MakeProfile(const std::string& name,
+                         std::map<FlowKind, double> latencies) {
+  ModelProfile profile;
+  profile.model = name;
+  profile.latency_us = std::move(latencies);
+  return profile;
+}
+
+TEST(ComputationSchedulerTest, PicksMinimumLatency) {
+  const ModelProfile profile = MakeProfile("m", {{FlowKind::kTvmOnly, 100.0},
+                                                 {FlowKind::kByocCpuApu, 40.0},
+                                                 {FlowKind::kNpApu, 55.0}});
+  const Assignment best = ComputationScheduler::BestFlow(profile);
+  EXPECT_EQ(best.flow, FlowKind::kByocCpuApu);
+  EXPECT_DOUBLE_EQ(best.latency_us, 40.0);
+}
+
+TEST(ComputationSchedulerTest, RespectsResourceConstraint) {
+  const ModelProfile profile = MakeProfile("m", {{FlowKind::kByocCpuApu, 40.0},
+                                                 {FlowKind::kByocCpu, 70.0},
+                                                 {FlowKind::kNpApu, 55.0}});
+  const auto cpu_only =
+      ComputationScheduler::BestFlowWithin(profile, {sim::Resource::kCpu});
+  ASSERT_TRUE(cpu_only.has_value());
+  EXPECT_EQ(cpu_only->flow, FlowKind::kByocCpu);
+
+  const auto apu_only =
+      ComputationScheduler::BestFlowWithin(profile, {sim::Resource::kApu});
+  ASSERT_TRUE(apu_only.has_value());
+  EXPECT_EQ(apu_only->flow, FlowKind::kNpApu);
+}
+
+TEST(ComputationSchedulerTest, NoFlowWithinConstraintReturnsEmpty) {
+  const ModelProfile profile = MakeProfile("m", {{FlowKind::kByocCpuApu, 40.0}});
+  EXPECT_FALSE(
+      ComputationScheduler::BestFlowWithin(profile, {sim::Resource::kApu}).has_value());
+}
+
+TEST(ComputationSchedulerTest, EmptyProfileThrows) {
+  EXPECT_THROW(ComputationScheduler::BestFlow(MakeProfile("m", {})), InternalError);
+}
+
+// --------------------------------------------------------------- timeline
+
+TEST(Timeline, ResourceExclusivitySerializes) {
+  sim::Timeline timeline;
+  const double end1 = timeline.Schedule("a", sim::Resource::kCpu, 0.0, 10.0);
+  const double end2 = timeline.Schedule("b", sim::Resource::kCpu, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(end1, 10.0);
+  EXPECT_DOUBLE_EQ(end2, 20.0);  // serialized on the shared CPU
+  const double end3 = timeline.Schedule("c", sim::Resource::kApu, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(end3, 5.0);  // APU is free, runs in parallel
+}
+
+TEST(Timeline, MultiResourceHoldsBoth) {
+  sim::Timeline timeline;
+  timeline.Schedule("cpu-work", sim::Resource::kCpu, 0.0, 10.0);
+  const double end = timeline.ScheduleMulti(
+      "both", {sim::Resource::kCpu, sim::Resource::kApu}, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(end, 15.0);  // waits for the CPU
+  // And the APU is now busy until 15 too.
+  const double apu_end = timeline.Schedule("apu-work", sim::Resource::kApu, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(apu_end, 16.0);
+}
+
+TEST(Timeline, AsciiRenderContainsLabels) {
+  sim::Timeline timeline;
+  timeline.Schedule("det#0", sim::Resource::kCpu, 0.0, 10.0);
+  timeline.Schedule("emo#0", sim::Resource::kApu, 10.0, 5.0);
+  const std::string chart = timeline.RenderAscii(40);
+  EXPECT_NE(chart.find("CPU"), std::string::npos);
+  EXPECT_NE(chart.find("APU"), std::string::npos);
+  EXPECT_NE(chart.find("det#0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+std::vector<PipelineStage> PaperLikeStages() {
+  // Figure-5 shape: detection CPU-only, anti-spoof CPU+APU, emotion APU.
+  return {
+      PipelineStage{"obj-det", FlowKind::kByocCpu, 30.0},
+      PipelineStage{"anti-spoof", FlowKind::kByocCpuApu, 20.0},
+      PipelineStage{"emotion", FlowKind::kNpApu, 25.0},
+  };
+}
+
+TEST(PipelineScheduling, MakespanNeverExceedsSequential) {
+  const PipelineResult result = SchedulePipeline(PaperLikeStages(), 8);
+  EXPECT_LE(result.makespan_us, result.sequential_us + 1e-9);
+  EXPECT_GE(result.speedup, 1.0);
+}
+
+TEST(PipelineScheduling, DisjointResourcesOverlap) {
+  // CPU-only stage and APU-only stage of successive frames overlap, so the
+  // 2-stage pipeline beats sequential execution.
+  const std::vector<PipelineStage> stages = {
+      PipelineStage{"cpu", FlowKind::kByocCpu, 30.0},
+      PipelineStage{"apu", FlowKind::kNpApu, 30.0},
+  };
+  const PipelineResult result = SchedulePipeline(stages, 16);
+  EXPECT_GT(result.speedup, 1.7);  // near-perfect overlap for equal stages
+}
+
+TEST(PipelineScheduling, SharedResourceCannotOverlap) {
+  const std::vector<PipelineStage> stages = {
+      PipelineStage{"a", FlowKind::kByocCpu, 30.0},
+      PipelineStage{"b", FlowKind::kNpCpu, 30.0},
+  };
+  const PipelineResult result = SchedulePipeline(stages, 8);
+  EXPECT_NEAR(result.speedup, 1.0, 1e-9);  // both stages fight for the CPU
+}
+
+TEST(PipelineScheduling, NoResourceOverlapsInTimeline) {
+  const PipelineResult result = SchedulePipeline(PaperLikeStages(), 12);
+  // Property: spans on the same resource never overlap.
+  for (int r = 0; r < sim::kNumResources; ++r) {
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& span : result.timeline.spans()) {
+      if (static_cast<int>(span.resource) == r) spans.emplace_back(span.start_us, span.end_us);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9);
+    }
+  }
+}
+
+TEST(PipelineScheduling, FrameDependencyHolds) {
+  // Stage s of frame f starts only after stage s-1 of frame f finished.
+  const PipelineResult result = SchedulePipeline(PaperLikeStages(), 6);
+  std::map<std::string, std::pair<double, double>> span_of;
+  for (const auto& span : result.timeline.spans()) {
+    // Multi-resource stages produce several spans with identical times.
+    span_of[span.label] = {span.start_us, span.end_us};
+  }
+  for (int f = 0; f < 6; ++f) {
+    const auto det = span_of.at("obj-det#" + std::to_string(f));
+    const auto anti = span_of.at("anti-spoof#" + std::to_string(f));
+    const auto emo = span_of.at("emotion#" + std::to_string(f));
+    EXPECT_GE(anti.first, det.second - 1e-9);
+    EXPECT_GE(emo.first, anti.second - 1e-9);
+  }
+}
+
+TEST(PipelineScheduling, PaperPrototypeMovesFirstStageToCpu) {
+  // Object detection's best flow is CPU+APU, but the prototype policy must
+  // pin it to a CPU-only flow (Figure 5's yellow->blue move).
+  std::vector<ModelProfile> profiles = {
+      MakeProfile("obj-det", {{FlowKind::kByocCpuApu, 25.0}, {FlowKind::kByocCpu, 32.0}}),
+      MakeProfile("anti-spoof", {{FlowKind::kByocCpuApu, 20.0}, {FlowKind::kByocCpu, 60.0}}),
+      MakeProfile("emotion", {{FlowKind::kNpApu, 22.0}, {FlowKind::kNpCpu, 50.0}}),
+  };
+  const auto stages = PaperPrototypeAssignment(profiles);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].flow, FlowKind::kByocCpu);
+  EXPECT_EQ(stages[1].flow, FlowKind::kByocCpuApu);
+  EXPECT_EQ(stages[2].flow, FlowKind::kNpApu);
+}
+
+TEST(PipelineScheduling, PrototypeBeatsAllBestAssignments) {
+  // With every model on its individually-best CPU+APU flow, nothing
+  // overlaps; the prototype's CPU-only detection unlocks pipelining.
+  std::vector<ModelProfile> profiles = {
+      MakeProfile("obj-det", {{FlowKind::kByocCpuApu, 25.0}, {FlowKind::kByocCpu, 32.0}}),
+      MakeProfile("anti-spoof", {{FlowKind::kByocCpuApu, 20.0}}),
+      MakeProfile("emotion", {{FlowKind::kNpApu, 22.0}}),
+  };
+  std::vector<PipelineStage> greedy_stages;
+  for (const auto& profile : profiles) {
+    const Assignment a = ComputationScheduler::BestFlow(profile);
+    greedy_stages.push_back(PipelineStage{profile.model, a.flow, a.latency_us});
+  }
+  const double greedy = SchedulePipeline(greedy_stages, 16).makespan_us;
+  const double prototype =
+      SchedulePipeline(PaperPrototypeAssignment(profiles), 16).makespan_us;
+  EXPECT_LT(prototype, greedy);
+}
+
+TEST(PipelineScheduling, ExhaustiveSearchAtLeastAsGoodAsPrototype) {
+  std::vector<ModelProfile> profiles = {
+      MakeProfile("obj-det", {{FlowKind::kByocCpuApu, 25.0},
+                              {FlowKind::kByocCpu, 32.0},
+                              {FlowKind::kNpCpu, 40.0}}),
+      MakeProfile("anti-spoof", {{FlowKind::kByocCpuApu, 20.0}, {FlowKind::kNpCpu, 45.0}}),
+      MakeProfile("emotion", {{FlowKind::kNpApu, 22.0}, {FlowKind::kNpCpu, 50.0}}),
+  };
+  const double best = SchedulePipeline(ChoosePipelineAssignment(profiles, 16), 16).makespan_us;
+  const double prototype =
+      SchedulePipeline(PaperPrototypeAssignment(profiles), 16).makespan_us;
+  EXPECT_LE(best, prototype + 1e-9);
+}
+
+TEST(PipelineScheduling, ThroughputMatchesMakespan) {
+  const PipelineResult result = SchedulePipeline(PaperLikeStages(), 10);
+  EXPECT_NEAR(result.throughput_fps, 10.0 / (result.makespan_us / 1e6), 1e-6);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tnp

@@ -1,0 +1,175 @@
+// Module serialization (the Section 4.5 export/deploy path): structural
+// round trips, output equivalence after reload, malformed-artifact errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flows.h"
+#include "core/nir.h"
+#include "frontend/common.h"
+#include "relay/printer.h"
+#include "relay/serializer.h"
+#include "relay/visitor.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace relay {
+namespace {
+
+Module RoundTrip(const Module& module) {
+  std::stringstream buffer;
+  SaveModule(module, buffer);
+  return LoadModule(buffer);
+}
+
+TEST(Serializer, PrinterStableUnderRoundTrip) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  const Module module = InferType().Run(zoo::Build("mobilenet_v2", options));
+  const Module loaded = RoundTrip(module);
+  EXPECT_EQ(PrintModule(module), PrintModule(loaded));
+}
+
+TEST(Serializer, OutputsIdenticalAfterReload) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  for (const char* name : {"mobilenet_v1", "deepixbis", "mobilenet_v1_quant"}) {
+    const Module module = zoo::Build(name, options);
+    const Module loaded = RoundTrip(module);
+
+    NDArray input = NDArray::RandomNormal(Shape({1, 3, 32, 32}), 3, 0.4f);
+    const auto run = [&input](const Module& m) {
+      const auto session = core::CompileFlow(m, core::FlowKind::kTvmOnly);
+      for (const char* in : {"input", "x", "t0"}) {
+        try {
+          session->SetInput(in, input);
+          break;
+        } catch (const Error&) {
+        }
+      }
+      session->Run();
+      return session->GetOutput(0);
+    };
+    EXPECT_TRUE(NDArray::BitEqual(run(module), run(loaded))) << name;
+  }
+}
+
+TEST(Serializer, PartitionedModuleSurvives) {
+  // The deploy flow: partition on the "server", export, reload, execute.
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  const Module module = zoo::Build("deepixbis", options);
+  const Module partitioned = core::PartitionForNir(module, core::NirOptions{});
+  const Module loaded = RoundTrip(partitioned);
+  // External functions and their Compiler attributes survive.
+  EXPECT_EQ(loaded.ExternalFunctions("nir").size(),
+            partitioned.ExternalFunctions("nir").size());
+
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 32, 32}), 5, 0.4f);
+  core::NirOptions nir_options;
+  GraphExecutor a(Build(partitioned, core::MakeBuildOptions(nir_options)));
+  GraphExecutor b(Build(loaded, core::MakeBuildOptions(nir_options)));
+  a.SetInput("x", input);
+  b.SetInput("x", input);
+  a.Run();
+  b.Run();
+  EXPECT_TRUE(NDArray::BitEqual(a.GetOutput(0), b.GetOutput(0)));
+  EXPECT_DOUBLE_EQ(a.last_clock().total_us(), b.last_clock().total_us());
+}
+
+TEST(Serializer, FusedPrimitiveFunctionsSurvive) {
+  using frontend::TypedCall;
+  auto x = frontend::TypedVar("x", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d",
+                        {x, frontend::WeightF32(Shape({4, 3, 3, 3}), 1),
+                         frontend::ZeroBiasF32(4)},
+                        Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  Module module(MakeFunction({x}, relu));
+  module = Sequential({InferType(), FuseOps()}).Run(module);
+  ASSERT_EQ(As<Call>(module.main()->body())->callee_kind(), CalleeKind::kFunction);
+
+  const Module loaded = RoundTrip(module);
+  const auto body = As<Call>(loaded.main()->body());
+  ASSERT_EQ(body->callee_kind(), CalleeKind::kFunction);
+  EXPECT_TRUE(body->fn()->IsPrimitive());
+}
+
+TEST(Serializer, QuantMetadataSurvives) {
+  NDArray weights = NDArray::RandomInt8(Shape({4, 4}), 9);
+  weights.set_quant(QuantParams(0.125f, -3));
+  auto x = frontend::TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  Module module(MakeFunction(
+      {x}, frontend::TypedCall("add", {x, frontend::WeightF32(Shape({1, 4}), 2)})));
+  module.Add("holder",
+             MakeFunction({}, MakeConstant(weights)));
+  const Module loaded = RoundTrip(module);
+  const auto holder = loaded.Get("holder");
+  const auto constant = As<Constant>(holder->body());
+  EXPECT_EQ(constant->data().quant(), QuantParams(0.125f, -3));
+  EXPECT_TRUE(NDArray::BitEqual(constant->data(), weights));
+}
+
+TEST(Serializer, SharedSubgraphsStayShared) {
+  auto x = frontend::TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  auto shared = frontend::TypedCall("nn.relu", {x});
+  auto sum = frontend::TypedCall("add", {shared, shared});
+  const Module loaded = RoundTrip(Module(MakeFunction({x}, sum)));
+  const auto body = As<Call>(loaded.main()->body());
+  EXPECT_EQ(body->args()[0], body->args()[1]);  // pointer-equal after reload
+}
+
+TEST(Serializer, FileRoundTrip) {
+  auto x = frontend::TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  Module module(MakeFunction({x}, frontend::TypedCall("tanh", {x})));
+  const std::string path = "/tmp/tnp_serializer_test.tnpm";
+  SaveModuleToFile(module, path);
+  const Module loaded = LoadModuleFromFile(path);
+  EXPECT_EQ(PrintModule(InferType().Run(module)), PrintModule(loaded));
+  EXPECT_THROW(LoadModuleFromFile("/tmp/does_not_exist.tnpm"), Error);
+}
+
+TEST(Serializer, MalformedArtifactsRejected) {
+  // Bad magic.
+  std::stringstream bad_magic(std::string("\x00\x00\x00\x00garbage", 11));
+  EXPECT_THROW(LoadModule(bad_magic), Error);
+
+  // Truncated stream: valid prefix, cut in the middle.
+  auto x = frontend::TypedVar("x", Shape({1, 4}), DType::kFloat32);
+  Module module(MakeFunction({x}, frontend::TypedCall("nn.relu", {x})));
+  std::stringstream full;
+  SaveModule(module, full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(LoadModule(truncated), Error);
+
+  // Wrong version.
+  std::string versioned = bytes;
+  versioned[4] = 99;
+  std::stringstream wrong_version(versioned);
+  EXPECT_THROW(LoadModule(wrong_version), Error);
+}
+
+TEST(Serializer, EveryZooModelRoundTrips) {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  for (const auto& info : zoo::AllModels()) {
+    zoo::ZooOptions o = options;
+    if (info.name == "emotion_cnn") o.image_size = 48;
+    if (info.name == "yolov3_tiny" || info.name == "nasnet") o.image_size = 64;
+    const Module module = InferType().Run(zoo::Build(info.name, o));
+    const Module loaded = RoundTrip(module);
+    EXPECT_EQ(PrintModule(module), PrintModule(loaded)) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace relay
+}  // namespace tnp

@@ -1,0 +1,173 @@
+// Device simulator: testbed presets, cost-model properties (monotonicity,
+// ramp behaviour), clock accounting, timeline invariants.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace tnp {
+namespace sim {
+namespace {
+
+const Testbed& TB() { return Testbed::Dimensity800(); }
+
+OpDesc ConvDesc(std::int64_t macs, bool int8 = false) {
+  OpDesc desc;
+  desc.category = OpCategory::kConv;
+  desc.name = "conv";
+  desc.macs = macs;
+  desc.input_bytes = 1 << 16;
+  desc.output_bytes = 1 << 16;
+  desc.int8 = int8;
+  return desc;
+}
+
+TEST(Testbed, PresetsOrdered) {
+  // Vendor CPU kernels beat TVM's; the APU beats both at peak.
+  EXPECT_GT(TB().neuron_cpu.fp32_gflops, TB().tvm_cpu.fp32_gflops);
+  EXPECT_GT(TB().neuron_apu.fp32_gflops, TB().neuron_cpu.fp32_gflops);
+  EXPECT_GT(TB().neuron_apu.int8_gops, 10 * TB().neuron_cpu.int8_gops);
+  // And the APU has the largest utilization ramp (needs big ops).
+  EXPECT_GT(TB().neuron_apu.half_peak_macs, TB().neuron_cpu.half_peak_macs);
+}
+
+TEST(Testbed, SpecLookup) {
+  EXPECT_EQ(TB().Spec(DeviceKind::kTvmCpu).kind, DeviceKind::kTvmCpu);
+  EXPECT_EQ(TB().Spec(DeviceKind::kNeuronApu).kind, DeviceKind::kNeuronApu);
+}
+
+TEST(Resources, Mapping) {
+  EXPECT_EQ(ResourceOf(DeviceKind::kTvmCpu), Resource::kCpu);
+  EXPECT_EQ(ResourceOf(DeviceKind::kNeuronCpu), Resource::kCpu);
+  EXPECT_EQ(ResourceOf(DeviceKind::kNeuronApu), Resource::kApu);
+  EXPECT_STREQ(ResourceName(Resource::kApu), "APU");
+  EXPECT_STREQ(DeviceKindName(DeviceKind::kNeuronCpu), "np-cpu");
+}
+
+TEST(CostModelProps, MonotoneInMacs) {
+  // Cost never decreases with MACs, and strictly increases once the op is
+  // compute-bound (below that, the memory floor dominates).
+  const CostModel cost(TB());
+  double previous = 0.0;
+  for (const std::int64_t macs : {1000, 10'000, 100'000, 1'000'000, 10'000'000}) {
+    const double us = cost.OpMicros(ConvDesc(macs), DeviceKind::kNeuronCpu);
+    EXPECT_GE(us, previous);
+    previous = us;
+  }
+  EXPECT_GT(cost.OpMicros(ConvDesc(10'000'000), DeviceKind::kNeuronCpu),
+            cost.OpMicros(ConvDesc(1'000'000), DeviceKind::kNeuronCpu));
+}
+
+TEST(CostModelProps, LaunchOverheadIsFloor) {
+  const CostModel cost(TB());
+  OpDesc empty;
+  empty.category = OpCategory::kElementwise;
+  EXPECT_GE(cost.OpMicros(empty, DeviceKind::kTvmCpu),
+            TB().tvm_cpu.launch_overhead_us);
+}
+
+TEST(CostModelProps, RampPenalizesSmallOpsMore) {
+  // Relative efficiency (macs per microsecond) grows with op size.
+  const CostModel cost(TB());
+  const double small_rate =
+      10'000 / cost.OpMicros(ConvDesc(10'000), DeviceKind::kNeuronApu);
+  const double large_rate =
+      100'000'000 / cost.OpMicros(ConvDesc(100'000'000), DeviceKind::kNeuronApu);
+  EXPECT_GT(large_rate, 10 * small_rate);
+}
+
+TEST(CostModelProps, MemoryBoundOpsScaleWithBytes) {
+  const CostModel cost(TB());
+  OpDesc small;
+  small.category = OpCategory::kElementwise;
+  small.input_bytes = 1 << 10;
+  small.output_bytes = 1 << 10;
+  OpDesc big = small;
+  big.input_bytes = 1 << 24;
+  big.output_bytes = 1 << 24;
+  EXPECT_GT(cost.OpMicros(big, DeviceKind::kNeuronCpu),
+            5 * cost.OpMicros(small, DeviceKind::kNeuronCpu));
+}
+
+TEST(CostModelProps, SoftmaxCostlierThanDataMove) {
+  const CostModel cost(TB());
+  OpDesc softmax;
+  softmax.category = OpCategory::kSoftmax;
+  softmax.input_bytes = 1 << 20;
+  softmax.output_bytes = 1 << 20;
+  OpDesc move = softmax;
+  move.category = OpCategory::kDataMove;
+  EXPECT_GT(cost.OpMicros(softmax, DeviceKind::kNeuronCpu),
+            cost.OpMicros(move, DeviceKind::kNeuronCpu));
+}
+
+TEST(CostModelProps, TransferSymmetricAndLinear) {
+  const CostModel cost(TB());
+  const double one_mb = cost.TransferMicros(1 << 20, DeviceKind::kNeuronCpu,
+                                            DeviceKind::kNeuronApu);
+  const double reverse = cost.TransferMicros(1 << 20, DeviceKind::kNeuronApu,
+                                             DeviceKind::kNeuronCpu);
+  EXPECT_DOUBLE_EQ(one_mb, reverse);
+  const double two_mb = cost.TransferMicros(2 << 20, DeviceKind::kNeuronCpu,
+                                            DeviceKind::kNeuronApu);
+  // Fixed latency + linear bandwidth term.
+  EXPECT_NEAR(two_mb - one_mb, one_mb - TB().transfer_latency_us, 1e-6);
+}
+
+TEST(SimClockTest, AccumulatesAndMerges) {
+  SimClock a;
+  a.AddOp(ConvDesc(1000), DeviceKind::kTvmCpu, 10.0);
+  a.AddTransfer(64, 5.0);
+  SimClock b;
+  b.AddOp(ConvDesc(1000), DeviceKind::kNeuronApu, 20.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_us(), 35.0);
+  EXPECT_DOUBLE_EQ(a.transfer_us(), 5.0);
+  EXPECT_EQ(a.num_ops(), 2);
+  EXPECT_EQ(a.num_transfers(), 1);
+  EXPECT_DOUBLE_EQ(a.per_device_us().at(DeviceKind::kTvmCpu), 10.0);
+  EXPECT_DOUBLE_EQ(a.per_device_us().at(DeviceKind::kNeuronApu), 20.0);
+  EXPECT_DOUBLE_EQ(a.per_category_us().at("conv"), 30.0);
+  a.Reset();
+  EXPECT_DOUBLE_EQ(a.total_us(), 0.0);
+  EXPECT_EQ(a.num_ops(), 0);
+}
+
+TEST(SimClockTest, SummaryMentionsDevices) {
+  SimClock clock;
+  clock.AddOp(ConvDesc(1000), DeviceKind::kNeuronApu, 1500.0);
+  const std::string summary = clock.Summary();
+  EXPECT_NE(summary.find("np-apu"), std::string::npos);
+  EXPECT_NE(summary.find("1.500 ms"), std::string::npos);
+}
+
+TEST(TimelineTest, MakespanAndBusy) {
+  Timeline timeline;
+  timeline.Schedule("a", Resource::kCpu, 0.0, 10.0);
+  timeline.Schedule("b", Resource::kApu, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.makespan_us(), 15.0);
+  EXPECT_DOUBLE_EQ(timeline.ResourceBusyUs(Resource::kCpu), 10.0);
+  EXPECT_DOUBLE_EQ(timeline.ResourceBusyUs(Resource::kApu), 10.0);
+}
+
+TEST(TimelineTest, ReadyTimeRespected) {
+  Timeline timeline;
+  const double end = timeline.Schedule("late", Resource::kCpu, 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(end, 105.0);
+  EXPECT_DOUBLE_EQ(timeline.spans()[0].start_us, 100.0);
+}
+
+TEST(TimelineTest, EmptyRenders) {
+  Timeline timeline;
+  EXPECT_EQ(timeline.RenderAscii(), "(empty timeline)\n");
+  EXPECT_DOUBLE_EQ(timeline.makespan_us(), 0.0);
+}
+
+TEST(OpCategoryTest, Names) {
+  EXPECT_STREQ(OpCategoryName(OpCategory::kConv), "conv");
+  EXPECT_STREQ(OpCategoryName(OpCategory::kQuantize), "quantize");
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace tnp

@@ -1,0 +1,159 @@
+// Unit tests for Shape / DType / QuantParams / NDArray.
+#include <gtest/gtest.h>
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s.Dim(-1), 4);
+  EXPECT_EQ(s.ToString(), "(2, 3, 4)");
+}
+
+TEST(Shape, ScalarShape) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(Shape, Strides) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.Strides(), (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(Shape, OutOfRangeThrows) {
+  const Shape s({2, 3});
+  EXPECT_THROW(s[2], InternalError);
+  EXPECT_THROW(Shape({-1, 2}), InternalError);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+}
+
+TEST(DTypeTest, SizesAndNames) {
+  EXPECT_EQ(DTypeBytes(DType::kFloat32), 4u);
+  EXPECT_EQ(DTypeBytes(DType::kInt8), 1u);
+  EXPECT_EQ(DTypeBytes(DType::kInt64), 8u);
+  EXPECT_STREQ(DTypeName(DType::kInt32), "int32");
+  EXPECT_EQ(DTypeFromName("float32"), DType::kFloat32);
+  EXPECT_THROW(DTypeFromName("float16"), Error);
+}
+
+TEST(QuantParamsTest, RoundTrip) {
+  const QuantParams q(0.1f, 3);
+  EXPECT_TRUE(q.valid);
+  for (float real : {-1.0f, 0.0f, 0.55f, 2.0f}) {
+    const std::int8_t quantized = q.Quantize(real);
+    EXPECT_NEAR(q.Dequantize(quantized), real, q.scale / 2 + 1e-6);
+  }
+}
+
+TEST(QuantParamsTest, Saturates) {
+  const QuantParams q(0.01f, 0);
+  EXPECT_EQ(q.Quantize(100.0f), 127);
+  EXPECT_EQ(q.Quantize(-100.0f), -128);
+}
+
+TEST(QuantParamsTest, Equality) {
+  EXPECT_EQ(QuantParams(0.1f, 0), QuantParams(0.1f, 0));
+  EXPECT_NE(QuantParams(0.1f, 0), QuantParams(0.2f, 0));
+  EXPECT_EQ(QuantParams::None(), QuantParams::None());
+  EXPECT_NE(QuantParams::None(), QuantParams(0.1f, 0));
+}
+
+TEST(NDArrayTest, ZerosAndFull) {
+  NDArray z = NDArray::Zeros(Shape({2, 3}), DType::kFloat32);
+  for (float v : z.Span<float>()) EXPECT_EQ(v, 0.0f);
+  NDArray f = NDArray::Full(Shape({4}), DType::kInt8, 7);
+  for (std::int8_t v : f.Span<std::int8_t>()) EXPECT_EQ(v, 7);
+}
+
+TEST(NDArrayTest, FromVector) {
+  NDArray a = NDArray::FromVector<float>(Shape({2, 2}), {1, 2, 3, 4});
+  EXPECT_EQ(a.Data<float>()[3], 4.0f);
+  EXPECT_EQ(a.NumElements(), 4);
+}
+
+TEST(NDArrayTest, WrongDtypeAccessThrows) {
+  NDArray a = NDArray::Zeros(Shape({2}), DType::kFloat32);
+  EXPECT_THROW(a.Data<std::int8_t>(), InternalError);
+}
+
+TEST(NDArrayTest, SharedVsDeepCopy) {
+  NDArray a = NDArray::Zeros(Shape({4}), DType::kFloat32);
+  NDArray shared = a;              // shallow
+  NDArray deep = a.CopyDeep();     // new storage
+  a.Data<float>()[0] = 5.0f;
+  EXPECT_EQ(shared.Data<float>()[0], 5.0f);
+  EXPECT_EQ(deep.Data<float>()[0], 0.0f);
+}
+
+TEST(NDArrayTest, ReshapeSharesData) {
+  NDArray a = NDArray::FromVector<float>(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  NDArray b = a.Reshape(Shape({3, 2}));
+  EXPECT_EQ(b.shape(), Shape({3, 2}));
+  a.Data<float>()[0] = 9.0f;
+  EXPECT_EQ(b.Data<float>()[0], 9.0f);
+  EXPECT_THROW(a.Reshape(Shape({7})), InternalError);
+}
+
+TEST(NDArrayTest, RandomDeterministic) {
+  NDArray a = NDArray::RandomNormal(Shape({32}), 42, 1.0f);
+  NDArray b = NDArray::RandomNormal(Shape({32}), 42, 1.0f);
+  EXPECT_TRUE(NDArray::BitEqual(a, b));
+  NDArray c = NDArray::RandomNormal(Shape({32}), 43, 1.0f);
+  EXPECT_FALSE(NDArray::BitEqual(a, c));
+}
+
+TEST(NDArrayTest, RandomInt8Range) {
+  NDArray a = NDArray::RandomInt8(Shape({256}), 1, -5, 5);
+  for (std::int8_t v : a.Span<std::int8_t>()) {
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(NDArrayTest, MaxAbsDiff) {
+  NDArray a = NDArray::FromVector<float>(Shape({3}), {1, 2, 3});
+  NDArray b = NDArray::FromVector<float>(Shape({3}), {1, 2.5, 3});
+  EXPECT_FLOAT_EQ(NDArray::MaxAbsDiff(a, b), 0.5f);
+}
+
+TEST(NDArrayTest, BitEqualConsidersMetadata) {
+  NDArray a = NDArray::Zeros(Shape({4}), DType::kFloat32);
+  NDArray b = NDArray::Zeros(Shape({2, 2}), DType::kFloat32);
+  EXPECT_FALSE(NDArray::BitEqual(a, b));  // same bytes, different shape
+  EXPECT_TRUE(NDArray::BitEqual(NDArray(), NDArray()));
+  EXPECT_FALSE(NDArray::BitEqual(a, NDArray()));
+}
+
+TEST(NDArrayTest, QuantMetadata) {
+  NDArray a = NDArray::Zeros(Shape({4}), DType::kInt8);
+  EXPECT_FALSE(a.quant().valid);
+  a.set_quant(QuantParams(0.5f, 1));
+  EXPECT_TRUE(a.quant().valid);
+  EXPECT_EQ(a.CopyDeep().quant(), a.quant());
+  EXPECT_EQ(a.Reshape(Shape({2, 2})).quant(), a.quant());
+}
+
+TEST(NDArrayTest, ZeroElementTensor) {
+  NDArray a = NDArray::Zeros(Shape({0, 3}), DType::kFloat32);
+  EXPECT_EQ(a.NumElements(), 0);
+  EXPECT_TRUE(a.defined());
+}
+
+TEST(NDArrayTest, ToStringTruncates) {
+  NDArray a = NDArray::Zeros(Shape({100}), DType::kFloat32);
+  const std::string s = a.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tnp

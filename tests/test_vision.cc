@@ -1,0 +1,196 @@
+// Vision substrate: geometry, image utilities, scene rendering, classical
+// detectors, SSD decode plumbing.
+#include <gtest/gtest.h>
+
+#include "vision/detector.h"
+#include "vision/image.h"
+#include "vision/scene.h"
+
+namespace tnp {
+namespace vision {
+namespace {
+
+TEST(Geometry, IoU) {
+  const Box a{0, 0, 10, 10};
+  const Box b{5, 5, 10, 10};
+  EXPECT_NEAR(IoU(a, b), 25.0 / 175.0, 1e-9);
+  EXPECT_DOUBLE_EQ(IoU(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(IoU(a, Box{20, 20, 5, 5}), 0.0);
+}
+
+TEST(Geometry, Overlaps) {
+  EXPECT_TRUE(Overlaps(Box{0, 0, 10, 10}, Box{9, 9, 5, 5}));
+  EXPECT_FALSE(Overlaps(Box{0, 0, 10, 10}, Box{10, 0, 5, 5}));  // touching != overlap
+  EXPECT_FALSE(Overlaps(Box{0, 0, 10, 10}, Box{11, 0, 5, 5}));
+}
+
+TEST(Geometry, NmsKeepsBestPerCluster) {
+  std::vector<Detection> detections = {
+      {Box{0, 0, 10, 10}, 0.9, 0},
+      {Box{1, 1, 10, 10}, 0.8, 0},  // overlaps first
+      {Box{50, 50, 10, 10}, 0.7, 0},
+  };
+  const auto kept = Nms(detections, 0.3);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(kept[1].score, 0.7);
+}
+
+TEST(Geometry, EmotionNames) {
+  EXPECT_STREQ(EmotionName(Emotion::kHappy), "happy");
+  EXPECT_STREQ(EmotionName(Emotion::kSurprised), "surprised");
+}
+
+TEST(ImageUtil, RgbToGrayWeights) {
+  NDArray frame = NDArray::Zeros(Shape({1, 3, 2, 2}), DType::kFloat32);
+  SetPixel(frame, 0, 0, 0, 1.0f);  // pure red pixel
+  const NDArray gray = RgbToGray(frame);
+  EXPECT_NEAR(gray.Data<float>()[0], 0.299f, 1e-6);
+}
+
+TEST(ImageUtil, CropClampsToFrame) {
+  NDArray frame = NDArray::RandomNormal(Shape({1, 3, 20, 20}), 1);
+  const NDArray crop = Crop(frame, Box{15, 15, 10, 10});
+  EXPECT_EQ(crop.shape(), Shape({1, 3, 5, 5}));
+  EXPECT_FLOAT_EQ(GetPixel(crop, 0, 0, 0), GetPixel(frame, 0, 15, 15));
+}
+
+TEST(ImageUtil, ResizeIdentity) {
+  NDArray image = NDArray::RandomNormal(Shape({1, 1, 8, 8}), 2);
+  const NDArray same = ResizeBilinear(image, 8, 8);
+  EXPECT_LT(NDArray::MaxAbsDiff(image, same), 1e-6);
+}
+
+TEST(ImageUtil, ResizeInterpolates) {
+  NDArray image = NDArray::Zeros(Shape({1, 1, 1, 2}), DType::kFloat32);
+  image.Data<float>()[1] = 1.0f;
+  const NDArray wide = ResizeBilinear(image, 1, 3);
+  EXPECT_NEAR(wide.Data<float>()[1], 0.5f, 1e-6);  // midpoint
+}
+
+TEST(ImageUtil, FaceCrop48Shape) {
+  NDArray frame = NDArray::RandomNormal(Shape({1, 3, 100, 100}), 3);
+  const NDArray crop = FaceCrop48(frame, Box{10, 10, 40, 40});
+  EXPECT_EQ(crop.shape(), Shape({1, 1, 48, 48}));
+}
+
+TEST(SceneTest, DeterministicGeneration) {
+  const Scene a = Scene::Random(320, 240, 3, 2, 5);
+  const Scene b = Scene::Random(320, 240, 3, 2, 5);
+  ASSERT_EQ(a.persons.size(), b.persons.size());
+  for (std::size_t i = 0; i < a.persons.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.persons[i].face.x, b.persons[i].face.x);
+    EXPECT_EQ(a.persons[i].spoof, b.persons[i].spoof);
+  }
+}
+
+TEST(SceneTest, EntitiesDoNotOverlap) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Scene scene = Scene::Random(320, 240, 4, 2, seed);
+    std::vector<Box> boxes;
+    for (const auto& person : scene.persons) {
+      boxes.push_back(person.face);
+      boxes.push_back(person.body);
+    }
+    for (std::size_t i = 0; i < scene.posters.size(); ++i) {
+      boxes.push_back(scene.posters[i].face);
+    }
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+        // A person's own face/body pair overlaps by construction; others no.
+        const bool same_person = (i / 2 == j / 2) && j < scene.persons.size() * 2;
+        if (!same_person) {
+          EXPECT_LT(IoU(boxes[i], boxes[j]), 0.05) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SceneTest, RenderDeterministicPerFrame) {
+  const Scene scene = Scene::Random(320, 240, 2, 1, 9);
+  const NDArray f0a = RenderFrame(scene, 0);
+  const NDArray f0b = RenderFrame(scene, 0);
+  EXPECT_TRUE(NDArray::BitEqual(f0a, f0b));
+  const NDArray f1 = RenderFrame(scene, 1);
+  EXPECT_FALSE(NDArray::BitEqual(f0a, f1));  // noise salt differs per frame
+}
+
+TEST(SceneTest, PixelRangeReasonable) {
+  const Scene scene = Scene::Random(320, 240, 3, 1, 4);
+  const NDArray frame = RenderFrame(scene, 0);
+  for (float v : frame.Span<float>()) {
+    EXPECT_GT(v, -0.7f);
+    EXPECT_LT(v, 1.7f);
+  }
+}
+
+class DetectorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorSweep, FacesFoundWithGoodIoU) {
+  const Scene scene = Scene::Random(320, 240, 3, 2, GetParam());
+  const NDArray frame = RenderFrame(scene, 0);
+  const auto faces = DetectFaces(frame);
+
+  // Recall: every ground-truth face (persons + posters) is matched.
+  int matched = 0;
+  const auto match = [&faces](const Box& gt) {
+    for (const auto& detection : faces) {
+      if (IoU(detection.box, gt) > 0.5) return true;
+    }
+    return false;
+  };
+  for (const auto& person : scene.persons) matched += match(person.face) ? 1 : 0;
+  for (const auto& poster : scene.posters) matched += match(poster.face) ? 1 : 0;
+  const int total = static_cast<int>(scene.persons.size() + scene.posters.size());
+  EXPECT_EQ(matched, total) << "seed " << GetParam();
+
+  // Precision: at most a couple of spurious boxes per scene (the classical
+  // detector is the candidate *generator*; downstream models do the work).
+  EXPECT_LE(static_cast<int>(faces.size()), total + 2) << "seed " << GetParam();
+}
+
+TEST_P(DetectorSweep, BodiesFound) {
+  const Scene scene = Scene::Random(320, 240, 3, 2, GetParam());
+  const NDArray frame = RenderFrame(scene, 0);
+  const auto bodies = DetectBodies(frame);
+  for (const auto& person : scene.persons) {
+    bool found = false;
+    for (const auto& detection : bodies) {
+      if (IoU(detection.box, person.body) > 0.4) found = true;
+    }
+    EXPECT_TRUE(found) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorSweep, ::testing::Values(1, 2, 3, 7, 11, 13, 42));
+
+TEST(SsdDecode, PlumbingProducesBoundedBoxes) {
+  SsdDecodeConfig config;
+  config.threshold = 0.5;
+  const std::int64_t cells = 16;
+  NDArray boxes = NDArray::RandomNormal(
+      Shape({1, cells * config.num_anchors * 4}), 5, 1.0f);
+  NDArray scores = NDArray::Full(
+      Shape({1, cells * config.num_anchors * config.num_classes}), DType::kFloat32, 0.55);
+  const auto detections = DecodeSsd(boxes, scores, config);
+  EXPECT_FALSE(detections.empty());
+  for (const auto& detection : detections) {
+    EXPECT_GT(detection.box.w, 0.0);
+    EXPECT_GT(detection.box.h, 0.0);
+    EXPECT_GE(detection.score, config.threshold);
+    EXPECT_GT(detection.label, 0);  // background never reported
+  }
+}
+
+TEST(SsdDecode, BelowThresholdEmpty) {
+  SsdDecodeConfig config;
+  NDArray boxes = NDArray::Zeros(Shape({1, 12 * 16}), DType::kFloat32);
+  NDArray scores =
+      NDArray::Full(Shape({1, 16 * 3 * 21}), DType::kFloat32, 0.1);
+  EXPECT_TRUE(DecodeSsd(boxes, scores, config).empty());
+}
+
+}  // namespace
+}  // namespace vision
+}  // namespace tnp
