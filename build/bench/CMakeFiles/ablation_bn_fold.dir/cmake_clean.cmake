@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bn_fold.dir/ablation_bn_fold.cc.o"
+  "CMakeFiles/ablation_bn_fold.dir/ablation_bn_fold.cc.o.d"
+  "ablation_bn_fold"
+  "ablation_bn_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bn_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subgraphs.dir/ablation_subgraphs.cc.o"
+  "CMakeFiles/ablation_subgraphs.dir/ablation_subgraphs.cc.o.d"
+  "ablation_subgraphs"
+  "ablation_subgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

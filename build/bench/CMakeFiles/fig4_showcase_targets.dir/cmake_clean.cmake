@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_showcase_targets.dir/fig4_showcase_targets.cc.o"
+  "CMakeFiles/fig4_showcase_targets.dir/fig4_showcase_targets.cc.o.d"
+  "fig4_showcase_targets"
+  "fig4_showcase_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_showcase_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_model_zoo.dir/fig6_model_zoo.cc.o"
+  "CMakeFiles/fig6_model_zoo.dir/fig6_model_zoo.cc.o.d"
+  "fig6_model_zoo"
+  "fig6_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_flow.dir/qnn_flow.cc.o"
+  "CMakeFiles/qnn_flow.dir/qnn_flow.cc.o.d"
+  "qnn_flow"
+  "qnn_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_device.dir/table2_device.cc.o"
+  "CMakeFiles/table2_device.dir/table2_device.cc.o.d"
+  "table2_device"
+  "table2_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_backend.dir/custom_backend.cpp.o"
+  "CMakeFiles/custom_backend.dir/custom_backend.cpp.o.d"
+  "custom_backend"
+  "custom_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

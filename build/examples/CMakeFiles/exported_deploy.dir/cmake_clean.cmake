@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exported_deploy.dir/exported_deploy.cpp.o"
+  "CMakeFiles/exported_deploy.dir/exported_deploy.cpp.o.d"
+  "exported_deploy"
+  "exported_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exported_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/showcase_app.dir/showcase_app.cpp.o"
+  "CMakeFiles/showcase_app.dir/showcase_app.cpp.o.d"
+  "showcase_app"
+  "showcase_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/showcase_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flows.cc" "src/core/CMakeFiles/tnp_core.dir/flows.cc.o" "gcc" "src/core/CMakeFiles/tnp_core.dir/flows.cc.o.d"
+  "/root/repo/src/core/nir.cc" "src/core/CMakeFiles/tnp_core.dir/nir.cc.o" "gcc" "src/core/CMakeFiles/tnp_core.dir/nir.cc.o.d"
+  "/root/repo/src/core/relay_to_neuron.cc" "src/core/CMakeFiles/tnp_core.dir/relay_to_neuron.cc.o" "gcc" "src/core/CMakeFiles/tnp_core.dir/relay_to_neuron.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/tnp_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/tnp_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relay/CMakeFiles/tnp_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/neuron/CMakeFiles/tnp_neuron.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_core.dir/flows.cc.o"
+  "CMakeFiles/tnp_core.dir/flows.cc.o.d"
+  "CMakeFiles/tnp_core.dir/nir.cc.o"
+  "CMakeFiles/tnp_core.dir/nir.cc.o.d"
+  "CMakeFiles/tnp_core.dir/relay_to_neuron.cc.o"
+  "CMakeFiles/tnp_core.dir/relay_to_neuron.cc.o.d"
+  "CMakeFiles/tnp_core.dir/scheduler.cc.o"
+  "CMakeFiles/tnp_core.dir/scheduler.cc.o.d"
+  "libtnp_core.a"
+  "libtnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

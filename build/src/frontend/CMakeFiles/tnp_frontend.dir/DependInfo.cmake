@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/common.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/common.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/common.cc.o.d"
+  "/root/repo/src/frontend/darknet.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/darknet.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/darknet.cc.o.d"
+  "/root/repo/src/frontend/keras.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/keras.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/keras.cc.o.d"
+  "/root/repo/src/frontend/mxnet.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/mxnet.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/mxnet.cc.o.d"
+  "/root/repo/src/frontend/onnx.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/onnx.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/onnx.cc.o.d"
+  "/root/repo/src/frontend/tflite.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/tflite.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/tflite.cc.o.d"
+  "/root/repo/src/frontend/torchscript.cc" "src/frontend/CMakeFiles/tnp_frontend.dir/torchscript.cc.o" "gcc" "src/frontend/CMakeFiles/tnp_frontend.dir/torchscript.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relay/CMakeFiles/tnp_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

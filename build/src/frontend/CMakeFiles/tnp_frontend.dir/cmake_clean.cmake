@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_frontend.dir/common.cc.o"
+  "CMakeFiles/tnp_frontend.dir/common.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/darknet.cc.o"
+  "CMakeFiles/tnp_frontend.dir/darknet.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/keras.cc.o"
+  "CMakeFiles/tnp_frontend.dir/keras.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/mxnet.cc.o"
+  "CMakeFiles/tnp_frontend.dir/mxnet.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/onnx.cc.o"
+  "CMakeFiles/tnp_frontend.dir/onnx.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/tflite.cc.o"
+  "CMakeFiles/tnp_frontend.dir/tflite.cc.o.d"
+  "CMakeFiles/tnp_frontend.dir/torchscript.cc.o"
+  "CMakeFiles/tnp_frontend.dir/torchscript.cc.o.d"
+  "libtnp_frontend.a"
+  "libtnp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

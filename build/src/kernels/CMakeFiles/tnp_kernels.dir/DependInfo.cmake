@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/conv.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/conv.cc.o.d"
+  "/root/repo/src/kernels/dense.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/dense.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/dense.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/elementwise.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/elementwise.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/pool.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/pool.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/pool.cc.o.d"
+  "/root/repo/src/kernels/quantize.cc" "src/kernels/CMakeFiles/tnp_kernels.dir/quantize.cc.o" "gcc" "src/kernels/CMakeFiles/tnp_kernels.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_kernels.dir/conv.cc.o"
+  "CMakeFiles/tnp_kernels.dir/conv.cc.o.d"
+  "CMakeFiles/tnp_kernels.dir/dense.cc.o"
+  "CMakeFiles/tnp_kernels.dir/dense.cc.o.d"
+  "CMakeFiles/tnp_kernels.dir/elementwise.cc.o"
+  "CMakeFiles/tnp_kernels.dir/elementwise.cc.o.d"
+  "CMakeFiles/tnp_kernels.dir/gemm.cc.o"
+  "CMakeFiles/tnp_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/tnp_kernels.dir/pool.cc.o"
+  "CMakeFiles/tnp_kernels.dir/pool.cc.o.d"
+  "CMakeFiles/tnp_kernels.dir/quantize.cc.o"
+  "CMakeFiles/tnp_kernels.dir/quantize.cc.o.d"
+  "libtnp_kernels.a"
+  "libtnp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neuron/compiler.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/compiler.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/compiler.cc.o.d"
+  "/root/repo/src/neuron/desc.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/desc.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/desc.cc.o.d"
+  "/root/repo/src/neuron/ir.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/ir.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/ir.cc.o.d"
+  "/root/repo/src/neuron/planner.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/planner.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/planner.cc.o.d"
+  "/root/repo/src/neuron/runtime.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/runtime.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/runtime.cc.o.d"
+  "/root/repo/src/neuron/support_matrix.cc" "src/neuron/CMakeFiles/tnp_neuron.dir/support_matrix.cc.o" "gcc" "src/neuron/CMakeFiles/tnp_neuron.dir/support_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

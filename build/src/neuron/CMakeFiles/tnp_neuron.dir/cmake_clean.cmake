@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_neuron.dir/compiler.cc.o"
+  "CMakeFiles/tnp_neuron.dir/compiler.cc.o.d"
+  "CMakeFiles/tnp_neuron.dir/desc.cc.o"
+  "CMakeFiles/tnp_neuron.dir/desc.cc.o.d"
+  "CMakeFiles/tnp_neuron.dir/ir.cc.o"
+  "CMakeFiles/tnp_neuron.dir/ir.cc.o.d"
+  "CMakeFiles/tnp_neuron.dir/planner.cc.o"
+  "CMakeFiles/tnp_neuron.dir/planner.cc.o.d"
+  "CMakeFiles/tnp_neuron.dir/runtime.cc.o"
+  "CMakeFiles/tnp_neuron.dir/runtime.cc.o.d"
+  "CMakeFiles/tnp_neuron.dir/support_matrix.cc.o"
+  "CMakeFiles/tnp_neuron.dir/support_matrix.cc.o.d"
+  "libtnp_neuron.a"
+  "libtnp_neuron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/attrs.cc" "src/relay/CMakeFiles/tnp_relay.dir/attrs.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/attrs.cc.o.d"
+  "/root/repo/src/relay/build.cc" "src/relay/CMakeFiles/tnp_relay.dir/build.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/build.cc.o.d"
+  "/root/repo/src/relay/byoc_partition.cc" "src/relay/CMakeFiles/tnp_relay.dir/byoc_partition.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/byoc_partition.cc.o.d"
+  "/root/repo/src/relay/expr.cc" "src/relay/CMakeFiles/tnp_relay.dir/expr.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/expr.cc.o.d"
+  "/root/repo/src/relay/external.cc" "src/relay/CMakeFiles/tnp_relay.dir/external.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/external.cc.o.d"
+  "/root/repo/src/relay/fold_batch_norm.cc" "src/relay/CMakeFiles/tnp_relay.dir/fold_batch_norm.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/fold_batch_norm.cc.o.d"
+  "/root/repo/src/relay/fuse_ops.cc" "src/relay/CMakeFiles/tnp_relay.dir/fuse_ops.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/fuse_ops.cc.o.d"
+  "/root/repo/src/relay/interpreter.cc" "src/relay/CMakeFiles/tnp_relay.dir/interpreter.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/interpreter.cc.o.d"
+  "/root/repo/src/relay/op.cc" "src/relay/CMakeFiles/tnp_relay.dir/op.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/op.cc.o.d"
+  "/root/repo/src/relay/op_registry.cc" "src/relay/CMakeFiles/tnp_relay.dir/op_registry.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/op_registry.cc.o.d"
+  "/root/repo/src/relay/pass.cc" "src/relay/CMakeFiles/tnp_relay.dir/pass.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/pass.cc.o.d"
+  "/root/repo/src/relay/printer.cc" "src/relay/CMakeFiles/tnp_relay.dir/printer.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/printer.cc.o.d"
+  "/root/repo/src/relay/qnn_canonicalize.cc" "src/relay/CMakeFiles/tnp_relay.dir/qnn_canonicalize.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/qnn_canonicalize.cc.o.d"
+  "/root/repo/src/relay/serializer.cc" "src/relay/CMakeFiles/tnp_relay.dir/serializer.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/serializer.cc.o.d"
+  "/root/repo/src/relay/visitor.cc" "src/relay/CMakeFiles/tnp_relay.dir/visitor.cc.o" "gcc" "src/relay/CMakeFiles/tnp_relay.dir/visitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_relay.dir/attrs.cc.o"
+  "CMakeFiles/tnp_relay.dir/attrs.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/build.cc.o"
+  "CMakeFiles/tnp_relay.dir/build.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/byoc_partition.cc.o"
+  "CMakeFiles/tnp_relay.dir/byoc_partition.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/expr.cc.o"
+  "CMakeFiles/tnp_relay.dir/expr.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/external.cc.o"
+  "CMakeFiles/tnp_relay.dir/external.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/fold_batch_norm.cc.o"
+  "CMakeFiles/tnp_relay.dir/fold_batch_norm.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/fuse_ops.cc.o"
+  "CMakeFiles/tnp_relay.dir/fuse_ops.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/interpreter.cc.o"
+  "CMakeFiles/tnp_relay.dir/interpreter.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/op.cc.o"
+  "CMakeFiles/tnp_relay.dir/op.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/op_registry.cc.o"
+  "CMakeFiles/tnp_relay.dir/op_registry.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/pass.cc.o"
+  "CMakeFiles/tnp_relay.dir/pass.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/printer.cc.o"
+  "CMakeFiles/tnp_relay.dir/printer.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/qnn_canonicalize.cc.o"
+  "CMakeFiles/tnp_relay.dir/qnn_canonicalize.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/serializer.cc.o"
+  "CMakeFiles/tnp_relay.dir/serializer.cc.o.d"
+  "CMakeFiles/tnp_relay.dir/visitor.cc.o"
+  "CMakeFiles/tnp_relay.dir/visitor.cc.o.d"
+  "libtnp_relay.a"
+  "libtnp_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_sim.dir/cost_model.cc.o"
+  "CMakeFiles/tnp_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/tnp_sim.dir/device.cc.o"
+  "CMakeFiles/tnp_sim.dir/device.cc.o.d"
+  "CMakeFiles/tnp_sim.dir/timeline.cc.o"
+  "CMakeFiles/tnp_sim.dir/timeline.cc.o.d"
+  "libtnp_sim.a"
+  "libtnp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

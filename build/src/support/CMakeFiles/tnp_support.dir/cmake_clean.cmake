@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_support.dir/logging.cc.o"
+  "CMakeFiles/tnp_support.dir/logging.cc.o.d"
+  "CMakeFiles/tnp_support.dir/string_util.cc.o"
+  "CMakeFiles/tnp_support.dir/string_util.cc.o.d"
+  "CMakeFiles/tnp_support.dir/table.cc.o"
+  "CMakeFiles/tnp_support.dir/table.cc.o.d"
+  "CMakeFiles/tnp_support.dir/thread_pool.cc.o"
+  "CMakeFiles/tnp_support.dir/thread_pool.cc.o.d"
+  "CMakeFiles/tnp_support.dir/tokenizer.cc.o"
+  "CMakeFiles/tnp_support.dir/tokenizer.cc.o.d"
+  "libtnp_support.a"
+  "libtnp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

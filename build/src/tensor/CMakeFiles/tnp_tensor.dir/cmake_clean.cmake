@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_tensor.dir/ndarray.cc.o"
+  "CMakeFiles/tnp_tensor.dir/ndarray.cc.o.d"
+  "CMakeFiles/tnp_tensor.dir/shape.cc.o"
+  "CMakeFiles/tnp_tensor.dir/shape.cc.o.d"
+  "libtnp_tensor.a"
+  "libtnp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtnp_tensor.a"
+)

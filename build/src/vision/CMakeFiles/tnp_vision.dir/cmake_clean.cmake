@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_vision.dir/app.cc.o"
+  "CMakeFiles/tnp_vision.dir/app.cc.o.d"
+  "CMakeFiles/tnp_vision.dir/detector.cc.o"
+  "CMakeFiles/tnp_vision.dir/detector.cc.o.d"
+  "CMakeFiles/tnp_vision.dir/image.cc.o"
+  "CMakeFiles/tnp_vision.dir/image.cc.o.d"
+  "CMakeFiles/tnp_vision.dir/models.cc.o"
+  "CMakeFiles/tnp_vision.dir/models.cc.o.d"
+  "CMakeFiles/tnp_vision.dir/scene.cc.o"
+  "CMakeFiles/tnp_vision.dir/scene.cc.o.d"
+  "CMakeFiles/tnp_vision.dir/types.cc.o"
+  "CMakeFiles/tnp_vision.dir/types.cc.o.d"
+  "libtnp_vision.a"
+  "libtnp_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

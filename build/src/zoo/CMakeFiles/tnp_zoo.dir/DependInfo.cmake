@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zoo/darknet_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/darknet_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/darknet_models.cc.o.d"
+  "/root/repo/src/zoo/keras_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/keras_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/keras_models.cc.o.d"
+  "/root/repo/src/zoo/mxnet_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/mxnet_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/mxnet_models.cc.o.d"
+  "/root/repo/src/zoo/onnx_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/onnx_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/onnx_models.cc.o.d"
+  "/root/repo/src/zoo/tflite_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/tflite_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/tflite_models.cc.o.d"
+  "/root/repo/src/zoo/torch_models.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/torch_models.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/torch_models.cc.o.d"
+  "/root/repo/src/zoo/zoo.cc" "src/zoo/CMakeFiles/tnp_zoo.dir/zoo.cc.o" "gcc" "src/zoo/CMakeFiles/tnp_zoo.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/tnp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/tnp_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_zoo.dir/darknet_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/darknet_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/keras_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/keras_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/mxnet_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/mxnet_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/onnx_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/onnx_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/tflite_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/tflite_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/torch_models.cc.o"
+  "CMakeFiles/tnp_zoo.dir/torch_models.cc.o.d"
+  "CMakeFiles/tnp_zoo.dir/zoo.cc.o"
+  "CMakeFiles/tnp_zoo.dir/zoo.cc.o.d"
+  "libtnp_zoo.a"
+  "libtnp_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

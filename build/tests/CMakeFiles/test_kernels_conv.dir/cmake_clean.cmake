@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_conv.dir/test_kernels_conv.cc.o"
+  "CMakeFiles/test_kernels_conv.dir/test_kernels_conv.cc.o.d"
+  "test_kernels_conv"
+  "test_kernels_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_elementwise.dir/test_kernels_elementwise.cc.o"
+  "CMakeFiles/test_kernels_elementwise.dir/test_kernels_elementwise.cc.o.d"
+  "test_kernels_elementwise"
+  "test_kernels_elementwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_elementwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_quantize.dir/test_kernels_quantize.cc.o"
+  "CMakeFiles/test_kernels_quantize.dir/test_kernels_quantize.cc.o.d"
+  "test_kernels_quantize"
+  "test_kernels_quantize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_functional.dir/test_models_functional.cc.o"
+  "CMakeFiles/test_models_functional.dir/test_models_functional.cc.o.d"
+  "test_models_functional"
+  "test_models_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neuron.dir/test_neuron.cc.o"
+  "CMakeFiles/test_neuron.dir/test_neuron.cc.o.d"
+  "test_neuron"
+  "test_neuron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neuron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_executor.dir/test_pipeline_executor.cc.o"
+  "CMakeFiles/test_pipeline_executor.dir/test_pipeline_executor.cc.o.d"
+  "test_pipeline_executor"
+  "test_pipeline_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qnn_canonicalize.dir/test_qnn_canonicalize.cc.o"
+  "CMakeFiles/test_qnn_canonicalize.dir/test_qnn_canonicalize.cc.o.d"
+  "test_qnn_canonicalize"
+  "test_qnn_canonicalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qnn_canonicalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

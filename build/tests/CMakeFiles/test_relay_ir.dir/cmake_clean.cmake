@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_ir.dir/test_relay_ir.cc.o"
+  "CMakeFiles/test_relay_ir.dir/test_relay_ir.cc.o.d"
+  "test_relay_ir"
+  "test_relay_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

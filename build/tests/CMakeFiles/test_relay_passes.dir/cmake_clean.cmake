@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_passes.dir/test_relay_passes.cc.o"
+  "CMakeFiles/test_relay_passes.dir/test_relay_passes.cc.o.d"
+  "test_relay_passes"
+  "test_relay_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_typeinfer.dir/test_relay_typeinfer.cc.o"
+  "CMakeFiles/test_relay_typeinfer.dir/test_relay_typeinfer.cc.o.d"
+  "test_relay_typeinfer"
+  "test_relay_typeinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_typeinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/tnp_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tnp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zoo/CMakeFiles/tnp_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tnp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/tnp_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/neuron/CMakeFiles/tnp_neuron.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tnp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tnp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tnp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
