@@ -1,11 +1,14 @@
 // Shared helpers for the figure/table reproduction harnesses.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/scheduler.h"
+#include "support/metrics.h"
 #include "support/string_util.h"
 #include "support/table.h"
 #include "zoo/zoo.h"
@@ -26,15 +29,51 @@ inline zoo::ZooOptions BenchOptions() {
 inline std::string Ms(double us) { return support::FormatDouble(us / 1000.0, 2); }
 
 /// One row of a Figure-4/6 style table: model x 7 flow permutations, with
-/// "--" where compilation fails (the paper's missing bars).
+/// "--" where compilation fails (the paper's missing bars). Latencies come
+/// from the metrics registry (the gauges the trace-driven ProfileModel
+/// published); hand-built profiles without a metrics_prefix fall back to
+/// the latency map.
 inline std::vector<std::string> FlowRow(const std::string& label,
                                         const core::ModelProfile& profile) {
   std::vector<std::string> row = {label};
   for (const core::FlowKind flow : core::kAllFlows) {
+    const support::metrics::Gauge* gauge =
+        profile.metrics_prefix.empty()
+            ? nullptr
+            : support::metrics::Registry::Global().FindGauge(
+                  profile.metrics_prefix + "/" + core::FlowName(flow) + "/us");
+    if (gauge != nullptr) {
+      row.push_back(Ms(gauge->value()));
+      continue;
+    }
     const auto it = profile.latency_us.find(flow);
     row.push_back(it == profile.latency_us.end() ? "--" : Ms(it->second));
   }
   return row;
+}
+
+/// Run `fn` `repetitions` times, routing every wall-clock latency through
+/// the registry histogram "bench/<name>/us" (reset first so back-to-back
+/// measurements don't mix); returns that histogram's summary.
+inline support::metrics::HistogramSummary MeasureRepetitions(
+    const std::string& name, int repetitions, const std::function<void()>& fn) {
+  support::metrics::Histogram& histogram =
+      support::metrics::Registry::Global().GetHistogram("bench/" + name + "/us");
+  histogram.Reset();
+  for (int i = 0; i < repetitions; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    histogram.Record(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+  }
+  return histogram.Summarize();
+}
+
+/// "min / median / stddev" table cells (milliseconds) for a measurement.
+inline std::vector<std::string> RepetitionCells(
+    const support::metrics::HistogramSummary& summary) {
+  return {Ms(summary.min), Ms(summary.p50), Ms(summary.stddev)};
 }
 
 inline std::vector<std::string> FlowHeader(const std::string& first) {

@@ -80,5 +80,22 @@ int main() {
   }
   std::cout << "\n";
   sweep.Print(std::cout, "  pipeline depth sweep (prototype assignment):");
+
+  // Scheduling cost itself, measured over repetitions through the metrics
+  // registry's latency histogram (min/median/stddev).
+  support::Table cost({"scheduler", "min ms", "median ms", "stddev ms"});
+  const auto measure = [&cost, &profiles, kFrames](const char* label,
+                                                   const std::function<void()>& fn) {
+    const auto summary = bench::MeasureRepetitions(label, 16, fn);
+    std::vector<std::string> row = {label};
+    for (const auto& cell : bench::RepetitionCells(summary)) row.push_back(cell);
+    cost.AddRow(row);
+    (void)profiles;
+    (void)kFrames;
+  };
+  measure("prototype", [&] { core::SchedulePipeline(prototype_stages, kFrames); });
+  measure("exhaustive", [&] { core::ChoosePipelineAssignment(profiles, kFrames); });
+  std::cout << "\n";
+  cost.Print(std::cout, "  scheduling cost over 16 repetitions:");
   return 0;
 }

@@ -1,0 +1,60 @@
+// Observability demo, wired into CTest: runs the showcase pipeline with
+// tracing enabled, exports the Chrome-trace JSON, and fails if the export
+// is empty, malformed, or missing spans from any of the major layers
+// (Relay passes, the Neuron Execution Planner, kernel dispatch, pipeline
+// stages). Load the written file in chrome://tracing or ui.perfetto.dev.
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+#include "vision/app.h"
+
+using namespace tnp;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "trace_demo.json";
+  support::Tracer::Global().SetEnabled(true);
+
+  vision::ShowcaseApp app;  // compiles all three models (passes + planner)
+  const vision::Scene scene = vision::Scene::Random(320, 240, 3, 1, /*seed=*/11);
+  const vision::RunSummary summary = app.RunPipelined(scene, /*num_frames=*/4);
+  if (summary.frames.size() != 4) {
+    std::cerr << "pipelined run lost frames: " << summary.frames.size() << " of 4\n";
+    return 1;
+  }
+
+  const std::string json = support::Tracer::Global().ExportChromeTrace();
+  if (json.empty()) {
+    std::cerr << "exported trace is empty\n";
+    return 1;
+  }
+  std::string error;
+  if (!support::ValidateTraceJson(json, &error)) {
+    std::cerr << "exported trace JSON is malformed: " << error << "\n";
+    return 1;
+  }
+
+  std::set<std::string> categories;
+  for (const auto& event : support::Tracer::Global().Snapshot()) {
+    categories.insert(event.category);
+  }
+  bool ok = true;
+  for (const char* layer : {"relay.pass", "neuron.planner", "kernel", "pipeline"}) {
+    if (categories.count(layer) == 0) {
+      std::cerr << "no spans recorded for layer '" << layer << "'\n";
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+
+  support::Tracer::Global().Export(path);
+  std::cout << "wrote " << path << " (" << json.size() << " bytes, "
+            << support::Tracer::Global().Snapshot().size() << " events, "
+            << categories.size() << " categories)\n\ncategories:";
+  for (const auto& category : categories) std::cout << " " << category;
+  std::cout << "\n\n=== metrics registry ===\n"
+            << support::metrics::Registry::Global().DumpText();
+  return 0;
+}

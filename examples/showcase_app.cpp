@@ -4,17 +4,34 @@
 // to its scheduled target — first sequentially, then pipelined with
 // exclusive resource use (Figure 5).
 //
-// Build & run:  ./build/examples/showcase_app [num_frames]
+// Build & run:  ./build/examples/showcase_app [num_frames] [--trace[=path]]
+//
+// --trace records every layer's spans (frontend import, Relay passes, the
+// Neuron Execution Planner, kernel dispatch, pipeline stages) and writes a
+// Chrome-trace JSON loadable in chrome://tracing / ui.perfetto.dev.
+// Tracing can also be enabled with TNP_TRACE=1 in the environment.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "support/trace.h"
 #include "vision/app.h"
 
 using namespace tnp;
 using namespace tnp::vision;
 
 int main(int argc, char** argv) {
-  const int num_frames = argc > 1 ? std::atoi(argv[1]) : 6;
+  int num_frames = 6;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace", 0) == 0) {
+      trace_path = arg.size() > 8 && arg[7] == '=' ? arg.substr(8) : "showcase_trace.json";
+      support::Tracer::Global().SetEnabled(true);
+    } else {
+      num_frames = std::atoi(arg.c_str());
+    }
+  }
 
   const Scene scene = Scene::Random(320, 240, 4, 2, /*seed=*/7);
   std::cout << "scene: " << scene.persons.size() << " persons ("
@@ -67,5 +84,12 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << (identical ? "yes" : "NO") << "\n";
+
+  if (!trace_path.empty()) {
+    support::Tracer::Global().Export(trace_path);
+    std::cout << "\ntrace: " << support::Tracer::Global().Snapshot().size()
+              << " events written to " << trace_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
   return identical ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include "core/relay_to_neuron.h"
 #include "neuron/runtime.h"
 #include "relay/pass.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace core {
@@ -38,6 +40,14 @@ std::vector<sim::Resource> FlowResources(FlowKind flow) {
 
 namespace {
 
+/// Per-run observability shared by both session kinds: a "flow" span whose
+/// sim_us argument carries the simulated latency, plus a per-flow histogram.
+void RecordFlowRun(FlowKind flow, double sim_us) {
+  support::metrics::Registry::Global()
+      .GetHistogram(std::string("flow/") + FlowName(flow) + "/sim_us")
+      .Record(sim_us);
+}
+
 neuron::TargetConfig TargetOf(FlowKind flow) {
   switch (flow) {
     case FlowKind::kByocCpu:
@@ -54,13 +64,21 @@ neuron::TargetConfig TargetOf(FlowKind flow) {
 /// TVM-side session (TVM-only and all BYOC flows).
 class TvmSession final : public InferenceSession {
  public:
-  explicit TvmSession(relay::CompiledModulePtr compiled)
-      : compiled_(std::move(compiled)), executor_(compiled_) {}
+  TvmSession(FlowKind flow, relay::CompiledModulePtr compiled)
+      : flow_(flow), compiled_(std::move(compiled)), executor_(compiled_) {}
 
   void SetInput(const std::string& name, NDArray value) override {
     executor_.SetInput(name, std::move(value));
   }
-  void Run() override { executor_.Run(); }
+  void Run() override {
+    support::TraceScope scope;
+    if (scope.armed()) scope.Begin("flow", std::string("Run:") + FlowName(flow_));
+    executor_.Run();
+    RecordFlowRun(flow_, executor_.last_clock().total_us());
+    if (scope.armed()) {
+      scope.AddArg(support::TraceArg("sim_us", executor_.last_clock().total_us()));
+    }
+  }
   int NumOutputs() const override { return executor_.NumOutputs(); }
   NDArray GetOutput(int index) const override { return executor_.GetOutput(index); }
   const sim::SimClock& last_clock() const override { return executor_.last_clock(); }
@@ -91,6 +109,7 @@ class TvmSession final : public InferenceSession {
   }
 
  private:
+  FlowKind flow_;
   relay::CompiledModulePtr compiled_;
   relay::GraphExecutor executor_;
 };
@@ -99,9 +118,10 @@ class TvmSession final : public InferenceSession {
 /// runtime is involved at execution time.
 class NpSession final : public InferenceSession {
  public:
-  NpSession(neuron::NeuronPackagePtr package, std::vector<std::string> input_names,
-            int num_outputs)
-      : package_(std::move(package)),
+  NpSession(FlowKind flow, neuron::NeuronPackagePtr package,
+            std::vector<std::string> input_names, int num_outputs)
+      : flow_(flow),
+        package_(std::move(package)),
         input_names_(std::move(input_names)),
         num_outputs_(num_outputs) {
     inputs_.resize(input_names_.size());
@@ -118,8 +138,12 @@ class NpSession final : public InferenceSession {
   }
 
   void Run() override {
+    support::TraceScope scope;
+    if (scope.armed()) scope.Begin("flow", std::string("Run:") + FlowName(flow_));
     clock_.Reset();
     outputs_ = neuron::NeuronRuntime::Execute(*package_, inputs_, &clock_, true);
+    RecordFlowRun(flow_, clock_.total_us());
+    if (scope.armed()) scope.AddArg(support::TraceArg("sim_us", clock_.total_us()));
   }
 
   int NumOutputs() const override { return num_outputs_; }
@@ -156,6 +180,7 @@ class NpSession final : public InferenceSession {
   }
 
  private:
+  FlowKind flow_;
   neuron::NeuronPackagePtr package_;
   std::vector<std::string> input_names_;
   std::vector<NDArray> inputs_;
@@ -169,13 +194,17 @@ class NpSession final : public InferenceSession {
 InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
                                 const FlowCompileSettings& settings) {
   EnsureNirCodegenRegistered();
+  static support::metrics::Counter& compiles =
+      support::metrics::Registry::Global().GetCounter("flow/compiles");
+  compiles.Increment();
+  TNP_TRACE_SCOPE("flow", std::string("CompileFlow:") + FlowName(flow));
 
   if (flow == FlowKind::kTvmOnly) {
     relay::BuildOptions options;
     options.enable_fusion = settings.enable_tvm_fusion;
     options.host_device = sim::DeviceKind::kTvmCpu;
     options.testbed = settings.testbed;
-    return std::make_shared<TvmSession>(relay::Build(module, options));
+    return std::make_shared<TvmSession>(flow, relay::Build(module, options));
   }
 
   if (flow == FlowKind::kByocCpu || flow == FlowKind::kByocApu ||
@@ -187,7 +216,7 @@ InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
     options.enable_tvm_fusion = settings.enable_tvm_fusion;
     const relay::Module partitioned = PartitionForNir(module, options);
     return std::make_shared<TvmSession>(
-        relay::Build(partitioned, MakeBuildOptions(options)));
+        flow, relay::Build(partitioned, MakeBuildOptions(options)));
   }
 
   // NeuroPilot-only: convert the *entire* model through the Relay->Neuron
@@ -213,7 +242,8 @@ InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
   for (const auto& param : main_fn->params()) input_names.push_back(param->name());
   const int num_outputs =
       static_cast<int>(package->model.model_outputs().size());
-  return std::make_shared<NpSession>(std::move(package), std::move(input_names), num_outputs);
+  return std::make_shared<NpSession>(flow, std::move(package), std::move(input_names),
+                                     num_outputs);
 }
 
 InferenceSessionPtr TryCompileFlow(const relay::Module& module, FlowKind flow,

@@ -5,6 +5,7 @@
 #include "core/relay_to_neuron.h"
 #include "neuron/runtime.h"
 #include "relay/pass.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace core {
@@ -71,6 +72,8 @@ void EnsureNirCodegenRegistered() {
           }
           compiler_options.testbed = build_options.testbed;
 
+          TNP_TRACE_SCOPE("byoc.codegen", std::string("nir:") + global_name);
+
           // Types inside the extracted function must be inferred locally
           // (Build re-infers main, but external bodies are opaque to it).
           relay::InferFunctionTypes(fn);
@@ -87,14 +90,28 @@ void EnsureNirCodegenRegistered() {
 
 relay::Module PartitionForNir(const relay::Module& module, const NirOptions& options) {
   EnsureNirCodegenRegistered();
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("byoc.partition", "PartitionForNir",
+                support::TraceArg("target", options.target.ToString()));
+  }
   const std::vector<sim::DeviceKind> devices = options.target.Devices();
   const relay::Module prepared =
       relay::Sequential({relay::InferType(), relay::SimplifyExpr(), relay::FoldConstant(),
                          relay::InferType()})
           .Run(module);
-  return relay::PartitionGraph(prepared, "nir", [devices](const relay::Call& call) {
-    return NirSupported(call, devices);
-  });
+  relay::Module partitioned =
+      relay::PartitionGraph(prepared, "nir", [devices](const relay::Call& call) {
+        return NirSupported(call, devices);
+      });
+  if (scope.armed()) {
+    int regions = 0;
+    for (const auto& [name, fn] : partitioned.functions()) {
+      if (!fn->compiler().empty()) ++regions;
+    }
+    scope.AddArg(support::TraceArg("nir_regions", regions));
+  }
+  return partitioned;
 }
 
 relay::BuildOptions MakeBuildOptions(const NirOptions& options) {

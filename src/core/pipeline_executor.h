@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -20,6 +21,8 @@
 
 #include "sim/device.h"
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace core {
@@ -64,7 +67,14 @@ class Pipeline {
   std::vector<Packet> Run(std::vector<Packet> packets) {
     const std::size_t num_stages = stages_.size();
     std::vector<BoundedQueue> queues(num_stages + 1);
-    for (auto& queue : queues) queue.capacity = queue_capacity_;
+    for (std::size_t q = 0; q <= num_stages; ++q) {
+      queues[q].capacity = queue_capacity_;
+      // queues[s] feeds stage s; the final queue collects pipeline output.
+      const std::string queue_name = q < num_stages ? stages_[q].name : "out";
+      queues[q].depth_name = "queue/" + queue_name + "/depth";
+      queues[q].depth_gauge = &support::metrics::Registry::Global().GetGauge(
+          "pipeline/" + queues[q].depth_name);
+    }
 
     std::vector<std::thread> workers;
     workers.reserve(num_stages);
@@ -95,11 +105,14 @@ class Pipeline {
     std::deque<Packet> items;
     std::size_t capacity = 4;
     bool closed = false;
+    support::metrics::Gauge* depth_gauge = nullptr;  ///< current depth + watermark
+    std::string depth_name;                          ///< trace counter track name
 
     void Push(Packet packet) {
       std::unique_lock<std::mutex> lock(mutex);
       cv.wait(lock, [this] { return items.size() < capacity; });
       items.push_back(std::move(packet));
+      RecordDepth();
       cv.notify_all();
     }
 
@@ -109,8 +122,16 @@ class Pipeline {
       if (items.empty()) return std::nullopt;
       Packet packet = std::move(items.front());
       items.pop_front();
+      RecordDepth();
       cv.notify_all();
       return packet;
+    }
+
+    /// Called with `mutex` held.
+    void RecordDepth() {
+      const double depth = static_cast<double>(items.size());
+      if (depth_gauge != nullptr) depth_gauge->Set(depth);
+      TNP_TRACE_COUNTER("pipeline", depth_name, depth);
     }
 
     void Close() {
@@ -122,9 +143,20 @@ class Pipeline {
 
   void StageLoop(std::size_t stage_index, BoundedQueue& in, BoundedQueue& out) {
     Stage& stage = stages_[stage_index];
-    while (auto packet = in.Pop()) {
-      std::optional<Packet> result;
+    support::metrics::Histogram& stage_us =
+        support::metrics::Registry::Global().GetHistogram("pipeline/stage/" + stage.name +
+                                                          "/us");
+    while (true) {
+      std::optional<Packet> packet;
       {
+        TNP_TRACE_SCOPE("pipeline", stage.name + ":dequeue");
+        packet = in.Pop();
+      }
+      if (!packet) break;
+      std::optional<Packet> result;
+      const auto start = std::chrono::steady_clock::now();
+      {
+        TNP_TRACE_SCOPE("pipeline", stage.name + ":run");
         // Acquire every resource the stage occupies, in fixed order to
         // avoid deadlock between stages with overlapping resource sets.
         std::vector<std::unique_lock<std::mutex>> held;
@@ -138,7 +170,13 @@ class Pipeline {
         }
         result = stage.fn(std::move(*packet));
       }
-      if (result) out.Push(std::move(*result));
+      stage_us.Record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+      if (result) {
+        TNP_TRACE_SCOPE("pipeline", stage.name + ":enqueue");
+        out.Push(std::move(*result));
+      }
     }
     out.Close();
   }

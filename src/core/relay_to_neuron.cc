@@ -3,7 +3,9 @@
 #include <memory>
 
 #include "neuron/support_matrix.h"
+#include "relay/visitor.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace core {
@@ -186,6 +188,12 @@ void RelayToNeuronConverter::VisitCall(const relay::CallPtr& call) {
 neuron::NeuronModel RelayToNeuronConverter::Convert(const relay::FunctionPtr& fn) {
   TNP_CHECK(fn->checked_type().defined())
       << "Relay->Neuron conversion requires inferred types";
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("convert", "RelayToNeuron",
+                support::TraceArg("relay_nodes",
+                                  static_cast<int>(relay::PostOrder(fn->body()).size())));
+  }
   model_ = neuron::NeuronModel();
   node_entry_dict_.clear();
   temp_counter_ = 0;
@@ -200,6 +208,10 @@ neuron::NeuronModel RelayToNeuronConverter::Convert(const relay::FunctionPtr& fn
   model_.SetModelInputs(std::move(model_inputs));
   model_.SetModelOutputs(node_entry_dict_.at(fn->body().get()).outputs);
   model_.Validate();
+  if (scope.armed()) {
+    scope.AddArg(support::TraceArg("neuron_ops",
+                                   static_cast<int>(model_.operations().size())));
+  }
   return std::move(model_);
 }
 

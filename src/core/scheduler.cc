@@ -1,17 +1,32 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <string>
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace core {
 
 ModelProfile ProfileModel(const relay::Module& module, const std::string& name,
                           const FlowCompileSettings& settings) {
+  static std::atomic<int> next_profile_id{0};
   ModelProfile profile;
   profile.model = name;
+  profile.metrics_prefix =
+      "profile/" + name + "#" + std::to_string(next_profile_id.fetch_add(1));
+
+  // Force tracing on: the profile is *derived from* the recorded spans, not
+  // from a bespoke timing side-channel, so the tracer must observe the run.
+  support::Tracer& tracer = support::Tracer::Global();
+  const support::Tracer::ScopedEnable enable_tracing;
+  const std::uint64_t start_seq = tracer.sequence();
+
+  TNP_TRACE_SCOPE("scheduler", std::string("ProfileModel:") + name);
   for (const FlowKind flow : kAllFlows) {
     std::string error;
     const InferenceSessionPtr session = TryCompileFlow(module, flow, &error, settings);
@@ -19,8 +34,29 @@ ModelProfile ProfileModel(const relay::Module& module, const std::string& name,
       profile.errors[flow] = error;
       continue;
     }
-    profile.latency_us[flow] = session->EstimateLatency().total_us();
+    const sim::SimClock estimate = session->EstimateLatency();
+    // Simulated time, explicit duration: the span lands on the trace
+    // timeline even though no wall time passed.
+    tracer.Emit("scheduler", "estimate:" + std::string(FlowName(flow)), tracer.NowUs(),
+                estimate.total_us(),
+                {support::TraceArg("model", name),
+                 support::TraceArg("flow", FlowName(flow))});
     profile.resources[flow] = session->UsedResources();
+  }
+
+  // Read the per-flow latencies back out of the recorded spans.
+  for (const support::TraceEvent& event : tracer.EventsSince(start_seq)) {
+    if (std::string(event.category) != "scheduler") continue;
+    if (event.ArgValue("model") != name) continue;
+    const std::string& flow_name = event.ArgValue("flow");
+    for (const FlowKind flow : kAllFlows) {
+      if (flow_name != FlowName(flow)) continue;
+      profile.latency_us[flow] = event.dur_us;
+      support::metrics::Registry::Global()
+          .GetGauge(profile.metrics_prefix + "/" + flow_name + "/us")
+          .Set(event.dur_us);
+      break;
+    }
   }
   return profile;
 }

@@ -24,6 +24,11 @@ namespace core {
 /// Per-flow latency of one model (missing entries = unsupported flow).
 struct ModelProfile {
   std::string model;
+  /// Metrics-registry prefix under which ProfileModel published this
+  /// profile's per-flow latencies as gauges ("<prefix>/<flow>/us"). Unique
+  /// per ProfileModel call so repeated profiling (ablation benches) never
+  /// overwrites an earlier profile. Empty for hand-built profiles.
+  std::string metrics_prefix;
   std::map<FlowKind, double> latency_us;
   std::map<FlowKind, std::string> errors;  ///< why an unsupported flow failed
   /// Resources the compiled model actually occupies per flow (from
@@ -38,6 +43,11 @@ struct ModelProfile {
 };
 
 /// Estimate latency of every flow permutation with the static simulator.
+///
+/// Trace-driven: each flow's simulated latency is emitted as an explicit-
+/// duration "scheduler" span (tracing is force-enabled for the call), and
+/// the returned profile is read back from those recorded spans. Latencies
+/// are also published to the metrics registry under `metrics_prefix`.
 ModelProfile ProfileModel(const relay::Module& module, const std::string& name,
                           const FlowCompileSettings& settings = {});
 

@@ -16,6 +16,7 @@
 
 #include "frontend/common.h"
 #include "frontend/frontend.h"
+#include "relay/pass.h"
 #include "support/string_util.h"
 #include "support/tokenizer.h"
 
@@ -276,14 +277,28 @@ relay::Module FromOnnx(const std::string& source, const std::string& source_name
 
 relay::Module Import(const std::string& framework, const std::string& source,
                      const std::string& source_name) {
-  if (framework == "keras") return FromKeras(source, source_name);
-  if (framework == "pytorch" || framework == "torchscript") {
-    return FromTorchScript(source, source_name);
+  static support::metrics::Counter& imports =
+      support::metrics::Registry::Global().GetCounter("frontend/imports");
+  imports.Increment();
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("frontend", std::string("Import:") + framework,
+                support::TraceArg("source", source_name));
   }
-  if (framework == "tflite") return FromTflite(source, source_name);
-  if (framework == "darknet") return FromDarknet(source, source_name);
-  if (framework == "onnx") return FromOnnx(source, source_name);
-  if (framework == "mxnet") return FromMxnet(source, source_name);
+  const auto finish = [&scope](relay::Module module) {
+    if (scope.armed()) {
+      scope.AddArg(support::TraceArg("nodes", relay::CountModuleNodes(module)));
+    }
+    return module;
+  };
+  if (framework == "keras") return finish(FromKeras(source, source_name));
+  if (framework == "pytorch" || framework == "torchscript") {
+    return finish(FromTorchScript(source, source_name));
+  }
+  if (framework == "tflite") return finish(FromTflite(source, source_name));
+  if (framework == "darknet") return finish(FromDarknet(source, source_name));
+  if (framework == "onnx") return finish(FromOnnx(source, source_name));
+  if (framework == "mxnet") return finish(FromMxnet(source, source_name));
   TNP_THROW(kInvalidArgument) << "unknown framework '" << framework << "'";
 }
 

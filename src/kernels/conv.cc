@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kernels/gemm.h"
+#include "kernels/instrument.h"
 #include "support/thread_pool.h"
 
 namespace tnp {
@@ -43,6 +44,7 @@ void Im2Col(const T* input, std::int64_t ci_g, std::int64_t in_h, std::int64_t i
 
 void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
                NDArray& output, const Conv2DParams& p) {
+  TNP_KERNEL_SPAN("Conv2DF32");
   const Shape expected = Conv2DOutShape(input.shape(), weight.shape(), p);
   TNP_CHECK(output.shape() == expected)
       << "conv2d output shape " << output.shape().ToString() << " != " << expected.ToString();
@@ -93,6 +95,7 @@ void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
 void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
                NDArray& output, const Conv2DParams& p, const QuantParams& input_q,
                const QuantParams& weight_q, const QuantParams& output_q) {
+  TNP_KERNEL_SPAN("QConv2DS8");
   TNP_CHECK(input_q.valid && weight_q.valid && output_q.valid);
   const Shape expected = Conv2DOutShape(input.shape(), weight.shape(), p);
   TNP_CHECK(output.shape() == expected);

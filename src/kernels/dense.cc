@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/instrument.h"
 #include "support/thread_pool.h"
 
 namespace tnp {
@@ -10,6 +11,7 @@ namespace kernels {
 
 void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
               NDArray& output) {
+  TNP_KERNEL_SPAN("DenseF32");
   TNP_CHECK_EQ(input.shape().rank(), 2);
   TNP_CHECK_EQ(weight.shape().rank(), 2);
   const std::int64_t m = input.shape()[0];
@@ -37,6 +39,7 @@ void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
 void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
               NDArray& output, const QuantParams& input_q, const QuantParams& weight_q,
               const QuantParams& output_q) {
+  TNP_KERNEL_SPAN("QDenseS8");
   TNP_CHECK(input_q.valid && weight_q.valid && output_q.valid);
   TNP_CHECK_EQ(input.shape().rank(), 2);
   TNP_CHECK_EQ(weight.shape().rank(), 2);

@@ -1,0 +1,24 @@
+// Shared observability hook for kernel entry points: every dispatch bumps
+// the process-wide "kernels/dispatch" counter and, when tracing is enabled,
+// opens a "kernel"-category span covering the kernel body.
+#pragma once
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace kernels {
+
+inline void CountKernelDispatch() {
+  static support::metrics::Counter& dispatches =
+      support::metrics::Registry::Global().GetCounter("kernels/dispatch");
+  dispatches.Increment();
+}
+
+}  // namespace kernels
+}  // namespace tnp
+
+/// Place at the top of a kernel entry point; `name` must be a literal.
+#define TNP_KERNEL_SPAN(name)            \
+  ::tnp::kernels::CountKernelDispatch(); \
+  TNP_TRACE_SCOPE("kernel", name)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/instrument.h"
 #include "support/thread_pool.h"
 
 namespace tnp {
@@ -57,6 +58,7 @@ T WindowMax(const T* plane, std::int64_t in_w, std::int64_t h_lo, std::int64_t h
 }  // namespace
 
 void MaxPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& p) {
+  TNP_KERNEL_SPAN("MaxPool2DF32");
   PoolImpl<float>(input, output, p,
                   [](const float* plane, std::int64_t in_w, std::int64_t h_lo, std::int64_t h_hi,
                      std::int64_t w_lo, std::int64_t w_hi) {
@@ -65,6 +67,7 @@ void MaxPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& p) 
 }
 
 void MaxPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& p) {
+  TNP_KERNEL_SPAN("MaxPool2DS8");
   PoolImpl<std::int8_t>(
       input, output, p,
       [](const std::int8_t* plane, std::int64_t in_w, std::int64_t h_lo, std::int64_t h_hi,
@@ -74,6 +77,7 @@ void MaxPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& p) {
 }
 
 void AvgPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& p) {
+  TNP_KERNEL_SPAN("AvgPool2DF32");
   const std::int64_t full_area = p.kernel_h * p.kernel_w;
   PoolImpl<float>(input, output, p,
                   [&](const float* plane, std::int64_t in_w, std::int64_t h_lo, std::int64_t h_hi,
@@ -89,6 +93,7 @@ void AvgPool2DF32(const NDArray& input, NDArray& output, const Pool2DParams& p) 
 }
 
 void AvgPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& p) {
+  TNP_KERNEL_SPAN("AvgPool2DS8");
   const std::int64_t full_area = p.kernel_h * p.kernel_w;
   PoolImpl<std::int8_t>(
       input, output, p,
@@ -107,6 +112,7 @@ void AvgPool2DS8(const NDArray& input, NDArray& output, const Pool2DParams& p) {
 }
 
 void GlobalAvgPool2DF32(const NDArray& input, NDArray& output) {
+  TNP_KERNEL_SPAN("GlobalAvgPool2DF32");
   TNP_CHECK_EQ(input.shape().rank(), 4);
   TNP_CHECK(output.shape() == Shape({input.shape()[0], input.shape()[1], 1, 1}));
   const std::int64_t planes = input.shape()[0] * input.shape()[1];
@@ -122,6 +128,7 @@ void GlobalAvgPool2DF32(const NDArray& input, NDArray& output) {
 }
 
 void GlobalAvgPool2DS8(const NDArray& input, NDArray& output) {
+  TNP_KERNEL_SPAN("GlobalAvgPool2DS8");
   TNP_CHECK_EQ(input.shape().rank(), 4);
   TNP_CHECK(output.shape() == Shape({input.shape()[0], input.shape()[1], 1, 1}));
   const std::int64_t planes = input.shape()[0] * input.shape()[1];

@@ -1,5 +1,7 @@
 #include "neuron/compiler.h"
 
+#include "support/trace.h"
+
 namespace tnp {
 namespace neuron {
 
@@ -12,8 +14,21 @@ int NeuronPackage::NumOpsOn(sim::DeviceKind device) const {
 }
 
 NeuronPackagePtr NeuronCompiler::Compile(NeuronModel model, const std::string& name) const {
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("neuron.compile", std::string("Compile:") + name,
+                support::TraceArg("ops", static_cast<int>(model.operations().size())));
+  }
   model.Validate();
   ExecutionPlan plan = PlanExecution(model, options_.target, *options_.testbed, options_.policy);
+  if (scope.armed()) {
+    int apu_ops = 0;
+    for (const sim::DeviceKind d : plan.placement) {
+      if (sim::ResourceOf(d) == sim::Resource::kApu) ++apu_ops;
+    }
+    scope.AddArg(support::TraceArg("apu_ops", apu_ops));
+    scope.AddArg(support::TraceArg("estimated_us", plan.estimated_us));
+  }
   auto package = std::make_shared<NeuronPackage>();
   package->name = name;
   package->model = std::move(model);

@@ -5,11 +5,22 @@
 #include <unordered_map>
 
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace neuron {
 
 namespace {
+
+const char* PolicyName(PlannerPolicy policy) {
+  switch (policy) {
+    case PlannerPolicy::kFirstDevice: return "first";
+    case PlannerPolicy::kGreedyCost: return "greedy";
+    case PlannerPolicy::kDynamic: return "dynamic";
+  }
+  return "unknown";
+}
 
 double DmaUs(const sim::CostModel& cost_model, std::int64_t bytes) {
   return cost_model.TransferMicros(bytes, sim::DeviceKind::kNeuronCpu,
@@ -80,6 +91,13 @@ ExecutionPlan PlanGreedy(const NeuronModel& model, const TargetConfig& target,
                                 << " is not supported on any enabled device (targets: "
                                 << target.ToString() << ")";
     }
+
+    TNP_TRACE_INSTANT("neuron.planner",
+                      std::string("assign:") + NeuronOpTypeName(op.type),
+                      support::TraceArg("op_index",
+                                        static_cast<int>(plan.placement.size())),
+                      support::TraceArg("device", sim::DeviceKindName(best_device)),
+                      support::TraceArg("cost_us", best_cost));
 
     const sim::Resource resource = sim::ResourceOf(best_device);
     for (const OperandId id : op.inputs) {
@@ -219,6 +237,16 @@ double EstimatePlanUs(const NeuronModel& model, const std::vector<sim::DeviceKin
 
 ExecutionPlan PlanExecution(const NeuronModel& model, const TargetConfig& target,
                             const sim::Testbed& testbed, PlannerPolicy policy) {
+  static support::metrics::Counter& plans =
+      support::metrics::Registry::Global().GetCounter("neuron/plans");
+  plans.Increment();
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("neuron.planner", "PlanExecution",
+                support::TraceArg("policy", PolicyName(policy)),
+                support::TraceArg("target", target.ToString()),
+                support::TraceArg("ops", static_cast<int>(model.operations().size())));
+  }
   model.Validate();
   ExecutionPlan plan = PlanGreedy(
       model, target, testbed,
@@ -259,6 +287,9 @@ ExecutionPlan PlanExecution(const NeuronModel& model, const TargetConfig& target
     }
   }
   plan.estimated_us = EstimatePlanUs(model, plan.placement, testbed);
+  if (scope.armed()) {
+    scope.AddArg(support::TraceArg("estimated_us", plan.estimated_us));
+  }
   return plan;
 }
 

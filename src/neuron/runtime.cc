@@ -9,6 +9,8 @@
 #include "kernels/quantize.h"
 #include "neuron/desc.h"
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace neuron {
@@ -179,6 +181,16 @@ std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
   const NeuronModel& model = package.model;
   const sim::CostModel cost_model(*package.options.testbed);
 
+  static support::metrics::Counter& executions =
+      support::metrics::Registry::Global().GetCounter("neuron/executions");
+  executions.Increment();
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("neuron.runtime", std::string("Execute:") + package.name,
+                support::TraceArg("ops", static_cast<int>(model.operations().size())),
+                support::TraceArg("numerics", execute_numerics));
+  }
+
   sim::SimClock local_clock;
   local_clock.AddTransfer(0, kInvocationOverheadUs);  // session dispatch
 
@@ -262,6 +274,9 @@ std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
     }
   }
 
+  if (scope.armed()) {
+    scope.AddArg(support::TraceArg("sim_us", local_clock.total_us()));
+  }
   if (clock != nullptr) clock->Merge(local_clock);
   return outputs;
 }

@@ -6,6 +6,7 @@
 #include "relay/pass.h"
 #include "relay/visitor.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace relay {
@@ -160,6 +161,8 @@ int CompiledModule::NumExternalOps() const {
 }
 
 CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
+  support::TraceScope build_scope;
+  if (build_scope.armed()) build_scope.Begin("relay.build", "relay::Build");
   // Standard optimization pipeline (the analogue of opt_level=3). InferType
   // runs again before FuseOps because SimplifyExpr/FoldConstant rebuild
   // nodes without cached types.
@@ -264,6 +267,12 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
   compiled->output_slot = slot_of.at(main_fn->body().get());
   const Type& out_type = main_fn->body()->checked_type();
   compiled->num_outputs = out_type.IsTuple() ? static_cast<int>(out_type.AsTuple().size()) : 1;
+  if (build_scope.armed()) {
+    build_scope.AddArg(support::TraceArg(
+        "instructions", static_cast<std::int64_t>(compiled->instructions.size())));
+    build_scope.AddArg(support::TraceArg(
+        "externals", static_cast<std::int64_t>(compiled->externals.size())));
+  }
   return compiled;
 }
 
@@ -283,6 +292,8 @@ void GraphExecutor::SetInput(const std::string& name, NDArray value) {
 void GraphExecutor::Run() { Execute(/*execute_numerics=*/true); }
 
 void GraphExecutor::Execute(bool execute_numerics) {
+  TNP_TRACE_SCOPE("relay.execute", "GraphExecutor::Run",
+                  support::TraceArg("numerics", execute_numerics));
   last_clock_.Reset();
   const sim::CostModel cost_model(*compiled_->options.testbed);
   const sim::DeviceKind host = compiled_->options.host_device;

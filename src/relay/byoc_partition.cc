@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "relay/visitor.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace relay {
@@ -404,7 +405,13 @@ Module PartitionGraph(const Module& module, const std::string& compiler,
   const FunctionPtr& main_fn = module.main();
   TNP_CHECK(main_fn->checked_type().defined())
       << "PartitionGraph requires InferType to have run";
+  support::TraceScope scope;
+  if (scope.armed()) {
+    scope.Begin("byoc.partition", "PartitionGraph",
+                support::TraceArg("compiler", compiler));
+  }
   const RegionAssignment regions = AnnotateAndMergeRegions(main_fn, pred);
+  if (scope.armed()) scope.AddArg(support::TraceArg("regions", regions.num_regions));
   if (regions.num_regions == 0) return module;
   Extractor extractor(main_fn, regions, compiler);
   Module result = extractor.Run(module, main_fn);

@@ -178,6 +178,14 @@ std::unordered_set<std::string> ReachableGlobals(const Module& module) {
 
 }  // namespace
 
+int CountModuleNodes(const Module& module) {
+  int count = 0;
+  for (const auto& [name, fn] : module.functions()) {
+    count += static_cast<int>(PostOrder(fn->body()).size());
+  }
+  return count;
+}
+
 Type InferFunctionTypes(const FunctionPtr& fn) {
   TypeInferencer inferencer;
   for (const auto& param : fn->params()) inferencer.Visit(param);

@@ -13,9 +13,14 @@
 #include <vector>
 
 #include "relay/module.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace tnp {
 namespace relay {
+
+/// Total IR nodes across all functions of `module` (trace annotations).
+int CountModuleNodes(const Module& module);
 
 class Pass {
  public:
@@ -24,7 +29,21 @@ class Pass {
 
   const std::string& name() const noexcept { return name_; }
 
-  Module Run(const Module& module) const { return fn_(module); }
+  Module Run(const Module& module) const {
+    static support::metrics::Counter& runs =
+        support::metrics::Registry::Global().GetCounter("relay/pass_runs");
+    runs.Increment();
+    support::TraceScope scope;
+    if (scope.armed()) {
+      scope.Begin("relay.pass", name_,
+                  support::TraceArg("nodes_in", CountModuleNodes(module)));
+    }
+    Module result = fn_(module);
+    if (scope.armed()) {
+      scope.AddArg(support::TraceArg("nodes_out", CountModuleNodes(result)));
+    }
+    return result;
+  }
 
  private:
   std::string name_;

@@ -1,0 +1,202 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace tnp {
+namespace support {
+namespace metrics {
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::Set(double value) {
+  value_.store(value, std::memory_order_relaxed);
+  double observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Add(double delta) {
+  double observed = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+  Set(value_.load(std::memory_order_relaxed));  // refresh the watermark
+}
+
+double Gauge::value() const { return value_.load(std::memory_order_relaxed); }
+
+double Gauge::max() const { return max_.load(std::memory_order_relaxed); }
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of samples at or
+  // below it.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp<double>(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+HistogramSummary Histogram::Summarize() const {
+  HistogramSummary summary;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary.count = count_;
+    if (count_ == 0) return summary;
+    summary.min = min_;
+    summary.max = max_;
+    const double n = static_cast<double>(count_);
+    summary.mean = sum_ / n;
+    const double variance = std::max(0.0, sum_sq_ / n - summary.mean * summary.mean);
+    summary.stddev = std::sqrt(variance);
+  }
+  summary.p50 = Percentile(50.0);
+  summary.p95 = Percentile(95.0);
+  summary.p99 = Percentile(99.0);
+  return summary;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+// --------------------------------------------------------------- Registry
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;                            // refs outlive static teardown
+}
+
+Registry::Entry& Registry::Find(const std::string& name) {
+  for (auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) return entry;
+  }
+  entries_.emplace_back(name, Entry{});
+  return entries_.back().second;
+}
+
+const Registry::Entry* Registry::FindConst(const std::string& name) const {
+  for (const auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Find(name);
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Find(name);
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = Find(name);
+  if (entry.histogram == nullptr) entry.histogram = std::make_unique<Histogram>();
+  return *entry.histogram;
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindConst(name);
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindConst(name);
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = FindConst(name);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+void Registry::DumpText(std::ostream& os) const {
+  std::vector<std::pair<std::string, const Entry*>> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) sorted.emplace_back(name, &entry);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [name, entry] : sorted) {
+    if (entry->counter != nullptr) {
+      os << "counter   " << name << " = " << entry->counter->value() << "\n";
+    }
+    if (entry->gauge != nullptr) {
+      os << "gauge     " << name << " = " << entry->gauge->value()
+         << " (max " << entry->gauge->max() << ")\n";
+    }
+    if (entry->histogram != nullptr) {
+      const HistogramSummary s = entry->histogram->Summarize();
+      os << "histogram " << name << " count=" << s.count << " min=" << s.min
+         << " p50=" << s.p50 << " p95=" << s.p95 << " p99=" << s.p99 << " max=" << s.max
+         << " mean=" << s.mean << " stddev=" << s.stddev << "\n";
+    }
+  }
+}
+
+std::string Registry::DumpText() const {
+  std::ostringstream os;
+  DumpText(os);
+  return os.str();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+}  // namespace metrics
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,127 @@
+// Process-wide metrics registry: counters, gauges and latency histograms.
+//
+// Metric objects are created on first use and never destroyed or moved, so a
+// `Counter&` obtained once (e.g. cached in a function-local static) stays
+// valid for the process lifetime; `Registry::Reset()` zeroes values in place
+// without invalidating references. All operations are thread-safe.
+//
+// Naming convention: slash-separated lowercase paths, most-general component
+// first — "kernels/dispatch", "flow/BYOC(APU)/sim_us",
+// "pipeline/queue/obj-det/depth". Latency histograms end in "_us".
+//
+//   metrics::Registry::Global().GetCounter("kernels/dispatch").Increment();
+//   metrics::Registry::Global().GetHistogram("bench/fig5/us").Record(dt_us);
+//   metrics::Registry::Global().DumpText(std::cout);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tnp {
+namespace support {
+namespace metrics {
+
+class Counter {
+ public:
+  void Increment(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written value plus a high-watermark (useful for queue depths).
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double value() const;
+  double max() const;
+  void Reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+struct HistogramSummary {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Latency histogram: retains up to `kMaxSamples` raw samples for exact
+/// percentiles (nearest-rank); count/sum/min/max keep counting past the cap.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxSamples = 1u << 16;
+
+  void Record(double value);
+  std::int64_t count() const;
+  /// Nearest-rank percentile over the retained samples, p in (0, 100].
+  double Percentile(double p) const;
+  HistogramSummary Summarize() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Find-or-create. The returned reference is valid for the process
+  /// lifetime (metrics are never removed).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// nullptr when the metric has not been created.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Plain-text dump of every metric, sorted by name.
+  void DumpText(std::ostream& os) const;
+  std::string DumpText() const;
+
+  /// Zero every metric in place; references stay valid.
+  void Reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // insertion order
+
+  Entry& Find(const std::string& name);
+  const Entry* FindConst(const std::string& name) const;
+};
+
+}  // namespace metrics
+}  // namespace support
+}  // namespace tnp

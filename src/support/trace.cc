@@ -1,0 +1,460 @@
+#include "support/trace.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+std::string FormatNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendArgs(std::string& out, const std::vector<TraceArg>& args) {
+  out += "{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, arg.key);
+    out += "\":";
+    if (arg.quoted) {
+      out += "\"";
+      AppendJsonEscaped(out, arg.value);
+      out += "\"";
+    } else {
+      out += arg.value;
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+TraceArg::TraceArg(std::string k, double v)
+    : key(std::move(k)), value(FormatNumber(v)), quoted(false) {}
+
+const std::string& TraceEvent::ArgValue(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& arg : args) {
+    if (arg.key == key) return arg.value;
+  }
+  return kEmpty;
+}
+
+int TraceThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer() : capacity_(1u << 15), origin_(std::chrono::steady_clock::now()) {
+  const char* env = std::getenv("TNP_TRACE");
+  if (env != nullptr) {
+    const std::string value = env;
+    enabled_.store(value == "1" || value == "true" || value == "on",
+                   std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::SetCapacity(std::size_t capacity) {
+  TNP_CHECK_GT(capacity, 0u);
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_seq_ = 0;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   origin_)
+      .count();
+}
+
+std::uint64_t Tracer::sequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - ring_.size();
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<std::size_t>(next_seq_ % capacity_)] = std::move(event);
+  }
+  ++next_seq_;
+}
+
+void Tracer::Emit(const char* category, std::string name, double ts_us, double dur_us,
+                  std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = TracePhase::kComplete;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = TraceThreadId();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+void Tracer::InstantImpl(const char* category, std::string name,
+                         std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = TracePhase::kInstant;
+  event.ts_us = NowUs();
+  event.tid = TraceThreadId();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+void Tracer::Counter(const char* category, std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = TracePhase::kCounter;
+  event.ts_us = NowUs();
+  event.counter_value = value;
+  event.tid = TraceThreadId();
+  Record(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  const std::uint64_t oldest = next_seq_ - ring_.size();
+  for (std::uint64_t seq = oldest; seq < next_seq_; ++seq) {
+    events.push_back(ring_[static_cast<std::size_t>(seq % capacity_)]);
+  }
+  return events;
+}
+
+std::vector<TraceEvent> Tracer::EventsSince(std::uint64_t seq) const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::vector<TraceEvent> filtered;
+  for (auto& event : events) {
+    if (event.seq >= seq) filtered.push_back(std::move(event));
+  }
+  return filtered;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, event.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, event.category);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(event.phase);
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    out += ",\"ts\":" + FormatNumber(event.ts_us);
+    switch (event.phase) {
+      case TracePhase::kComplete:
+        out += ",\"dur\":" + FormatNumber(event.dur_us);
+        if (!event.args.empty()) {
+          out += ",\"args\":";
+          AppendArgs(out, event.args);
+        }
+        break;
+      case TracePhase::kInstant:
+        out += ",\"s\":\"t\"";
+        if (!event.args.empty()) {
+          out += ",\"args\":";
+          AppendArgs(out, event.args);
+        }
+        break;
+      case TracePhase::kCounter:
+        out += ",\"args\":{\"value\":" + FormatNumber(event.counter_value) + "}";
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Export(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    TNP_THROW(kRuntimeError) << "cannot open trace output file '" << path << "'";
+  }
+  const std::string json = ExportChromeTrace();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!file) {
+    TNP_THROW(kRuntimeError) << "failed writing trace output file '" << path << "'";
+  }
+}
+
+void TraceScope::End() {
+  Tracer& tracer = Tracer::Global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.phase = TracePhase::kComplete;
+  event.ts_us = start_us_;
+  event.dur_us = tracer.NowUs() - start_us_;
+  event.tid = TraceThreadId();
+  event.args = std::move(args_);
+  tracer.Record(std::move(event));
+}
+
+// ------------------------------------------------------- JSON validation
+
+namespace {
+
+/// Minimal recursive-descent JSON parser used only for validation.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Parse(std::string* error) {
+    pos_ = 0;
+    ok_ = true;
+    error_.clear();
+    SkipWs();
+    ParseValue();
+    SkipWs();
+    if (ok_ && pos_ != text_.size()) Fail("trailing characters after JSON value");
+    if (!ok_ && error != nullptr) *error = error_;
+    return ok_;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = message + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c) {
+    if (!Consume(c)) Fail(std::string("expected '") + c + "'");
+  }
+
+  void ParseValue() {
+    if (!ok_) return;
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ParseObject();
+    } else if (c == '[') {
+      ParseArray();
+    } else if (c == '"') {
+      ParseString();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      ParseNumber();
+    } else if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      Fail("unexpected character");
+    }
+  }
+
+  void ParseObject() {
+    Expect('{');
+    SkipWs();
+    if (Consume('}')) return;
+    for (;;) {
+      SkipWs();
+      ParseString();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      ParseValue();
+      SkipWs();
+      if (!ok_) return;
+      if (Consume('}')) return;
+      Expect(',');
+      if (!ok_) return;
+    }
+  }
+
+  void ParseArray() {
+    Expect('[');
+    SkipWs();
+    if (Consume(']')) return;
+    for (;;) {
+      SkipWs();
+      ParseValue();
+      SkipWs();
+      if (!ok_) return;
+      if (Consume(']')) return;
+      Expect(',');
+      if (!ok_) return;
+    }
+  }
+
+  void ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              Fail("invalid \\u escape");
+              return;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          Fail("invalid escape character");
+          return;
+        }
+      }
+      ++pos_;
+    }
+    Fail("unterminated string");
+  }
+
+  void ParseNumber() {
+    Consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Fail("invalid number");
+      return;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("invalid number fraction");
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("invalid number exponent");
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ValidateTraceJson(const std::string& json, std::string* error) {
+  JsonValidator validator(json);
+  if (!validator.Parse(error)) return false;
+  // Structural requirement beyond well-formedness: a traceEvents array.
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    if (error != nullptr) *error = "missing top-level \"traceEvents\" array";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,252 @@
+// Low-overhead span/event tracing with Chrome-trace export.
+//
+// The process-wide Tracer collects events into a fixed-capacity ring buffer
+// (oldest events are overwritten once full; `dropped()` reports how many).
+// Recording is thread-safe; each thread gets a stable small integer id that
+// becomes the Chrome-trace `tid`.
+//
+// Usage:
+//
+//   TNP_TRACE_SCOPE("relay.pass", pass_name,                 // RAII span
+//                   support::TraceArg("nodes", node_count));
+//   TNP_TRACE_INSTANT("neuron.planner", "assign:conv2d",     // point event
+//                     support::TraceArg("device", "apu"));
+//   TNP_TRACE_COUNTER("pipeline", "queue/depth", depth);     // counter track
+//
+//   support::Tracer::Global().SetEnabled(true);              // or TNP_TRACE=1
+//   support::Tracer::Global().Export("trace.json");          // chrome://tracing
+//
+// When the tracer is disabled, TNP_TRACE_SCOPE costs one relaxed atomic
+// load: the name/arg expressions are *not evaluated* and nothing allocates
+// (asserted by tests/test_trace.cc). Defining TNP_TRACE_DISABLED at compile
+// time removes the macros entirely.
+//
+// Span durations default to wall time, but `Tracer::Emit` records spans with
+// an explicit duration — this is how simulated-time spans (sim::SimClock
+// results) land on the same timeline, and how core::ProfileModel derives
+// scheduler profiles from recorded spans.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+/// One key/value annotation on a trace event. Values render into the Chrome
+/// JSON `args` object; strings are quoted + escaped, numbers stay bare.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+
+  TraceArg(std::string k, const char* v) : key(std::move(k)), value(v), quoted(true) {}
+  TraceArg(std::string k, std::string v) : key(std::move(k)), value(std::move(v)), quoted(true) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  TraceArg(std::string k, double v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  TraceArg(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+};
+
+enum class TracePhase : char {
+  kComplete = 'X',  ///< span with duration
+  kInstant = 'i',   ///< point event
+  kCounter = 'C',   ///< counter sample (renders as a counter track)
+};
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";  ///< must outlive the tracer (string literals)
+  TracePhase phase = TracePhase::kComplete;
+  double ts_us = 0.0;   ///< start time, microseconds since tracer start
+  double dur_us = 0.0;  ///< kComplete only
+  double counter_value = 0.0;  ///< kCounter only
+  int tid = 0;
+  std::uint64_t seq = 0;  ///< global record order (monotonic, never reused)
+  std::vector<TraceArg> args;
+
+  /// Value of the named arg, or empty string when absent.
+  const std::string& ArgValue(const std::string& key) const;
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Runtime on/off switch. Also initialized from the TNP_TRACE environment
+  /// variable ("1"/"true" enables) when the global tracer is first touched.
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Force tracing on for a scope, restoring the previous state on exit
+  /// (used by ProfileModel so profiles always derive from recorded spans).
+  class ScopedEnable {
+   public:
+    ScopedEnable() : previous_(Tracer::Global().enabled()) {
+      Tracer::Global().SetEnabled(true);
+    }
+    ~ScopedEnable() { Tracer::Global().SetEnabled(previous_); }
+    ScopedEnable(const ScopedEnable&) = delete;
+    ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+  /// Ring capacity in events. Resizing clears recorded events.
+  void SetCapacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Drop all recorded events (capacity and enabled state are kept).
+  void Clear();
+
+  /// Microseconds since tracer construction (the trace timebase).
+  double NowUs() const;
+
+  /// Sequence number the *next* recorded event will get. Use with
+  /// EventsSince to query only events recorded after a point in time.
+  std::uint64_t sequence() const;
+
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const;
+
+  void Record(TraceEvent event);
+
+  /// Span with an explicit start/duration (e.g. simulated time). No-op when
+  /// disabled, like the macros.
+  void Emit(const char* category, std::string name, double ts_us, double dur_us,
+            std::vector<TraceArg> args = {});
+
+  template <typename... Args>
+  void Instant(const char* category, std::string name, Args&&... args) {
+    if (!enabled()) return;
+    std::vector<TraceArg> collected;
+    (collected.push_back(std::forward<Args>(args)), ...);
+    InstantImpl(category, std::move(name), std::move(collected));
+  }
+
+  void Counter(const char* category, std::string name, double value);
+
+  /// All retained events in record order.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Retained events with seq >= `seq`, in record order.
+  std::vector<TraceEvent> EventsSince(std::uint64_t seq) const;
+
+  /// Chrome-trace JSON ({"traceEvents": [...]}): load via chrome://tracing
+  /// or https://ui.perfetto.dev.
+  std::string ExportChromeTrace() const;
+  /// Write ExportChromeTrace() to `path`; throws tnp::Error on I/O failure.
+  void Export(const std::string& path) const;
+
+  Tracer();
+
+ private:
+  void InstantImpl(const char* category, std::string name, std::vector<TraceArg> args);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Stable small integer id of the calling thread (Chrome-trace tid).
+int TraceThreadId();
+
+/// RAII span. Normally created through TNP_TRACE_SCOPE; instantiate directly
+/// when you need AddArg (annotations computed after the scope opens):
+///
+///   support::TraceScope scope;
+///   if (scope.armed()) scope.Begin("relay.pass", name);
+///   ... work ...
+///   if (scope.armed()) scope.AddArg(support::TraceArg("nodes_out", n));
+class TraceScope {
+ public:
+  TraceScope() : armed_(Tracer::Global().enabled()) {}
+  ~TraceScope() {
+    if (begun_) End();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool armed() const { return armed_; }
+
+  template <typename... Args>
+  void Begin(const char* category, std::string name, Args&&... args) {
+    category_ = category;
+    name_ = std::move(name);
+    (args_.push_back(std::forward<Args>(args)), ...);
+    start_us_ = Tracer::Global().NowUs();
+    begun_ = true;
+  }
+
+  void AddArg(TraceArg arg) {
+    if (begun_) args_.push_back(std::move(arg));
+  }
+
+ private:
+  void End();
+
+  bool armed_ = false;
+  bool begun_ = false;
+  const char* category_ = "";
+  std::string name_;
+  double start_us_ = 0.0;
+  std::vector<TraceArg> args_;
+};
+
+/// Strict-enough JSON well-formedness check (objects, arrays, strings with
+/// escapes, numbers, literals) that additionally requires a top-level object
+/// with a "traceEvents" array — shared by tests and the trace_demo harness
+/// so the exporter cannot silently rot.
+bool ValidateTraceJson(const std::string& json, std::string* error = nullptr);
+
+}  // namespace support
+}  // namespace tnp
+
+#define TNP_TRACE_CONCAT_INNER_(a, b) a##b
+#define TNP_TRACE_CONCAT_(a, b) TNP_TRACE_CONCAT_INNER_(a, b)
+
+#if defined(TNP_TRACE_DISABLED)
+
+#define TNP_TRACE_SCOPE(...) \
+  do {                       \
+  } while (false)
+#define TNP_TRACE_INSTANT(...) \
+  do {                         \
+  } while (false)
+#define TNP_TRACE_COUNTER(...) \
+  do {                         \
+  } while (false)
+
+#else
+
+// The name/arg expressions sit on the `else` branch, so they are evaluated
+// only when the tracer is enabled (one relaxed atomic load otherwise).
+#define TNP_TRACE_SCOPE(category, ...)                                      \
+  ::tnp::support::TraceScope TNP_TRACE_CONCAT_(tnp_trace_scope_, __LINE__); \
+  if (!TNP_TRACE_CONCAT_(tnp_trace_scope_, __LINE__).armed()) {             \
+  } else                                                                    \
+    TNP_TRACE_CONCAT_(tnp_trace_scope_, __LINE__).Begin((category), __VA_ARGS__)
+
+#define TNP_TRACE_INSTANT(category, ...)               \
+  if (!::tnp::support::Tracer::Global().enabled()) {   \
+  } else                                               \
+    ::tnp::support::Tracer::Global().Instant((category), __VA_ARGS__)
+
+#define TNP_TRACE_COUNTER(category, ...)               \
+  if (!::tnp::support::Tracer::Global().enabled()) {   \
+  } else                                               \
+    ::tnp::support::Tracer::Global().Counter((category), __VA_ARGS__)
+
+#endif  // TNP_TRACE_DISABLED

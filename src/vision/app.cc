@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "core/pipeline_executor.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "vision/image.h"
 #include "zoo/zoo.h"
 
@@ -32,6 +34,10 @@ ShowcaseApp::ShowcaseApp(const ShowcaseConfig& config) : config_(config) {
 
 FrameResult ShowcaseApp::DetectStage(const NDArray& frame, int frame_index,
                                      StageClocks& clocks) {
+  TNP_TRACE_SCOPE("vision", "DetectStage", support::TraceArg("frame", frame_index));
+  static support::metrics::Counter& frames =
+      support::metrics::Registry::Global().GetCounter("vision/frames");
+  frames.Increment();
   FrameResult result;
   result.frame_index = frame_index;
   result.faces = DetectFaces(frame);
@@ -74,6 +80,8 @@ FrameResult ShowcaseApp::DetectStage(const NDArray& frame, int frame_index,
 
 void ShowcaseApp::AntiSpoofStage(const NDArray& frame, FrameResult& result,
                                  StageClocks& clocks) {
+  TNP_TRACE_SCOPE("vision", "AntiSpoofStage",
+                  support::TraceArg("faces", static_cast<int>(result.results.size())));
   for (auto& face : result.results) {
     const NDArray crop = FaceCrop48(frame, face.box);
     antispoof_session_->SetInput("face", crop);
@@ -87,6 +95,8 @@ void ShowcaseApp::AntiSpoofStage(const NDArray& frame, FrameResult& result,
 
 void ShowcaseApp::EmotionStage(const NDArray& frame, FrameResult& result,
                                StageClocks& clocks) {
+  TNP_TRACE_SCOPE("vision", "EmotionStage",
+                  support::TraceArg("faces", static_cast<int>(result.results.size())));
   for (auto& face : result.results) {
     if (face.spoof) continue;  // only real faces are emotion-classified
     const NDArray crop = FaceCrop48(frame, face.box);

@@ -1,0 +1,135 @@
+// The metrics registry: histogram percentiles, concurrent counter
+// increments, gauge watermarks, reference stability across Reset, and the
+// plain-text dump.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace tnp {
+namespace support {
+namespace metrics {
+namespace {
+
+TEST(Metrics, HistogramPercentilesNearestRank) {
+  Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Record(static_cast<double>(i));
+
+  EXPECT_EQ(histogram.count(), 100);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 100.0);
+
+  const HistogramSummary summary = histogram.Summarize();
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
+  // Population stddev of 1..100: sqrt((100^2 - 1) / 12).
+  EXPECT_NEAR(summary.stddev, std::sqrt((100.0 * 100.0 - 1.0) / 12.0), 1e-9);
+}
+
+TEST(Metrics, HistogramSingleSample) {
+  Histogram histogram;
+  histogram.Record(42.0);
+  const HistogramSummary summary = histogram.Summarize();
+  EXPECT_EQ(summary.count, 1);
+  EXPECT_DOUBLE_EQ(summary.min, 42.0);
+  EXPECT_DOUBLE_EQ(summary.max, 42.0);
+  EXPECT_DOUBLE_EQ(summary.p50, 42.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 42.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 0.0);
+}
+
+TEST(Metrics, ConcurrentCounterIncrements) {
+  Counter& counter = Registry::Global().GetCounter("test/concurrent_counter");
+  counter.Reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, ConcurrentHistogramRecords) {
+  Histogram& histogram = Registry::Global().GetHistogram("test/concurrent_histogram");
+  histogram.Reset();
+
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 2500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kRecords; ++i) histogram.Record(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(histogram.count(), static_cast<std::int64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 1.0);
+}
+
+TEST(Metrics, GaugeTracksValueAndWatermark) {
+  Gauge& gauge = Registry::Global().GetGauge("test/gauge");
+  gauge.Reset();
+  gauge.Set(3.0);
+  gauge.Set(7.5);
+  gauge.Set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 7.5);
+  gauge.Add(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 7.5);
+}
+
+TEST(Metrics, RegistryReferencesStableAcrossReset) {
+  Registry& registry = Registry::Global();
+  Counter& a = registry.GetCounter("test/stable");
+  Counter& b = registry.GetCounter("test/stable");
+  EXPECT_EQ(&a, &b) << "find-or-create must return the same object";
+
+  a.Increment(5);
+  registry.Reset();
+  EXPECT_EQ(a.value(), 0) << "Reset zeroes in place";
+  a.Increment(2);
+  EXPECT_EQ(registry.GetCounter("test/stable").value(), 2);
+}
+
+TEST(Metrics, FindReturnsNullForUnknownNames) {
+  const Registry& registry = Registry::Global();
+  EXPECT_EQ(registry.FindCounter("test/never_created"), nullptr);
+  EXPECT_EQ(registry.FindGauge("test/never_created"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("test/never_created"), nullptr);
+}
+
+TEST(Metrics, DumpTextListsEveryMetric) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test/dump_counter").Increment(3);
+  registry.GetGauge("test/dump_gauge").Set(1.5);
+  registry.GetHistogram("test/dump_histogram").Record(10.0);
+
+  const std::string dump = registry.DumpText();
+  EXPECT_NE(dump.find("test/dump_counter"), std::string::npos);
+  EXPECT_NE(dump.find("test/dump_gauge"), std::string::npos);
+  EXPECT_NE(dump.find("test/dump_histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,189 @@
+// The span/event tracer: nesting across threads, the disabled-mode
+// zero-cost guarantee (no allocation, no argument evaluation), ring-buffer
+// wrap-around accounting, and well-formedness of the Chrome-trace export
+// (validated by a round-trip parse).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/trace.h"
+
+// Global allocation counter for the zero-allocation assertion. Replacing
+// the global operators in one test binary is well-defined; every other
+// test keeps working because the operators still allocate normally.
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tnp {
+namespace support {
+namespace {
+
+TEST(Trace, DisabledMacrosEvaluateNothingAndAllocateNothing) {
+  Tracer::Global().SetEnabled(false);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("never-built");
+  };
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TNP_TRACE_SCOPE("test", expensive(), TraceArg("i", expensive()));
+    TNP_TRACE_INSTANT("test", expensive());
+    TNP_TRACE_COUNTER("test", expensive(), 1.0);
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0) << "disabled trace macros allocated";
+  EXPECT_EQ(evaluations, 0) << "disabled trace macros evaluated their arguments";
+}
+
+TEST(Trace, SpanNestingAcrossThreads) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  const Tracer::ScopedEnable enable;
+
+  constexpr int kThreads = 4;
+  constexpr int kInner = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      TNP_TRACE_SCOPE("test.nest", "outer:" + std::to_string(t));
+      for (int i = 0; i < kInner; ++i) {
+        TNP_TRACE_SCOPE("test.nest", "inner:" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  for (int t = 0; t < kThreads; ++t) {
+    const TraceEvent* outer = nullptr;
+    std::vector<const TraceEvent*> inner;
+    for (const auto& event : events) {
+      if (event.name == "outer:" + std::to_string(t)) outer = &event;
+      if (event.name == "inner:" + std::to_string(t)) inner.push_back(&event);
+    }
+    ASSERT_NE(outer, nullptr) << "thread " << t;
+    ASSERT_EQ(inner.size(), static_cast<std::size_t>(kInner)) << "thread " << t;
+    for (const TraceEvent* span : inner) {
+      // Same worker thread, and temporally contained in the outer span.
+      EXPECT_EQ(span->tid, outer->tid);
+      EXPECT_GE(span->ts_us, outer->ts_us - 1e-6);
+      EXPECT_LE(span->ts_us + span->dur_us, outer->ts_us + outer->dur_us + 1e-6);
+    }
+  }
+  // All four workers got distinct thread ids.
+  std::vector<int> tids;
+  for (const auto& event : events) {
+    if (event.name.rfind("outer:", 0) == 0) tids.push_back(event.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST(Trace, ChromeExportRoundTripsThroughJsonParser) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  const Tracer::ScopedEnable enable;
+
+  {
+    TNP_TRACE_SCOPE("test.export", std::string("tricky \"name\" \\ with\nnewline"),
+                    TraceArg("str", "quoted \"value\""), TraceArg("num", 42),
+                    TraceArg("float", 3.25), TraceArg("flag", true));
+  }
+  TNP_TRACE_INSTANT("test.export", "instant", TraceArg("k", "v"));
+  TNP_TRACE_COUNTER("test.export", "depth", 2.0);
+  tracer.Emit("test.export", "explicit", 10.0, 250.0, {TraceArg("sim", true)});
+
+  const std::string json = tracer.ExportChromeTrace();
+  std::string error;
+  EXPECT_TRUE(ValidateTraceJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  // The validator is a real parser: it must reject broken documents.
+  EXPECT_FALSE(ValidateTraceJson("{\"traceEvents\":[", &error));
+  EXPECT_FALSE(ValidateTraceJson("{\"traceEvents\":[{\"bad\":}]}", &error));
+  EXPECT_FALSE(ValidateTraceJson("{\"traceEvents\":[\"unterminated]}", &error));
+  EXPECT_FALSE(ValidateTraceJson("not json", &error));
+  EXPECT_FALSE(ValidateTraceJson("{\"events\":[]}", &error)) << "traceEvents required";
+}
+
+TEST(Trace, EmitRecordsExplicitDuration) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  const Tracer::ScopedEnable enable;
+  tracer.Emit("test.emit", "sim-span", 100.0, 1234.5,
+              {TraceArg("flow", "BYOC(APU)"), TraceArg("model", "m")});
+
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "sim-span");
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 100.0);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 1234.5);
+  EXPECT_EQ(events[0].ArgValue("flow"), "BYOC(APU)");
+  EXPECT_EQ(events[0].ArgValue("missing"), "");
+}
+
+TEST(Trace, RingBufferWrapsAndCountsDropped) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCapacity(8);
+  const Tracer::ScopedEnable enable;
+  for (int i = 0; i < 20; ++i) {
+    tracer.Emit("test.ring", "e" + std::to_string(i), 0.0, 1.0);
+  }
+  EXPECT_EQ(tracer.dropped(), 12u);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained event is #12, newest #19, still in record order.
+  EXPECT_EQ(events.front().name, "e12");
+  EXPECT_EQ(events.back().name, "e19");
+
+  const std::uint64_t seq = tracer.sequence();
+  tracer.Emit("test.ring", "tail", 0.0, 1.0);
+  const std::vector<TraceEvent> since = tracer.EventsSince(seq);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].name, "tail");
+
+  tracer.SetCapacity(1u << 15);  // restore the default for other tests
+}
+
+TEST(Trace, ScopedEnableRestoresPreviousState) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  {
+    const Tracer::ScopedEnable enable;
+    EXPECT_TRUE(tracer.enabled());
+    {
+      const Tracer::ScopedEnable nested;
+      EXPECT_TRUE(tracer.enabled());
+    }
+    EXPECT_TRUE(tracer.enabled());
+  }
+  EXPECT_FALSE(tracer.enabled());
+}
+
+}  // namespace
+}  // namespace support
+}  // namespace tnp
