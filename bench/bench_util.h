@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/scheduler.h"
+#include "relay/pass.h"
 #include "support/metrics.h"
 #include "support/string_util.h"
 #include "support/table.h"
@@ -27,6 +28,53 @@ inline zoo::ZooOptions BenchOptions() {
 
 /// Format microseconds as "12.34" (milliseconds, 2 decimals).
 inline std::string Ms(double us) { return support::FormatDouble(us / 1000.0, 2); }
+
+/// Format a byte count as "123.4" KiB.
+inline std::string Kib(double bytes) { return support::FormatDouble(bytes / 1024.0, 1); }
+
+/// Memory behaviour of one steady-state inference run.
+struct MemoryStats {
+  std::int64_t allocs_per_run = 0;       ///< tensor heap allocations in one run
+  std::int64_t alloc_bytes_per_run = 0;  ///< bytes those allocations requested
+  double peak_arena_bytes = 0.0;         ///< high watermark of live arena bytes
+};
+
+/// Measure the memory behaviour of `run` in steady state: one warmup call
+/// (first runs may bind buffers lazily), then one call bracketed by the
+/// process-wide tensor allocation counters. Pre-planned sessions report
+/// allocs_per_run == 0 — every intermediate lives in an arena reserved at
+/// session creation.
+inline MemoryStats MeasureRunMemory(const std::function<void()>& run) {
+  run();  // warmup
+  const std::int64_t allocs_before = NDArray::TotalAllocations();
+  const std::int64_t bytes_before = NDArray::TotalAllocatedBytes();
+  run();
+  MemoryStats stats;
+  stats.allocs_per_run = NDArray::TotalAllocations() - allocs_before;
+  stats.alloc_bytes_per_run = NDArray::TotalAllocatedBytes() - bytes_before;
+  const support::metrics::Gauge* arena =
+      support::metrics::Registry::Global().FindGauge("memory/arena/bytes");
+  stats.peak_arena_bytes = arena != nullptr ? arena->max() : 0.0;
+  return stats;
+}
+
+/// Reset the arena high-watermark gauge. Call between measurements, while no
+/// session is alive, so each model reports its own peak.
+inline void ResetArenaWatermark() {
+  support::metrics::Registry::Global().GetGauge("memory/arena/bytes").Reset();
+}
+
+/// Bind an all-zero tensor of each declared input's shape/dtype (numerics
+/// are irrelevant to memory measurements).
+inline void BindZeroInputs(const core::InferenceSessionPtr& session,
+                           const relay::Module& module) {
+  const relay::Module typed =
+      relay::Sequential({relay::InferType()}).Run(module);
+  for (const auto& param : typed.main()->params()) {
+    const auto& type = param->checked_type().AsTensor();
+    session->SetInput(param->name(), NDArray::Zeros(type.shape, type.dtype));
+  }
+}
 
 /// One row of a Figure-4/6 style table: model x 7 flow permutations, with
 /// "--" where compilation fails (the paper's missing bars). Latencies come

@@ -15,10 +15,12 @@ int main() {
   const char* names[] = {"mobilenet_ssd_quant", "deepixbis", "emotion_cnn"};
   const char* labels[] = {"obj-det", "anti-spoof", "emotion"};
 
+  std::vector<relay::Module> modules;
   std::vector<core::ModelProfile> profiles;
   for (int i = 0; i < 3; ++i) {
-    const relay::Module module = zoo::Build(names[i], bench::BenchOptions());
+    relay::Module module = zoo::Build(names[i], bench::BenchOptions());
     core::ModelProfile profile = core::ProfileModel(module, labels[i]);
+    modules.push_back(std::move(module));
     profiles.push_back(std::move(profile));
   }
 
@@ -97,5 +99,27 @@ int main() {
   measure("exhaustive", [&] { core::ChoosePipelineAssignment(profiles, kFrames); });
   std::cout << "\n";
   cost.Print(std::cout, "  scheduling cost over 16 repetitions:");
+
+  // Steady-state memory per pipeline stage: each stage holds one pre-planned
+  // session whose arena is reused across frames, so a warm pipeline performs
+  // zero tensor allocations per frame.
+  support::Table memory({"stage", "flow", "peak arena KiB", "allocs/run"});
+  for (int i = 0; i < 3; ++i) {
+    const core::Assignment best = core::ComputationScheduler::BestFlow(profiles[i]);
+    bench::ResetArenaWatermark();
+    std::string error;
+    const auto session = core::TryCompileFlow(modules[i], best.flow, &error);
+    if (session == nullptr) {
+      memory.AddRow({labels[i], core::FlowName(best.flow), "--", "--"});
+      continue;
+    }
+    bench::BindZeroInputs(session, modules[i]);
+    const bench::MemoryStats stats =
+        bench::MeasureRunMemory([&session] { session->Run(); });
+    memory.AddRow({labels[i], core::FlowName(best.flow), bench::Kib(stats.peak_arena_bytes),
+                   std::to_string(stats.allocs_per_run)});
+  }
+  std::cout << "\n";
+  memory.Print(std::cout, "  per-stage steady-state memory (pre-planned arenas):");
   return 0;
 }

@@ -1,5 +1,7 @@
 // Table 1 reproduction (standalone): every zoo model with its source
-// framework, task, data type, canonical input size and graph statistics.
+// framework, task, data type, canonical input size and graph statistics,
+// plus the static memory plan's footprint (peak arena bytes and tensor
+// allocations per steady-state run — zero with pre-planned sessions).
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -11,21 +13,48 @@ int main() {
   std::cout << "=== Table 1: models used for testing and their data types ===\n\n";
 
   support::Table table({"Model", "Data Type", "Framework", "Task", "Input", "Relay ops",
-                        "NIR subgraphs"});
+                        "NIR subgraphs", "Arena KiB", "Allocs/run"});
   for (const auto& info : zoo::AllModels()) {
     zoo::ZooOptions options = bench::BenchOptions();
     const relay::Module module = zoo::Build(info.name, options);
     const int ops = relay::CountCalls(module.main()->body());
     std::string partitions = "--";
+    bool byoc_ok = false;
     std::string error;
-    const auto session =
-        core::TryCompileFlow(module, core::FlowKind::kByocCpuApu, &error);
-    if (session != nullptr) partitions = std::to_string(session->NumPartitions());
+    {
+      const auto byoc_session =
+          core::TryCompileFlow(module, core::FlowKind::kByocCpuApu, &error);
+      if (byoc_session != nullptr) {
+        partitions = std::to_string(byoc_session->NumPartitions());
+        byoc_ok = true;
+      }
+    }
+
+    // Steady-state memory of the best-supported flow (BYOC when it compiles,
+    // TVM-only otherwise). The watermark resets while no session is alive so
+    // each model reports its own peak.
+    std::string arena_kib = "--";
+    std::string allocs = "--";
+    {
+      bench::ResetArenaWatermark();
+      const auto session = core::TryCompileFlow(
+          module, byoc_ok ? core::FlowKind::kByocCpuApu : core::FlowKind::kTvmOnly, &error);
+      if (session != nullptr) {
+        bench::BindZeroInputs(session, module);
+        const bench::MemoryStats stats =
+            bench::MeasureRunMemory([&session] { session->Run(); });
+        arena_kib = bench::Kib(stats.peak_arena_bytes);
+        allocs = std::to_string(stats.allocs_per_run);
+      }
+    }
+
     table.AddRow({info.name, DTypeName(info.data_type), info.framework, info.task,
                   std::to_string(info.canonical_size) + "x" +
                       std::to_string(info.canonical_size),
-                  std::to_string(ops), partitions});
+                  std::to_string(ops), partitions, arena_kib, allocs});
   }
   table.Print(std::cout);
+  std::cout << "\n  Arena KiB: peak of the pre-planned per-session arenas during one run\n"
+               "  Allocs/run: tensor heap allocations in one steady-state inference\n";
   return 0;
 }

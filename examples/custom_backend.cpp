@@ -30,7 +30,8 @@ class MyDspModule final : public relay::ExternalModule {
   }
 
   relay::Value Run(const std::vector<relay::Value>& inputs, sim::SimClock* clock,
-                   bool execute_numerics) override {
+                   bool execute_numerics, relay::ExternalSession* session = nullptr) override {
+    (void)session;  // stateless module: allocates its outputs every run
     if (clock != nullptr) {
       sim::OpDesc desc;
       desc.name = "mydsp-subgraph";

@@ -90,8 +90,7 @@ class TvmSession final : public InferenceSession {
     bool cpu = false;
     bool apu = false;
     for (const auto& inst : compiled_->instructions) {
-      if (inst.kind == relay::Instruction::Kind::kCallOp ||
-          inst.kind == relay::Instruction::Kind::kCallPrimitive) {
+      if (inst.kind == relay::Instruction::Kind::kCallOp) {
         cpu = true;  // host instruction occupies the CPU
       }
     }
@@ -122,6 +121,7 @@ class NpSession final : public InferenceSession {
             std::vector<std::string> input_names, int num_outputs)
       : flow_(flow),
         package_(std::move(package)),
+        neuron_session_(package_),
         input_names_(std::move(input_names)),
         num_outputs_(num_outputs) {
     inputs_.resize(input_names_.size());
@@ -141,7 +141,8 @@ class NpSession final : public InferenceSession {
     support::TraceScope scope;
     if (scope.armed()) scope.Begin("flow", std::string("Run:") + FlowName(flow_));
     clock_.Reset();
-    outputs_ = neuron::NeuronRuntime::Execute(*package_, inputs_, &clock_, true);
+    outputs_ = neuron::NeuronRuntime::Execute(*package_, inputs_, &clock_, true,
+                                              &neuron_session_);
     RecordFlowRun(flow_, clock_.total_us());
     if (scope.armed()) scope.AddArg(support::TraceArg("sim_us", clock_.total_us()));
   }
@@ -182,6 +183,9 @@ class NpSession final : public InferenceSession {
  private:
   FlowKind flow_;
   neuron::NeuronPackagePtr package_;
+  /// Pre-planned operand arena, reused across Run() calls (zero tensor
+  /// allocations per frame once the session exists).
+  neuron::NeuronExecutionSession neuron_session_;
   std::vector<std::string> input_names_;
   std::vector<NDArray> inputs_;
   std::vector<NDArray> outputs_;

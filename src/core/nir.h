@@ -13,6 +13,7 @@
 #pragma once
 
 #include "neuron/compiler.h"
+#include "neuron/runtime.h"
 #include "relay/build.h"
 #include "relay/byoc_partition.h"
 
@@ -40,6 +41,20 @@ relay::BuildOptions MakeBuildOptions(const NirOptions& options);
 /// PartitionForNir and MakeBuildOptions).
 void EnsureNirCodegenRegistered();
 
+/// Bridges the Neuron runtime's per-caller execution state into the relay
+/// executor's session seam (neuron/ does not link against relay/, so the
+/// wrapping happens here).
+class NirSession final : public relay::ExternalSession {
+ public:
+  explicit NirSession(neuron::NeuronPackagePtr package)
+      : neuron_session_(std::move(package)) {}
+
+  neuron::NeuronExecutionSession& neuron_session() { return neuron_session_; }
+
+ private:
+  neuron::NeuronExecutionSession neuron_session_;
+};
+
 /// The ExternalModule produced by the nir codegen (exposed for tests and
 /// reports: gives access to the compiled NeuronPackage).
 class NirExternalModule final : public relay::ExternalModule {
@@ -48,7 +63,11 @@ class NirExternalModule final : public relay::ExternalModule {
       : name_(std::move(name)), package_(std::move(package)) {}
 
   relay::Value Run(const std::vector<relay::Value>& inputs, sim::SimClock* clock,
-                   bool execute_numerics) override;
+                   bool execute_numerics, relay::ExternalSession* session = nullptr) override;
+
+  relay::ExternalSessionPtr CreateSession() const override {
+    return std::make_shared<NirSession>(package_);
+  }
 
   const std::string& name() const override { return name_; }
   int num_ops() const override { return package_->NumOps(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "kernels/elementwise.h"
 #include "support/thread_pool.h"
@@ -91,18 +92,56 @@ void QMulS8(const NDArray& lhs, const NDArray& rhs, NDArray& output, const Quant
 void QConcatS8(const std::vector<NDArray>& inputs, const std::vector<QuantParams>& input_qs,
                NDArray& output, const QuantParams& output_q, int axis) {
   TNP_CHECK_EQ(inputs.size(), input_qs.size());
-  std::vector<NDArray> rescaled;
-  rescaled.reserve(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    if (input_qs[i] == output_q) {
-      rescaled.push_back(inputs[i]);
-    } else {
-      NDArray tmp = NDArray::Empty(inputs[i].shape(), DType::kInt8);
-      RequantizeS8(inputs[i], tmp, input_qs[i], output_q);
-      rescaled.push_back(std::move(tmp));
+  TNP_CHECK(!inputs.empty());
+  const int rank = inputs.front().shape().rank();
+  if (axis < 0) axis += rank;
+  TNP_CHECK(axis >= 0 && axis < rank);
+
+  std::int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= output.shape()[i];
+  std::int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) inner *= output.shape()[i];
+
+  std::int64_t axis_total = 0;
+  for (const auto& in : inputs) {
+    TNP_CHECK(in.dtype() == DType::kInt8);
+    TNP_CHECK_EQ(in.shape().rank(), rank);
+    for (int i = 0; i < rank; ++i) {
+      if (i != axis) TNP_CHECK_EQ(in.shape()[i], output.shape()[i]);
     }
+    axis_total += in.shape()[axis];
   }
-  Concat(rescaled, output, axis);
+  TNP_CHECK_EQ(axis_total, output.shape()[axis]);
+
+  // Mismatched quantization is folded into the copy loop rather than through
+  // per-input rescale temporaries, so the kernel performs no allocations.
+  std::int8_t* out = output.Data<std::int8_t>();
+  const std::int64_t out_row = output.shape()[axis] * inner;
+  std::int64_t axis_offset = 0;
+  for (std::size_t idx = 0; idx < inputs.size(); ++idx) {
+    const NDArray& in_tensor = inputs[idx];
+    const std::int8_t* in = in_tensor.Data<std::int8_t>();
+    const std::int64_t in_row = in_tensor.shape()[axis] * inner;
+    const bool rescale = !(input_qs[idx] == output_q);
+    // Same arithmetic as RequantizeS8 so results are identical to the old
+    // rescale-into-temporary formulation.
+    const float multiplier = rescale ? input_qs[idx].scale / output_q.scale : 1.0f;
+    const float in_zp = static_cast<float>(input_qs[idx].zero_point);
+    const float out_zp = static_cast<float>(output_q.zero_point);
+    for (std::int64_t o = 0; o < outer; ++o) {
+      std::int8_t* dst = out + o * out_row + axis_offset;
+      const std::int8_t* src = in + o * in_row;
+      if (!rescale) {
+        std::memcpy(dst, src, static_cast<std::size_t>(in_row));
+      } else {
+        for (std::int64_t i = 0; i < in_row; ++i) {
+          dst[i] = SaturateToS8(
+              std::nearbyintf((static_cast<float>(src[i]) - in_zp) * multiplier) + out_zp);
+        }
+      }
+    }
+    axis_offset += in_row;
+  }
 }
 
 }  // namespace kernels

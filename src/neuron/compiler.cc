@@ -1,9 +1,64 @@
 #include "neuron/compiler.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "support/memplan.h"
 #include "support/trace.h"
 
 namespace tnp {
 namespace neuron {
+
+namespace {
+
+/// Liveness + greedy best-fit storage assignment over the (topologically
+/// ordered, validated) operation list. Model inputs stay caller-bound,
+/// constants reference the captured weights; every temporary gets an arena
+/// range whose storage is recycled after its last reading operation.
+NeuronMemoryPlan PlanOperandStorage(const NeuronModel& model) {
+  const std::size_t n_operands = model.operands().size();
+  const int n_ops = static_cast<int>(model.operations().size());
+
+  std::vector<int> last_use(n_operands, -1);
+  for (int i = 0; i < n_ops; ++i) {
+    for (const OperandId id : model.operations()[static_cast<std::size_t>(i)].inputs) {
+      last_use[static_cast<std::size_t>(id)] = i;
+    }
+  }
+  for (const OperandId id : model.model_outputs()) {
+    last_use[static_cast<std::size_t>(id)] = std::numeric_limits<int>::max();
+  }
+
+  NeuronMemoryPlan plan;
+  plan.operands.resize(n_operands);
+  for (std::size_t id = 0; id < n_operands; ++id) {
+    const Operand& operand = model.operands()[id];
+    plan.operands[id].bytes = operand.SizeBytes();
+    if (operand.kind == OperandKind::kInput) {
+      plan.operands[id].kind = OperandStorage::Kind::kExternal;
+    } else if (operand.kind == OperandKind::kConstant) {
+      plan.operands[id].kind = OperandStorage::Kind::kConstant;
+    }
+  }
+
+  support::LinearMemoryPlanner planner;
+  for (int i = 0; i < n_ops; ++i) {
+    planner.BeginStep(i);
+    for (const OperandId id : model.operations()[static_cast<std::size_t>(i)].outputs) {
+      const Operand& operand = model.operand(id);
+      if (operand.kind != OperandKind::kTemporary) continue;
+      const int lu = std::max(last_use[static_cast<std::size_t>(id)], i);
+      const int region = planner.Allocate(operand.SizeBytes(), lu);
+      plan.operands[static_cast<std::size_t>(id)].kind = OperandStorage::Kind::kArena;
+      plan.operands[static_cast<std::size_t>(id)].offset = planner.region(region).offset;
+    }
+  }
+  plan.arena_bytes = planner.arena_bytes();
+  plan.planned_bytes = planner.total_bytes();
+  return plan;
+}
+
+}  // namespace
 
 int NeuronPackage::NumOpsOn(sim::DeviceKind device) const {
   int count = 0;
@@ -33,7 +88,11 @@ NeuronPackagePtr NeuronCompiler::Compile(NeuronModel model, const std::string& n
   package->name = name;
   package->model = std::move(model);
   package->plan = std::move(plan);
+  package->memory = PlanOperandStorage(package->model);
   package->options = options_;
+  if (scope.armed()) {
+    scope.AddArg(support::TraceArg("arena_bytes", package->memory.arena_bytes));
+  }
   return package;
 }
 

@@ -17,11 +17,34 @@ struct CompilerOptions {
   PlannerPolicy policy = PlannerPolicy::kGreedyCost;
 };
 
-/// Compiled artifact: the model plus its device placement. Immutable.
+/// Static storage assignment of one operand in a compiled package.
+struct OperandStorage {
+  enum class Kind : std::uint8_t {
+    kExternal,  ///< model input, bound by the caller at execution time
+    kConstant,  ///< weights/bias, reference the model's captured NDArray
+    kArena,     ///< temporary at [offset, offset + bytes) in a session arena
+  };
+  Kind kind = Kind::kExternal;
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Compile-time memory plan: every temporary operand gets a fixed range of
+/// a per-session arena, with regions recycled once their last reader has
+/// executed (model outputs are never recycled — they survive the run).
+struct NeuronMemoryPlan {
+  std::vector<OperandStorage> operands;  ///< indexed by OperandId
+  std::int64_t arena_bytes = 0;          ///< session arena size (with reuse)
+  std::int64_t planned_bytes = 0;        ///< sum of temporary sizes (no reuse)
+};
+
+/// Compiled artifact: the model plus its device placement and memory plan.
+/// Immutable.
 struct NeuronPackage {
   std::string name;
   NeuronModel model;
   ExecutionPlan plan;
+  NeuronMemoryPlan memory;
   CompilerOptions options;
 
   int NumOps() const { return static_cast<int>(model.operations().size()); }

@@ -1,5 +1,6 @@
 #include "neuron/runtime.h"
 
+#include <cstring>
 #include <set>
 
 #include "kernels/conv.h"
@@ -53,7 +54,10 @@ void RunOperation(const NeuronModel& model, const Operation& op,
     return model.operand(op.inputs.at(i)).quant;
   };
   const Operand& out_operand = model.operand(op.outputs.at(0));
-  NDArray out = NDArray::Empty(out_operand.shape, out_operand.dtype);
+  // Pre-planned sessions seed `values` with arena views; the legacy path
+  // allocates the output here.
+  NDArray out = values[static_cast<std::size_t>(op.outputs.at(0))];
+  if (!out.defined()) out = NDArray::Empty(out_operand.shape, out_operand.dtype);
   const QuantParams& out_quant = out_operand.quant;
   const bool int8_out = out_operand.dtype == DType::kInt8;
 
@@ -150,9 +154,17 @@ void RunOperation(const NeuronModel& model, const Operation& op,
       }
       break;
     }
-    case NeuronOpType::kReshape:
-      out = in(0).Reshape(out_operand.shape).CopyDeep();
+    case NeuronOpType::kReshape: {
+      // A pure byte copy (both layouts are contiguous); skipped entirely
+      // when the memory plan placed input and output on the same bytes.
+      const NDArray& src = in(0);
+      TNP_CHECK_EQ(src.SizeBytes(), out.SizeBytes());
+      if (out.RawData() != src.RawData()) {
+        std::memcpy(out.RawData(), src.RawData(), src.SizeBytes());
+      }
+      out.set_quant(src.quant());
       break;
+    }
     case NeuronOpType::kBatchNorm:
       kernels::BatchNormF32(in(0), in(1), in(2), in(3), in(4), out, op.attrs.epsilon);
       break;
@@ -175,9 +187,30 @@ void RunOperation(const NeuronModel& model, const Operation& op,
 
 }  // namespace
 
+NeuronExecutionSession::NeuronExecutionSession(NeuronPackagePtr package)
+    : package_(std::move(package)), arena_("neuron/" + package_->name) {
+  TNP_CHECK(package_ != nullptr);
+  const NeuronModel& model = package_->model;
+  const NeuronMemoryPlan& plan = package_->memory;
+  TNP_CHECK_EQ(plan.operands.size(), model.operands().size());
+  arena_.Reserve(static_cast<std::size_t>(plan.arena_bytes));
+  views_.resize(model.operands().size());
+  for (std::size_t id = 0; id < model.operands().size(); ++id) {
+    const OperandStorage& storage = plan.operands[id];
+    if (storage.kind != OperandStorage::Kind::kArena) continue;
+    const Operand& operand = model.operands()[id];
+    const std::size_t bytes = static_cast<std::size_t>(storage.bytes);
+    NDArray view = NDArray::ViewOver(arena_.Data(static_cast<std::size_t>(storage.offset), bytes),
+                                     bytes, operand.shape, operand.dtype, arena_.handle());
+    view.set_quant(operand.quant);
+    views_[id] = std::move(view);
+  }
+}
+
 std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
                                             const std::vector<NDArray>& inputs,
-                                            sim::SimClock* clock, bool execute_numerics) {
+                                            sim::SimClock* clock, bool execute_numerics,
+                                            NeuronExecutionSession* session) {
   const NeuronModel& model = package.model;
   const sim::CostModel cost_model(*package.options.testbed);
 
@@ -211,6 +244,13 @@ std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
     for (OperandId id = 0; id < static_cast<OperandId>(model.operands().size()); ++id) {
       if (model.operand(id).kind == OperandKind::kConstant) {
         values[static_cast<std::size_t>(id)] = model.operand(id).data;
+      }
+    }
+    if (session != nullptr) {
+      TNP_CHECK(session->package_.get() == &package)
+          << "NeuronExecutionSession was created for a different package";
+      for (std::size_t id = 0; id < session->views_.size(); ++id) {
+        if (session->views_[id].defined()) values[id] = session->views_[id];
       }
     }
   }

@@ -12,6 +12,7 @@
 
 #include "neuron/compiler.h"
 #include "sim/timeline.h"
+#include "support/arena.h"
 
 namespace tnp {
 namespace neuron {
@@ -20,15 +21,44 @@ namespace neuron {
 /// buffer setup). Paid per package invocation.
 inline constexpr double kInvocationOverheadUs = 15.0;
 
+/// Per-caller execution state of one package: the arena backing its memory
+/// plan plus pre-materialized operand views into it. Creating a session
+/// allocates once; every subsequent Execute against it runs with zero tensor
+/// allocations. Not thread-safe — one session per executing thread.
+///
+/// Outputs produced through a session are views into its arena: contents
+/// stay valid until the session's next Execute (the views keep the arena
+/// bytes alive even after the session is destroyed).
+class NeuronExecutionSession {
+ public:
+  explicit NeuronExecutionSession(NeuronPackagePtr package);
+
+  const NeuronPackagePtr& package() const { return package_; }
+  std::int64_t arena_bytes() const { return package_->memory.arena_bytes; }
+
+ private:
+  friend class NeuronRuntime;
+  NeuronPackagePtr package_;
+  support::Arena arena_;
+  /// Indexed by OperandId; defined only for kArena-planned operands.
+  std::vector<NDArray> views_;
+};
+
 class NeuronRuntime {
  public:
   /// Execute `package` on `inputs` (order matches model_inputs()).
   /// When `execute_numerics` is false, no kernels run and the returned
   /// vector is empty — only `clock` is advanced (used for full-scale
   /// latency simulation). `clock` may be null.
+  ///
+  /// With a `session` (created for the same package), every temporary
+  /// operand lives in the session's pre-planned arena and the run performs
+  /// no tensor allocations; without one, each operand is freshly allocated
+  /// (the legacy path, kept for differential testing).
   static std::vector<NDArray> Execute(const NeuronPackage& package,
                                       const std::vector<NDArray>& inputs,
-                                      sim::SimClock* clock, bool execute_numerics = true);
+                                      sim::SimClock* clock, bool execute_numerics = true,
+                                      NeuronExecutionSession* session = nullptr);
 };
 
 }  // namespace neuron

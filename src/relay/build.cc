@@ -1,10 +1,12 @@
 #include "relay/build.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "relay/op.h"
 #include "relay/pass.h"
 #include "relay/visitor.h"
+#include "support/memplan.h"
 #include "support/string_util.h"
 #include "support/trace.h"
 
@@ -104,6 +106,271 @@ sim::OpDesc DescribePrimitiveCall(const CallPtr& call) {
   return desc;
 }
 
+/// Linearizer: lowers expression trees (main body and, recursively, fused
+/// primitive bodies) into the flat instruction stream, snapshotting op
+/// names/attrs/types so no AST node survives into the CompiledModule.
+class Lowerer {
+ public:
+  Lowerer(CompiledModule* compiled, const std::unordered_map<std::string, int>* external_index)
+      : compiled_(compiled), external_index_(external_index) {}
+
+  int next_slot = 0;
+
+  /// Lower `body` under `scope` (Expr* -> slot for params and shared
+  /// subtrees). `fusion_group` tags every emitted instruction (-1 = host
+  /// ops of main). Returns the slot holding the body's value.
+  int LowerBody(const ExprPtr& body, std::unordered_map<const Expr*, int> scope,
+                int fusion_group) {
+    for (const auto& node : TopLevelPostOrder(body)) {
+      if (scope.count(node.get()) != 0) continue;  // params / shared subtrees
+
+      Instruction inst;
+      inst.fusion_group = fusion_group;
+      // Instructions inlined from a fused primitive charge nothing
+      // individually; the group's aggregate descriptor lands on its last
+      // instruction (see the kFunction case below).
+      inst.charge = fusion_group < 0;
+      switch (node->kind()) {
+        case ExprKind::kVar:
+          TNP_THROW(kCompileError) << "free variable '"
+                                   << std::static_pointer_cast<Var>(node)->name()
+                                   << "' is not a parameter of main";
+        case ExprKind::kConstant:
+          inst.kind = Instruction::Kind::kConstant;
+          inst.constant = std::static_pointer_cast<Constant>(node)->data();
+          inst.out_type = node->checked_type();
+          break;
+        case ExprKind::kCall: {
+          const auto call = std::static_pointer_cast<Call>(node);
+          if (call->callee_kind() == CalleeKind::kFunction) {
+            TNP_CHECK(call->fn()->IsPrimitive()) << "non-primitive embedded function at build";
+            scope[node.get()] = InlinePrimitive(call, scope);
+            continue;
+          }
+          for (const auto& arg : call->args()) inst.input_slots.push_back(scope.at(arg.get()));
+          inst.out_type = call->checked_type();
+          if (call->callee_kind() == CalleeKind::kOp) {
+            inst.kind = Instruction::Kind::kCallOp;
+            inst.op_name = call->op_name();
+            inst.attrs = call->attrs();
+            if (inst.charge) inst.desc = DescribeOpCall(call);
+          } else {
+            const auto it = external_index_->find(call->op_name());
+            if (it == external_index_->end()) {
+              TNP_THROW(kCompileError)
+                  << "call to global '@" << call->op_name() << "' which is not external";
+            }
+            inst.kind = Instruction::Kind::kCallExternal;
+            inst.external_index = it->second;
+          }
+          break;
+        }
+        case ExprKind::kTuple: {
+          const auto tuple = std::static_pointer_cast<Tuple>(node);
+          inst.kind = Instruction::Kind::kTuple;
+          for (const auto& field : tuple->fields()) {
+            inst.input_slots.push_back(scope.at(field.get()));
+          }
+          inst.out_type = node->checked_type();
+          break;
+        }
+        case ExprKind::kTupleGetItem: {
+          const auto get = std::static_pointer_cast<TupleGetItem>(node);
+          inst.kind = Instruction::Kind::kTupleGetItem;
+          inst.input_slots.push_back(scope.at(get->tuple().get()));
+          inst.tuple_index = get->index();
+          inst.out_type = node->checked_type();
+          break;
+        }
+        case ExprKind::kFunction:
+          continue;  // embedded primitive bodies are materialized via their call
+      }
+
+      inst.output_slot = next_slot;
+      scope[node.get()] = next_slot;
+      ++next_slot;
+      compiled_->instructions.push_back(std::move(inst));
+    }
+    return scope.at(body.get());
+  }
+
+ private:
+  /// Inline a fused primitive call into the instruction stream. The body's
+  /// intermediates become ordinary planned slots; the group's aggregate cost
+  /// descriptor is charged once, on the instruction producing the group's
+  /// result, so simulated latency and profiles match the un-inlined form.
+  int InlinePrimitive(const CallPtr& call, const std::unordered_map<const Expr*, int>& scope) {
+    const FunctionPtr& fn = call->fn();
+    TNP_CHECK_EQ(fn->params().size(), call->args().size());
+    std::unordered_map<const Expr*, int> inner;
+    for (std::size_t i = 0; i < call->args().size(); ++i) {
+      inner[fn->params()[i].get()] = scope.at(call->args()[i].get());
+    }
+    const int group = next_group_++;
+    const std::size_t first_inst = compiled_->instructions.size();
+    const int result_slot = LowerBody(fn->body(), std::move(inner), group);
+    // Charge the group's cost on its last instruction (degenerate bodies —
+    // a bare param — emit none and cost nothing).
+    if (compiled_->instructions.size() > first_inst) {
+      Instruction& last = compiled_->instructions.back();
+      last.charge = true;
+      last.desc = DescribePrimitiveCall(call);
+    }
+    return result_slot;
+  }
+
+  CompiledModule* compiled_;
+  const std::unordered_map<std::string, int>* external_index_;
+  int next_group_ = 0;
+};
+
+/// In-place aliasing classes: which kCallOp instructions may write their
+/// output over their first input's arena region. Every kernel listed is
+/// element-local (out[i] depends only on in[i] at the same flat index).
+enum class AliasClass {
+  kNone,
+  kIdentity,   ///< pure copy / view: reshape, batch_flatten, dropout
+  kUnary,      ///< out[i] = f(in[i]), same shape and dtype
+  kBinaryLhs,  ///< out[i] = f(lhs[i], rhs[...]), lhs shape must equal out shape
+};
+
+AliasClass AliasClassOf(const std::string& op) {
+  if (op == "reshape" || op == "nn.batch_flatten" || op == "nn.dropout") {
+    return AliasClass::kIdentity;
+  }
+  if (op == "nn.relu" || op == "nn.leaky_relu" || op == "sigmoid" || op == "tanh" ||
+      op == "exp" || op == "sqrt" || op == "clip" || op == "qnn.requantize" ||
+      op == "qnn.relu") {
+    return AliasClass::kUnary;
+  }
+  if (op == "add" || op == "subtract" || op == "multiply" || op == "divide" ||
+      op == "maximum" || op == "minimum" || op == "qnn.add" || op == "qnn.mul") {
+    return AliasClass::kBinaryLhs;
+  }
+  return AliasClass::kNone;
+}
+
+/// Liveness analysis + greedy best-fit storage assignment over the linear
+/// program. Tensor outputs of host ops live in one shared arena; a slot's
+/// region is recycled once its last reader has executed. Tuple/TupleGetItem
+/// instructions forward references to their inputs' storage, so their input
+/// lifetimes are extended to the forwarding value's own last use (computed
+/// by a reverse sweep). Elementwise/identity ops alias their input's region
+/// in place when they are its final reader.
+MemoryPlan PlanMemory(const CompiledModule& compiled) {
+  const int n_slots = compiled.num_slots;
+  const int n_insts = static_cast<int>(compiled.instructions.size());
+
+  std::vector<int> first_def(static_cast<std::size_t>(n_slots), -1);
+  std::vector<int> last_use(static_cast<std::size_t>(n_slots), -1);
+  for (int i = 0; i < n_insts; ++i) {
+    const Instruction& inst = compiled.instructions[static_cast<std::size_t>(i)];
+    for (const int slot : inst.input_slots) last_use[static_cast<std::size_t>(slot)] = i;
+    first_def[static_cast<std::size_t>(inst.output_slot)] = i;
+  }
+  // The program result must survive past the last instruction (GetOutput).
+  last_use[static_cast<std::size_t>(compiled.output_slot)] = MemoryPlan::kLiveForever;
+  // Reverse sweep: a tuple (or projection) holds references into its inputs'
+  // storage, so those inputs stay live as long as the forwarding value does.
+  // Reverse order makes the propagation transitive through chains like
+  // slot -> tuple -> get_item.
+  for (int i = n_insts - 1; i >= 0; --i) {
+    const Instruction& inst = compiled.instructions[static_cast<std::size_t>(i)];
+    if (inst.kind != Instruction::Kind::kTuple &&
+        inst.kind != Instruction::Kind::kTupleGetItem) {
+      continue;
+    }
+    const int out_lu = last_use[static_cast<std::size_t>(inst.output_slot)];
+    for (const int slot : inst.input_slots) {
+      last_use[static_cast<std::size_t>(slot)] =
+          std::max(last_use[static_cast<std::size_t>(slot)], out_lu);
+    }
+  }
+
+  MemoryPlan plan;
+  plan.slots.resize(static_cast<std::size_t>(n_slots));
+  for (int s = 0; s < n_slots; ++s) {
+    plan.slots[static_cast<std::size_t>(s)].first_def = first_def[static_cast<std::size_t>(s)];
+    plan.slots[static_cast<std::size_t>(s)].last_use = last_use[static_cast<std::size_t>(s)];
+  }
+
+  support::LinearMemoryPlanner planner;
+  std::vector<int> region_of(static_cast<std::size_t>(n_slots), -1);
+
+  for (int i = 0; i < n_insts; ++i) {
+    const Instruction& inst = compiled.instructions[static_cast<std::size_t>(i)];
+    planner.BeginStep(i);
+    SlotPlan& out = plan.slots[static_cast<std::size_t>(inst.output_slot)];
+
+    if (inst.kind == Instruction::Kind::kConstant) {
+      out.kind = SlotPlan::Kind::kConstant;
+      continue;
+    }
+    if (inst.kind != Instruction::Kind::kCallOp || !inst.out_type.IsTensor()) {
+      continue;  // kValue: tuples, projections, external outputs
+    }
+
+    const TensorType& out_type = inst.out_type.AsTensor();
+    const std::int64_t out_bytes = out_type.NumBytes();
+    // Dead outputs still need a buffer for the kernel to write into; they
+    // just expire immediately.
+    const int lu = std::max(last_use[static_cast<std::size_t>(inst.output_slot)], i);
+
+    // Try to run the op in place over its first input's region.
+    const AliasClass alias_class = AliasClassOf(inst.op_name);
+    if (alias_class != AliasClass::kNone && !inst.input_slots.empty()) {
+      const int in_slot = inst.input_slots.front();
+      const int in_region = region_of[static_cast<std::size_t>(in_slot)];
+      const SlotPlan& in_plan = plan.slots[static_cast<std::size_t>(in_slot)];
+      bool ok = in_region >= 0;  // input must itself be arena-backed
+      if (ok && alias_class == AliasClass::kIdentity) {
+        // A copy-free view: safe even when the input stays live, because the
+        // bytes are identical — only the region's lifetime must cover both.
+        ok = in_plan.type.NumBytes() == out_bytes && in_plan.type.dtype == out_type.dtype;
+      } else if (ok) {
+        // Destructive in-place: this instruction must be the final reader of
+        // the region (aliases included — the region's last_use covers them).
+        ok = in_plan.type.shape == out_type.shape && in_plan.type.dtype == out_type.dtype &&
+             planner.region(in_region).last_use <= i;
+      }
+      if (ok) {
+        planner.ExtendLifetime(in_region, lu);
+        region_of[static_cast<std::size_t>(inst.output_slot)] = in_region;
+        out.kind = SlotPlan::Kind::kAlias;
+        out.alias_of = in_slot;
+        out.offset = plan.slots[static_cast<std::size_t>(in_slot)].offset;
+        out.bytes = out_bytes;
+        out.type = out_type;
+        ++plan.num_alias_slots;
+        continue;
+      }
+    }
+
+    const int region = planner.Allocate(out_bytes, lu);
+    region_of[static_cast<std::size_t>(inst.output_slot)] = region;
+    out.kind = SlotPlan::Kind::kArena;
+    out.offset = planner.region(region).offset;
+    out.bytes = out_bytes;
+    out.type = out_type;
+    ++plan.num_arena_slots;
+  }
+
+  // Publish each region's final lifetime (after all alias extensions) so the
+  // overlap invariant is directly checkable: two arena-backed slots of
+  // different regions whose byte ranges intersect must have disjoint
+  // [first_def, last_use] windows.
+  for (int s = 0; s < n_slots; ++s) {
+    if (region_of[static_cast<std::size_t>(s)] >= 0) {
+      plan.slots[static_cast<std::size_t>(s)].last_use =
+          planner.region(region_of[static_cast<std::size_t>(s)]).last_use;
+    }
+  }
+
+  plan.arena_bytes = planner.arena_bytes();
+  plan.planned_bytes = planner.total_bytes();
+  return plan;
+}
+
 }  // namespace
 
 sim::SimClock CompiledModule::EstimateLatency() const {
@@ -112,9 +379,10 @@ sim::SimClock CompiledModule::EstimateLatency() const {
   for (const auto& inst : instructions) {
     switch (inst.kind) {
       case Instruction::Kind::kCallOp:
-      case Instruction::Kind::kCallPrimitive:
-        clock.AddOp(inst.desc, options.host_device,
-                    cost_model.OpMicros(inst.desc, options.host_device));
+        if (inst.charge) {
+          clock.AddOp(inst.desc, options.host_device,
+                      cost_model.OpMicros(inst.desc, options.host_device));
+        }
         break;
       case Instruction::Kind::kCallExternal:
         externals[static_cast<std::size_t>(inst.external_index)]->Run(
@@ -133,10 +401,11 @@ std::vector<ProfileEntry> CompiledModule::Profile() const {
   for (const auto& inst : instructions) {
     switch (inst.kind) {
       case Instruction::Kind::kCallOp:
-      case Instruction::Kind::kCallPrimitive:
-        entries.push_back(ProfileEntry{
-            inst.desc.name, options.host_device,
-            cost_model.OpMicros(inst.desc, options.host_device), inst.desc.macs});
+        if (inst.charge) {
+          entries.push_back(ProfileEntry{
+              inst.desc.name, options.host_device,
+              cost_model.OpMicros(inst.desc, options.host_device), inst.desc.macs});
+        }
         break;
       case Instruction::Kind::kCallExternal:
         externals[static_cast<std::size_t>(inst.external_index)]->AppendProfile(entries);
@@ -185,100 +454,66 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
     compiled->externals.push_back(codegen(fn, name, options));
   }
 
-  // Linearize main.
+  // Linearize main (fused primitive bodies inline into the same stream so
+  // their intermediates are planned like any other slot).
   const FunctionPtr& main_fn = optimized.main();
   TNP_CHECK(main_fn->checked_type().defined());
-  std::unordered_map<const Expr*, int> slot_of;
-  int next_slot = 0;
-
+  Lowerer lowerer(compiled.get(), &external_index);
+  std::unordered_map<const Expr*, int> scope;
   for (const auto& param : main_fn->params()) {
-    slot_of[param.get()] = next_slot;
-    compiled->input_slots[param->name()] = next_slot;
-    ++next_slot;
+    scope[param.get()] = lowerer.next_slot;
+    compiled->input_slots[param->name()] = lowerer.next_slot;
+    ++lowerer.next_slot;
   }
+  compiled->output_slot = lowerer.LowerBody(main_fn->body(), std::move(scope), -1);
+  compiled->num_slots = lowerer.next_slot;
 
-  for (const auto& node : TopLevelPostOrder(main_fn->body())) {
-    if (slot_of.count(node.get()) != 0) continue;  // params already placed
-
-    Instruction inst;
-    switch (node->kind()) {
-      case ExprKind::kVar:
-        TNP_THROW(kCompileError) << "free variable '"
-                                 << std::static_pointer_cast<Var>(node)->name()
-                                 << "' is not a parameter of main";
-      case ExprKind::kConstant:
-        inst.kind = Instruction::Kind::kConstant;
-        inst.constant = std::static_pointer_cast<Constant>(node)->data();
-        break;
-      case ExprKind::kCall: {
-        const auto call = std::static_pointer_cast<Call>(node);
-        for (const auto& arg : call->args()) inst.input_slots.push_back(slot_of.at(arg.get()));
-        switch (call->callee_kind()) {
-          case CalleeKind::kOp:
-            inst.kind = Instruction::Kind::kCallOp;
-            inst.call = call;
-            inst.desc = DescribeOpCall(call);
-            break;
-          case CalleeKind::kFunction:
-            TNP_CHECK(call->fn()->IsPrimitive()) << "non-primitive embedded function at build";
-            inst.kind = Instruction::Kind::kCallPrimitive;
-            inst.primitive = call->fn();
-            inst.desc = DescribePrimitiveCall(call);
-            break;
-          case CalleeKind::kGlobal: {
-            const auto it = external_index.find(call->op_name());
-            if (it == external_index.end()) {
-              TNP_THROW(kCompileError)
-                  << "call to global '@" << call->op_name() << "' which is not external";
-            }
-            inst.kind = Instruction::Kind::kCallExternal;
-            inst.external_index = it->second;
-            break;
-          }
-        }
-        break;
-      }
-      case ExprKind::kTuple: {
-        const auto tuple = std::static_pointer_cast<Tuple>(node);
-        inst.kind = Instruction::Kind::kTuple;
-        for (const auto& field : tuple->fields()) {
-          inst.input_slots.push_back(slot_of.at(field.get()));
-        }
-        break;
-      }
-      case ExprKind::kTupleGetItem: {
-        const auto get = std::static_pointer_cast<TupleGetItem>(node);
-        inst.kind = Instruction::Kind::kTupleGetItem;
-        inst.input_slots.push_back(slot_of.at(get->tuple().get()));
-        inst.tuple_index = get->index();
-        break;
-      }
-      case ExprKind::kFunction:
-        continue;  // embedded primitive bodies are materialized via their call
-    }
-
-    inst.output_slot = next_slot;
-    slot_of[node.get()] = next_slot;
-    ++next_slot;
-    compiled->instructions.push_back(std::move(inst));
-  }
-
-  compiled->num_slots = next_slot;
-  compiled->output_slot = slot_of.at(main_fn->body().get());
   const Type& out_type = main_fn->body()->checked_type();
   compiled->num_outputs = out_type.IsTuple() ? static_cast<int>(out_type.AsTuple().size()) : 1;
+
+  compiled->memory_plan = PlanMemory(*compiled);
+
   if (build_scope.armed()) {
     build_scope.AddArg(support::TraceArg(
         "instructions", static_cast<std::int64_t>(compiled->instructions.size())));
     build_scope.AddArg(support::TraceArg(
         "externals", static_cast<std::int64_t>(compiled->externals.size())));
+    build_scope.AddArg(support::TraceArg("arena_bytes", compiled->memory_plan.arena_bytes));
   }
   return compiled;
 }
 
-GraphExecutor::GraphExecutor(CompiledModulePtr compiled) : compiled_(std::move(compiled)) {
+GraphExecutor::GraphExecutor(CompiledModulePtr compiled, bool use_memory_plan)
+    : compiled_(std::move(compiled)), planned_(use_memory_plan), arena_("relay/executor") {
   TNP_CHECK(compiled_ != nullptr);
   slots_.resize(static_cast<std::size_t>(compiled_->num_slots));
+  if (!planned_) return;
+
+  const MemoryPlan& plan = compiled_->memory_plan;
+  arena_.Reserve(static_cast<std::size_t>(plan.arena_bytes));
+  planned_views_.resize(static_cast<std::size_t>(compiled_->num_slots));
+  for (int s = 0; s < compiled_->num_slots; ++s) {
+    const SlotPlan& slot = plan.slots[static_cast<std::size_t>(s)];
+    if (slot.kind != SlotPlan::Kind::kArena && slot.kind != SlotPlan::Kind::kAlias) continue;
+    const std::size_t bytes = static_cast<std::size_t>(slot.bytes);
+    planned_views_[static_cast<std::size_t>(s)] =
+        NDArray::ViewOver(arena_.Data(static_cast<std::size_t>(slot.offset), bytes), bytes,
+                          slot.type.shape, slot.type.dtype, arena_.handle());
+  }
+  // Constants bind once; Execute never reassigns them in planned mode.
+  for (const auto& inst : compiled_->instructions) {
+    if (inst.kind == Instruction::Kind::kConstant) {
+      slots_[static_cast<std::size_t>(inst.output_slot)] = Value(inst.constant);
+    }
+  }
+  external_sessions_.resize(compiled_->externals.size());
+  for (std::size_t i = 0; i < compiled_->externals.size(); ++i) {
+    external_sessions_[i] = compiled_->externals[i]->CreateSession();
+  }
+}
+
+std::int64_t GraphExecutor::arena_bytes() const {
+  return planned_ ? compiled_->memory_plan.arena_bytes : 0;
 }
 
 void GraphExecutor::SetInput(const std::string& name, NDArray value) {
@@ -293,7 +528,8 @@ void GraphExecutor::Run() { Execute(/*execute_numerics=*/true); }
 
 void GraphExecutor::Execute(bool execute_numerics) {
   TNP_TRACE_SCOPE("relay.execute", "GraphExecutor::Run",
-                  support::TraceArg("numerics", execute_numerics));
+                  support::TraceArg("numerics", execute_numerics),
+                  support::TraceArg("planned", planned_));
   last_clock_.Reset();
   const sim::CostModel cost_model(*compiled_->options.testbed);
   const sim::DeviceKind host = compiled_->options.host_device;
@@ -305,46 +541,49 @@ void GraphExecutor::Execute(bool execute_numerics) {
       args.push_back(slots_[static_cast<std::size_t>(slot)]);
     }
 
-    Value result;
     switch (inst.kind) {
       case Instruction::Kind::kConstant:
-        result = Value(inst.constant);
-        break;
-      case Instruction::Kind::kCallOp:
-        last_clock_.AddOp(inst.desc, host, cost_model.OpMicros(inst.desc, host));
-        if (execute_numerics) {
-          result = EvalOpCall(inst.call->op_name(), inst.call->attrs(), *inst.call, args);
+        if (!planned_) {
+          slots_[static_cast<std::size_t>(inst.output_slot)] = Value(inst.constant);
         }
         break;
-      case Instruction::Kind::kCallPrimitive: {
-        last_clock_.AddOp(inst.desc, host, cost_model.OpMicros(inst.desc, host));
-        if (execute_numerics) {
-          const FunctionPtr& fn = inst.primitive;
-          TNP_CHECK_EQ(fn->params().size(), args.size());
-          Environment env;
-          for (std::size_t i = 0; i < args.size(); ++i) env[fn->params()[i].get()] = args[i];
-          result = EvalExpr(fn->body(), env);
+      case Instruction::Kind::kCallOp: {
+        if (inst.charge) {
+          last_clock_.AddOp(inst.desc, host, cost_model.OpMicros(inst.desc, host));
         }
+        if (!execute_numerics) break;
+        NDArray out = planned_ ? planned_views_[static_cast<std::size_t>(inst.output_slot)]
+                               : NDArray();
+        if (!out.defined()) {
+          const TensorType& out_type = inst.out_type.AsTensor();
+          out = NDArray::Empty(out_type.shape, out_type.dtype);
+        }
+        EvalOpCallInto(inst.op_name, inst.attrs, args, out);
+        slots_[static_cast<std::size_t>(inst.output_slot)] = Value(std::move(out));
         break;
       }
       case Instruction::Kind::kCallExternal: {
         sim::SimClock external_clock;
-        result = compiled_->externals[static_cast<std::size_t>(inst.external_index)]->Run(
-            args, &external_clock, execute_numerics);
+        const std::size_t index = static_cast<std::size_t>(inst.external_index);
+        ExternalSession* session =
+            planned_ && index < external_sessions_.size() ? external_sessions_[index].get()
+                                                          : nullptr;
+        slots_[static_cast<std::size_t>(inst.output_slot)] =
+            compiled_->externals[index]->Run(args, &external_clock, execute_numerics, session);
         last_clock_.Merge(external_clock);
         break;
       }
       case Instruction::Kind::kTuple:
-        result = Value(std::move(args));
+        slots_[static_cast<std::size_t>(inst.output_slot)] = Value(std::move(args));
         break;
       case Instruction::Kind::kTupleGetItem:
         if (execute_numerics) {
           const auto& fields = args.at(0).AsTuple();
-          result = fields.at(static_cast<std::size_t>(inst.tuple_index));
+          slots_[static_cast<std::size_t>(inst.output_slot)] =
+              fields.at(static_cast<std::size_t>(inst.tuple_index));
         }
         break;
     }
-    slots_[static_cast<std::size_t>(inst.output_slot)] = std::move(result);
   }
 }
 

@@ -10,6 +10,7 @@
 //   NDArray out = exec.GetOutput(0);
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -17,16 +18,22 @@
 
 #include "relay/external.h"
 #include "relay/module.h"
+#include "support/arena.h"
 
 namespace tnp {
 namespace relay {
 
-/// One lowered instruction of the linear program.
+/// One lowered instruction of the linear program. Everything the executor
+/// needs is snapshotted at build time (op name, attrs, checked output type,
+/// cost descriptor) — no AST node is retained, so lowering a module does not
+/// keep the frontend expression graph alive. Fused primitive bodies are
+/// inlined into the stream as plain kCallOp instructions sharing a
+/// fusion_group id; the group's aggregate cost is charged on exactly one of
+/// them (charge == true).
 struct Instruction {
   enum class Kind : std::uint8_t {
     kConstant,      ///< materialize an embedded constant
     kCallOp,        ///< single operator call
-    kCallPrimitive, ///< fused primitive function call
     kCallExternal,  ///< external (BYOC) subgraph call
     kTuple,         ///< build a tuple value
     kTupleGetItem,  ///< project a tuple field
@@ -36,10 +43,19 @@ struct Instruction {
   int output_slot = -1;
   std::vector<int> input_slots;
 
-  // kCallOp
-  CallPtr call;  ///< original call (op name, attrs; needed by the interpreter)
-  // kCallPrimitive
-  FunctionPtr primitive;
+  // kCallOp (snapshotted; the AST call node is dropped after lowering)
+  std::string op_name;
+  Attrs attrs;
+  /// Checked output type (kCallOp / kCallExternal / tuple plumbing) — drives
+  /// memory planning and output allocation on the legacy path.
+  Type out_type;
+  /// Fusion group this instruction was inlined from (-1 = not fused).
+  int fusion_group = -1;
+  /// True when this instruction carries `desc` into the simulated clock /
+  /// profile. For a fused group only the last instruction charges, with the
+  /// whole group's aggregate descriptor.
+  bool charge = true;
+
   // kCallExternal
   int external_index = -1;
   // kTupleGetItem
@@ -47,8 +63,42 @@ struct Instruction {
   // kConstant
   NDArray constant;
 
-  /// Cost descriptor (kCallOp / kCallPrimitive; externals account internally).
+  /// Cost descriptor (charged kCallOp; externals account internally).
   sim::OpDesc desc;
+};
+
+/// Static storage assignment of one slot of the linear program.
+struct SlotPlan {
+  enum class Kind : std::uint8_t {
+    kValue,     ///< runtime-bound Value (graph inputs, tuples, external outputs)
+    kConstant,  ///< bound once to an embedded constant tensor
+    kArena,     ///< tensor at [offset, offset + bytes) in the shared arena
+    kAlias,     ///< shares bytes with another slot (in-place / reshape view)
+  };
+
+  Kind kind = Kind::kValue;
+  std::int64_t offset = 0;  ///< arena offset (kArena and resolved kAlias)
+  std::int64_t bytes = 0;   ///< view size in bytes (kArena / kAlias)
+  int alias_of = -1;        ///< kAlias: the input slot whose region is shared
+  TensorType type;          ///< view shape/dtype (kArena / kAlias)
+  int first_def = -1;       ///< instruction index producing the slot (-1 = input)
+  /// Last instruction index reading the slot's bytes, after tuple-forwarding
+  /// propagation and alias extension. INT_MAX for program outputs.
+  int last_use = -1;
+};
+
+/// Result of the liveness + planning pass over a lowered program: every
+/// tensor-valued intermediate is assigned a fixed range of a shared arena,
+/// with non-overlapping lifetimes sharing offsets and elementwise/identity
+/// ops aliasing their input in place.
+struct MemoryPlan {
+  static constexpr int kLiveForever = std::numeric_limits<int>::max();
+
+  std::vector<SlotPlan> slots;
+  std::int64_t arena_bytes = 0;   ///< planned arena size (with reuse)
+  std::int64_t planned_bytes = 0; ///< sum of planned tensor sizes (no reuse)
+  int num_arena_slots = 0;
+  int num_alias_slots = 0;
 };
 
 class CompiledModule {
@@ -62,6 +112,8 @@ class CompiledModule {
   int num_outputs = 1;
   std::vector<ExternalModulePtr> externals;
   BuildOptions options;
+  /// Static storage assignment computed at build time.
+  MemoryPlan memory_plan;
 
   /// Static (simulation-only) latency estimate: execute no numerics, only
   /// walk the program accumulating simulated time.
@@ -85,9 +137,19 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options = Buil
 
 /// Stateful executor over a CompiledModule (thread-compatible: use one
 /// executor per thread; the CompiledModule itself is immutable and shared).
+///
+/// By default the executor runs against the module's MemoryPlan: it reserves
+/// one arena per executor, materializes every planned slot as a view into it
+/// once, creates a session per external module, and steady-state Run() calls
+/// perform zero tensor allocations. Pass use_memory_plan=false for the
+/// legacy allocate-per-op path (differential testing).
+///
+/// Planned-mode GetOutput returns a view into the executor's arena: the
+/// contents stay valid until the next Run() (the view itself keeps the arena
+/// bytes alive even after the executor is destroyed).
 class GraphExecutor {
  public:
-  explicit GraphExecutor(CompiledModulePtr compiled);
+  explicit GraphExecutor(CompiledModulePtr compiled, bool use_memory_plan = true);
 
   void SetInput(const std::string& name, NDArray value);
 
@@ -101,12 +163,22 @@ class GraphExecutor {
 
   const CompiledModule& compiled() const { return *compiled_; }
 
+  /// True when Run() executes against the pre-planned arena.
+  bool planned() const { return planned_; }
+  /// Planned arena footprint in bytes (0 in legacy mode).
+  std::int64_t arena_bytes() const;
+
  private:
   void Execute(bool execute_numerics);
 
   CompiledModulePtr compiled_;
+  bool planned_ = false;
+  support::Arena arena_;
   std::vector<Value> slots_;
-  std::unordered_map<std::string, NDArray> pending_inputs_;
+  /// Pre-materialized views for kArena/kAlias slots (planned mode only).
+  std::vector<NDArray> planned_views_;
+  /// Per-external-module execution state (planned mode only).
+  std::vector<ExternalSessionPtr> external_sessions_;
   sim::SimClock last_clock_;
 };
 

@@ -27,6 +27,18 @@ struct ProfileEntry {
   std::int64_t macs = 0;
 };
 
+/// Per-executor mutable execution state of an ExternalModule — e.g. the
+/// Neuron runtime's pre-planned operand arena. The ExternalModule itself is
+/// shared and immutable across executors; each GraphExecutor creates its own
+/// session once and passes it to every Run, so repeated inference reuses the
+/// same buffers instead of allocating.
+class ExternalSession {
+ public:
+  virtual ~ExternalSession() = default;
+};
+
+using ExternalSessionPtr = std::shared_ptr<ExternalSession>;
+
 /// Compiled external subgraph, executable by the graph executor.
 class ExternalModule {
  public:
@@ -35,8 +47,15 @@ class ExternalModule {
   /// Execute the subgraph. When `execute_numerics` is false only simulated
   /// time is accounted (used by the benchmark harnesses at full model
   /// scale). `clock` may be null when the caller does not track time.
+  /// `session` is a state object from CreateSession() or null for the
+  /// legacy allocate-per-run path; outputs produced against a session are
+  /// views into its arena, valid until the session's next Run.
   virtual Value Run(const std::vector<Value>& inputs, sim::SimClock* clock,
-                    bool execute_numerics) = 0;
+                    bool execute_numerics, ExternalSession* session = nullptr) = 0;
+
+  /// Create per-executor execution state for Run. The default (null) means
+  /// the module is stateless and always allocates its outputs.
+  virtual ExternalSessionPtr CreateSession() const { return nullptr; }
 
   virtual const std::string& name() const = 0;
 

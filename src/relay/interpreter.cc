@@ -1,6 +1,7 @@
 #include "relay/interpreter.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <unordered_map>
 
@@ -80,72 +81,56 @@ Type Value::GetType() const {
   return Type::Tensor(tensor_.shape(), tensor_.dtype());
 }
 
-Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
-                 const std::vector<Value>& args) {
-  // Output type drives allocation.
-  const Type out_type = InferCallType(call, ArgTypes(args));
-
-  const auto out_tensor = [&]() {
-    return NDArray::Empty(out_type.AsTensor().shape, out_type.AsTensor().dtype);
-  };
+void EvalOpCallInto(const std::string& op, const Attrs& attrs,
+                    const std::vector<Value>& args, NDArray& out) {
   const auto tensor_arg = [&](std::size_t i) -> const NDArray& { return args[i].AsTensor(); };
 
   if (op == "nn.conv2d") {
-    NDArray out = out_tensor();
     kernels::Conv2DF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs));
-    return out;
+    return;
   }
   if (op == "nn.dense") {
-    NDArray out = out_tensor();
     kernels::DenseF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out);
-    return out;
+    return;
   }
   if (op == "nn.bias_add") {
-    NDArray out = out_tensor();
     kernels::BiasAddF32(tensor_arg(0), tensor_arg(1), out,
                         static_cast<int>(attrs.GetInt("axis", 1)));
-    return out;
+    return;
   }
   if (op == "nn.relu") {
-    NDArray out = out_tensor();
     if (tensor_arg(0).dtype() == DType::kInt8) {
       kernels::ReluS8(tensor_arg(0), out, 0);
     } else {
       kernels::ReluF32(tensor_arg(0), out);
     }
-    return out;
+    return;
   }
   if (op == "nn.leaky_relu") {
-    NDArray out = out_tensor();
     kernels::LeakyReluF32(tensor_arg(0), out,
                           static_cast<float>(attrs.GetDouble("alpha", 0.01)));
-    return out;
+    return;
   }
   if (op == "sigmoid") {
-    NDArray out = out_tensor();
     kernels::SigmoidF32(tensor_arg(0), out);
-    return out;
+    return;
   }
   if (op == "tanh") {
-    NDArray out = out_tensor();
     kernels::TanhF32(tensor_arg(0), out);
-    return out;
+    return;
   }
   if (op == "exp") {
-    NDArray out = out_tensor();
     kernels::ExpF32(tensor_arg(0), out);
-    return out;
+    return;
   }
   if (op == "sqrt") {
-    NDArray out = out_tensor();
     kernels::SqrtF32(tensor_arg(0), out);
-    return out;
+    return;
   }
   if (op == "clip") {
-    NDArray out = out_tensor();
     kernels::ClipF32(tensor_arg(0), out, static_cast<float>(attrs.RequireDouble("a_min")),
                      static_cast<float>(attrs.RequireDouble("a_max")));
-    return out;
+    return;
   }
   if (op == "add" || op == "subtract" || op == "multiply" || op == "divide" ||
       op == "maximum" || op == "minimum") {
@@ -153,81 +138,76 @@ Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
         {"add", BinaryOp::kAdd},         {"subtract", BinaryOp::kSub},
         {"multiply", BinaryOp::kMul},    {"divide", BinaryOp::kDiv},
         {"maximum", BinaryOp::kMax},     {"minimum", BinaryOp::kMin}};
-    NDArray out = out_tensor();
     kernels::BroadcastBinaryF32(kMap.at(op), tensor_arg(0), tensor_arg(1), out);
-    return out;
+    return;
   }
   if (op == "nn.max_pool2d") {
-    NDArray out = out_tensor();
     if (tensor_arg(0).dtype() == DType::kInt8) {
       kernels::MaxPool2DS8(tensor_arg(0), out, PoolParams(attrs));
     } else {
       kernels::MaxPool2DF32(tensor_arg(0), out, PoolParams(attrs));
     }
-    return out;
+    return;
   }
   if (op == "nn.avg_pool2d") {
-    NDArray out = out_tensor();
     if (tensor_arg(0).dtype() == DType::kInt8) {
       kernels::AvgPool2DS8(tensor_arg(0), out, PoolParams(attrs));
     } else {
       kernels::AvgPool2DF32(tensor_arg(0), out, PoolParams(attrs));
     }
-    return out;
+    return;
   }
   if (op == "nn.global_avg_pool2d") {
-    NDArray out = out_tensor();
     if (tensor_arg(0).dtype() == DType::kInt8) {
       kernels::GlobalAvgPool2DS8(tensor_arg(0), out);
     } else {
       kernels::GlobalAvgPool2DF32(tensor_arg(0), out);
     }
-    return out;
+    return;
   }
   if (op == "nn.batch_norm") {
-    NDArray out = out_tensor();
     kernels::BatchNormF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), tensor_arg(3),
                           tensor_arg(4), out,
                           static_cast<float>(attrs.GetDouble("epsilon", 1e-5)));
-    return out;
+    return;
   }
   if (op == "nn.softmax") {
-    NDArray out = out_tensor();
     kernels::SoftmaxF32(tensor_arg(0), out, static_cast<int>(attrs.GetInt("axis", -1)));
-    return out;
+    return;
   }
-  if (op == "nn.dropout") {
-    // Inference mode: identity.
-    return tensor_arg(0).CopyDeep();
-  }
-  if (op == "nn.batch_flatten" || op == "reshape") {
-    return tensor_arg(0).Reshape(out_type.AsTensor().shape).CopyDeep();
+  if (op == "nn.dropout" || op == "nn.batch_flatten" || op == "reshape") {
+    // Inference-mode identity ops: a plain byte copy into `out` (whose shape
+    // already reflects the op's output type). The planner may alias `out`
+    // onto the input, in which case the bytes are already in place.
+    const NDArray& in = tensor_arg(0);
+    TNP_CHECK_EQ(in.SizeBytes(), out.SizeBytes());
+    if (out.RawData() != in.RawData()) {
+      std::memcpy(out.RawData(), in.RawData(), in.SizeBytes());
+    }
+    out.set_quant(in.quant());
+    return;
   }
   if (op == "transpose") {
-    NDArray out = out_tensor();
     kernels::Transpose(tensor_arg(0), out, ToIntVector(attrs.RequireInts("axes")));
-    return out;
+    return;
   }
   if (op == "concatenate") {
     const auto& fields = args.at(0).AsTuple();
     std::vector<NDArray> tensors;
     tensors.reserve(fields.size());
     for (const auto& field : fields) tensors.push_back(field.AsTensor());
-    NDArray out = out_tensor();
     kernels::Concat(tensors, out, static_cast<int>(attrs.GetInt("axis", 0)));
-    return out;
+    return;
   }
   if (op == "nn.pad") {
-    NDArray out = out_tensor();
     kernels::PadConstant(tensor_arg(0), out, attrs.RequireInts("pad_before"),
                          attrs.RequireInts("pad_after"), attrs.GetDouble("pad_value", 0.0));
-    return out;
+    return;
   }
   if (op == "nn.upsampling") {
-    NDArray out = out_tensor();
     kernels::UpsamplingNearestF32(tensor_arg(0), out, attrs.GetInt("scale_h", 2),
                                   attrs.GetInt("scale_w", 2));
-    return out;
+    return;
   }
   if (op == "strided_slice") {
     const auto& in = tensor_arg(0);
@@ -241,56 +221,47 @@ Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
       if (end[i] < 0) end[i] += extent;
       end[i] = std::min(end[i], extent);
     }
-    NDArray out = out_tensor();
     kernels::StridedSlice(in, out, begin, end, strides);
-    return out;
+    return;
   }
   if (op == "mean") {
-    NDArray out = out_tensor();
     kernels::MeanF32(tensor_arg(0), out, ToIntVector(attrs.RequireInts("axis")));
-    return out;
+    return;
   }
   if (op == "cast") {
-    NDArray out = out_tensor();
     kernels::Cast(tensor_arg(0), out);
-    return out;
+    return;
   }
 
   // ---------------- QNN dialect ----------------
   if (op == "qnn.quantize") {
-    NDArray out = out_tensor();
     kernels::QuantizeF32ToS8(tensor_arg(0), out, QP(attrs, "output_scale", "output_zero_point"));
-    return out;
+    return;
   }
   if (op == "qnn.dequantize") {
-    NDArray out = out_tensor();
     kernels::DequantizeS8ToF32(tensor_arg(0), out, QP(attrs, "input_scale", "input_zero_point"));
-    return out;
+    return;
   }
   if (op == "qnn.requantize") {
-    NDArray out = out_tensor();
     kernels::RequantizeS8(tensor_arg(0), out, QP(attrs, "input_scale", "input_zero_point"),
                           QP(attrs, "output_scale", "output_zero_point"));
-    return out;
+    return;
   }
   if (op == "qnn.conv2d") {
-    NDArray out = out_tensor();
     kernels::QConv2DS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs),
                        QP(attrs, "input_scale", "input_zero_point"),
                        QP(attrs, "weight_scale", "weight_zero_point"),
                        QP(attrs, "output_scale", "output_zero_point"));
-    return out;
+    return;
   }
   if (op == "qnn.dense") {
-    NDArray out = out_tensor();
     kernels::QDenseS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out,
                       QP(attrs, "input_scale", "input_zero_point"),
                       QP(attrs, "weight_scale", "weight_zero_point"),
                       QP(attrs, "output_scale", "output_zero_point"));
-    return out;
+    return;
   }
   if (op == "qnn.add" || op == "qnn.mul") {
-    NDArray out = out_tensor();
     const QuantParams lhs_q = QP(attrs, "lhs_scale", "lhs_zero_point");
     const QuantParams rhs_q = QP(attrs, "rhs_scale", "rhs_zero_point");
     const QuantParams out_q = QP(attrs, "output_scale", "output_zero_point");
@@ -299,7 +270,7 @@ Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
     } else {
       kernels::QMulS8(tensor_arg(0), tensor_arg(1), out, lhs_q, rhs_q, out_q);
     }
-    return out;
+    return;
   }
   if (op == "qnn.concatenate") {
     const auto& fields = args.at(0).AsTuple();
@@ -311,18 +282,25 @@ Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
       tensors.push_back(fields[i].AsTensor());
       qs.emplace_back(static_cast<float>(scales[i]), static_cast<std::int32_t>(zps[i]));
     }
-    NDArray out = out_tensor();
     kernels::QConcatS8(tensors, qs, out, QP(attrs, "output_scale", "output_zero_point"),
                        static_cast<int>(attrs.GetInt("axis", 0)));
-    return out;
+    return;
   }
   if (op == "qnn.relu") {
-    NDArray out = out_tensor();
     kernels::ReluS8(tensor_arg(0), out, static_cast<std::int32_t>(attrs.RequireInt("zero_point")));
-    return out;
+    return;
   }
 
   TNP_THROW(kRuntimeError) << "interpreter: no kernel for operator '" << op << "'";
+}
+
+Value EvalOpCall(const std::string& op, const Attrs& attrs, const Call& call,
+                 const std::vector<Value>& args) {
+  // Output type drives allocation.
+  const Type out_type = InferCallType(call, ArgTypes(args));
+  NDArray out = NDArray::Empty(out_type.AsTensor().shape, out_type.AsTensor().dtype);
+  EvalOpCallInto(op, attrs, args, out);
+  return out;
 }
 
 Value EvalExpr(const ExprPtr& expr, const Environment& env) {

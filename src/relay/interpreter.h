@@ -41,8 +41,18 @@ class Value {
   bool is_tuple_ = false;
 };
 
+/// Evaluate one operator call on already-computed argument values, writing
+/// the result into the caller-provided `out` tensor (shape/dtype must match
+/// the op's inferred output type). `out` may alias the first argument for
+/// elementwise/identity ops — every kernel on that path is element-local.
+/// Performs no tensor allocation: this is the planned-arena execution path.
+void EvalOpCallInto(const std::string& op_name, const Attrs& attrs,
+                    const std::vector<Value>& args, NDArray& out);
+
 /// Evaluate one operator call on already-computed argument values.
-/// The output tensor is freshly allocated.
+/// The output tensor is freshly allocated (thin wrapper over EvalOpCallInto;
+/// the legacy path kept for constant folding, EvalExpr and differential
+/// testing against planned execution).
 Value EvalOpCall(const std::string& op_name, const Attrs& attrs, const Call& call,
                  const std::vector<Value>& args);
 

@@ -1,0 +1,98 @@
+#include "support/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+
+std::size_t AlignUp(std::size_t bytes) {
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+metrics::Gauge& ArenaBytesGauge() {
+  static metrics::Gauge& gauge =
+      metrics::Registry::Global().GetGauge("memory/arena/bytes");
+  return gauge;
+}
+
+std::shared_ptr<std::byte> AllocBlock(std::size_t bytes) {
+  void* raw = std::aligned_alloc(kAlignment, AlignUp(std::max<std::size_t>(bytes, 1)));
+  TNP_CHECK(raw != nullptr) << "arena allocation of " << bytes << " bytes failed";
+  return std::shared_ptr<std::byte>(static_cast<std::byte*>(raw),
+                                    [](std::byte* p) { std::free(p); });
+}
+
+}  // namespace
+
+struct Arena::Chunk {
+  explicit Chunk(std::size_t bytes) : block(AllocBlock(bytes)), capacity(bytes) {}
+  std::shared_ptr<std::byte> block;
+  std::size_t capacity = 0;
+  std::size_t used = 0;
+};
+
+Arena::Arena(std::string name) : name_(std::move(name)) {}
+
+Arena::~Arena() {
+  if (capacity_ > 0) ArenaBytesGauge().Add(-static_cast<double>(capacity_));
+  if (scratch_bytes_ > 0) ArenaBytesGauge().Add(-static_cast<double>(scratch_bytes_));
+}
+
+void Arena::Reserve(std::size_t bytes) {
+  bytes = AlignUp(bytes);
+  if (bytes <= capacity_) return;
+  TNP_CHECK(!frozen_) << "arena '" << name_ << "' cannot grow after views were created";
+  std::shared_ptr<std::byte> grown = AllocBlock(bytes);
+  if (block_ != nullptr && capacity_ > 0) {
+    std::memcpy(grown.get(), block_.get(), capacity_);
+  }
+  block_ = std::move(grown);
+  ArenaBytesGauge().Add(static_cast<double>(bytes) - static_cast<double>(capacity_));
+  static metrics::Counter& reservations =
+      metrics::Registry::Global().GetCounter("memory/arena/reservations");
+  reservations.Increment();
+  capacity_ = bytes;
+}
+
+std::byte* Arena::Data(std::size_t offset, std::size_t bytes) {
+  TNP_CHECK(offset + bytes <= capacity_)
+      << "arena '" << name_ << "': region [" << offset << ", " << offset + bytes
+      << ") exceeds capacity " << capacity_;
+  frozen_ = true;
+  return block_.get() + offset;
+}
+
+void* Arena::Allocate(std::size_t bytes) {
+  bytes = AlignUp(std::max<std::size_t>(bytes, 1));
+  if (scratch_.empty() || scratch_.back()->capacity - scratch_.back()->used < bytes) {
+    // Chunks double from 64 KiB so long scratch sequences stay O(log n)
+    // allocations; addresses of earlier chunks stay stable.
+    const std::size_t chunk_bytes =
+        std::max<std::size_t>({bytes, 64 * 1024, scratch_.empty() ? 0 : 2 * scratch_.back()->capacity});
+    scratch_.push_back(std::make_unique<Chunk>(chunk_bytes));
+    ArenaBytesGauge().Add(static_cast<double>(chunk_bytes));
+    scratch_bytes_ += chunk_bytes;
+  }
+  Chunk& chunk = *scratch_.back();
+  std::byte* result = chunk.block.get() + chunk.used;
+  chunk.used += bytes;
+  return result;
+}
+
+void Arena::ResetScratch() {
+  if (scratch_bytes_ > 0) ArenaBytesGauge().Add(-static_cast<double>(scratch_bytes_));
+  scratch_.clear();
+  scratch_bytes_ = 0;
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,69 @@
+// Arena — the backing store for statically planned tensor memory.
+//
+// An arena owns one 64-byte-aligned block sized by the memory planner
+// (Reserve) plus an optional chain of bump-allocated scratch chunks for
+// allocations that fall outside the plan (Allocate / ResetScratch). Planned
+// consumers hand out non-owning views into the block via Data(); the block
+// is reference-counted (handle()) so views can outlive the Arena object
+// itself — a view pins the bytes, not the Arena.
+//
+// Reserve may only grow the block while no views exist; after the first
+// Data() call the base address is frozen (growing would dangle every view).
+//
+// Every arena publishes its footprint through the metrics registry:
+//   memory/arena/bytes        — gauge (Add +/-); max() = peak concurrent
+//                               planned bytes across all live arenas
+//   memory/arena/reservations — counter of Reserve calls that grew a block
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class Arena {
+ public:
+  explicit Arena(std::string name = "arena");
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Ensure the planned region [0, bytes) exists. Growing is only legal
+  /// before the first Data() call.
+  void Reserve(std::size_t bytes);
+
+  /// Pointer to the planned region [offset, offset + bytes); bounds-checked.
+  /// Freezes the base address.
+  std::byte* Data(std::size_t offset, std::size_t bytes);
+
+  /// Reference-counted handle to the planned block; keeps the bytes alive
+  /// after the Arena is destroyed (pass as NDArray view keep-alive).
+  std::shared_ptr<const void> handle() const { return block_; }
+
+  /// Bump-allocate unplanned scratch (64-byte aligned, stable addresses).
+  void* Allocate(std::size_t bytes);
+
+  /// Drop all scratch chunks; planned block and its views are unaffected.
+  void ResetScratch();
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t scratch_bytes() const { return scratch_bytes_; }
+
+ private:
+  struct Chunk;
+
+  std::string name_;
+  std::shared_ptr<std::byte> block_;  ///< planned region (aliased by views)
+  std::size_t capacity_ = 0;
+  bool frozen_ = false;
+  std::vector<std::unique_ptr<Chunk>> scratch_;
+  std::size_t scratch_bytes_ = 0;
+};
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,73 @@
+#include "support/memplan.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace support {
+
+void LinearMemoryPlanner::BeginStep(int step) {
+  for (auto& region : regions_) {
+    if (!region.released && region.last_use < step) {
+      region.released = true;
+      Release(region.offset, region.bytes);
+    }
+  }
+}
+
+int LinearMemoryPlanner::Allocate(std::int64_t bytes, int last_use) {
+  bytes = std::max<std::int64_t>(bytes, 1);
+  bytes = (bytes + alignment_ - 1) / alignment_ * alignment_;
+  total_bytes_ += bytes;
+
+  // Best fit: smallest free range that can hold the request.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].bytes >= bytes && (best == free_.size() || free_[i].bytes < free_[best].bytes)) {
+      best = i;
+    }
+  }
+
+  Region region;
+  region.bytes = bytes;
+  region.last_use = last_use;
+  if (best != free_.size()) {
+    region.offset = free_[best].offset;
+    free_[best].offset += bytes;
+    free_[best].bytes -= bytes;
+    if (free_[best].bytes == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+  } else {
+    region.offset = arena_bytes_;
+    arena_bytes_ += bytes;
+  }
+  regions_.push_back(region);
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+void LinearMemoryPlanner::ExtendLifetime(int region_id, int last_use) {
+  Region& region = regions_[static_cast<std::size_t>(region_id)];
+  TNP_CHECK(!region.released) << "cannot extend a released region";
+  region.last_use = std::max(region.last_use, last_use);
+}
+
+void LinearMemoryPlanner::Release(std::int64_t offset, std::int64_t bytes) {
+  const auto at = std::lower_bound(
+      free_.begin(), free_.end(), offset,
+      [](const FreeRange& range, std::int64_t value) { return range.offset < value; });
+  const auto inserted = free_.insert(at, FreeRange{offset, bytes});
+  const std::size_t index = static_cast<std::size_t>(inserted - free_.begin());
+  // Coalesce with the right then the left neighbor.
+  if (index + 1 < free_.size() &&
+      free_[index].offset + free_[index].bytes == free_[index + 1].offset) {
+    free_[index].bytes += free_[index + 1].bytes;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(index) + 1);
+  }
+  if (index > 0 && free_[index - 1].offset + free_[index - 1].bytes == free_[index].offset) {
+    free_[index - 1].bytes += free_[index].bytes;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,68 @@
+// Linear-scan memory planner shared by the relay slot planner and the
+// Neuron operand planner.
+//
+// The caller walks its program in execution order, announcing each step with
+// BeginStep(step) (which returns regions whose lifetime ended before `step`
+// to the free list) and allocating every value produced at that step with
+// Allocate(bytes, last_use). Offsets are assigned greedy best-fit: the
+// smallest free range that fits, splitting the remainder, with adjacent free
+// ranges coalesced on release — so a 150 KiB feature map can later host two
+// smaller ones. When nothing fits the arena grows at the end.
+//
+// A region expiring exactly at the current step is NOT reusable at that
+// step: the instruction reads it while writing its output. Deliberate
+// input/output aliasing instead keeps the input's region and extends its
+// lifetime (ExtendLifetime).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class LinearMemoryPlanner {
+ public:
+  struct Region {
+    std::int64_t offset = 0;
+    std::int64_t bytes = 0;   ///< aligned size
+    int last_use = 0;         ///< step after which the region is dead
+    bool released = false;
+  };
+
+  explicit LinearMemoryPlanner(std::int64_t alignment = 64) : alignment_(alignment) {}
+
+  /// Release regions with last_use < step. Steps must be non-decreasing.
+  void BeginStep(int step);
+
+  /// Assign a region for `bytes` live through step `last_use`; returns its id.
+  int Allocate(std::int64_t bytes, int last_use);
+
+  /// Extend a live region's lifetime (in-place aliasing).
+  void ExtendLifetime(int region_id, int last_use);
+
+  const Region& region(int region_id) const {
+    return regions_[static_cast<std::size_t>(region_id)];
+  }
+  /// Total arena size covering every region ever allocated.
+  std::int64_t arena_bytes() const { return arena_bytes_; }
+  /// Sum of all aligned region sizes — the no-reuse footprint.
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct FreeRange {
+    std::int64_t offset = 0;
+    std::int64_t bytes = 0;
+  };
+
+  void Release(std::int64_t offset, std::int64_t bytes);
+
+  std::int64_t alignment_;
+  std::vector<Region> regions_;
+  std::vector<FreeRange> free_;  ///< sorted by offset, coalesced
+  std::int64_t arena_bytes_ = 0;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace support
+}  // namespace tnp

@@ -1,12 +1,36 @@
 #include "tensor/ndarray.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 
+#include "support/metrics.h"
+
 namespace tnp {
+
+namespace {
+
+// Process-local mirrors of the registry counters: reading a plain atomic is
+// cheap and survives Registry::Reset() (the registry counters are the
+// observable metric; these back TotalAllocations for tests).
+std::atomic<std::int64_t> g_total_allocs{0};
+std::atomic<std::int64_t> g_total_alloc_bytes{0};
+
+void CountAllocation(std::size_t bytes) {
+  static support::metrics::Counter& allocs =
+      support::metrics::Registry::Global().GetCounter("tensor/allocs");
+  static support::metrics::Counter& alloc_bytes =
+      support::metrics::Registry::Global().GetCounter("tensor/alloc_bytes");
+  allocs.Increment();
+  alloc_bytes.Increment(static_cast<std::int64_t>(bytes));
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_total_alloc_bytes.fetch_add(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+}
+
+}  // namespace
 
 NDArray::Storage::Storage(std::size_t bytes_in) : bytes(bytes_in) {
   // Always allocate at least one byte so zero-element tensors have distinct,
@@ -16,9 +40,35 @@ NDArray::Storage::Storage(std::size_t bytes_in) : bytes(bytes_in) {
   const std::size_t aligned = (alloc + 63) / 64 * 64;
   data = std::aligned_alloc(64, aligned);
   TNP_CHECK(data != nullptr) << "allocation of " << aligned << " bytes failed";
+  CountAllocation(aligned);
 }
 
-NDArray::Storage::~Storage() { std::free(data); }
+NDArray::Storage::Storage(void* external, std::size_t bytes_in,
+                          std::shared_ptr<const void> keep_alive_in)
+    : data(external), bytes(bytes_in), owned(false), keep_alive(std::move(keep_alive_in)) {}
+
+NDArray::Storage::~Storage() {
+  if (owned) std::free(data);
+}
+
+std::int64_t NDArray::TotalAllocations() {
+  return g_total_allocs.load(std::memory_order_relaxed);
+}
+
+std::int64_t NDArray::TotalAllocatedBytes() {
+  return g_total_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+NDArray NDArray::ViewOver(void* data, std::size_t bytes, Shape shape, DType dtype,
+                          std::shared_ptr<const void> keep_alive) {
+  TNP_CHECK(data != nullptr);
+  const std::size_t needed =
+      static_cast<std::size_t>(shape.NumElements()) * DTypeBytes(dtype);
+  TNP_CHECK(bytes >= needed) << "view of " << bytes << " bytes cannot hold shape "
+                             << shape.ToString();
+  return NDArray(std::make_shared<Storage>(data, bytes, std::move(keep_alive)),
+                 std::move(shape), dtype);
+}
 
 NDArray NDArray::Empty(Shape shape, DType dtype) {
   const std::size_t bytes = static_cast<std::size_t>(shape.NumElements()) * DTypeBytes(dtype);

@@ -47,6 +47,16 @@ class NDArray {
   /// Seeded uniform int8 initializer in [lo, hi] (synthetic quantized weights).
   static NDArray RandomInt8(Shape shape, std::uint64_t seed, int lo = -127, int hi = 127);
 
+  /// Non-owning view over externally managed memory (e.g. a planned arena
+  /// region). `data` must stay valid while the view or any copy of it lives;
+  /// pass `keep_alive` to pin the backing allocation. `bytes` must cover the
+  /// shape. Views are not counted as tensor allocations.
+  static NDArray ViewOver(void* data, std::size_t bytes, Shape shape, DType dtype,
+                          std::shared_ptr<const void> keep_alive = nullptr);
+
+  /// True when the storage is a non-owning view (ViewOver).
+  bool IsView() const noexcept { return storage_ != nullptr && !storage_->owned; }
+
   bool defined() const noexcept { return storage_ != nullptr; }
   const Shape& shape() const { return shape_; }
   DType dtype() const noexcept { return dtype_; }
@@ -99,14 +109,23 @@ class NDArray {
 
   std::string ToString(std::int64_t max_elements = 8) const;
 
+  /// Total owning allocations / bytes since process start (also published
+  /// as the "tensor/allocs" and "tensor/alloc_bytes" registry counters) —
+  /// the hooks the zero-allocation steady-state tests read.
+  static std::int64_t TotalAllocations();
+  static std::int64_t TotalAllocatedBytes();
+
  private:
   struct Storage {
     explicit Storage(std::size_t bytes);
+    Storage(void* external, std::size_t bytes, std::shared_ptr<const void> keep_alive);
     ~Storage();
     Storage(const Storage&) = delete;
     Storage& operator=(const Storage&) = delete;
     void* data = nullptr;
     std::size_t bytes = 0;
+    bool owned = true;
+    std::shared_ptr<const void> keep_alive;
   };
 
   NDArray(std::shared_ptr<Storage> storage, Shape shape, DType dtype)
