@@ -4,7 +4,13 @@
 // to its scheduled target — first sequentially, then pipelined with
 // exclusive resource use (Figure 5).
 //
-// Build & run:  ./build/examples/showcase_app [num_frames] [--trace[=path]]
+// Build & run:  ./build/examples/showcase_app [num_frames] [--frames N]
+//                                             [--seed S] [--trace[=path]]
+//
+// --frames N sizes the run and --seed S makes it reproducible (the seed
+// feeds both the synthetic scene and the models' weights), so command lines
+// can express exactly the configurations the benches hard-code. A bare
+// positional number is still accepted as the frame count.
 //
 // --trace records every layer's spans (frontend import, Relay passes, the
 // Neuron Execution Planner, kernel dispatch, pipeline stages) and writes a
@@ -22,24 +28,39 @@ using namespace tnp::vision;
 
 int main(int argc, char** argv) {
   int num_frames = 6;
+  std::uint64_t seed = 7;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace", 0) == 0) {
       trace_path = arg.size() > 8 && arg[7] == '=' ? arg.substr(8) : "showcase_trace.json";
       support::Tracer::Global().SetEnabled(true);
-    } else {
+    } else if (arg == "--frames" && i + 1 < argc) {
+      num_frames = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] != '-') {
       num_frames = std::atoi(arg.c_str());
+    } else {
+      std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
+                   "[--trace[=path]]\n";
+      return 2;
     }
   }
+  if (num_frames < 1) {
+    std::cerr << "showcase_app: frame count must be >= 1\n";
+    return 2;
+  }
 
-  const Scene scene = Scene::Random(320, 240, 4, 2, /*seed=*/7);
+  const Scene scene = Scene::Random(320, 240, 4, 2, seed);
   std::cout << "scene: " << scene.persons.size() << " persons ("
             << (scene.persons.size() + 1) / 2 << " real, " << scene.persons.size() / 2
             << " presentation attacks), " << scene.posters.size()
             << " wall posters (must be gated out)\n\n";
 
-  ShowcaseApp app;  // paper Figure-5 stage->target assignment by default
+  ShowcaseConfig config;  // paper Figure-5 stage->target assignment by default
+  config.seed = seed;
+  ShowcaseApp app(config);
   std::cout << "stage latencies (simulated, per inference):\n";
   std::cout << "  object detection  (" << core::FlowName(app.config().detection_flow)
             << "): " << app.DetectionStageUs() / 1000.0 << " ms\n";

@@ -27,10 +27,15 @@
 namespace tnp {
 namespace core {
 
-/// Process-wide resource locks shared by every pipeline in the process
-/// (the phone has exactly one CPU and one APU).
+/// Mutual exclusion over the device's physical resources. The process-wide
+/// Global() instance models the phone (exactly one CPU and one APU) and is
+/// the default everywhere; executors also accept an injected instance so
+/// independent device models — concurrent pipelines or servers in one test
+/// binary — don't serialize against each other through the singleton.
 class ResourceLocks {
  public:
+  ResourceLocks() = default;
+
   static ResourceLocks& Global() {
     static ResourceLocks locks;
     return locks;
@@ -55,8 +60,12 @@ class Pipeline {
     std::function<std::optional<Packet>(Packet)> fn;
   };
 
-  explicit Pipeline(std::vector<Stage> stages, std::size_t queue_capacity = 4)
-      : stages_(std::move(stages)), queue_capacity_(queue_capacity) {
+  /// `locks == nullptr` uses the process-wide ResourceLocks::Global().
+  explicit Pipeline(std::vector<Stage> stages, std::size_t queue_capacity = 4,
+                    ResourceLocks* locks = nullptr)
+      : stages_(std::move(stages)),
+        queue_capacity_(queue_capacity),
+        locks_(locks != nullptr ? locks : &ResourceLocks::Global()) {
     TNP_CHECK(!stages_.empty());
     TNP_CHECK_GT(queue_capacity_, 0u);
   }
@@ -166,7 +175,7 @@ class Pipeline {
                     return static_cast<int>(a) < static_cast<int>(b);
                   });
         for (const sim::Resource resource : sorted) {
-          held.emplace_back(ResourceLocks::Global().Of(resource));
+          held.emplace_back(locks_->Of(resource));
         }
         result = stage.fn(std::move(*packet));
       }
@@ -183,6 +192,7 @@ class Pipeline {
 
   std::vector<Stage> stages_;
   std::size_t queue_capacity_;
+  ResourceLocks* locks_;
 };
 
 }  // namespace core

@@ -84,6 +84,24 @@ std::optional<Assignment> ComputationScheduler::BestFlowWithin(
   return best;
 }
 
+ServePlan ComputationScheduler::PlanForServing(const ModelProfile& profile) {
+  ServePlan plan;
+  plan.primary = BestFlow(profile);
+  const bool primary_uses_apu = [&] {
+    for (const sim::Resource resource : profile.ResourcesOf(plan.primary.flow)) {
+      if (resource == sim::Resource::kApu) return true;
+    }
+    return false;
+  }();
+  if (primary_uses_apu) {
+    const auto cpu_only = BestFlowWithin(profile, {sim::Resource::kCpu});
+    if (cpu_only.has_value() && cpu_only->flow != plan.primary.flow) {
+      plan.cpu_fallback = cpu_only;
+    }
+  }
+  return plan;
+}
+
 PipelineResult SchedulePipeline(const std::vector<PipelineStage>& stages, int num_frames) {
   TNP_CHECK(!stages.empty());
   TNP_CHECK_GT(num_frames, 0);

@@ -56,6 +56,15 @@ struct Assignment {
   double latency_us = 0.0;
 };
 
+/// Flow assignment for serving one model: the primary (fastest) flow plus
+/// the next-best CPU-only flow the server degrades to when the primary
+/// resource's queue saturates. `cpu_fallback` is absent when the primary is
+/// already CPU-only or the model supports no CPU-only flow.
+struct ServePlan {
+  Assignment primary;
+  std::optional<Assignment> cpu_fallback;
+};
+
 class ComputationScheduler {
  public:
   /// Fastest supported flow (the Section 5.1 model-level policy).
@@ -64,6 +73,10 @@ class ComputationScheduler {
   /// Fastest supported flow whose resource usage is within `allowed`.
   static std::optional<Assignment> BestFlowWithin(const ModelProfile& profile,
                                                   const std::vector<sim::Resource>& allowed);
+
+  /// Primary + graceful-degradation assignment for the serving runtime.
+  /// Throws (like BestFlow) when the model supports no flow at all.
+  static ServePlan PlanForServing(const ModelProfile& profile);
 };
 
 // ---------------------------------------------------------------- pipeline

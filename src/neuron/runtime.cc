@@ -214,6 +214,23 @@ std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
   const NeuronModel& model = package.model;
   const sim::CostModel cost_model(*package.options.testbed);
 
+  // Checkout/checkin discipline: a session backs its run with one shared
+  // arena, so concurrent Executes against the same session would race on
+  // operand storage. Catch that misuse here instead of corrupting tensors.
+  struct SessionGuard {
+    explicit SessionGuard(NeuronExecutionSession* s) : session(s) {
+      if (session != nullptr) {
+        TNP_CHECK(!session->in_use_.exchange(true, std::memory_order_acquire))
+            << "NeuronExecutionSession used by two executors concurrently "
+               "(sessions must be checked out for exclusive use)";
+      }
+    }
+    ~SessionGuard() {
+      if (session != nullptr) session->in_use_.store(false, std::memory_order_release);
+    }
+    NeuronExecutionSession* session;
+  } session_guard(session);
+
   static support::metrics::Counter& executions =
       support::metrics::Registry::Global().GetCounter("neuron/executions");
   executions.Increment();

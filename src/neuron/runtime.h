@@ -8,6 +8,7 @@
 // slow — the paper's Section 5.1 observation about the anti-spoofing model.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "neuron/compiler.h"
@@ -24,7 +25,10 @@ inline constexpr double kInvocationOverheadUs = 15.0;
 /// Per-caller execution state of one package: the arena backing its memory
 /// plan plus pre-materialized operand views into it. Creating a session
 /// allocates once; every subsequent Execute against it runs with zero tensor
-/// allocations. Not thread-safe — one session per executing thread.
+/// allocations. Not thread-safe — one session per executing thread at a
+/// time; Execute enforces this checkout/checkin discipline with an
+/// in-use guard (session pools hand sessions out for exclusive use, and a
+/// violated guard means two executors shared one lease).
 ///
 /// Outputs produced through a session are views into its arena: contents
 /// stay valid until the session's next Execute (the views keep the arena
@@ -42,6 +46,8 @@ class NeuronExecutionSession {
   support::Arena arena_;
   /// Indexed by OperandId; defined only for kArena-planned operands.
   std::vector<NDArray> views_;
+  /// Set for the duration of an Execute against this session.
+  std::atomic<bool> in_use_{false};
 };
 
 class NeuronRuntime {

@@ -1,0 +1,156 @@
+// Load generation against an InferenceServer: simulated camera streams in
+// closed-loop (each client waits for its response before submitting the
+// next frame — measures capacity) and open-loop (requests arrive on a fixed
+// schedule regardless of completions — measures overload behaviour: shed,
+// fallback, queue bounds).
+//
+// Streams reuse one set of input tensors and pre-allocated output buffers
+// per client, so a warm serving loop driven by these helpers performs zero
+// tensor heap allocations (the acceptance criterion the throughput bench
+// asserts).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace tnp {
+namespace serve {
+
+/// One simulated client stream: which model it hits and the tensors it
+/// sends. `inputs` and `output_buffers` are reused across every request of
+/// the stream (a closed-loop client has at most one request in flight, so
+/// reuse is race-free; open-loop streams must leave output_buffers empty).
+struct ClientStream {
+  std::string model;
+  std::vector<std::pair<std::string, NDArray>> inputs;
+  std::vector<NDArray> output_buffers;
+  int priority = 0;
+  /// Per-request deadline relative to submission (0 = none).
+  double relative_deadline_us = 0.0;
+  /// Closed-loop inter-frame gap: the stream "thinks" (camera exposure,
+  /// pre-processing, network) for this long between receiving one response
+  /// and submitting the next frame. One such stream leaves the device idle
+  /// most of the time; multiplexing many of them is where serving
+  /// throughput scaling comes from (0 = submit back-to-back).
+  double think_time_us = 0.0;
+};
+
+struct LoadResult {
+  std::int64_t submitted = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  std::int64_t errors = 0;
+  std::int64_t fell_back = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;  ///< completed-ok requests per second
+
+  void Count(const ServeResponse& response) {
+    switch (response.status) {
+      case ServeStatus::kOk: ++ok; break;
+      case ServeStatus::kShed: ++shed; break;
+      case ServeStatus::kExpired: ++expired; break;
+      case ServeStatus::kError: ++errors; break;
+    }
+    if (response.fell_back) ++fell_back;
+  }
+};
+
+inline ServeRequest MakeRequest(const ClientStream& stream, InferenceServer& server,
+                                std::uint64_t client_id) {
+  ServeRequest request;
+  request.model = stream.model;
+  request.inputs = stream.inputs;
+  request.output_buffers = stream.output_buffers;
+  request.priority = stream.priority;
+  if (stream.relative_deadline_us > 0.0) {
+    request.deadline_us = server.NowUs() + stream.relative_deadline_us;
+  }
+  request.client_id = client_id;
+  return request;
+}
+
+/// Closed loop: one thread per stream, each submitting `requests_per_client`
+/// back-to-back requests (submit -> wait -> submit).
+inline LoadResult RunClosedLoop(InferenceServer& server,
+                                const std::vector<ClientStream>& streams,
+                                int requests_per_client) {
+  std::vector<LoadResult> partials(streams.size());
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(streams.size());
+  for (std::size_t c = 0; c < streams.size(); ++c) {
+    clients.emplace_back([&server, &streams, &partials, c, requests_per_client] {
+      const ClientStream& stream = streams[c];
+      LoadResult& partial = partials[c];
+      for (int i = 0; i < requests_per_client; ++i) {
+        std::future<ServeResponse> future =
+            server.Submit(MakeRequest(stream, server, static_cast<std::uint64_t>(c)));
+        ++partial.submitted;
+        partial.Count(future.get());
+        if (stream.think_time_us > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(stream.think_time_us));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  LoadResult total;
+  for (const LoadResult& partial : partials) {
+    total.submitted += partial.submitted;
+    total.ok += partial.ok;
+    total.shed += partial.shed;
+    total.expired += partial.expired;
+    total.errors += partial.errors;
+    total.fell_back += partial.fell_back;
+  }
+  total.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  total.throughput_rps = total.wall_ms > 0.0 ? total.ok / (total.wall_ms / 1000.0) : 0.0;
+  return total;
+}
+
+/// Open loop: submit `total_requests` spread round-robin over `streams` at a
+/// fixed aggregate `rate_rps`, never waiting for completions; futures are
+/// collected and drained at the end. A rate beyond the server's capacity
+/// drives the queues to their bound and forces shed/fallback decisions.
+inline LoadResult RunOpenLoop(InferenceServer& server,
+                              const std::vector<ClientStream>& streams,
+                              int total_requests, double rate_rps) {
+  LoadResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> interval(rate_rps > 0.0 ? 1.0 / rate_rps : 0.0);
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(static_cast<std::size_t>(total_requests));
+  for (int i = 0; i < total_requests; ++i) {
+    const ClientStream& stream = streams[static_cast<std::size_t>(i) % streams.size()];
+    futures.push_back(
+        server.Submit(MakeRequest(stream, server, static_cast<std::uint64_t>(i))));
+    ++result.submitted;
+    if (interval.count() > 0.0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      interval * (i + 1)));
+    }
+  }
+  for (auto& future : futures) result.Count(future.get());
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.throughput_rps = result.wall_ms > 0.0 ? result.ok / (result.wall_ms / 1000.0) : 0.0;
+  return result;
+}
+
+}  // namespace serve
+}  // namespace tnp

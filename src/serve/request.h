@@ -1,0 +1,81 @@
+// Request/response types of the serving runtime (src/serve/).
+//
+// A ServeRequest names a served model and carries its input tensors; the
+// server answers with a ServeResponse through a std::future. Requests may
+// carry pre-allocated output buffers: when present (and shape-compatible)
+// the server copies results into them, which is what lets a warm serving
+// loop run with zero tensor heap allocations end to end — the same
+// caller-provided-buffer discipline the MicroTVM AoT runtime uses.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flows.h"
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace serve {
+
+enum class ServeStatus : std::uint8_t {
+  kOk,        ///< ran to completion; outputs are valid
+  kShed,      ///< rejected at admission (queue full, no eligible fallback)
+  kExpired,   ///< deadline passed before dispatch
+  kError,     ///< execution failed; see ServeResponse::error
+};
+
+inline const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kExpired: return "expired";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+struct ServeRequest {
+  std::string model;
+  std::vector<std::pair<std::string, NDArray>> inputs;
+
+  /// Higher runs first within a queue (ties broken by deadline, then FIFO).
+  int priority = 0;
+
+  /// Absolute server-clock time (InferenceServer::NowUs) after which the
+  /// request is dropped instead of dispatched. 0 = no deadline.
+  double deadline_us = 0.0;
+
+  /// Optional caller-owned result buffers (one per model output). When set
+  /// and shape/dtype-compatible, outputs are copied into these tensors and
+  /// no allocation happens on the serving path; otherwise the server
+  /// returns freshly allocated copies.
+  std::vector<NDArray> output_buffers;
+
+  /// Client stream id, carried through to the response (load-gen bookkeeping).
+  std::uint64_t client_id = 0;
+};
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kShed;
+  std::string model;
+  std::string error;  ///< kError only
+
+  /// Flow the request actually ran on (the fallback flow when fell_back).
+  core::FlowKind flow = core::FlowKind::kTvmOnly;
+  bool fell_back = false;
+
+  std::vector<NDArray> outputs;
+
+  double queue_us = 0.0;  ///< admission -> dispatch
+  double run_us = 0.0;    ///< wall time inside the session
+  double total_us = 0.0;  ///< admission -> response
+  double sim_us = 0.0;    ///< simulated device time of the run
+  int batch_size = 0;     ///< size of the micro-batch this request rode in
+  std::uint64_t client_id = 0;
+};
+
+}  // namespace serve
+}  // namespace tnp

@@ -1,0 +1,143 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "support/logging.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace serve {
+
+namespace {
+
+/// Deadline for ordering purposes: requests without one sort last.
+double OrderingDeadline(const QueuedRequest& entry) {
+  return entry.request.deadline_us > 0.0 ? entry.request.deadline_us
+                                         : std::numeric_limits<double>::infinity();
+}
+
+/// True when `a` should dispatch before `b`.
+bool Before(const QueuedRequest& a, const QueuedRequest& b) {
+  if (a.request.priority != b.request.priority) {
+    return a.request.priority > b.request.priority;
+  }
+  const double da = OrderingDeadline(a);
+  const double db = OrderingDeadline(b);
+  if (da != db) return da < db;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(std::string name, std::size_t capacity)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      depth_gauge_(support::metrics::Registry::Global().GetGauge("serve/queue/" + name_ +
+                                                                 "/depth")),
+      admitted_(support::metrics::Registry::Global().GetCounter("serve/queue/" + name_ +
+                                                                "/admitted")) {
+  TNP_CHECK_GT(capacity_, 0u);
+}
+
+bool RequestQueue::TryPush(QueuedRequest& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    entry.seq = next_seq_++;
+    items_.push_back(std::move(entry));
+    RecordDepth();
+    admitted_.Increment();
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::optional<QueuedRequest> RequestQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;
+  QueuedRequest entry;
+  TakeAt(BestIndex(), &entry);
+  return entry;
+}
+
+std::vector<QueuedRequest> RequestQueue::PopBatch(std::size_t max_batch, double window_us) {
+  TNP_CHECK_GT(max_batch, 0u);
+  std::vector<QueuedRequest> batch;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return batch;
+
+  QueuedRequest first;
+  TakeAt(BestIndex(), &first);
+  const std::string key = first.session_key;
+  batch.push_back(std::move(first));
+
+  const auto window_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::micro>(window_us));
+  while (batch.size() < max_batch) {
+    const std::size_t index = BestIndexOf(key);
+    if (index != kNpos) {
+      QueuedRequest entry;
+      TakeAt(index, &entry);
+      batch.push_back(std::move(entry));
+      continue;
+    }
+    if (closed_ || window_us <= 0.0) break;
+    // Wait for stragglers bound for the same session; any push or Close
+    // wakes us to re-scan.
+    if (cv_.wait_until(lock, window_end) == std::cv_status::timeout) break;
+  }
+  return batch;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+std::size_t RequestQueue::BestIndex() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < items_.size(); ++i) {
+    if (Before(items_[i], items_[best])) best = i;
+  }
+  return best;
+}
+
+std::size_t RequestQueue::BestIndexOf(const std::string& session_key) const {
+  std::size_t best = kNpos;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].session_key != session_key) continue;
+    if (best == kNpos || Before(items_[i], items_[best])) best = i;
+  }
+  return best;
+}
+
+std::size_t RequestQueue::TakeAt(std::size_t index, QueuedRequest* out) {
+  *out = std::move(items_[index]);
+  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(index));
+  RecordDepth();
+  return index;
+}
+
+void RequestQueue::RecordDepth() {
+  const double depth = static_cast<double>(items_.size());
+  depth_gauge_.Set(depth);
+  TNP_TRACE_COUNTER("serve", "queue/" + name_ + "/depth", depth);
+}
+
+}  // namespace serve
+}  // namespace tnp

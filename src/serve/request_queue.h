@@ -1,0 +1,97 @@
+// Bounded, admission-controlled request queue with deadline/priority
+// ordering and micro-batch extraction.
+//
+// One queue exists per physical resource (CPU, APU). Admission is explicit:
+// TryPush refuses when the queue is at capacity instead of growing without
+// bound — the caller decides whether to fall back to another queue or shed
+// the request. Dispatch order is best-first: highest priority, then earliest
+// deadline, then FIFO. PopBatch implements the dynamic micro-batcher: it
+// blocks for the best request, then coalesces further requests bound for the
+// same model x flow session (up to a batch-size cap, optionally waiting a
+// short window for stragglers) so one session checkout and one resource-lock
+// acquisition amortize over the whole batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "support/metrics.h"
+
+namespace tnp {
+namespace serve {
+
+/// One admitted request as it flows through the server: the client request
+/// plus the promise that answers it and the flow the scheduler routed it to.
+struct QueuedRequest {
+  ServeRequest request;
+  std::promise<ServeResponse> promise;
+  core::FlowKind flow = core::FlowKind::kTvmOnly;
+  /// Session-pool key ("<model>/<flow>"); batches coalesce on this.
+  std::string session_key;
+  bool fell_back = false;
+  double enqueue_us = 0.0;  ///< server-clock admission time
+  std::uint64_t seq = 0;    ///< FIFO tiebreak, assigned by the queue
+};
+
+class RequestQueue {
+ public:
+  /// `name` becomes the metrics suffix: gauge "serve/queue/<name>/depth"
+  /// tracks live depth (and its high-watermark), counter
+  /// "serve/queue/<name>/admitted" counts accepted pushes.
+  RequestQueue(std::string name, std::size_t capacity);
+
+  /// Admission control: false when at capacity or closed, leaving `entry`
+  /// untouched so the caller can re-route or shed it. Consumes `entry` only
+  /// on success. Never blocks.
+  bool TryPush(QueuedRequest& entry);
+
+  /// Best-first pop; blocks until an entry is available. Empty optional
+  /// once the queue is closed and drained.
+  std::optional<QueuedRequest> Pop();
+
+  /// Micro-batcher: Pop, then coalesce entries with the same session_key
+  /// (best-first among them) until `max_batch` is reached. When the queue
+  /// holds fewer, waits up to `window_us` after the first pop for more to
+  /// arrive; `window_us == 0` drains greedily without waiting. Returns an
+  /// empty vector once closed and drained.
+  std::vector<QueuedRequest> PopBatch(std::size_t max_batch, double window_us);
+
+  /// Stop admitting; blocked Pop/PopBatch calls drain the remainder and
+  /// then return empty.
+  void Close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  /// Index of the best entry (priority desc, deadline asc, seq asc);
+  /// `items_` must be non-empty. Caller holds `mutex_`.
+  std::size_t BestIndex() const;
+  /// Best entry restricted to `session_key`, or npos. Caller holds `mutex_`.
+  std::size_t BestIndexOf(const std::string& session_key) const;
+  std::size_t TakeAt(std::size_t index, QueuedRequest* out);  ///< holds mutex_
+  void RecordDepth();  ///< holds mutex_
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  const std::string name_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueuedRequest> items_;
+  bool closed_ = false;
+  std::uint64_t next_seq_ = 0;
+  support::metrics::Gauge& depth_gauge_;
+  support::metrics::Counter& admitted_;
+};
+
+}  // namespace serve
+}  // namespace tnp

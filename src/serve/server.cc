@@ -1,0 +1,305 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace serve {
+
+namespace {
+
+using support::metrics::Registry;
+
+support::metrics::Counter& Submitted() {
+  static auto& counter = Registry::Global().GetCounter("serve/submitted");
+  return counter;
+}
+support::metrics::Counter& Shed() {
+  static auto& counter = Registry::Global().GetCounter("serve/shed");
+  return counter;
+}
+support::metrics::Counter& Fallbacks() {
+  static auto& counter = Registry::Global().GetCounter("serve/fallback");
+  return counter;
+}
+support::metrics::Counter& Expired() {
+  static auto& counter = Registry::Global().GetCounter("serve/expired");
+  return counter;
+}
+support::metrics::Counter& Completed() {
+  static auto& counter = Registry::Global().GetCounter("serve/completed");
+  return counter;
+}
+
+/// Copy `src` into the caller-provided `dst` when compatible; returns false
+/// (leaving dst untouched) on shape/dtype mismatch.
+bool CopyIntoBuffer(const NDArray& src, NDArray& dst) {
+  if (!dst.defined() || dst.dtype() != src.dtype() || !(dst.shape() == src.shape())) {
+    return false;
+  }
+  std::memcpy(dst.RawData(), src.RawData(), src.SizeBytes());
+  dst.set_quant(src.quant());
+  return true;
+}
+
+}  // namespace
+
+ServedModel MakeServedModel(const std::string& name, relay::Module module,
+                            const core::FlowCompileSettings& settings) {
+  const core::ModelProfile profile = core::ProfileModel(module, name, settings);
+  ServedModel served;
+  served.name = name;
+  served.module = std::move(module);
+  served.plan = core::ComputationScheduler::PlanForServing(profile);
+  served.resources = profile.resources;
+  served.settings = settings;
+  return served;
+}
+
+InferenceServer::InferenceServer(std::vector<ServedModel> models, ServerOptions options)
+    : options_(options),
+      locks_(options.locks != nullptr ? options.locks : &core::ResourceLocks::Global()),
+      epoch_(std::chrono::steady_clock::now()) {
+  TNP_CHECK(!models.empty()) << "server needs at least one model";
+  TNP_TRACE_SCOPE("serve", "InferenceServer::start");
+
+  for (auto& model : models) {
+    const std::string name = model.name;
+    TNP_CHECK(models_.emplace(name, std::move(model)).second)
+        << "duplicate served model '" << name << "'";
+  }
+
+  for (const auto& [name, model] : models_) {
+    std::vector<core::FlowKind> flows = {model.plan.primary.flow};
+    if (model.plan.cpu_fallback.has_value()) flows.push_back(model.plan.cpu_fallback->flow);
+    for (const core::FlowKind flow : flows) {
+      const relay::Module module = model.module;
+      const core::FlowCompileSettings settings = model.settings;
+      pool_.Register(
+          SessionKey(name, flow),
+          [module, flow, settings] { return core::CompileFlow(module, flow, settings); },
+          options_.sessions_per_flow);
+    }
+  }
+  if (options_.warm_start) pool_.WarmUp();
+
+  queues_.resize(sim::kNumResources);
+  for (int r = 0; r < sim::kNumResources; ++r) {
+    std::string name = sim::ResourceName(static_cast<sim::Resource>(r));
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    queues_[static_cast<std::size_t>(r)] =
+        std::make_unique<RequestQueue>(name, options_.queue_capacity);
+  }
+  for (std::size_t r = 0; r < queues_.size(); ++r) {
+    executors_.emplace_back([this, r] { ExecutorLoop(r); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  for (auto& queue : queues_) queue->Close();
+  for (auto& executor : executors_) executor.join();
+}
+
+double InferenceServer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+const ServedModel* InferenceServer::FindModel(const std::string& name) const {
+  const auto it = models_.find(name);
+  return it != models_.end() ? &it->second : nullptr;
+}
+
+std::vector<sim::Resource> InferenceServer::ResourcesOf(const ServedModel& model,
+                                                        core::FlowKind flow) const {
+  const auto it = model.resources.find(flow);
+  return it != model.resources.end() ? it->second : core::FlowResources(flow);
+}
+
+std::size_t InferenceServer::QueueIndexOf(const ServedModel& model,
+                                          core::FlowKind flow) const {
+  for (const sim::Resource resource : ResourcesOf(model, flow)) {
+    if (resource == sim::Resource::kApu) {
+      return static_cast<std::size_t>(sim::Resource::kApu);
+    }
+  }
+  return static_cast<std::size_t>(sim::Resource::kCpu);
+}
+
+std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
+  const ServedModel* model = FindModel(request.model);
+  if (model == nullptr) {
+    TNP_THROW(kInvalidArgument) << "no served model named '" << request.model << "'";
+  }
+  Submitted().Increment();
+
+  QueuedRequest entry;
+  entry.flow = model->plan.primary.flow;
+  entry.session_key = SessionKey(request.model, entry.flow);
+  entry.enqueue_us = NowUs();
+  entry.request = std::move(request);
+  std::future<ServeResponse> future = entry.promise.get_future();
+
+  const std::size_t primary_queue = QueueIndexOf(*model, entry.flow);
+  if (queues_[primary_queue]->TryPush(entry)) return future;
+
+  // Admission control. The primary queue is saturated: degrade eligible
+  // requests to the scheduler's next-best CPU-only flow (a different queue,
+  // the same answer, more latency), and shed explicitly otherwise — bounded
+  // queues never grow to hide overload.
+  if (model->plan.cpu_fallback.has_value()) {
+    const core::FlowKind fallback_flow = model->plan.cpu_fallback->flow;
+    const std::size_t fallback_queue = QueueIndexOf(*model, fallback_flow);
+    if (fallback_queue != primary_queue) {
+      entry.flow = fallback_flow;
+      entry.session_key = SessionKey(entry.request.model, fallback_flow);
+      entry.fell_back = true;
+      if (queues_[fallback_queue]->TryPush(entry)) {
+        Fallbacks().Increment();
+        return future;
+      }
+    }
+  }
+
+  Shed().Increment();
+  ServeResponse response;
+  response.status = ServeStatus::kShed;
+  Respond(std::move(entry), std::move(response));
+  return future;
+}
+
+void InferenceServer::ExecutorLoop(std::size_t queue_index) {
+  RequestQueue& queue = *queues_[queue_index];
+  for (;;) {
+    std::vector<QueuedRequest> batch =
+        queue.PopBatch(options_.max_batch, options_.batch_window_us);
+    if (batch.empty()) return;  // closed and drained
+    RunBatch(std::move(batch));
+  }
+}
+
+void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
+  static auto& batch_size_hist = Registry::Global().GetHistogram("serve/batch/size");
+  static auto& queue_wait_hist = Registry::Global().GetHistogram("serve/queue_wait/us");
+  static auto& run_hist = Registry::Global().GetHistogram("serve/run/us");
+  static auto& request_hist = Registry::Global().GetHistogram("serve/request/us");
+
+  // Drop entries whose deadline passed while queued.
+  std::vector<QueuedRequest> live;
+  live.reserve(batch.size());
+  for (auto& entry : batch) {
+    const double deadline = entry.request.deadline_us;
+    if (deadline > 0.0 && NowUs() > deadline) {
+      Expired().Increment();
+      ServeResponse response;
+      response.status = ServeStatus::kExpired;
+      Respond(std::move(entry), std::move(response));
+      continue;
+    }
+    live.push_back(std::move(entry));
+  }
+  if (live.empty()) return;
+
+  batch_size_hist.Record(static_cast<double>(live.size()));
+  // By value: entries are moved into Respond() while the loop still runs.
+  const std::string session_key = live.front().session_key;
+  const ServedModel* model = FindModel(live.front().request.model);
+  TNP_CHECK(model != nullptr);
+  const core::FlowKind flow = live.front().flow;
+
+  TNP_TRACE_SCOPE("serve", "batch:" + session_key,
+                  support::TraceArg("batch", static_cast<int>(live.size())));
+
+  SessionPool::Lease lease = pool_.Checkout(session_key);
+
+  // Exclusive-resource discipline across all clients: hold every resource
+  // the flow occupies, in fixed order (same protocol as the pipeline
+  // executor, and the same lock domain unless one was injected).
+  std::vector<sim::Resource> resources = ResourcesOf(*model, flow);
+  std::sort(resources.begin(), resources.end(), [](sim::Resource a, sim::Resource b) {
+    return static_cast<int>(a) < static_cast<int>(b);
+  });
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(resources.size());
+  for (const sim::Resource resource : resources) held.emplace_back(locks_->Of(resource));
+
+  for (auto& entry : live) {
+    const double dispatch_us = NowUs();
+    queue_wait_hist.Record(dispatch_us - entry.enqueue_us);
+
+    ServeResponse response;
+    response.model = entry.request.model;
+    response.flow = entry.flow;
+    response.fell_back = entry.fell_back;
+    response.batch_size = static_cast<int>(live.size());
+    try {
+      for (auto& [input_name, value] : entry.request.inputs) {
+        lease->SetInput(input_name, value);
+      }
+      {
+        TNP_TRACE_SCOPE("serve", "run:" + session_key);
+        lease->Run();
+      }
+      response.sim_us = lease->last_clock().total_us();
+      const int num_outputs = lease->NumOutputs();
+      response.outputs.reserve(static_cast<std::size_t>(num_outputs));
+      for (int i = 0; i < num_outputs; ++i) {
+        NDArray produced = lease->GetOutput(i);
+        if (static_cast<std::size_t>(i) < entry.request.output_buffers.size() &&
+            CopyIntoBuffer(produced, entry.request.output_buffers[static_cast<std::size_t>(i)])) {
+          // Zero-allocation path: result lives in the caller's buffer, safe
+          // past the session's next run.
+          response.outputs.push_back(entry.request.output_buffers[static_cast<std::size_t>(i)]);
+        } else {
+          // No compatible buffer: deep-copy out of the session arena so the
+          // response stays valid after the session is re-leased.
+          response.outputs.push_back(produced.CopyDeep());
+        }
+      }
+      response.status = ServeStatus::kOk;
+      Completed().Increment();
+    } catch (const std::exception& e) {
+      response.status = ServeStatus::kError;
+      response.error = e.what();
+      response.outputs.clear();
+    }
+
+    const double end_us = NowUs();
+    response.queue_us = dispatch_us - entry.enqueue_us;
+    response.run_us = end_us - dispatch_us;
+    response.total_us = end_us - entry.enqueue_us;
+    if (response.status == ServeStatus::kOk) {
+      run_hist.Record(response.run_us);
+      request_hist.Record(response.total_us);
+      Registry::Global()
+          .GetHistogram("serve/model/" + response.model + "/us")
+          .Record(response.total_us);
+    }
+    Respond(std::move(entry), std::move(response));
+  }
+}
+
+void InferenceServer::Respond(QueuedRequest entry, ServeResponse response) {
+  response.client_id = entry.request.client_id;
+  if (response.model.empty()) response.model = entry.request.model;
+  if (response.total_us == 0.0) response.total_us = NowUs() - entry.enqueue_us;
+  entry.promise.set_value(std::move(response));
+}
+
+}  // namespace serve
+}  // namespace tnp

@@ -1,0 +1,128 @@
+// In-process inference server: multiplexes many concurrent client request
+// streams onto the one-CPU/one-APU device.
+//
+// Architecture (one instance = one device):
+//
+//   Submit ──► admission control ──► per-resource RequestQueue (CPU / APU)
+//                   │ full?                        │
+//                   ├─ eligible: re-route to the   ▼
+//                   │  scheduler's next-best   executor thread per resource:
+//                   │  CPU-only flow (serve/     PopBatch (micro-batcher)
+//                   │  fallback counter)          → SessionPool checkout
+//                   └─ otherwise: shed            → ResourceLocks (exclusive
+//                      (serve/shed counter)         CPU/APU discipline)
+//                                                 → run batch, answer futures
+//
+// Requests route to the queue of the primary resource their model's flow
+// occupies (APU when the flow touches the APU, CPU otherwise). A CPU+APU
+// flow dispatches from the APU queue but locks both resources while running,
+// extending pipeline_executor.h's exclusivity discipline across all clients.
+//
+// Every layer publishes metrics: queue-depth gauges with high-watermarks,
+// shed/fallback/expired counters, end-to-end latency histograms with
+// p50/p95/p99 ("serve/request/us", per-model "serve/model/<name>/us"), and
+// micro-batch size ("serve/batch/size").
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline_executor.h"
+#include "core/scheduler.h"
+#include "relay/module.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/session_pool.h"
+
+namespace tnp {
+namespace serve {
+
+/// One model the server offers, with the flows the scheduler assigned to it.
+/// Build by hand (tests: pick flows directly) or via MakeServedModel (profile
+/// all seven flows and take the scheduler's serving plan).
+struct ServedModel {
+  std::string name;
+  relay::Module module;
+  core::ServePlan plan;
+  /// Resources the compiled model occupies per flow; missing entries derive
+  /// conservatively from FlowResources(flow).
+  std::map<core::FlowKind, std::vector<sim::Resource>> resources;
+  core::FlowCompileSettings settings;
+};
+
+/// Profile `module` across all flows and serve it on the scheduler's plan.
+ServedModel MakeServedModel(const std::string& name, relay::Module module,
+                            const core::FlowCompileSettings& settings = {});
+
+struct ServerOptions {
+  /// Per-resource queue bound; admission beyond it sheds or falls back.
+  std::size_t queue_capacity = 16;
+  /// Micro-batcher: coalesce up to this many same-session requests per
+  /// dispatch, waiting at most batch_window_us after the first request
+  /// (0 = drain greedily, never wait).
+  std::size_t max_batch = 4;
+  double batch_window_us = 0.0;
+  /// Warm sessions kept per model x flow.
+  std::size_t sessions_per_flow = 1;
+  /// Compile every session in the constructor so the request path never
+  /// compiles (serving steady state starts warm).
+  bool warm_start = true;
+  /// Resource-exclusivity domain; nullptr = the process-wide Global()
+  /// device. Inject a private instance to host several independent servers
+  /// (= several simulated devices) in one process.
+  core::ResourceLocks* locks = nullptr;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(std::vector<ServedModel> models, ServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admit one request. Returns immediately; the future resolves when the
+  /// request is served, shed, expired, or failed. Throws kInvalidArgument
+  /// for unknown models.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Stop admitting, drain already-admitted requests, join the executors.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Microseconds since server start (the clock Submit deadlines use).
+  double NowUs() const;
+
+  const ServedModel* FindModel(const std::string& name) const;
+  const ServerOptions& options() const { return options_; }
+  SessionPool& pool() { return pool_; }
+
+ private:
+  /// Queue a flow dispatches from: APU when the flow occupies it.
+  std::size_t QueueIndexOf(const ServedModel& model, core::FlowKind flow) const;
+  std::vector<sim::Resource> ResourcesOf(const ServedModel& model,
+                                         core::FlowKind flow) const;
+  void ExecutorLoop(std::size_t queue_index);
+  void RunBatch(std::vector<QueuedRequest> batch);
+  void Respond(QueuedRequest entry, ServeResponse response);
+
+  ServerOptions options_;
+  std::map<std::string, ServedModel> models_;
+  core::ResourceLocks* locks_;
+  SessionPool pool_;
+  /// Indexed by sim::Resource value (kCpu, kApu).
+  std::vector<std::unique_ptr<RequestQueue>> queues_;
+  std::vector<std::thread> executors_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool shutdown_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace serve
+}  // namespace tnp

@@ -1,0 +1,159 @@
+#include "serve/session_pool.h"
+
+#include <utility>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace serve {
+
+namespace {
+
+support::metrics::Counter& Compiles() {
+  static auto& counter =
+      support::metrics::Registry::Global().GetCounter("serve/pool/compiles");
+  return counter;
+}
+
+support::metrics::Counter& Reuses() {
+  static auto& counter = support::metrics::Registry::Global().GetCounter("serve/pool/reuse");
+  return counter;
+}
+
+support::metrics::Gauge& InFlight() {
+  static auto& gauge = support::metrics::Registry::Global().GetGauge("serve/pool/in_flight");
+  return gauge;
+}
+
+}  // namespace
+
+SessionPool::Lease& SessionPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    key_ = std::move(other.key_);
+    session_ = std::move(other.session_);
+    other.pool_ = nullptr;
+    other.session_ = nullptr;
+  }
+  return *this;
+}
+
+void SessionPool::Lease::Release() {
+  if (pool_ != nullptr && session_ != nullptr) {
+    pool_->CheckIn(key_, std::move(session_));
+  }
+  pool_ = nullptr;
+  session_ = nullptr;
+}
+
+void SessionPool::Register(const std::string& key, Factory factory, std::size_t capacity) {
+  TNP_CHECK_GT(capacity, 0u);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(key) > 0) return;  // first registration wins
+  Entry entry;
+  entry.factory = std::move(factory);
+  entry.capacity = capacity;
+  entries_.emplace(key, std::move(entry));
+}
+
+bool SessionPool::Has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) > 0;
+}
+
+void SessionPool::WarmUp() {
+  TNP_TRACE_SCOPE("serve", "SessionPool::WarmUp");
+  // Collect the work under the lock, compile outside it.
+  std::vector<std::pair<std::string, std::size_t>> todo;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, entry] : entries_) {
+      if (entry.created < entry.capacity) todo.emplace_back(key, entry.capacity - entry.created);
+    }
+  }
+  for (const auto& [key, missing] : todo) {
+    for (std::size_t i = 0; i < missing; ++i) {
+      Factory factory;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Entry& entry = entries_.at(key);
+        if (entry.created >= entry.capacity) break;
+        ++entry.created;  // reserve the slot before the slow build
+        factory = entry.factory;
+      }
+      core::InferenceSessionPtr session;
+      try {
+        session = factory();
+        TNP_CHECK(session != nullptr) << "session factory for '" << key << "' returned null";
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --entries_.at(key).created;
+        throw;
+      }
+      Compiles().Increment();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.at(key).idle.push_back(std::move(session));
+      }
+      cv_.notify_all();
+    }
+  }
+}
+
+SessionPool::Lease SessionPool::Checkout(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    TNP_THROW(kInvalidArgument) << "no session registered under '" << key << "'";
+  }
+  Entry& entry = it->second;
+  for (;;) {
+    if (!entry.idle.empty()) {
+      core::InferenceSessionPtr session = std::move(entry.idle.back());
+      entry.idle.pop_back();
+      Reuses().Increment();
+      InFlight().Add(1.0);
+      return Lease(this, key, std::move(session));
+    }
+    if (entry.created < entry.capacity) {
+      ++entry.created;  // reserve before the slow build
+      lock.unlock();
+      core::InferenceSessionPtr session;
+      try {
+        TNP_TRACE_SCOPE("serve", "SessionPool::compile:" + key);
+        session = entry.factory();
+        TNP_CHECK(session != nullptr) << "session factory for '" << key << "' returned null";
+      } catch (...) {
+        lock.lock();
+        --entry.created;
+        cv_.notify_all();
+        throw;
+      }
+      Compiles().Increment();
+      InFlight().Add(1.0);
+      return Lease(this, key, std::move(session));
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::size_t SessionPool::CreatedCount(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? it->second.created : 0;
+}
+
+void SessionPool::CheckIn(const std::string& key, core::InferenceSessionPtr session) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.at(key).idle.push_back(std::move(session));
+    InFlight().Add(-1.0);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace tnp

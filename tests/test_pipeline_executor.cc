@@ -203,6 +203,49 @@ TEST(PipelineExecutor, PerStageSpansRecorded) {
   EXPECT_GT(counter_samples, 0);
 }
 
+TEST(PipelineExecutor, InjectedLocksIsolateIndependentPipelines) {
+  // Two pipelines whose stages claim the "CPU" but represent independent
+  // devices (e.g. a serving executor and a test pipeline): with private
+  // injected ResourceLocks their stages may run concurrently, while the
+  // shared Global() instance must keep serializing them. Observed via a
+  // cross-pipeline concurrency counter (not wall-clock, which is noisy
+  // under a loaded test machine).
+  std::atomic<int> holders{0};
+  std::atomic<int> max_holders{0};
+  const auto observing = [&](int v) -> std::optional<int> {
+    const int now = holders.fetch_add(1) + 1;
+    int seen = max_holders.load();
+    while (now > seen && !max_holders.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    holders.fetch_sub(1);
+    return v;
+  };
+  using P = Pipeline<int>;
+  const auto run_pair = [&](ResourceLocks* locks_a, ResourceLocks* locks_b) {
+    holders = 0;
+    max_holders = 0;
+    std::vector<P::Stage> stages_a;
+    stages_a.push_back(P::Stage{"hog-a", {sim::Resource::kCpu}, observing});
+    std::vector<P::Stage> stages_b;
+    stages_b.push_back(P::Stage{"hog-b", {sim::Resource::kCpu}, observing});
+    P a(std::move(stages_a), /*queue_capacity=*/4, locks_a);
+    P b(std::move(stages_b), /*queue_capacity=*/4, locks_b);
+    std::thread ta([&] { a.Run(std::vector<int>(8, 0)); });
+    std::thread tb([&] { b.Run(std::vector<int>(8, 0)); });
+    ta.join();
+    tb.join();
+    return max_holders.load();
+  };
+
+  ResourceLocks locks_a;
+  ResourceLocks locks_b;
+  // Private lock sets: 8 x 2ms sleeps per pipeline overlap at some instant.
+  EXPECT_EQ(run_pair(&locks_a, &locks_b), 2) << "private locks must not serialize";
+  // Defaulted to Global(): the shared CPU mutex admits one holder ever.
+  EXPECT_EQ(run_pair(nullptr, nullptr), 1) << "Global() locks must still serialize";
+}
+
 TEST(PipelineExecutor, BoundedQueueDoesNotDeadlock) {
   // More packets than total queue capacity; completes without deadlock.
   using P = Pipeline<int>;

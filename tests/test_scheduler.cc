@@ -52,6 +52,72 @@ TEST(ComputationSchedulerTest, EmptyProfileThrows) {
   EXPECT_THROW(ComputationScheduler::BestFlow(MakeProfile("m", {})), InternalError);
 }
 
+TEST(ComputationSchedulerTest, AllFlowsUnsupportedThrows) {
+  // A model every flow rejected: the profile carries only errors, no
+  // latencies. Selection must fail loudly, never silently pick a flow.
+  ModelProfile profile = MakeProfile("unsupported", {});
+  for (const FlowKind flow : kAllFlows) {
+    profile.errors[flow] = "op not supported by " + std::string(FlowName(flow));
+  }
+  EXPECT_THROW(ComputationScheduler::BestFlow(profile), InternalError);
+  EXPECT_THROW(ComputationScheduler::PlanForServing(profile), InternalError);
+  EXPECT_FALSE(
+      ComputationScheduler::BestFlowWithin(profile, {sim::Resource::kCpu}).has_value());
+  EXPECT_FALSE(
+      ComputationScheduler::BestFlowWithin(profile, {sim::Resource::kApu}).has_value());
+}
+
+TEST(ComputationSchedulerTest, MissingResourcesFallsBackToFlowResources) {
+  // Hand-built profiles carry no measured `resources` map; ResourcesOf must
+  // derive the conservative per-flow resource set instead.
+  const ModelProfile profile = MakeProfile("m", {{FlowKind::kByocCpuApu, 40.0}});
+  EXPECT_TRUE(profile.resources.empty());
+  for (const FlowKind flow : kAllFlows) {
+    EXPECT_EQ(profile.ResourcesOf(flow), FlowResources(flow));
+  }
+}
+
+TEST(ComputationSchedulerTest, MeasuredResourcesOverrideFlowResources) {
+  ModelProfile profile = MakeProfile("m", {{FlowKind::kByocCpuApu, 40.0}});
+  // Profiling found the partitioner offloaded everything: CPU+APU flow
+  // actually only occupies the APU.
+  profile.resources[FlowKind::kByocCpuApu] = {sim::Resource::kApu};
+  EXPECT_EQ(profile.ResourcesOf(FlowKind::kByocCpuApu),
+            std::vector<sim::Resource>{sim::Resource::kApu});
+  // Other flows still fall back.
+  EXPECT_EQ(profile.ResourcesOf(FlowKind::kNpCpu), FlowResources(FlowKind::kNpCpu));
+}
+
+// ------------------------------------------------------------- serve plans
+
+TEST(ServePlanTest, ApuPrimaryGetsCpuFallback) {
+  const ModelProfile profile = MakeProfile("emo", {{FlowKind::kNpApu, 22.0},
+                                                   {FlowKind::kNpCpu, 50.0},
+                                                   {FlowKind::kTvmOnly, 90.0}});
+  const ServePlan plan = ComputationScheduler::PlanForServing(profile);
+  EXPECT_EQ(plan.primary.flow, FlowKind::kNpApu);
+  ASSERT_TRUE(plan.cpu_fallback.has_value());
+  EXPECT_EQ(plan.cpu_fallback->flow, FlowKind::kNpCpu);  // best CPU-only, not kTvmOnly
+  EXPECT_DOUBLE_EQ(plan.cpu_fallback->latency_us, 50.0);
+}
+
+TEST(ServePlanTest, CpuOnlyPrimaryHasNoFallback) {
+  const ModelProfile profile =
+      MakeProfile("det", {{FlowKind::kByocCpu, 30.0}, {FlowKind::kNpApu, 60.0}});
+  const ServePlan plan = ComputationScheduler::PlanForServing(profile);
+  EXPECT_EQ(plan.primary.flow, FlowKind::kByocCpu);
+  EXPECT_FALSE(plan.cpu_fallback.has_value());
+}
+
+TEST(ServePlanTest, ApuOnlyModelHasNoFallback) {
+  // The model supports no CPU-only flow at all: primary only, the server
+  // must shed rather than degrade.
+  const ModelProfile profile = MakeProfile("apu-only", {{FlowKind::kNpApu, 22.0}});
+  const ServePlan plan = ComputationScheduler::PlanForServing(profile);
+  EXPECT_EQ(plan.primary.flow, FlowKind::kNpApu);
+  EXPECT_FALSE(plan.cpu_fallback.has_value());
+}
+
 // --------------------------------------------------------------- timeline
 
 TEST(Timeline, ResourceExclusivitySerializes) {

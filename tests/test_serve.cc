@@ -1,0 +1,464 @@
+// The serving runtime: request-queue ordering and admission control, warm
+// session pooling, micro-batching, overload shedding, CPU fallback,
+// deadlines, metrics, and the zero-allocation steady state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "core/flows.h"
+#include "frontend/common.h"
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "serve/session_pool.h"
+#include "support/metrics.h"
+
+namespace tnp {
+namespace serve {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+using support::metrics::Registry;
+
+/// Small conv net every flow supports (mirrors test_flows.cc).
+relay::Module TinyModel() {
+  auto x = TypedVar("data", Shape({1, 3, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto pool = TypedCall("nn.global_avg_pool2d", {relu});
+  auto flat = TypedCall("nn.batch_flatten", {pool});
+  auto dense = TypedCall("nn.dense", {flat, WeightF32(Shape({5, 8}), 2), ZeroBiasF32(5)});
+  auto softmax = TypedCall("nn.softmax", {dense});
+  return relay::Module(relay::MakeFunction({x}, softmax));
+}
+
+ServedModel MakeTinyServed(const std::string& name, core::FlowKind primary,
+                           std::optional<core::FlowKind> fallback = std::nullopt) {
+  ServedModel model;
+  model.name = name;
+  model.module = TinyModel();
+  model.plan.primary = core::Assignment{primary, 100.0};
+  if (fallback.has_value()) model.plan.cpu_fallback = core::Assignment{*fallback, 200.0};
+  return model;
+}
+
+NDArray TinyInput() { return NDArray::Full(Shape({1, 3, 16, 16}), DType::kFloat32, 0.5); }
+
+QueuedRequest MakeEntry(const std::string& model, int priority, double deadline_us,
+                        core::FlowKind flow = core::FlowKind::kTvmOnly) {
+  QueuedRequest entry;
+  entry.request.model = model;
+  entry.request.priority = priority;
+  entry.request.deadline_us = deadline_us;
+  entry.flow = flow;
+  entry.session_key = SessionKey(model, flow);
+  return entry;
+}
+
+std::int64_t CounterValue(const std::string& name) {
+  const auto* counter = Registry::Global().FindCounter(name);
+  return counter != nullptr ? counter->value() : 0;
+}
+
+// ------------------------------------------------------------ RequestQueue
+
+TEST(RequestQueue, DispatchOrderPriorityDeadlineFifo) {
+  RequestQueue queue("t-order", 8);
+  auto low_late = MakeEntry("a", 0, 900.0);
+  auto low_soon = MakeEntry("b", 0, 100.0);
+  auto high_none = MakeEntry("c", 5, 0.0);
+  auto low_soon_second = MakeEntry("d", 0, 100.0);
+  ASSERT_TRUE(queue.TryPush(low_late));
+  ASSERT_TRUE(queue.TryPush(low_soon));
+  ASSERT_TRUE(queue.TryPush(high_none));
+  ASSERT_TRUE(queue.TryPush(low_soon_second));
+
+  // Priority first, then earliest deadline, then FIFO; no deadline = last.
+  EXPECT_EQ(queue.Pop()->request.model, "c");
+  EXPECT_EQ(queue.Pop()->request.model, "b");
+  EXPECT_EQ(queue.Pop()->request.model, "d");
+  EXPECT_EQ(queue.Pop()->request.model, "a");
+}
+
+TEST(RequestQueue, TryPushRefusesWhenFullAndLeavesEntryIntact) {
+  RequestQueue queue("t-full", 2);
+  auto e1 = MakeEntry("a", 0, 0.0);
+  auto e2 = MakeEntry("b", 0, 0.0);
+  auto e3 = MakeEntry("c", 7, 0.0);
+  ASSERT_TRUE(queue.TryPush(e1));
+  ASSERT_TRUE(queue.TryPush(e2));
+  EXPECT_FALSE(queue.TryPush(e3));
+  // The refused entry is still usable (promise not consumed, fields intact).
+  EXPECT_EQ(e3.request.model, "c");
+  EXPECT_EQ(e3.request.priority, 7);
+  auto future = e3.promise.get_future();
+  ServeResponse shed;
+  shed.status = ServeStatus::kShed;
+  e3.promise.set_value(shed);
+  EXPECT_EQ(future.get().status, ServeStatus::kShed);
+}
+
+TEST(RequestQueue, DepthGaugeTracksBound) {
+  RequestQueue queue("t-depth", 3);
+  for (int i = 0; i < 5; ++i) {
+    auto entry = MakeEntry("m", 0, 0.0);
+    queue.TryPush(entry);
+  }
+  EXPECT_EQ(queue.size(), 3u);
+  const auto* gauge = Registry::Global().FindGauge("serve/queue/t-depth/depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_LE(gauge->max(), 3.0);
+  EXPECT_GE(gauge->max(), 3.0);
+}
+
+TEST(RequestQueue, PopBatchCoalescesSameSessionOnly) {
+  RequestQueue queue("t-batch", 8);
+  auto a1 = MakeEntry("a", 0, 0.0, core::FlowKind::kTvmOnly);
+  auto b1 = MakeEntry("b", 0, 0.0, core::FlowKind::kNpCpu);
+  auto a2 = MakeEntry("a", 0, 0.0, core::FlowKind::kTvmOnly);
+  auto a3 = MakeEntry("a", 0, 0.0, core::FlowKind::kTvmOnly);
+  ASSERT_TRUE(queue.TryPush(a1));
+  ASSERT_TRUE(queue.TryPush(b1));
+  ASSERT_TRUE(queue.TryPush(a2));
+  ASSERT_TRUE(queue.TryPush(a3));
+
+  const auto batch = queue.PopBatch(/*max_batch=*/8, /*window_us=*/0.0);
+  ASSERT_EQ(batch.size(), 3u);  // the three "a" entries; "b" stays queued
+  for (const auto& entry : batch) EXPECT_EQ(entry.request.model, "a");
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.Pop()->request.model, "b");
+}
+
+TEST(RequestQueue, PopBatchRespectsMaxBatch) {
+  RequestQueue queue("t-maxbatch", 8);
+  for (int i = 0; i < 5; ++i) {
+    auto entry = MakeEntry("a", 0, 0.0);
+    ASSERT_TRUE(queue.TryPush(entry));
+  }
+  EXPECT_EQ(queue.PopBatch(2, 0.0).size(), 2u);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(RequestQueue, PopBatchWindowWaitsForStragglers) {
+  RequestQueue queue("t-window", 8);
+  auto first = MakeEntry("a", 0, 0.0);
+  ASSERT_TRUE(queue.TryPush(first));
+  std::thread straggler([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto late = MakeEntry("a", 0, 0.0);
+    queue.TryPush(late);
+  });
+  // 100ms window comfortably covers the 5ms straggler.
+  const auto batch = queue.PopBatch(2, 100'000.0);
+  straggler.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(RequestQueue, CloseDrainsThenReturnsEmpty) {
+  RequestQueue queue("t-close", 4);
+  auto entry = MakeEntry("a", 0, 0.0);
+  ASSERT_TRUE(queue.TryPush(entry));
+  queue.Close();
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.PopBatch(4, 0.0).empty());
+  auto refused = MakeEntry("b", 0, 0.0);
+  EXPECT_FALSE(queue.TryPush(refused));
+}
+
+// ------------------------------------------------------------- SessionPool
+
+TEST(SessionPool, ReusesWarmSessionsWithoutRecompiling) {
+  SessionPool pool;
+  std::atomic<int> builds{0};
+  const relay::Module module = TinyModel();
+  pool.Register("tiny/TVM-only", [&builds, module] {
+    builds.fetch_add(1);
+    return core::CompileFlow(module, core::FlowKind::kTvmOnly);
+  });
+  for (int i = 0; i < 4; ++i) {
+    SessionPool::Lease lease = pool.Checkout("tiny/TVM-only");
+    ASSERT_TRUE(static_cast<bool>(lease));
+  }
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(pool.CreatedCount("tiny/TVM-only"), 1u);
+}
+
+TEST(SessionPool, WarmUpPrebuildsToCapacity) {
+  SessionPool pool;
+  std::atomic<int> builds{0};
+  const relay::Module module = TinyModel();
+  pool.Register("tiny/TVM-only", [&builds, module] {
+    builds.fetch_add(1);
+    return core::CompileFlow(module, core::FlowKind::kTvmOnly);
+  }, /*capacity=*/2);
+  pool.WarmUp();
+  EXPECT_EQ(builds.load(), 2);
+  // Checkouts after warmup never build.
+  SessionPool::Lease a = pool.Checkout("tiny/TVM-only");
+  SessionPool::Lease b = pool.Checkout("tiny/TVM-only");
+  EXPECT_EQ(builds.load(), 2);
+}
+
+TEST(SessionPool, CheckoutBlocksUntilCheckin) {
+  SessionPool pool;
+  const relay::Module module = TinyModel();
+  pool.Register("tiny/TVM-only",
+                [module] { return core::CompileFlow(module, core::FlowKind::kTvmOnly); });
+  auto lease = std::make_unique<SessionPool::Lease>(pool.Checkout("tiny/TVM-only"));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&pool, &acquired] {
+    SessionPool::Lease second = pool.Checkout("tiny/TVM-only");
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());  // capacity 1, still checked out
+  lease.reset();                  // checkin unblocks the waiter
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SessionPool, UnknownKeyThrows) {
+  SessionPool pool;
+  EXPECT_THROW(pool.Checkout("nope/TVM-only"), Error);
+}
+
+// ---------------------------------------------------------- InferenceServer
+
+TEST(InferenceServer, ServesCorrectOutputs) {
+  // Reference run straight through the compiled flow.
+  const relay::Module module = TinyModel();
+  const auto reference = core::CompileFlow(module, core::FlowKind::kTvmOnly);
+  reference->SetInput("data", TinyInput());
+  reference->Run();
+  const NDArray expected = reference->GetOutput(0);
+
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)});
+  ServeRequest request;
+  request.model = "tiny";
+  request.inputs = {{"data", TinyInput()}};
+  const ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+  EXPECT_EQ(response.flow, core::FlowKind::kTvmOnly);
+  EXPECT_FALSE(response.fell_back);
+  ASSERT_EQ(response.outputs.size(), 1u);
+  EXPECT_TRUE(NDArray::BitEqual(response.outputs[0], expected));
+  EXPECT_GT(response.total_us, 0.0);
+  EXPECT_GT(response.sim_us, 0.0);
+  EXPECT_GE(response.batch_size, 1);
+}
+
+TEST(InferenceServer, CopiesIntoCallerProvidedBuffers) {
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)});
+  NDArray buffer = NDArray::Zeros(Shape({1, 5}), DType::kFloat32);
+  const void* raw = buffer.RawData();
+
+  ServeRequest request;
+  request.model = "tiny";
+  request.inputs = {{"data", TinyInput()}};
+  request.output_buffers = {buffer};
+  const ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+  ASSERT_EQ(response.outputs.size(), 1u);
+  // The response aliases the caller's storage — no fresh tensor.
+  EXPECT_EQ(response.outputs[0].RawData(), raw);
+  // Softmax output: strictly positive, sums to ~1.
+  double sum = 0.0;
+  for (const float v : buffer.Span<float>()) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(InferenceServer, UnknownModelThrows) {
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)});
+  ServeRequest request;
+  request.model = "nope";
+  EXPECT_THROW(server.Submit(std::move(request)), Error);
+}
+
+TEST(InferenceServer, OverloadShedsInsteadOfGrowing) {
+  const std::int64_t shed_before = CounterValue("serve/shed");
+  // The depth gauge is process-wide; reset so the watermark reflects this
+  // server's bound only.
+  Registry::Global().GetGauge("serve/queue/cpu/depth").Reset();
+  ServerOptions options;
+  options.queue_capacity = 2;
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  // CPU-only primary without a fallback: saturation must shed.
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)}, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    if (response.status == ServeStatus::kOk) ++ok;
+    if (response.status == ServeStatus::kShed) ++shed;
+  }
+  EXPECT_EQ(ok + shed, 64);
+  EXPECT_GT(shed, 0) << "64 burst submissions into a depth-2 queue must shed";
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(CounterValue("serve/shed") - shed_before, shed);
+  // The queue never exceeded its configured bound.
+  const auto* gauge = Registry::Global().FindGauge("serve/queue/cpu/depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_LE(gauge->max(), 2.0);
+}
+
+TEST(InferenceServer, SaturatedApuFallsBackToCpuFlow) {
+  const std::int64_t fallback_before = CounterValue("serve/fallback");
+  ServerOptions options;
+  options.queue_capacity = 1;
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  InferenceServer server(
+      {MakeTinyServed("tiny", core::FlowKind::kNpApu, core::FlowKind::kNpCpu)}, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 48; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  int fell_back = 0;
+  int ok = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    if (response.status != ServeStatus::kOk) continue;
+    ++ok;
+    if (response.fell_back) {
+      ++fell_back;
+      EXPECT_EQ(response.flow, core::FlowKind::kNpCpu);
+    } else {
+      EXPECT_EQ(response.flow, core::FlowKind::kNpApu);
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(fell_back, 0) << "saturating the depth-1 APU queue must degrade to CPU";
+  EXPECT_EQ(CounterValue("serve/fallback") - fallback_before, fell_back);
+}
+
+TEST(InferenceServer, ExpiredDeadlineIsDropped) {
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)});
+  ServeRequest request;
+  request.model = "tiny";
+  request.inputs = {{"data", TinyInput()}};
+  request.deadline_us = 1e-6;  // effectively already past
+  const ServeResponse response = server.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status, ServeStatus::kExpired);
+  EXPECT_TRUE(response.outputs.empty());
+}
+
+TEST(InferenceServer, MicroBatcherCoalescesBursts) {
+  ServerOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 8;
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)}, options);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  int max_batch_seen = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+    max_batch_seen = std::max(max_batch_seen, response.batch_size);
+    EXPECT_LE(response.batch_size, 8);
+  }
+  // Submission far outpaces execution, so dispatches must have coalesced.
+  EXPECT_GT(max_batch_seen, 1);
+}
+
+TEST(InferenceServer, ConcurrentStreamsOnDisjointResources) {
+  // CPU-resident and APU-resident models served to concurrent closed-loop
+  // clients: everything completes, nothing is shed (closed loop ≤ 1
+  // in-flight request per client), answers stay correct.
+  ServerOptions options;
+  options.queue_capacity = 16;
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  InferenceServer server({MakeTinyServed("cpu-model", core::FlowKind::kTvmOnly),
+                          MakeTinyServed("apu-model", core::FlowKind::kNpApu)},
+                         options);
+
+  std::vector<ClientStream> streams;
+  for (int c = 0; c < 4; ++c) {
+    ClientStream stream;
+    stream.model = c % 2 == 0 ? "cpu-model" : "apu-model";
+    stream.inputs = {{"data", TinyInput()}};
+    streams.push_back(std::move(stream));
+  }
+  const LoadResult result = RunClosedLoop(server, streams, /*requests_per_client=*/8);
+  EXPECT_EQ(result.submitted, 32);
+  EXPECT_EQ(result.ok, 32);
+  EXPECT_EQ(result.shed, 0);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(InferenceServer, SteadyStateServesWithZeroTensorAllocations) {
+  core::ResourceLocks locks;
+  ServerOptions options;
+  options.locks = &locks;
+  InferenceServer server({MakeTinyServed("tiny", core::FlowKind::kTvmOnly)}, options);
+
+  ClientStream stream;
+  stream.model = "tiny";
+  stream.inputs = {{"data", TinyInput()}};
+  stream.output_buffers = {NDArray::Zeros(Shape({1, 5}), DType::kFloat32)};
+
+  // Warm: first runs may bind lazily.
+  RunClosedLoop(server, {stream}, 3);
+  const std::int64_t allocs_before = NDArray::TotalAllocations();
+  const LoadResult result = RunClosedLoop(server, {stream}, 5);
+  EXPECT_EQ(result.ok, 5);
+  EXPECT_EQ(NDArray::TotalAllocations() - allocs_before, 0)
+      << "warm serving must not allocate tensors";
+}
+
+TEST(InferenceServer, ShutdownDrainsAdmittedRequests) {
+  core::ResourceLocks locks;
+  ServerOptions options;
+  options.locks = &locks;
+  auto server = std::make_unique<InferenceServer>(
+      std::vector<ServedModel>{MakeTinyServed("tiny", core::FlowKind::kTvmOnly)}, options);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server->Submit(std::move(request)));
+  }
+  server.reset();  // Shutdown: admitted requests still get answers
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    EXPECT_TRUE(response.status == ServeStatus::kOk ||
+                response.status == ServeStatus::kShed);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tnp
