@@ -1,0 +1,162 @@
+// Benchmark snapshot for the CI regression gate.
+//
+// Serializes the repo's key performance numbers to a JSON document
+// (`BENCH_pr4.json` at the repo root is the committed baseline) which
+// tools/bench_compare diffs against a fresh run, failing on >10% movement of
+// any gated metric.
+//
+// Gated metrics are *deterministic*: static-simulator latency estimates
+// (EstimateLatency walks the compiled program against the fixed Dimensity-800
+// cost model; no kernel executes) and planned arena footprints. They move
+// only when compiler/planner/cost-model behaviour changes — exactly the
+// regressions the gate exists to catch — and never from CI machine noise.
+// Wall-clock numbers (serving throughput) are recorded too, but with
+// `"gate": false`: informational trend data, excluded from pass/fail.
+//
+// Schema (consumed by tools/bench_compare.cc):
+//   {"schema": 1, "metrics": {"<name>": {"value": <num>,
+//                                        "better": "lower"|"higher",
+//                                        "gate": true|false}, ...}}
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/flows.h"
+#include "frontend/common.h"
+#include "serve/load_gen.h"
+#include "serve/server.h"
+#include "support/metrics.h"
+#include "zoo/zoo.h"
+
+namespace tnp {
+namespace {
+
+struct Metric {
+  double value = 0.0;
+  bool lower_is_better = true;
+  bool gate = true;
+};
+
+std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void WriteSnapshot(const std::map<std::string, Metric>& metrics,
+                   const std::string& path) {
+  std::ofstream out(path);
+  TNP_CHECK(out.good()) << "cannot open " << path;
+  out << "{\n  \"schema\": 1,\n  \"metrics\": {\n";
+  bool first = true;
+  for (const auto& [name, metric] : metrics) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << name << "\": {\"value\": " << JsonNumber(metric.value)
+        << ", \"better\": \"" << (metric.lower_is_better ? "lower" : "higher")
+        << "\", \"gate\": " << (metric.gate ? "true" : "false") << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+// Deterministic serving-stand-in model (mirrors bench/serve_throughput.cc).
+relay::Module ConvNet(int channels) {
+  using frontend::TypedCall;
+  using frontend::TypedVar;
+  using frontend::WeightF32;
+  using frontend::ZeroBiasF32;
+  auto x = TypedVar("data", Shape({1, 3, 32, 32}), DType::kFloat32);
+  auto conv = TypedCall(
+      "nn.conv2d", {x, WeightF32(Shape({channels, 3, 3, 3}), 1), ZeroBiasF32(channels)},
+      relay::Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto pool = TypedCall("nn.global_avg_pool2d", {relu});
+  auto flat = TypedCall("nn.batch_flatten", {pool});
+  auto dense =
+      TypedCall("nn.dense", {flat, WeightF32(Shape({8, channels}), 2), ZeroBiasF32(8)});
+  return relay::Module(relay::MakeFunction({x}, TypedCall("nn.softmax", {dense})));
+}
+
+}  // namespace
+}  // namespace tnp
+
+int main(int argc, char** argv) {
+  using namespace tnp;
+  const std::string path = argc > 1 ? argv[1] : "BENCH_pr4.json";
+
+  std::map<std::string, Metric> metrics;
+
+  // ---- 1) static latency estimates: model x flow -------------------------
+  // Three models spanning the zoo's frameworks/sizes, three flows spanning
+  // TVM-only, BYOC offload, and hybrid placement. TryCompileFlow: a flow
+  // that stops compiling simply drops its metric, which bench_compare
+  // reports as a missing-key failure — also a regression signal.
+  const std::vector<std::string> model_names = {"emotion_cnn", "mobilenet_v2",
+                                                "yolov3_tiny"};
+  const std::vector<core::FlowKind> flows = {
+      core::FlowKind::kTvmOnly, core::FlowKind::kByocApu,
+      core::FlowKind::kByocCpuApu};
+  for (const std::string& name : model_names) {
+    const relay::Module module = zoo::Build(name, bench::BenchOptions());
+    bench::ResetArenaWatermark();
+    double arena_peak = 0.0;
+    for (const core::FlowKind flow : flows) {
+      std::string error;
+      const core::InferenceSessionPtr session =
+          core::TryCompileFlow(module, flow, &error);
+      if (session == nullptr) {
+        std::cout << "skip " << name << " @ " << core::FlowName(flow) << ": "
+                  << error << "\n";
+        continue;
+      }
+      const double sim_us = session->EstimateLatency().total_us();
+      metrics["latency/" + name + "/" + core::FlowName(flow) + "/sim_us"] =
+          {sim_us, /*lower_is_better=*/true, /*gate=*/true};
+      const support::metrics::Gauge* arena =
+          support::metrics::Registry::Global().FindGauge("memory/arena/bytes");
+      if (arena != nullptr) arena_peak = std::max(arena_peak, arena->max());
+    }
+    // Peak planned arena across this model's flows: the static memory
+    // planner's footprint, deterministic per compiler version.
+    metrics["memory/" + name + "/arena_peak_bytes"] =
+        {arena_peak, /*lower_is_better=*/true, /*gate=*/true};
+  }
+
+  // ---- 2) serving throughput (wall clock, informational) -----------------
+  {
+    std::vector<serve::ServedModel> models;
+    {
+      serve::ServedModel model;
+      model.name = "snapshot-cpu";
+      model.module = ConvNet(8);
+      model.plan.primary = core::Assignment{core::FlowKind::kByocCpu, 0.0};
+      models.push_back(std::move(model));
+    }
+    serve::ServerOptions options;
+    options.queue_capacity = 32;
+    options.max_batch = 4;
+    serve::InferenceServer server(models, options);
+
+    std::vector<serve::ClientStream> streams(4);
+    for (auto& stream : streams) {
+      stream.model = "snapshot-cpu";
+      stream.inputs = {{"data", NDArray::Full(Shape({1, 3, 32, 32}),
+                                              DType::kFloat32, 0.25)}};
+    }
+    const serve::LoadResult result = serve::RunClosedLoop(server, streams, 16);
+    metrics["serve/closed_loop/throughput_rps"] =
+        {result.throughput_rps, /*lower_is_better=*/false, /*gate=*/false};
+    metrics["serve/closed_loop/ok"] =
+        {static_cast<double>(result.ok), /*lower_is_better=*/false,
+         /*gate=*/false};
+  }
+
+  WriteSnapshot(metrics, path);
+  std::cout << "\nwrote " << metrics.size() << " metrics to " << path << "\n";
+  return 0;
+}

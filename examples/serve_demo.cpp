@@ -9,20 +9,29 @@
 //
 // Build & run:  ./build/examples/serve_demo [--streams N] [--requests M]
 //                                           [--capacity Q] [--overload]
+//                                           [--trace[=path]] [--metrics[=path]]
+//                                           [--flight-record=path]
 //
 // The run ends with the serving metrics: per-model latency percentiles,
 // queue-depth high-watermarks, and the shed/fallback/expired counters (see
-// README "Serving" for how to read them).
+// README "Serving" for how to read them). `--trace` writes the Chrome-trace
+// export (every span tagged with its request's req_id), `--metrics` a
+// metrics snapshot (Prometheus text for .prom paths, JSON otherwise), and
+// `--flight-record` arms the flight recorder: an overload shed-storm dumps
+// the last moments of trace + metrics to the given path automatically.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "frontend/common.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
+#include "support/flight_recorder.h"
 #include "support/string_util.h"
 #include "support/table.h"
+#include "support/trace.h"
 
 using namespace tnp;
 using support::metrics::Registry;
@@ -56,6 +65,22 @@ serve::ServedModel Stage(const std::string& name, int channels, core::FlowKind p
   return model;
 }
 
+/// Write a metrics snapshot: Prometheus text exposition when `path` ends in
+/// ".prom", the JSON document otherwise.
+void WriteMetricsSnapshot(const std::string& path) {
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write metrics snapshot to " << path << "\n";
+    return;
+  }
+  out << (prometheus ? support::metrics::ExportPrometheus()
+                     : support::metrics::ExportJson());
+  std::cout << "  wrote " << (prometheus ? "Prometheus" : "JSON")
+            << " metrics snapshot to " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +88,9 @@ int main(int argc, char** argv) {
   int requests = 40;
   std::size_t capacity = 8;
   bool overload = false;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> int { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
@@ -70,10 +98,31 @@ int main(int argc, char** argv) {
     else if (arg == "--requests") requests = next();
     else if (arg == "--capacity") capacity = static_cast<std::size_t>(next());
     else if (arg == "--overload") overload = true;
+    else if (arg == "--trace") trace_path = "serve_trace.json";
+    else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    else if (arg == "--metrics") metrics_path = "serve_metrics.json";
+    else if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
+    else if (arg.rfind("--flight-record=", 0) == 0) flight_path = arg.substr(16);
   }
   if (streams < 1 || requests < 1 || capacity < 1) {
-    std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q] [--overload]\n";
+    std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
+                 " [--overload] [--trace[=path]] [--metrics[=path]]"
+                 " [--flight-record=path]\n";
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    support::Tracer::Global().SetCapacity(1 << 16);
+    support::Tracer::Global().SetEnabled(true);
+  }
+  if (!flight_path.empty()) {
+    // Armed flight recorder: a shed-storm (overload) automatically preserves
+    // the trace tail + metrics snapshot of the moments before the incident.
+    support::FlightRecorderOptions flight;
+    flight.path = flight_path;
+    flight.shed_storm_threshold = 16;
+    flight.shed_storm_window_ms = 500.0;
+    support::FlightRecorder::Global().Configure(flight);
   }
 
   std::cout << "starting server: 3 models, queue capacity " << capacity
@@ -148,6 +197,20 @@ int main(int argc, char** argv) {
             << Registry::Global().GetCounter("serve/pool/compiles").value()
             << " compiles, " << Registry::Global().GetCounter("serve/pool/reuse").value()
             << " warm reuses\n";
+
+  std::cout << "\n";
+  if (!trace_path.empty()) {
+    support::Tracer::Global().Export(trace_path);
+    std::cout << "  wrote Chrome trace to " << trace_path
+              << " (chrome://tracing or ui.perfetto.dev; spans carry req_id)\n";
+  }
+  if (!metrics_path.empty()) WriteMetricsSnapshot(metrics_path);
+  if (!flight_path.empty() &&
+      support::FlightRecorder::Global().dumps() == 0) {
+    // No storm fired: dump manually so the run still leaves a record.
+    support::FlightRecorder::Global().Dump("end-of-run");
+    std::cout << "  wrote flight record to " << flight_path << "\n";
+  }
 
   // A served request either completed or was explicitly refused — nothing
   // may vanish inside the server.

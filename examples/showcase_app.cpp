@@ -6,6 +6,8 @@
 //
 // Build & run:  ./build/examples/showcase_app [num_frames] [--frames N]
 //                                             [--seed S] [--trace[=path]]
+//                                             [--metrics[=path]]
+//                                             [--flight-record=path]
 //
 // --frames N sizes the run and --seed S makes it reproducible (the seed
 // feeds both the synthetic scene and the models' weights), so command lines
@@ -16,10 +18,16 @@
 // Neuron Execution Planner, kernel dispatch, pipeline stages) and writes a
 // Chrome-trace JSON loadable in chrome://tracing / ui.perfetto.dev.
 // Tracing can also be enabled with TNP_TRACE=1 in the environment.
+// --metrics writes the end-of-run metrics snapshot (Prometheus text for
+// .prom paths, JSON otherwise); --flight-record dumps the flight-recorder
+// document (trace tail + metrics) to the given path when the run ends.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "support/flight_recorder.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 #include "vision/app.h"
 
@@ -30,11 +38,18 @@ int main(int argc, char** argv) {
   int num_frames = 6;
   std::uint64_t seed = 7;
   std::string trace_path;
+  std::string metrics_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace", 0) == 0) {
       trace_path = arg.size() > 8 && arg[7] == '=' ? arg.substr(8) : "showcase_trace.json";
       support::Tracer::Global().SetEnabled(true);
+    } else if (arg.rfind("--metrics", 0) == 0) {
+      metrics_path =
+          arg.size() > 10 && arg[9] == '=' ? arg.substr(10) : "showcase_metrics.json";
+    } else if (arg.rfind("--flight-record=", 0) == 0) {
+      flight_path = arg.substr(16);
     } else if (arg == "--frames" && i + 1 < argc) {
       num_frames = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -43,9 +58,14 @@ int main(int argc, char** argv) {
       num_frames = std::atoi(arg.c_str());
     } else {
       std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
-                   "[--trace[=path]]\n";
+                   "[--trace[=path]] [--metrics[=path]] [--flight-record=path]\n";
       return 2;
     }
+  }
+  if (!flight_path.empty()) {
+    support::FlightRecorderOptions flight;
+    flight.path = flight_path;
+    support::FlightRecorder::Global().Configure(flight);
   }
   if (num_frames < 1) {
     std::cerr << "showcase_app: frame count must be >= 1\n";
@@ -111,6 +131,23 @@ int main(int argc, char** argv) {
     std::cout << "\ntrace: " << support::Tracer::Global().Snapshot().size()
               << " events written to " << trace_path
               << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    const bool prometheus = metrics_path.size() >= 5 &&
+                            metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
+    std::ofstream out(metrics_path);
+    if (out.good()) {
+      out << (prometheus ? support::metrics::ExportPrometheus()
+                         : support::metrics::ExportJson());
+      std::cout << "metrics: " << (prometheus ? "Prometheus" : "JSON")
+                << " snapshot written to " << metrics_path << "\n";
+    } else {
+      std::cerr << "cannot write metrics snapshot to " << metrics_path << "\n";
+    }
+  }
+  if (!flight_path.empty()) {
+    support::FlightRecorder::Global().Dump("end-of-run");
+    std::cout << "flight record written to " << flight_path << "\n";
   }
   return identical ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace core {
@@ -73,6 +74,11 @@ class Pipeline {
   /// Push all packets through every stage; returns surviving packets in
   /// completion order of the final stage (input order is preserved because
   /// each stage is a single worker).
+  ///
+  /// Each packet is minted a request-scoped TraceContext at the feeder and
+  /// carries it across every stage's thread handoff, so all of a frame's
+  /// stage spans (and the session/kernel spans they enclose) share one
+  /// req_id in the trace export — same discipline as the serving runtime.
   std::vector<Packet> Run(std::vector<Packet> packets) {
     const std::size_t num_stages = stages_.size();
     std::vector<BoundedQueue> queues(num_stages + 1);
@@ -96,44 +102,56 @@ class Pipeline {
     // (pushing everything up front would deadlock once the packets in
     // flight exceed the total queue capacity).
     std::thread feeder([&packets, &queues] {
-      for (auto& packet : packets) queues.front().Push(std::move(packet));
+      for (auto& packet : packets) {
+        Item item;
+        item.trace = support::TraceContext::NewRequest();
+        item.packet = std::move(packet);
+        queues.front().Push(std::move(item));
+      }
       queues.front().Close();
     });
 
     std::vector<Packet> results;
-    while (auto packet = queues.back().Pop()) results.push_back(std::move(*packet));
+    while (auto item = queues.back().Pop()) results.push_back(std::move(item->packet));
     feeder.join();
     for (auto& worker : workers) worker.join();
     return results;
   }
 
  private:
+  /// A packet in flight plus the trace identity it carries between stage
+  /// threads (explicit context handoff).
+  struct Item {
+    Packet packet;
+    support::TraceContext trace;
+  };
+
   struct BoundedQueue {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Packet> items;
+    std::deque<Item> items;
     std::size_t capacity = 4;
     bool closed = false;
     support::metrics::Gauge* depth_gauge = nullptr;  ///< current depth + watermark
     std::string depth_name;                          ///< trace counter track name
 
-    void Push(Packet packet) {
+    void Push(Item item) {
       std::unique_lock<std::mutex> lock(mutex);
       cv.wait(lock, [this] { return items.size() < capacity; });
-      items.push_back(std::move(packet));
+      items.push_back(std::move(item));
       RecordDepth();
       cv.notify_all();
     }
 
-    std::optional<Packet> Pop() {
+    std::optional<Item> Pop() {
       std::unique_lock<std::mutex> lock(mutex);
       cv.wait(lock, [this] { return !items.empty() || closed; });
       if (items.empty()) return std::nullopt;
-      Packet packet = std::move(items.front());
+      Item item = std::move(items.front());
       items.pop_front();
       RecordDepth();
       cv.notify_all();
-      return packet;
+      return item;
     }
 
     /// Called with `mutex` held.
@@ -156,12 +174,15 @@ class Pipeline {
         support::metrics::Registry::Global().GetHistogram("pipeline/stage/" + stage.name +
                                                           "/us");
     while (true) {
-      std::optional<Packet> packet;
+      std::optional<Item> item;
       {
         TNP_TRACE_SCOPE("pipeline", stage.name + ":dequeue");
-        packet = in.Pop();
+        item = in.Pop();
       }
-      if (!packet) break;
+      if (!item) break;
+      // Re-install the frame's trace context for everything the stage does
+      // on this thread (run + enqueue spans, nested session/kernel spans).
+      support::TraceContextScope trace_scope(item->trace);
       std::optional<Packet> result;
       const auto start = std::chrono::steady_clock::now();
       {
@@ -177,14 +198,17 @@ class Pipeline {
         for (const sim::Resource resource : sorted) {
           held.emplace_back(locks_->Of(resource));
         }
-        result = stage.fn(std::move(*packet));
+        result = stage.fn(std::move(item->packet));
       }
       stage_us.Record(std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - start)
                           .count());
       if (result) {
         TNP_TRACE_SCOPE("pipeline", stage.name + ":enqueue");
-        out.Push(std::move(*result));
+        Item next;
+        next.packet = std::move(*result);
+        next.trace = item->trace;
+        out.Push(std::move(next));
       }
     }
     out.Close();

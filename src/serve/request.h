@@ -75,6 +75,11 @@ struct ServeResponse {
   double sim_us = 0.0;    ///< simulated device time of the run
   int batch_size = 0;     ///< size of the micro-batch this request rode in
   std::uint64_t client_id = 0;
+
+  /// Request id minted at admission; every trace span this request caused
+  /// carries the same id in the Chrome-trace export (`args.req_id`), so a
+  /// response can be correlated with its spans after the fact.
+  std::uint64_t req_id = 0;
 };
 
 }  // namespace serve

@@ -23,6 +23,7 @@
 
 #include "serve/request.h"
 #include "support/metrics.h"
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace serve {
@@ -38,6 +39,11 @@ struct QueuedRequest {
   bool fell_back = false;
   double enqueue_us = 0.0;  ///< server-clock admission time
   std::uint64_t seq = 0;    ///< FIFO tiebreak, assigned by the queue
+  /// Trace identity minted at admission; the executor re-installs it at
+  /// dispatch so the request's spans stay causally linked across the
+  /// queue's thread handoff.
+  support::TraceContext trace;
+  double trace_enqueue_us = 0.0;  ///< tracer-timebase admission time
 };
 
 class RequestQueue {

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <utility>
 
+#include "support/flight_recorder.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace serve {
@@ -35,6 +37,17 @@ support::metrics::Counter& Expired() {
 support::metrics::Counter& Completed() {
   static auto& counter = Registry::Global().GetCounter("serve/completed");
   return counter;
+}
+
+/// Admitted request ids of a batch as "id1,id2,..." — the batch span's link
+/// to its member requests (evaluated only when tracing is enabled).
+std::string JoinRequestIds(const std::vector<QueuedRequest>& batch) {
+  std::string out;
+  for (const auto& entry : batch) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(entry.trace.req_id);
+  }
+  return out;
 }
 
 /// Copy `src` into the caller-provided `dst` when compatible; returns false
@@ -152,11 +165,26 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   entry.flow = model->plan.primary.flow;
   entry.session_key = SessionKey(request.model, entry.flow);
   entry.enqueue_us = NowUs();
+  // Mint the request's trace identity at admission; it travels inside the
+  // QueuedRequest across the queue's thread handoff, so every span the
+  // request causes — here, at dispatch, inside the session — carries the
+  // same req_id in the export.
+  entry.trace = support::TraceContext::NewRequest();
+  entry.trace_enqueue_us = support::Tracer::Global().NowUs();
   entry.request = std::move(request);
   std::future<ServeResponse> future = entry.promise.get_future();
 
+  const std::string model_name = entry.request.model;
+  const int priority = entry.request.priority;
+  support::TraceContextScope trace_scope(entry.trace);
+
   const std::size_t primary_queue = QueueIndexOf(*model, entry.flow);
-  if (queues_[primary_queue]->TryPush(entry)) return future;
+  if (queues_[primary_queue]->TryPush(entry)) {
+    TNP_TRACE_INSTANT("serve.request", "submit", support::TraceArg("model", model_name),
+                      support::TraceArg("priority", priority),
+                      support::TraceArg("queue", queues_[primary_queue]->name()));
+    return future;
+  }
 
   // Admission control. The primary queue is saturated: degrade eligible
   // requests to the scheduler's next-best CPU-only flow (a different queue,
@@ -171,12 +199,24 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
       entry.fell_back = true;
       if (queues_[fallback_queue]->TryPush(entry)) {
         Fallbacks().Increment();
+        TNP_TRACE_INSTANT("serve.request", "submit",
+                          support::TraceArg("model", model_name),
+                          support::TraceArg("priority", priority),
+                          support::TraceArg("queue", queues_[fallback_queue]->name()),
+                          support::TraceArg("fell_back", true));
         return future;
       }
     }
   }
 
   Shed().Increment();
+  // Overload signal: arms the flight recorder's shed-storm detector (cheap
+  // no-op while the recorder is disarmed).
+  support::FlightRecorder::Global().RecordShed();
+  TNP_TRACE_INSTANT("serve.request", "shed", support::TraceArg("model", model_name),
+                    support::TraceArg("priority", priority));
+  TNP_LOG(DEBUG) << "shed at admission" << support::KV("model", model_name)
+                 << support::KV("priority", priority);
   ServeResponse response;
   response.status = ServeStatus::kShed;
   Respond(std::move(entry), std::move(response));
@@ -189,23 +229,39 @@ void InferenceServer::ExecutorLoop(std::size_t queue_index) {
     std::vector<QueuedRequest> batch =
         queue.PopBatch(options_.max_batch, options_.batch_window_us);
     if (batch.empty()) return;  // closed and drained
-    RunBatch(std::move(batch));
+    RunBatch(std::move(batch), queue.name());
   }
 }
 
-void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
+void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
+                               const std::string& queue_name) {
   static auto& batch_size_hist = Registry::Global().GetHistogram("serve/batch/size");
   static auto& queue_wait_hist = Registry::Global().GetHistogram("serve/queue_wait/us");
   static auto& run_hist = Registry::Global().GetHistogram("serve/run/us");
   static auto& request_hist = Registry::Global().GetHistogram("serve/request/us");
 
-  // Drop entries whose deadline passed while queued.
+  // Drop entries whose deadline passed while queued. Expiry is recorded per
+  // deadline class: "serve/expired/p<priority>/late_us" histograms how far
+  // past its deadline each dropped request of that priority was.
   std::vector<QueuedRequest> live;
   live.reserve(batch.size());
   for (auto& entry : batch) {
     const double deadline = entry.request.deadline_us;
-    if (deadline > 0.0 && NowUs() > deadline) {
+    const double now = NowUs();
+    if (deadline > 0.0 && now > deadline) {
       Expired().Increment();
+      Registry::Global()
+          .GetHistogram("serve/expired/p" + std::to_string(entry.request.priority) +
+                        "/late_us")
+          .Record(now - deadline);
+      support::TraceContextScope trace_scope(entry.trace);
+      TNP_TRACE_INSTANT("serve.request", "expired",
+                        support::TraceArg("model", entry.request.model),
+                        support::TraceArg("priority", entry.request.priority),
+                        support::TraceArg("late_us", now - deadline));
+      TNP_LOG(DEBUG) << "expired in queue" << support::KV("model", entry.request.model)
+                     << support::KV("priority", entry.request.priority)
+                     << support::KV("late_us", now - deadline);
       ServeResponse response;
       response.status = ServeStatus::kExpired;
       Respond(std::move(entry), std::move(response));
@@ -222,8 +278,12 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
   TNP_CHECK(model != nullptr);
   const core::FlowKind flow = live.front().flow;
 
+  // The batch span links every member request: a micro-batched request's
+  // critical path crosses this shared span, so the span lists all member
+  // req_ids instead of claiming a single owner.
   TNP_TRACE_SCOPE("serve", "batch:" + session_key,
-                  support::TraceArg("batch", static_cast<int>(live.size())));
+                  support::TraceArg("batch", static_cast<int>(live.size())),
+                  support::TraceArg("req_ids", JoinRequestIds(live)));
 
   SessionPool::Lease lease = pool_.Checkout(session_key);
 
@@ -239,8 +299,18 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
   for (const sim::Resource resource : resources) held.emplace_back(locks_->Of(resource));
 
   for (auto& entry : live) {
+    // Explicit handoff: re-install the context minted at admission, so the
+    // spans below — and everything the session nests under them (flow run,
+    // GraphExecutor, Neuron execute, kernels) — tag this request.
+    support::TraceContextScope trace_scope(entry.trace);
     const double dispatch_us = NowUs();
     queue_wait_hist.Record(dispatch_us - entry.enqueue_us);
+    // Queue-wait span, stamped retroactively now that the wait is over
+    // (admission -> dispatch, in the tracer timebase).
+    support::Tracer::Global().Emit(
+        "serve.request", "queue:" + queue_name, entry.trace_enqueue_us,
+        support::Tracer::Global().NowUs() - entry.trace_enqueue_us,
+        {support::TraceArg("model", entry.request.model)});
 
     ServeResponse response;
     response.model = entry.request.model;
@@ -252,7 +322,8 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
         lease->SetInput(input_name, value);
       }
       {
-        TNP_TRACE_SCOPE("serve", "run:" + session_key);
+        TNP_TRACE_SCOPE("serve.request", "run:" + session_key,
+                        support::TraceArg("fell_back", entry.fell_back));
         lease->Run();
       }
       response.sim_us = lease->last_clock().total_us();
@@ -296,6 +367,7 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch) {
 
 void InferenceServer::Respond(QueuedRequest entry, ServeResponse response) {
   response.client_id = entry.request.client_id;
+  response.req_id = entry.trace.req_id;
   if (response.model.empty()) response.model = entry.request.model;
   if (response.total_us == 0.0) response.total_us = NowUs() - entry.enqueue_us;
   entry.promise.set_value(std::move(response));

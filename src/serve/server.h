@@ -109,7 +109,7 @@ class InferenceServer {
   std::vector<sim::Resource> ResourcesOf(const ServedModel& model,
                                          core::FlowKind flow) const;
   void ExecutorLoop(std::size_t queue_index);
-  void RunBatch(std::vector<QueuedRequest> batch);
+  void RunBatch(std::vector<QueuedRequest> batch, const std::string& queue_name);
   void Respond(QueuedRequest entry, ServeResponse response);
 
   ServerOptions options_;

@@ -1,0 +1,130 @@
+#include "support/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // outlives teardown
+  return *recorder;
+}
+
+void FlightRecorder::Configure(FlightRecorderOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = std::move(options);
+  armed_ = true;
+  storm_dumped_ = false;
+  shed_times_.clear();
+}
+
+void FlightRecorder::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  shed_times_.clear();
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+std::string FlightRecorder::Render(const std::string& reason) const {
+  std::size_t max_events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_events = options_.max_events;
+  }
+  Tracer& tracer = Tracer::Global();
+  std::string out = "{\"reason\":";
+  AppendJsonString(out, reason);
+  out += ",\"dump_ts_us\":" + std::to_string(tracer.NowUs());
+  out += ",\"trace_dropped\":" + std::to_string(tracer.dropped());
+  out += ",\"trace\":" + tracer.ExportChromeTrace(max_events);
+  out += ",\"metrics\":" + metrics::ExportJson();
+  out += "}";
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason,
+                                 const std::string& path_override) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = path_override.empty() ? options_.path : path_override;
+  }
+  const std::string document = Render(reason);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    TNP_THROW(kRuntimeError) << "cannot open flight-record output file '" << path << "'";
+  }
+  file.write(document.data(), static_cast<std::streamsize>(document.size()));
+  if (!file) {
+    TNP_THROW(kRuntimeError) << "failed writing flight-record file '" << path << "'";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++dumps_;
+  }
+  TNP_LOG(WARNING) << "flight recorder dumped (" << reason << ") to " << path;
+  return path;
+}
+
+void FlightRecorder::RecordShed() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || options_.shed_storm_threshold <= 0 || storm_dumped_) return;
+    const auto now = std::chrono::steady_clock::now();
+    shed_times_.push_back(now);
+    const auto window = std::chrono::duration<double, std::milli>(
+        options_.shed_storm_window_ms);
+    while (!shed_times_.empty() &&
+           std::chrono::duration<double, std::milli>(now - shed_times_.front()) >
+               window) {
+      shed_times_.pop_front();
+    }
+    if (static_cast<int>(shed_times_.size()) < options_.shed_storm_threshold) return;
+    storm_dumped_ = true;  // one-shot until re-Configure
+    shed_times_.clear();
+  }
+  Dump("shed-storm");
+}
+
+std::int64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,78 @@
+// Crash/overload flight recorder: dumps the tail of the trace ring plus a
+// full metrics snapshot to disk, on demand or automatically when a
+// shed-storm is detected — so the moments *before* an incident are
+// preserved even though the trace ring keeps overwriting itself.
+//
+// The dump is one JSON document:
+//
+//   {"reason": "...", "dump_ts_us": <tracer timebase>,
+//    "trace_dropped": <ring overwrites>,
+//    "trace": {"traceEvents": [...last N events...]},
+//    "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}
+//
+// Arming is explicit (Configure); RecordShed() is a cheap no-op while
+// disarmed, so the serving hot path can call it unconditionally. Shed-storm
+// detection is a sliding window: `shed_storm_threshold` sheds within
+// `shed_storm_window_ms` triggers one automatic dump (re-armed by the next
+// Configure), mirroring how overload incidents are captured in production
+// servers without writing a file per shed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace tnp {
+namespace support {
+
+struct FlightRecorderOptions {
+  /// Where automatic (and default manual) dumps land.
+  std::string path = "flight_record.json";
+  /// Newest trace-ring events preserved in a dump.
+  std::size_t max_events = 4096;
+  /// Sheds within the window that trigger an automatic dump; 0 disables
+  /// automatic triggering (manual Dump still works while armed).
+  int shed_storm_threshold = 0;
+  double shed_storm_window_ms = 100.0;
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Arm with `options` (replaces any previous configuration and re-arms
+  /// the one-shot shed-storm trigger).
+  void Configure(FlightRecorderOptions options);
+  void Disarm();
+  bool armed() const;
+
+  /// Serialize the dump document (always available, armed or not).
+  std::string Render(const std::string& reason) const;
+  /// Render + write to the configured path (or `path_override`). Returns
+  /// the path written. Throws tnp::Error on I/O failure.
+  std::string Dump(const std::string& reason, const std::string& path_override = "");
+
+  /// Overload signal from the serving layer: cheap while disarmed. When the
+  /// configured storm threshold is crossed inside the sliding window, dumps
+  /// once with reason "shed-storm".
+  void RecordShed();
+
+  /// Automatic + manual dumps since process start.
+  std::int64_t dumps() const;
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  FlightRecorderOptions options_;
+  bool storm_dumped_ = false;
+  std::deque<std::chrono::steady_clock::time_point> shed_times_;
+  std::int64_t dumps_ = 0;
+};
+
+}  // namespace support
+}  // namespace tnp

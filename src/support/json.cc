@@ -1,0 +1,245 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace support {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    ok_ = true;
+    SkipWs();
+    *out = ParseValue();
+    SkipWs();
+    if (ok_ && pos_ != text_.size()) Fail("trailing characters after JSON value");
+    if (!ok_ && error != nullptr) *error = error_;
+    return ok_;
+  }
+
+ private:
+  void Fail(const std::string& message) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = message + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c) {
+    if (!Consume(c)) Fail(std::string("expected '") + c + "'");
+  }
+
+  JsonValue ParseValue() {
+    JsonValue value;
+    if (!ok_) return value;
+    const char c = Peek();
+    if (c == '{') {
+      ParseObject(&value);
+    } else if (c == '[') {
+      ParseArray(&value);
+    } else if (c == '"') {
+      value.kind_ = JsonValue::Kind::kString;
+      value.string_ = ParseString();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      value.kind_ = JsonValue::Kind::kNumber;
+      value.number_ = ParseNumber();
+    } else if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      value.kind_ = JsonValue::Kind::kBool;
+      value.bool_ = true;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      value.kind_ = JsonValue::Kind::kBool;
+      value.bool_ = false;
+    } else if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      Fail("unexpected character");
+    }
+    return value;
+  }
+
+  void ParseObject(JsonValue* value) {
+    value->kind_ = JsonValue::Kind::kObject;
+    Expect('{');
+    SkipWs();
+    if (Consume('}')) return;
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      SkipWs();
+      JsonValue member = ParseValue();
+      if (!ok_) return;
+      value->object_.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume('}')) return;
+      Expect(',');
+      if (!ok_) return;
+    }
+  }
+
+  void ParseArray(JsonValue* value) {
+    value->kind_ = JsonValue::Kind::kArray;
+    Expect('[');
+    SkipWs();
+    if (Consume(']')) return;
+    for (;;) {
+      SkipWs();
+      JsonValue element = ParseValue();
+      if (!ok_) return;
+      value->array_.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) return;
+      Expect(',');
+      if (!ok_) return;
+    }
+  }
+
+  std::string ParseString() {
+    std::string result;
+    if (!Consume('"')) {
+      Fail("expected string");
+      return result;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return result;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return result;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': result += '"'; break;
+          case '\\': result += '\\'; break;
+          case '/': result += '/'; break;
+          case 'b': result += '\b'; break;
+          case 'f': result += '\f'; break;
+          case 'n': result += '\n'; break;
+          case 'r': result += '\r'; break;
+          case 't': result += '\t'; break;
+          case 'u': {
+            for (int i = 1; i <= 4; ++i) {
+              if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                Fail("invalid \\u escape");
+                return result;
+              }
+            }
+            // Keep the escape verbatim (no surrogate decoding needed by
+            // any consumer — metric/span names are ASCII).
+            result += "\\u";
+            result += text_.substr(pos_ + 1, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            Fail("invalid escape character");
+            return result;
+        }
+        ++pos_;
+        continue;
+      }
+      result += c;
+      ++pos_;
+    }
+    Fail("unterminated string");
+    return result;
+  }
+
+  double ParseNumber() {
+    const std::size_t start = pos_;
+    Consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Fail("invalid number");
+      return 0.0;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("invalid number fraction");
+        return 0.0;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("invalid number exponent");
+        return 0.0;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+JsonValue JsonValue::Parse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  if (!JsonParser(text).Parse(&value, &error)) {
+    TNP_THROW(kParseError) << "invalid JSON: " << error;
+  }
+  return value;
+}
+
+bool JsonValue::TryParse(const std::string& text, JsonValue* out, std::string* error) {
+  return JsonParser(text).Parse(out, error);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [member_key, member] : object_) {
+    if (member_key == key) return &member;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_number() ? member->number() : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key, std::string fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_string() ? member->string() : std::move(fallback);
+}
+
+}  // namespace support
+}  // namespace tnp

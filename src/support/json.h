@@ -1,0 +1,62 @@
+// Minimal JSON document parser (RFC 8259 subset: no surrogate decoding —
+// \uXXXX escapes keep their literal text) for the telemetry tooling:
+// bench_compare diffs metric snapshots, the flight-recorder test re-reads
+// dumps, and the serve tracing test reconstructs requests from the
+// Chrome-trace export. Parsing only; serialization stays with the
+// producers (Tracer::ExportChromeTrace, metrics::ExportJson).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse `text` as one JSON document. Throws tnp::Error(kParseError) on
+  /// malformed input (offset included in the message).
+  static JsonValue Parse(const std::string& text);
+  /// Non-throwing variant; fills `error` (when given) on failure.
+  static bool TryParse(const std::string& text, JsonValue* out,
+                       std::string* error = nullptr);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Member's number/string with a default when absent or wrongly typed.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key, std::string fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;  // document order
+
+  friend class JsonParser;
+};
+
+}  // namespace support
+}  // namespace tnp

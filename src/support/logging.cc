@@ -1,8 +1,11 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace support {
@@ -20,6 +23,11 @@ LogLevel ParseLevelFromEnv() {
   return LogLevel::kInfo;
 }
 
+std::atomic<int>& ActiveLevelStore() {
+  static std::atomic<int> level{static_cast<int>(ParseLevelFromEnv())};
+  return level;
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -35,11 +43,40 @@ std::mutex& LogMutex() {
   return mutex;
 }
 
+/// Protected by LogMutex(); nullptr = stderr.
+std::ostream*& SinkStore() {
+  static std::ostream* sink = nullptr;
+  return sink;
+}
+
 }  // namespace
 
 LogLevel ActiveLogLevel() {
-  static const LogLevel level = ParseLevelFromEnv();
-  return level;
+  return static_cast<LogLevel>(ActiveLevelStore().load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  ActiveLevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  SinkStore() = sink;
+}
+
+std::ostream& operator<<(std::ostream& os, const LogField& field) {
+  os << " " << field.key << "=";
+  if (field.quoted) {
+    os << '"';
+    for (const char c : field.value) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  } else {
+    os << field.value;
+  }
+  return os;
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -52,8 +89,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
+  // Correlate log lines with the request's trace spans for free.
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.active()) stream_ << " req_id=" << ctx.req_id;
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::cerr << stream_.str() << "\n";
+  std::ostream* sink = SinkStore();
+  (sink != nullptr ? *sink : std::cerr) << stream_.str() << "\n";
 }
 
 CheckFailure::CheckFailure(const char* file, int line, const char* expr) {

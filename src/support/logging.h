@@ -1,9 +1,21 @@
-// Minimal leveled logging + check macros.
+// Minimal leveled logging + check macros, with structured key=value fields.
 //
 // TNP_CHECK(cond) << "msg"   -- throws tnp::InternalError when cond is false.
 // TNP_THROW(kind) << "msg"   -- throws tnp::Error of the given kind.
 // TNP_LOG(INFO) << "msg"     -- leveled logging to stderr (level filtered by
-//                               the TNP_LOG_LEVEL environment variable).
+//                               the TNP_LOG_LEVEL environment variable or
+//                               SetLogLevel at runtime).
+//
+// Structured fields: stream KV("key", value) items and they render as
+// trailing `key=value` pairs (string values quoted), machine-greppable and
+// ordered after the free-text message:
+//
+//   TNP_LOG(INFO) << "admitted" << KV("model", name) << KV("flow", flow);
+//     => [INFO server.cc:42] admitted model="det" flow="BYOC(CPU)" req_id=7
+//
+// When a request TraceContext is installed on the thread (trace_context.h),
+// every line automatically carries `req_id=<id>` — log lines correlate with
+// the Chrome-trace spans of the same request without any caller plumbing.
 #pragma once
 
 #include <sstream>
@@ -16,10 +28,42 @@ namespace support {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Currently active minimum level (read once from TNP_LOG_LEVEL; default INFO).
+/// Currently active minimum level. Initialized from TNP_LOG_LEVEL
+/// ("DEBUG"/"0" ... "ERROR"/"3", default INFO), adjustable with SetLogLevel.
 LogLevel ActiveLogLevel();
+void SetLogLevel(LogLevel level);
 
-/// Stream that emits one log line on destruction.
+/// Redirect log output (tests). nullptr restores stderr.
+void SetLogSink(std::ostream* sink);
+
+/// One structured key=value field. Numbers render bare, strings quoted.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool quoted = false;
+};
+
+inline LogField KV(std::string key, const std::string& value) {
+  return LogField{std::move(key), value, true};
+}
+inline LogField KV(std::string key, const char* value) {
+  return LogField{std::move(key), value, true};
+}
+inline LogField KV(std::string key, bool value) {
+  return LogField{std::move(key), value ? "true" : "false", false};
+}
+template <typename T>
+LogField KV(std::string key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  return LogField{std::move(key), os.str(), false};
+}
+
+/// Renders ` key=value` (strings quoted) at the point the field is streamed.
+std::ostream& operator<<(std::ostream& os, const LogField& field);
+
+/// Stream that emits one log line on destruction: the streamed text/fields,
+/// then `req_id=<id>` from the thread's trace context when one is active.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

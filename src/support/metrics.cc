@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -188,6 +189,25 @@ std::string Registry::DumpText() const {
   return os.str();
 }
 
+std::vector<MetricRef> Registry::Entries() const {
+  std::vector<MetricRef> refs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refs.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      MetricRef ref;
+      ref.name = name;
+      ref.counter = entry.counter.get();
+      ref.gauge = entry.gauge.get();
+      ref.histogram = entry.histogram.get();
+      refs.push_back(std::move(ref));
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const MetricRef& a, const MetricRef& b) { return a.name < b.name; });
+  return refs;
+}
+
 void Registry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, entry] : entries_) {
@@ -195,6 +215,137 @@ void Registry::Reset() {
     if (entry.gauge != nullptr) entry.gauge->Reset();
     if (entry.histogram != nullptr) entry.histogram->Reset();
   }
+}
+
+// ------------------------------------------------------------- exporters
+
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*, prefixed "tnp_".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "tnp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample values: plain decimal (never scientific for the common
+/// integral case, which keeps the exposition greppable).
+std::string PrometheusValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const Registry& registry) {
+  std::string out;
+  for (const MetricRef& ref : registry.Entries()) {
+    const std::string name = PrometheusName(ref.name);
+    if (ref.counter != nullptr) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(ref.counter->value()) + "\n";
+    }
+    if (ref.gauge != nullptr) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + PrometheusValue(ref.gauge->value()) + "\n";
+      out += "# TYPE " + name + "_max gauge\n";
+      out += name + "_max " + PrometheusValue(ref.gauge->max()) + "\n";
+    }
+    if (ref.histogram != nullptr) {
+      const HistogramSummary s = ref.histogram->Summarize();
+      out += "# TYPE " + name + " summary\n";
+      out += name + "{quantile=\"0.5\"} " + PrometheusValue(s.p50) + "\n";
+      out += name + "{quantile=\"0.95\"} " + PrometheusValue(s.p95) + "\n";
+      out += name + "{quantile=\"0.99\"} " + PrometheusValue(s.p99) + "\n";
+      out += name + "_sum " + PrometheusValue(s.mean * static_cast<double>(s.count)) + "\n";
+      out += name + "_count " + std::to_string(s.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const Registry& registry) {
+  const std::vector<MetricRef> refs = registry.Entries();
+  std::string out = "{";
+
+  const auto append_section = [&out, &refs](const char* section,
+                                            const auto& member_of,
+                                            const auto& render) {
+    AppendJsonString(out, section);
+    out += ":{";
+    bool first = true;
+    for (const MetricRef& ref : refs) {
+      if (member_of(ref) == nullptr) continue;
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(out, ref.name);
+      out += ":";
+      render(*member_of(ref));
+    }
+    out += "}";
+  };
+
+  append_section(
+      "counters", [](const MetricRef& r) { return r.counter; },
+      [&out](const Counter& c) { out += std::to_string(c.value()); });
+  out += ",";
+  append_section(
+      "gauges", [](const MetricRef& r) { return r.gauge; },
+      [&out](const Gauge& g) {
+        out += "{\"value\":" + JsonNumber(g.value()) + ",\"max\":" + JsonNumber(g.max()) +
+               "}";
+      });
+  out += ",";
+  append_section(
+      "histograms", [](const MetricRef& r) { return r.histogram; },
+      [&out](const Histogram& h) {
+        const HistogramSummary s = h.Summarize();
+        out += "{\"count\":" + std::to_string(s.count) +
+               ",\"min\":" + JsonNumber(s.min) + ",\"max\":" + JsonNumber(s.max) +
+               ",\"mean\":" + JsonNumber(s.mean) + ",\"stddev\":" + JsonNumber(s.stddev) +
+               ",\"p50\":" + JsonNumber(s.p50) + ",\"p95\":" + JsonNumber(s.p95) +
+               ",\"p99\":" + JsonNumber(s.p99) + "}";
+      });
+  out += "}";
+  return out;
 }
 
 }  // namespace metrics

@@ -86,6 +86,16 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// One registered metric, for exporters iterating the registry. The
+/// pointers stay valid for the process lifetime (metrics are never removed);
+/// at least one of the three is non-null.
+struct MetricRef {
+  std::string name;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
 class Registry {
  public:
   static Registry& Global();
@@ -105,6 +115,9 @@ class Registry {
   void DumpText(std::ostream& os) const;
   std::string DumpText() const;
 
+  /// Every registered metric, sorted by name (exporter iteration).
+  std::vector<MetricRef> Entries() const;
+
   /// Zero every metric in place; references stay valid.
   void Reset();
 
@@ -121,6 +134,20 @@ class Registry {
   Entry& Find(const std::string& name);
   const Entry* FindConst(const std::string& name) const;
 };
+
+// ------------------------------------------------------------- exporters
+
+/// Prometheus text exposition (version 0.0.4) of every registered metric.
+/// Slash-separated names sanitize to `tnp_`-prefixed underscore names
+/// ("serve/queue/cpu/depth" -> "tnp_serve_queue_cpu_depth"); gauges export
+/// their high-watermark as an extra `<name>_max` series, histograms export
+/// as summaries (quantile series + `_sum`/`_count`).
+std::string ExportPrometheus(const Registry& registry = Registry::Global());
+
+/// JSON snapshot: {"counters": {...}, "gauges": {name: {value, max}},
+/// "histograms": {name: {count, min, max, mean, stddev, p50, p95, p99}}}.
+/// Parseable by support::JsonValue (tested round-trip).
+std::string ExportJson(const Registry& registry = Registry::Global());
 
 }  // namespace metrics
 }  // namespace support

@@ -1,0 +1,82 @@
+#include "support/telemetry.h"
+
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsTelemetryDerived(const std::string& name) {
+  return name.rfind("telemetry/", 0) == 0;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(TelemetrySamplerOptions options)
+    : options_(options) {}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void TelemetrySampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, options_.period, [this] { return stop_; })) return;
+    }
+    SampleOnce();
+  }
+}
+
+void TelemetrySampler::SampleOnce() {
+  using metrics::MetricRef;
+  const std::vector<MetricRef> refs = metrics::Registry::Global().Entries();
+  for (const MetricRef& ref : refs) {
+    if (IsTelemetryDerived(ref.name)) continue;  // never sample our own output
+    if (options_.publish_trace_counters && ref.gauge != nullptr) {
+      TNP_TRACE_COUNTER("telemetry", ref.name, ref.gauge->value());
+    }
+    if (options_.publish_percentiles && ref.histogram != nullptr &&
+        EndsWith(ref.name, "/us")) {
+      const metrics::HistogramSummary s = ref.histogram->Summarize();
+      if (s.count == 0) continue;
+      auto& registry = metrics::Registry::Global();
+      registry.GetGauge("telemetry/" + ref.name + "/p50").Set(s.p50);
+      registry.GetGauge("telemetry/" + ref.name + "/p95").Set(s.p95);
+      registry.GetGauge("telemetry/" + ref.name + "/p99").Set(s.p99);
+    }
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,69 @@
+// Periodic telemetry sampler: a background thread that, on a fixed cadence,
+// re-publishes the live operational signals so they become *time series*
+// instead of point-in-time numbers:
+//
+//   - every gauge (queue depths, session-pool occupancy, arena bytes) is
+//     emitted as a Chrome-trace counter track, so the exported trace shows
+//     queue depth / pool in-flight / arena high-watermark over time;
+//   - every latency histogram (names ending "/us") publishes its rolling
+//     p50/p95/p99 as gauges under "telemetry/<name>/p50|p95|p99", giving
+//     exporters and the flight recorder current-percentile visibility
+//     without touching raw samples.
+//
+// The sampler is passive observation only: it never resets a metric, and
+// anything it publishes under "telemetry/" is excluded from sampling so the
+// cadence cannot feed back on itself.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace tnp {
+namespace support {
+
+struct TelemetrySamplerOptions {
+  std::chrono::milliseconds period{50};
+  /// Gauges -> Chrome-trace counter tracks (requires the tracer enabled).
+  bool publish_trace_counters = true;
+  /// "/us" histograms -> "telemetry/<name>/p50|p95|p99" gauges.
+  bool publish_percentiles = true;
+};
+
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetrySamplerOptions options = {});
+  ~TelemetrySampler();  ///< Stops the thread if running.
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Start the cadence thread (idempotent).
+  void Start();
+  /// Stop and join (idempotent; safe without Start).
+  void Stop();
+
+  /// One synchronous sampling pass — what the thread runs every period.
+  /// Public so tests and exit paths can sample deterministically.
+  void SampleOnce();
+
+  /// Completed sampling passes (thread + manual).
+  std::uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  TelemetrySamplerOptions options_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace support
+}  // namespace tnp

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "support/logging.h"
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace support {
@@ -39,6 +40,19 @@ void AppendJsonEscaped(std::string& out, const std::string& s) {
         }
     }
   }
+}
+
+/// Tag `args` with the calling thread's request context: req_id plus the
+/// causal parent span id. No-op without an installed context or when the
+/// caller already tagged the event.
+void AppendContextArgs(std::vector<TraceArg>& args) {
+  const TraceContext& ctx = CurrentTraceContext();
+  if (!ctx.active()) return;
+  for (const auto& arg : args) {
+    if (arg.key == "req_id") return;
+  }
+  args.emplace_back("req_id", ctx.req_id);
+  if (ctx.span_id != 0) args.emplace_back("parent", ctx.span_id);
 }
 
 void AppendArgs(std::string& out, const std::vector<TraceArg>& args) {
@@ -152,6 +166,7 @@ void Tracer::Emit(const char* category, std::string name, double ts_us, double d
   event.dur_us = dur_us;
   event.tid = TraceThreadId();
   event.args = std::move(args);
+  AppendContextArgs(event.args);
   Record(std::move(event));
 }
 
@@ -164,6 +179,7 @@ void Tracer::InstantImpl(const char* category, std::string name,
   event.ts_us = NowUs();
   event.tid = TraceThreadId();
   event.args = std::move(args);
+  AppendContextArgs(event.args);
   Record(std::move(event));
 }
 
@@ -199,8 +215,12 @@ std::vector<TraceEvent> Tracer::EventsSince(std::uint64_t seq) const {
   return filtered;
 }
 
-std::string Tracer::ExportChromeTrace() const {
-  const std::vector<TraceEvent> events = Snapshot();
+std::string Tracer::ExportChromeTrace(std::size_t max_events) const {
+  std::vector<TraceEvent> events = Snapshot();
+  if (max_events != 0 && events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.begin() + static_cast<std::ptrdiff_t>(events.size() - max_events));
+  }
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& event : events) {
@@ -251,7 +271,24 @@ void Tracer::Export(const std::string& path) const {
   }
 }
 
+void TraceScope::BeginContext() {
+  const TraceContext& ctx = CurrentTraceContext();
+  if (!ctx.active()) return;
+  ctx_req_id_ = ctx.req_id;
+  ctx_parent_id_ = ctx.span_id;
+  ctx_span_id_ = NewTraceId();
+  // Enclosed spans (and instants) attach to this span. TraceScopes destroy
+  // in LIFO order per thread, so End() restores the chain correctly.
+  detail::MutableCurrentTraceContext().span_id = ctx_span_id_;
+}
+
 void TraceScope::End() {
+  if (ctx_req_id_ != 0) {
+    detail::MutableCurrentTraceContext().span_id = ctx_parent_id_;
+    args_.emplace_back("req_id", ctx_req_id_);
+    args_.emplace_back("span", ctx_span_id_);
+    if (ctx_parent_id_ != 0) args_.emplace_back("parent", ctx_parent_id_);
+  }
   Tracer& tracer = Tracer::Global();
   TraceEvent event;
   event.name = std::move(name_);

@@ -142,8 +142,9 @@ class Tracer {
   std::vector<TraceEvent> EventsSince(std::uint64_t seq) const;
 
   /// Chrome-trace JSON ({"traceEvents": [...]}): load via chrome://tracing
-  /// or https://ui.perfetto.dev.
-  std::string ExportChromeTrace() const;
+  /// or https://ui.perfetto.dev. `max_events != 0` exports only the newest
+  /// `max_events` retained events (the flight recorder's last-N dump).
+  std::string ExportChromeTrace(std::size_t max_events = 0) const;
   /// Write ExportChromeTrace() to `path`; throws tnp::Error on I/O failure.
   void Export(const std::string& path) const;
 
@@ -170,6 +171,11 @@ int TraceThreadId();
 ///   if (scope.armed()) scope.Begin("relay.pass", name);
 ///   ... work ...
 ///   if (scope.armed()) scope.AddArg(support::TraceArg("nodes_out", n));
+///
+/// While a request TraceContext is installed on the thread (trace_context.h)
+/// each span additionally mints a span id, records req_id/span/parent args,
+/// and becomes the current parent for spans it encloses — this is what makes
+/// a request's critical path reconstructable from the export.
 class TraceScope {
  public:
   TraceScope() : armed_(Tracer::Global().enabled()) {}
@@ -186,6 +192,7 @@ class TraceScope {
     category_ = category;
     name_ = std::move(name);
     (args_.push_back(std::forward<Args>(args)), ...);
+    BeginContext();
     start_us_ = Tracer::Global().NowUs();
     begun_ = true;
   }
@@ -195,6 +202,9 @@ class TraceScope {
   }
 
  private:
+  /// Request-context bookkeeping (no-op when no context is installed):
+  /// mint a span id, remember the parent, install self as current parent.
+  void BeginContext();
   void End();
 
   bool armed_ = false;
@@ -202,6 +212,9 @@ class TraceScope {
   const char* category_ = "";
   std::string name_;
   double start_us_ = 0.0;
+  std::uint64_t ctx_req_id_ = 0;
+  std::uint64_t ctx_span_id_ = 0;
+  std::uint64_t ctx_parent_id_ = 0;
   std::vector<TraceArg> args_;
 };
 

@@ -1,0 +1,41 @@
+#include "support/trace_context.h"
+
+#include <atomic>
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+TraceContext& ThreadContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+}  // namespace
+
+std::uint64_t NewTraceId() {
+  static std::atomic<std::uint64_t> next_id{1};
+  return next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext TraceContext::NewRequest() {
+  TraceContext context;
+  context.req_id = NewTraceId();
+  context.span_id = NewTraceId();
+  return context;
+}
+
+const TraceContext& CurrentTraceContext() { return ThreadContext(); }
+
+TraceContext& detail::MutableCurrentTraceContext() { return ThreadContext(); }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : previous_(ThreadContext()) {
+  ThreadContext() = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { ThreadContext() = previous_; }
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,76 @@
+// Request-scoped trace context: the identity a request carries through the
+// serving stack so every span it causes — admission, queue wait, micro-batch
+// membership, session run, GraphExecutor/Neuron execution, kernel dispatch —
+// lands in the Chrome-trace export tagged with the same `req_id` and a
+// causal `parent` span id, and a single request's critical path can be
+// reconstructed even when it was batched with others.
+//
+// The context is thread-local with *explicit* handoff: it never leaks across
+// threads on its own. A producer captures the context into the unit of work
+// (e.g. serve::QueuedRequest::trace, a pipeline packet) and the consumer
+// re-installs it:
+//
+//   // admission (client thread)
+//   TraceContext ctx = TraceContext::NewRequest();
+//   entry.trace = ctx;                       // handoff travels with the work
+//   TraceContextScope scope(ctx);            // spans here tag req_id/parent
+//   TNP_TRACE_SCOPE("serve.request", "admit:" + model);
+//
+//   // dispatch (executor thread)
+//   TraceContextScope scope(entry.trace);    // re-install: causal chain
+//   TNP_TRACE_SCOPE("serve.request", "run:" + key);  // continues across the
+//   lease->Run();                                    // thread boundary
+//
+// While a context is installed, every TraceScope (TNP_TRACE_SCOPE) mints a
+// span id, records its parent, and re-installs itself as the current parent
+// for the spans it encloses — so nesting is tracked per-thread with zero
+// coordination. Instant events tag req_id/parent without minting ids.
+// When no context is installed (req_id == 0) nothing is tagged and the
+// tracing fast path is unchanged.
+#pragma once
+
+#include <cstdint>
+
+namespace tnp {
+namespace support {
+
+struct TraceContext {
+  /// Request identity; 0 means "no context" (spans are not tagged).
+  std::uint64_t req_id = 0;
+  /// Span id new child spans attach to (their `parent` arg). For a freshly
+  /// minted request this is the request's root span id.
+  std::uint64_t span_id = 0;
+
+  bool active() const { return req_id != 0; }
+
+  /// Mint a context for a brand-new request: fresh req_id plus a root span
+  /// id that the request's top-level spans attach to.
+  static TraceContext NewRequest();
+};
+
+/// Process-unique non-zero id (shared sequence for requests and spans).
+std::uint64_t NewTraceId();
+
+/// The calling thread's installed context ({0, 0} when none).
+const TraceContext& CurrentTraceContext();
+
+/// RAII installer: makes `ctx` the calling thread's current context and
+/// restores the previous one on destruction. Scopes nest (LIFO per thread).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+namespace detail {
+/// Mutable access for TraceScope's parent-chain bookkeeping (trace.cc).
+TraceContext& MutableCurrentTraceContext();
+}  // namespace detail
+
+}  // namespace support
+}  // namespace tnp

@@ -1,0 +1,261 @@
+// End-to-end trace reconstruction under concurrent micro-batched serving:
+// run a multi-client load with tracing enabled, re-parse the Chrome-trace
+// export, and assert that every admitted request is fully reconstructable by
+// its req_id — exactly one admission event, a causally linked span tree, and
+// exactly one micro-batch membership. Also covers the per-priority expiry
+// histogram the dispatcher records.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flows.h"
+#include "frontend/common.h"
+#include "serve/server.h"
+#include "support/json.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace serve {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+using support::JsonValue;
+using support::metrics::Registry;
+
+relay::Module TinyModel() {
+  auto x = TypedVar("data", Shape({1, 3, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d", {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto pool = TypedCall("nn.global_avg_pool2d", {relu});
+  auto flat = TypedCall("nn.batch_flatten", {pool});
+  auto dense = TypedCall("nn.dense", {flat, WeightF32(Shape({5, 8}), 2), ZeroBiasF32(5)});
+  return relay::Module(relay::MakeFunction({x}, TypedCall("nn.softmax", {dense})));
+}
+
+ServedModel Served(const std::string& name, core::FlowKind primary) {
+  ServedModel model;
+  model.name = name;
+  model.module = TinyModel();
+  model.plan.primary = core::Assignment{primary, 100.0};
+  return model;
+}
+
+NDArray TinyInput() { return NDArray::Full(Shape({1, 3, 16, 16}), DType::kFloat32, 0.5); }
+
+/// One parsed trace event, reduced to what reconstruction needs.
+struct ParsedEvent {
+  std::string name;
+  std::string phase;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::uint64_t req_id = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::string req_ids;  ///< batch spans: comma-joined member ids
+};
+
+std::uint64_t ArgId(const JsonValue& args, const std::string& key) {
+  const JsonValue* value = args.Find(key);
+  return value != nullptr && value->is_number()
+             ? static_cast<std::uint64_t>(value->number())
+             : 0;
+}
+
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  const JsonValue root = JsonValue::Parse(json);
+  const JsonValue* array = root.Find("traceEvents");
+  std::vector<ParsedEvent> events;
+  if (array == nullptr || !array->is_array()) return events;
+  for (const JsonValue& raw : array->array()) {
+    ParsedEvent event;
+    event.name = raw.StringOr("name", "");
+    event.phase = raw.StringOr("ph", "");
+    event.ts = raw.NumberOr("ts", 0.0);
+    event.dur = raw.NumberOr("dur", 0.0);
+    if (const JsonValue* args = raw.Find("args")) {
+      event.req_id = ArgId(*args, "req_id");
+      event.span = ArgId(*args, "span");
+      event.parent = ArgId(*args, "parent");
+      event.req_ids = args->StringOr("req_ids", "");
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<std::uint64_t> SplitIds(const std::string& joined) {
+  std::vector<std::uint64_t> ids;
+  std::size_t start = 0;
+  while (start < joined.size()) {
+    std::size_t comma = joined.find(',', start);
+    if (comma == std::string::npos) comma = joined.size();
+    ids.push_back(std::stoull(joined.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return ids;
+}
+
+TEST(ServeTrace, EveryRequestReconstructableUnderConcurrentLoad) {
+  auto& tracer = support::Tracer::Global();
+  tracer.SetCapacity(65536);  // hold the whole run (clears the ring)
+  support::Tracer::ScopedEnable enable;
+
+  std::vector<ServedModel> models;
+  models.push_back(Served("trace-cpu", core::FlowKind::kByocCpu));
+  models.push_back(Served("trace-tvm", core::FlowKind::kTvmOnly));
+
+  ServerOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 4;
+  options.batch_window_us = 200.0;  // coalesce: exercise multi-request batches
+
+  std::vector<std::future<ServeResponse>> futures;
+  {
+    InferenceServer server(std::move(models), options);
+    tracer.Clear();  // drop warm-start compile spans; keep only the load
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 12;
+    std::vector<std::thread> clients;
+    std::mutex futures_mutex;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          ServeRequest request;
+          request.model = c % 2 == 0 ? "trace-cpu" : "trace-tvm";
+          request.inputs = {{"data", TinyInput()}};
+          std::future<ServeResponse> future = server.Submit(std::move(request));
+          std::lock_guard<std::mutex> lock(futures_mutex);
+          futures.push_back(std::move(future));
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    server.Shutdown();  // drain everything before exporting
+  }
+
+  std::set<std::uint64_t> ok_ids;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+    ASSERT_NE(response.req_id, 0u);
+    EXPECT_TRUE(ok_ids.insert(response.req_id).second) << "req_id reused";
+  }
+  ASSERT_EQ(ok_ids.size(), 48u);
+
+  const std::string json = tracer.ExportChromeTrace();
+  std::string error;
+  ASSERT_TRUE(support::ValidateTraceJson(json, &error)) << error;
+  ASSERT_EQ(tracer.dropped(), 0u) << "ring too small for the run";
+  const std::vector<ParsedEvent> events = ParseEvents(json);
+
+  // Group the per-request events; collect batch-span memberships.
+  std::map<std::uint64_t, std::vector<const ParsedEvent*>> by_request;
+  std::map<std::uint64_t, int> batch_memberships;
+  for (const ParsedEvent& event : events) {
+    if (event.req_id != 0) by_request[event.req_id].push_back(&event);
+    if (!event.req_ids.empty()) {
+      for (const std::uint64_t id : SplitIds(event.req_ids)) ++batch_memberships[id];
+    }
+  }
+
+  for (const std::uint64_t req_id : ok_ids) {
+    ASSERT_TRUE(by_request.count(req_id)) << "request " << req_id << " left no spans";
+    const auto& request_events = by_request[req_id];
+
+    // Exactly one admission instant, one queue-wait span, one run span.
+    int submits = 0, queues = 0, runs = 0;
+    for (const ParsedEvent* event : request_events) {
+      if (event->name == "submit") ++submits;
+      if (event->name.rfind("queue:", 0) == 0) ++queues;
+      if (event->name.rfind("run:", 0) == 0) ++runs;
+    }
+    EXPECT_EQ(submits, 1) << "req " << req_id;
+    EXPECT_EQ(queues, 1) << "req " << req_id;
+    EXPECT_EQ(runs, 1) << "req " << req_id;
+
+    // Causal links: every event's parent is another span of the same
+    // request or the request's root span (which emits no event of its own).
+    std::map<std::uint64_t, const ParsedEvent*> span_index;
+    for (const ParsedEvent* event : request_events) {
+      if (event->span != 0) span_index[event->span] = event;
+    }
+    std::set<std::uint64_t> orphan_parents;
+    for (const ParsedEvent* event : request_events) {
+      ASSERT_NE(event->parent, 0u) << event->name;
+      const auto it = span_index.find(event->parent);
+      if (it == span_index.end()) {
+        orphan_parents.insert(event->parent);
+        continue;
+      }
+      // Parent span temporally contains the child (1us slack for rounding).
+      const ParsedEvent* parent = it->second;
+      EXPECT_LE(parent->ts, event->ts + 1.0)
+          << event->name << " starts before parent " << parent->name;
+      if (event->phase == "X") {
+        EXPECT_GE(parent->ts + parent->dur + 1.0, event->ts + event->dur)
+            << event->name << " outlives parent " << parent->name;
+      }
+    }
+    // All top-level events hang off one root: the id minted at admission.
+    EXPECT_EQ(orphan_parents.size(), 1u) << "req " << req_id;
+
+    // Micro-batch membership: in exactly one batch span's req_ids list.
+    EXPECT_EQ(batch_memberships[req_id], 1) << "req " << req_id;
+  }
+
+  // The executor's nested session spans inherit the context: at least one
+  // request must show a span beyond the serve.request layer (the flow run
+  // recorded by the session itself).
+  bool saw_nested = false;
+  for (const auto& [req_id, request_events] : by_request) {
+    for (const ParsedEvent* event : request_events) {
+      if (event->name != "submit" && event->name.rfind("queue:", 0) != 0 &&
+          event->name.rfind("run:", 0) != 0 && event->phase == "X") {
+        saw_nested = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_nested) << "no session/executor spans carried a req_id";
+}
+
+TEST(ServeTrace, ExpiredRequestsRecordPerPriorityLateness) {
+  auto& expired_p3 = Registry::Global().GetHistogram("serve/expired/p3/late_us");
+  expired_p3.Reset();
+
+  std::vector<ServedModel> models;
+  models.push_back(Served("expire-cpu", core::FlowKind::kByocCpu));
+  ServerOptions options;
+  options.queue_capacity = 8;
+  InferenceServer server(std::move(models), options);
+
+  ServeRequest request;
+  request.model = "expire-cpu";
+  request.inputs = {{"data", TinyInput()}};
+  request.priority = 3;
+  request.deadline_us = 0.001;  // already past by dispatch time
+  std::future<ServeResponse> future = server.Submit(std::move(request));
+  const ServeResponse response = future.get();
+  EXPECT_EQ(response.status, ServeStatus::kExpired);
+  EXPECT_NE(response.req_id, 0u);
+
+  const auto summary = expired_p3.Summarize();
+  EXPECT_EQ(summary.count, 1);
+  EXPECT_GT(summary.max, 0.0);  // lateness, not just a counter
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tnp

@@ -1,0 +1,146 @@
+// Benchmark-regression gate: diff a fresh bench_snapshot run against the
+// committed baseline.
+//
+//   bench_compare <baseline.json> <current.json> [--threshold=0.10]
+//
+// Rules, per metric name in the baseline:
+//   - gated metrics ("gate": true) fail the run when the current value
+//     regresses by more than `threshold` (relative, direction-aware: a
+//     "lower"-is-better metric regresses when it grows; "higher" when it
+//     shrinks). Improvements of any size pass — with a note, so a
+//     too-good-to-be-true jump is visible in the CI log.
+//   - a gated baseline metric missing from the current run fails (a flow
+//     that stopped compiling is a regression too).
+//   - non-gated metrics are printed as informational deltas only.
+// New metrics present only in the current run are listed as additions and
+// never fail — committing a refreshed baseline is how they become gated.
+//
+// Exit status: 0 = within threshold, 1 = regression, 2 = usage/parse error.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.h"
+
+namespace {
+
+struct Metric {
+  double value = 0.0;
+  bool lower_is_better = true;
+  bool gate = true;
+};
+
+std::map<std::string, Metric> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const tnp::support::JsonValue root = tnp::support::JsonValue::Parse(buffer.str());
+  const tnp::support::JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    throw std::runtime_error(path + ": missing \"metrics\" object");
+  }
+  std::map<std::string, Metric> result;
+  for (const auto& [name, entry] : metrics->object()) {
+    Metric metric;
+    metric.value = entry.NumberOr("value", 0.0);
+    metric.lower_is_better = entry.StringOr("better", "lower") != "higher";
+    const tnp::support::JsonValue* gate = entry.Find("gate");
+    metric.gate = gate == nullptr || (gate->is_bool() && gate->bool_value());
+    result[name] = metric;
+  }
+  return result;
+}
+
+std::string Percent(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", ratio * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::string baseline_path;
+  std::string current_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::atof(argv[i] + 12);
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "usage: bench_compare <baseline.json> <current.json>"
+                 " [--threshold=0.10]\n";
+    return 2;
+  }
+
+  std::map<std::string, Metric> baseline;
+  std::map<std::string, Metric> current;
+  try {
+    baseline = LoadSnapshot(baseline_path);
+    current = LoadSnapshot(current_path);
+  } catch (const std::exception& error) {
+    std::cerr << "bench_compare: " << error.what() << "\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      if (base.gate) {
+        std::cout << "FAIL  " << name << ": missing from current run\n";
+        ++regressions;
+      } else {
+        std::cout << "info  " << name << ": missing from current run\n";
+      }
+      continue;
+    }
+    const Metric& cur = it->second;
+    // Signed relative change where positive = worse, respecting direction.
+    double change = 0.0;
+    if (base.value != 0.0) {
+      change = (cur.value - base.value) / std::fabs(base.value);
+      if (!base.lower_is_better) change = -change;
+    } else if (cur.value != 0.0) {
+      change = base.lower_is_better == (cur.value > 0.0) ? 1.0 : -1.0;
+    }
+    const bool regressed = base.gate && change > threshold;
+    const char* tag = regressed ? "FAIL " : (base.gate ? "ok   " : "info ");
+    std::cout << tag << " " << name << ": " << base.value << " -> " << cur.value
+              << " (" << Percent(change) << " toward worse"
+              << (base.gate && change <= -threshold
+                      ? "; large improvement, consider refreshing the baseline"
+                      : "")
+              << ")\n";
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, cur] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      std::cout << "new   " << name << " = " << cur.value
+                << " (not in baseline; refresh to gate it)\n";
+    }
+  }
+
+  if (regressions > 0) {
+    std::cout << "\nbench_compare: " << regressions << " regression(s) beyond "
+              << Percent(threshold) << " threshold\n";
+    return 1;
+  }
+  std::cout << "\nbench_compare: all gated metrics within " << Percent(threshold)
+            << " of baseline\n";
+  return 0;
+}
