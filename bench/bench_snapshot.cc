@@ -28,6 +28,8 @@
 #include "bench/bench_util.h"
 #include "core/flows.h"
 #include "frontend/common.h"
+#include "kernels/pack.h"
+#include "kernels/scratch.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "support/metrics.h"
@@ -127,7 +129,44 @@ int main(int argc, char** argv) {
         {arena_peak, /*lower_is_better=*/true, /*gate=*/true};
   }
 
-  // ---- 2) serving throughput (wall clock, informational) -----------------
+  // ---- 2) kernel engine: packed weights + scratch (deterministic) --------
+  // Pack sizes depend only on weight shapes and panel geometry; the scratch
+  // high-watermark only on kernel shapes. Steady-state packs must stay at
+  // zero — compile-time pre-packing means sessions never repack.
+  {
+    const relay::Module module = zoo::Build("mobilenet_v2", bench::BenchOptions());
+    const support::metrics::Counter* pack_bytes =
+        support::metrics::Registry::Global().FindCounter("kernels/pack/weight_bytes");
+    const double bytes_before = pack_bytes != nullptr
+                                    ? static_cast<double>(pack_bytes->value())
+                                    : 0.0;
+    const core::InferenceSessionPtr session =
+        core::CompileFlow(module, core::FlowKind::kTvmOnly);
+    pack_bytes =
+        support::metrics::Registry::Global().FindCounter("kernels/pack/weight_bytes");
+    metrics["kernels/mobilenet_v2/packed_weight_bytes"] =
+        {(pack_bytes != nullptr ? static_cast<double>(pack_bytes->value()) : 0.0) -
+             bytes_before,
+         /*lower_is_better=*/true, /*gate=*/true};
+
+    const NDArray input =
+        NDArray::Full(Shape({1, 3, 224, 224}), DType::kFloat32, 0.25);
+    session->SetInput("x", input);
+    session->Run();  // warmup: scratch arena grown, every packable weight packed
+    const std::int64_t packs_before = kernels::TotalWeightPacks();
+    for (int run = 0; run < 3; ++run) {
+      session->SetInput("x", input);
+      session->Run();
+    }
+    metrics["kernels/mobilenet_v2/steady_packs_per_run"] =
+        {static_cast<double>(kernels::TotalWeightPacks() - packs_before) / 3.0,
+         /*lower_is_better=*/true, /*gate=*/true};
+    metrics["kernels/scratch_high_watermark_bytes"] =
+        {static_cast<double>(kernels::ThisThreadScratchHighWatermark()),
+         /*lower_is_better=*/true, /*gate=*/true};
+  }
+
+  // ---- 3) serving throughput (wall clock, informational) -----------------
   {
     std::vector<serve::ServedModel> models;
     {

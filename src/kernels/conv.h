@@ -2,6 +2,7 @@
 #pragma once
 
 #include "kernels/common.h"
+#include "kernels/pack.h"
 #include "tensor/ndarray.h"
 
 namespace tnp {
@@ -10,16 +11,29 @@ namespace kernels {
 /// Float conv2d with groups (groups == channels gives depthwise).
 /// `bias` may be undefined; when defined it has shape (out_channels,).
 /// `output` must be pre-allocated with Conv2DOutShape(...).
+///
+/// `packed_weights` is the pre-packed panel form of `weight` (from
+/// PackConvWeightsF32) when the compiler prepared one; pass nullptr to pack
+/// into arena scratch on the fly (identical panels, identical results).
 void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
-               NDArray& output, const Conv2DParams& params);
+               NDArray& output, const Conv2DParams& params,
+               const PackedMatrix* packed_weights = nullptr);
 
 /// Quantized conv2d: int8 input/weight, optional int32 bias, int8 output.
 /// Affine per-tensor quantization:
 ///   real_out = clamp(round(acc * (s_in*s_w/s_out)) + z_out)
-/// where acc accumulates (q_in - z_in)*(q_w - z_w) in int32.
+/// where acc accumulates (q_in - z_in)*(q_w - z_w) in int32 — computed via
+/// the factorized form (see gemm.h), bit-exact with the direct sum.
 void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
                NDArray& output, const Conv2DParams& params, const QuantParams& input_q,
-               const QuantParams& weight_q, const QuantParams& output_q);
+               const QuantParams& weight_q, const QuantParams& output_q,
+               const PackedMatrix* packed_weights = nullptr);
+
+/// True when a conv with this many output channels per group dispatches to
+/// the packed GEMM path. Below the threshold (depthwise etc.) the direct
+/// per-channel path runs and packed weights would go unused — the compiler
+/// uses this to skip pre-packing them.
+bool Conv2DUsesPackedWeights(std::int64_t co_per_group);
 
 }  // namespace kernels
 }  // namespace tnp

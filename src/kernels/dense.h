@@ -2,19 +2,23 @@
 // output[m, n] = sum_k input[m, k] * weight[n, k]  (weight is N x K).
 #pragma once
 
+#include "kernels/pack.h"
 #include "tensor/ndarray.h"
 
 namespace tnp {
 namespace kernels {
 
 /// Float dense; `bias` optional with shape (units,).
+/// m == 1 takes a GEMV fast path over the raw (already k-contiguous) weight
+/// rows; larger m runs the packed GEMM, using `packed_weights` (from
+/// PackDenseWeightsF32) when provided, else packing into arena scratch.
 void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
-              NDArray& output);
+              NDArray& output, const PackedMatrix* packed_weights = nullptr);
 
 /// Quantized dense, same affine scheme as QConv2DS8; bias is int32.
 void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
               NDArray& output, const QuantParams& input_q, const QuantParams& weight_q,
-              const QuantParams& output_q);
+              const QuantParams& output_q, const PackedMatrix* packed_weights = nullptr);
 
 }  // namespace kernels
 }  // namespace tnp

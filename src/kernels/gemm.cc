@@ -3,49 +3,311 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define TNP_GEMM_SSE2 1
+#endif
+
+#include "kernels/pack.h"
+#include "kernels/scratch.h"
 #include "support/thread_pool.h"
 
 namespace tnp {
 namespace kernels {
 
 namespace {
-// Block over k to keep the hot B panel in cache; simple but ~memory-friendly.
-constexpr std::int64_t kKBlock = 256;
+
+// MRxNR register tile over one k-cache block of packed panels. `first` picks
+// store vs. accumulate so k-blocks compose without a C pre-pass.
+template <int MR, int NR>
+void MicroKernelF32(const float* ap, const float* bp, std::int64_t kc, float* c,
+                    std::int64_t ldc, std::int64_t mr, std::int64_t nr, bool first) {
+  float acc[MR * NR] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * MR;
+    const float* brow = bp + kk * NR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = arow[r];
+      float* accrow = acc + r * NR;
+      for (int j = 0; j < NR; ++j) accrow[j] += av * brow[j];
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (int r = 0; r < MR; ++r) {
+      float* crow = c + r * ldc;
+      const float* accrow = acc + r * NR;
+      if (first) {
+        for (int j = 0; j < NR; ++j) crow[j] = accrow[j];
+      } else {
+        for (int j = 0; j < NR; ++j) crow[j] += accrow[j];
+      }
+    }
+  } else {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      const float* accrow = acc + r * NR;
+      if (first) {
+        for (std::int64_t j = 0; j < nr; ++j) crow[j] = accrow[j];
+      } else {
+        for (std::int64_t j = 0; j < nr; ++j) crow[j] += accrow[j];
+      }
+    }
+  }
+}
+
+// 4x8 s8 tile over `pairs` k-pairs of pair-interleaved panels (see pack.h).
+// The SSE2 path widens each pair to s16 and feeds pmaddwd: one instruction
+// computes a(2p)*b(2p) + a(2p+1)*b(2p+1) per s32 lane, so eight madd/add
+// pairs per k-pair cover the whole 4x8 tile. Zero-padded pairs contribute 0.
+#ifdef TNP_GEMM_SSE2
+void MicroKernelS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int64_t pairs,
+                      std::int32_t* c, std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                      bool first) {
+  static_assert(kGemmMrS8 == 4 && kGemmNrS8 == 8, "SSE2 micro-kernel is fixed at 4x8");
+  __m128i acc0l = _mm_setzero_si128(), acc0h = _mm_setzero_si128();
+  __m128i acc1l = _mm_setzero_si128(), acc1h = _mm_setzero_si128();
+  __m128i acc2l = _mm_setzero_si128(), acc2h = _mm_setzero_si128();
+  __m128i acc3l = _mm_setzero_si128(), acc3h = _mm_setzero_si128();
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const __m128i braw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + p * 16));
+    const __m128i blo = _mm_srai_epi16(_mm_unpacklo_epi8(braw, braw), 8);
+    const __m128i bhi = _mm_srai_epi16(_mm_unpackhi_epi8(braw, braw), 8);
+    const __m128i araw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ap + p * 8));
+    const __m128i awide = _mm_srai_epi16(_mm_unpacklo_epi8(araw, araw), 8);
+    const __m128i a0 = _mm_shuffle_epi32(awide, 0x00);
+    const __m128i a1 = _mm_shuffle_epi32(awide, 0x55);
+    const __m128i a2 = _mm_shuffle_epi32(awide, 0xAA);
+    const __m128i a3 = _mm_shuffle_epi32(awide, 0xFF);
+    acc0l = _mm_add_epi32(acc0l, _mm_madd_epi16(a0, blo));
+    acc0h = _mm_add_epi32(acc0h, _mm_madd_epi16(a0, bhi));
+    acc1l = _mm_add_epi32(acc1l, _mm_madd_epi16(a1, blo));
+    acc1h = _mm_add_epi32(acc1h, _mm_madd_epi16(a1, bhi));
+    acc2l = _mm_add_epi32(acc2l, _mm_madd_epi16(a2, blo));
+    acc2h = _mm_add_epi32(acc2h, _mm_madd_epi16(a2, bhi));
+    acc3l = _mm_add_epi32(acc3l, _mm_madd_epi16(a3, blo));
+    acc3h = _mm_add_epi32(acc3h, _mm_madd_epi16(a3, bhi));
+  }
+  const __m128i accs[8] = {acc0l, acc0h, acc1l, acc1h, acc2l, acc2h, acc3l, acc3h};
+  alignas(16) std::int32_t tmp[8];
+  for (std::int64_t r = 0; r < mr; ++r) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), accs[r * 2]);
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp + 4), accs[r * 2 + 1]);
+    std::int32_t* crow = c + r * ldc;
+    if (first) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = tmp[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += tmp[j];
+    }
+  }
+}
+#else
+void MicroKernelS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int64_t pairs,
+                      std::int32_t* c, std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                      bool first) {
+  constexpr int MR = static_cast<int>(kGemmMrS8);
+  constexpr int NR = static_cast<int>(kGemmNrS8);
+  std::int32_t acc[MR * NR] = {};
+  for (std::int64_t p = 0; p < pairs; ++p) {
+    const std::int8_t* apair = ap + p * 2 * MR;
+    const std::int8_t* bpair = bp + p * 2 * NR;
+    for (int r = 0; r < MR; ++r) {
+      const std::int32_t a0 = apair[r * 2];
+      const std::int32_t a1 = apair[r * 2 + 1];
+      std::int32_t* accrow = acc + r * NR;
+      for (int j = 0; j < NR; ++j) {
+        accrow[j] += a0 * static_cast<std::int32_t>(bpair[j * 2]) +
+                     a1 * static_cast<std::int32_t>(bpair[j * 2 + 1]);
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    std::int32_t* crow = c + r * ldc;
+    const std::int32_t* accrow = acc + r * NR;
+    if (first) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = accrow[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += accrow[j];
+    }
+  }
+}
+#endif
+
+// One row panel's share of C: loop n-cache blocks, k-cache blocks, then NR
+// column strips. kGemmNc is a multiple of NR, so strips never straddle an
+// n-block and (jc + jr) / NR indexes the column panel directly.
+template <typename T, typename Acc, int MR, int NR,
+          void MicroKernel(const T*, const T*, std::int64_t, Acc*, std::int64_t,
+                           std::int64_t, std::int64_t, bool)>
+void RunRowPanel(const T* ap, const T* bp, Acc* c, std::int64_t ip, std::int64_t m,
+                 std::int64_t k, std::int64_t n, std::int64_t ldc) {
+  const std::int64_t mr = std::min<std::int64_t>(MR, m - ip * MR);
+  for (std::int64_t jc = 0; jc < n; jc += kGemmNc) {
+    const std::int64_t nc = std::min(kGemmNc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKc) {
+      const std::int64_t kc = std::min(kGemmKc, k - pc);
+      const bool first = pc == 0;
+      const T* a_blk = ap + (ip * k + pc) * MR;
+      for (std::int64_t jr = 0; jr < nc; jr += NR) {
+        const std::int64_t jp = (jc + jr) / NR;
+        const std::int64_t nr = std::min<std::int64_t>(NR, nc - jr);
+        MicroKernel(a_blk, bp + (jp * k + pc) * NR, kc, c + ip * MR * ldc + jc + jr, ldc,
+                    mr, nr, first);
+      }
+    }
+  }
+}
+
+template <typename T, typename Acc, int MR, int NR,
+          void MicroKernel(const T*, const T*, std::int64_t, Acc*, std::int64_t,
+                           std::int64_t, std::int64_t, bool)>
+void GemmCore(const T* ap, const T* bp, Acc* c, std::int64_t m, std::int64_t k,
+              std::int64_t n, std::int64_t ldc, bool parallel) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(Acc));
+    }
+    return;
+  }
+  const std::int64_t num_panels = (m + MR - 1) / MR;
+  auto panel = [&](std::int64_t ip) {
+    RunRowPanel<T, Acc, MR, NR, MicroKernel>(ap, bp, c, ip, m, k, n, ldc);
+  };
+  if (parallel && num_panels > 1) {
+    support::ParallelFor(0, num_panels, panel, /*grain_size=*/1);
+  } else {
+    for (std::int64_t ip = 0; ip < num_panels; ++ip) panel(ip);
+  }
+}
+
+// s8 analogue of RunRowPanel, walking pair-interleaved panels. All k
+// bookkeeping is in pair units; kGemmKc is even so cache blocks stay aligned
+// to whole pairs.
+void RunRowPanelS8(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
+                   std::int64_t ip, std::int64_t m, std::int64_t k2, std::int64_t n,
+                   std::int64_t ldc) {
+  constexpr std::int64_t MR = kGemmMrS8;
+  constexpr std::int64_t NR = kGemmNrS8;
+  static_assert(kGemmKc % 2 == 0, "k-cache blocks must cover whole pairs");
+  constexpr std::int64_t kPairKc = kGemmKc / 2;
+  const std::int64_t pairs_total = k2 / 2;
+  const std::int64_t mr = std::min<std::int64_t>(MR, m - ip * MR);
+  for (std::int64_t jc = 0; jc < n; jc += kGemmNc) {
+    const std::int64_t nc = std::min(kGemmNc, n - jc);
+    for (std::int64_t pc = 0; pc < pairs_total; pc += kPairKc) {
+      const std::int64_t pn = std::min(kPairKc, pairs_total - pc);
+      const bool first = pc == 0;
+      const std::int8_t* a_blk = ap + ip * MR * k2 + pc * 2 * MR;
+      for (std::int64_t jr = 0; jr < nc; jr += NR) {
+        const std::int64_t jp = (jc + jr) / NR;
+        const std::int64_t nr = std::min<std::int64_t>(NR, nc - jr);
+        MicroKernelS8S32(a_blk, bp + jp * NR * k2 + pc * 2 * NR, pn,
+                         c + ip * MR * ldc + jc + jr, ldc, mr, nr, first);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void GemmPackedF32(const float* ap, const float* bp, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel) {
+  GemmCore<float, float, kGemmMrF32, kGemmNrF32, MicroKernelF32<kGemmMrF32, kGemmNrF32>>(
+      ap, bp, c, m, k, n, ldc, parallel);
+}
+
+void GemmPackedS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
+                     std::int64_t m, std::int64_t k, std::int64_t n, std::int64_t ldc,
+                     bool parallel) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(std::int32_t));
+    }
+    return;
+  }
+  const std::int64_t k2 = PackedKS8(k);
+  const std::int64_t num_panels = (m + kGemmMrS8 - 1) / kGemmMrS8;
+  auto panel = [&](std::int64_t ip) { RunRowPanelS8(ap, bp, c, ip, m, k2, n, ldc); };
+  if (parallel && num_panels > 1) {
+    support::ParallelFor(0, num_panels, panel, /*grain_size=*/1);
+  } else {
+    for (std::int64_t ip = 0; ip < num_panels; ++ip) panel(ip);
+  }
+}
+
+void ApplyZeroPointCorrection(std::int32_t* c, std::int64_t m, std::int64_t n,
+                              std::int64_t ldc, std::int64_t k, std::int32_t a_zero,
+                              std::int32_t b_zero, const std::int32_t* a_row_sums,
+                              const std::int32_t* b_col_sums) {
+  if (a_zero == 0 && b_zero == 0) return;
+  const std::int32_t kzz = static_cast<std::int32_t>(k) * a_zero * b_zero;
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    const std::int32_t row_term =
+        kzz - (b_zero != 0 && a_row_sums != nullptr ? b_zero * a_row_sums[i] : 0);
+    if (a_zero != 0 && b_col_sums != nullptr) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += row_term - a_zero * b_col_sums[j];
+    } else if (row_term != 0) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += row_term;
+    }
+  }
+}
 
 void GemmF32(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n) {
-  support::ParallelFor(0, m, [&](std::int64_t i) {
-    float* crow = c + i * n;
-    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
-      const std::int64_t k1 = std::min(k, k0 + kKBlock);
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float aik = a[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          crow[j] += aik * brow[j];
-        }
-      }
-    }
-  }, /*grain_size=*/4);
+  if (m <= 0 || n <= 0) return;
+  ScratchFrame frame;
+  float* ap = frame.Alloc<float>(PackedExtent(m, kGemmMrF32) * std::max<std::int64_t>(k, 1));
+  float* bp = frame.Alloc<float>(PackedExtent(n, kGemmNrF32) * std::max<std::int64_t>(k, 1));
+  PackPanelsAF32(a, m, k, k, ap);
+  PackPanelsBF32(b, k, n, n, bp);
+  GemmPackedF32(ap, bp, c, m, k, n, n, /*parallel=*/true);
 }
 
 void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::int64_t m,
                std::int64_t k, std::int64_t n, std::int32_t a_zero, std::int32_t b_zero) {
-  support::ParallelFor(0, m, [&](std::int64_t i) {
+  if (m <= 0 || n <= 0) return;
+  ScratchFrame frame;
+  std::int8_t* ap = frame.Alloc<std::int8_t>(PackedExtent(m, kGemmMrS8) *
+                                             std::max<std::int64_t>(PackedKS8(k), 2));
+  std::int8_t* bp = frame.Alloc<std::int8_t>(PackedExtent(n, kGemmNrS8) *
+                                             std::max<std::int64_t>(PackedKS8(k), 2));
+  std::int32_t* row_sums = frame.Alloc<std::int32_t>(m);
+  std::int32_t* col_sums = frame.Alloc<std::int32_t>(n);
+  PackPanelsAS8(a, m, k, k, ap, row_sums);
+  PackPanelsBS8(b, k, n, n, bp, col_sums);
+  GemmPackedS8S32(ap, bp, c, m, k, n, n, /*parallel=*/true);
+  ApplyZeroPointCorrection(c, m, n, n, k, a_zero, b_zero, row_sums, col_sums);
+}
+
+void GemmF32Reference(const float* a, const float* b, float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void GemmS8S32Reference(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n,
+                        std::int32_t a_zero, std::int32_t b_zero) {
+  for (std::int64_t i = 0; i < m; ++i) {
     std::int32_t* crow = c + i * n;
     std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(std::int32_t));
     for (std::int64_t kk = 0; kk < k; ++kk) {
       const std::int32_t aik = static_cast<std::int32_t>(a[i * k + kk]) - a_zero;
-      if (aik == 0) continue;
       const std::int8_t* brow = b + kk * n;
       for (std::int64_t j = 0; j < n; ++j) {
         crow[j] += aik * (static_cast<std::int32_t>(brow[j]) - b_zero);
       }
     }
-  }, /*grain_size=*/4);
+  }
 }
 
 }  // namespace kernels

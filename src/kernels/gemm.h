@@ -1,4 +1,20 @@
 // Dense matrix multiply primitives used by conv (via im2col) and dense.
+//
+// The engine is a BLIS-style tiled GEMM: both operands are packed into
+// MR/NR panels (see pack.h), and a register-blocked MRxNR micro-kernel walks
+// k-cache blocks of the panels. The public GemmF32/GemmS8S32 entry points
+// pack both sides into thread-local arena scratch; conv/dense call the
+// *Packed cores directly with pre-packed weights so steady-state inference
+// never repacks constants.
+//
+// Int8 uses the gemmlowp-style zero-point factorization:
+//
+//   sum_k (A[i,k]-az)(B[k,j]-bz)
+//     = sum_k A[i,k]B[k,j] - az*colsum_j(B) - bz*rowsum_i(A) + k*az*bz
+//
+// so the inner loop is a pure s8 x s8 -> s32 product and the zero points are
+// applied as a rank-1 correction afterwards. All-integer math means the
+// factorized result is bit-exact against the naive reference.
 #pragma once
 
 #include <cstdint>
@@ -7,13 +23,48 @@ namespace tnp {
 namespace kernels {
 
 /// C[m,n] = sum_k A[m,k] * B[k,n].  Row-major, C overwritten.
-/// Parallelized over rows of C on the global thread pool.
+/// Packs both operands into arena scratch, then runs the tiled core
+/// parallelized over row panels on the global thread pool.
 void GemmF32(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n);
 
 /// C[m,n] = sum_k (A[m,k]-a_zero) * (B[k,n]-b_zero), int32 accumulation.
+/// Bit-exact with GemmS8S32Reference (integer math, factorized zero points).
 void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::int64_t m,
                std::int64_t k, std::int64_t n, std::int32_t a_zero, std::int32_t b_zero);
+
+// ---------------------------------------------------------------------------
+// Packed cores. `ap` holds PackPanelsA* output for the full (m, k) extent,
+// `bp` holds PackPanelsB* output for the full (k, n) extent; C is written at
+// leading dimension ldc. `parallel` distributes row panels over the global
+// thread pool (callers already inside a ParallelFor body should pass false —
+// nested loops run inline but serial cores avoid the dispatch overhead).
+
+void GemmPackedF32(const float* ap, const float* bp, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel);
+
+/// Pure s8 x s8 -> s32 product of packed panels; zero points NOT applied.
+void GemmPackedS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
+                     std::int64_t m, std::int64_t k, std::int64_t n, std::int64_t ldc,
+                     bool parallel);
+
+/// Rank-1 zero-point correction, applied in place after GemmPackedS8S32:
+///   C[i,j] += -a_zero*b_col_sums[j] - b_zero*a_row_sums[i] + k*a_zero*b_zero
+/// Sum arrays may be null when the matching zero point is 0.
+void ApplyZeroPointCorrection(std::int32_t* c, std::int64_t m, std::int64_t n,
+                              std::int64_t ldc, std::int64_t k, std::int32_t a_zero,
+                              std::int32_t b_zero, const std::int32_t* a_row_sums,
+                              const std::int32_t* b_col_sums);
+
+// ---------------------------------------------------------------------------
+// Naive references, kept for differential testing of the packed engine.
+
+void GemmF32Reference(const float* a, const float* b, float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n);
+
+void GemmS8S32Reference(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n,
+                        std::int32_t a_zero, std::int32_t b_zero);
 
 }  // namespace kernels
 }  // namespace tnp

@@ -1,0 +1,290 @@
+#include "kernels/pack.h"
+
+#include <cstring>
+
+#include "support/metrics.h"
+
+namespace tnp {
+namespace kernels {
+
+namespace {
+
+support::metrics::Counter& WeightPackCounter() {
+  static support::metrics::Counter& counter =
+      support::metrics::Registry::Global().GetCounter("kernels/pack/weight_packs");
+  return counter;
+}
+
+support::metrics::Counter& WeightPackBytesCounter() {
+  static support::metrics::Counter& counter =
+      support::metrics::Registry::Global().GetCounter("kernels/pack/weight_bytes");
+  return counter;
+}
+
+}  // namespace
+
+void PackPanelsAF32(const float* a, std::int64_t m, std::int64_t k, std::int64_t lda,
+                    float* out) {
+  constexpr std::int64_t MR = kGemmMrF32;
+  for (std::int64_t ip = 0; ip * MR < m; ++ip) {
+    const std::int64_t mr = std::min(MR, m - ip * MR);
+    float* panel = out + ip * MR * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      float* col = panel + kk * MR;
+      const float* src = a + (ip * MR) * lda + kk;
+      std::int64_t r = 0;
+      for (; r < mr; ++r) col[r] = src[r * lda];
+      for (; r < MR; ++r) col[r] = 0.0f;
+    }
+  }
+}
+
+void PackPanelsAS8(const std::int8_t* a, std::int64_t m, std::int64_t k, std::int64_t lda,
+                   std::int8_t* out, std::int32_t* row_sums) {
+  constexpr std::int64_t MR = kGemmMrS8;
+  const std::int64_t k2 = PackedKS8(k);
+  for (std::int64_t ip = 0; ip * MR < m; ++ip) {
+    const std::int64_t mr = std::min(MR, m - ip * MR);
+    std::int8_t* panel = out + ip * MR * k2;
+    for (std::int64_t p = 0; p < k2 / 2; ++p) {
+      const std::int64_t kk0 = 2 * p;
+      const bool has1 = kk0 + 1 < k;
+      std::int8_t* dst = panel + p * 2 * MR;
+      const std::int8_t* src = a + (ip * MR) * lda + kk0;
+      std::int64_t r = 0;
+      for (; r < mr; ++r) {
+        dst[r * 2 + 0] = src[r * lda];
+        dst[r * 2 + 1] = has1 ? src[r * lda + 1] : std::int8_t{0};
+      }
+      for (; r < MR; ++r) {
+        dst[r * 2 + 0] = 0;
+        dst[r * 2 + 1] = 0;
+      }
+    }
+    if (row_sums != nullptr) {
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const std::int8_t* row = a + (ip * MR + r) * lda;
+        std::int32_t sum = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk) sum += row[kk];
+        row_sums[ip * MR + r] = sum;
+      }
+    }
+  }
+}
+
+void PackPanelsBF32(const float* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
+                    float* out) {
+  constexpr std::int64_t NR = kGemmNrF32;
+  for (std::int64_t jp = 0; jp * NR < n; ++jp) {
+    const std::int64_t nr = std::min(NR, n - jp * NR);
+    float* panel = out + jp * NR * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      float* row = panel + kk * NR;
+      const float* src = b + kk * ldb + jp * NR;
+      std::int64_t j = 0;
+      for (; j < nr; ++j) row[j] = src[j];
+      for (; j < NR; ++j) row[j] = 0.0f;
+    }
+  }
+}
+
+void PackPanelsBTransF32(const float* bt, std::int64_t k, std::int64_t n, std::int64_t ldbt,
+                         float* out) {
+  constexpr std::int64_t NR = kGemmNrF32;
+  for (std::int64_t jp = 0; jp * NR < n; ++jp) {
+    const std::int64_t nr = std::min(NR, n - jp * NR);
+    float* panel = out + jp * NR * k;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      const float* src = bt + (jp * NR + j) * ldbt;
+      for (std::int64_t kk = 0; kk < k; ++kk) panel[kk * NR + j] = src[kk];
+    }
+    for (std::int64_t j = nr; j < NR; ++j) {
+      for (std::int64_t kk = 0; kk < k; ++kk) panel[kk * NR + j] = 0.0f;
+    }
+  }
+}
+
+void PackPanelsBS8(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
+                   std::int8_t* out, std::int32_t* col_sums) {
+  constexpr std::int64_t NR = kGemmNrS8;
+  const std::int64_t k2 = PackedKS8(k);
+  if (col_sums != nullptr) std::memset(col_sums, 0, static_cast<std::size_t>(n) * 4);
+  for (std::int64_t jp = 0; jp * NR < n; ++jp) {
+    const std::int64_t nr = std::min(NR, n - jp * NR);
+    std::int8_t* panel = out + jp * NR * k2;
+    std::int32_t* sums = col_sums != nullptr ? col_sums + jp * NR : nullptr;
+    for (std::int64_t p = 0; p < k2 / 2; ++p) {
+      const std::int64_t kk0 = 2 * p;
+      const bool has1 = kk0 + 1 < k;
+      std::int8_t* dst = panel + p * 2 * NR;
+      const std::int8_t* src0 = b + kk0 * ldb + jp * NR;
+      const std::int8_t* src1 = src0 + ldb;
+      std::int64_t j = 0;
+      for (; j < nr; ++j) {
+        dst[j * 2 + 0] = src0[j];
+        dst[j * 2 + 1] = has1 ? src1[j] : std::int8_t{0};
+      }
+      for (; j < NR; ++j) {
+        dst[j * 2 + 0] = 0;
+        dst[j * 2 + 1] = 0;
+      }
+      if (sums != nullptr) {
+        for (j = 0; j < nr; ++j) sums[j] += dst[j * 2] + dst[j * 2 + 1];
+      }
+    }
+  }
+}
+
+void PackPanelsBTransS8(const std::int8_t* bt, std::int64_t k, std::int64_t n,
+                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums) {
+  constexpr std::int64_t NR = kGemmNrS8;
+  const std::int64_t k2 = PackedKS8(k);
+  for (std::int64_t jp = 0; jp * NR < n; ++jp) {
+    const std::int64_t nr = std::min(NR, n - jp * NR);
+    std::int8_t* panel = out + jp * NR * k2;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      const std::int8_t* src = bt + (jp * NR + j) * ldbt;
+      std::int32_t sum = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        panel[(kk / 2) * 2 * NR + j * 2 + (kk & 1)] = src[kk];
+        sum += src[kk];
+      }
+      if (k & 1) panel[(k2 / 2 - 1) * 2 * NR + j * 2 + 1] = 0;
+      if (col_sums != nullptr) col_sums[jp * NR + j] = sum;
+    }
+    for (std::int64_t j = nr; j < NR; ++j) {
+      for (std::int64_t p = 0; p < k2 / 2; ++p) {
+        panel[p * 2 * NR + j * 2 + 0] = 0;
+        panel[p * 2 * NR + j * 2 + 1] = 0;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed weights.
+
+namespace {
+
+PackedMatrixPtr PackConvWeights(const NDArray& weight, std::int64_t groups, bool int8) {
+  TNP_CHECK_EQ(weight.shape().rank(), 4);
+  const std::int64_t co = weight.shape()[0];
+  const std::int64_t k = weight.shape()[1] * weight.shape()[2] * weight.shape()[3];
+  TNP_CHECK_EQ(co % groups, 0);
+  const std::int64_t co_g = co / groups;
+
+  auto packed = std::make_shared<PackedMatrix>();
+  packed->side = PackedMatrix::Side::kA;
+  packed->dtype = weight.dtype();
+  packed->rows = co_g;
+  packed->cols = k;
+  packed->groups = groups;
+  if (int8) {
+    packed->panel = kGemmMrS8;
+    packed->group_stride = PackedExtent(co_g, kGemmMrS8) * PackedKS8(k);
+    packed->data = NDArray::Empty(Shape({groups * packed->group_stride}), DType::kInt8);
+    packed->sums = NDArray::Empty(Shape({co}), DType::kInt32);
+    const std::int8_t* src = weight.Data<std::int8_t>();
+    for (std::int64_t g = 0; g < groups; ++g) {
+      PackPanelsAS8(src + g * co_g * k, co_g, k, k,
+                    packed->data.Data<std::int8_t>() + g * packed->group_stride,
+                    packed->sums.Data<std::int32_t>() + g * co_g);
+    }
+  } else {
+    packed->panel = kGemmMrF32;
+    packed->group_stride = PackedExtent(co_g, kGemmMrF32) * k;
+    packed->data = NDArray::Empty(Shape({groups * packed->group_stride}), DType::kFloat32);
+    const float* src = weight.Data<float>();
+    for (std::int64_t g = 0; g < groups; ++g) {
+      PackPanelsAF32(src + g * co_g * k, co_g, k, k,
+                     packed->data.Data<float>() + g * packed->group_stride);
+    }
+  }
+  CountWeightPack(packed->total_bytes());
+  return packed;
+}
+
+PackedMatrixPtr PackDenseWeights(const NDArray& weight, bool int8) {
+  TNP_CHECK_EQ(weight.shape().rank(), 2);
+  const std::int64_t n = weight.shape()[0];
+  const std::int64_t k = weight.shape()[1];
+
+  auto packed = std::make_shared<PackedMatrix>();
+  packed->side = PackedMatrix::Side::kB;
+  packed->dtype = weight.dtype();
+  packed->rows = k;
+  packed->cols = n;
+  packed->groups = 1;
+  if (int8) {
+    packed->panel = kGemmNrS8;
+    packed->group_stride = PackedExtent(n, kGemmNrS8) * PackedKS8(k);
+    packed->data = NDArray::Empty(Shape({packed->group_stride}), DType::kInt8);
+    packed->sums = NDArray::Empty(Shape({n}), DType::kInt32);
+    PackPanelsBTransS8(weight.Data<std::int8_t>(), k, n, k, packed->data.Data<std::int8_t>(),
+                       packed->sums.Data<std::int32_t>());
+  } else {
+    packed->panel = kGemmNrF32;
+    packed->group_stride = PackedExtent(n, kGemmNrF32) * k;
+    packed->data = NDArray::Empty(Shape({packed->group_stride}), DType::kFloat32);
+    PackPanelsBTransF32(weight.Data<float>(), k, n, k, packed->data.Data<float>());
+  }
+  CountWeightPack(packed->total_bytes());
+  return packed;
+}
+
+}  // namespace
+
+PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups) {
+  TNP_CHECK(weight.dtype() == DType::kFloat32);
+  return PackConvWeights(weight, groups, /*int8=*/false);
+}
+
+PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups) {
+  TNP_CHECK(weight.dtype() == DType::kInt8);
+  return PackConvWeights(weight, groups, /*int8=*/true);
+}
+
+PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight) {
+  TNP_CHECK(weight.dtype() == DType::kFloat32);
+  return PackDenseWeights(weight, /*int8=*/false);
+}
+
+PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight) {
+  TNP_CHECK(weight.dtype() == DType::kInt8);
+  return PackDenseWeights(weight, /*int8=*/true);
+}
+
+PackedMatrixPtr PackedWeightsCache::GetOrPack(const std::string& key,
+                                              const std::function<PackedMatrixPtr()>& pack) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second;
+  }
+  PackedMatrixPtr packed = pack();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(packed));
+  return it->second;
+}
+
+int PackedWeightsCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(entries_.size());
+}
+
+std::int64_t PackedWeightsCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [key, packed] : entries_) total += packed->total_bytes();
+  return total;
+}
+
+void CountWeightPack(std::int64_t bytes) {
+  WeightPackCounter().Increment();
+  WeightPackBytesCounter().Increment(bytes);
+}
+
+std::int64_t TotalWeightPacks() { return WeightPackCounter().value(); }
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,171 @@
+// Packed-panel layouts for the tiled GEMM engine, plus compile-time weight
+// pre-packing.
+//
+// The micro-kernel consumes both operands in panel form:
+//
+//   A (m x k, the LHS)  -> row-panels of kGemmMr rows. Panel ip holds rows
+//     [ip*MR, ip*MR+MR); within the panel elements are k-major, interleaved
+//     by MR:        ap[(ip*k + kk)*MR + r] = A[ip*MR + r][kk]
+//     Rows past m are zero-filled, so tail panels feed the full-width
+//     micro-kernel and the extra lanes are simply never stored.
+//
+//   B (k x n, the RHS)  -> column-panels of kGemmNr columns:
+//                   bp[(jp*k + kk)*NR + j] = B[kk][jp*NR + j]
+//     Columns past n are zero-filled.
+//
+// Because panels are contiguous over the whole k extent, a k-cache block
+// [pc, pc+kc) of panel ip is the contiguous range ap + (ip*k + pc)*MR — the
+// blocked driver needs no per-block bookkeeping.
+//
+// Int8 panels use a *pair-interleaved* variant of the same scheme: k is
+// rounded up to even (PackedKS8, zero-padding the tail) and consecutive k
+// pairs are interleaved per row/column,
+//
+//   ap[ip*MR*k2 + p*2*MR + r*2 + t] = A[ip*MR + r][2p + t]
+//   bp[jp*NR*k2 + p*2*NR + j*2 + t] = B[2p + t][jp*NR + j]
+//
+// so the SSE2 micro-kernel can feed pmaddwd (s16 x s16 pair dot -> s32)
+// directly; the zero padding contributes nothing to any product or sum.
+//
+// Constant conv/dense weights are packed into this layout once, at
+// relay::Build / neuron::Compile time, and cached on the compiled artifact
+// (PackedWeightsCache): steady-state inference never repacks. For the int8
+// path the pack also precomputes the weight-side sums that the gemmlowp-style
+// zero-point factorization needs (see gemm.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tensor/ndarray.h"
+
+namespace tnp {
+namespace kernels {
+
+/// Micro-kernel register tile: MR rows x NR columns of C per inner loop.
+/// 4x8 keeps the full accumulator tile in SSE registers at plain -O3
+/// (baseline x86-64); wider/taller tiles measurably spill.
+inline constexpr std::int64_t kGemmMrF32 = 4;
+inline constexpr std::int64_t kGemmNrF32 = 8;
+inline constexpr std::int64_t kGemmMrS8 = 4;
+inline constexpr std::int64_t kGemmNrS8 = 8;
+/// Cache blocking: k is processed in kGemmKc slices, n in kGemmNc slices
+/// (kGemmNc is a multiple of both NR values so column panels never straddle
+/// a cache block).
+inline constexpr std::int64_t kGemmKc = 256;
+inline constexpr std::int64_t kGemmNc = 192;
+
+/// Rows (columns) after padding up to a whole number of panels.
+inline std::int64_t PackedExtent(std::int64_t extent, std::int64_t panel) {
+  return (extent + panel - 1) / panel * panel;
+}
+
+/// Int8 panels pad k up to even so the pmaddwd micro-kernel walks whole
+/// k pairs; a padded trailing slot is zero-filled and contributes nothing.
+inline std::int64_t PackedKS8(std::int64_t k) { return (k + 1) & ~std::int64_t{1}; }
+
+// ---------------------------------------------------------------------------
+// Raw panel packing into caller-provided storage (scratch or pre-pack).
+
+/// A-side f32: a is m x k row-major with leading dimension lda.
+/// `out` must hold PackedExtent(m, kGemmMrF32) * k floats.
+void PackPanelsAF32(const float* a, std::int64_t m, std::int64_t k, std::int64_t lda,
+                    float* out);
+
+/// A-side s8, pair-interleaved; also emits per-row sums (length m) for the
+/// zero-point factorization when `row_sums` is non-null.
+/// `out` must hold PackedExtent(m, kGemmMrS8) * PackedKS8(k) bytes.
+void PackPanelsAS8(const std::int8_t* a, std::int64_t m, std::int64_t k, std::int64_t lda,
+                   std::int8_t* out, std::int32_t* row_sums);
+
+/// B-side f32: b is k x n row-major with leading dimension ldb.
+/// `out` must hold PackedExtent(n, kGemmNrF32) * k floats.
+void PackPanelsBF32(const float* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
+                    float* out);
+
+/// B-side f32 from a transposed source: bt is n x k row-major (leading
+/// dimension ldbt) representing logical B[kk][j] = bt[j][kk] — the dense
+/// weight matrix.
+void PackPanelsBTransF32(const float* bt, std::int64_t k, std::int64_t n, std::int64_t ldbt,
+                         float* out);
+
+/// B-side s8, pair-interleaved; emits per-column sums (length n) when
+/// `col_sums` is non-null.
+/// `out` must hold PackedExtent(n, kGemmNrS8) * PackedKS8(k) bytes.
+void PackPanelsBS8(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
+                   std::int8_t* out, std::int32_t* col_sums);
+
+/// B-side s8 from a transposed (n x k) source, with per-column sums.
+void PackPanelsBTransS8(const std::int8_t* bt, std::int64_t k, std::int64_t n,
+                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums);
+
+// ---------------------------------------------------------------------------
+// Pre-packed weights.
+
+/// One weight tensor pre-packed into panel layout. Conv weights pack A-side
+/// (one sub-matrix per group, group-major in `data`); dense weights pack
+/// B-side (transposed, single group).
+struct PackedMatrix {
+  enum class Side : std::uint8_t { kA, kB };
+
+  Side side = Side::kA;
+  DType dtype = DType::kFloat32;
+  std::int64_t rows = 0;          ///< logical rows per group (A: m, B: k)
+  std::int64_t cols = 0;          ///< logical cols per group (A: k, B: n)
+  std::int64_t groups = 1;
+  std::int64_t panel = 0;         ///< MR (A) or NR (B) used at pack time
+  std::int64_t group_stride = 0;  ///< elements per group in `data`
+  NDArray data;                   ///< packed panels, 64-byte aligned
+  /// s8 only: per-group weight-side sums for zero-point factorization —
+  /// row sums (length groups*rows) for A-side, column sums (groups*cols)
+  /// for B-side. Undefined NDArray for f32.
+  NDArray sums;
+
+  std::int64_t total_bytes() const {
+    std::int64_t bytes = data.defined() ? static_cast<std::int64_t>(data.SizeBytes()) : 0;
+    if (sums.defined()) bytes += static_cast<std::int64_t>(sums.SizeBytes());
+    return bytes;
+  }
+};
+
+using PackedMatrixPtr = std::shared_ptr<const PackedMatrix>;
+
+/// Pack conv weights (OIHW, f32/s8) A-side per group. Throws on dtype
+/// mismatch. Counts one weight pack.
+PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups);
+PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups);
+
+/// Pack dense weights (n x k, f32/s8) B-side (transposed to k x n panels).
+PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight);
+PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight);
+
+/// Build-time cache of packed weights, stored on CompiledModule /
+/// NeuronPackage. Keyed by op + layout + weight identity so instructions
+/// sharing one constant share one pack.
+class PackedWeightsCache {
+ public:
+  PackedMatrixPtr GetOrPack(const std::string& key,
+                            const std::function<PackedMatrixPtr()>& pack);
+
+  int size() const;
+  std::int64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, PackedMatrixPtr> entries_;
+};
+
+/// Count one weight-panel pack (compile-time or runtime fallback). Published
+/// as the "kernels/pack/weight_packs" counter; steady-state runs must not
+/// move it.
+void CountWeightPack(std::int64_t bytes);
+
+/// Process-wide number of weight packs ever performed.
+std::int64_t TotalWeightPacks();
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,16 @@
+#include "kernels/scratch.h"
+
+namespace tnp {
+namespace kernels {
+
+support::Arena& ThreadScratchArena() {
+  thread_local support::Arena arena("kernels/scratch");
+  return arena;
+}
+
+std::size_t ThisThreadScratchHighWatermark() {
+  return ThreadScratchArena().scratch_high_watermark();
+}
+
+}  // namespace kernels
+}  // namespace tnp

@@ -1,0 +1,57 @@
+// Arena-backed kernel scratch — per-thread, zero heap allocations in steady
+// state.
+//
+// Kernels that need temporary storage (im2col panels, GEMM pack buffers,
+// int32 accumulators) open a ScratchFrame and Alloc() from it. Frames bump
+// out of a thread-local support::Arena and rewind it on destruction, so the
+// same chunks are reused call after call: after one warm-up pass a thread
+// serves every subsequent kernel invocation without touching the heap
+// (asserted in tests via Arena::TotalScratchChunkAllocs()).
+//
+// Frames nest with stack discipline (conv opens a frame, the GEMM it calls
+// opens another). ParallelFor workers that need per-tile staging use fixed
+// stack arrays instead of frames, so worker scheduling never causes a
+// steady-state chunk allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/arena.h"
+
+namespace tnp {
+namespace kernels {
+
+/// The calling thread's scratch arena (created on first use, lives for the
+/// thread's lifetime).
+support::Arena& ThreadScratchArena();
+
+/// RAII scratch frame over the calling thread's arena.
+class ScratchFrame {
+ public:
+  ScratchFrame() : arena_(ThreadScratchArena()), mark_(arena_.MarkScratch()) {}
+  ~ScratchFrame() { arena_.RewindScratch(mark_); }
+
+  ScratchFrame(const ScratchFrame&) = delete;
+  ScratchFrame& operator=(const ScratchFrame&) = delete;
+
+  /// 64-byte-aligned uninitialized storage for `count` elements of T, valid
+  /// until this frame is destroyed.
+  template <typename T>
+  T* Alloc(std::int64_t count) {
+    return static_cast<T*>(
+        arena_.Allocate(static_cast<std::size_t>(count) * sizeof(T)));
+  }
+
+ private:
+  support::Arena& arena_;
+  support::Arena::ScratchMark mark_;
+};
+
+/// Peak bytes ever simultaneously live in the calling thread's scratch
+/// arena. Deterministic for a fixed workload run on one thread — the
+/// bench-regression gate snapshots it.
+std::size_t ThisThreadScratchHighWatermark();
+
+}  // namespace kernels
+}  // namespace tnp

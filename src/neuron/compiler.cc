@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "kernels/conv.h"
 #include "support/memplan.h"
 #include "support/trace.h"
 
@@ -58,6 +59,49 @@ NeuronMemoryPlan PlanOperandStorage(const NeuronModel& model) {
   return plan;
 }
 
+/// Pack constant conv / fully-connected weights into GEMM panel layout once
+/// at compile time. Keyed by the constant's data pointer, so operations
+/// sharing one weight operand share one pack.
+void PrepackWeights(NeuronPackage* package) {
+  const NeuronModel& model = package->model;
+  package->op_packed_weights.resize(model.operations().size());
+  for (std::size_t i = 0; i < model.operations().size(); ++i) {
+    const Operation& op = model.operations()[i];
+    const bool conv = op.type == NeuronOpType::kConv2d;
+    const bool fc = op.type == NeuronOpType::kFullyConnected;
+    if ((!conv && !fc) || op.inputs.size() < 2) continue;
+    const Operand& weight = model.operand(op.inputs[1]);
+    if (weight.kind != OperandKind::kConstant || !weight.data.defined()) continue;
+    const bool int8 = weight.dtype == DType::kInt8;
+    if (!int8 && weight.dtype != DType::kFloat32) continue;
+
+    std::int64_t groups = 1;
+    if (conv) {
+      if (weight.shape.rank() != 4) continue;
+      groups = op.attrs.groups;
+      if (groups <= 0 || weight.shape[0] % groups != 0) continue;
+      if (!kernels::Conv2DUsesPackedWeights(weight.shape[0] / groups)) continue;
+    } else if (weight.shape.rank() != 2) {
+      continue;
+    }
+
+    const NDArray& data = weight.data;
+    const void* identity = int8 ? static_cast<const void*>(data.Data<std::int8_t>())
+                                : static_cast<const void*>(data.Data<float>());
+    std::string key = (conv ? "conv/" : "fc/");
+    key += int8 ? "s8/" : "f32/";
+    key += std::to_string(groups) + "/" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(identity));
+    package->op_packed_weights[i] = package->packed_weights.GetOrPack(key, [&] {
+      if (conv) {
+        return int8 ? kernels::PackConvWeightsS8(data, groups)
+                    : kernels::PackConvWeightsF32(data, groups);
+      }
+      return int8 ? kernels::PackDenseWeightsS8(data) : kernels::PackDenseWeightsF32(data);
+    });
+  }
+}
+
 }  // namespace
 
 int NeuronPackage::NumOpsOn(sim::DeviceKind device) const {
@@ -90,6 +134,7 @@ NeuronPackagePtr NeuronCompiler::Compile(NeuronModel model, const std::string& n
   package->plan = std::move(plan);
   package->memory = PlanOperandStorage(package->model);
   package->options = options_;
+  if (options_.prepack_weights) PrepackWeights(package.get());
   if (scope.armed()) {
     scope.AddArg(support::TraceArg("arena_bytes", package->memory.arena_bytes));
   }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "kernels/pack.h"
 #include "neuron/planner.h"
 
 namespace tnp {
@@ -15,6 +16,9 @@ struct CompilerOptions {
   TargetConfig target = TargetConfig::CpuOnly();
   const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
   PlannerPolicy policy = PlannerPolicy::kGreedyCost;
+  /// Pack constant conv/fully-connected weights into GEMM panel layout at
+  /// compile time (see kernels/pack.h); sessions then never repack.
+  bool prepack_weights = true;
 };
 
 /// Static storage assignment of one operand in a compiled package.
@@ -46,6 +50,11 @@ struct NeuronPackage {
   ExecutionPlan plan;
   NeuronMemoryPlan memory;
   CompilerOptions options;
+  /// Per-operation pre-packed constant weights (indexed by operation;
+  /// null for ops without a packable constant weight). Entries are shared
+  /// through `packed_weights` so reused constants pack once.
+  std::vector<kernels::PackedMatrixPtr> op_packed_weights;
+  kernels::PackedWeightsCache packed_weights;
 
   int NumOps() const { return static_cast<int>(model.operations().size()); }
   int NumOpsOn(sim::DeviceKind device) const;

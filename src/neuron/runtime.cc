@@ -42,9 +42,11 @@ kernels::Pool2DParams PoolParams(const NeuronOpAttrs& attrs) {
   return p;
 }
 
-/// Executes one Neuron operation numerically.
+/// Executes one Neuron operation numerically. `packed_weights` is the op's
+/// compile-time packed weight panel (conv / fully-connected only, else null).
 void RunOperation(const NeuronModel& model, const Operation& op,
-                  std::vector<NDArray>& values) {
+                  std::vector<NDArray>& values,
+                  const kernels::PackedMatrix* packed_weights) {
   const auto in = [&](std::size_t i) -> const NDArray& {
     const NDArray& value = values[static_cast<std::size_t>(op.inputs.at(i))];
     TNP_CHECK(value.defined()) << "operand %" << op.inputs.at(i) << " not materialized";
@@ -66,18 +68,19 @@ void RunOperation(const NeuronModel& model, const Operation& op,
       const NDArray bias = op.inputs.size() > 2 ? in(2) : NDArray();
       if (int8_out) {
         kernels::QConv2DS8(in(0), in(1), bias, out, ConvParams(op.attrs), in_quant(0),
-                           in_quant(1), out_quant);
+                           in_quant(1), out_quant, packed_weights);
       } else {
-        kernels::Conv2DF32(in(0), in(1), bias, out, ConvParams(op.attrs));
+        kernels::Conv2DF32(in(0), in(1), bias, out, ConvParams(op.attrs), packed_weights);
       }
       break;
     }
     case NeuronOpType::kFullyConnected: {
       const NDArray bias = op.inputs.size() > 2 ? in(2) : NDArray();
       if (int8_out) {
-        kernels::QDenseS8(in(0), in(1), bias, out, in_quant(0), in_quant(1), out_quant);
+        kernels::QDenseS8(in(0), in(1), bias, out, in_quant(0), in_quant(1), out_quant,
+                          packed_weights);
       } else {
-        kernels::DenseF32(in(0), in(1), bias, out);
+        kernels::DenseF32(in(0), in(1), bias, out, packed_weights);
       }
       break;
     }
@@ -311,7 +314,12 @@ std::vector<NDArray> NeuronRuntime::Execute(const NeuronPackage& package,
       residence[static_cast<std::size_t>(id)].insert(resource);
     }
 
-    if (execute_numerics) RunOperation(model, op, values);
+    if (execute_numerics) {
+      RunOperation(model, op, values,
+                   op_index < package.op_packed_weights.size()
+                       ? package.op_packed_weights[op_index].get()
+                       : nullptr);
+    }
   }
 
   // Download APU-resident outputs to host memory.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "kernels/conv.h"
 #include "relay/op.h"
 #include "relay/pass.h"
 #include "relay/visitor.h"
@@ -223,6 +224,59 @@ class Lowerer {
   const std::unordered_map<std::string, int>* external_index_;
   int next_group_ = 0;
 };
+
+/// Pack constant conv/dense weights into GEMM panel layout once, at build
+/// time (see kernels/pack.h). The weight's identity is its data pointer —
+/// instructions sharing one constant share one cache entry, and fused
+/// primitive bodies are already inlined as plain kCallOp instructions so
+/// they are covered by the same sweep.
+void PrepackConstantWeights(CompiledModule* compiled) {
+  std::unordered_map<int, const NDArray*> constants;
+  for (const auto& inst : compiled->instructions) {
+    if (inst.kind == Instruction::Kind::kConstant) {
+      constants[inst.output_slot] = &inst.constant;
+    }
+  }
+  for (auto& inst : compiled->instructions) {
+    if (inst.kind != Instruction::Kind::kCallOp || inst.input_slots.size() < 2) continue;
+    const bool conv = inst.op_name == "nn.conv2d" || inst.op_name == "qnn.conv2d";
+    const bool dense = inst.op_name == "nn.dense" || inst.op_name == "qnn.dense";
+    if (!conv && !dense) continue;
+    const auto it = constants.find(inst.input_slots[1]);
+    if (it == constants.end()) continue;  // dynamic weight: runtime fallback
+    const NDArray& weight = *it->second;
+    const bool int8 = weight.dtype() == DType::kInt8;
+    if (!int8 && weight.dtype() != DType::kFloat32) continue;
+
+    std::int64_t groups = 1;
+    const void* identity;
+    if (conv) {
+      if (weight.shape().rank() != 4) continue;
+      groups = inst.attrs.GetInt("groups", 1);
+      if (groups <= 0 || weight.shape()[0] % groups != 0) continue;
+      if (!kernels::Conv2DUsesPackedWeights(weight.shape()[0] / groups)) continue;
+      identity = int8 ? static_cast<const void*>(weight.Data<std::int8_t>())
+                      : static_cast<const void*>(weight.Data<float>());
+    } else {
+      if (weight.shape().rank() != 2) continue;
+      identity = int8 ? static_cast<const void*>(weight.Data<std::int8_t>())
+                      : static_cast<const void*>(weight.Data<float>());
+    }
+
+    std::string key = (conv ? "conv/" : "dense/");
+    key += int8 ? "s8/" : "f32/";
+    key += std::to_string(groups) + "/" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(identity));
+    inst.packed_weights = compiled->packed_weights.GetOrPack(key, [&] {
+      if (conv) {
+        return int8 ? kernels::PackConvWeightsS8(weight, groups)
+                    : kernels::PackConvWeightsF32(weight, groups);
+      }
+      return int8 ? kernels::PackDenseWeightsS8(weight)
+                  : kernels::PackDenseWeightsF32(weight);
+    });
+  }
+}
 
 /// In-place aliasing classes: which kCallOp instructions may write their
 /// output over their first input's arena region. Every kernel listed is
@@ -473,6 +527,8 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
 
   compiled->memory_plan = PlanMemory(*compiled);
 
+  if (options.prepack_weights) PrepackConstantWeights(compiled.get());
+
   if (build_scope.armed()) {
     build_scope.AddArg(support::TraceArg(
         "instructions", static_cast<std::int64_t>(compiled->instructions.size())));
@@ -558,7 +614,7 @@ void GraphExecutor::Execute(bool execute_numerics) {
           const TensorType& out_type = inst.out_type.AsTensor();
           out = NDArray::Empty(out_type.shape, out_type.dtype);
         }
-        EvalOpCallInto(inst.op_name, inst.attrs, args, out);
+        EvalOpCallInto(inst.op_name, inst.attrs, args, out, inst.packed_weights.get());
         slots_[static_cast<std::size_t>(inst.output_slot)] = Value(std::move(out));
         break;
       }

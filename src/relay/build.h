@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernels/pack.h"
 #include "relay/external.h"
 #include "relay/module.h"
 #include "support/arena.h"
@@ -62,6 +63,12 @@ struct Instruction {
   int tuple_index = 0;
   // kConstant
   NDArray constant;
+
+  /// Pre-packed panel form of this op's constant weight argument (conv/dense
+  /// only; null when the weight is dynamic, the op takes the direct path, or
+  /// prepack_weights is off). Shares the module-level PackedWeightsCache
+  /// entry, so instructions reusing one constant share one pack.
+  kernels::PackedMatrixPtr packed_weights;
 
   /// Cost descriptor (charged kCallOp; externals account internally).
   sim::OpDesc desc;
@@ -114,6 +121,9 @@ class CompiledModule {
   BuildOptions options;
   /// Static storage assignment computed at build time.
   MemoryPlan memory_plan;
+  /// Build-time packed constant weights, keyed by op kind + weight identity
+  /// (see pack.h). Instructions hold shared_ptrs into this cache.
+  kernels::PackedWeightsCache packed_weights;
 
   /// Static (simulation-only) latency estimate: execute no numerics, only
   /// walk the program accumulating simulated time.

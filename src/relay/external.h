@@ -76,6 +76,10 @@ using ExternalModulePtr = std::shared_ptr<ExternalModule>;
 struct BuildOptions {
   /// Run FuseOps before lowering (ablation hook).
   bool enable_fusion = true;
+  /// Pack constant conv/dense weights into GEMM panel layout at build time
+  /// (see kernels/pack.h); steady-state inference then never repacks. Off is
+  /// an ablation hook — kernels fall back to packing into scratch per call.
+  bool prepack_weights = true;
   /// Fold batch norms into conv weights before lowering (off by default so
   /// latency tables stay comparable; see bench/ablation_bn_fold).
   bool fold_batch_norm = false;

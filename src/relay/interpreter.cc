@@ -82,15 +82,17 @@ Type Value::GetType() const {
 }
 
 void EvalOpCallInto(const std::string& op, const Attrs& attrs,
-                    const std::vector<Value>& args, NDArray& out) {
+                    const std::vector<Value>& args, NDArray& out,
+                    const kernels::PackedMatrix* packed_weights) {
   const auto tensor_arg = [&](std::size_t i) -> const NDArray& { return args[i].AsTensor(); };
 
   if (op == "nn.conv2d") {
-    kernels::Conv2DF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs));
+    kernels::Conv2DF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs),
+                       packed_weights);
     return;
   }
   if (op == "nn.dense") {
-    kernels::DenseF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out);
+    kernels::DenseF32(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, packed_weights);
     return;
   }
   if (op == "nn.bias_add") {
@@ -251,14 +253,14 @@ void EvalOpCallInto(const std::string& op, const Attrs& attrs,
     kernels::QConv2DS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out, ConvParams(attrs),
                        QP(attrs, "input_scale", "input_zero_point"),
                        QP(attrs, "weight_scale", "weight_zero_point"),
-                       QP(attrs, "output_scale", "output_zero_point"));
+                       QP(attrs, "output_scale", "output_zero_point"), packed_weights);
     return;
   }
   if (op == "qnn.dense") {
     kernels::QDenseS8(tensor_arg(0), tensor_arg(1), tensor_arg(2), out,
                       QP(attrs, "input_scale", "input_zero_point"),
                       QP(attrs, "weight_scale", "weight_zero_point"),
-                      QP(attrs, "output_scale", "output_zero_point"));
+                      QP(attrs, "output_scale", "output_zero_point"), packed_weights);
     return;
   }
   if (op == "qnn.add" || op == "qnn.mul") {

@@ -12,6 +12,10 @@
 #include "tensor/ndarray.h"
 
 namespace tnp {
+namespace kernels {
+struct PackedMatrix;
+}  // namespace kernels
+
 namespace relay {
 
 /// Runtime value: a tensor or a tuple of values.
@@ -46,8 +50,12 @@ class Value {
 /// the op's inferred output type). `out` may alias the first argument for
 /// elementwise/identity ops — every kernel on that path is element-local.
 /// Performs no tensor allocation: this is the planned-arena execution path.
+/// `packed_weights` (conv/dense ops only) is the pre-packed panel form of
+/// the weight argument when the compiler prepared one; nullptr falls back to
+/// packing into arena scratch inside the kernel.
 void EvalOpCallInto(const std::string& op_name, const Attrs& attrs,
-                    const std::vector<Value>& args, NDArray& out);
+                    const std::vector<Value>& args, NDArray& out,
+                    const kernels::PackedMatrix* packed_weights = nullptr);
 
 /// Evaluate one operator call on already-computed argument values.
 /// The output tensor is freshly allocated (thin wrapper over EvalOpCallInto;

@@ -24,6 +24,18 @@ metrics::Gauge& ArenaBytesGauge() {
   return gauge;
 }
 
+metrics::Gauge& ScratchBytesGauge() {
+  static metrics::Gauge& gauge =
+      metrics::Registry::Global().GetGauge("memory/scratch/bytes");
+  return gauge;
+}
+
+metrics::Counter& ScratchChunkAllocCounter() {
+  static metrics::Counter& counter =
+      metrics::Registry::Global().GetCounter("memory/scratch/chunk_allocs");
+  return counter;
+}
+
 std::shared_ptr<std::byte> AllocBlock(std::size_t bytes) {
   void* raw = std::aligned_alloc(kAlignment, AlignUp(std::max<std::size_t>(bytes, 1)));
   TNP_CHECK(raw != nullptr) << "arena allocation of " << bytes << " bytes failed";
@@ -44,7 +56,7 @@ Arena::Arena(std::string name) : name_(std::move(name)) {}
 
 Arena::~Arena() {
   if (capacity_ > 0) ArenaBytesGauge().Add(-static_cast<double>(capacity_));
-  if (scratch_bytes_ > 0) ArenaBytesGauge().Add(-static_cast<double>(scratch_bytes_));
+  if (scratch_bytes_ > 0) ScratchBytesGauge().Add(-static_cast<double>(scratch_bytes_));
 }
 
 void Arena::Reserve(std::size_t bytes) {
@@ -73,25 +85,64 @@ std::byte* Arena::Data(std::size_t offset, std::size_t bytes) {
 
 void* Arena::Allocate(std::size_t bytes) {
   bytes = AlignUp(std::max<std::size_t>(bytes, 1));
-  if (scratch_.empty() || scratch_.back()->capacity - scratch_.back()->used < bytes) {
+  // Advance past (rewound) chunks too small for this request; a warmed-up
+  // arena serves every frame from existing chunks without touching the heap.
+  while (active_chunk_ < scratch_.size() &&
+         scratch_[active_chunk_]->capacity - scratch_[active_chunk_]->used < bytes) {
+    ++active_chunk_;
+  }
+  if (active_chunk_ == scratch_.size()) {
     // Chunks double from 64 KiB so long scratch sequences stay O(log n)
     // allocations; addresses of earlier chunks stay stable.
     const std::size_t chunk_bytes =
         std::max<std::size_t>({bytes, 64 * 1024, scratch_.empty() ? 0 : 2 * scratch_.back()->capacity});
     scratch_.push_back(std::make_unique<Chunk>(chunk_bytes));
-    ArenaBytesGauge().Add(static_cast<double>(chunk_bytes));
+    ScratchBytesGauge().Add(static_cast<double>(chunk_bytes));
+    ScratchChunkAllocCounter().Increment();
     scratch_bytes_ += chunk_bytes;
   }
-  Chunk& chunk = *scratch_.back();
+  Chunk& chunk = *scratch_[active_chunk_];
   std::byte* result = chunk.block.get() + chunk.used;
   chunk.used += bytes;
+  scratch_used_ += bytes;
+  scratch_watermark_ = std::max(scratch_watermark_, scratch_used_);
   return result;
 }
 
+Arena::ScratchMark Arena::MarkScratch() const {
+  ScratchMark mark;
+  mark.chunk = active_chunk_;
+  mark.used = active_chunk_ < scratch_.size() ? scratch_[active_chunk_]->used : 0;
+  return mark;
+}
+
+void Arena::RewindScratch(const ScratchMark& mark) {
+  TNP_CHECK(mark.chunk <= active_chunk_) << "scratch marks must rewind in stack order";
+  std::size_t released = 0;
+  for (std::size_t c = scratch_.size(); c-- > mark.chunk + 1;) {
+    released += scratch_[c]->used;
+    scratch_[c]->used = 0;
+  }
+  if (mark.chunk < scratch_.size()) {
+    TNP_CHECK(mark.used <= scratch_[mark.chunk]->used);
+    released += scratch_[mark.chunk]->used - mark.used;
+    scratch_[mark.chunk]->used = mark.used;
+  }
+  TNP_CHECK(released <= scratch_used_);
+  scratch_used_ -= released;
+  active_chunk_ = mark.chunk;
+}
+
 void Arena::ResetScratch() {
-  if (scratch_bytes_ > 0) ArenaBytesGauge().Add(-static_cast<double>(scratch_bytes_));
+  if (scratch_bytes_ > 0) ScratchBytesGauge().Add(-static_cast<double>(scratch_bytes_));
   scratch_.clear();
+  active_chunk_ = 0;
   scratch_bytes_ = 0;
+  scratch_used_ = 0;
+}
+
+std::int64_t Arena::TotalScratchChunkAllocs() {
+  return ScratchChunkAllocCounter().value();
 }
 
 }  // namespace support

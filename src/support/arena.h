@@ -11,12 +11,20 @@
 // Data() call the base address is frozen (growing would dangle every view).
 //
 // Every arena publishes its footprint through the metrics registry:
-//   memory/arena/bytes        — gauge (Add +/-); max() = peak concurrent
-//                               planned bytes across all live arenas
-//   memory/arena/reservations — counter of Reserve calls that grew a block
+//   memory/arena/bytes          — gauge (Add +/-); max() = peak concurrent
+//                                 planned bytes across all live arenas
+//   memory/arena/reservations   — counter of Reserve calls that grew a block
+//   memory/scratch/bytes        — gauge of live scratch-chunk bytes (kept
+//                                 separate so the planned-arena gauge stays a
+//                                 deterministic compiler artifact)
+//   memory/scratch/chunk_allocs — counter of scratch chunk mallocs; the
+//                                 zero-alloc steady-state hook (a warm frame
+//                                 sequence replayed via Mark/Rewind must not
+//                                 move it)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +39,12 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  /// Position of the scratch bump pointer; a frame boundary for RewindScratch.
+  struct ScratchMark {
+    std::size_t chunk = 0;  ///< index of the active chunk
+    std::size_t used = 0;   ///< bytes used inside that chunk
+  };
 
   /// Ensure the planned region [0, bytes) exists. Growing is only legal
   /// before the first Data() call.
@@ -47,12 +61,28 @@ class Arena {
   /// Bump-allocate unplanned scratch (64-byte aligned, stable addresses).
   void* Allocate(std::size_t bytes);
 
+  /// Current bump position, to be restored with RewindScratch. Stack
+  /// discipline: marks must be rewound in reverse order of creation.
+  ScratchMark MarkScratch() const;
+
+  /// Roll the bump pointer back to `mark`, keeping every chunk allocated so
+  /// the next frame reuses the same memory without touching the heap.
+  void RewindScratch(const ScratchMark& mark);
+
   /// Drop all scratch chunks; planned block and its views are unaffected.
   void ResetScratch();
 
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
   std::size_t scratch_bytes() const { return scratch_bytes_; }
+  /// Bytes currently bump-allocated across scratch chunks (excludes chunk
+  /// tail waste) and the lifetime peak of that figure.
+  std::size_t scratch_used() const { return scratch_used_; }
+  std::size_t scratch_high_watermark() const { return scratch_watermark_; }
+
+  /// Process-wide count of scratch chunk heap allocations, ever. Steady-state
+  /// zero-allocation tests assert this stays flat across warm iterations.
+  static std::int64_t TotalScratchChunkAllocs();
 
  private:
   struct Chunk;
@@ -62,7 +92,10 @@ class Arena {
   std::size_t capacity_ = 0;
   bool frozen_ = false;
   std::vector<std::unique_ptr<Chunk>> scratch_;
+  std::size_t active_chunk_ = 0;  ///< bump chunk; earlier chunks are full or rewound
   std::size_t scratch_bytes_ = 0;
+  std::size_t scratch_used_ = 0;
+  std::size_t scratch_watermark_ = 0;
 };
 
 }  // namespace support

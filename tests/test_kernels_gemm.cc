@@ -1,0 +1,253 @@
+// Differential tests for the packed GEMM engine: the tiled micro-kernel
+// paths are checked against the naive references across odd M/K/N tails,
+// multi-block k/n extents, and nonzero zero points (s8 must be bit-exact —
+// the zero-point factorization is all-integer). The packed-weight kernel
+// entry points are checked bitwise against their pack-on-the-fly fallbacks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/conv.h"
+#include "kernels/dense.h"
+#include "kernels/gemm.h"
+#include "kernels/pack.h"
+#include "support/rng.h"
+
+namespace tnp {
+namespace kernels {
+namespace {
+
+std::vector<float> RandomF32(std::int64_t count, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(count));
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<std::int8_t> RandomS8(std::int64_t count, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  std::vector<std::int8_t> v(static_cast<std::size_t>(count));
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+  return v;
+}
+
+NDArray RandomS32Bias(std::int64_t n, std::uint64_t seed, int lo, int hi) {
+  NDArray bias = NDArray::Empty(Shape({n}), DType::kInt32);
+  support::SplitMix64 rng(seed);
+  std::int32_t* d = bias.Data<std::int32_t>();
+  for (std::int64_t i = 0; i < n; ++i) {
+    d[i] = static_cast<std::int32_t>(rng.UniformInt(lo, hi));
+  }
+  return bias;
+}
+
+void ExpectBitwiseEqualS8(const NDArray& a, const NDArray& b) {
+  ASSERT_EQ(a.SizeBytes(), b.SizeBytes());
+  const std::int8_t* pa = a.Data<std::int8_t>();
+  const std::int8_t* pb = b.Data<std::int8_t>();
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(a.SizeBytes()); ++i) {
+    ASSERT_EQ(static_cast<int>(pa[i]), static_cast<int>(pb[i])) << "byte " << i;
+  }
+}
+
+struct GemmShape {
+  std::int64_t m, k, n;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, F32MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandomF32(m * k, 1);
+  const auto b = RandomF32(k * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m * n), -1.0f);
+  std::vector<float> ref(static_cast<std::size_t>(m * n), 1.0f);
+  GemmF32(a.data(), b.data(), c.data(), m, k, n);
+  GemmF32Reference(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f * static_cast<float>(k) + 1e-6f) << "at " << i;
+  }
+}
+
+TEST_P(GemmSweep, S8BitExactWithNonzeroZeroPoints) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandomS8(m * k, 3);
+  const auto b = RandomS8(k * n, 4);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -7);
+  std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n), 7);
+  GemmS8S32(a.data(), b.data(), c.data(), m, k, n, /*a_zero=*/-3, /*b_zero=*/11);
+  GemmS8S32Reference(a.data(), b.data(), ref.data(), m, k, n, -3, 11);
+  EXPECT_EQ(c, ref);
+}
+
+TEST_P(GemmSweep, S8BitExactOneSidedZeroPoints) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandomS8(m * k, 5);
+  const auto b = RandomS8(k * n, 6);
+  for (const auto& [az, bz] : {std::pair<int, int>{0, 0}, {5, 0}, {0, -9}}) {
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n));
+    GemmS8S32(a.data(), b.data(), c.data(), m, k, n, az, bz);
+    GemmS8S32Reference(a.data(), b.data(), ref.data(), m, k, n, az, bz);
+    EXPECT_EQ(c, ref) << "az=" << az << " bz=" << bz;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmShape{1, 1, 1},      // degenerate
+                      GemmShape{3, 5, 7},      // all-odd tails
+                      GemmShape{4, 8, 8},      // exact tiles, even k
+                      GemmShape{5, 9, 17},     // odd k (s8 pair padding)
+                      GemmShape{13, 31, 29},   // odd everything
+                      GemmShape{8, 300, 24},   // k spans two cache blocks
+                      GemmShape{6, 16, 200},   // n spans two cache blocks
+                      GemmShape{17, 257, 193}  // odd multi-block tails
+                      ));
+
+TEST(Gemm, ZeroKZeroFillsOutput) {
+  const float af[1] = {9.0f};
+  const float bf[1] = {9.0f};
+  std::vector<float> c(6, 123.0f);
+  GemmF32(af, bf, c.data(), 2, 0, 3);
+  for (const float x : c) EXPECT_EQ(x, 0.0f);
+  const std::int8_t ai[1] = {9};
+  const std::int8_t bi[1] = {9};
+  std::vector<std::int32_t> ci(6, 123);
+  GemmS8S32(ai, bi, ci.data(), 2, 0, 3, 4, 5);
+  for (const std::int32_t x : ci) EXPECT_EQ(x, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed weights vs. the pack-on-the-fly fallback: the fallback builds
+// identical panels with identical summation order, so results are bitwise
+// equal — any divergence means the compile-time pack and the kernel layout
+// drifted apart.
+
+struct ConvCase {
+  std::int64_t batch, ci, hw, co, kernel, stride, pad, dilation, groups;
+};
+
+class PackedConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(PackedConvSweep, F32PackedMatchesFallbackBitwise) {
+  const ConvCase& c = GetParam();
+  NDArray input = NDArray::RandomNormal(Shape({c.batch, c.ci, c.hw, c.hw}), 40, 1.0f);
+  NDArray weight =
+      NDArray::RandomNormal(Shape({c.co, c.ci / c.groups, c.kernel, c.kernel}), 41, 0.5f);
+  NDArray bias = NDArray::RandomNormal(Shape({c.co}), 42, 0.1f);
+  Conv2DParams p;
+  p.stride_h = p.stride_w = c.stride;
+  p.pad_h = p.pad_w = c.pad;
+  p.dilation_h = p.dilation_w = c.dilation;
+  p.groups = c.groups;
+  const Shape out_shape = Conv2DOutShape(input.shape(), weight.shape(), p);
+
+  const PackedMatrixPtr packed = PackConvWeightsF32(weight, c.groups);
+  NDArray with_pack = NDArray::Empty(out_shape, DType::kFloat32);
+  NDArray without = NDArray::Empty(out_shape, DType::kFloat32);
+  Conv2DF32(input, weight, bias, with_pack, p, packed.get());
+  Conv2DF32(input, weight, bias, without, p, nullptr);
+  EXPECT_EQ(NDArray::MaxAbsDiff(with_pack, without), 0.0);
+}
+
+TEST_P(PackedConvSweep, S8PackedMatchesFallbackBitwise) {
+  const ConvCase& c = GetParam();
+  const QuantParams in_q(0.04f, 5);
+  const QuantParams w_q(0.03f, -2);
+  const QuantParams out_q(0.3f, -1);
+  NDArray input = NDArray::RandomInt8(Shape({c.batch, c.ci, c.hw, c.hw}), 43, -110, 110);
+  NDArray weight = NDArray::RandomInt8(Shape({c.co, c.ci / c.groups, c.kernel, c.kernel}),
+                                       44, -110, 110);
+  NDArray bias = RandomS32Bias(c.co, 45, -40, 40);
+  Conv2DParams p;
+  p.stride_h = p.stride_w = c.stride;
+  p.pad_h = p.pad_w = c.pad;
+  p.dilation_h = p.dilation_w = c.dilation;
+  p.groups = c.groups;
+  const Shape out_shape = Conv2DOutShape(input.shape(), weight.shape(), p);
+
+  const PackedMatrixPtr packed = PackConvWeightsS8(weight, c.groups);
+  NDArray with_pack = NDArray::Empty(out_shape, DType::kInt8);
+  NDArray without = NDArray::Empty(out_shape, DType::kInt8);
+  QConv2DS8(input, weight, bias, with_pack, p, in_q, w_q, out_q, packed.get());
+  QConv2DS8(input, weight, bias, without, p, in_q, w_q, out_q, nullptr);
+  ExpectBitwiseEqualS8(with_pack, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedConvSweep,
+    ::testing::Values(ConvCase{1, 3, 8, 8, 3, 1, 0, 1, 1},   // valid conv
+                      ConvCase{1, 3, 9, 5, 3, 1, 1, 1, 1},   // padded, odd co/hw
+                      ConvCase{2, 4, 8, 6, 3, 2, 1, 1, 1},   // strided, batch 2
+                      ConvCase{1, 8, 8, 16, 3, 1, 1, 1, 4},  // grouped
+                      ConvCase{1, 3, 12, 5, 3, 1, 2, 2, 1},  // dilated
+                      ConvCase{1, 5, 10, 7, 1, 1, 0, 1, 1},  // 1x1, odd k
+                      ConvCase{1, 3, 16, 9, 7, 2, 3, 1, 1}   // 7x7/2 stem
+                      ));
+
+TEST(PackedDense, F32AndS8PackedMatchFallbackBitwise) {
+  for (const auto [m, k, n] : {GemmShape{1, 17, 9}, GemmShape{4, 16, 8},
+                               GemmShape{5, 33, 13}}) {
+    NDArray input_f = NDArray::RandomNormal(Shape({m, k}), 50, 1.0f);
+    NDArray weight_f = NDArray::RandomNormal(Shape({n, k}), 51, 0.5f);
+    NDArray bias_f = NDArray::RandomNormal(Shape({n}), 52, 0.1f);
+    NDArray a = NDArray::Empty(Shape({m, n}), DType::kFloat32);
+    NDArray b = NDArray::Empty(Shape({m, n}), DType::kFloat32);
+    const PackedMatrixPtr packed_f = PackDenseWeightsF32(weight_f);
+    DenseF32(input_f, weight_f, bias_f, a, packed_f.get());
+    DenseF32(input_f, weight_f, bias_f, b, nullptr);
+    EXPECT_EQ(NDArray::MaxAbsDiff(a, b), 0.0);
+
+    const QuantParams in_q(0.05f, 4);
+    const QuantParams w_q(0.02f, -3);
+    const QuantParams out_q(0.4f, 2);
+    NDArray input_q = NDArray::RandomInt8(Shape({m, k}), 53, -120, 120);
+    NDArray weight_q = NDArray::RandomInt8(Shape({n, k}), 54, -120, 120);
+    NDArray bias_q = RandomS32Bias(n, 55, -30, 30);
+    NDArray qa = NDArray::Empty(Shape({m, n}), DType::kInt8);
+    NDArray qb = NDArray::Empty(Shape({m, n}), DType::kInt8);
+    const PackedMatrixPtr packed_q = PackDenseWeightsS8(weight_q);
+    QDenseS8(input_q, weight_q, bias_q, qa, in_q, w_q, out_q, packed_q.get());
+    QDenseS8(input_q, weight_q, bias_q, qb, in_q, w_q, out_q, nullptr);
+    ExpectBitwiseEqualS8(qa, qb);
+  }
+}
+
+TEST(PackedWeightsCache, SharesEntriesByKey) {
+  NDArray weight = NDArray::RandomNormal(Shape({8, 16}), 60, 1.0f);
+  PackedWeightsCache cache;
+  const std::int64_t packs_before = TotalWeightPacks();
+  const PackedMatrixPtr first =
+      cache.GetOrPack("dense/f32/1/w", [&] { return PackDenseWeightsF32(weight); });
+  const PackedMatrixPtr second =
+      cache.GetOrPack("dense/f32/1/w", [&] { return PackDenseWeightsF32(weight); });
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(TotalWeightPacks() - packs_before, 1);
+  EXPECT_EQ(cache.total_bytes(), first->total_bytes());
+}
+
+TEST(PackedMatrix, ConvPackRecordsGeometryAndSums) {
+  NDArray weight = NDArray::RandomInt8(Shape({6, 5, 3, 3}), 61, -100, 100);
+  const PackedMatrixPtr packed = PackConvWeightsS8(weight, /*groups=*/2);
+  EXPECT_EQ(packed->side, PackedMatrix::Side::kA);
+  EXPECT_EQ(packed->rows, 3);        // co per group
+  EXPECT_EQ(packed->cols, 45);       // ci_g * kh * kw
+  EXPECT_EQ(packed->groups, 2);
+  EXPECT_EQ(packed->group_stride, PackedExtent(3, kGemmMrS8) * PackedKS8(45));
+  ASSERT_TRUE(packed->sums.defined());
+  // Row sums must equal the plain weight-row sums (zero-point algebra input).
+  const std::int8_t* w = weight.Data<std::int8_t>();
+  const std::int32_t* sums = packed->sums.Data<std::int32_t>();
+  for (std::int64_t oc = 0; oc < 6; ++oc) {
+    std::int32_t expected = 0;
+    for (std::int64_t t = 0; t < 45; ++t) expected += w[oc * 45 + t];
+    EXPECT_EQ(sums[oc], expected) << "oc=" << oc;
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tnp

@@ -9,6 +9,7 @@
 #include "core/flows.h"
 #include "core/pipeline_executor.h"
 #include "frontend/common.h"
+#include "kernels/pack.h"
 #include "relay/build.h"
 #include "support/arena.h"
 #include "support/memplan.h"
@@ -384,14 +385,20 @@ TEST(MemoryPlan, SteadyStateRunsAllocateNoTensorsOnEveryFlow) {
     const auto session = core::TryCompileFlow(module, flow, &error);
     ASSERT_NE(session, nullptr) << core::FlowName(flow) << ": " << error;
     session->SetInput("data", input);
-    session->Run();  // warmup: all buffers bound
+    session->Run();  // warmup: all buffers bound, kernel scratch arena grown
     const std::int64_t before = NDArray::TotalAllocations();
+    const std::int64_t chunks_before = support::Arena::TotalScratchChunkAllocs();
+    const std::int64_t packs_before = kernels::TotalWeightPacks();
     for (int frame = 0; frame < 3; ++frame) {
       session->SetInput("data", input);
       session->Run();
     }
     EXPECT_EQ(NDArray::TotalAllocations() - before, 0)
         << core::FlowName(flow) << " allocated tensors in steady state";
+    EXPECT_EQ(support::Arena::TotalScratchChunkAllocs() - chunks_before, 0)
+        << core::FlowName(flow) << " grew kernel scratch in steady state";
+    EXPECT_EQ(kernels::TotalWeightPacks() - packs_before, 0)
+        << core::FlowName(flow) << " repacked weights in steady state";
     (void)session->GetOutput(0);
   }
 }
