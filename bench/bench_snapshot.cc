@@ -193,6 +193,17 @@ int main(int argc, char** argv) {
     metrics["serve/closed_loop/ok"] =
         {static_cast<double>(result.ok), /*lower_is_better=*/false,
          /*gate=*/false};
+
+    // Health snapshot after the run: the state-machine level (0 = healthy)
+    // and the worst SLO burn rate seen by the monitor's evaluation. Wall
+    // clock dependent, so informational like the throughput numbers.
+    server.health().Evaluate();
+    metrics["serve/health/state"] =
+        {static_cast<double>(static_cast<int>(server.health().state())),
+         /*lower_is_better=*/true, /*gate=*/false};
+    metrics["serve/health/worst_burn"] =
+        {server.health().last_signals().worst_burn, /*lower_is_better=*/true,
+         /*gate=*/false};
   }
 
   WriteSnapshot(metrics, path);

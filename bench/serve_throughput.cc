@@ -8,9 +8,15 @@
 //      registry's "serve/request/us" histogram;
 //   3. open-loop overload — at a submission rate beyond capacity the server
 //      must shed or CPU-fall-back requests (nonzero serve/shed or
-//      serve/fallback) while every queue stays within its configured bound;
+//      serve/fallback) while every queue stays within its configured bound,
+//      and the per-priority shed counters (serve/shed/p<N>) must account
+//      for every shed request;
 //   4. steady-state memory — a warm serving loop with caller-provided
 //      buffers performs zero tensor heap allocations.
+//
+// The closed-loop phase also runs a TelemetrySampler so the windowed
+// time-series collector fills, and reports the steady-window (last 10s)
+// p50/p95/p99 alongside the whole-run registry percentiles.
 //
 // Any violated property prints FAIL and the process exits nonzero.
 // `--quick` shrinks request counts (the CTest configuration).
@@ -21,6 +27,8 @@
 #include "frontend/common.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
+#include "support/telemetry.h"
+#include "support/timeseries.h"
 
 using namespace tnp;
 using support::metrics::Registry;
@@ -75,6 +83,7 @@ std::vector<serve::ClientStream> MakeStreams(int count, bool with_buffers,
     serve::ClientStream stream;
     stream.model = c % 2 == 0 ? "det-cpu" : "emo-apu";
     stream.inputs = {{"data", Input()}};
+    stream.priority = c % 2 == 0 ? 1 : 0;  // detector-style streams preempt
     stream.think_time_us = think_time_us;
     if (with_buffers) {
       stream.output_buffers = {NDArray::Zeros(Shape({1, 8}), DType::kFloat32)};
@@ -119,6 +128,10 @@ int main(int argc, char** argv) {
     // leaves the server mostly idle; throughput must grow as more streams
     // multiplex onto it.
     const double think_us = 3000.0;
+    auto& steady_window =
+        support::timeseries::Collector::Global().TrackHistogram("serve/request/us");
+    support::TelemetrySampler sampler;
+    sampler.Start();
     support::Table table({"client streams", "ok", "shed", "throughput rps",
                           "p50 ms", "p95 ms", "p99 ms"});
     for (const int clients : {1, 2, 4, 8}) {
@@ -137,6 +150,14 @@ int main(int argc, char** argv) {
     table.Print(std::cout, "  closed-loop scaling (" + std::to_string(per_client) +
                                " requests/client):");
     std::cout << "\n";
+    sampler.Stop();
+    support::timeseries::Collector::Global().Tick();  // pull the final samples
+    const auto steady = steady_window.Summarize(10);
+    std::cout << "  steady-window (last 10s, via time-series collector): "
+              << steady.count << " samples, p50 " << bench::Ms(steady.p50) << " ms, p95 "
+              << bench::Ms(steady.p95) << " ms, p99 " << bench::Ms(steady.p99) << " ms\n";
+    Check(steady.count > 0 && steady.p50 <= steady.p99,
+          "windowed time-series percentiles populated and ordered");
     Check(thr_max > thr_one * 1.15,
           "aggregate throughput scales with concurrent streams (1 -> N: " +
               support::FormatDouble(thr_one, 1) + " -> " + support::FormatDouble(thr_max, 1) +

@@ -11,6 +11,7 @@
 //                                           [--capacity Q] [--overload]
 //                                           [--trace[=path]] [--metrics[=path]]
 //                                           [--flight-record=path]
+//                                           [--http-port=N]
 //
 // The run ends with the serving metrics: per-model latency percentiles,
 // queue-depth high-watermarks, and the shed/fallback/expired counters (see
@@ -19,6 +20,10 @@
 // metrics snapshot (Prometheus text for .prom paths, JSON otherwise), and
 // `--flight-record` arms the flight recorder: an overload shed-storm dumps
 // the last moments of trace + metrics to the given path automatically.
+// `--http-port=N` serves the live debug endpoints (/metrics, /healthz,
+// /timeseries, /flightrecord) on 127.0.0.1:N for the run's duration, and the
+// run self-probes them at the end, writing healthz_capture.json and
+// metrics_capture.prom next to the binary (CI archives both).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -28,9 +33,12 @@
 #include "frontend/common.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
+#include "support/debug_http.h"
+#include "support/error.h"
 #include "support/flight_recorder.h"
 #include "support/string_util.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 #include "support/trace.h"
 
 using namespace tnp;
@@ -91,6 +99,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string flight_path;
+  int http_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> int { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
@@ -103,11 +112,12 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics") metrics_path = "serve_metrics.json";
     else if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
     else if (arg.rfind("--flight-record=", 0) == 0) flight_path = arg.substr(16);
+    else if (arg.rfind("--http-port=", 0) == 0) http_port = std::atoi(arg.c_str() + 12);
   }
   if (streams < 1 || requests < 1 || capacity < 1) {
     std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
                  " [--overload] [--trace[=path]] [--metrics[=path]]"
-                 " [--flight-record=path]\n";
+                 " [--flight-record=path] [--http-port=N]\n";
     return 2;
   }
 
@@ -135,6 +145,24 @@ int main(int argc, char** argv) {
        Stage("anti-spoof", 12, core::FlowKind::kByocCpuApu, core::FlowKind::kByocCpu),
        Stage("emotion", 8, core::FlowKind::kNpApu, core::FlowKind::kNpCpu)},
       options);
+
+  support::DebugHttpServer http;
+  support::TelemetrySampler sampler;
+  if (http_port >= 0) {
+    support::RegisterSupportEndpoints(http);
+    server.health().RegisterWith(http);
+    try {
+      http.Start(http_port);
+    } catch (const Error& e) {
+      std::cerr << "cannot serve debug endpoints: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "debug endpoints on http://127.0.0.1:" << http.port()
+              << " (/metrics /healthz /timeseries /flightrecord)\n";
+    // Keep the time-series collector advancing while the load runs so the
+    // /timeseries windows carry live data.
+    sampler.Start();
+  }
 
   const char* model_names[] = {"detector", "anti-spoof", "emotion"};
   std::vector<serve::ClientStream> clients;
@@ -205,6 +233,28 @@ int main(int argc, char** argv) {
               << " (chrome://tracing or ui.perfetto.dev; spans carry req_id)\n";
   }
   if (!metrics_path.empty()) WriteMetricsSnapshot(metrics_path);
+  if (http_port >= 0) {
+    // Self-probe over real loopback HTTP — the same path an external
+    // prober exercises — and keep the captures on disk for CI to archive.
+    const auto healthz = support::HttpGet(http.port(), "/healthz");
+    const auto metrics = support::HttpGet(http.port(), "/metrics");
+    if (healthz.status != 0) {
+      std::ofstream("healthz_capture.json") << healthz.body;
+      std::cout << "  /healthz -> " << healthz.status
+                << " (wrote healthz_capture.json)\n";
+    } else {
+      std::cerr << "  /healthz probe failed: " << healthz.error << "\n";
+    }
+    if (metrics.status != 0) {
+      std::ofstream("metrics_capture.prom") << metrics.body;
+      std::cout << "  /metrics -> " << metrics.status
+                << " (wrote metrics_capture.prom)\n";
+    } else {
+      std::cerr << "  /metrics probe failed: " << metrics.error << "\n";
+    }
+    sampler.Stop();
+    http.Stop();
+  }
   if (!flight_path.empty() &&
       support::FlightRecorder::Global().dumps() == 0) {
     // No storm fired: dump manually so the run still leaves a record.

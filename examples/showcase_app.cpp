@@ -8,6 +8,7 @@
 //                                             [--seed S] [--trace[=path]]
 //                                             [--metrics[=path]]
 //                                             [--flight-record=path]
+//                                             [--http-port=N]
 //
 // --frames N sizes the run and --seed S makes it reproducible (the seed
 // feeds both the synthetic scene and the models' weights), so command lines
@@ -21,13 +22,18 @@
 // --metrics writes the end-of-run metrics snapshot (Prometheus text for
 // .prom paths, JSON otherwise); --flight-record dumps the flight-recorder
 // document (trace tail + metrics) to the given path when the run ends.
+// --http-port=N serves the live debug endpoints (/metrics, /timeseries,
+// /flightrecord) on 127.0.0.1:N for the run's duration.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "support/debug_http.h"
+#include "support/error.h"
 #include "support/flight_recorder.h"
 #include "support/metrics.h"
+#include "support/telemetry.h"
 #include "support/trace.h"
 #include "vision/app.h"
 
@@ -40,6 +46,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string flight_path;
+  int http_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace", 0) == 0) {
@@ -50,6 +57,8 @@ int main(int argc, char** argv) {
           arg.size() > 10 && arg[9] == '=' ? arg.substr(10) : "showcase_metrics.json";
     } else if (arg.rfind("--flight-record=", 0) == 0) {
       flight_path = arg.substr(16);
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      http_port = std::atoi(arg.c_str() + 12);
     } else if (arg == "--frames" && i + 1 < argc) {
       num_frames = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -58,7 +67,8 @@ int main(int argc, char** argv) {
       num_frames = std::atoi(arg.c_str());
     } else {
       std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
-                   "[--trace[=path]] [--metrics[=path]] [--flight-record=path]\n";
+                   "[--trace[=path]] [--metrics[=path]] [--flight-record=path] "
+                   "[--http-port=N]\n";
       return 2;
     }
   }
@@ -70,6 +80,20 @@ int main(int argc, char** argv) {
   if (num_frames < 1) {
     std::cerr << "showcase_app: frame count must be >= 1\n";
     return 2;
+  }
+  support::DebugHttpServer http;
+  support::TelemetrySampler sampler;
+  if (http_port >= 0) {
+    support::RegisterSupportEndpoints(http);
+    try {
+      http.Start(http_port);
+    } catch (const Error& e) {
+      std::cerr << "cannot serve debug endpoints: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "debug endpoints on http://127.0.0.1:" << http.port()
+              << " (/metrics /timeseries /flightrecord)\n";
+    sampler.Start();
   }
 
   const Scene scene = Scene::Random(320, 240, 4, 2, seed);
@@ -148,6 +172,10 @@ int main(int argc, char** argv) {
   if (!flight_path.empty()) {
     support::FlightRecorder::Global().Dump("end-of-run");
     std::cout << "flight record written to " << flight_path << "\n";
+  }
+  if (http_port >= 0) {
+    sampler.Stop();
+    http.Stop();  // joins the listener thread and in-flight connections
   }
   return identical ? 0 : 1;
 }

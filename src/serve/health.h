@@ -1,0 +1,174 @@
+// Per-server health state machine: Healthy -> Degraded -> Unhealthy, derived
+// from the SLO burn rates (support/slo.h) and the serving layer's own
+// saturation signals (queue depth, shed/fallback fractions, session-pool
+// occupancy).
+//
+// The state machine is asymmetric on purpose: it escalates *immediately*
+// when any signal crosses its threshold (overload must tighten admission
+// now), but recovers one level at a time only after `recovery_ticks`
+// consecutive clean evaluations — hysteresis that keeps the server from
+// flapping between states on a noisy boundary.
+//
+// Consequences of each state:
+//
+//   - kHealthy:   nothing changes.
+//   - kDegraded:  with `tighten_admission` enabled, InferenceServer::Submit
+//                 sheds requests below `degraded_min_priority` at admission,
+//                 preserving budget for the traffic that matters.
+//   - kUnhealthy: admission tightens further (`unhealthy_min_priority`), the
+//                 flight recorder fires exactly once with the transition
+//                 reason (the moments *before* going unhealthy are the ones
+//                 worth keeping), and /healthz answers 503 so an external
+//                 balancer drains the instance.
+//
+// Every transition publishes the "serve/health/state" gauge, increments
+// "serve/health/transitions", and emits a trace instant event. Evaluation
+// runs either on the monitor's own cadence thread (Start) or deterministic-
+// ally via Evaluate(HealthSignals) in tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/slo.h"
+#include "support/timeseries.h"
+
+namespace tnp {
+namespace support {
+class DebugHttpServer;
+}  // namespace support
+
+namespace serve {
+
+enum class HealthState : int { kHealthy = 0, kDegraded = 1, kUnhealthy = 2 };
+const char* HealthStateName(HealthState state);
+
+/// One evaluation's inputs. The monitor fills burn/shed/fallback from the
+/// time-series collector; queue/pool saturation come from the signal source
+/// the server installs (tests inject the whole struct directly).
+struct HealthSignals {
+  double worst_burn = 0.0;        ///< worst confirmed SLO burn (min of windows)
+  double queue_saturation = 0.0;  ///< max over queues of size/capacity
+  double shed_fraction = 0.0;     ///< sheds / submissions over the short window
+  double fallback_fraction = 0.0; ///< fallbacks / submissions over the short window
+  double pool_saturation = 0.0;   ///< sessions in flight / pool capacity
+};
+
+/// Escalation thresholds per signal. A signal >= its degraded bound votes
+/// for kDegraded; >= its unhealthy bound votes for kUnhealthy; the target
+/// state is the worst vote. Set a bound above any reachable value to opt a
+/// signal out (pool saturation defaults to opted out: a fully-busy pool is
+/// normal at peak throughput).
+struct HealthThresholds {
+  double degraded_burn = 1.0;
+  double unhealthy_burn = 6.0;
+  double degraded_queue = 0.75;
+  double unhealthy_queue = 1.0;
+  double degraded_shed_fraction = 0.05;
+  double unhealthy_shed_fraction = 0.25;
+  double degraded_fallback_fraction = 2.0;  ///< opted out by default
+  double unhealthy_fallback_fraction = 2.0;
+  double degraded_pool = 2.0;  ///< opted out by default
+  double unhealthy_pool = 2.0;
+  /// Consecutive evaluations with a calmer target before the state steps
+  /// *down* one level (escalation is immediate).
+  int recovery_ticks = 3;
+};
+
+struct HealthOptions {
+  bool enabled = true;
+  /// Let the server shed low-priority work at admission while Degraded or
+  /// Unhealthy. Off by default: observation never changes behaviour unless
+  /// asked to.
+  bool tighten_admission = false;
+  /// Lowest priority still admitted in each tightened state.
+  int degraded_min_priority = 1;
+  int unhealthy_min_priority = 2;
+  /// Cadence of the monitor's own evaluation thread (Start); 0 disables the
+  /// thread, leaving evaluation to explicit Evaluate() calls.
+  int auto_evaluate_period_ms = 250;
+  /// Advance the time-series collector each evaluation pass. Turn off when
+  /// something else (TelemetrySampler, a test's injected clock) owns Tick().
+  bool auto_tick_collector = true;
+  HealthThresholds thresholds;
+  /// Extra SLO objectives evaluated alongside the built-in availability
+  /// objective (sheds per submission, target 99%).
+  std::vector<support::slo::Objective> objectives;
+  support::slo::SloTrackerOptions slo;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options = {},
+                         support::timeseries::Collector* collector = nullptr);
+  ~HealthMonitor();  ///< Stops the cadence thread if running.
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Install the callback that fills queue/pool saturation (the server's
+  /// internals). Called under no monitor lock.
+  void SetSignalSource(std::function<void(HealthSignals*)> source);
+
+  /// Start the cadence thread (no-op when disabled or period is 0).
+  void Start();
+  void Stop();  ///< Idempotent join.
+
+  /// One evaluation pass: tick the collector (if owned), evaluate the SLOs,
+  /// gather signals, step the state machine. Returns the resulting state.
+  HealthState Evaluate();
+  /// Deterministic variant for tests: SLOs are still evaluated (for gauge
+  /// publication) but the state machine sees exactly `signals`.
+  HealthState Evaluate(const HealthSignals& signals);
+
+  HealthState state() const { return state_.load(std::memory_order_acquire); }
+  /// Whether a request of `priority` passes the health admission gate.
+  bool AdmitsPriority(int priority) const;
+  /// Lowest admitted priority right now (INT_MIN when not tightening).
+  int min_admit_priority() const;
+
+  /// Signals seen by the most recent evaluation.
+  HealthSignals last_signals() const;
+  /// State transitions since construction.
+  std::int64_t transitions() const;
+
+  support::slo::SloTracker& slo_tracker() { return slo_; }
+  const HealthOptions& options() const { return options_; }
+
+  /// {"state": "healthy", "since_transitions": N, "signals": {...},
+  ///  "objectives": [...]} — the /healthz document.
+  std::string HealthzJson() const;
+  /// Serve /healthz on `server`: 200 while Healthy/Degraded, 503 while
+  /// Unhealthy (balancer semantics: Degraded still serves).
+  void RegisterWith(support::DebugHttpServer& server);
+
+ private:
+  HealthState TargetState(const HealthSignals& signals) const;
+  HealthState Step(const HealthSignals& signals);
+  void Loop();
+
+  HealthOptions options_;
+  support::timeseries::Collector* collector_;
+  support::slo::SloTracker slo_;
+
+  std::atomic<HealthState> state_{HealthState::kHealthy};
+  mutable std::mutex mutex_;
+  std::function<void(HealthSignals*)> signal_source_;
+  HealthSignals last_signals_;
+  int calm_ticks_ = 0;  ///< consecutive evaluations targeting a calmer state
+  std::int64_t transitions_ = 0;
+
+  std::condition_variable cv_;
+  bool thread_running_ = false;
+  bool thread_stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace tnp

@@ -34,6 +34,15 @@ support::metrics::Counter& Expired() {
   static auto& counter = Registry::Global().GetCounter("serve/expired");
   return counter;
 }
+/// Per-priority shed attribution ("serve/shed/p<N>") — what the bench and
+/// the health layer use to check that tightening spares high priorities.
+void RecordShedAt(int priority) {
+  Shed().Increment();
+  Registry::Global().GetCounter("serve/shed/p" + std::to_string(priority)).Increment();
+  // Overload signal: arms the flight recorder's shed-storm detector (cheap
+  // no-op while the recorder is disarmed).
+  support::FlightRecorder::Global().RecordShed();
+}
 support::metrics::Counter& Completed() {
   static auto& counter = Registry::Global().GetCounter("serve/completed");
   return counter;
@@ -98,6 +107,7 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models, ServerOptions 
           SessionKey(name, flow),
           [module, flow, settings] { return core::CompileFlow(module, flow, settings); },
           options_.sessions_per_flow);
+      pool_capacity_ += options_.sessions_per_flow;
     }
   }
   if (options_.warm_start) pool_.WarmUp();
@@ -113,6 +123,22 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models, ServerOptions 
   for (std::size_t r = 0; r < queues_.size(); ++r) {
     executors_.emplace_back([this, r] { ExecutorLoop(r); });
   }
+
+  health_ = std::make_unique<HealthMonitor>(options_.health);
+  health_->SetSignalSource([this](HealthSignals* signals) {
+    for (const auto& queue : queues_) {
+      if (queue->capacity() == 0) continue;
+      signals->queue_saturation =
+          std::max(signals->queue_saturation,
+                   static_cast<double>(queue->size()) /
+                       static_cast<double>(queue->capacity()));
+    }
+    if (pool_capacity_ > 0) {
+      signals->pool_saturation =
+          Registry::Global().GetGauge("serve/pool/in_flight").value() /
+          static_cast<double>(pool_capacity_);
+    }
+  });
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -123,6 +149,7 @@ void InferenceServer::Shutdown() {
     if (shutdown_) return;
     shutdown_ = true;
   }
+  if (health_ != nullptr) health_->Stop();
   for (auto& queue : queues_) queue->Close();
   for (auto& executor : executors_) executor.join();
 }
@@ -178,6 +205,24 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   const int priority = entry.request.priority;
   support::TraceContextScope trace_scope(entry.trace);
 
+  // Health admission gate: while Degraded/Unhealthy (and tightening is
+  // enabled) requests below the state's minimum priority shed immediately,
+  // before they can displace higher-priority work in the queues.
+  if (health_ != nullptr && !health_->AdmitsPriority(priority)) {
+    RecordShedAt(priority);
+    TNP_TRACE_INSTANT("serve.request", "shed", support::TraceArg("model", model_name),
+                      support::TraceArg("priority", priority),
+                      support::TraceArg("health",
+                                        HealthStateName(health_->state())));
+    TNP_LOG(DEBUG) << "shed by health gate" << support::KV("model", model_name)
+                   << support::KV("priority", priority)
+                   << support::KV("state", HealthStateName(health_->state()));
+    ServeResponse response;
+    response.status = ServeStatus::kShed;
+    Respond(std::move(entry), std::move(response));
+    return future;
+  }
+
   const std::size_t primary_queue = QueueIndexOf(*model, entry.flow);
   if (queues_[primary_queue]->TryPush(entry)) {
     TNP_TRACE_INSTANT("serve.request", "submit", support::TraceArg("model", model_name),
@@ -209,10 +254,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
     }
   }
 
-  Shed().Increment();
-  // Overload signal: arms the flight recorder's shed-storm detector (cheap
-  // no-op while the recorder is disarmed).
-  support::FlightRecorder::Global().RecordShed();
+  RecordShedAt(priority);
   TNP_TRACE_INSTANT("serve.request", "shed", support::TraceArg("model", model_name),
                     support::TraceArg("priority", priority));
   TNP_LOG(DEBUG) << "shed at admission" << support::KV("model", model_name)

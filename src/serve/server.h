@@ -36,6 +36,7 @@
 #include "core/pipeline_executor.h"
 #include "core/scheduler.h"
 #include "relay/module.h"
+#include "serve/health.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "serve/session_pool.h"
@@ -77,6 +78,10 @@ struct ServerOptions {
   /// device. Inject a private instance to host several independent servers
   /// (= several simulated devices) in one process.
   core::ResourceLocks* locks = nullptr;
+  /// Health state machine (serve/health.h). Enabled by default as pure
+  /// observation; set health.tighten_admission to let Degraded/Unhealthy
+  /// states shed low-priority requests at admission.
+  HealthOptions health;
 };
 
 class InferenceServer {
@@ -102,6 +107,10 @@ class InferenceServer {
   const ServedModel* FindModel(const std::string& name) const;
   const ServerOptions& options() const { return options_; }
   SessionPool& pool() { return pool_; }
+  /// The server's health state machine; wired to the queues and pool via a
+  /// signal source. Call health().Start() to run it on its own cadence, or
+  /// health().Evaluate() from an existing one (tests, TelemetrySampler).
+  HealthMonitor& health() { return *health_; }
 
  private:
   /// Queue a flow dispatches from: APU when the flow occupies it.
@@ -116,6 +125,8 @@ class InferenceServer {
   std::map<std::string, ServedModel> models_;
   core::ResourceLocks* locks_;
   SessionPool pool_;
+  std::unique_ptr<HealthMonitor> health_;
+  std::size_t pool_capacity_ = 0;  ///< registered sessions (saturation denom)
   /// Indexed by sim::Resource value (kCpu, kApu).
   std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::vector<std::thread> executors_;

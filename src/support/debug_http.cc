@@ -1,0 +1,345 @@
+#include "support/debug_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/flight_recorder.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/thread_pool.h"
+#include "support/timeseries.h"
+
+namespace tnp {
+namespace support {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read until the end of the request head ("\r\n\r\n") or EOF; debug
+/// requests are tiny, so 8 KiB bounds the head.
+std::string ReadRequestHead(int fd) {
+  std::string head;
+  char buffer[1024];
+  while (head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    head.append(buffer, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return head;
+}
+
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) return false;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return false;
+  request->method = line.substr(0, method_end);
+  std::string target = line.substr(method_end + 1, target_end - method_end - 1);
+  const std::size_t query_at = target.find('?');
+  if (query_at != std::string::npos) {
+    request->query = target.substr(query_at + 1);
+    target.resize(query_at);
+  }
+  request->path = std::move(target);
+  return !request->path.empty() && request->path[0] == '/';
+}
+
+}  // namespace
+
+DebugHttpServer::~DebugHttpServer() { Stop(); }
+
+void DebugHttpServer::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+void DebugHttpServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TNP_CHECK(!running_) << "DebugHttpServer already running on port " << port_;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    TNP_THROW(kRuntimeError) << "debug-http: cannot create socket: "
+                             << std::strerror(errno);
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int bind_errno = errno;
+    ::close(fd);
+    TNP_THROW(kRuntimeError) << "debug-http: cannot bind 127.0.0.1:" << port << ": "
+                             << std::strerror(bind_errno)
+                             << (bind_errno == EADDRINUSE
+                                     ? " (is another process serving this port?)"
+                                     : "");
+  }
+  if (::listen(fd, 16) != 0) {
+    const int listen_errno = errno;
+    ::close(fd);
+    TNP_THROW(kRuntimeError) << "debug-http: cannot listen on 127.0.0.1:" << port
+                             << ": " << std::strerror(listen_errno);
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  listen_fd_ = fd;
+  running_ = true;
+  listener_ = std::thread([this] { ListenLoop(); });
+  TNP_LOG(INFO) << "debug-http listening" << KV("port", port_);
+}
+
+void DebugHttpServer::Stop() {
+  std::thread listener;
+  std::vector<std::future<void>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    // shutdown() wakes the blocked accept(); the loop then sees running_
+    // false and exits before touching the closed fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    listener = std::move(listener_);
+    connections = std::move(connections_);
+  }
+  if (listener.joinable()) listener.join();
+  for (auto& connection : connections) {
+    if (connection.valid()) connection.wait();
+  }
+}
+
+bool DebugHttpServer::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int DebugHttpServer::port() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return port_;
+}
+
+void DebugHttpServer::ListenLoop() {
+  for (;;) {
+    int listen_fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) return;
+      listen_fd = listen_fd_;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) return;
+      continue;  // transient (EINTR etc.)
+    }
+    // Never let one hung client pin a pool worker or block Stop().
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+    std::future<void> done =
+        ThreadPool::Global().Submit([this, fd] { ServeConnection(fd); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      done.wait();  // raced with Stop(): finish it here
+      return;
+    }
+    // Reap finished handlers so the vector stays small on long runs.
+    auto alive = connections_.begin();
+    for (auto& connection : connections_) {
+      if (connection.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        *alive++ = std::move(connection);
+      }
+    }
+    connections_.erase(alive, connections_.end());
+    connections_.push_back(std::move(done));
+  }
+}
+
+HttpResponse DebugHttpServer::Dispatch(const HttpRequest& request) const {
+  HttpHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    HttpResponse response;
+    response.status = 404;
+    response.body = "not found: " + request.path + "\nendpoints:\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [path, unused] : handlers_) response.body += "  " + path + "\n";
+    return response;
+  }
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    HttpResponse response;
+    response.status = 503;
+    response.body = std::string("handler failed: ") + e.what() + "\n";
+    return response;
+  }
+}
+
+void DebugHttpServer::ServeConnection(int fd) {
+  const std::string head = ReadRequestHead(fd);
+  HttpRequest request;
+  HttpResponse response;
+  if (!ParseRequestLine(head, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    response = Dispatch(request);
+  }
+
+  std::string wire = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  wire += "Content-Type: " + response.content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += response.body;
+  SendAll(fd, wire);
+  ::close(fd);
+}
+
+// ------------------------------------------------------- standard endpoints
+
+void RegisterSupportEndpoints(DebugHttpServer& server) {
+  server.Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = metrics::ExportPrometheus();
+    return response;
+  });
+  server.Handle("/timeseries", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::vector<int> windows = {10, 60};
+    if (request.query.rfind("window=", 0) == 0) {
+      const int w = std::atoi(request.query.c_str() + 7);
+      if (w > 0) windows = {w};
+    }
+    response.body = timeseries::Collector::Global().ExportJson(windows);
+    return response;
+  });
+  server.Handle("/flightrecord", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = FlightRecorder::Global().Render("on-demand");
+    return response;
+  });
+}
+
+// -------------------------------------------------------- loopback client
+
+HttpResult HttpGet(int port, const std::string& path) {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    result.error = std::string("socket: ") + std::strerror(errno);
+    return result;
+  }
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    result.error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+                   std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+
+  SendAll(fd, "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n");
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 <status> ...\r\n<headers>\r\n\r\n<body>"
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos) {
+    result.error = "malformed response";
+    return result;
+  }
+  result.status = std::atoi(raw.c_str() + status_at + 1);
+  std::size_t body_at = raw.find("\r\n\r\n");
+  std::size_t body_skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    body_skip = 2;
+  }
+  if (body_at != std::string::npos) {
+    const std::string head = raw.substr(0, body_at);
+    result.body = raw.substr(body_at + body_skip);
+    // Content-Type, case-insensitively prefixed lines only (debug server).
+    std::size_t line_start = 0;
+    while (line_start < head.size()) {
+      std::size_t line_end = head.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = head.size();
+      std::string line = head.substr(line_start, line_end - line_start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.rfind("Content-Type:", 0) == 0 || line.rfind("content-type:", 0) == 0) {
+        std::size_t value_at = 13;
+        while (value_at < line.size() && line[value_at] == ' ') ++value_at;
+        result.content_type = line.substr(value_at);
+      }
+      line_start = line_end + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace support
+}  // namespace tnp

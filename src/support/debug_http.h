@@ -1,0 +1,109 @@
+// Minimal blocking HTTP/1.0 debug listener — the scrape surface an external
+// prober (Prometheus, a router health-check, curl) uses to read this
+// process's live state.
+//
+// Deliberately tiny: GET only, exact-path routing, one response per
+// connection ("Connection: close"), bound to 127.0.0.1. The listener runs
+// on its own thread and hands each accepted connection to the shared
+// support::ThreadPool, so a slow client never blocks accept. Stop() (and
+// the destructor) closes the listen socket, joins the listener thread and
+// waits for in-flight connections — no leaked sockets or threads under
+// ASan/TSan.
+//
+//   DebugHttpServer http;
+//   RegisterSupportEndpoints(http);        // /metrics /timeseries /flightrecord
+//   monitor.RegisterWith(http);            // /healthz (serve/health.h)
+//   http.Start(8080);                      // throws kRuntimeError if in use
+//   ... curl http://127.0.0.1:8080/healthz ...
+//   http.Stop();
+//
+// HttpGet() is the matching loopback client, used by tests and by the
+// examples' end-of-run self-capture.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tnp {
+namespace support {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;   ///< without the query string
+  std::string query;  ///< raw text after '?', possibly empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class DebugHttpServer {
+ public:
+  DebugHttpServer() = default;
+  ~DebugHttpServer();  ///< Stop()s if running.
+
+  DebugHttpServer(const DebugHttpServer&) = delete;
+  DebugHttpServer& operator=(const DebugHttpServer&) = delete;
+
+  /// Route an exact path ("/healthz") to `handler`. Register before
+  /// Start(); later registrations replace earlier ones for the same path.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = pick an ephemeral port, see port()) and
+  /// start accepting. Throws tnp::Error(kRuntimeError) when the port is
+  /// already in use or the socket cannot be created.
+  void Start(int port);
+
+  /// Close the listen socket, join the listener thread, wait for in-flight
+  /// connection handlers. Idempotent.
+  void Stop();
+
+  bool running() const;
+  /// The bound port (after Start; meaningful with Start(0)).
+  int port() const;
+
+ private:
+  void ListenLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread listener_;
+  std::vector<std::future<void>> connections_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool running_ = false;
+};
+
+/// Register the process-wide observability endpoints:
+///   /metrics      Prometheus text exposition of the metrics registry
+///   /timeseries   JSON window stats from timeseries::Collector::Global()
+///                 (?window=N picks the window seconds, default 10 and 60)
+///   /flightrecord on-demand flight-recorder document (trace tail + metrics)
+void RegisterSupportEndpoints(DebugHttpServer& server);
+
+struct HttpResult {
+  int status = 0;  ///< 0 = transport failure, see `error`
+  std::string content_type;
+  std::string body;
+  std::string error;
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Blocking loopback GET against 127.0.0.1:`port` (HTTP/1.0, reads to EOF).
+/// Transport failures return status 0 with `error` set — no exceptions, so
+/// probe loops stay simple.
+HttpResult HttpGet(int port, const std::string& path);
+
+}  // namespace support
+}  // namespace tnp

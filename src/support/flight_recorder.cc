@@ -46,6 +46,7 @@ void FlightRecorder::Configure(FlightRecorderOptions options) {
   options_ = std::move(options);
   armed_ = true;
   storm_dumped_ = false;
+  health_dumped_ = false;
   shed_times_.clear();
 }
 
@@ -119,6 +120,15 @@ void FlightRecorder::RecordShed() {
     shed_times_.clear();
   }
   Dump("shed-storm");
+}
+
+void FlightRecorder::RecordHealthTransition(const std::string& detail) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || health_dumped_) return;
+    health_dumped_ = true;  // one-shot until re-Configure
+  }
+  Dump("health:" + detail);
 }
 
 std::int64_t FlightRecorder::dumps() const {

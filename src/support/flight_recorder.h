@@ -60,6 +60,11 @@ class FlightRecorder {
   /// once with reason "shed-storm".
   void RecordShed();
 
+  /// Health signal from the serving layer: the monitor just transitioned to
+  /// Unhealthy. Dumps once with reason "health:<detail>" while armed
+  /// (one-shot until the next Configure); cheap no-op while disarmed.
+  void RecordHealthTransition(const std::string& detail);
+
   /// Automatic + manual dumps since process start.
   std::int64_t dumps() const;
 
@@ -70,6 +75,7 @@ class FlightRecorder {
   bool armed_ = false;
   FlightRecorderOptions options_;
   bool storm_dumped_ = false;
+  bool health_dumped_ = false;
   std::deque<std::chrono::steady_clock::time_point> shed_times_;
   std::int64_t dumps_ = 0;
 };

@@ -86,6 +86,13 @@ HistogramSummary Histogram::Summarize() const {
   return summary;
 }
 
+void Histogram::DrainSamplesSince(std::size_t* cursor, std::vector<double>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (*cursor > samples_.size()) *cursor = 0;  // Reset() rewound the samples
+  for (std::size_t i = *cursor; i < samples_.size(); ++i) out->push_back(samples_[i]);
+  *cursor = samples_.size();
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   samples_.clear();
@@ -277,20 +284,28 @@ std::string JsonNumber(double value) {
 
 std::string ExportPrometheus(const Registry& registry) {
   std::string out;
+  // Entries() iterates in sorted-name order, so the exposition is
+  // deterministic and diffable run to run. The HELP text is the metric's
+  // original slash-separated registry name — the mapping a scraper needs to
+  // get back to the in-process name.
   for (const MetricRef& ref : registry.Entries()) {
     const std::string name = PrometheusName(ref.name);
     if (ref.counter != nullptr) {
+      out += "# HELP " + name + " " + ref.name + "\n";
       out += "# TYPE " + name + " counter\n";
       out += name + " " + std::to_string(ref.counter->value()) + "\n";
     }
     if (ref.gauge != nullptr) {
+      out += "# HELP " + name + " " + ref.name + "\n";
       out += "# TYPE " + name + " gauge\n";
       out += name + " " + PrometheusValue(ref.gauge->value()) + "\n";
+      out += "# HELP " + name + "_max high-watermark of " + ref.name + "\n";
       out += "# TYPE " + name + "_max gauge\n";
       out += name + "_max " + PrometheusValue(ref.gauge->max()) + "\n";
     }
     if (ref.histogram != nullptr) {
       const HistogramSummary s = ref.histogram->Summarize();
+      out += "# HELP " + name + " " + ref.name + "\n";
       out += "# TYPE " + name + " summary\n";
       out += name + "{quantile=\"0.5\"} " + PrometheusValue(s.p50) + "\n";
       out += name + "{quantile=\"0.95\"} " + PrometheusValue(s.p95) + "\n";

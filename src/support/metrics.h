@@ -74,6 +74,12 @@ class Histogram {
   /// Nearest-rank percentile over the retained samples, p in (0, 100].
   double Percentile(double p) const;
   HistogramSummary Summarize() const;
+  /// Append the raw samples recorded since `*cursor` to `out` and advance
+  /// the cursor — how the time-series collector drains new samples into its
+  /// per-second ring. Only the first kMaxSamples are retained; past the cap
+  /// the cursor saturates. A cursor beyond the current size (the histogram
+  /// was Reset) restarts from zero.
+  void DrainSamplesSince(std::size_t* cursor, std::vector<double>* out) const;
   void Reset();
 
  private:
@@ -137,11 +143,13 @@ class Registry {
 
 // ------------------------------------------------------------- exporters
 
-/// Prometheus text exposition (version 0.0.4) of every registered metric.
+/// Prometheus text exposition (version 0.0.4) of every registered metric,
+/// in sorted-name order (deterministic and diffable across runs).
 /// Slash-separated names sanitize to `tnp_`-prefixed underscore names
-/// ("serve/queue/cpu/depth" -> "tnp_serve_queue_cpu_depth"); gauges export
-/// their high-watermark as an extra `<name>_max` series, histograms export
-/// as summaries (quantile series + `_sum`/`_count`).
+/// ("serve/queue/cpu/depth" -> "tnp_serve_queue_cpu_depth"); every series
+/// carries `# HELP` (the original slash name) and `# TYPE` lines; gauges
+/// export their high-watermark as an extra `<name>_max` series, histograms
+/// export as summaries (quantile series + `_sum`/`_count`).
 std::string ExportPrometheus(const Registry& registry = Registry::Global());
 
 /// JSON snapshot: {"counters": {...}, "gauges": {name: {value, max}},

@@ -1,0 +1,142 @@
+#include "support/slo.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace support {
+namespace slo {
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk: return "ok";
+    case AlertState::kWarning: return "warning";
+    case AlertState::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+SloTracker::SloTracker(SloTrackerOptions options, timeseries::Collector* collector)
+    : options_(options),
+      collector_(collector != nullptr ? collector : &timeseries::Collector::Global()) {}
+
+void SloTracker::AddObjective(Objective objective) {
+  TNP_CHECK(!objective.name.empty()) << "SLO objective needs a name";
+  TNP_CHECK(objective.target > 0.0 && objective.target < 1.0)
+      << "SLO target must be in (0, 1), got " << objective.target;
+  TNP_CHECK(objective.short_window_s > 0 &&
+            objective.long_window_s >= objective.short_window_s)
+      << "SLO windows must satisfy 0 < short <= long";
+  if (!objective.histogram.empty()) {
+    collector_->TrackHistogram(objective.histogram);
+  } else {
+    TNP_CHECK(!objective.bad_counter.empty() && !objective.total_counter.empty())
+        << "SLO objective '" << objective.name
+        << "' needs either a histogram or a bad/total counter pair";
+    collector_->TrackCounter(objective.bad_counter);
+    collector_->TrackCounter(objective.total_counter);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tracked tracked;
+  tracked.objective = std::move(objective);
+  objectives_.push_back(std::move(tracked));
+}
+
+std::size_t SloTracker::num_objectives() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objectives_.size();
+}
+
+double SloTracker::ErrorFraction(const Tracked& tracked, int window_s) const {
+  const Objective& objective = tracked.objective;
+  if (!objective.histogram.empty()) {
+    const timeseries::LatencySeries* series =
+        collector_->FindHistogram(objective.histogram);
+    if (series == nullptr) return 0.0;
+    return 1.0 - series->FractionBelow(objective.threshold_us, window_s);
+  }
+  const timeseries::RateSeries* bad = collector_->FindCounter(objective.bad_counter);
+  const timeseries::RateSeries* total = collector_->FindCounter(objective.total_counter);
+  if (bad == nullptr || total == nullptr) return 0.0;
+  const std::int64_t total_events = total->DeltaOver(window_s);
+  if (total_events <= 0) return 0.0;  // no traffic = no errors
+  const std::int64_t bad_events = std::min(bad->DeltaOver(window_s), total_events);
+  return static_cast<double>(bad_events) / static_cast<double>(total_events);
+}
+
+std::vector<ObjectiveStatus> SloTracker::Evaluate() {
+  auto& registry = metrics::Registry::Global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectiveStatus> statuses;
+  statuses.reserve(objectives_.size());
+  double worst_burn = 0.0;
+  AlertState worst_alert = AlertState::kOk;
+
+  for (Tracked& tracked : objectives_) {
+    const Objective& objective = tracked.objective;
+    const double budget = 1.0 - objective.target;
+
+    ObjectiveStatus status;
+    status.name = objective.name;
+    status.burn_short = ErrorFraction(tracked, objective.short_window_s) / budget;
+    status.burn_long = ErrorFraction(tracked, objective.long_window_s) / budget;
+
+    // Multiwindow AND: both windows must burn for the alert to fire, and
+    // both must cool for it to clear.
+    const double confirmed = status.effective_burn();
+    if (confirmed >= options_.critical_burn) {
+      status.alert = AlertState::kCritical;
+    } else if (confirmed >= options_.warning_burn) {
+      status.alert = AlertState::kWarning;
+    } else {
+      status.alert = AlertState::kOk;
+    }
+
+    if (status.alert != tracked.alert) {
+      TNP_TRACE_INSTANT("health", "slo:" + objective.name,
+                        TraceArg("from", AlertStateName(tracked.alert)),
+                        TraceArg("to", AlertStateName(status.alert)),
+                        TraceArg("burn_short", status.burn_short),
+                        TraceArg("burn_long", status.burn_long));
+      TNP_LOG(INFO) << "slo alert transition" << KV("objective", objective.name)
+                    << KV("from", AlertStateName(tracked.alert))
+                    << KV("to", AlertStateName(status.alert))
+                    << KV("burn_short", status.burn_short)
+                    << KV("burn_long", status.burn_long);
+      registry.GetCounter("health/slo/" + objective.name + "/transitions").Increment();
+      tracked.alert = status.alert;
+    }
+    registry.GetGauge("health/slo/" + objective.name + "/burn_short")
+        .Set(status.burn_short);
+    registry.GetGauge("health/slo/" + objective.name + "/burn_long")
+        .Set(status.burn_long);
+    registry.GetGauge("health/slo/" + objective.name + "/alert")
+        .Set(static_cast<double>(status.alert));
+
+    worst_burn = std::max(worst_burn, confirmed);
+    worst_alert = std::max(worst_alert, status.alert);
+    statuses.push_back(std::move(status));
+  }
+
+  worst_burn_ = worst_burn;
+  worst_alert_ = worst_alert;
+  registry.GetGauge("health/slo/worst_burn").Set(worst_burn);
+  return statuses;
+}
+
+double SloTracker::worst_burn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worst_burn_;
+}
+
+AlertState SloTracker::worst_alert() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worst_alert_;
+}
+
+}  // namespace slo
+}  // namespace support
+}  // namespace tnp

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/metrics.h"
+#include "support/timeseries.h"
 #include "support/trace.h"
 
 namespace tnp {
@@ -57,8 +58,14 @@ void TelemetrySampler::Loop() {
   }
 }
 
+void TelemetrySampler::AddSampleCallback(std::function<void()> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
 void TelemetrySampler::SampleOnce() {
   using metrics::MetricRef;
+  if (options_.advance_timeseries) timeseries::Collector::Global().Tick();
   const std::vector<MetricRef> refs = metrics::Registry::Global().Entries();
   for (const MetricRef& ref : refs) {
     if (IsTelemetryDerived(ref.name)) continue;  // never sample our own output
@@ -75,6 +82,12 @@ void TelemetrySampler::SampleOnce() {
       registry.GetGauge("telemetry/" + ref.name + "/p99").Set(s.p99);
     }
   }
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callbacks = callbacks_;
+  }
+  for (const auto& callback : callbacks) callback();
   samples_.fetch_add(1, std::memory_order_relaxed);
 }
 

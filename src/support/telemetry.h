@@ -19,8 +19,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 namespace tnp {
 namespace support {
@@ -31,6 +33,11 @@ struct TelemetrySamplerOptions {
   bool publish_trace_counters = true;
   /// "/us" histograms -> "telemetry/<name>/p50|p95|p99" gauges.
   bool publish_percentiles = true;
+  /// Advance the windowed time-series collector (timeseries.h) each pass,
+  /// making the sampler cadence the clock that fills the per-second ring.
+  /// Turn off when something else owns Collector::Tick (a test's injected
+  /// clock, or a HealthMonitor with auto_tick_collector).
+  bool advance_timeseries = true;
 };
 
 class TelemetrySampler {
@@ -50,6 +57,11 @@ class TelemetrySampler {
   /// Public so tests and exit paths can sample deterministically.
   void SampleOnce();
 
+  /// Run `callback` at the end of every sampling pass (thread + manual) —
+  /// how periodic work (health evaluation, exports) rides the existing
+  /// cadence thread instead of spawning its own. Register before Start().
+  void AddSampleCallback(std::function<void()> callback);
+
   /// Completed sampling passes (thread + manual).
   std::uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
 
@@ -58,6 +70,7 @@ class TelemetrySampler {
 
   TelemetrySamplerOptions options_;
   std::atomic<std::uint64_t> samples_{0};
+  std::vector<std::function<void()>> callbacks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

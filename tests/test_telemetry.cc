@@ -106,6 +106,35 @@ TEST(Exporters, PrometheusTextFormat) {
   EXPECT_NE(text.find("# TYPE tnp_serve_shed counter"), std::string::npos);
 }
 
+TEST(Exporters, PrometheusOutputIsSortedWithHelpLines) {
+  Registry registry;
+  // Registered deliberately out of name order: export must sort.
+  registry.GetCounter("zeta/events").Increment();
+  registry.GetGauge("mid/depth").Set(1.0);
+  registry.GetCounter("alpha/events").Increment();
+
+  const std::string text = support::metrics::ExportPrometheus(registry);
+  const std::size_t alpha_at = text.find("tnp_alpha_events");
+  const std::size_t mid_at = text.find("tnp_mid_depth");
+  const std::size_t zeta_at = text.find("tnp_zeta_events");
+  ASSERT_NE(alpha_at, std::string::npos);
+  ASSERT_NE(mid_at, std::string::npos);
+  ASSERT_NE(zeta_at, std::string::npos);
+  EXPECT_LT(alpha_at, mid_at);
+  EXPECT_LT(mid_at, zeta_at);
+
+  // Every series carries # HELP (original slash name) and # TYPE.
+  EXPECT_NE(text.find("# HELP tnp_alpha_events alpha/events"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tnp_alpha_events counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP tnp_mid_depth mid/depth"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tnp_mid_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# HELP tnp_mid_depth_max high-watermark of mid/depth"),
+            std::string::npos);
+
+  // Determinism: the same registry exports byte-identical text.
+  EXPECT_EQ(text, support::metrics::ExportPrometheus(registry));
+}
+
 TEST(Exporters, JsonSnapshotRoundTrips) {
   Registry registry;
   registry.GetCounter("serve/completed").Increment(5);
@@ -243,6 +272,66 @@ TEST(FlightRecorder, ShedStormTriggersOneAutomaticDump) {
   for (int i = 0; i < 20; ++i) recorder.RecordShed();  // disarmed: no-op
   EXPECT_EQ(recorder.dumps(), dumps_before + 1);
   std::remove(options.path.c_str());
+}
+
+TEST(FlightRecorder, HealthTransitionTriggersOneDumpUntilRearmed) {
+  auto& recorder = support::FlightRecorder::Global();
+  const std::int64_t dumps_before = recorder.dumps();
+
+  support::FlightRecorderOptions options;
+  options.path = testing::TempDir() + "flight_health.json";
+  recorder.Configure(options);
+
+  recorder.RecordHealthTransition("healthy->unhealthy burn=9.0");
+  EXPECT_EQ(recorder.dumps(), dumps_before + 1);
+  recorder.RecordHealthTransition("healthy->unhealthy again");
+  EXPECT_EQ(recorder.dumps(), dumps_before + 1) << "one-shot while armed";
+
+  std::ifstream in(options.path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(JsonValue::Parse(buffer.str()).StringOr("reason", ""),
+            "health:healthy->unhealthy burn=9.0");
+
+  // Re-arming resets the one-shot; disarming silences it entirely.
+  recorder.Configure(options);
+  recorder.RecordHealthTransition("second incident");
+  EXPECT_EQ(recorder.dumps(), dumps_before + 2);
+  recorder.Disarm();
+  recorder.RecordHealthTransition("while disarmed");
+  EXPECT_EQ(recorder.dumps(), dumps_before + 2);
+  std::remove(options.path.c_str());
+}
+
+TEST(FlightRecorder, DumpKeepsOnlyTheNewestEvents) {
+  auto& tracer = support::Tracer::Global();
+  support::Tracer::ScopedEnable enable;
+  tracer.Clear();
+  for (int i = 0; i < 20; ++i) {
+    TNP_TRACE_SCOPE("test", "span-" + std::to_string(i));
+  }
+
+  auto& recorder = support::FlightRecorder::Global();
+  support::FlightRecorderOptions options;
+  options.path = testing::TempDir() + "flight_truncate.json";
+  options.max_events = 5;
+  recorder.Configure(options);
+  const JsonValue root = JsonValue::Parse(recorder.Render("truncate-test"));
+  recorder.Disarm();
+
+  const JsonValue* events = root.Find("trace")->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_LE(events->array().size(), 5u);
+  bool saw_newest = false;
+  bool saw_oldest = false;
+  for (const auto& event : events->array()) {
+    const std::string name = event.StringOr("name", "");
+    if (name == "span-19") saw_newest = true;
+    if (name == "span-0") saw_oldest = true;
+  }
+  EXPECT_TRUE(saw_newest) << "the tail of the ring is the incident context";
+  EXPECT_FALSE(saw_oldest) << "older events beyond max_events are dropped";
 }
 
 // ---------------------------------------------------------------------------
