@@ -25,14 +25,18 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "core/flows.h"
 #include "frontend/common.h"
+#include "kernels/dense.h"
 #include "kernels/pack.h"
 #include "kernels/scratch.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "support/metrics.h"
+#include "support/thread_pool.h"
 #include "zoo/zoo.h"
 
 namespace tnp {
@@ -164,9 +168,69 @@ int main(int argc, char** argv) {
     metrics["kernels/scratch_high_watermark_bytes"] =
         {static_cast<double>(kernels::ThisThreadScratchHighWatermark()),
          /*lower_is_better=*/true, /*gate=*/true};
+    // Fold per-worker arena peaks into the registry gauges
+    // (kernels/scratch/w<i>/peak_bytes) for the exported snapshot.
+    kernels::PublishScratchWorkerGauges();
   }
 
-  // ---- 3) serving throughput (wall clock, informational) -----------------
+  // ---- 3) work-stealing pool: scaling structure (deterministic) ----------
+  // The same 256x256x256 GEMM dispatched on isolated pools of fixed size.
+  // Gated metrics are *structural*, not timed: the ParallelFor chunk fan-out
+  // is a pure function of (shape, grain, pool size) — it collapsing means a
+  // layer stopped parallelizing — and the overflow/heap-task deltas pin the
+  // zero-allocation steady-state submit path. Wall-clock speedups over the
+  // 1-thread pool are recorded gate:false (CI cores vary; a one-core runner
+  // legitimately shows ~1x).
+  {
+    const std::int64_t m = 256;
+    const NDArray input = NDArray::Full(Shape({m, 256}), DType::kFloat32, 0.25);
+    const NDArray weight = NDArray::Full(Shape({256, 256}), DType::kFloat32, 0.5);
+    NDArray out = NDArray::Empty(Shape({m, 256}), DType::kFloat32);
+    constexpr int kReps = 10;
+    double base_us = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      const std::string pool_name = "bench_pool_" + std::to_string(threads);
+      support::ThreadPool pool(threads, {/*queue_capacity=*/256, /*max_spares=*/8,
+                                         pool_name});
+      support::ScopedPool scope(pool);
+      auto& registry = support::metrics::Registry::Global();
+      kernels::DenseF32(input, weight, NDArray(), out);  // warm: rings, scratch
+      const std::int64_t chunks_before =
+          registry.GetCounter(pool_name + "/parallel_for/chunks").value();
+      const std::int64_t overflow_before =
+          registry.GetCounter(pool_name + "/overflow").value();
+      const std::int64_t heap_before =
+          registry.GetCounter(pool_name + "/heap_tasks").value();
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) {
+        kernels::DenseF32(input, weight, NDArray(), out);
+      }
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count() /
+                        kReps;
+      const std::string suffix = std::to_string(threads) + "t";
+      metrics["pool/chunks_per_gemm/" + suffix] = {
+          static_cast<double>(
+              registry.GetCounter(pool_name + "/parallel_for/chunks").value() -
+              chunks_before) /
+              kReps,
+          /*lower_is_better=*/false, /*gate=*/true};
+      metrics["pool/steady_submit_allocs/" + suffix] = {
+          static_cast<double>(
+              (registry.GetCounter(pool_name + "/overflow").value() -
+               overflow_before) +
+              (registry.GetCounter(pool_name + "/heap_tasks").value() -
+               heap_before)),
+          /*lower_is_better=*/true, /*gate=*/true};
+      if (threads == 1) base_us = us;
+      metrics["pool/gemm_speedup/" + suffix] = {
+          base_us > 0.0 ? base_us / us : 0.0, /*lower_is_better=*/false,
+          /*gate=*/false};
+    }
+  }
+
+  // ---- 4) serving throughput (wall clock, informational) -----------------
   {
     std::vector<serve::ServedModel> models;
     {

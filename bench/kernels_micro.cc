@@ -3,10 +3,13 @@
 // the host kernels behind the numerics are not pathological.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "kernels/conv.h"
 #include "kernels/dense.h"
 #include "kernels/elementwise.h"
 #include "kernels/quantize.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -99,6 +102,50 @@ void BM_QuantizeRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * real.SizeBytes() * 2);
 }
 BENCHMARK(BM_QuantizeRoundTrip);
+
+// Thread-scaling benchmarks: the same kernel run on isolated pools of fixed
+// size (ScopedPool routes the kernels' ParallelFor there), so `--threads`
+// scaling is measurable regardless of the machine's TNP_NUM_THREADS.
+
+void BM_GemmF32Threads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  support::ThreadPool pool(
+      threads, {/*queue_capacity=*/256, /*max_spares=*/8,
+                "bench_gemm_pool_" + std::to_string(threads)});
+  support::ScopedPool scope(pool);
+  const std::int64_t m = 256;
+  NDArray input = NDArray::RandomNormal(Shape({m, 256}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({256, 256}), 2);
+  NDArray out = NDArray::Empty(Shape({m, 256}), DType::kFloat32);
+  for (auto _ : state) {
+    DenseF32(input, weight, NDArray(), out);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+  state.SetItemsProcessed(state.iterations() * m * 256 * 256 * 2);
+}
+BENCHMARK(BM_GemmF32Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Conv2DF32Threads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  support::ThreadPool pool(
+      threads, {/*queue_capacity=*/256, /*max_spares=*/8,
+                "bench_conv_pool_" + std::to_string(threads)});
+  support::ScopedPool scope(pool);
+  const std::int64_t channels = 64;
+  NDArray input = NDArray::RandomNormal(Shape({1, channels, 28, 28}), 1);
+  NDArray weight = NDArray::RandomNormal(Shape({channels, channels, 3, 3}), 2);
+  NDArray bias = NDArray::RandomNormal(Shape({channels}), 3);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  NDArray out = NDArray::Empty(Conv2DOutShape(input.shape(), weight.shape(), p),
+                               DType::kFloat32);
+  for (auto _ : state) {
+    Conv2DF32(input, weight, bias, out, p);
+    benchmark::DoNotOptimize(out.RawData());
+  }
+  state.SetItemsProcessed(state.iterations() * out.NumElements() * channels * 9);
+}
+BENCHMARK(BM_Conv2DF32Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_BroadcastAdd(benchmark::State& state) {
   NDArray a = NDArray::RandomNormal(Shape({1, 64, 56, 56}), 1);

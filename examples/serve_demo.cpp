@@ -9,9 +9,14 @@
 //
 // Build & run:  ./build/examples/serve_demo [--streams N] [--requests M]
 //                                           [--capacity Q] [--overload]
+//                                           [--threads=N]
 //                                           [--trace[=path]] [--metrics[=path]]
 //                                           [--flight-record=path]
 //                                           [--http-port=N]
+//
+// --threads=N sizes the process-wide worker pool every layer (kernels, batch
+// pumps, pipeline stages) schedules on; it overrides TNP_NUM_THREADS and is
+// published as the pool/num_threads gauge.
 //
 // The run ends with the serving metrics: per-model latency percentiles,
 // queue-depth high-watermarks, and the shed/fallback/expired counters (see
@@ -113,10 +118,18 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
     else if (arg.rfind("--flight-record=", 0) == 0) flight_path = arg.substr(16);
     else if (arg.rfind("--http-port=", 0) == 0) http_port = std::atoi(arg.c_str() + 12);
+    else if (arg.rfind("--threads=", 0) == 0) {
+      const int threads = std::atoi(arg.c_str() + 10);
+      if (threads < 1 || !support::ThreadPool::Configure(threads)) {
+        std::cerr << "serve_demo: invalid --threads value \"" << arg.substr(10)
+                  << "\" (expected a positive integer)\n";
+        return 2;
+      }
+    }
   }
   if (streams < 1 || requests < 1 || capacity < 1) {
     std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
-                 " [--overload] [--trace[=path]] [--metrics[=path]]"
+                 " [--overload] [--threads=N] [--trace[=path]] [--metrics[=path]]"
                  " [--flight-record=path] [--http-port=N]\n";
     return 2;
   }

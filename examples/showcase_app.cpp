@@ -5,7 +5,8 @@
 // exclusive resource use (Figure 5).
 //
 // Build & run:  ./build/examples/showcase_app [num_frames] [--frames N]
-//                                             [--seed S] [--trace[=path]]
+//                                             [--seed S] [--threads=N]
+//                                             [--trace[=path]]
 //                                             [--metrics[=path]]
 //                                             [--flight-record=path]
 //                                             [--http-port=N]
@@ -14,6 +15,10 @@
 // feeds both the synthetic scene and the models' weights), so command lines
 // can express exactly the configurations the benches hard-code. A bare
 // positional number is still accepted as the frame count.
+//
+// --threads=N sizes the process-wide worker pool (overrides TNP_NUM_THREADS;
+// must come before any work runs — the pool is created on first use and
+// publishes its size as the pool/num_threads gauge).
 //
 // --trace records every layer's spans (frontend import, Relay passes, the
 // Neuron Execution Planner, kernel dispatch, pipeline stages) and writes a
@@ -29,8 +34,10 @@
 #include <iostream>
 #include <string>
 
+#include "kernels/scratch.h"
 #include "support/debug_http.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 #include "support/flight_recorder.h"
 #include "support/metrics.h"
 #include "support/telemetry.h"
@@ -59,6 +66,13 @@ int main(int argc, char** argv) {
       flight_path = arg.substr(16);
     } else if (arg.rfind("--http-port=", 0) == 0) {
       http_port = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const int threads = std::atoi(arg.c_str() + 10);
+      if (threads < 1 || !support::ThreadPool::Configure(threads)) {
+        std::cerr << "showcase_app: invalid --threads value \""
+                  << arg.substr(10) << "\" (expected a positive integer)\n";
+        return 2;
+      }
     } else if (arg == "--frames" && i + 1 < argc) {
       num_frames = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -67,8 +81,8 @@ int main(int argc, char** argv) {
       num_frames = std::atoi(arg.c_str());
     } else {
       std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
-                   "[--trace[=path]] [--metrics[=path]] [--flight-record=path] "
-                   "[--http-port=N]\n";
+                   "[--threads=N] [--trace[=path]] [--metrics[=path]] "
+                   "[--flight-record=path] [--http-port=N]\n";
       return 2;
     }
   }
@@ -157,6 +171,7 @@ int main(int argc, char** argv) {
               << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   if (!metrics_path.empty()) {
+    kernels::PublishScratchWorkerGauges();  // per-worker arena peaks
     const bool prometheus = metrics_path.size() >= 5 &&
                             metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
     std::ofstream out(metrics_path);

@@ -1,27 +1,41 @@
-// Threaded pipeline executor — the runnable counterpart of the Figure-5
-// schedule. One worker thread per stage, bounded queues between stages, and
-// per-resource mutexes enforcing the paper's exclusive-resource constraint
+// Pipeline executor — the runnable counterpart of the Figure-5 schedule.
+// Stages are *pump tasks* on the process-wide work-stealing pool
+// (support::ThreadPool) rather than dedicated threads: each stage owns an
+// armed/dirty flag word; queue events (upstream push, downstream pop, close)
+// arm the stage, and an armed stage runs as a single pool task that drains
+// its input queue until it is empty or its output queue is full, then
+// disarms. At most one pump per stage is ever live, which preserves the
+// per-stage ordering guarantee the threaded version had, and an idle
+// pipeline costs zero threads.
+//
+// Per-resource mutexes enforce the paper's exclusive-resource constraint
 // (a CPU+APU stage locks both; a CPU-only object detector and an APU-only
-// emotion model of different frames genuinely overlap).
+// emotion model of different frames genuinely overlap). Resource holds are
+// taken through ResourceLocks::Acquire, which also declares the hold to the
+// thread pool (BlockingScope): while a stage parks a worker on an exclusive
+// device, the pool back-fills a spare so kernel workers and other stages
+// keep running — that is how CPU affinity is negotiated between the data
+// plane and the exclusive-device guarantees.
 //
 // Header-only template so applications can pipeline any packet type.
 #pragma once
 
-#include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "sim/device.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/thread_pool.h"
 #include "support/trace.h"
 #include "support/trace_context.h"
 
@@ -46,6 +60,46 @@ class ResourceLocks {
     return mutexes_[static_cast<std::size_t>(resource)];
   }
 
+  /// RAII ownership of a set of resources, acquired in canonical order.
+  /// While live it also marks the calling pool task as blocking
+  /// (ThreadPool::BlockingScope) so the pool keeps its target concurrency.
+  /// Movable, alloc-free; an empty hold (no resources) is inert.
+  class Hold {
+   public:
+    Hold() = default;
+    Hold(Hold&&) = default;
+    Hold& operator=(Hold&&) = default;
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+
+   private:
+    friend class ResourceLocks;
+    std::optional<support::ThreadPool::BlockingScope> blocking_;
+    // Destroyed before `blocking_` (reverse declaration order): the
+    // resources release first, then the worker is marked runnable again.
+    std::array<std::unique_lock<std::mutex>, sim::kNumResources> held_;
+  };
+
+  /// Lock every resource in `resources` (deduplicated, ascending enum order
+  /// — the fixed order is what makes overlapping resource sets deadlock-free
+  /// across stages and serve executors).
+  Hold Acquire(const std::vector<sim::Resource>& resources) {
+    Hold hold;
+    if (resources.empty()) return hold;
+    std::array<bool, sim::kNumResources> want{};
+    for (const sim::Resource resource : resources) {
+      want[static_cast<std::size_t>(resource)] = true;
+    }
+    hold.blocking_.emplace();
+    std::size_t held = 0;
+    for (std::size_t i = 0; i < sim::kNumResources; ++i) {
+      if (want[i]) {
+        hold.held_[held++] = std::unique_lock<std::mutex>(mutexes_[i]);
+      }
+    }
+    return hold;
+  }
+
  private:
   std::array<std::mutex, sim::kNumResources> mutexes_;
 };
@@ -57,7 +111,9 @@ class Pipeline {
     std::string name;
     std::vector<sim::Resource> resources;
     /// Transform one packet; returning nullopt drops the packet (e.g. a
-    /// frame with no detected face skips downstream stages).
+    /// frame with no detected face skips downstream stages). A throwing
+    /// stage drops the packet with an ERROR log — it never stalls the
+    /// pipeline or tears down the pool.
     std::function<std::optional<Packet>(Packet)> fn;
   };
 
@@ -69,89 +125,129 @@ class Pipeline {
         locks_(locks != nullptr ? locks : &ResourceLocks::Global()) {
     TNP_CHECK(!stages_.empty());
     TNP_CHECK_GT(queue_capacity_, 0u);
+    stage_us_.reserve(stages_.size());
+    for (const Stage& stage : stages_) {
+      stage_us_.push_back(&support::metrics::Registry::Global().GetHistogram(
+          "pipeline/stage/" + stage.name + "/us"));
+    }
   }
 
   /// Push all packets through every stage; returns surviving packets in
   /// completion order of the final stage (input order is preserved because
-  /// each stage is a single worker).
+  /// each stage is a single pump). The caller feeds the first queue and
+  /// drains the last one, waiting on queue events in between; all stage
+  /// work runs as pool tasks joined through one TaskGroup before return.
   ///
-  /// Each packet is minted a request-scoped TraceContext at the feeder and
-  /// carries it across every stage's thread handoff, so all of a frame's
-  /// stage spans (and the session/kernel spans they enclose) share one
-  /// req_id in the trace export — same discipline as the serving runtime.
+  /// Each packet is minted a request-scoped TraceContext at the feed point
+  /// and carries it across every stage handoff, so all of a frame's stage
+  /// spans (and the session/kernel spans they enclose) share one req_id in
+  /// the trace export — same discipline as the serving runtime.
   std::vector<Packet> Run(std::vector<Packet> packets) {
     const std::size_t num_stages = stages_.size();
-    std::vector<BoundedQueue> queues(num_stages + 1);
+    RunState st(num_stages, queue_capacity_);
     for (std::size_t q = 0; q <= num_stages; ++q) {
-      queues[q].capacity = queue_capacity_;
       // queues[s] feeds stage s; the final queue collects pipeline output.
       const std::string queue_name = q < num_stages ? stages_[q].name : "out";
-      queues[q].depth_name = "queue/" + queue_name + "/depth";
-      queues[q].depth_gauge = &support::metrics::Registry::Global().GetGauge(
-          "pipeline/" + queues[q].depth_name);
+      st.queues[q].depth_name = "queue/" + queue_name + "/depth";
+      st.queues[q].depth_gauge = &support::metrics::Registry::Global().GetGauge(
+          "pipeline/" + st.queues[q].depth_name);
     }
-
-    std::vector<std::thread> workers;
-    workers.reserve(num_stages);
-    for (std::size_t s = 0; s < num_stages; ++s) {
-      workers.emplace_back([this, s, &queues] { StageLoop(s, queues[s], queues[s + 1]); });
-    }
-
-    // Feed from a dedicated thread: the bounded queues exert backpressure,
-    // so the producer must not be the same thread that drains the results
-    // (pushing everything up front would deadlock once the packets in
-    // flight exceed the total queue capacity).
-    std::thread feeder([&packets, &queues] {
-      for (auto& packet : packets) {
-        Item item;
-        item.trace = support::TraceContext::NewRequest();
-        item.packet = std::move(packet);
-        queues.front().Push(std::move(item));
-      }
-      queues.front().Close();
-    });
+    support::TaskGroup stage_tasks;
+    st.group = &stage_tasks;
 
     std::vector<Packet> results;
-    while (auto item = queues.back().Pop()) results.push_back(std::move(item->packet));
-    feeder.join();
-    for (auto& worker : workers) worker.join();
+    results.reserve(packets.size());
+    std::size_t next = 0;
+    bool input_closed = false;
+    bool output_done = false;
+    while (!output_done) {
+      std::uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lock(st.caller_mutex);
+        seen = st.progress;
+      }
+      // Feed as much input as the first queue accepts (its bound is the
+      // backpressure that keeps packets-in-flight finite).
+      while (next < packets.size()) {
+        Item item;
+        item.trace = support::TraceContext::NewRequest();
+        item.packet = std::move(packets[next]);
+        if (!st.queues[0].TryPush(std::move(item))) {
+          packets[next] = std::move(item.packet);
+          break;
+        }
+        ++next;
+        ArmStage(st, 0);
+      }
+      if (next == packets.size() && !input_closed) {
+        st.queues[0].Close();
+        input_closed = true;
+        ArmStage(st, 0);
+      }
+      // Drain whatever the final stage produced.
+      for (;;) {
+        Item item;
+        const PopResult r = st.queues[num_stages].TryPop(&item);
+        if (r == PopResult::kItem) {
+          results.push_back(std::move(item.packet));
+          // Freed a slot: the last stage may be parked on a full out queue.
+          ArmStage(st, num_stages - 1);
+          continue;
+        }
+        if (r == PopResult::kClosed) output_done = true;
+        break;
+      }
+      if (output_done) break;
+      std::unique_lock<std::mutex> lock(st.caller_mutex);
+      st.caller_cv.wait(lock, [&st, seen] { return st.progress != seen; });
+    }
+    // Quiesce: every stage task (including spuriously re-armed pumps that
+    // will just observe closed queues) finishes before RunState leaves
+    // scope. Pumps never touch RunState after their task returns, so this
+    // join makes destruction safe.
+    stage_tasks.Wait();
     return results;
   }
 
  private:
+  static constexpr std::uint32_t kArmedBit = 1u;
+  static constexpr std::uint32_t kDirtyBit = 2u;
+
   /// A packet in flight plus the trace identity it carries between stage
-  /// threads (explicit context handoff).
+  /// tasks (explicit context handoff).
   struct Item {
     Packet packet;
     support::TraceContext trace;
   };
 
+  enum class PopResult { kItem, kEmpty, kClosed };
+
   struct BoundedQueue {
     std::mutex mutex;
-    std::condition_variable cv;
     std::deque<Item> items;
     std::size_t capacity = 4;
     bool closed = false;
     support::metrics::Gauge* depth_gauge = nullptr;  ///< current depth + watermark
     std::string depth_name;                          ///< trace counter track name
 
-    void Push(Item item) {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [this] { return items.size() < capacity; });
+    bool TryPush(Item&& item) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (items.size() >= capacity) return false;  // `item` left intact
       items.push_back(std::move(item));
       RecordDepth();
-      cv.notify_all();
+      return true;
     }
 
-    std::optional<Item> Pop() {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [this] { return !items.empty() || closed; });
-      if (items.empty()) return std::nullopt;
-      Item item = std::move(items.front());
-      items.pop_front();
-      RecordDepth();
-      cv.notify_all();
-      return item;
+    /// kClosed only once closed *and* drained.
+    PopResult TryPop(Item* out) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!items.empty()) {
+        *out = std::move(items.front());
+        items.pop_front();
+        RecordDepth();
+        return PopResult::kItem;
+      }
+      return closed ? PopResult::kClosed : PopResult::kEmpty;
     }
 
     /// Called with `mutex` held.
@@ -164,59 +260,147 @@ class Pipeline {
     void Close() {
       std::lock_guard<std::mutex> lock(mutex);
       closed = true;
-      cv.notify_all();
     }
   };
 
-  void StageLoop(std::size_t stage_index, BoundedQueue& in, BoundedQueue& out) {
-    Stage& stage = stages_[stage_index];
-    support::metrics::Histogram& stage_us =
-        support::metrics::Registry::Global().GetHistogram("pipeline/stage/" + stage.name +
-                                                          "/us");
-    while (true) {
-      std::optional<Item> item;
-      {
-        TNP_TRACE_SCOPE("pipeline", stage.name + ":dequeue");
-        item = in.Pop();
-      }
-      if (!item) break;
-      // Re-install the frame's trace context for everything the stage does
-      // on this thread (run + enqueue spans, nested session/kernel spans).
-      support::TraceContextScope trace_scope(item->trace);
-      std::optional<Packet> result;
-      const auto start = std::chrono::steady_clock::now();
-      {
-        TNP_TRACE_SCOPE("pipeline", stage.name + ":run");
-        // Acquire every resource the stage occupies, in fixed order to
-        // avoid deadlock between stages with overlapping resource sets.
-        std::vector<std::unique_lock<std::mutex>> held;
-        std::vector<sim::Resource> sorted = stage.resources;
-        std::sort(sorted.begin(), sorted.end(),
-                  [](sim::Resource a, sim::Resource b) {
-                    return static_cast<int>(a) < static_cast<int>(b);
-                  });
-        for (const sim::Resource resource : sorted) {
-          held.emplace_back(locks_->Of(resource));
-        }
-        result = stage.fn(std::move(item->packet));
-      }
-      stage_us.Record(std::chrono::duration<double, std::micro>(
-                          std::chrono::steady_clock::now() - start)
-                          .count());
-      if (result) {
-        TNP_TRACE_SCOPE("pipeline", stage.name + ":enqueue");
-        Item next;
-        next.packet = std::move(*result);
-        next.trace = item->trace;
-        out.Push(std::move(next));
-      }
+  /// Everything one Run() invocation shares with its stage tasks. Lives on
+  /// the caller's stack; the TaskGroup join at the end of Run guarantees no
+  /// stage task outlives it.
+  struct RunState {
+    std::vector<BoundedQueue> queues;                      // num_stages + 1
+    std::vector<std::atomic<std::uint32_t>> stage_state;   // armed|dirty words
+    std::vector<std::optional<Item>> pending;  // per-stage item awaiting space
+    std::mutex caller_mutex;
+    std::condition_variable caller_cv;
+    std::uint64_t progress = 0;  ///< guarded by caller_mutex
+    support::TaskGroup* group = nullptr;
+
+    RunState(std::size_t num_stages, std::size_t capacity)
+        : queues(num_stages + 1),
+          stage_state(num_stages),
+          pending(num_stages) {
+      for (auto& queue : queues) queue.capacity = capacity;
     }
-    out.Close();
+  };
+
+  struct StagePumpTask {
+    Pipeline* pipeline;
+    RunState* st;
+    std::size_t stage;
+    void operator()() const { pipeline->RunStagePump(*st, stage); }
+  };
+
+  /// Mark stage `s` runnable. Exactly one pump task per stage is live at a
+  /// time: the armed bit gates posting, the dirty bit makes a pump that is
+  /// about to disarm re-check — the standard lost-wakeup-free handoff.
+  void ArmStage(RunState& st, std::size_t s) {
+    const std::uint32_t old = st.stage_state[s].fetch_or(kArmedBit | kDirtyBit);
+    if ((old & kArmedBit) == 0) {
+      st.group->Run(StagePumpTask{this, &st, s});
+    }
+  }
+
+  void NotifyCaller(RunState& st) {
+    {
+      std::lock_guard<std::mutex> lock(st.caller_mutex);
+      ++st.progress;
+    }
+    st.caller_cv.notify_all();
+  }
+
+  /// Push a processed item downstream; false when the out queue is full
+  /// (the caller parks it in `pending` and the downstream pop re-arms us).
+  bool TryForward(RunState& st, std::size_t s, Item& item) {
+    support::TraceContextScope trace_scope(item.trace);
+    TNP_TRACE_SCOPE("pipeline", stages_[s].name + ":enqueue");
+    if (!st.queues[s + 1].TryPush(std::move(item))) return false;
+    if (s + 1 < stages_.size()) {
+      ArmStage(st, s + 1);
+    } else {
+      NotifyCaller(st);
+    }
+    return true;
+  }
+
+  void RunStagePump(RunState& st, std::size_t s) {
+    std::atomic<std::uint32_t>& state = st.stage_state[s];
+    BoundedQueue& in = st.queues[s];
+    Stage& stage = stages_[s];
+    for (;;) {
+      state.fetch_and(~kDirtyBit);
+      bool in_done = false;
+      for (;;) {
+        if (st.pending[s].has_value()) {
+          if (!TryForward(st, s, *st.pending[s])) break;  // parked on full out
+          st.pending[s].reset();
+        }
+        PopResult r;
+        Item item;
+        {
+          TNP_TRACE_SCOPE("pipeline", stage.name + ":dequeue");
+          r = in.TryPop(&item);
+        }
+        if (r == PopResult::kClosed) {
+          in_done = true;
+          break;
+        }
+        if (r == PopResult::kEmpty) break;
+        // Freed an input slot: wake whoever feeds this stage.
+        if (s == 0) {
+          NotifyCaller(st);
+        } else {
+          ArmStage(st, s - 1);
+        }
+        // Re-install the frame's trace context for everything the stage
+        // does (run + enqueue spans, nested session/kernel spans).
+        support::TraceContextScope trace_scope(item.trace);
+        std::optional<Packet> result;
+        const auto start = std::chrono::steady_clock::now();
+        {
+          TNP_TRACE_SCOPE("pipeline", stage.name + ":run");
+          ResourceLocks::Hold hold = locks_->Acquire(stage.resources);
+          try {
+            result = stage.fn(std::move(item.packet));
+          } catch (const std::exception& e) {
+            TNP_LOG(ERROR) << "pipeline stage '" << stage.name
+                           << "' threw (packet dropped): " << e.what();
+            result.reset();
+          } catch (...) {
+            TNP_LOG(ERROR) << "pipeline stage '" << stage.name
+                           << "' threw a non-std exception (packet dropped)";
+            result.reset();
+          }
+        }
+        stage_us_[s]->Record(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+        if (result.has_value()) {
+          st.pending[s] = Item{std::move(*result), item.trace};
+        }
+      }
+      if (in_done && !st.pending[s].has_value()) {
+        // Input closed and drained, nothing parked: propagate the close and
+        // retire this stage. Spurious later arms are harmless — the re-run
+        // observes the same closed queues and closes idempotently.
+        st.queues[s + 1].Close();
+        if (s + 1 < stages_.size()) {
+          ArmStage(st, s + 1);
+        } else {
+          NotifyCaller(st);
+        }
+        state.store(0);
+        return;
+      }
+      std::uint32_t expected = kArmedBit;
+      if (state.compare_exchange_strong(expected, 0)) return;
+      // Dirty was set while we drained: new events arrived — go again.
+    }
   }
 
   std::vector<Stage> stages_;
   std::size_t queue_capacity_;
   ResourceLocks* locks_;
+  std::vector<support::metrics::Histogram*> stage_us_;
 };
 
 }  // namespace core

@@ -36,9 +36,11 @@ void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std:
 // ---------------------------------------------------------------------------
 // Packed cores. `ap` holds PackPanelsA* output for the full (m, k) extent,
 // `bp` holds PackPanelsB* output for the full (k, n) extent; C is written at
-// leading dimension ldc. `parallel` distributes row panels over the global
-// thread pool (callers already inside a ParallelFor body should pass false —
-// nested loops run inline but serial cores avoid the dispatch overhead).
+// leading dimension ldc. `parallel` distributes row panels over the current
+// thread pool. Nested ParallelFor fans out (the work-stealing pool help-
+// executes its own group while joining), so parallel=true is safe inside
+// another parallel region; pass false when the caller already partitioned
+// the work and a serial core avoids redundant dispatch.
 
 void GemmPackedF32(const float* ap, const float* bp, float* c, std::int64_t m,
                    std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel);

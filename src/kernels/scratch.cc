@@ -1,7 +1,66 @@
 #include "kernels/scratch.h"
 
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/metrics.h"
+#include "support/thread_pool.h"
+
 namespace tnp {
 namespace kernels {
+
+namespace {
+
+/// One registered thread's scratch peak. The owning thread stores into
+/// `peak` (relaxed) on every frame close; PublishScratchWorkerGauges reads
+/// from arbitrary threads. The slot is shared_ptr-owned by the registry so
+/// it outlives the thread — a worker that exits leaves its final peak
+/// behind instead of tearing a hole in the aggregate.
+struct PeakSlot {
+  int worker_index = -1;  ///< pool worker index at first frame, -1 = external
+  std::atomic<std::size_t> peak{0};
+};
+
+struct PeakRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<PeakSlot>> slots;
+};
+
+PeakRegistry& GlobalPeakRegistry() {
+  static PeakRegistry* registry = new PeakRegistry();
+  return *registry;
+}
+
+PeakSlot& ThisThreadPeakSlot() {
+  thread_local std::shared_ptr<PeakSlot> slot = [] {
+    auto created = std::make_shared<PeakSlot>();
+    created->worker_index = support::ThreadPool::CurrentWorkerIndex();
+    PeakRegistry& registry = GlobalPeakRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.slots.push_back(created);
+    return created;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+namespace detail {
+
+void NoteScratchPeak(std::size_t peak_bytes) {
+  std::atomic<std::size_t>& peak = ThisThreadPeakSlot().peak;
+  std::size_t seen = peak.load(std::memory_order_relaxed);
+  while (seen < peak_bytes &&
+         !peak.compare_exchange_weak(seen, peak_bytes, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
 
 support::Arena& ThreadScratchArena() {
   thread_local support::Arena arena("kernels/scratch");
@@ -10,6 +69,40 @@ support::Arena& ThreadScratchArena() {
 
 std::size_t ThisThreadScratchHighWatermark() {
   return ThreadScratchArena().scratch_high_watermark();
+}
+
+std::size_t AggregateScratchHighWatermark() {
+  PeakRegistry& registry = GlobalPeakRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t aggregate = 0;
+  for (const auto& slot : registry.slots) {
+    aggregate = std::max(aggregate, slot->peak.load(std::memory_order_relaxed));
+  }
+  return aggregate;
+}
+
+void PublishScratchWorkerGauges() {
+  // Two pools can both have a worker 0; fold same-index slots with max so
+  // the gauge stays monotone under pool churn.
+  std::map<int, std::size_t> per_worker;
+  std::size_t aggregate = 0;
+  {
+    PeakRegistry& registry = GlobalPeakRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& slot : registry.slots) {
+      const std::size_t peak = slot->peak.load(std::memory_order_relaxed);
+      aggregate = std::max(aggregate, peak);
+      if (slot->worker_index < 0) continue;
+      std::size_t& entry = per_worker[slot->worker_index];
+      entry = std::max(entry, peak);
+    }
+  }
+  auto& metrics = support::metrics::Registry::Global();
+  metrics.GetGauge("kernels/scratch/peak_bytes").Set(static_cast<double>(aggregate));
+  for (const auto& [index, peak] : per_worker) {
+    metrics.GetGauge("kernels/scratch/w" + std::to_string(index) + "/peak_bytes")
+        .Set(static_cast<double>(peak));
+  }
 }
 
 }  // namespace kernels

@@ -26,11 +26,21 @@ namespace kernels {
 /// thread's lifetime).
 support::Arena& ThreadScratchArena();
 
+namespace detail {
+/// Record the calling thread's lifetime scratch peak in its registry slot
+/// (lock-free after the first call); PublishScratchWorkerGauges reads the
+/// slots from any thread.
+void NoteScratchPeak(std::size_t peak_bytes);
+}  // namespace detail
+
 /// RAII scratch frame over the calling thread's arena.
 class ScratchFrame {
  public:
   ScratchFrame() : arena_(ThreadScratchArena()), mark_(arena_.MarkScratch()) {}
-  ~ScratchFrame() { arena_.RewindScratch(mark_); }
+  ~ScratchFrame() {
+    detail::NoteScratchPeak(arena_.scratch_high_watermark());
+    arena_.RewindScratch(mark_);
+  }
 
   ScratchFrame(const ScratchFrame&) = delete;
   ScratchFrame& operator=(const ScratchFrame&) = delete;
@@ -52,6 +62,19 @@ class ScratchFrame {
 /// arena. Deterministic for a fixed workload run on one thread — the
 /// bench-regression gate snapshots it.
 std::size_t ThisThreadScratchHighWatermark();
+
+/// Max scratch peak across every thread that has closed a frame, including
+/// threads that have since exited. Observability for pool-parallel kernels,
+/// where the per-thread watermark only sees the calling thread's share.
+std::size_t AggregateScratchHighWatermark();
+
+/// Snapshot per-thread scratch peaks into the metrics registry:
+///   kernels/scratch/peak_bytes           — aggregate (max over all threads)
+///   kernels/scratch/w<i>/peak_bytes      — per pool-worker peak, keyed by
+///                                          ThreadPool::CurrentWorkerIndex()
+///                                          at the thread's first frame
+/// Threads outside any pool (the main thread) fold into the aggregate only.
+void PublishScratchWorkerGauges();
 
 }  // namespace kernels
 }  // namespace tnp

@@ -70,22 +70,39 @@ std::vector<QueuedRequest> RequestQueue::PopBatch(std::size_t max_batch, double 
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return !items_.empty() || closed_; });
   if (items_.empty()) return batch;
+  CollectBatchLocked(lock, max_batch, window_us, &batch);
+  return batch;
+}
 
+std::vector<QueuedRequest> RequestQueue::TryPopBatch(std::size_t max_batch,
+                                                     double window_us) {
+  TNP_CHECK_GT(max_batch, 0u);
+  std::vector<QueuedRequest> batch;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (items_.empty()) return batch;
+  CollectBatchLocked(lock, max_batch, window_us, &batch);
+  return batch;
+}
+
+void RequestQueue::CollectBatchLocked(std::unique_lock<std::mutex>& lock,
+                                      std::size_t max_batch, double window_us,
+                                      std::vector<QueuedRequest>* batch) {
   QueuedRequest first;
   TakeAt(BestIndex(), &first);
   const std::string key = first.session_key;
-  batch.push_back(std::move(first));
+  batch->push_back(std::move(first));
 
   const auto window_end =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::micro>(window_us));
-  while (batch.size() < max_batch) {
+  while (batch->size() < max_batch) {
     const std::size_t index = BestIndexOf(key);
     if (index != kNpos) {
       QueuedRequest entry;
       TakeAt(index, &entry);
-      batch.push_back(std::move(entry));
+      batch->push_back(std::move(entry));
       continue;
     }
     if (closed_ || window_us <= 0.0) break;
@@ -93,7 +110,6 @@ std::vector<QueuedRequest> RequestQueue::PopBatch(std::size_t max_batch, double 
     // wakes us to re-scan.
     if (cv_.wait_until(lock, window_end) == std::cv_status::timeout) break;
   }
-  return batch;
 }
 
 void RequestQueue::Close() {

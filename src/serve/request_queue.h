@@ -69,6 +69,13 @@ class RequestQueue {
   /// empty vector once closed and drained.
   std::vector<QueuedRequest> PopBatch(std::size_t max_batch, double window_us);
 
+  /// PopBatch without the initial blocking wait: returns an empty vector
+  /// immediately when the queue holds nothing (open or closed). The
+  /// straggler window still applies once a first entry was taken. This is
+  /// the pump-task dispatch path — event-driven consumers must never park a
+  /// pool worker on an empty queue.
+  std::vector<QueuedRequest> TryPopBatch(std::size_t max_batch, double window_us);
+
   /// Stop admitting; blocked Pop/PopBatch calls drain the remainder and
   /// then return empty.
   void Close();
@@ -83,6 +90,11 @@ class RequestQueue {
   std::size_t BestIndex() const;
   /// Best entry restricted to `session_key`, or npos. Caller holds `mutex_`.
   std::size_t BestIndexOf(const std::string& session_key) const;
+  /// Shared tail of PopBatch/TryPopBatch: take the best entry, coalesce its
+  /// session, optionally wait out the straggler window. `items_` non-empty;
+  /// caller holds `lock`.
+  void CollectBatchLocked(std::unique_lock<std::mutex>& lock, std::size_t max_batch,
+                          double window_us, std::vector<QueuedRequest>* batch);
   std::size_t TakeAt(std::size_t index, QueuedRequest* out);  ///< holds mutex_
   void RecordDepth();  ///< holds mutex_
 

@@ -120,10 +120,6 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models, ServerOptions 
     queues_[static_cast<std::size_t>(r)] =
         std::make_unique<RequestQueue>(name, options_.queue_capacity);
   }
-  for (std::size_t r = 0; r < queues_.size(); ++r) {
-    executors_.emplace_back([this, r] { ExecutorLoop(r); });
-  }
-
   health_ = std::make_unique<HealthMonitor>(options_.health);
   health_->SetSignalSource([this](HealthSignals* signals) {
     for (const auto& queue : queues_) {
@@ -151,7 +147,12 @@ void InferenceServer::Shutdown() {
   }
   if (health_ != nullptr) health_->Stop();
   for (auto& queue : queues_) queue->Close();
-  for (auto& executor : executors_) executor.join();
+  // Arm every pump once after closing: whatever is still queued gets
+  // drained even if the pump had gone idle, and TaskGroup::Wait joins the
+  // lot (the waiting thread help-executes pending pump tasks, so shutdown
+  // completes even on a saturated pool).
+  for (std::size_t r = 0; r < queues_.size(); ++r) ArmPump(r);
+  pump_tasks_.Wait();
 }
 
 double InferenceServer::NowUs() const {
@@ -228,6 +229,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
     TNP_TRACE_INSTANT("serve.request", "submit", support::TraceArg("model", model_name),
                       support::TraceArg("priority", priority),
                       support::TraceArg("queue", queues_[primary_queue]->name()));
+    ArmPump(primary_queue);
     return future;
   }
 
@@ -249,6 +251,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
                           support::TraceArg("priority", priority),
                           support::TraceArg("queue", queues_[fallback_queue]->name()),
                           support::TraceArg("fell_back", true));
+        ArmPump(fallback_queue);
         return future;
       }
     }
@@ -265,13 +268,33 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   return future;
 }
 
-void InferenceServer::ExecutorLoop(std::size_t queue_index) {
+void InferenceServer::ArmPump(std::size_t queue_index) {
+  const std::uint32_t old =
+      pump_state_[queue_index].fetch_or(kPumpArmed | kPumpDirty);
+  if ((old & kPumpArmed) == 0) {
+    pump_tasks_.Run(PumpTask{this, queue_index});
+  }
+}
+
+void InferenceServer::RunPump(std::size_t queue_index) {
+  std::atomic<std::uint32_t>& state = pump_state_[queue_index];
   RequestQueue& queue = *queues_[queue_index];
   for (;;) {
-    std::vector<QueuedRequest> batch =
-        queue.PopBatch(options_.max_batch, options_.batch_window_us);
-    if (batch.empty()) return;  // closed and drained
-    RunBatch(std::move(batch), queue.name());
+    state.fetch_and(~kPumpDirty);
+    for (;;) {
+      std::vector<QueuedRequest> batch;
+      {
+        // The straggler window (batch_window_us) parks this worker inside
+        // TryPopBatch; declare it so the pool back-fills a spare.
+        support::ThreadPool::BlockingScope blocking;
+        batch = queue.TryPopBatch(options_.max_batch, options_.batch_window_us);
+      }
+      if (batch.empty()) break;
+      RunBatch(std::move(batch), queue.name());
+    }
+    std::uint32_t expected = kPumpArmed;
+    if (state.compare_exchange_strong(expected, 0)) return;
+    // An arm raced the drain: go around again so no push is ever stranded.
   }
 }
 
@@ -327,18 +350,19 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
                   support::TraceArg("batch", static_cast<int>(live.size())),
                   support::TraceArg("req_ids", JoinRequestIds(live)));
 
-  SessionPool::Lease lease = pool_.Checkout(session_key);
+  SessionPool::Lease lease = [&] {
+    // Checkout can wait for a session to come back; declare the park so the
+    // pool keeps its target concurrency while we do.
+    support::ThreadPool::BlockingScope blocking;
+    return pool_.Checkout(session_key);
+  }();
 
   // Exclusive-resource discipline across all clients: hold every resource
-  // the flow occupies, in fixed order (same protocol as the pipeline
-  // executor, and the same lock domain unless one was injected).
-  std::vector<sim::Resource> resources = ResourcesOf(*model, flow);
-  std::sort(resources.begin(), resources.end(), [](sim::Resource a, sim::Resource b) {
-    return static_cast<int>(a) < static_cast<int>(b);
-  });
-  std::vector<std::unique_lock<std::mutex>> held;
-  held.reserve(resources.size());
-  for (const sim::Resource resource : resources) held.emplace_back(locks_->Of(resource));
+  // the flow occupies, in fixed order (same protocol — and the same lock
+  // domain unless one was injected — as the pipeline executor). The hold
+  // also declares this pump task blocking, so the pool back-fills a spare
+  // worker while the batch occupies the device.
+  core::ResourceLocks::Hold hold = locks_->Acquire(ResourcesOf(*model, flow));
 
   for (auto& entry : live) {
     // Explicit handoff: re-install the context minted at admission, so the

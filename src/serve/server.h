@@ -4,14 +4,22 @@
 // Architecture (one instance = one device):
 //
 //   Submit ──► admission control ──► per-resource RequestQueue (CPU / APU)
-//                   │ full?                        │
+//                   │ full?                        │ arms the queue's pump
 //                   ├─ eligible: re-route to the   ▼
-//                   │  scheduler's next-best   executor thread per resource:
-//                   │  CPU-only flow (serve/     PopBatch (micro-batcher)
-//                   │  fallback counter)          → SessionPool checkout
-//                   └─ otherwise: shed            → ResourceLocks (exclusive
-//                      (serve/shed counter)         CPU/APU discipline)
+//                   │  scheduler's next-best   pump task per resource on the
+//                   │  CPU-only flow (serve/     shared ThreadPool:
+//                   │  fallback counter)          TryPopBatch (micro-batcher)
+//                   └─ otherwise: shed            → SessionPool checkout
+//                      (serve/shed counter)       → ResourceLocks::Acquire
 //                                                 → run batch, answer futures
+//
+// The server owns no threads: each queue has an event-driven pump — an
+// armed/dirty flag word plus at most one live pool task — that Submit arms
+// on every successful push and that drains batches until the queue is
+// empty. Batch execution therefore shares workers with the kernels it
+// invokes (nested ParallelFor fans out on the same pool), and the
+// ResourceLocks hold marks the task as blocking so the pool back-fills a
+// spare worker while a batch occupies an exclusive device.
 //
 // Requests route to the queue of the primary resource their model's flow
 // occupies (APU when the flow touches the APU, CPU otherwise). A CPU+APU
@@ -24,13 +32,15 @@
 // micro-batch size ("serve/batch/size").
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/pipeline_executor.h"
@@ -40,6 +50,7 @@
 #include "serve/request.h"
 #include "serve/request_queue.h"
 #include "serve/session_pool.h"
+#include "support/thread_pool.h"
 
 namespace tnp {
 namespace serve {
@@ -97,8 +108,8 @@ class InferenceServer {
   /// for unknown models.
   std::future<ServeResponse> Submit(ServeRequest request);
 
-  /// Stop admitting, drain already-admitted requests, join the executors.
-  /// Idempotent; the destructor calls it.
+  /// Stop admitting, drain already-admitted requests, and wait for every
+  /// pump task to retire. Idempotent; the destructor calls it.
   void Shutdown();
 
   /// Microseconds since server start (the clock Submit deadlines use).
@@ -117,9 +128,25 @@ class InferenceServer {
   std::size_t QueueIndexOf(const ServedModel& model, core::FlowKind flow) const;
   std::vector<sim::Resource> ResourcesOf(const ServedModel& model,
                                          core::FlowKind flow) const;
-  void ExecutorLoop(std::size_t queue_index);
+  /// Mark `queue_index`'s pump runnable, posting a pool task if none is
+  /// live. Called on every successful push and at shutdown-drain.
+  void ArmPump(std::size_t queue_index);
+  /// The pump task body: drain batches until the queue is empty, then
+  /// disarm (re-running immediately if an arm raced the disarm).
+  void RunPump(std::size_t queue_index);
   void RunBatch(std::vector<QueuedRequest> batch, const std::string& queue_name);
   void Respond(QueuedRequest entry, ServeResponse response);
+
+  static constexpr std::uint32_t kPumpArmed = 1u;
+  static constexpr std::uint32_t kPumpDirty = 2u;
+
+  /// The pump task payload: trivially copyable so it rides the pool's
+  /// inline zero-allocation task slots.
+  struct PumpTask {
+    InferenceServer* server;
+    std::size_t queue_index;
+    void operator()() const { server->RunPump(queue_index); }
+  };
 
   ServerOptions options_;
   std::map<std::string, ServedModel> models_;
@@ -129,10 +156,13 @@ class InferenceServer {
   std::size_t pool_capacity_ = 0;  ///< registered sessions (saturation denom)
   /// Indexed by sim::Resource value (kCpu, kApu).
   std::vector<std::unique_ptr<RequestQueue>> queues_;
-  std::vector<std::thread> executors_;
+  std::array<std::atomic<std::uint32_t>, sim::kNumResources> pump_state_{};
   std::chrono::steady_clock::time_point epoch_;
   bool shutdown_ = false;
   std::mutex shutdown_mutex_;
+  /// Joins every pump task. Declared last: it is destroyed (= waited on)
+  /// before any member a straggling pump could still touch.
+  support::TaskGroup pump_tasks_;
 };
 
 }  // namespace serve

@@ -176,8 +176,13 @@ void DebugHttpServer::ListenLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 
-    std::future<void> done =
-        ThreadPool::Global().Submit([this, fd] { ServeConnection(fd); });
+    std::future<void> done = ThreadPool::Global().Submit([this, fd] {
+      // Socket IO can stall up to the 2s timeouts above; declare the task
+      // blocking so the pool back-fills a spare worker instead of losing a
+      // lane of compute concurrency to a slow client.
+      ThreadPool::BlockingScope blocking;
+      ServeConnection(fd);
+    });
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) {
       done.wait();  // raced with Stop(): finish it here

@@ -1,61 +1,362 @@
-// Fixed-size worker pool with a blocking parallel_for.
+// Work-stealing worker pool — the single parallel substrate of the
+// repository.
 //
-// This is the single parallel substrate of the repository: CPU kernels use
-// ParallelFor for data parallelism, and the pipeline executor (core/) uses
-// Submit for task parallelism. The pool is created lazily and sized to the
-// hardware concurrency (overridable via TNP_NUM_THREADS).
+// Every layer schedules onto this pool: CPU kernels fan data-parallel chunks
+// out through ParallelFor, the pipeline executor (core/) runs its stages as
+// pool tasks, and the serve executors (serve/) dispatch batches as task
+// chains. Design:
+//
+//   * Per-worker bounded deques of fixed task slots: the owning worker pushes
+//     and pops at the LIFO end (cache-hot nested work first), idle workers
+//     steal from the FIFO end (oldest, coarsest work). The steady-state
+//     submit/steal path performs zero heap allocations — tasks are
+//     trivially-copyable objects stored inline in preallocated slots
+//     (`pool/overflow` and `pool/heap_tasks` count the exceptions).
+//   * TaskGroup join with help-execution: a thread waiting on a group
+//     executes that group's queued tasks itself instead of sleeping, so
+//     nested ParallelFor from inside a worker genuinely parallelizes and
+//     always completes even on a saturated pool (the joiner can run every
+//     chunk alone). Joiners only ever execute tasks of the group they are
+//     waiting on — never foreign tasks that might block on resources the
+//     joiner holds — which is what makes help-first join deadlock-free.
+//   * Blocking-aware liveness: a task that parks its worker (holding an
+//     exclusive device resource, socket I/O, a batch straggler window)
+//     declares it with ThreadPool::BlockingScope; the pool spawns a bounded
+//     number of spare workers so runnable tasks keep `num_threads` cores
+//     busy. core::ResourceLocks::Acquire enters a BlockingScope for the
+//     lifetime of the hold — that is how CPU-affinity is negotiated between
+//     kernel workers and the serve/pipeline layers' exclusive-device
+//     guarantees.
+//   * Deterministic shutdown: Shutdown() stops admission (Submit/Post throw
+//     cleanly), drains every already-queued task, and joins all workers.
+//
+// The pool is created lazily and sized from TNP_NUM_THREADS (strictly
+// parsed) or the hardware concurrency; Configure()/--threads=N override it
+// before first use.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <new>
+#include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace_context.h"
 
 namespace tnp {
 namespace support {
 
+/// Non-owning reference to a callable — what ParallelFor takes instead of
+/// `const std::function&`, so binding a lambda at a call site never heap
+/// allocates. The referenced callable must outlive the call (trivially true
+/// for ParallelFor, which blocks).
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<Fn>>,
+                                FunctionRef>>>
+  FunctionRef(Fn&& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(fn)))),
+        call_(+[](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<Fn>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+class ThreadPool;
+class TaskGroup;
+
+namespace detail {
+
+/// Inline slot capacity: every scheduled callable must fit (and be trivially
+/// copyable) so tasks can live in the preallocated deque rings and move
+/// between slots by plain copy — no heap, no virtual dispatch.
+constexpr std::size_t kInlineTaskBytes = 64;
+
+struct Task {
+  void (*invoke)(void*) = nullptr;  ///< runs the callable stored in `storage`
+  TaskGroup* group = nullptr;       ///< completion/error accounting; may be null
+  TraceContext trace{};             ///< submitter's context, re-installed at run
+  alignas(alignof(std::max_align_t)) unsigned char storage[kInlineTaskBytes];
+
+  bool valid() const { return invoke != nullptr; }
+};
+
+}  // namespace detail
+
+/// Join primitive: schedule a set of tasks, then Wait() for all of them.
+/// Waiters help-execute tasks belonging to this group (and only this group),
+/// so joining never deadlocks and nested fork-join actually parallelizes.
+/// Exceptions propagate first-one-wins out of Wait(). Not reusable across
+/// threads for Run (single producer), but tasks complete from any thread.
+class TaskGroup {
+ public:
+  /// `pool == nullptr` uses the calling thread's current pool (its own pool
+  /// for workers, the ScopedPool override or Global() otherwise).
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedule fn() on the pool. Zero-allocation: Fn must be trivially
+  /// copyable (capture pointers/indices, not owning objects) and fit the
+  /// inline slot. On a stopped pool the task runs inline.
+  template <typename Fn>
+  void Run(Fn fn);
+
+  /// Block until every scheduled task finished, executing this group's
+  /// queued tasks while waiting. Rethrows the first captured exception.
+  void Wait();
+
+  /// True once any task threw — ParallelFor chunks poll this to stop early.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ThreadPool;
+
+  void OnDone(std::exception_ptr error);
+  void WaitImpl(bool rethrow);
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t outstanding_ = 0;  ///< guarded by mutex_
+  std::exception_ptr error_;     ///< guarded by mutex_
+  std::atomic<bool> failed_{false};
+};
+
 class ThreadPool {
  public:
+  struct Options {
+    /// Task slots per worker deque (fixed at construction; overflow falls
+    /// back to an allocating list, counted in `<name>/overflow`).
+    std::size_t queue_capacity = 256;
+    /// Extra workers the pool may spawn to back-fill for blocked tasks
+    /// (BlockingScope) so runnable work keeps `num_threads` cores busy.
+    int max_spares = 8;
+    /// Metrics prefix ("pool" for the global instance). Counters:
+    /// <name>/executed, <name>/steals, <name>/overflow, <name>/heap_tasks,
+    /// <name>/parallel_for/chunks, <name>/spares_spawned. Gauges:
+    /// <name>/num_threads, <name>/blocked, <name>/worker<i>/depth.
+    std::string name = "pool";
+  };
+
   explicit ThreadPool(int num_threads);
+  ThreadPool(int num_threads, Options options);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Process-wide pool, sized from TNP_NUM_THREADS or hardware_concurrency.
+  /// Process-wide pool, sized from Configure()/TNP_NUM_THREADS/hardware.
   static ThreadPool& Global();
 
-  int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
+  /// Set the global pool's size before its first use (e.g. --threads=N).
+  /// Returns false (and logs) when the global pool already exists.
+  static bool Configure(int num_threads);
+
+  /// Index of the calling pool-worker thread within its pool (stable for
+  /// the thread's lifetime, spare workers included); -1 off-pool. Kernel
+  /// scratch uses this to label per-worker arenas.
+  static int CurrentWorkerIndex();
+
+  /// Target concurrency (spare workers excluded).
+  int num_threads() const noexcept { return target_; }
+  const std::string& name() const noexcept { return options_.name; }
 
   /// Enqueue an arbitrary task; the returned future completes when it ran.
+  /// This is the allocating control-plane path (type-erased std::function +
+  /// shared future state, counted in `<name>/heap_tasks`); steady-state
+  /// paths use Post/ParallelFor. Throws RuntimeError after Shutdown().
   std::future<void> Submit(std::function<void()> task);
 
-  /// Run fn(i) for i in [begin, end), splitting the range into roughly
-  /// `num_threads` contiguous chunks. Blocks until all chunks finish.
-  /// Exceptions thrown by fn are rethrown (first one wins) on the caller.
-  /// Small ranges (or grain_size >= range) run inline with zero overhead.
+  /// Fire-and-forget task on the zero-allocation path: Fn must be trivially
+  /// copyable and fit the inline slot. Exceptions escaping a posted task are
+  /// logged and swallowed. Throws RuntimeError after Shutdown().
+  template <typename Fn>
+  void Post(Fn fn);
+
+  /// Run fn(i) for i in [begin, end). The range is split into chunks (at
+  /// least `grain_size` iterations each; `grain_size == 0` auto-sizes) that
+  /// are scheduled on the pool and help-executed by the caller. Blocks until
+  /// every chunk finished; exceptions rethrow first-one-wins. Nested calls
+  /// from workers fan out like top-level ones. Runs inline on a
+  /// single-thread or stopped pool.
   void ParallelFor(std::int64_t begin, std::int64_t end,
-                   const std::function<void(std::int64_t)>& fn,
-                   std::int64_t grain_size = 1);
+                   FunctionRef<void(std::int64_t)> fn, std::int64_t grain_size = 0);
+
+  /// Stop admission (Submit/Post throw; ParallelFor degrades to inline),
+  /// drain every already-queued task, and join all workers. Idempotent; the
+  /// destructor calls it.
+  void Shutdown();
+
+  /// Declares "the current pool task is about to park its worker" (exclusive
+  /// resource hold, socket I/O, timed waits) for the scope's lifetime. The
+  /// pool spawns a bounded spare worker when blocked tasks would otherwise
+  /// drop runnable concurrency below num_threads(). No-op off-pool.
+  class BlockingScope {
+   public:
+    BlockingScope();
+    ~BlockingScope();
+    BlockingScope(BlockingScope&& other) noexcept : pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    BlockingScope& operator=(BlockingScope&& other) noexcept;
+    BlockingScope(const BlockingScope&) = delete;
+    BlockingScope& operator=(const BlockingScope&) = delete;
+
+   private:
+    ThreadPool* pool_ = nullptr;
+  };
 
  private:
-  void WorkerLoop();
+  friend class TaskGroup;
 
+  struct Deque {
+    std::mutex mutex;
+    std::vector<detail::Task> ring;  ///< fixed capacity, allocated at pool ctor
+    std::size_t head = 0;            ///< index of the oldest (steal-side) task
+    std::size_t count = 0;
+    metrics::Gauge* depth = nullptr;
+  };
+
+  void SpawnWorkerLocked();
+  void WorkerLoop(int index);
+  /// False when the pool is stopping (caller decides: throw or run inline).
+  bool TryEnqueue(const detail::Task& task);
+  bool FindTask(int worker_index, detail::Task* out, bool* stolen);
+  bool TakeGroupTask(TaskGroup* group, detail::Task* out);
+  void Execute(detail::Task& task, bool stolen);
+  void WakeOne();
+  void OnBlockingEnter();
+  void OnBlockingExit();
+
+  Options options_;
+  int target_ = 0;       ///< requested concurrency
+  int max_workers_ = 0;  ///< target_ + options_.max_spares
+
+  std::vector<Deque> deques_;  ///< one per potential worker, fixed size
+  std::mutex overflow_mutex_;
+  std::deque<detail::Task> overflow_;  ///< safety valve when a ring is full
+
+  std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  int num_workers_ = 0;  ///< == workers_.size(); guarded by workers_mutex_
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> pending_{0};  ///< tasks sitting in deques/overflow
+  std::atomic<int> blocked_{0};           ///< workers inside a BlockingScope
+  std::atomic<std::size_t> next_victim_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  int sleepers_ = 0;  ///< guarded by sleep_mutex_
+
+  metrics::Counter* executed_ = nullptr;
+  metrics::Counter* steals_ = nullptr;
+  metrics::Counter* overflow_count_ = nullptr;
+  metrics::Counter* heap_tasks_ = nullptr;
+  metrics::Counter* chunks_ = nullptr;
+  metrics::Counter* spares_spawned_ = nullptr;
+  metrics::Gauge* blocked_gauge_ = nullptr;
 };
 
-/// Convenience wrapper over the global pool.
+/// The pool free functions and defaulted TaskGroups schedule on: the calling
+/// worker's own pool, else the ScopedPool override, else Global().
+ThreadPool& CurrentPool();
+
+/// Routes CurrentPool() (and so the free ParallelFor and defaulted
+/// TaskGroups) to `pool` on this thread for the scope's lifetime — how
+/// benches and tests measure fixed pool sizes without touching the global.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool& pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+/// Strictly parse a TNP_NUM_THREADS-style value: nullptr/empty/garbage/
+/// non-positive values are rejected (logged) and return 0 ("unset"); values
+/// above 4 x `hardware` are clamped with a warning. Exposed for tests.
+int ParseThreadCountEnv(const char* text, int hardware);
+
+/// Convenience wrapper over the current pool.
 inline void ParallelFor(std::int64_t begin, std::int64_t end,
-                        const std::function<void(std::int64_t)>& fn,
-                        std::int64_t grain_size = 1) {
-  ThreadPool::Global().ParallelFor(begin, end, fn, grain_size);
+                        FunctionRef<void(std::int64_t)> fn,
+                        std::int64_t grain_size = 0) {
+  CurrentPool().ParallelFor(begin, end, fn, grain_size);
+}
+
+// ---------------------------------------------------------------- inline impl
+
+template <typename Fn>
+void TaskGroup::Run(Fn fn) {
+  static_assert(std::is_trivially_copyable_v<Fn>,
+                "pool tasks must be trivially copyable: capture pointers and "
+                "indices, not owning objects");
+  static_assert(sizeof(Fn) <= detail::kInlineTaskBytes,
+                "task capture exceeds the inline slot");
+  detail::Task task;
+  task.invoke = +[](void* storage) { (*static_cast<Fn*>(storage))(); };
+  task.group = this;
+  task.trace = CurrentTraceContext();
+  ::new (static_cast<void*>(task.storage)) Fn(fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  if (!pool_->TryEnqueue(task)) {
+    // Stopped pool: degrade gracefully — run on the caller, keep accounting.
+    pool_->Execute(task, /*stolen=*/false);
+  }
+}
+
+template <typename Fn>
+void ThreadPool::Post(Fn fn) {
+  static_assert(std::is_trivially_copyable_v<Fn>,
+                "pool tasks must be trivially copyable: capture pointers and "
+                "indices, not owning objects");
+  static_assert(sizeof(Fn) <= detail::kInlineTaskBytes,
+                "task capture exceeds the inline slot");
+  detail::Task task;
+  task.invoke = +[](void* storage) { (*static_cast<Fn*>(storage))(); };
+  task.group = nullptr;
+  task.trace = CurrentTraceContext();
+  ::new (static_cast<void*>(task.storage)) Fn(fn);
+  if (!TryEnqueue(task)) {
+    TNP_THROW(kRuntimeError) << "ThreadPool::Post after shutdown";
+  }
 }
 
 }  // namespace support
