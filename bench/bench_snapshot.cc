@@ -26,7 +26,9 @@
 #include <vector>
 
 #include <chrono>
+#include <filesystem>
 
+#include "artifact/store.h"
 #include "bench/bench_util.h"
 #include "core/flows.h"
 #include "frontend/common.h"
@@ -230,7 +232,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- 4) serving throughput (wall clock, informational) -----------------
+  // ---- 4) artifact store: cold start + zero-copy load --------------------
+  // Build-vs-map wall clocks are informational (machine dependent); the
+  // zero-copy invariants are gated and deterministic: a mapped module must
+  // perform no weight repacks in steady state and no tensor heap
+  // allocations per mapped megabyte (payloads are views into the mapping).
+  {
+    const relay::Module module = zoo::Build("mobilenet_v2", bench::BenchOptions());
+    const std::string store_dir = path + ".artifact_store";
+    std::filesystem::remove_all(store_dir);  // stale entries would fake the cold build
+    core::FlowCompileSettings cached;
+    cached.artifact_cache = std::make_shared<artifact::ArtifactStore>(store_dir);
+    auto& registry = support::metrics::Registry::Global();
+
+    const std::int64_t saved_before = registry.GetCounter("artifact/save_bytes").value();
+    const auto build_start = std::chrono::steady_clock::now();
+    core::CompileFlow(module, core::FlowKind::kTvmOnly, cached);  // build + publish
+    const double build_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - build_start)
+                                .count();
+    const double saved_bytes = static_cast<double>(
+        registry.GetCounter("artifact/save_bytes").value() - saved_before);
+
+    const std::int64_t load_allocs_before = NDArray::TotalAllocations();
+    const auto load_start = std::chrono::steady_clock::now();
+    const core::InferenceSessionPtr loaded =
+        core::CompileFlow(module, core::FlowKind::kTvmOnly, cached);  // mmap hit
+    const double load_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - load_start)
+                               .count();
+    const double load_allocs =
+        static_cast<double>(NDArray::TotalAllocations() - load_allocs_before);
+
+    const NDArray input =
+        NDArray::Full(Shape({1, 3, 224, 224}), DType::kFloat32, 0.25);
+    loaded->SetInput("x", input);
+    loaded->Run();  // warmup: arena views materialized
+    const std::int64_t repacks_before = kernels::TotalWeightPacks();
+    for (int run = 0; run < 3; ++run) {
+      loaded->SetInput("x", input);
+      loaded->Run();
+    }
+    metrics["artifact/steady_repacks_after_load"] =
+        {static_cast<double>(kernels::TotalWeightPacks() - repacks_before),
+         /*lower_is_better=*/true, /*gate=*/true};
+    metrics["artifact/load_allocs_per_mb"] =
+        {saved_bytes > 0.0 ? load_allocs / (saved_bytes / (1024.0 * 1024.0)) : 0.0,
+         /*lower_is_better=*/true, /*gate=*/true};
+    metrics["artifact/save_bytes"] =
+        {saved_bytes, /*lower_is_better=*/true, /*gate=*/false};
+    metrics["artifact/cold_start_build_us"] =
+        {build_us, /*lower_is_better=*/true, /*gate=*/false};
+    metrics["artifact/cold_start_load_us"] =
+        {load_us, /*lower_is_better=*/true, /*gate=*/false};
+  }
+
+  // ---- 5) serving throughput (wall clock, informational) -----------------
   {
     std::vector<serve::ServedModel> models;
     {

@@ -10,9 +10,16 @@
 // Build & run:  ./build/examples/serve_demo [--streams N] [--requests M]
 //                                           [--capacity Q] [--overload]
 //                                           [--threads=N]
+//                                           [--artifact-cache=DIR]
+//                                           [--cold-start]
 //                                           [--trace[=path]] [--metrics[=path]]
 //                                           [--flight-record=path]
 //                                           [--http-port=N]
+//
+// --artifact-cache=DIR (default off) points the session pool at a
+// content-addressed artifact store: warm-up maps previously compiled
+// sessions from disk instead of rebuilding them. --cold-start prints the
+// server-construction wall time and the store hit/miss counters.
 //
 // --threads=N sizes the process-wide worker pool every layer (kernels, batch
 // pumps, pipeline stages) schedules on; it overrides TNP_NUM_THREADS and is
@@ -29,12 +36,14 @@
 // /timeseries, /flightrecord) on 127.0.0.1:N for the run's duration, and the
 // run self-probes them at the end, writing healthz_capture.json and
 // metrics_capture.prom next to the binary (CI archives both).
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "artifact/store.h"
 #include "frontend/common.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
@@ -69,12 +78,14 @@ relay::Module DemoModel(int channels) {
 }
 
 serve::ServedModel Stage(const std::string& name, int channels, core::FlowKind primary,
-                         std::optional<core::FlowKind> fallback) {
+                         std::optional<core::FlowKind> fallback,
+                         const core::FlowCompileSettings& settings) {
   serve::ServedModel model;
   model.name = name;
   model.module = DemoModel(channels);
   model.plan.primary = core::Assignment{primary, 0.0};
   if (fallback.has_value()) model.plan.cpu_fallback = core::Assignment{*fallback, 0.0};
+  model.settings = settings;
   return model;
 }
 
@@ -104,6 +115,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string flight_path;
+  std::string artifact_cache_dir;
+  bool cold_start = false;
   int http_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
     else if (arg == "--requests") requests = next();
     else if (arg == "--capacity") capacity = static_cast<std::size_t>(next());
     else if (arg == "--overload") overload = true;
+    else if (arg.rfind("--artifact-cache=", 0) == 0) artifact_cache_dir = arg.substr(17);
+    else if (arg == "--cold-start") cold_start = true;
     else if (arg == "--trace") trace_path = "serve_trace.json";
     else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
     else if (arg == "--metrics") metrics_path = "serve_metrics.json";
@@ -129,7 +144,8 @@ int main(int argc, char** argv) {
   }
   if (streams < 1 || requests < 1 || capacity < 1) {
     std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
-                 " [--overload] [--threads=N] [--trace[=path]] [--metrics[=path]]"
+                 " [--overload] [--threads=N] [--artifact-cache=DIR] [--cold-start]"
+                 " [--trace[=path]] [--metrics[=path]]"
                  " [--flight-record=path] [--http-port=N]\n";
     return 2;
   }
@@ -148,16 +164,41 @@ int main(int argc, char** argv) {
     support::FlightRecorder::Global().Configure(flight);
   }
 
+  core::FlowCompileSettings compile_settings;
+  if (!artifact_cache_dir.empty()) {
+    try {
+      compile_settings.artifact_cache =
+          std::make_shared<artifact::ArtifactStore>(artifact_cache_dir);
+    } catch (const Error& e) {
+      std::cerr << "serve_demo: cannot open artifact cache: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   std::cout << "starting server: 3 models, queue capacity " << capacity
             << ", warm sessions per model x flow\n";
   serve::ServerOptions options;
   options.queue_capacity = capacity;
   options.max_batch = 4;
+  const auto warm_start = std::chrono::steady_clock::now();
   serve::InferenceServer server(
-      {Stage("detector", 8, core::FlowKind::kByocCpu, std::nullopt),
-       Stage("anti-spoof", 12, core::FlowKind::kByocCpuApu, core::FlowKind::kByocCpu),
-       Stage("emotion", 8, core::FlowKind::kNpApu, core::FlowKind::kNpCpu)},
+      {Stage("detector", 8, core::FlowKind::kByocCpu, std::nullopt, compile_settings),
+       Stage("anti-spoof", 12, core::FlowKind::kByocCpuApu, core::FlowKind::kByocCpu,
+             compile_settings),
+       Stage("emotion", 8, core::FlowKind::kNpApu, core::FlowKind::kNpCpu,
+             compile_settings)},
       options);
+  if (cold_start) {
+    const double warm_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - warm_start)
+                               .count();
+    const auto* hits = Registry::Global().FindCounter("artifact/cache_hits");
+    const auto* misses = Registry::Global().FindCounter("artifact/cache_misses");
+    std::cout << "cold start: server warmed in " << warm_ms << " ms (artifact cache "
+              << (artifact_cache_dir.empty() ? "off" : artifact_cache_dir) << ", "
+              << (hits != nullptr ? hits->value() : 0) << " hits, "
+              << (misses != nullptr ? misses->value() : 0) << " misses)\n";
+  }
 
   support::DebugHttpServer http;
   support::TelemetrySampler sampler;

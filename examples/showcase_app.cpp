@@ -6,6 +6,8 @@
 //
 // Build & run:  ./build/examples/showcase_app [num_frames] [--frames N]
 //                                             [--seed S] [--threads=N]
+//                                             [--artifact-cache=DIR]
+//                                             [--cold-start]
 //                                             [--trace[=path]]
 //                                             [--metrics[=path]]
 //                                             [--flight-record=path]
@@ -15,6 +17,13 @@
 // feeds both the synthetic scene and the models' weights), so command lines
 // can express exactly the configurations the benches hard-code. A bare
 // positional number is still accepted as the frame count.
+//
+// --artifact-cache=DIR (default off) compiles through a content-addressed
+// artifact store: the first run serializes each stage's compiled module into
+// DIR, subsequent runs mmap them back without recompiling or repacking
+// weights. --cold-start prints the session-construction wall time plus the
+// store hit/miss counters, so a cached vs uncached launch is directly
+// comparable.
 //
 // --threads=N sizes the process-wide worker pool (overrides TNP_NUM_THREADS;
 // must come before any work runs — the pool is created on first use and
@@ -29,11 +38,13 @@
 // document (trace tail + metrics) to the given path when the run ends.
 // --http-port=N serves the live debug endpoints (/metrics, /timeseries,
 // /flightrecord) on 127.0.0.1:N for the run's duration.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "artifact/store.h"
 #include "kernels/scratch.h"
 #include "support/debug_http.h"
 #include "support/error.h"
@@ -53,6 +64,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string flight_path;
+  std::string artifact_cache_dir;
+  bool cold_start = false;
   int http_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +79,14 @@ int main(int argc, char** argv) {
       flight_path = arg.substr(16);
     } else if (arg.rfind("--http-port=", 0) == 0) {
       http_port = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--artifact-cache=", 0) == 0) {
+      artifact_cache_dir = arg.substr(17);
+      if (artifact_cache_dir.empty()) {
+        std::cerr << "showcase_app: --artifact-cache needs a directory\n";
+        return 2;
+      }
+    } else if (arg == "--cold-start") {
+      cold_start = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const int threads = std::atoi(arg.c_str() + 10);
       if (threads < 1 || !support::ThreadPool::Configure(threads)) {
@@ -81,7 +102,8 @@ int main(int argc, char** argv) {
       num_frames = std::atoi(arg.c_str());
     } else {
       std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
-                   "[--threads=N] [--trace[=path]] [--metrics[=path]] "
+                   "[--threads=N] [--artifact-cache=DIR] [--cold-start] "
+                   "[--trace[=path]] [--metrics[=path]] "
                    "[--flight-record=path] [--http-port=N]\n";
       return 2;
     }
@@ -118,7 +140,29 @@ int main(int argc, char** argv) {
 
   ShowcaseConfig config;  // paper Figure-5 stage->target assignment by default
   config.seed = seed;
+  if (!artifact_cache_dir.empty()) {
+    try {
+      config.compile.artifact_cache =
+          std::make_shared<artifact::ArtifactStore>(artifact_cache_dir);
+    } catch (const Error& e) {
+      std::cerr << "showcase_app: cannot open artifact cache: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  const auto build_start = std::chrono::steady_clock::now();
   ShowcaseApp app(config);
+  if (cold_start) {
+    const double build_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - build_start)
+                                .count();
+    const auto& registry = support::metrics::Registry::Global();
+    const auto* hits = registry.FindCounter("artifact/cache_hits");
+    const auto* misses = registry.FindCounter("artifact/cache_misses");
+    std::cout << "cold start: sessions built in " << build_ms << " ms (artifact cache "
+              << (artifact_cache_dir.empty() ? "off" : artifact_cache_dir) << ", "
+              << (hits != nullptr ? hits->value() : 0) << " hits, "
+              << (misses != nullptr ? misses->value() : 0) << " misses)\n\n";
+  }
   std::cout << "stage latencies (simulated, per inference):\n";
   std::cout << "  object detection  (" << core::FlowName(app.config().detection_flow)
             << "): " << app.DetectionStageUs() / 1000.0 << " ms\n";

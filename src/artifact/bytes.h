@@ -1,0 +1,144 @@
+// Bounds-checked binary encoding primitives for the META section.
+//
+// MetaWriter appends little-endian scalars/strings/vectors to a growable
+// buffer; MetaReader replays them over a borrowed byte range and throws a
+// typed kParseError on ANY overrun or implausible length — hostile META
+// bytes fail closed instead of reading out of bounds. Tensor *payloads* do
+// not pass through here (they live in the BLOB section and are only ever
+// referenced by offset), so decoding META touches a few KiB per artifact
+// regardless of model size.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace tnp {
+namespace artifact {
+
+class MetaWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void I32(std::int32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(std::int64_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void I64s(const std::vector<std::int64_t>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (const std::int64_t x : v) I64(x);
+  }
+  void I32s(const std::vector<int>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (const int x : v) I32(x);
+  }
+  void F64s(const std::vector<double>& v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    for (const double x : v) F64(x);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  void Raw(const void* data, std::size_t bytes) {
+    buffer_.append(static_cast<const char*>(data), bytes);
+  }
+
+  std::string buffer_;
+};
+
+class MetaReader {
+ public:
+  MetaReader(const void* data, std::size_t bytes)
+      : data_(static_cast<const unsigned char*>(data)), bytes_(bytes) {}
+
+  std::uint8_t U8() { return Scalar<std::uint8_t>(); }
+  std::uint32_t U32() { return Scalar<std::uint32_t>(); }
+  std::int32_t I32() { return Scalar<std::int32_t>(); }
+  std::uint64_t U64() { return Scalar<std::uint64_t>(); }
+  std::int64_t I64() { return Scalar<std::int64_t>(); }
+  float F32() { return Scalar<float>(); }
+  double F64() { return Scalar<double>(); }
+  bool Bool() { return U8() != 0; }
+
+  std::string Str() {
+    const std::uint32_t size = Length();
+    Need(size, "string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  std::vector<std::int64_t> I64s() {
+    const std::uint32_t count = Length();
+    Need(static_cast<std::size_t>(count) * sizeof(std::int64_t), "i64 vector");
+    std::vector<std::int64_t> v(count);
+    for (auto& x : v) x = I64();
+    return v;
+  }
+  std::vector<int> I32s() {
+    const std::uint32_t count = Length();
+    Need(static_cast<std::size_t>(count) * sizeof(std::int32_t), "i32 vector");
+    std::vector<int> v(count);
+    for (auto& x : v) x = I32();
+    return v;
+  }
+  std::vector<double> F64s() {
+    const std::uint32_t count = Length();
+    Need(static_cast<std::size_t>(count) * sizeof(double), "f64 vector");
+    std::vector<double> v(count);
+    for (auto& x : v) x = F64();
+    return v;
+  }
+
+  /// A count prefix for a sequence of records of unknown encoded size; the
+  /// plausibility bound stops a corrupt count from driving a giant resize.
+  std::uint32_t Count() { return Length(); }
+
+  bool AtEnd() const { return pos_ == bytes_; }
+  std::size_t remaining() const { return bytes_ - pos_; }
+
+ private:
+  template <typename T>
+  T Scalar() {
+    Need(sizeof(T), "scalar");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint32_t Length() {
+    const std::uint32_t size = Scalar<std::uint32_t>();
+    if (size > (1u << 28)) {
+      TNP_THROW(kParseError) << "artifact META: implausible length " << size;
+    }
+    return size;
+  }
+
+  void Need(std::size_t bytes, const char* what) {
+    if (bytes_ - pos_ < bytes) {
+      TNP_THROW(kParseError) << "artifact META truncated reading " << what << " ("
+                             << bytes << " bytes needed, " << (bytes_ - pos_)
+                             << " remain)";
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace artifact
+}  // namespace tnp

@@ -1,8 +1,11 @@
 #include "core/flows.h"
 
+#include <sstream>
+
 #include "core/relay_to_neuron.h"
 #include "neuron/runtime.h"
 #include "relay/pass.h"
+#include "relay/serializer.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -193,6 +196,38 @@ class NpSession final : public InferenceSession {
   int num_outputs_ = 1;
 };
 
+/// Build an NP-only session around a compiled (or freshly mapped) package:
+/// input names come from the model's input operands — the Relay→Neuron
+/// converter names them after the function parameters, so SetInput keys are
+/// identical whether the package was compiled or loaded from an artifact.
+InferenceSessionPtr MakeNpSession(FlowKind flow, neuron::NeuronPackagePtr package) {
+  std::vector<std::string> input_names;
+  for (const neuron::OperandId id : package->model.model_inputs()) {
+    input_names.push_back(package->model.operand(id).name);
+  }
+  const int num_outputs = static_cast<int>(package->model.model_outputs().size());
+  return std::make_shared<NpSession>(flow, std::move(package), std::move(input_names),
+                                     num_outputs);
+}
+
+/// Content key for the artifact cache: the module's deterministic serialized
+/// bytes (structure + constant weights) plus every compile knob that changes
+/// the produced artifact. The cache implementation hashes this together with
+/// its on-disk format version.
+std::string FlowCacheKey(const relay::Module& module, FlowKind flow,
+                         const FlowCompileSettings& settings) {
+  std::ostringstream key;
+  relay::SaveModule(module, key);
+  key << '|' << FlowName(flow) << "|policy=" << static_cast<int>(settings.policy)
+      << "|fusion=" << (settings.enable_tvm_fusion ? 1 : 0);
+  return key.str();
+}
+
+bool IsNpFlow(FlowKind flow) {
+  return flow == FlowKind::kNpCpu || flow == FlowKind::kNpApu ||
+         flow == FlowKind::kNpCpuApu;
+}
+
 }  // namespace
 
 InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
@@ -203,12 +238,35 @@ InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
   compiles.Increment();
   TNP_TRACE_SCOPE("flow", std::string("CompileFlow:") + FlowName(flow));
 
+  // Load-or-build: consult the artifact cache before compiling. Only the
+  // built-in testbed is cacheable — custom cost tables cannot be rebound by
+  // name when the artifact is mapped in another process.
+  const bool cacheable = settings.artifact_cache != nullptr &&
+                         settings.testbed == &sim::Testbed::Dimensity800();
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = FlowCacheKey(module, flow, settings);
+    if (IsNpFlow(flow)) {
+      if (neuron::NeuronPackagePtr package =
+              settings.artifact_cache->TryLoadPackage(cache_key)) {
+        return MakeNpSession(flow, std::move(package));
+      }
+    } else {
+      if (relay::CompiledModulePtr compiled =
+              settings.artifact_cache->TryLoadModule(cache_key)) {
+        return std::make_shared<TvmSession>(flow, std::move(compiled));
+      }
+    }
+  }
+
   if (flow == FlowKind::kTvmOnly) {
     relay::BuildOptions options;
     options.enable_fusion = settings.enable_tvm_fusion;
     options.host_device = sim::DeviceKind::kTvmCpu;
     options.testbed = settings.testbed;
-    return std::make_shared<TvmSession>(flow, relay::Build(module, options));
+    relay::CompiledModulePtr compiled = relay::Build(module, options);
+    if (cacheable) settings.artifact_cache->SaveModule(cache_key, *compiled);
+    return std::make_shared<TvmSession>(flow, std::move(compiled));
   }
 
   if (flow == FlowKind::kByocCpu || flow == FlowKind::kByocApu ||
@@ -219,8 +277,10 @@ InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
     options.policy = settings.policy;
     options.enable_tvm_fusion = settings.enable_tvm_fusion;
     const relay::Module partitioned = PartitionForNir(module, options);
-    return std::make_shared<TvmSession>(
-        flow, relay::Build(partitioned, MakeBuildOptions(options)));
+    relay::CompiledModulePtr compiled =
+        relay::Build(partitioned, MakeBuildOptions(options));
+    if (cacheable) settings.artifact_cache->SaveModule(cache_key, *compiled);
+    return std::make_shared<TvmSession>(flow, std::move(compiled));
   }
 
   // NeuroPilot-only: convert the *entire* model through the Relay->Neuron
@@ -241,13 +301,8 @@ InferenceSessionPtr CompileFlow(const relay::Module& module, FlowKind flow,
   compiler_options.policy = settings.policy;
   const neuron::NeuronCompiler compiler(compiler_options);
   neuron::NeuronPackagePtr package = compiler.Compile(std::move(model), "np_only");
-
-  std::vector<std::string> input_names;
-  for (const auto& param : main_fn->params()) input_names.push_back(param->name());
-  const int num_outputs =
-      static_cast<int>(package->model.model_outputs().size());
-  return std::make_shared<NpSession>(flow, std::move(package), std::move(input_names),
-                                     num_outputs);
+  if (cacheable) settings.artifact_cache->SavePackage(cache_key, *package);
+  return MakeNpSession(flow, std::move(package));
 }
 
 InferenceSessionPtr TryCompileFlow(const relay::Module& module, FlowKind flow,

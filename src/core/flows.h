@@ -70,10 +70,39 @@ class InferenceSession {
 
 using InferenceSessionPtr = std::shared_ptr<InferenceSession>;
 
+/// Abstract compiled-artifact cache consulted by CompileFlow (load-or-build).
+/// Keys are opaque content strings assembled by CompileFlow — the serialized
+/// module bytes plus flow and settings — which the implementation hashes
+/// together with its on-disk format version. Implemented by
+/// artifact::ArtifactStore; declared here so core/ does not depend on the
+/// artifact layer.
+class CompiledArtifactCache {
+ public:
+  virtual ~CompiledArtifactCache() = default;
+
+  /// Return the cached compiled module, or nullptr on a clean miss (no entry
+  /// for the key). A present-but-corrupt entry throws a typed error — the
+  /// cache never silently recompiles over stale or damaged bytes.
+  virtual relay::CompiledModulePtr TryLoadModule(const std::string& key) = 0;
+  virtual void SaveModule(const std::string& key,
+                          const relay::CompiledModule& compiled) = 0;
+
+  /// Same contract for standalone NeuronPackages (NeuroPilot-only flows).
+  virtual neuron::NeuronPackagePtr TryLoadPackage(const std::string& key) = 0;
+  virtual void SavePackage(const std::string& key,
+                           const neuron::NeuronPackage& package) = 0;
+};
+
 struct FlowCompileSettings {
   const sim::Testbed* testbed = &sim::Testbed::Dimensity800();
   neuron::PlannerPolicy policy = neuron::PlannerPolicy::kGreedyCost;
   bool enable_tvm_fusion = true;
+  /// Optional load-or-build cache: CompileFlow maps a stored artifact
+  /// instead of compiling when the (model, flow, settings) key hits, and
+  /// publishes freshly compiled artifacts back. Null disables caching.
+  /// Only the built-in testbed is cacheable; custom testbeds bypass the
+  /// cache (their cost tables cannot be rebound by name on load).
+  std::shared_ptr<CompiledArtifactCache> artifact_cache;
 };
 
 /// Compile `module` under `flow`. Throws tnp::Error (kUnsupportedOp /

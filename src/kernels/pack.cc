@@ -254,6 +254,54 @@ PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight) {
   return PackDenseWeights(weight, /*int8=*/true);
 }
 
+void ValidatePackedLayout(const PackedMatrix& matrix) {
+  const bool int8 = matrix.dtype == DType::kInt8;
+  if (!int8 && matrix.dtype != DType::kFloat32) {
+    TNP_THROW(kParseError) << "packed matrix: unsupported dtype "
+                           << DTypeName(matrix.dtype);
+  }
+  if (matrix.rows <= 0 || matrix.cols <= 0 || matrix.groups <= 0) {
+    TNP_THROW(kParseError) << "packed matrix: non-positive geometry (" << matrix.rows
+                           << " x " << matrix.cols << ", " << matrix.groups
+                           << " groups)";
+  }
+  const bool a_side = matrix.side == PackedMatrix::Side::kA;
+  const std::int64_t panel =
+      a_side ? (int8 ? kGemmMrS8 : kGemmMrF32) : (int8 ? kGemmNrS8 : kGemmNrF32);
+  if (matrix.panel != panel) {
+    TNP_THROW(kParseError) << "packed matrix: panel width " << matrix.panel
+                           << " does not match the " << (a_side ? "A" : "B")
+                           << "-side " << DTypeName(matrix.dtype) << " micro-kernel ("
+                           << panel << ")";
+  }
+  // A-side panels tile rows and run over the k (cols) extent; B-side panels
+  // tile cols and run over the k (rows) extent. Int8 pads k up to even.
+  const std::int64_t tiled = a_side ? matrix.rows : matrix.cols;
+  const std::int64_t depth_raw = a_side ? matrix.cols : matrix.rows;
+  const std::int64_t depth = int8 ? PackedKS8(depth_raw) : depth_raw;
+  const std::int64_t stride = PackedExtent(tiled, panel) * depth;
+  if (matrix.group_stride != stride) {
+    TNP_THROW(kParseError) << "packed matrix: group_stride " << matrix.group_stride
+                           << " does not match the packed layout (" << stride << ")";
+  }
+  if (!matrix.data.defined() || matrix.data.dtype() != matrix.dtype ||
+      matrix.data.NumElements() != matrix.groups * stride) {
+    TNP_THROW(kParseError) << "packed matrix: data payload does not hold "
+                           << matrix.groups * stride << " packed "
+                           << DTypeName(matrix.dtype) << " elements";
+  }
+  if (int8) {
+    const std::int64_t sums_len = matrix.groups * (a_side ? matrix.rows : matrix.cols);
+    if (!matrix.sums.defined() || matrix.sums.dtype() != DType::kInt32 ||
+        matrix.sums.NumElements() != sums_len) {
+      TNP_THROW(kParseError) << "packed matrix: int8 panels require " << sums_len
+                             << " int32 zero-point sums";
+    }
+  } else if (matrix.sums.defined()) {
+    TNP_THROW(kParseError) << "packed matrix: float32 panels carry no sums";
+  }
+}
+
 PackedMatrixPtr PackedWeightsCache::GetOrPack(const std::string& key,
                                               const std::function<PackedMatrixPtr()>& pack) {
   {

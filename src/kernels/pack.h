@@ -159,6 +159,13 @@ class PackedWeightsCache {
   std::unordered_map<std::string, PackedMatrixPtr> entries_;
 };
 
+/// Validate a PackedMatrix whose descriptor and payloads came from an
+/// untrusted source (the artifact loader): dtype, panel width, group_stride
+/// and the data/sums extents must match exactly what the packers above
+/// produce for the recorded geometry, so a mapped panel can be fed to the
+/// micro-kernels without repacking. Throws kParseError on any mismatch.
+void ValidatePackedLayout(const PackedMatrix& matrix);
+
 /// Count one weight-panel pack (compile-time or runtime fallback). Published
 /// as the "kernels/pack/weight_packs" counter; steady-state runs must not
 /// move it.

@@ -26,10 +26,12 @@ ShowcaseApp::ShowcaseApp(const ShowcaseConfig& config) : config_(config) {
     options.width = config_.object_width;
     options.seed = config_.seed;
     const relay::Module ssd = zoo::Build("mobilenet_ssd_quant", options);
-    detection_session_ = core::CompileFlow(ssd, config_.detection_flow);
+    detection_session_ = core::CompileFlow(ssd, config_.detection_flow, config_.compile);
   }
-  antispoof_session_ = core::CompileFlow(AntiSpoofFunctionalModule(), config_.antispoof_flow);
-  emotion_session_ = core::CompileFlow(EmotionFunctionalModule(), config_.emotion_flow);
+  antispoof_session_ =
+      core::CompileFlow(AntiSpoofFunctionalModule(), config_.antispoof_flow, config_.compile);
+  emotion_session_ =
+      core::CompileFlow(EmotionFunctionalModule(), config_.emotion_flow, config_.compile);
 }
 
 FrameResult ShowcaseApp::DetectStage(const NDArray& frame, int frame_index,

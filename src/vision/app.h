@@ -43,6 +43,12 @@ struct ShowcaseConfig {
   double object_width = 0.25;
 
   std::uint64_t seed = 2022;
+
+  /// Shared compile settings for all three stage sessions. Setting
+  /// `compile.artifact_cache` (e.g. an artifact::ArtifactStore) turns
+  /// construction into load-or-build: stages whose compiled artifact is in
+  /// the store are mapped from disk instead of rebuilt.
+  core::FlowCompileSettings compile;
 };
 
 struct FaceResult {

@@ -1,0 +1,199 @@
+// Cross-process artifact cache round-trip checker (the CI "cache
+// round-trip" job, and the artifact_roundtrip_{save,verify} ctest pair).
+//
+//   artifact_roundtrip save <dir>     build the model zoo through an
+//                                     ArtifactStore at <dir>/store and write
+//                                     every flow's outputs to <dir>/expected
+//   artifact_roundtrip verify <dir>   in a FRESH process: compile the same
+//                                     zoo through the same store (every
+//                                     compile must be a cache hit), run, and
+//                                     diff outputs bitwise against both a
+//                                     fresh in-process compile and the saved
+//                                     bytes from the `save` process
+//
+// `verify` exits non-zero on any cache miss, any bitwise difference, or any
+// load error — a loaded artifact must be indistinguishable from a fresh
+// compile across process boundaries, not merely within one.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "artifact/store.h"
+#include "core/flows.h"
+#include "relay/expr.h"
+#include "support/error.h"
+#include "support/metrics.h"
+#include "zoo/zoo.h"
+
+namespace fs = std::filesystem;
+using namespace tnp;
+
+namespace {
+
+/// The showcase trio plus one model per frontend framework, small enough
+/// for CI numerics but covering every serialization path (f32, s8 quant,
+/// multi-output SSD, BYOC partitions, NP packages).
+const std::vector<std::string>& Models() {
+  static const std::vector<std::string> models = {
+      "mobilenet_v1",    "mobilenet_v1_quant", "mobilenet_v2",
+      "deepixbis",       "emotion_cnn",        "mobilenet_ssd_quant",
+  };
+  return models;
+}
+
+constexpr core::FlowKind kFlows[] = {
+    core::FlowKind::kTvmOnly,
+    core::FlowKind::kByocCpuApu,
+    core::FlowKind::kNpCpuApu,
+};
+
+zoo::ZooOptions SmallOptions() {
+  zoo::ZooOptions options;
+  options.image_size = 32;
+  options.width = 0.25;
+  options.depth = 0.3;
+  return options;
+}
+
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+std::string ExpectedPath(const std::string& dir, const std::string& model,
+                         core::FlowKind flow, int output) {
+  return dir + "/" + Sanitize(model) + "__" + Sanitize(core::FlowName(flow)) + "__" +
+         std::to_string(output) + ".bin";
+}
+
+/// Deterministic inputs derived from the graph signature (seeded like the
+/// zoo's own weights, so save and verify agree byte-for-byte).
+std::vector<std::pair<std::string, NDArray>> MakeInputs(const relay::Module& module) {
+  std::vector<std::pair<std::string, NDArray>> inputs;
+  std::uint64_t seed = 1234;
+  for (const auto& param : module.main()->params()) {
+    const relay::Type& type = param->type_annotation();
+    if (!type.IsTensor() || type.AsTensor().dtype != DType::kFloat32) {
+      throw Error(ErrorKind::kInvalidArgument,
+                  "non-f32 graph input " + param->name() + ": " + type.ToString());
+    }
+    inputs.emplace_back(param->name(),
+                        NDArray::RandomNormal(type.AsTensor().shape, seed++, 0.5f));
+  }
+  return inputs;
+}
+
+std::vector<NDArray> RunSession(core::InferenceSession& session,
+                                const std::vector<std::pair<std::string, NDArray>>& inputs) {
+  for (const auto& [name, value] : inputs) session.SetInput(name, value);
+  session.Run();
+  std::vector<NDArray> outputs;
+  for (int i = 0; i < session.NumOutputs(); ++i) outputs.push_back(session.GetOutput(i));
+  return outputs;
+}
+
+void WriteTensor(const std::string& path, const NDArray& tensor) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw Error(ErrorKind::kRuntimeError, "cannot write " + path);
+  out.write(static_cast<const char*>(tensor.RawData()),
+            static_cast<std::streamsize>(tensor.SizeBytes()));
+}
+
+bool MatchesFile(const std::string& path, const NDArray& tensor) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  return bytes.size() == tensor.SizeBytes() &&
+         std::memcmp(bytes.data(), tensor.RawData(), bytes.size()) == 0;
+}
+
+std::int64_t Misses() {
+  const auto* counter =
+      support::metrics::Registry::Global().FindCounter("artifact/cache_misses");
+  return counter != nullptr ? counter->value() : 0;
+}
+
+int Run(const std::string& mode, const std::string& dir) {
+  const bool saving = mode == "save";
+  const std::string store_dir = dir + "/store";
+  const std::string expected_dir = dir + "/expected";
+  fs::create_directories(expected_dir);
+
+  core::FlowCompileSettings cached;
+  cached.artifact_cache = std::make_shared<artifact::ArtifactStore>(store_dir);
+
+  int artifacts = 0, outputs = 0, skipped = 0;
+  for (const std::string& model : Models()) {
+    const relay::Module module = zoo::Build(model, SmallOptions());
+    const auto inputs = MakeInputs(module);
+    for (const core::FlowKind flow : kFlows) {
+      std::string error;
+      const auto fresh = core::TryCompileFlow(module, flow, &error);
+      if (fresh == nullptr) {
+        ++skipped;  // flow legitimately unsupported (e.g. NP-only gaps)
+        continue;
+      }
+      const std::int64_t misses_before = Misses();
+      const auto via_store = core::CompileFlow(module, flow, cached);
+      if (!saving && Misses() != misses_before) {
+        std::cerr << "FAIL: " << model << " / " << core::FlowName(flow)
+                  << " was a cache miss in verify mode (store incomplete?)\n";
+        return 1;
+      }
+
+      const auto want = RunSession(*fresh, inputs);
+      const auto got = RunSession(*via_store, inputs);
+      if (want.size() != got.size()) {
+        std::cerr << "FAIL: " << model << " / " << core::FlowName(flow)
+                  << " output count " << got.size() << " != " << want.size() << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (!NDArray::BitEqual(want[i], got[i])) {
+          std::cerr << "FAIL: " << model << " / " << core::FlowName(flow) << " output "
+                    << i << " differs loaded-vs-fresh in this process\n";
+          return 1;
+        }
+        const std::string path = ExpectedPath(expected_dir, model, flow, static_cast<int>(i));
+        if (saving) {
+          WriteTensor(path, want[i]);
+        } else if (!MatchesFile(path, got[i])) {
+          std::cerr << "FAIL: " << model << " / " << core::FlowName(flow) << " output "
+                    << i << " differs from the save process's bytes (" << path << ")\n";
+          return 1;
+        }
+        ++outputs;
+      }
+      ++artifacts;
+    }
+  }
+
+  std::cout << mode << ": " << artifacts << " artifacts, " << outputs
+            << " outputs bitwise-checked, " << skipped << " unsupported flow pairs skipped"
+            << (saving ? "" : ", 0 cache misses") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::string(argv[1]) != "save" && std::string(argv[1]) != "verify")) {
+    std::cerr << "usage: artifact_roundtrip save|verify <dir>\n";
+    return 2;
+  }
+  try {
+    return Run(argv[1], argv[2]);
+  } catch (const std::exception& e) {
+    std::cerr << "artifact_roundtrip: " << e.what() << "\n";
+    return 1;
+  }
+}
