@@ -35,9 +35,11 @@
 #include "kernels/dense.h"
 #include "kernels/pack.h"
 #include "kernels/scratch.h"
+#include "serve/attribution.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "support/metrics.h"
+#include "support/profiler.h"
 #include "support/thread_pool.h"
 #include "zoo/zoo.h"
 
@@ -325,6 +327,47 @@ int main(int argc, char** argv) {
     metrics["serve/health/worst_burn"] =
         {server.health().last_signals().worst_burn, /*lower_is_better=*/true,
          /*gate=*/false};
+  }
+
+  // ---- 6) continuous profiler + attribution: alloc-free steady state -----
+  // The observability hot paths must cost nothing at steady state: the
+  // sampler's fold pass and the ledger's Complete() fold both count every
+  // heap excursion in their own alloc_events counters (the only allocating
+  // branch — tail-based trace retention — is disabled here by an
+  // unreachable threshold). Gated at exactly zero allocations per sample.
+  {
+    serve::attribution::LedgerOptions ledger_options;
+    ledger_options.tail_slow_us = 1e15;  // steady state: no tail retention
+    serve::attribution::Ledger::Global().Configure(ledger_options);
+    support::profiler::Profiler::Global().Reset();
+    constexpr int kSamples = 256;
+    {
+      support::profiler::LabelScope bench_label("bench:prof_gate");
+      for (int i = 0; i < kSamples; ++i) {
+        support::profiler::Profiler::Global().SampleOnce();
+        serve::attribution::PhaseStamps stamps;
+        stamps.req_id = static_cast<std::uint64_t>(i + 1);
+        stamps.submit_us = 1000.0 * i;
+        stamps.queued_us = stamps.submit_us + 5.0;
+        stamps.pop_begin_us = stamps.submit_us + 10.0;
+        stamps.popped_us = stamps.submit_us + 20.0;
+        stamps.session_us = stamps.submit_us + 30.0;
+        stamps.run_begin_us = stamps.submit_us + 40.0;
+        stamps.run_end_us = stamps.submit_us + 140.0;
+        serve::attribution::Ledger::Global().Complete(
+            stamps, serve::ServeStatus::kOk, stamps.submit_us + 150.0);
+      }
+    }
+    const double allocs = static_cast<double>(
+        support::profiler::Profiler::Global().stats().alloc_events +
+        serve::attribution::Ledger::Global().alloc_events());
+    metrics["prof/steady_allocs_per_sample"] = {allocs / kSamples,
+                                                /*lower_is_better=*/true,
+                                                /*gate=*/true};
+    metrics["prof/distinct_stacks"] = {
+        static_cast<double>(
+            support::profiler::Profiler::Global().stats().distinct_stacks),
+        /*lower_is_better=*/false, /*gate=*/false};
   }
 
   WriteSnapshot(metrics, path);

@@ -14,7 +14,7 @@
 //                                           [--cold-start]
 //                                           [--trace[=path]] [--metrics[=path]]
 //                                           [--flight-record=path]
-//                                           [--http-port=N]
+//                                           [--http-port=N] [--profile]
 //
 // --artifact-cache=DIR (default off) points the session pool at a
 // content-addressed artifact store: warm-up maps previously compiled
@@ -33,9 +33,13 @@
 // `--flight-record` arms the flight recorder: an overload shed-storm dumps
 // the last moments of trace + metrics to the given path automatically.
 // `--http-port=N` serves the live debug endpoints (/metrics, /healthz,
-// /timeseries, /flightrecord) on 127.0.0.1:N for the run's duration, and the
-// run self-probes them at the end, writing healthz_capture.json and
-// metrics_capture.prom next to the binary (CI archives both).
+// /timeseries, /flightrecord, /profilez, /attribution) on 127.0.0.1:N for
+// the run's duration, and the run self-probes them at the end, writing
+// healthz_capture.json and metrics_capture.prom next to the binary (CI
+// archives both). `--profile` keeps the continuous profiler sampling during
+// the load and writes profile_capture.folded (collapsed stacks, feed to
+// flamegraph.pl) plus attribution_capture.json (per-phase tail-latency
+// decomposition) at the end of the run.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +49,13 @@
 
 #include "artifact/store.h"
 #include "frontend/common.h"
+#include "serve/attribution.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
 #include "support/debug_http.h"
 #include "support/error.h"
 #include "support/flight_recorder.h"
+#include "support/profiler.h"
 #include "support/string_util.h"
 #include "support/table.h"
 #include "support/telemetry.h"
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
   std::string artifact_cache_dir;
   bool cold_start = false;
   int http_port = -1;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> int { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
@@ -133,6 +140,7 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--metrics=", 0) == 0) metrics_path = arg.substr(10);
     else if (arg.rfind("--flight-record=", 0) == 0) flight_path = arg.substr(16);
     else if (arg.rfind("--http-port=", 0) == 0) http_port = std::atoi(arg.c_str() + 12);
+    else if (arg == "--profile") profile = true;
     else if (arg.rfind("--threads=", 0) == 0) {
       const int threads = std::atoi(arg.c_str() + 10);
       if (threads < 1 || !support::ThreadPool::Configure(threads)) {
@@ -146,7 +154,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
                  " [--overload] [--threads=N] [--artifact-cache=DIR] [--cold-start]"
                  " [--trace[=path]] [--metrics[=path]]"
-                 " [--flight-record=path] [--http-port=N]\n";
+                 " [--flight-record=path] [--http-port=N] [--profile]\n";
     return 2;
   }
 
@@ -205,6 +213,7 @@ int main(int argc, char** argv) {
   if (http_port >= 0) {
     support::RegisterSupportEndpoints(http);
     server.health().RegisterWith(http);
+    serve::attribution::RegisterAttributionEndpoints(http);
     try {
       http.Start(http_port);
     } catch (const Error& e) {
@@ -212,9 +221,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cout << "debug endpoints on http://127.0.0.1:" << http.port()
-              << " (/metrics /healthz /timeseries /flightrecord)\n";
+              << " (/metrics /healthz /timeseries /flightrecord /profilez"
+                 " /attribution)\n";
+  }
+  if (http_port >= 0 || profile) {
     // Keep the time-series collector advancing while the load runs so the
-    // /timeseries windows carry live data.
+    // /timeseries windows carry live data; each tick also takes one
+    // continuous-profiler sample of every pool worker.
     sampler.Start();
   }
 
@@ -306,8 +319,30 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "  /metrics probe failed: " << metrics.error << "\n";
     }
+    if (profile) {
+      // Short runs can finish inside one sampler cadence; take one
+      // synchronous sample so the capture is never empty.
+      support::profiler::Profiler::Global().SampleOnce();
+      // Prefer the HTTP surface for the profile captures too — same bytes an
+      // external scraper would get.
+      const auto folded = support::HttpGet(http.port(), "/profilez?format=folded");
+      if (folded.status != 0) std::ofstream("profile_capture.folded") << folded.body;
+      const auto attribution = support::HttpGet(http.port(), "/attribution");
+      if (attribution.status != 0) {
+        std::ofstream("attribution_capture.json") << attribution.body;
+      }
+      std::cout << "  wrote profile_capture.folded and attribution_capture.json\n";
+    }
     sampler.Stop();
     http.Stop();
+  } else if (profile) {
+    sampler.Stop();
+    support::profiler::Profiler::Global().SampleOnce();
+    std::ofstream("profile_capture.folded")
+        << support::profiler::Profiler::Global().ExportFolded();
+    std::ofstream("attribution_capture.json")
+        << serve::attribution::Ledger::Global().ExportJson();
+    std::cout << "  wrote profile_capture.folded and attribution_capture.json\n";
   }
   if (!flight_path.empty() &&
       support::FlightRecorder::Global().dumps() == 0) {

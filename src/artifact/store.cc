@@ -8,6 +8,7 @@
 #include "artifact/serialize.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/timeseries.h"
 
 namespace tnp {
 namespace artifact {
@@ -54,6 +55,12 @@ bool EntryExists(const std::string& path) {
 
 ArtifactStore::ArtifactStore(std::string directory) : directory_(std::move(directory)) {
   EnsureDirectory(directory_);
+  // Window these in /timeseries so a cold-start (miss burst + load_us spike)
+  // is visible as a rate, not just a lifetime total in /metrics.
+  auto& collector = support::timeseries::Collector::Global();
+  collector.TrackCounter("artifact/cache_hits");
+  collector.TrackCounter("artifact/cache_misses");
+  collector.TrackHistogram("artifact/load_us");
 }
 
 std::string ArtifactStore::PathFor(const std::string& key, ArtifactKind kind) const {

@@ -1,9 +1,12 @@
 // Shared observability hook for kernel entry points: every dispatch bumps
-// the process-wide "kernels/dispatch" counter and, when tracing is enabled,
-// opens a "kernel"-category span covering the kernel body.
+// the process-wide "kernels/dispatch" counter, publishes the kernel name as
+// a profiler label frame (so the sampling profiler's folded stacks show
+// which kernel a worker is inside), and, when tracing is enabled, opens a
+// "kernel"-category span covering the kernel body.
 #pragma once
 
 #include "support/metrics.h"
+#include "support/profiler.h"
 #include "support/trace.h"
 
 namespace tnp {
@@ -18,7 +21,10 @@ inline void CountKernelDispatch() {
 }  // namespace kernels
 }  // namespace tnp
 
-/// Place at the top of a kernel entry point; `name` must be a literal.
-#define TNP_KERNEL_SPAN(name)            \
-  ::tnp::kernels::CountKernelDispatch(); \
+/// Place at the top of a kernel entry point; `name` must be a literal (the
+/// profiler retains the pointer, the tracer copies the text).
+#define TNP_KERNEL_SPAN(name)                                      \
+  ::tnp::kernels::CountKernelDispatch();                           \
+  ::tnp::support::profiler::LabelScope TNP_TRACE_CONCAT_(          \
+      tnp_kernel_label_, __LINE__)(name);                          \
   TNP_TRACE_SCOPE("kernel", name)

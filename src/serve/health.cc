@@ -4,6 +4,7 @@
 #include <climits>
 #include <sstream>
 
+#include "serve/attribution.h"
 #include "support/debug_http.h"
 #include "support/flight_recorder.h"
 #include "support/logging.h"
@@ -263,7 +264,22 @@ std::string HealthMonitor::HealthzJson() const {
       << ",\"queue_saturation\":" << signals.queue_saturation
       << ",\"shed_fraction\":" << signals.shed_fraction
       << ",\"fallback_fraction\":" << signals.fallback_fraction
-      << ",\"pool_saturation\":" << signals.pool_saturation << "}}";
+      << ",\"pool_saturation\":" << signals.pool_saturation << "}";
+  // Tail-latency attribution: which phase dominates p99 right now, and one
+  // exemplar request id to chase it down with (null until the ledger has
+  // completions).
+  std::string worst_name;
+  double worst_p99 = 0.0;
+  std::uint64_t worst_exemplar = 0;
+  if (attribution::Ledger::Global().WorstPhase(&worst_name, &worst_p99,
+                                               &worst_exemplar)) {
+    out << ",\"attribution\":{\"worst_phase\":\"" << worst_name << "\""
+        << ",\"worst_phase_p99_us\":" << worst_p99
+        << ",\"exemplar_req_id\":" << worst_exemplar << "}";
+  } else {
+    out << ",\"attribution\":null";
+  }
+  out << "}";
   return out.str();
 }
 

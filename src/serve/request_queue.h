@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/attribution.h"
 #include "serve/request.h"
 #include "support/metrics.h"
 #include "support/trace_context.h"
@@ -44,6 +45,10 @@ struct QueuedRequest {
   /// queue's thread handoff.
   support::TraceContext trace;
   double trace_enqueue_us = 0.0;  ///< tracer-timebase admission time
+  /// Phase boundary timestamps for critical-path attribution (trivially
+  /// copyable; stamped by the server as the request moves, folded by
+  /// attribution::Ledger at completion).
+  attribution::PhaseStamps stamps;
 };
 
 class RequestQueue {

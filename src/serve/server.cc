@@ -5,9 +5,11 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/attribution.h"
 #include "support/flight_recorder.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/profiler.h"
 #include "support/trace.h"
 #include "support/trace_context.h"
 
@@ -199,6 +201,12 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   // same req_id in the export.
   entry.trace = support::TraceContext::NewRequest();
   entry.trace_enqueue_us = support::Tracer::Global().NowUs();
+  // Attribution stamps: submit_us anchors the phase decomposition, trace_seq
+  // remembers where this request's spans start in the tracer's ring so the
+  // ledger can retain the span tree of a slow request at completion.
+  entry.stamps.req_id = entry.trace.req_id;
+  entry.stamps.submit_us = entry.enqueue_us;
+  entry.stamps.trace_seq = support::Tracer::Global().sequence();
   entry.request = std::move(request);
   std::future<ServeResponse> future = entry.promise.get_future();
 
@@ -225,6 +233,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
   }
 
   const std::size_t primary_queue = QueueIndexOf(*model, entry.flow);
+  entry.stamps.queued_us = NowUs();
   if (queues_[primary_queue]->TryPush(entry)) {
     TNP_TRACE_INSTANT("serve.request", "submit", support::TraceArg("model", model_name),
                       support::TraceArg("priority", priority),
@@ -244,6 +253,7 @@ std::future<ServeResponse> InferenceServer::Submit(ServeRequest request) {
       entry.flow = fallback_flow;
       entry.session_key = SessionKey(entry.request.model, fallback_flow);
       entry.fell_back = true;
+      entry.stamps.queued_us = NowUs();
       if (queues_[fallback_queue]->TryPush(entry)) {
         Fallbacks().Increment();
         TNP_TRACE_INSTANT("serve.request", "submit",
@@ -277,12 +287,14 @@ void InferenceServer::ArmPump(std::size_t queue_index) {
 }
 
 void InferenceServer::RunPump(std::size_t queue_index) {
+  support::profiler::LabelScope prof_label("serve:pump");
   std::atomic<std::uint32_t>& state = pump_state_[queue_index];
   RequestQueue& queue = *queues_[queue_index];
   for (;;) {
     state.fetch_and(~kPumpDirty);
     for (;;) {
       std::vector<QueuedRequest> batch;
+      const double pop_begin_us = NowUs();
       {
         // The straggler window (batch_window_us) parks this worker inside
         // TryPopBatch; declare it so the pool back-fills a spare.
@@ -290,6 +302,11 @@ void InferenceServer::RunPump(std::size_t queue_index) {
         batch = queue.TryPopBatch(options_.max_batch, options_.batch_window_us);
       }
       if (batch.empty()) break;
+      const double popped_us = NowUs();
+      for (auto& entry : batch) {
+        entry.stamps.pop_begin_us = pop_begin_us;
+        entry.stamps.popped_us = popped_us;
+      }
       RunBatch(std::move(batch), queue.name());
     }
     std::uint32_t expected = kPumpArmed;
@@ -300,6 +317,7 @@ void InferenceServer::RunPump(std::size_t queue_index) {
 
 void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
                                const std::string& queue_name) {
+  support::profiler::LabelScope prof_label("serve:batch");
   static auto& batch_size_hist = Registry::Global().GetHistogram("serve/batch/size");
   static auto& queue_wait_hist = Registry::Global().GetHistogram("serve/queue_wait/us");
   static auto& run_hist = Registry::Global().GetHistogram("serve/run/us");
@@ -356,6 +374,10 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
     support::ThreadPool::BlockingScope blocking;
     return pool_.Checkout(session_key);
   }();
+  {
+    const double session_us = NowUs();
+    for (auto& entry : live) entry.stamps.session_us = session_us;
+  }
 
   // Exclusive-resource discipline across all clients: hold every resource
   // the flow occupies, in fixed order (same protocol — and the same lock
@@ -370,6 +392,7 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
     // GraphExecutor, Neuron execute, kernels) — tag this request.
     support::TraceContextScope trace_scope(entry.trace);
     const double dispatch_us = NowUs();
+    entry.stamps.run_begin_us = dispatch_us;
     queue_wait_hist.Record(dispatch_us - entry.enqueue_us);
     // Queue-wait span, stamped retroactively now that the wait is over
     // (admission -> dispatch, in the tracer timebase).
@@ -417,6 +440,7 @@ void InferenceServer::RunBatch(std::vector<QueuedRequest> batch,
     }
 
     const double end_us = NowUs();
+    entry.stamps.run_end_us = end_us;
     response.queue_us = dispatch_us - entry.enqueue_us;
     response.run_us = end_us - dispatch_us;
     response.total_us = end_us - entry.enqueue_us;
@@ -436,6 +460,10 @@ void InferenceServer::Respond(QueuedRequest entry, ServeResponse response) {
   response.req_id = entry.trace.req_id;
   if (response.model.empty()) response.model = entry.request.model;
   if (response.total_us == 0.0) response.total_us = NowUs() - entry.enqueue_us;
+  // Fold this request's lifetime into the attribution ledger before the
+  // promise fires: the completion ring and phase histograms are consistent
+  // by the time the client observes the response.
+  attribution::Ledger::Global().Complete(entry.stamps, response.status, NowUs());
   entry.promise.set_value(std::move(response));
 }
 

@@ -12,6 +12,7 @@
 #include "support/flight_recorder.h"
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/profiler.h"
 #include "support/thread_pool.h"
 #include "support/timeseries.h"
 
@@ -226,6 +227,9 @@ HttpResponse DebugHttpServer::Dispatch(const HttpRequest& request) const {
 }
 
 void DebugHttpServer::ServeConnection(int fd) {
+  // Shows up in the sampling profiler: a worker pinned by a slow client
+  // folds as pool;http:conn;(blocked) instead of anonymous time.
+  profiler::LabelScope prof_label("http:conn");
   const std::string head = ReadRequestHead(fd);
   HttpRequest request;
   HttpResponse response;
@@ -273,6 +277,18 @@ void RegisterSupportEndpoints(DebugHttpServer& server) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = FlightRecorder::Global().Render("on-demand");
+    return response;
+  });
+  server.Handle("/profilez", [](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.query == "format=folded") {
+      // Collapsed-stack text, ready for flamegraph.pl / speedscope.
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = profiler::Profiler::Global().ExportFolded();
+    } else {
+      response.content_type = "application/json";
+      response.body = profiler::Profiler::Global().ExportJson();
+    }
     return response;
   });
 }

@@ -89,7 +89,12 @@ class DebugHttpServer {
 ///   /metrics      Prometheus text exposition of the metrics registry
 ///   /timeseries   JSON window stats from timeseries::Collector::Global()
 ///                 (?window=N picks the window seconds, default 10 and 60)
-///   /flightrecord on-demand flight-recorder document (trace tail + metrics)
+///   /flightrecord on-demand flight-recorder document (trace tail + metrics
+///                 + timeseries + profile + registered aux sections)
+///   /profilez     sampling-profiler folded stacks (JSON; ?format=folded
+///                 returns collapsed-stack text for flamegraph.pl)
+/// The serve layer adds /healthz (HealthMonitor::RegisterWith) and
+/// /attribution (attribution::RegisterAttributionEndpoints).
 void RegisterSupportEndpoints(DebugHttpServer& server);
 
 struct HttpResult {

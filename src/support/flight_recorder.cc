@@ -5,6 +5,8 @@
 
 #include "support/logging.h"
 #include "support/metrics.h"
+#include "support/profiler.h"
+#include "support/timeseries.h"
 #include "support/trace.h"
 
 namespace tnp {
@@ -61,11 +63,19 @@ bool FlightRecorder::armed() const {
   return armed_;
 }
 
+void FlightRecorder::SetSection(const std::string& name,
+                                std::function<std::string()> render) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sections_[name] = std::move(render);
+}
+
 std::string FlightRecorder::Render(const std::string& reason) const {
   std::size_t max_events;
+  std::map<std::string, std::function<std::string()>> sections;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     max_events = options_.max_events;
+    sections = sections_;
   }
   Tracer& tracer = Tracer::Global();
   std::string out = "{\"reason\":";
@@ -74,6 +84,18 @@ std::string FlightRecorder::Render(const std::string& reason) const {
   out += ",\"trace_dropped\":" + std::to_string(tracer.dropped());
   out += ",\"trace\":" + tracer.ExportChromeTrace(max_events);
   out += ",\"metrics\":" + metrics::ExportJson();
+  // The last-N-seconds trend, not just instant values: a post-mortem needs
+  // to see the windows leading into the incident.
+  out += ",\"timeseries\":" + timeseries::Collector::Global().ExportJson();
+  out += ",\"profile\":" + profiler::Profiler::Global().ExportJson();
+  // Auxiliary sections render outside the lock: a section may itself take
+  // locks (the attribution ledger) or call back into the recorder.
+  for (const auto& [name, render] : sections) {
+    out += ',';
+    AppendJsonString(out, name);
+    out += ':';
+    out += render();
+  }
   out += "}";
   return out;
 }

@@ -8,7 +8,16 @@
 //   {"reason": "...", "dump_ts_us": <tracer timebase>,
 //    "trace_dropped": <ring overwrites>,
 //    "trace": {"traceEvents": [...last N events...]},
-//    "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}
+//    "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
+//    "timeseries": {...last-N-seconds window stats...},
+//    "profile": {...folded-stack profiler state...},
+//    "<aux>": ...each registered auxiliary section...}
+//
+// The windowed time-series snapshot and the sampling profiler's folded
+// stacks ride along so a post-mortem sees the last-minute *trend* and
+// where the workers spent their time, not just instant gauges. Higher
+// layers (serve attribution) attach further sections with SetSection —
+// support/ never links against them.
 //
 // Arming is explicit (Configure); RecordShed() is a cheap no-op while
 // disarmed, so the serving hot path can call it unconditionally. Shed-storm
@@ -21,7 +30,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -48,6 +59,13 @@ class FlightRecorder {
   void Configure(FlightRecorderOptions options);
   void Disarm();
   bool armed() const;
+
+  /// Attach a named auxiliary section rendered into every dump (and into
+  /// Render). `render` must return one valid JSON value; it runs outside
+  /// the recorder's lock. Re-registering a name replaces it. This is how
+  /// layers above support/ (serve attribution) join the dump without a
+  /// support -> serve dependency.
+  void SetSection(const std::string& name, std::function<std::string()> render);
 
   /// Serialize the dump document (always available, armed or not).
   std::string Render(const std::string& reason) const;
@@ -78,6 +96,7 @@ class FlightRecorder {
   bool health_dumped_ = false;
   std::deque<std::chrono::steady_clock::time_point> shed_times_;
   std::int64_t dumps_ = 0;
+  std::map<std::string, std::function<std::string()>> sections_;
 };
 
 }  // namespace support

@@ -1,0 +1,378 @@
+#include "support/profiler.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace tnp {
+namespace support {
+namespace profiler {
+
+namespace {
+
+// One published thread. Every field is atomic: the owning thread stores with
+// relaxed/release ordering, the sampler loads with relaxed/acquire — racy by
+// design (a torn stack read only misattributes one observation) and
+// TSan-clean.
+struct Slot {
+  std::atomic<int> used{0};
+  std::atomic<const char*> root{nullptr};
+  std::atomic<int> state{static_cast<int>(ThreadState::kIdle)};
+  std::atomic<int> depth{0};
+  std::array<std::atomic<const char*>, kMaxDepth> frames{};
+};
+
+Slot g_slots[kMaxThreads];
+std::atomic<std::uint64_t> g_slot_overflow{0};
+
+void ReleaseSlot(Slot* slot) {
+  slot->depth.store(0, std::memory_order_relaxed);
+  slot->state.store(static_cast<int>(ThreadState::kIdle),
+                    std::memory_order_relaxed);
+  slot->root.store(nullptr, std::memory_order_relaxed);
+  slot->used.store(0, std::memory_order_release);
+}
+
+// Thread-exit hook: the destructor returns the slot to the table so
+// short-lived threads (spares, test threads) do not exhaust it.
+struct SlotHandle {
+  Slot* slot = nullptr;
+  bool overflow_logged = false;
+  ~SlotHandle() {
+    if (slot != nullptr) ReleaseSlot(slot);
+  }
+};
+
+thread_local SlotHandle g_slot_handle;
+
+Slot* EnsureSlot(const char* root) {
+  SlotHandle& handle = g_slot_handle;
+  if (handle.slot != nullptr) return handle.slot;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    int expected = 0;
+    if (g_slots[i].used.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel)) {
+      Slot* slot = &g_slots[i];
+      slot->depth.store(0, std::memory_order_relaxed);
+      slot->state.store(static_cast<int>(ThreadState::kIdle),
+                        std::memory_order_relaxed);
+      // root last with release: the sampler skips slots whose root is still
+      // null, so a half-initialized slot is never folded.
+      slot->root.store(root, std::memory_order_release);
+      handle.slot = slot;
+      return slot;
+    }
+  }
+  if (!handle.overflow_logged) {
+    handle.overflow_logged = true;
+    g_slot_overflow.fetch_add(1, std::memory_order_relaxed);
+  }
+  return nullptr;
+}
+
+const char* StateFrame(ThreadState state) {
+  switch (state) {
+    case ThreadState::kIdle: return "(idle)";
+    case ThreadState::kStealing: return "(stealing)";
+    case ThreadState::kBlocked: return "(blocked)";
+    case ThreadState::kRunning: return nullptr;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- fold table
+
+// Stack identity: root + frame pointers + state. Pointer identity is exact
+// because labels are string literals.
+struct StackKey {
+  std::array<const char*, kMaxDepth + 1> frames{};  // [0] = root
+  int num_frames = 0;
+  int state = 0;
+
+  bool Equals(const StackKey& other) const {
+    if (num_frames != other.num_frames || state != other.state) return false;
+    for (int i = 0; i < num_frames; ++i) {
+      if (frames[static_cast<std::size_t>(i)] !=
+          other.frames[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t Hash() const {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a over the pointer words
+    for (int i = 0; i < num_frames; ++i) {
+      h ^= reinterpret_cast<std::size_t>(frames[static_cast<std::size_t>(i)]);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<std::size_t>(state);
+    h *= 1099511628211ull;
+    return h;
+  }
+};
+
+struct TableEntry {
+  StackKey key;
+  std::uint64_t count = 0;
+  bool used = false;
+};
+
+constexpr std::size_t kTableSize = 1024;  // power of two (mask indexing)
+
+struct FoldState {
+  mutable std::mutex mutex;
+  std::array<TableEntry, kTableSize> table{};
+  std::uint64_t samples = 0;
+  std::uint64_t thread_samples = 0;
+  std::uint64_t fold_dropped = 0;
+  std::uint64_t distinct = 0;
+  std::atomic<std::int64_t> alloc_events{0};
+};
+
+FoldState& Fold() {
+  static FoldState* state = new FoldState();  // outlives static teardown
+  return *state;
+}
+
+std::string RenderStack(const StackKey& key) {
+  std::string out;
+  for (int i = 0; i < key.num_frames; ++i) {
+    if (i > 0) out += ';';
+    out += key.frames[static_cast<std::size_t>(i)];
+  }
+  const char* suffix = StateFrame(static_cast<ThreadState>(key.state));
+  if (suffix != nullptr) {
+    out += ';';
+    out += suffix;
+  }
+  return out;
+}
+
+struct RenderedEntry {
+  std::string stack;
+  std::uint64_t count;
+};
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void RegisterThread(const char* root) { EnsureSlot(root); }
+
+bool ThreadRegistered() { return g_slot_handle.slot != nullptr; }
+
+void SetThreadState(ThreadState state) {
+  Slot* slot = g_slot_handle.slot;
+  if (slot == nullptr) return;
+  slot->state.store(static_cast<int>(state), std::memory_order_relaxed);
+}
+
+StateScope::StateScope(ThreadState state)
+    : previous_(ThreadState::kIdle), active_(false) {
+  Slot* slot = g_slot_handle.slot;
+  if (slot == nullptr) return;
+  active_ = true;
+  previous_ =
+      static_cast<ThreadState>(slot->state.load(std::memory_order_relaxed));
+  slot->state.store(static_cast<int>(state), std::memory_order_relaxed);
+}
+
+StateScope::~StateScope() {
+  if (!active_) return;
+  Slot* slot = g_slot_handle.slot;
+  if (slot == nullptr) return;
+  slot->state.store(static_cast<int>(previous_), std::memory_order_relaxed);
+}
+
+LabelScope::LabelScope(const char* label) {
+  Slot* slot = EnsureSlot("thread");
+  if (slot == nullptr) return;
+  const int depth = slot->depth.load(std::memory_order_relaxed);
+  if (depth < kMaxDepth) {
+    slot->frames[static_cast<std::size_t>(depth)].store(
+        label, std::memory_order_relaxed);
+  }
+  // Store depth after the frame: the sampler reads depth first, so it never
+  // sees a depth covering a frame slot that has not been written.
+  slot->depth.store(depth + 1, std::memory_order_release);
+}
+
+LabelScope::~LabelScope() {
+  Slot* slot = g_slot_handle.slot;
+  if (slot == nullptr) return;
+  const int depth = slot->depth.load(std::memory_order_relaxed);
+  if (depth > 0) slot->depth.store(depth - 1, std::memory_order_release);
+}
+
+// ----------------------------------------------------------------- Profiler
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // outlives static teardown
+  return *profiler;
+}
+
+void Profiler::SampleOnce() {
+  static metrics::Counter& samples_counter =
+      metrics::Registry::Global().GetCounter("prof/samples");
+  static metrics::Gauge& threads_gauge =
+      metrics::Registry::Global().GetGauge("prof/threads");
+
+  FoldState& fold = Fold();
+  std::lock_guard<std::mutex> lock(fold.mutex);
+  int threads_seen = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    Slot& slot = g_slots[i];
+    if (slot.used.load(std::memory_order_acquire) == 0) continue;
+    const char* root = slot.root.load(std::memory_order_acquire);
+    if (root == nullptr) continue;  // mid-registration or mid-release
+    ++threads_seen;
+
+    StackKey key;
+    key.frames[0] = root;
+    key.num_frames = 1;
+    key.state = slot.state.load(std::memory_order_relaxed);
+    const int depth =
+        std::min(slot.depth.load(std::memory_order_acquire), kMaxDepth);
+    for (int d = 0; d < depth; ++d) {
+      const char* frame =
+          slot.frames[static_cast<std::size_t>(d)].load(std::memory_order_relaxed);
+      if (frame == nullptr) break;  // torn read during a pop; keep the prefix
+      key.frames[static_cast<std::size_t>(key.num_frames)] = frame;
+      ++key.num_frames;
+    }
+
+    // Open addressing, linear probing; a full table drops the observation
+    // rather than allocating.
+    const std::size_t mask = kTableSize - 1;
+    std::size_t index = key.Hash() & mask;
+    bool folded = false;
+    for (std::size_t probe = 0; probe < kTableSize; ++probe) {
+      TableEntry& entry = fold.table[(index + probe) & mask];
+      if (!entry.used) {
+        entry.used = true;
+        entry.key = key;
+        entry.count = 1;
+        ++fold.distinct;
+        folded = true;
+        break;
+      }
+      if (entry.key.Equals(key)) {
+        ++entry.count;
+        folded = true;
+        break;
+      }
+    }
+    if (folded) {
+      ++fold.thread_samples;
+    } else {
+      ++fold.fold_dropped;
+    }
+  }
+  ++fold.samples;
+  samples_counter.Increment();
+  threads_gauge.Set(static_cast<double>(threads_seen));
+}
+
+void Profiler::Reset() {
+  FoldState& fold = Fold();
+  std::lock_guard<std::mutex> lock(fold.mutex);
+  for (TableEntry& entry : fold.table) {
+    entry.used = false;
+    entry.count = 0;
+  }
+  fold.samples = 0;
+  fold.thread_samples = 0;
+  fold.fold_dropped = 0;
+  fold.distinct = 0;
+  fold.alloc_events.store(0, std::memory_order_relaxed);
+}
+
+ProfileStats Profiler::stats() const {
+  FoldState& fold = Fold();
+  std::lock_guard<std::mutex> lock(fold.mutex);
+  ProfileStats stats;
+  stats.samples = fold.samples;
+  stats.thread_samples = fold.thread_samples;
+  stats.fold_dropped = fold.fold_dropped;
+  stats.slot_overflow = g_slot_overflow.load(std::memory_order_relaxed);
+  stats.distinct_stacks = fold.distinct;
+  stats.alloc_events = fold.alloc_events.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace {
+
+std::vector<RenderedEntry> RenderEntries() {
+  FoldState& fold = Fold();
+  std::vector<RenderedEntry> rendered;
+  {
+    std::lock_guard<std::mutex> lock(fold.mutex);
+    rendered.reserve(fold.distinct);
+    for (const TableEntry& entry : fold.table) {
+      if (!entry.used || entry.count == 0) continue;
+      rendered.push_back({RenderStack(entry.key), entry.count});
+    }
+  }
+  std::sort(rendered.begin(), rendered.end(),
+            [](const RenderedEntry& a, const RenderedEntry& b) {
+              return a.stack < b.stack;
+            });
+  return rendered;
+}
+
+}  // namespace
+
+std::string Profiler::ExportFolded() const {
+  std::string out;
+  for (const RenderedEntry& entry : RenderEntries()) {
+    out += entry.stack;
+    out += ' ';
+    out += std::to_string(entry.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::ExportJson() const {
+  const std::vector<RenderedEntry> rendered = RenderEntries();
+  const ProfileStats s = stats();
+  std::string out = "{";
+  out += "\"samples\":" + std::to_string(s.samples);
+  out += ",\"thread_samples\":" + std::to_string(s.thread_samples);
+  out += ",\"fold_dropped\":" + std::to_string(s.fold_dropped);
+  out += ",\"slot_overflow\":" + std::to_string(s.slot_overflow);
+  out += ",\"alloc_events\":" + std::to_string(s.alloc_events);
+  out += ",\"stacks\":[";
+  bool first = true;
+  for (const RenderedEntry& entry : rendered) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stack\":";
+    AppendJsonString(out, entry.stack);
+    out += ",\"count\":" + std::to_string(entry.count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace profiler
+}  // namespace support
+}  // namespace tnp

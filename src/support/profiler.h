@@ -1,0 +1,130 @@
+// Always-on sampling profiler over the work-stealing pool.
+//
+// Two halves, both alloc-free in steady state:
+//
+//   * Publication side (the threads being profiled): every pool worker owns
+//     one fixed Slot in a static table and publishes what it is doing as
+//     plain atomic stores — a small stack of label frames (LabelScope, pushed
+//     by kernels, serve pumps, pipeline stages) plus a coarse state (running
+//     / stealing / idle / blocked-in-BlockingScope, maintained by hooks in
+//     thread_pool.cc). Labels must be string literals (static storage): the
+//     sampler keeps the pointers, never copies the text.
+//   * Sampling side: Profiler::SampleOnce() — ridden by TelemetrySampler on
+//     its cadence — walks the slot table, reads each thread's frame stack,
+//     and folds it into a fixed open-addressing table of stack counts. No
+//     locks are taken against the publishing threads and no heap is touched:
+//     a full table drops samples into `prof/fold_dropped` instead of
+//     growing.
+//
+// The folded counts export as collapsed-stack text (`ExportFolded`, the
+// flamegraph.pl / speedscope "folded" format: "root;frame;frame N" per
+// line) and as deterministic-schema JSON (`ExportJson`, served at
+// /profilez). Reads are intentionally racy (a sampled stack may mix frames
+// from adjacent tasks); every field is a std::atomic so the races are
+// benign and TSan-clean — standard practice for sampling profilers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tnp {
+namespace support {
+namespace profiler {
+
+/// Coarse activity of a registered thread, sampled alongside its stack.
+enum class ThreadState : int {
+  kIdle = 0,      ///< worker waiting for work (between FindTask and sleep)
+  kRunning = 1,   ///< executing a task
+  kStealing = 2,  ///< scanning other deques for work
+  kBlocked = 3,   ///< parked inside a ThreadPool::BlockingScope
+};
+
+/// Frames a thread can publish; deeper nesting still runs, the extra frames
+/// are just not visible to the sampler.
+constexpr int kMaxDepth = 8;
+/// Fixed slot table size — the most threads observable at once. Slots are
+/// recycled when threads exit.
+constexpr int kMaxThreads = 128;
+
+/// Claim this thread's slot under `root` (the first folded-stack frame,
+/// e.g. "pool", "thread"). `root` MUST be a string literal. Idempotent; the
+/// slot is released automatically when the thread exits. No-op (and
+/// counted in `prof/slot_overflow`) when the table is full.
+void RegisterThread(const char* root);
+
+/// True when the calling thread holds a slot.
+bool ThreadRegistered();
+
+/// Publish the calling thread's coarse state; no-op when unregistered.
+void SetThreadState(ThreadState state);
+
+/// RAII state change: publishes `state`, restores the previous state on
+/// destruction. No-op on unregistered threads.
+class StateScope {
+ public:
+  explicit StateScope(ThreadState state);
+  ~StateScope();
+  StateScope(const StateScope&) = delete;
+  StateScope& operator=(const StateScope&) = delete;
+
+ private:
+  ThreadState previous_;
+  bool active_;
+};
+
+/// RAII label frame: pushes `label` onto the calling thread's published
+/// stack. Lazily registers unregistered threads under root "thread" so
+/// kernels running on a bench main thread still show up. `label` MUST be a
+/// string literal (the sampler retains the pointer).
+class LabelScope {
+ public:
+  explicit LabelScope(const char* label);
+  ~LabelScope();
+  LabelScope(const LabelScope&) = delete;
+  LabelScope& operator=(const LabelScope&) = delete;
+};
+
+struct ProfileStats {
+  std::uint64_t samples = 0;        ///< completed SampleOnce passes
+  std::uint64_t thread_samples = 0; ///< per-thread observations folded in
+  std::uint64_t fold_dropped = 0;   ///< observations lost to a full table
+  std::uint64_t slot_overflow = 0;  ///< threads that found no free slot
+  std::uint64_t distinct_stacks = 0;
+  std::int64_t alloc_events = 0;    ///< heap allocations on the sample path
+                                    ///< (0 by design; bench-gated)
+};
+
+class Profiler {
+ public:
+  /// Process-wide instance (the one TelemetrySampler drives).
+  static Profiler& Global();
+
+  /// One sampling pass: snapshot every registered thread's stack + state
+  /// into the fold table. Alloc-free; safe from any single thread at a time
+  /// (the telemetry cadence). Concurrent with publication by design.
+  void SampleOnce();
+
+  /// Clear folded counts and pass counters (slots stay registered).
+  void Reset();
+
+  ProfileStats stats() const;
+
+  /// Collapsed-stack text: "root;frame;...;frame count\n" per distinct
+  /// stack, sorted; idle/stealing/blocked states render as a trailing
+  /// pseudo-frame ("(idle)", "(stealing)", "(blocked)"). Feed directly to
+  /// flamegraph.pl or speedscope.
+  std::string ExportFolded() const;
+
+  /// Deterministic-schema JSON document (served at /profilez):
+  ///   {"samples":N,"thread_samples":N,"fold_dropped":N,"slot_overflow":N,
+  ///    "alloc_events":N,"stacks":[{"stack":"a;b;c","count":N}, ...]}
+  /// "stacks" is sorted by stack string; keys always present.
+  std::string ExportJson() const;
+
+ private:
+  Profiler() = default;
+};
+
+}  // namespace profiler
+}  // namespace support
+}  // namespace tnp

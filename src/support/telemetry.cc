@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/metrics.h"
+#include "support/profiler.h"
 #include "support/timeseries.h"
 #include "support/trace.h"
 
@@ -66,6 +67,7 @@ void TelemetrySampler::AddSampleCallback(std::function<void()> callback) {
 void TelemetrySampler::SampleOnce() {
   using metrics::MetricRef;
   if (options_.advance_timeseries) timeseries::Collector::Global().Tick();
+  if (options_.sample_profiler) profiler::Profiler::Global().SampleOnce();
   const std::vector<MetricRef> refs = metrics::Registry::Global().Entries();
   for (const MetricRef& ref : refs) {
     if (IsTelemetryDerived(ref.name)) continue;  // never sample our own output

@@ -38,6 +38,11 @@ struct TelemetrySamplerOptions {
   /// Turn off when something else owns Collector::Tick (a test's injected
   /// clock, or a HealthMonitor with auto_tick_collector).
   bool advance_timeseries = true;
+  /// Drive the always-on sampling profiler (profiler.h) each pass: one
+  /// alloc-free Profiler::SampleOnce() folding every registered thread's
+  /// published stack. This is what makes the profiler "always on" — any
+  /// process running a TelemetrySampler is being profiled.
+  bool sample_profiler = true;
 };
 
 class TelemetrySampler {

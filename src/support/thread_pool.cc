@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/profiler.h"
 #include "support/trace.h"
 
 namespace tnp {
@@ -282,6 +283,9 @@ bool ThreadPool::FindTask(int worker_index, detail::Task* out, bool* stolen) {
   }
   // 3. Steal from the FIFO end of another deque: the oldest task is the
   // coarsest-grained work and the least likely to be cache-hot anywhere.
+  // The scan publishes as "stealing" so the sampling profiler can tell
+  // steal pressure from genuine idleness.
+  profiler::StateScope steal_state(profiler::ThreadState::kStealing);
   const std::size_t n = deques_.size();
   for (std::size_t offset = 1; offset < n; ++offset) {
     Deque& victim =
@@ -341,6 +345,10 @@ bool ThreadPool::TakeGroupTask(TaskGroup* group, detail::Task* out) {
 void ThreadPool::Execute(detail::Task& task, bool stolen) {
   executed_->Increment();
   if (stolen) steals_->Increment();
+  // Publish "running" for the sampler (restored to the caller's state on
+  // exit — idle for a worker between tasks, running for a help-executing
+  // joiner already inside a task).
+  profiler::StateScope run_state(profiler::ThreadState::kRunning);
   std::exception_ptr error;
   {
     // The span must be fully recorded before OnDone: a joiner observing
@@ -372,6 +380,10 @@ void ThreadPool::Execute(detail::Task& task, bool stolen) {
 void ThreadPool::WorkerLoop(int index) {
   g_worker_pool = this;
   g_worker_index = index;
+  // Profiler slot under the shared "pool" root (a literal, never this
+  // pool's name: the fold table outlives temporary pools). Released
+  // automatically when the worker thread exits.
+  profiler::RegisterThread("pool");
   for (;;) {
     detail::Task task;
     bool stolen = false;
@@ -394,6 +406,7 @@ void ThreadPool::WorkerLoop(int index) {
 void ThreadPool::OnBlockingEnter() {
   const int blocked = blocked_.fetch_add(1, std::memory_order_relaxed) + 1;
   blocked_gauge_->Set(static_cast<double>(blocked));
+  profiler::SetThreadState(profiler::ThreadState::kBlocked);
   std::lock_guard<std::mutex> lock(workers_mutex_);
   if (stopping_.load(std::memory_order_acquire)) return;
   // Back-fill: keep `target_` workers runnable while tasks park, up to the
@@ -409,6 +422,9 @@ void ThreadPool::OnBlockingEnter() {
 void ThreadPool::OnBlockingExit() {
   const int blocked = blocked_.fetch_sub(1, std::memory_order_relaxed) - 1;
   blocked_gauge_->Set(static_cast<double>(blocked));
+  // Blocking scopes only open inside running tasks, so "running" is the
+  // state being returned to.
+  profiler::SetThreadState(profiler::ThreadState::kRunning);
 }
 
 ThreadPool::BlockingScope::BlockingScope() {

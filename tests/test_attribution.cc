@@ -1,0 +1,328 @@
+// Tail-latency attribution: the phase split's exactness-by-construction,
+// the ledger fed by a real InferenceServer (phase sums vs measured
+// end-to-end, exemplar resolvability), tail-based trace retention, the
+// alloc-free steady state, and the /attribution JSON schema.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/flows.h"
+#include "core/pipeline_executor.h"
+#include "frontend/common.h"
+#include "serve/attribution.h"
+#include "serve/server.h"
+#include "support/json.h"
+#include "support/trace.h"
+
+namespace tnp {
+namespace serve {
+namespace attribution {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+relay::Module TinyModel() {
+  auto x = TypedVar("data", Shape({1, 3, 16, 16}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d",
+                        {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  auto relu = TypedCall("nn.relu", {conv});
+  auto pool = TypedCall("nn.global_avg_pool2d", {relu});
+  auto flat = TypedCall("nn.batch_flatten", {pool});
+  auto dense =
+      TypedCall("nn.dense", {flat, WeightF32(Shape({5, 8}), 2), ZeroBiasF32(5)});
+  return relay::Module(relay::MakeFunction({x}, TypedCall("nn.softmax", {dense})));
+}
+
+ServedModel MakeTinyServed(const std::string& name) {
+  ServedModel model;
+  model.name = name;
+  model.module = TinyModel();
+  model.plan.primary = core::Assignment{core::FlowKind::kTvmOnly, 100.0};
+  return model;
+}
+
+NDArray TinyInput() {
+  return NDArray::Full(Shape({1, 3, 16, 16}), DType::kFloat32, 0.5);
+}
+
+PhaseStamps FullStamps(std::uint64_t req_id, double base) {
+  PhaseStamps stamps;
+  stamps.req_id = req_id;
+  stamps.submit_us = base;
+  stamps.queued_us = base + 10.0;
+  stamps.pop_begin_us = base + 20.0;
+  stamps.popped_us = base + 30.0;
+  stamps.session_us = base + 40.0;
+  stamps.run_begin_us = base + 50.0;
+  stamps.run_end_us = base + 150.0;
+  return stamps;
+}
+
+double PhaseSum(const std::array<double, kNumPhases>& phases) {
+  return std::accumulate(phases.begin(), phases.end(), 0.0);
+}
+
+// ------------------------------------------------------------- SplitPhases
+
+TEST(SplitPhases, FullyStampedRequestSplitsExactly) {
+  const PhaseStamps stamps = FullStamps(1, 1000.0);
+  const auto phases = SplitPhases(stamps, ServeStatus::kOk, 1160.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kAdmission)], 10.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kQueueWait)], 10.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kBatchAssembly)], 10.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kSessionAcquire)], 10.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kDeviceHold)], 10.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kExecution)], 100.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kResponse)], 10.0);
+  EXPECT_DOUBLE_EQ(PhaseSum(phases), 160.0);
+}
+
+TEST(SplitPhases, UnsetStampsForwardFillAndStillSumExactly) {
+  PhaseStamps stamps;
+  stamps.req_id = 2;
+  stamps.submit_us = 500.0;  // nothing else ever stamped
+  const auto phases = SplitPhases(stamps, ServeStatus::kOk, 600.0);
+  EXPECT_DOUBLE_EQ(PhaseSum(phases), 100.0);
+  // Every boundary forward-filled to submit: the whole lifetime lands in
+  // the final (response) phase.
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kResponse)], 100.0);
+}
+
+TEST(SplitPhases, OutOfOrderStampsClampMonotonic) {
+  PhaseStamps stamps = FullStamps(3, 1000.0);
+  stamps.popped_us = 900.0;  // bogus: earlier than every other boundary
+  const auto phases = SplitPhases(stamps, ServeStatus::kOk, 1160.0);
+  for (const double us : phases) EXPECT_GE(us, 0.0);
+  EXPECT_DOUBLE_EQ(PhaseSum(phases), 160.0);
+}
+
+TEST(SplitPhases, ShedAttributesWholeLifetimeToAdmission) {
+  // A request shed at admission never reaches the later boundaries.
+  PhaseStamps stamps;
+  stamps.req_id = 4;
+  stamps.submit_us = 1000.0;
+  const auto phases = SplitPhases(stamps, ServeStatus::kShed, 1080.0);
+  EXPECT_DOUBLE_EQ(phases[static_cast<int>(Phase::kAdmission)], 80.0);
+  for (int p = 1; p < kNumPhases; ++p) EXPECT_DOUBLE_EQ(phases[p], 0.0);
+}
+
+// ------------------------------------------------------------------ Ledger
+
+TEST(Ledger, SyntheticCompletionsFoldIntoSummaries) {
+  Ledger::Global().Configure(LedgerOptions{});
+  for (int i = 0; i < 100; ++i) {
+    const double base = 1000.0 * (i + 1);
+    Ledger::Global().Complete(FullStamps(static_cast<std::uint64_t>(i + 1), base),
+                              ServeStatus::kOk, base + 160.0);
+  }
+  EXPECT_EQ(Ledger::Global().completed(), 100);
+  const PhaseSummary execution = Ledger::Global().Summarize(Phase::kExecution);
+  EXPECT_EQ(execution.count, 100);
+  EXPECT_NEAR(execution.mean_us, 100.0, 100.0 * 0.30);  // ~25% grid buckets
+  const PhaseSummary end_to_end = Ledger::Global().EndToEnd();
+  EXPECT_EQ(end_to_end.count, 100);
+  EXPECT_DOUBLE_EQ(end_to_end.sum_us, 100 * 160.0);
+
+  std::string worst_name;
+  double worst_p99 = 0.0;
+  std::uint64_t exemplar = 0;
+  ASSERT_TRUE(Ledger::Global().WorstPhase(&worst_name, &worst_p99, &exemplar));
+  EXPECT_EQ(worst_name, "execution");
+  EXPECT_NE(exemplar, 0u);
+}
+
+TEST(Ledger, WorstPhaseEmptyUntilFirstCompletion) {
+  Ledger::Global().Configure(LedgerOptions{});
+  std::string name;
+  double p99 = 0.0;
+  std::uint64_t exemplar = 0;
+  EXPECT_FALSE(Ledger::Global().WorstPhase(&name, &p99, &exemplar));
+}
+
+TEST(Ledger, SteadyStateCompletionsAreAllocFree) {
+  LedgerOptions options;
+  options.tail_slow_us = 1e12;  // nothing qualifies as tail-slow
+  Ledger::Global().Configure(options);
+  for (int i = 0; i < 5000; ++i) {
+    const double base = 100.0 * (i + 1);
+    Ledger::Global().Complete(FullStamps(static_cast<std::uint64_t>(i + 1), base),
+                              ServeStatus::kOk, base + 160.0);
+  }
+  EXPECT_EQ(Ledger::Global().completed(), 5000);
+  EXPECT_EQ(Ledger::Global().alloc_events(), 0);
+}
+
+TEST(Ledger, TailSlowRequestsRetainSpans) {
+  support::Tracer::Global().SetCapacity(1 << 12);
+  support::Tracer::Global().SetEnabled(true);
+  LedgerOptions options;
+  options.tail_slow_us = 0.1;  // everything is tail-slow
+  Ledger::Global().Configure(options);
+
+  InferenceServer server({MakeTinyServed("tiny")});
+  ServeRequest request;
+  request.model = "tiny";
+  request.inputs = {{"data", TinyInput()}};
+  const ServeResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+
+  const std::vector<RetainedTrace> retained = Ledger::Global().RetainedTraces();
+  ASSERT_FALSE(retained.empty());
+  bool found = false;
+  for (const RetainedTrace& trace : retained) {
+    if (trace.req_id != response.req_id) continue;
+    found = true;
+    EXPECT_STREQ(trace.reason, "slow");
+    EXPECT_GT(trace.total_us, 0.0);
+    // Tracing was on, so the request's span tree came along.
+    EXPECT_FALSE(trace.spans.empty());
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(Ledger::Global().alloc_events(), 0);
+  support::Tracer::Global().SetEnabled(false);
+}
+
+// ------------------------------------------- the acceptance-criteria tests
+
+TEST(Ledger, PhaseSumMatchesMeasuredEndToEndForEveryAdmittedRequest) {
+  Ledger::Global().Configure(LedgerOptions{});
+  ServerOptions options;
+  options.max_batch = 4;
+  options.queue_capacity = 128;  // burst submit must not shed
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  InferenceServer server({MakeTinyServed("tiny")}, options);
+
+  constexpr int kRequests = 48;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.priority = i % 3;
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  std::map<std::uint64_t, double> measured_total;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+    measured_total[response.req_id] = response.total_us;
+  }
+
+  const auto records = Ledger::Global().RecentCompletions(kRequests * 2);
+  int matched = 0;
+  for (const CompletionRecord& record : records) {
+    const auto it = measured_total.find(record.req_id);
+    if (it == measured_total.end()) continue;
+    ++matched;
+    const double attributed = PhaseSum(record.phase_us);
+    // The ledger's decomposition sums to its own end-to-end exactly ...
+    EXPECT_NEAR(attributed, record.total_us, 1e-6)
+        << "req " << record.req_id << " phases do not sum to ledger total";
+    // ... and the ledger total tracks the response's measured latency
+    // within the 5% acceptance bound (the delta is the response phase,
+    // which the response's own clock cannot see).
+    EXPECT_NEAR(attributed, it->second, std::max(it->second * 0.05, 500.0))
+        << "req " << record.req_id << " attributed " << attributed
+        << "us vs measured " << it->second << "us";
+  }
+  EXPECT_EQ(matched, kRequests);
+}
+
+TEST(Ledger, EveryExportedP99CarriesResolvableExemplar) {
+  Ledger::Global().Configure(LedgerOptions{});
+  ServerOptions options;
+  options.queue_capacity = 128;  // burst submit must not shed
+  core::ResourceLocks locks;
+  options.locks = &locks;
+  InferenceServer server({MakeTinyServed("tiny")}, options);
+
+  std::set<std::uint64_t> submitted;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    ServeRequest request;
+    request.model = "tiny";
+    request.inputs = {{"data", TinyInput()}};
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.error;
+    submitted.insert(response.req_id);
+  }
+
+  // Every phase that saw samples exports >= 1 exemplar, and every exemplar
+  // resolves back to a request this test actually ran.
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseSummary summary =
+        Ledger::Global().Summarize(static_cast<Phase>(p));
+    if (summary.count == 0) continue;
+    ASSERT_FALSE(summary.exemplars.empty())
+        << PhaseName(static_cast<Phase>(p)) << " p99 exported no exemplar";
+    for (const Exemplar& exemplar : summary.exemplars) {
+      EXPECT_TRUE(submitted.count(exemplar.req_id))
+          << "unresolvable exemplar req_id " << exemplar.req_id;
+    }
+  }
+  const PhaseSummary end_to_end = Ledger::Global().EndToEnd();
+  ASSERT_GT(end_to_end.count, 0);
+  ASSERT_FALSE(end_to_end.exemplars.empty());
+  EXPECT_TRUE(submitted.count(end_to_end.exemplars.front().req_id));
+}
+
+// ------------------------------------------------------------- JSON export
+
+TEST(Ledger, ExportJsonHasDeterministicSchema) {
+  Ledger::Global().Configure(LedgerOptions{});
+  const char* kPhaseNames[] = {"admission",      "queue_wait", "batch_assembly",
+                               "session_acquire", "device_hold", "execution",
+                               "response"};
+
+  // Schema holds both empty and populated.
+  for (const bool populated : {false, true}) {
+    if (populated) {
+      for (int i = 0; i < 10; ++i) {
+        const double base = 1000.0 * (i + 1);
+        Ledger::Global().Complete(
+            FullStamps(static_cast<std::uint64_t>(i + 1), base), ServeStatus::kOk,
+            base + 160.0);
+      }
+    }
+    const support::JsonValue doc =
+        support::JsonValue::Parse(Ledger::Global().ExportJson());
+    ASSERT_TRUE(doc.is_object());
+    for (const char* key : {"completed", "ok", "shed", "expired", "error",
+                            "tail_slow_us", "alloc_events", "phases",
+                            "end_to_end", "worst_phase", "retained"}) {
+      EXPECT_NE(doc.Find(key), nullptr) << "missing key " << key;
+    }
+    const support::JsonValue* phases = doc.Find("phases");
+    ASSERT_TRUE(phases != nullptr && phases->is_object());
+    for (const char* name : kPhaseNames) {
+      const support::JsonValue* phase = phases->Find(name);
+      ASSERT_TRUE(phase != nullptr && phase->is_object()) << name;
+      for (const char* key :
+           {"count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+            "exemplars"}) {
+        EXPECT_NE(phase->Find(key), nullptr) << name << "." << key;
+      }
+    }
+    EXPECT_TRUE(doc.Find("retained")->is_array());
+  }
+}
+
+}  // namespace
+}  // namespace attribution
+}  // namespace serve
+}  // namespace tnp
