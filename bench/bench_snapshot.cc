@@ -18,6 +18,7 @@
 //                                        "better": "lower"|"higher",
 //                                        "gate": true|false}, ...}}
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -38,9 +39,11 @@
 #include "serve/attribution.h"
 #include "serve/load_gen.h"
 #include "serve/server.h"
+#include "relay/build.h"
 #include "support/metrics.h"
 #include "support/profiler.h"
 #include "support/thread_pool.h"
+#include "tune/tuner.h"
 #include "zoo/zoo.h"
 
 namespace tnp {
@@ -367,6 +370,51 @@ int main(int argc, char** argv) {
     metrics["prof/distinct_stacks"] = {
         static_cast<double>(
             support::profiler::Profiler::Global().stats().distinct_stacks),
+        /*lower_is_better=*/false, /*gate=*/false};
+  }
+
+  // ---- 7) tuning DB consultation + tuned kernel speedup ------------------
+  // A small sweep tunes the stand-in model's GEMM workloads into an
+  // in-memory DB, then the model is rebuilt with the DB active. The hit/miss
+  // deltas during that rebuild are *structural* (one lookup per prepack-
+  // eligible site, a pure function of the model) and gated; the measured
+  // default-vs-winner speedup geomean is wall clock and informational.
+  {
+    const relay::Module module = ConvNet(8);
+    const relay::CompiledModulePtr untuned = relay::Build(module);
+    const std::vector<tune::Workload> workloads =
+        relay::CollectGemmWorkloads(*untuned);
+    auto db = std::make_shared<tune::TuningDb>();
+    tune::TuneOptions tune_options;
+    tune_options.budget_ms = 500.0;
+    tune_options.repetitions = 3;
+    tune::TuneAll(workloads, db.get(), tune_options);
+
+    auto& registry = support::metrics::Registry::Global();
+    const std::int64_t hits_before = registry.GetCounter("tune/db_hits").value();
+    const std::int64_t misses_before = registry.GetCounter("tune/db_misses").value();
+    tune::SetActiveTuningDb(db);
+    relay::Build(module);  // every prepack site consults the DB
+    tune::SetActiveTuningDb(nullptr);
+    metrics["tune/db_hits"] = {
+        static_cast<double>(registry.GetCounter("tune/db_hits").value() -
+                            hits_before),
+        /*lower_is_better=*/false, /*gate=*/true};
+    metrics["tune/db_misses"] = {
+        static_cast<double>(registry.GetCounter("tune/db_misses").value() -
+                            misses_before),
+        /*lower_is_better=*/true, /*gate=*/true};
+
+    double log_sum = 0.0;
+    int measured = 0;
+    for (const tune::TuningRecord& record : db->Records()) {
+      if (record.best_us > 0.0 && record.baseline_us > 0.0) {
+        log_sum += std::log(record.baseline_us / record.best_us);
+        ++measured;
+      }
+    }
+    metrics["kernels/tuned_speedup_geomean"] = {
+        measured > 0 ? std::exp(log_sum / measured) : 1.0,
         /*lower_is_better=*/false, /*gate=*/false};
   }
 

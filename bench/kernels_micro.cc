@@ -3,13 +3,17 @@
 // the host kernels behind the numerics are not pathological.
 #include <benchmark/benchmark.h>
 
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "kernels/conv.h"
 #include "kernels/dense.h"
 #include "kernels/elementwise.h"
+#include "kernels/gemm.h"
 #include "kernels/quantize.h"
 #include "support/thread_pool.h"
+#include "tune/tuner.h"
 
 namespace {
 
@@ -146,6 +150,72 @@ void BM_Conv2DF32Threads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * out.NumElements() * channels * 9);
 }
 BENCHMARK(BM_Conv2DF32Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Tuned-vs-fixed GEMM on real model-zoo shapes: each shape runs the packed
+// f32 core twice, once at the fixed default config (4x8/kc256/nc192) and
+// once at the config the auto-tuner picks on this machine (tuned lazily,
+// memoized across iterations). Compare the paired rows for the per-shape
+// tuning win; EXPERIMENTS.md records a reference run.
+struct ZooGemmShape {
+  const char* label;
+  std::int64_t m, k, n;
+};
+
+constexpr ZooGemmShape kZooGemmShapes[] = {
+    {"mobilenet_v1_pw1", 64, 32, 12544},   // early pointwise conv
+    {"mobilenet_v1_pw11", 512, 256, 196},  // late pointwise conv
+    {"mobilenet_v1_fc", 1, 1024, 1000},    // classifier dense (GEMV-shaped)
+    {"emotion_cnn_conv2", 64, 288, 1936},  // showcase-model 3x3 conv
+};
+
+const GemmConfig& TunedConfigForShape(int index) {
+  static GemmConfig cache[std::size(kZooGemmShapes)];
+  static bool ready[std::size(kZooGemmShapes)] = {};
+  if (!ready[index]) {
+    tune::Workload workload;
+    workload.op = "conv2d";
+    workload.m = kZooGemmShapes[index].m;
+    workload.k = kZooGemmShapes[index].k;
+    workload.n = kZooGemmShapes[index].n;
+    tune::TuneOptions options;
+    options.budget_ms = 4000.0;
+    options.repetitions = 3;
+    cache[index] =
+        tune::TuneWorkload(workload, options, options.budget_ms * 1000.0).record.config;
+    ready[index] = true;
+  }
+  return cache[index];
+}
+
+void BM_GemmZooShapeF32(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const bool tuned = state.range(1) != 0;
+  const ZooGemmShape& shape = kZooGemmShapes[index];
+  const GemmConfig config =
+      tuned ? TunedConfigForShape(index) : GemmConfig::DefaultF32();
+  NDArray a = NDArray::RandomNormal(Shape({shape.m, shape.k}), 1);
+  NDArray b = NDArray::RandomNormal(Shape({shape.k, shape.n}), 2);
+  std::vector<float> ap(
+      static_cast<std::size_t>(PackedExtent(shape.m, config.mr) * shape.k));
+  std::vector<float> bp(
+      static_cast<std::size_t>(PackedExtent(shape.n, config.nr) * shape.k));
+  PackPanelsAF32(a.Data<float>(), shape.m, shape.k, shape.k, ap.data(), config.mr);
+  PackPanelsBF32(b.Data<float>(), shape.k, shape.n, shape.n, bp.data(), config.nr);
+  std::vector<float> c(static_cast<std::size_t>(shape.m * shape.n));
+  for (auto _ : state) {
+    GemmPackedF32(ap.data(), bp.data(), c.data(), shape.m, shape.k, shape.n,
+                  shape.n, /*parallel=*/false, config);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(std::string(shape.label) + "/" +
+                 (tuned ? "tuned:" + config.ToString() : "fixed:" + config.ToString()));
+  state.SetItemsProcessed(state.iterations() * shape.m * shape.k * shape.n * 2);
+}
+BENCHMARK(BM_GemmZooShapeF32)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({3, 0})->Args({3, 1});
 
 void BM_BroadcastAdd(benchmark::State& state) {
   NDArray a = NDArray::RandomNormal(Shape({1, 64, 56, 56}), 1);

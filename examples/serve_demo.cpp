@@ -60,6 +60,7 @@
 #include "support/table.h"
 #include "support/telemetry.h"
 #include "support/trace.h"
+#include "tune/db.h"
 
 using namespace tnp;
 using support::metrics::Registry;
@@ -122,6 +123,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string flight_path;
   std::string artifact_cache_dir;
+  std::string tuning_db_dir;
   bool cold_start = false;
   int http_port = -1;
   bool profile = false;
@@ -133,6 +135,7 @@ int main(int argc, char** argv) {
     else if (arg == "--capacity") capacity = static_cast<std::size_t>(next());
     else if (arg == "--overload") overload = true;
     else if (arg.rfind("--artifact-cache=", 0) == 0) artifact_cache_dir = arg.substr(17);
+    else if (arg.rfind("--tuning-db=", 0) == 0) tuning_db_dir = arg.substr(12);
     else if (arg == "--cold-start") cold_start = true;
     else if (arg == "--trace") trace_path = "serve_trace.json";
     else if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
@@ -152,7 +155,8 @@ int main(int argc, char** argv) {
   }
   if (streams < 1 || requests < 1 || capacity < 1) {
     std::cerr << "usage: serve_demo [--streams N] [--requests M] [--capacity Q]"
-                 " [--overload] [--threads=N] [--artifact-cache=DIR] [--cold-start]"
+                 " [--overload] [--threads=N] [--artifact-cache=DIR]"
+                 " [--tuning-db=DIR] [--cold-start]"
                  " [--trace[=path]] [--metrics[=path]]"
                  " [--flight-record=path] [--http-port=N] [--profile]\n";
     return 2;
@@ -170,6 +174,18 @@ int main(int argc, char** argv) {
     flight.shed_storm_threshold = 16;
     flight.shed_storm_window_ms = 500.0;
     support::FlightRecorder::Global().Configure(flight);
+  }
+
+  if (!tuning_db_dir.empty()) {
+    try {
+      auto db = std::make_shared<tune::TuningDb>(tuning_db_dir);
+      std::cout << "tuning DB: " << tuning_db_dir << " (" << db->size()
+                << " records, fingerprint " << db->Fingerprint() << ")\n";
+      tune::SetActiveTuningDb(std::move(db));
+    } catch (const Error& e) {
+      std::cerr << "serve_demo: cannot open tuning DB: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   core::FlowCompileSettings compile_settings;

@@ -7,6 +7,7 @@
 // Build & run:  ./build/examples/showcase_app [num_frames] [--frames N]
 //                                             [--seed S] [--threads=N]
 //                                             [--artifact-cache=DIR]
+//                                             [--tuning-db=DIR]
 //                                             [--cold-start]
 //                                             [--trace[=path]]
 //                                             [--metrics[=path]]
@@ -24,6 +25,9 @@
 // weights. --cold-start prints the session-construction wall time plus the
 // store hit/miss counters, so a cached vs uncached launch is directly
 // comparable.
+//
+// --tuning-db=DIR activates a tuning DB produced by tools/tune_cli: every
+// model build consults it for per-shape GEMM configs (tune-then-serve).
 //
 // --threads=N sizes the process-wide worker pool (overrides TNP_NUM_THREADS;
 // must come before any work runs — the pool is created on first use and
@@ -53,6 +57,7 @@
 #include "support/metrics.h"
 #include "support/telemetry.h"
 #include "support/trace.h"
+#include "tune/db.h"
 #include "vision/app.h"
 
 using namespace tnp;
@@ -65,6 +70,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string flight_path;
   std::string artifact_cache_dir;
+  std::string tuning_db_dir;
   bool cold_start = false;
   int http_port = -1;
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +91,12 @@ int main(int argc, char** argv) {
         std::cerr << "showcase_app: --artifact-cache needs a directory\n";
         return 2;
       }
+    } else if (arg.rfind("--tuning-db=", 0) == 0) {
+      tuning_db_dir = arg.substr(12);
+      if (tuning_db_dir.empty()) {
+        std::cerr << "showcase_app: --tuning-db needs a directory\n";
+        return 2;
+      }
     } else if (arg == "--cold-start") {
       cold_start = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -102,8 +114,8 @@ int main(int argc, char** argv) {
       num_frames = std::atoi(arg.c_str());
     } else {
       std::cerr << "usage: showcase_app [num_frames] [--frames N] [--seed S] "
-                   "[--threads=N] [--artifact-cache=DIR] [--cold-start] "
-                   "[--trace[=path]] [--metrics[=path]] "
+                   "[--threads=N] [--artifact-cache=DIR] [--tuning-db=DIR] "
+                   "[--cold-start] [--trace[=path]] [--metrics[=path]] "
                    "[--flight-record=path] [--http-port=N]\n";
       return 2;
     }
@@ -137,6 +149,18 @@ int main(int argc, char** argv) {
             << (scene.persons.size() + 1) / 2 << " real, " << scene.persons.size() / 2
             << " presentation attacks), " << scene.posters.size()
             << " wall posters (must be gated out)\n\n";
+
+  if (!tuning_db_dir.empty()) {
+    try {
+      auto db = std::make_shared<tune::TuningDb>(tuning_db_dir);
+      std::cout << "tuning DB: " << tuning_db_dir << " (" << db->size()
+                << " records, fingerprint " << db->Fingerprint() << ")\n";
+      tune::SetActiveTuningDb(std::move(db));
+    } catch (const Error& e) {
+      std::cerr << "showcase_app: cannot open tuning DB: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   ShowcaseConfig config;  // paper Figure-5 stage->target assignment by default
   config.seed = seed;

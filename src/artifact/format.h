@@ -45,7 +45,9 @@ inline constexpr std::uint32_t kMagic = 0x41504E54u;  // "TNPA" little-endian
 inline constexpr std::uint32_t kEndianStamp = 0x01020304u;
 
 /// Bumped on every breaking change to the META encoding or section layout.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: packed-matrix descriptors carry their GEMM config (mr/nr/kc/nc/unroll)
+/// and module/package metadata records the build-time tuning fingerprint.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Payload sections start on this alignment, as does every tensor payload
 /// inside the BLOB section — mmap bases are page-aligned, so file-offset

@@ -130,6 +130,11 @@ void WritePackedMatrix(MetaWriter& writer, ArtifactWriter& blob,
   writer.I64(matrix.groups);
   writer.I64(matrix.panel);
   writer.I64(matrix.group_stride);
+  writer.I64(matrix.config.mr);
+  writer.I64(matrix.config.nr);
+  writer.I64(matrix.config.kc);
+  writer.I64(matrix.config.nc);
+  writer.I64(matrix.config.unroll);
   WriteTensor(writer, blob, matrix.data);
   WriteTensor(writer, blob, matrix.sums);
 }
@@ -144,6 +149,11 @@ kernels::PackedMatrixPtr ReadPackedMatrix(MetaReader& reader, const LoadContext&
   matrix->groups = reader.I64();
   matrix->panel = reader.I64();
   matrix->group_stride = reader.I64();
+  matrix->config.mr = static_cast<int>(reader.I64());
+  matrix->config.nr = static_cast<int>(reader.I64());
+  matrix->config.kc = static_cast<int>(reader.I64());
+  matrix->config.nc = static_cast<int>(reader.I64());
+  matrix->config.unroll = static_cast<int>(reader.I64());
   matrix->data = ReadTensor(reader, ctx);
   matrix->sums = ReadTensor(reader, ctx);
   // The micro-kernels will walk these panels without repacking — the
@@ -267,6 +277,7 @@ void WritePackageMeta(MetaWriter& writer, ArtifactWriter& blob,
   writer.Str(TestbedName(package.options.testbed));
   writer.U8(static_cast<std::uint8_t>(package.options.policy));
   writer.Bool(package.options.prepack_weights);
+  writer.Str(package.tuning_fingerprint);
 
   // NeuronModel: flat operand table + operation list (NNAPI style).
   const auto& model = package.model;
@@ -330,6 +341,7 @@ std::shared_ptr<neuron::NeuronPackage> ReadPackageMeta(MetaReader& reader,
       CheckedTag(reader, static_cast<std::uint8_t>(neuron::PlannerPolicy::kDynamic),
                  "planner policy"));
   package->options.prepack_weights = reader.Bool();
+  package->tuning_fingerprint = reader.Str();
 
   const std::uint32_t operand_count = reader.Count();
   for (std::uint32_t i = 0; i < operand_count; ++i) {
@@ -595,6 +607,7 @@ std::uint64_t SaveCompiledModule(const relay::CompiledModule& compiled,
     writer.Str(key);
     writer.Str(value);
   }
+  writer.Str(compiled.tuning_fingerprint);
 
   // Externals: every BYOC subgraph must expose its NeuronPackage — that is
   // the only external this stack produces, and the only one reconstructable
@@ -692,6 +705,7 @@ relay::CompiledModulePtr MapCompiledModule(const std::string& path) {
     std::string key = reader.Str();
     module->options.external_config[std::move(key)] = reader.Str();
   }
+  module->tuning_fingerprint = reader.Str();
 
   const std::uint32_t external_count = reader.Count();
   module->externals.reserve(external_count);

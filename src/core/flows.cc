@@ -8,6 +8,7 @@
 #include "relay/serializer.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "tune/db.h"
 
 namespace tnp {
 namespace core {
@@ -219,7 +220,8 @@ std::string FlowCacheKey(const relay::Module& module, FlowKind flow,
   std::ostringstream key;
   relay::SaveModule(module, key);
   key << '|' << FlowName(flow) << "|policy=" << static_cast<int>(settings.policy)
-      << "|fusion=" << (settings.enable_tvm_fusion ? 1 : 0);
+      << "|fusion=" << (settings.enable_tvm_fusion ? 1 : 0)
+      << "|tune=" << tune::ActiveTuningFingerprint();
   return key.str();
 }
 

@@ -14,9 +14,9 @@ namespace kernels {
 
 namespace {
 
-static_assert(kGemmNrF32 == kGemmNrS8,
-              "fused im2col packing assumes one column-panel width");
-constexpr int kConvNr = static_cast<int>(kGemmNrF32);
+// The s8 im2col packer keeps the pmaddwd path's fixed column-panel width;
+// the f32 packer is templated and dispatched on the tuned config's nr.
+constexpr int kConvNrS8 = static_cast<int>(kGemmNrS8);
 
 // Below this many output channels per group the GEMM tile is mostly padding
 // (depthwise has co_g == 1); a direct per-channel convolution with no packing
@@ -99,9 +99,11 @@ void FillPaddedView(const T* in_group, std::int64_t ci_g, std::int64_t in_h,
 }
 
 // Fused im2col + B-panel packing from the padded view: writes one group's
-// logical patch matrix (k x npix) straight into NR column panels.
-void PackIm2ColPanels(const float* view, const ConvGeometry& geo, float* out) {
-  constexpr int NR = kConvNr;
+// logical patch matrix (k x npix) straight into NR column panels. Templated
+// on the panel width so every tuned nr keeps the unrolled full-panel fast
+// path.
+template <int NR>
+void PackIm2ColPanelsImpl(const float* view, const ConvGeometry& geo, float* out) {
   const std::int64_t k = geo.k;
   const std::int64_t npix = geo.npix;
   for (std::int64_t jp = 0; jp * NR < npix; ++jp) {
@@ -126,13 +128,24 @@ void PackIm2ColPanels(const float* view, const ConvGeometry& geo, float* out) {
   }
 }
 
+void PackIm2ColPanels(const float* view, const ConvGeometry& geo, float* out,
+                      std::int64_t nr) {
+  switch (nr) {
+    case 4: PackIm2ColPanelsImpl<4>(view, geo, out); return;
+    case 8: PackIm2ColPanelsImpl<8>(view, geo, out); return;
+    case 16: PackIm2ColPanelsImpl<16>(view, geo, out); return;
+    default:
+      TNP_THROW(kRuntimeError) << "no im2col packer for column-panel width " << nr;
+  }
+}
+
 // s8 variant writing pair-interleaved panels (see pack.h). Also accumulates
 // per-column sums for the zero-point correction — over real columns,
 // including padding positions (which hold the input zero point, see
 // QConv2DS8); packed zero padding contributes 0 to both products and sums.
 void PackIm2ColPanelsS8(const std::int8_t* view, const ConvGeometry& geo,
                         std::int8_t* out, std::int32_t* col_sums) {
-  constexpr int NR = kConvNr;
+  constexpr int NR = kConvNrS8;
   const std::int64_t k = geo.k;
   const std::int64_t k2 = PackedKS8(k);
   const std::int64_t npix = geo.npix;
@@ -304,7 +317,11 @@ void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
   const ConvGeometry geo =
       BuildGeometry(frame, ci_g, in_h, in_w, kernel_h, kernel_w, out_h, out_w, p);
 
-  const std::int64_t group_stride = PackedExtent(co_g, kGemmMrF32) * k;
+  // Pre-packed weights carry the tuned schedule they were packed under; the
+  // scratch fallback packs (and runs) the untuned default.
+  const GemmConfig cfg =
+      packed_weights != nullptr ? packed_weights->config : GemmConfig::DefaultF32();
+  const std::int64_t group_stride = PackedExtent(co_g, cfg.mr) * k;
   const float* wpanels;
   if (packed_weights != nullptr) {
     ValidatePackedConvWeights(*packed_weights, DType::kFloat32, co_g, k, p.groups);
@@ -312,7 +329,8 @@ void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
   } else {
     float* scratch_panels = frame.Alloc<float>(p.groups * group_stride);
     for (std::int64_t g = 0; g < p.groups; ++g) {
-      PackPanelsAF32(w_data + g * co_g * k, co_g, k, k, scratch_panels + g * group_stride);
+      PackPanelsAF32(w_data + g * co_g * k, co_g, k, k, scratch_panels + g * group_stride,
+                     cfg.mr);
     }
     CountWeightPack(p.groups * group_stride * static_cast<std::int64_t>(sizeof(float)));
     wpanels = scratch_panels;
@@ -320,7 +338,7 @@ void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
 
   float* view_buf =
       geo.needs_copy ? frame.Alloc<float>(ci_g * geo.view_h * geo.view_w) : nullptr;
-  float* bpanels = frame.Alloc<float>(PackedExtent(npix, kConvNr) * k);
+  float* bpanels = frame.Alloc<float>(PackedExtent(npix, cfg.nr) * k);
   for (std::int64_t n = 0; n < batch; ++n) {
     for (std::int64_t g = 0; g < p.groups; ++g) {
       const float* in_group = in_data + (n * ci + g * ci_g) * in_h * in_w;
@@ -329,10 +347,10 @@ void Conv2DF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
         FillPaddedView(in_group, ci_g, in_h, in_w, geo, p, 0.0f, view_buf);
         view = view_buf;
       }
-      PackIm2ColPanels(view, geo, bpanels);
+      PackIm2ColPanels(view, geo, bpanels, cfg.nr);
       float* out_group = out_data + (n * co + g * co_g) * npix;
       GemmPackedF32(wpanels + g * group_stride, bpanels, out_group, co_g, k, npix, npix,
-                    /*parallel=*/true);
+                    /*parallel=*/true, cfg);
     }
   }
 
@@ -465,7 +483,10 @@ void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
   const ConvGeometry geo =
       BuildGeometry(frame, ci_g, in_h, in_w, kernel_h, kernel_w, out_h, out_w, p);
 
-  const std::int64_t group_stride = PackedExtent(co_g, kGemmMrS8) * PackedKS8(k);
+  // s8 keeps the 4x8 layout contract; the tuned config varies kc/nc only.
+  const GemmConfig qcfg =
+      packed_weights != nullptr ? packed_weights->config : GemmConfig::DefaultS8();
+  const std::int64_t group_stride = PackedExtent(co_g, qcfg.mr) * PackedKS8(k);
   const std::int8_t* wpanels;
   const std::int32_t* wrow_sums;
   if (packed_weights != nullptr) {
@@ -487,7 +508,8 @@ void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
 
   std::int8_t* view_buf =
       geo.needs_copy ? frame.Alloc<std::int8_t>(ci_g * geo.view_h * geo.view_w) : nullptr;
-  std::int8_t* bpanels = frame.Alloc<std::int8_t>(PackedExtent(npix, kConvNr) * PackedKS8(k));
+  std::int8_t* bpanels =
+      frame.Alloc<std::int8_t>(PackedExtent(npix, kConvNrS8) * PackedKS8(k));
   std::int32_t* col_sums = frame.Alloc<std::int32_t>(npix);
   std::int32_t* acc = frame.Alloc<std::int32_t>(co_g * npix);
 
@@ -504,7 +526,7 @@ void QConv2DS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
       }
       PackIm2ColPanelsS8(view, geo, bpanels, col_sums);
       GemmPackedS8S32(wpanels + g * group_stride, bpanels, acc, co_g, k, npix, npix,
-                      /*parallel=*/true);
+                      /*parallel=*/true, qcfg);
       ApplyZeroPointCorrection(acc, co_g, npix, npix, k, w_zp, in_zp,
                                wrow_sums + g * co_g, col_sums);
 

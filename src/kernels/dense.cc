@@ -52,20 +52,24 @@ void DenseF32(const NDArray& input, const NDArray& weight, const NDArray& bias,
   }
 
   ScratchFrame frame;
+  // Pre-packed weights carry the tuned schedule; the activation side is
+  // packed per call at the same config so panels and core always agree.
+  const GemmConfig cfg =
+      packed_weights != nullptr ? packed_weights->config : GemmConfig::DefaultF32();
   const float* bpanels;
   if (packed_weights != nullptr) {
     ValidatePackedDenseWeights(*packed_weights, DType::kFloat32, k, n);
     bpanels = packed_weights->data.Data<float>();
   } else {
-    float* scratch_panels = frame.Alloc<float>(PackedExtent(n, kGemmNrF32) * k);
-    PackPanelsBTransF32(w_data, k, n, k, scratch_panels);
-    CountWeightPack(PackedExtent(n, kGemmNrF32) * k *
+    float* scratch_panels = frame.Alloc<float>(PackedExtent(n, cfg.nr) * k);
+    PackPanelsBTransF32(w_data, k, n, k, scratch_panels, cfg.nr);
+    CountWeightPack(PackedExtent(n, cfg.nr) * k *
                     static_cast<std::int64_t>(sizeof(float)));
     bpanels = scratch_panels;
   }
-  float* apanels = frame.Alloc<float>(PackedExtent(m, kGemmMrF32) * k);
-  PackPanelsAF32(in_data, m, k, k, apanels);
-  GemmPackedF32(apanels, bpanels, out_data, m, k, n, n, /*parallel=*/true);
+  float* apanels = frame.Alloc<float>(PackedExtent(m, cfg.mr) * k);
+  PackPanelsAF32(in_data, m, k, k, apanels, cfg.mr);
+  GemmPackedF32(apanels, bpanels, out_data, m, k, n, n, /*parallel=*/true, cfg);
 
   if (bias_data != nullptr) {
     support::ParallelFor(0, m, [&](std::int64_t i) {
@@ -137,6 +141,9 @@ void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
   }
 
   ScratchFrame frame;
+  // s8 keeps the 4x8 layout contract; the tuned config varies kc/nc only.
+  const GemmConfig cfg =
+      packed_weights != nullptr ? packed_weights->config : GemmConfig::DefaultS8();
   const std::int8_t* bpanels;
   const std::int32_t* wcol_sums;
   if (packed_weights != nullptr) {
@@ -145,19 +152,19 @@ void QDenseS8(const NDArray& input, const NDArray& weight, const NDArray& bias,
     wcol_sums = packed_weights->sums.Data<std::int32_t>();
   } else {
     std::int8_t* scratch_panels =
-        frame.Alloc<std::int8_t>(PackedExtent(n, kGemmNrS8) * PackedKS8(k));
+        frame.Alloc<std::int8_t>(PackedExtent(n, cfg.nr) * PackedKS8(k));
     std::int32_t* scratch_sums = frame.Alloc<std::int32_t>(n);
-    PackPanelsBTransS8(w_data, k, n, k, scratch_panels, scratch_sums);
-    CountWeightPack(PackedExtent(n, kGemmNrS8) * PackedKS8(k) +
+    PackPanelsBTransS8(w_data, k, n, k, scratch_panels, scratch_sums, cfg.nr);
+    CountWeightPack(PackedExtent(n, cfg.nr) * PackedKS8(k) +
                     n * static_cast<std::int64_t>(sizeof(std::int32_t)));
     bpanels = scratch_panels;
     wcol_sums = scratch_sums;
   }
-  std::int8_t* apanels = frame.Alloc<std::int8_t>(PackedExtent(m, kGemmMrS8) * PackedKS8(k));
+  std::int8_t* apanels = frame.Alloc<std::int8_t>(PackedExtent(m, cfg.mr) * PackedKS8(k));
   std::int32_t* in_row_sums = frame.Alloc<std::int32_t>(m);
   std::int32_t* acc = frame.Alloc<std::int32_t>(m * n);
-  PackPanelsAS8(in_data, m, k, k, apanels, in_row_sums);
-  GemmPackedS8S32(apanels, bpanels, acc, m, k, n, n, /*parallel=*/true);
+  PackPanelsAS8(in_data, m, k, k, apanels, in_row_sums, cfg.mr);
+  GemmPackedS8S32(apanels, bpanels, acc, m, k, n, n, /*parallel=*/true, cfg);
   ApplyZeroPointCorrection(acc, m, n, n, k, in_zp, w_zp, in_row_sums, wcol_sums);
 
   support::ParallelFor(0, m, [&](std::int64_t i) {

@@ -18,12 +18,33 @@ namespace kernels {
 namespace {
 
 // MRxNR register tile over one k-cache block of packed panels. `first` picks
-// store vs. accumulate so k-blocks compose without a C pre-pass.
-template <int MR, int NR>
+// store vs. accumulate so k-blocks compose without a C pre-pass. UNROLL=2
+// walks two k steps per iteration but keeps the two += per accumulator lane
+// sequential, so the per-element summation order is identical to UNROLL=1 —
+// unroll never changes the f32 result bit pattern.
+template <int MR, int NR, int UNROLL>
 void MicroKernelF32(const float* ap, const float* bp, std::int64_t kc, float* c,
                     std::int64_t ldc, std::int64_t mr, std::int64_t nr, bool first) {
   float acc[MR * NR] = {};
-  for (std::int64_t kk = 0; kk < kc; ++kk) {
+  std::int64_t kk = 0;
+  if constexpr (UNROLL == 2) {
+    for (; kk + 1 < kc; kk += 2) {
+      const float* arow0 = ap + kk * MR;
+      const float* brow0 = bp + kk * NR;
+      const float* arow1 = arow0 + MR;
+      const float* brow1 = brow0 + NR;
+      for (int r = 0; r < MR; ++r) {
+        const float a0 = arow0[r];
+        const float a1 = arow1[r];
+        float* accrow = acc + r * NR;
+        for (int j = 0; j < NR; ++j) {
+          accrow[j] += a0 * brow0[j];
+          accrow[j] += a1 * brow1[j];
+        }
+      }
+    }
+  }
+  for (; kk < kc; ++kk) {
     const float* arow = ap + kk * MR;
     const float* brow = bp + kk * NR;
     for (int r = 0; r < MR; ++r) {
@@ -53,6 +74,23 @@ void MicroKernelF32(const float* ap, const float* bp, std::int64_t kc, float* c,
       }
     }
   }
+}
+
+using MicroKernelF32Fn = void (*)(const float*, const float*, std::int64_t, float*,
+                                  std::int64_t, std::int64_t, std::int64_t, bool);
+
+// The pre-instantiated f32 variant set. IsValidGemmConfig admits exactly
+// these tiles/unrolls, so a legal config always resolves.
+MicroKernelF32Fn SelectMicroKernelF32(const GemmConfig& config) {
+  const auto pick = [&]<int MR, int NR>() -> MicroKernelF32Fn {
+    return config.unroll == 2 ? MicroKernelF32<MR, NR, 2> : MicroKernelF32<MR, NR, 1>;
+  };
+  if (config.mr == 4 && config.nr == 8) return pick.operator()<4, 8>();
+  if (config.mr == 6 && config.nr == 8) return pick.operator()<6, 8>();
+  if (config.mr == 8 && config.nr == 4) return pick.operator()<8, 4>();
+  if (config.mr == 4 && config.nr == 16) return pick.operator()<4, 16>();
+  TNP_THROW(kRuntimeError) << "no f32 micro-kernel variant for config "
+                           << config.ToString();
 }
 
 // 4x8 s8 tile over `pairs` k-pairs of pair-interleaved panels (see pack.h).
@@ -133,69 +171,46 @@ void MicroKernelS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int64_t
 #endif
 
 // One row panel's share of C: loop n-cache blocks, k-cache blocks, then NR
-// column strips. kGemmNc is a multiple of NR, so strips never straddle an
-// n-block and (jc + jr) / NR indexes the column panel directly.
-template <typename T, typename Acc, int MR, int NR,
-          void MicroKernel(const T*, const T*, std::int64_t, Acc*, std::int64_t,
-                           std::int64_t, std::int64_t, bool)>
-void RunRowPanel(const T* ap, const T* bp, Acc* c, std::int64_t ip, std::int64_t m,
-                 std::int64_t k, std::int64_t n, std::int64_t ldc) {
-  const std::int64_t mr = std::min<std::int64_t>(MR, m - ip * MR);
-  for (std::int64_t jc = 0; jc < n; jc += kGemmNc) {
-    const std::int64_t nc = std::min(kGemmNc, n - jc);
-    for (std::int64_t pc = 0; pc < k; pc += kGemmKc) {
-      const std::int64_t kc = std::min(kGemmKc, k - pc);
+// column strips. config.nc is a multiple of NR (IsValidGemmConfig), so strips
+// never straddle an n-block and (jc + jr) / NR indexes the column panel
+// directly.
+void RunRowPanelF32(const float* ap, const float* bp, float* c, std::int64_t ip,
+                    std::int64_t m, std::int64_t k, std::int64_t n, std::int64_t ldc,
+                    const GemmConfig& cfg, MicroKernelF32Fn micro) {
+  const std::int64_t MR = cfg.mr;
+  const std::int64_t NR = cfg.nr;
+  const std::int64_t mr = std::min(MR, m - ip * MR);
+  for (std::int64_t jc = 0; jc < n; jc += cfg.nc) {
+    const std::int64_t nc = std::min(cfg.nc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += cfg.kc) {
+      const std::int64_t kc = std::min(cfg.kc, k - pc);
       const bool first = pc == 0;
-      const T* a_blk = ap + (ip * k + pc) * MR;
+      const float* a_blk = ap + (ip * k + pc) * MR;
       for (std::int64_t jr = 0; jr < nc; jr += NR) {
         const std::int64_t jp = (jc + jr) / NR;
-        const std::int64_t nr = std::min<std::int64_t>(NR, nc - jr);
-        MicroKernel(a_blk, bp + (jp * k + pc) * NR, kc, c + ip * MR * ldc + jc + jr, ldc,
-                    mr, nr, first);
+        const std::int64_t nr = std::min(NR, nc - jr);
+        micro(a_blk, bp + (jp * k + pc) * NR, kc, c + ip * MR * ldc + jc + jr, ldc, mr,
+              nr, first);
       }
     }
   }
 }
 
-template <typename T, typename Acc, int MR, int NR,
-          void MicroKernel(const T*, const T*, std::int64_t, Acc*, std::int64_t,
-                           std::int64_t, std::int64_t, bool)>
-void GemmCore(const T* ap, const T* bp, Acc* c, std::int64_t m, std::int64_t k,
-              std::int64_t n, std::int64_t ldc, bool parallel) {
-  if (m <= 0 || n <= 0) return;
-  if (k <= 0) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(Acc));
-    }
-    return;
-  }
-  const std::int64_t num_panels = (m + MR - 1) / MR;
-  auto panel = [&](std::int64_t ip) {
-    RunRowPanel<T, Acc, MR, NR, MicroKernel>(ap, bp, c, ip, m, k, n, ldc);
-  };
-  if (parallel && num_panels > 1) {
-    support::ParallelFor(0, num_panels, panel, /*grain_size=*/1);
-  } else {
-    for (std::int64_t ip = 0; ip < num_panels; ++ip) panel(ip);
-  }
-}
-
-// s8 analogue of RunRowPanel, walking pair-interleaved panels. All k
-// bookkeeping is in pair units; kGemmKc is even so cache blocks stay aligned
+// s8 analogue, walking pair-interleaved panels. All k bookkeeping is in pair
+// units; config.kc is even (IsValidGemmConfig) so cache blocks stay aligned
 // to whole pairs.
 void RunRowPanelS8(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
                    std::int64_t ip, std::int64_t m, std::int64_t k2, std::int64_t n,
-                   std::int64_t ldc) {
+                   std::int64_t ldc, const GemmConfig& cfg) {
   constexpr std::int64_t MR = kGemmMrS8;
   constexpr std::int64_t NR = kGemmNrS8;
-  static_assert(kGemmKc % 2 == 0, "k-cache blocks must cover whole pairs");
-  constexpr std::int64_t kPairKc = kGemmKc / 2;
+  const std::int64_t pair_kc = cfg.kc / 2;
   const std::int64_t pairs_total = k2 / 2;
   const std::int64_t mr = std::min<std::int64_t>(MR, m - ip * MR);
-  for (std::int64_t jc = 0; jc < n; jc += kGemmNc) {
-    const std::int64_t nc = std::min(kGemmNc, n - jc);
-    for (std::int64_t pc = 0; pc < pairs_total; pc += kPairKc) {
-      const std::int64_t pn = std::min(kPairKc, pairs_total - pc);
+  for (std::int64_t jc = 0; jc < n; jc += cfg.nc) {
+    const std::int64_t nc = std::min(cfg.nc, n - jc);
+    for (std::int64_t pc = 0; pc < pairs_total; pc += pair_kc) {
+      const std::int64_t pn = std::min(pair_kc, pairs_total - pc);
       const bool first = pc == 0;
       const std::int8_t* a_blk = ap + ip * MR * k2 + pc * 2 * MR;
       for (std::int64_t jr = 0; jr < nc; jr += NR) {
@@ -211,14 +226,32 @@ void RunRowPanelS8(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c
 }  // namespace
 
 void GemmPackedF32(const float* ap, const float* bp, float* c, std::int64_t m,
-                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel) {
-  GemmCore<float, float, kGemmMrF32, kGemmNrF32, MicroKernelF32<kGemmMrF32, kGemmNrF32>>(
-      ap, bp, c, m, k, n, ldc, parallel);
+                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel,
+                   const GemmConfig& config) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+    return;
+  }
+  TNP_CHECK(IsValidGemmConfig(config, DType::kFloat32))
+      << "illegal f32 GEMM config " << config.ToString();
+  const MicroKernelF32Fn micro = SelectMicroKernelF32(config);
+  const std::int64_t num_panels = (m + config.mr - 1) / config.mr;
+  auto panel = [&](std::int64_t ip) {
+    RunRowPanelF32(ap, bp, c, ip, m, k, n, ldc, config, micro);
+  };
+  if (parallel && num_panels > 1) {
+    support::ParallelFor(0, num_panels, panel, /*grain_size=*/1);
+  } else {
+    for (std::int64_t ip = 0; ip < num_panels; ++ip) panel(ip);
+  }
 }
 
 void GemmPackedS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
                      std::int64_t m, std::int64_t k, std::int64_t n, std::int64_t ldc,
-                     bool parallel) {
+                     bool parallel, const GemmConfig& config) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
     for (std::int64_t i = 0; i < m; ++i) {
@@ -226,9 +259,13 @@ void GemmPackedS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int32_t*
     }
     return;
   }
+  TNP_CHECK(IsValidGemmConfig(config, DType::kInt8))
+      << "illegal s8 GEMM config " << config.ToString();
   const std::int64_t k2 = PackedKS8(k);
   const std::int64_t num_panels = (m + kGemmMrS8 - 1) / kGemmMrS8;
-  auto panel = [&](std::int64_t ip) { RunRowPanelS8(ap, bp, c, ip, m, k2, n, ldc); };
+  auto panel = [&](std::int64_t ip) {
+    RunRowPanelS8(ap, bp, c, ip, m, k2, n, ldc, config);
+  };
   if (parallel && num_panels > 1) {
     support::ParallelFor(0, num_panels, panel, /*grain_size=*/1);
   } else {
@@ -294,6 +331,30 @@ void GemmF32Reference(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+void GemmF32BlockedReference(const float* a, const float* b, float* c, std::int64_t m,
+                             std::int64_t k, std::int64_t n, std::int64_t kc) {
+  TNP_CHECK_GT(kc, 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (k <= 0) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+      continue;
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      float total = 0.0f;
+      for (std::int64_t pc = 0; pc < k; pc += kc) {
+        const std::int64_t kb = std::min(kc, k - pc);
+        float block = 0.0f;
+        for (std::int64_t kk = pc; kk < pc + kb; ++kk) {
+          block += a[i * k + kk] * b[kk * n + j];
+        }
+        total = pc == 0 ? block : total + block;
+      }
+      crow[j] = total;
+    }
+  }
+}
+
 void GemmS8S32Reference(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
                         std::int64_t m, std::int64_t k, std::int64_t n,
                         std::int32_t a_zero, std::int32_t b_zero) {
@@ -308,6 +369,14 @@ void GemmS8S32Reference(const std::int8_t* a, const std::int8_t* b, std::int32_t
       }
     }
   }
+}
+
+const char* GemmIsaName() {
+#ifdef TNP_GEMM_SSE2
+  return "sse2";
+#else
+  return "scalar";
+#endif
 }
 
 }  // namespace kernels

@@ -7,6 +7,18 @@
 // *Packed cores directly with pre-packed weights so steady-state inference
 // never repacks constants.
 //
+// Every blocked run is driven by a GemmConfig (pack.h): the register tile
+// selects one of the pre-instantiated f32 micro-kernel variants (4x8, 6x8,
+// 8x4, 4x16, each at k-unroll 1 or 2) and kc/nc set the cache blocking. The
+// s8 pmaddwd path keeps its 4x8 layout contract and tunes kc/nc only.
+//
+// Floating-point summation order: for a fixed output element the engine
+// accumulates products in increasing-k order within each kc block and
+// composes blocks left-to-right (store, then +=). The per-element value
+// therefore depends ONLY on kc — configs that differ in mr/nr/nc/unroll are
+// bitwise-identical at equal kc, and GemmF32BlockedReference reproduces the
+// exact blocked order for differential testing.
+//
 // Int8 uses the gemmlowp-style zero-point factorization:
 //
 //   sum_k (A[i,k]-az)(B[k,j]-bz)
@@ -14,10 +26,13 @@
 //
 // so the inner loop is a pure s8 x s8 -> s32 product and the zero points are
 // applied as a rank-1 correction afterwards. All-integer math means the
-// factorized result is bit-exact against the naive reference.
+// factorized result is bit-exact against the naive reference for every
+// config.
 #pragma once
 
 #include <cstdint>
+
+#include "kernels/pack.h"
 
 namespace tnp {
 namespace kernels {
@@ -34,21 +49,25 @@ void GemmS8S32(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std:
                std::int64_t k, std::int64_t n, std::int32_t a_zero, std::int32_t b_zero);
 
 // ---------------------------------------------------------------------------
-// Packed cores. `ap` holds PackPanelsA* output for the full (m, k) extent,
-// `bp` holds PackPanelsB* output for the full (k, n) extent; C is written at
-// leading dimension ldc. `parallel` distributes row panels over the current
+// Packed cores. `ap` holds PackPanelsA* output for the full (m, k) extent
+// packed at config.mr, `bp` holds PackPanelsB* output for the full (k, n)
+// extent packed at config.nr; C is written at leading dimension ldc. The
+// config must be legal (IsValidGemmConfig) and must match the one the panels
+// were packed under. `parallel` distributes row panels over the current
 // thread pool. Nested ParallelFor fans out (the work-stealing pool help-
 // executes its own group while joining), so parallel=true is safe inside
 // another parallel region; pass false when the caller already partitioned
 // the work and a serial core avoids redundant dispatch.
 
 void GemmPackedF32(const float* ap, const float* bp, float* c, std::int64_t m,
-                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel);
+                   std::int64_t k, std::int64_t n, std::int64_t ldc, bool parallel,
+                   const GemmConfig& config = GemmConfig::DefaultF32());
 
 /// Pure s8 x s8 -> s32 product of packed panels; zero points NOT applied.
+/// Only config.kc/config.nc vary the schedule (the tile is fixed at 4x8).
 void GemmPackedS8S32(const std::int8_t* ap, const std::int8_t* bp, std::int32_t* c,
                      std::int64_t m, std::int64_t k, std::int64_t n, std::int64_t ldc,
-                     bool parallel);
+                     bool parallel, const GemmConfig& config = GemmConfig::DefaultS8());
 
 /// Rank-1 zero-point correction, applied in place after GemmPackedS8S32:
 ///   C[i,j] += -a_zero*b_col_sums[j] - b_zero*a_row_sums[i] + k*a_zero*b_zero
@@ -64,9 +83,21 @@ void ApplyZeroPointCorrection(std::int32_t* c, std::int64_t m, std::int64_t n,
 void GemmF32Reference(const float* a, const float* b, float* c, std::int64_t m,
                       std::int64_t k, std::int64_t n);
 
+/// The packed engine's exact f32 summation order at k-cache block size `kc`:
+/// per element, products accumulate in increasing-k order within each block
+/// and blocks compose left-to-right. Bitwise-identical to GemmPackedF32 for
+/// every config with this kc, regardless of mr/nr/nc/unroll.
+void GemmF32BlockedReference(const float* a, const float* b, float* c, std::int64_t m,
+                             std::int64_t k, std::int64_t n, std::int64_t kc);
+
 void GemmS8S32Reference(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
                         std::int64_t m, std::int64_t k, std::int64_t n,
                         std::int32_t a_zero, std::int32_t b_zero);
+
+/// Name of the instruction set the s8 micro-kernel compiled against
+/// ("sse2" or "scalar"). Part of the tuning-DB key: tuned timings never
+/// migrate across ISAs.
+const char* GemmIsaName();
 
 }  // namespace kernels
 }  // namespace tnp

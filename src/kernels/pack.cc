@@ -23,9 +23,33 @@ support::metrics::Counter& WeightPackBytesCounter() {
 
 }  // namespace
 
+std::string GemmConfig::ToString() const {
+  std::string text = std::to_string(mr) + "x" + std::to_string(nr);
+  text += "/kc" + std::to_string(kc);
+  text += "/nc" + std::to_string(nc);
+  text += "/u" + std::to_string(unroll);
+  return text;
+}
+
+bool IsValidGemmConfig(const GemmConfig& config, DType dtype) {
+  if (config.kc <= 0 || config.kc % 2 != 0) return false;  // whole s8 pairs
+  if (config.nr <= 0 || config.nc <= 0 || config.nc % config.nr != 0) return false;
+  if (dtype == DType::kInt8) {
+    // The SSE2 pmaddwd micro-kernel's panel layout is fixed at 4x8; only the
+    // cache blocking is tunable.
+    return config.mr == kGemmMrS8 && config.nr == kGemmNrS8 && config.unroll == 1;
+  }
+  if (dtype != DType::kFloat32) return false;
+  if (config.unroll != 1 && config.unroll != 2) return false;
+  const bool known_tile = (config.mr == 4 && config.nr == 8) ||
+                          (config.mr == 6 && config.nr == 8) ||
+                          (config.mr == 8 && config.nr == 4) ||
+                          (config.mr == 4 && config.nr == 16);
+  return known_tile;
+}
+
 void PackPanelsAF32(const float* a, std::int64_t m, std::int64_t k, std::int64_t lda,
-                    float* out) {
-  constexpr std::int64_t MR = kGemmMrF32;
+                    float* out, std::int64_t MR) {
   for (std::int64_t ip = 0; ip * MR < m; ++ip) {
     const std::int64_t mr = std::min(MR, m - ip * MR);
     float* panel = out + ip * MR * k;
@@ -40,8 +64,7 @@ void PackPanelsAF32(const float* a, std::int64_t m, std::int64_t k, std::int64_t
 }
 
 void PackPanelsAS8(const std::int8_t* a, std::int64_t m, std::int64_t k, std::int64_t lda,
-                   std::int8_t* out, std::int32_t* row_sums) {
-  constexpr std::int64_t MR = kGemmMrS8;
+                   std::int8_t* out, std::int32_t* row_sums, std::int64_t MR) {
   const std::int64_t k2 = PackedKS8(k);
   for (std::int64_t ip = 0; ip * MR < m; ++ip) {
     const std::int64_t mr = std::min(MR, m - ip * MR);
@@ -73,8 +96,7 @@ void PackPanelsAS8(const std::int8_t* a, std::int64_t m, std::int64_t k, std::in
 }
 
 void PackPanelsBF32(const float* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
-                    float* out) {
-  constexpr std::int64_t NR = kGemmNrF32;
+                    float* out, std::int64_t NR) {
   for (std::int64_t jp = 0; jp * NR < n; ++jp) {
     const std::int64_t nr = std::min(NR, n - jp * NR);
     float* panel = out + jp * NR * k;
@@ -89,8 +111,7 @@ void PackPanelsBF32(const float* b, std::int64_t k, std::int64_t n, std::int64_t
 }
 
 void PackPanelsBTransF32(const float* bt, std::int64_t k, std::int64_t n, std::int64_t ldbt,
-                         float* out) {
-  constexpr std::int64_t NR = kGemmNrF32;
+                         float* out, std::int64_t NR) {
   for (std::int64_t jp = 0; jp * NR < n; ++jp) {
     const std::int64_t nr = std::min(NR, n - jp * NR);
     float* panel = out + jp * NR * k;
@@ -105,8 +126,7 @@ void PackPanelsBTransF32(const float* bt, std::int64_t k, std::int64_t n, std::i
 }
 
 void PackPanelsBS8(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
-                   std::int8_t* out, std::int32_t* col_sums) {
-  constexpr std::int64_t NR = kGemmNrS8;
+                   std::int8_t* out, std::int32_t* col_sums, std::int64_t NR) {
   const std::int64_t k2 = PackedKS8(k);
   if (col_sums != nullptr) std::memset(col_sums, 0, static_cast<std::size_t>(n) * 4);
   for (std::int64_t jp = 0; jp * NR < n; ++jp) {
@@ -136,8 +156,8 @@ void PackPanelsBS8(const std::int8_t* b, std::int64_t k, std::int64_t n, std::in
 }
 
 void PackPanelsBTransS8(const std::int8_t* bt, std::int64_t k, std::int64_t n,
-                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums) {
-  constexpr std::int64_t NR = kGemmNrS8;
+                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums,
+                        std::int64_t NR) {
   const std::int64_t k2 = PackedKS8(k);
   for (std::int64_t jp = 0; jp * NR < n; ++jp) {
     const std::int64_t nr = std::min(NR, n - jp * NR);
@@ -166,8 +186,11 @@ void PackPanelsBTransS8(const std::int8_t* bt, std::int64_t k, std::int64_t n,
 
 namespace {
 
-PackedMatrixPtr PackConvWeights(const NDArray& weight, std::int64_t groups, bool int8) {
+PackedMatrixPtr PackConvWeights(const NDArray& weight, std::int64_t groups, bool int8,
+                                const GemmConfig& config) {
   TNP_CHECK_EQ(weight.shape().rank(), 4);
+  TNP_CHECK(IsValidGemmConfig(config, int8 ? DType::kInt8 : DType::kFloat32))
+      << "illegal GEMM config " << config.ToString();
   const std::int64_t co = weight.shape()[0];
   const std::int64_t k = weight.shape()[1] * weight.shape()[2] * weight.shape()[3];
   TNP_CHECK_EQ(co % groups, 0);
@@ -179,33 +202,36 @@ PackedMatrixPtr PackConvWeights(const NDArray& weight, std::int64_t groups, bool
   packed->rows = co_g;
   packed->cols = k;
   packed->groups = groups;
+  packed->config = config;
+  packed->panel = config.mr;
   if (int8) {
-    packed->panel = kGemmMrS8;
-    packed->group_stride = PackedExtent(co_g, kGemmMrS8) * PackedKS8(k);
+    packed->group_stride = PackedExtent(co_g, config.mr) * PackedKS8(k);
     packed->data = NDArray::Empty(Shape({groups * packed->group_stride}), DType::kInt8);
     packed->sums = NDArray::Empty(Shape({co}), DType::kInt32);
     const std::int8_t* src = weight.Data<std::int8_t>();
     for (std::int64_t g = 0; g < groups; ++g) {
       PackPanelsAS8(src + g * co_g * k, co_g, k, k,
                     packed->data.Data<std::int8_t>() + g * packed->group_stride,
-                    packed->sums.Data<std::int32_t>() + g * co_g);
+                    packed->sums.Data<std::int32_t>() + g * co_g, config.mr);
     }
   } else {
-    packed->panel = kGemmMrF32;
-    packed->group_stride = PackedExtent(co_g, kGemmMrF32) * k;
+    packed->group_stride = PackedExtent(co_g, config.mr) * k;
     packed->data = NDArray::Empty(Shape({groups * packed->group_stride}), DType::kFloat32);
     const float* src = weight.Data<float>();
     for (std::int64_t g = 0; g < groups; ++g) {
       PackPanelsAF32(src + g * co_g * k, co_g, k, k,
-                     packed->data.Data<float>() + g * packed->group_stride);
+                     packed->data.Data<float>() + g * packed->group_stride, config.mr);
     }
   }
   CountWeightPack(packed->total_bytes());
   return packed;
 }
 
-PackedMatrixPtr PackDenseWeights(const NDArray& weight, bool int8) {
+PackedMatrixPtr PackDenseWeights(const NDArray& weight, bool int8,
+                                 const GemmConfig& config) {
   TNP_CHECK_EQ(weight.shape().rank(), 2);
+  TNP_CHECK(IsValidGemmConfig(config, int8 ? DType::kInt8 : DType::kFloat32))
+      << "illegal GEMM config " << config.ToString();
   const std::int64_t n = weight.shape()[0];
   const std::int64_t k = weight.shape()[1];
 
@@ -215,18 +241,19 @@ PackedMatrixPtr PackDenseWeights(const NDArray& weight, bool int8) {
   packed->rows = k;
   packed->cols = n;
   packed->groups = 1;
+  packed->config = config;
+  packed->panel = config.nr;
   if (int8) {
-    packed->panel = kGemmNrS8;
-    packed->group_stride = PackedExtent(n, kGemmNrS8) * PackedKS8(k);
+    packed->group_stride = PackedExtent(n, config.nr) * PackedKS8(k);
     packed->data = NDArray::Empty(Shape({packed->group_stride}), DType::kInt8);
     packed->sums = NDArray::Empty(Shape({n}), DType::kInt32);
     PackPanelsBTransS8(weight.Data<std::int8_t>(), k, n, k, packed->data.Data<std::int8_t>(),
-                       packed->sums.Data<std::int32_t>());
+                       packed->sums.Data<std::int32_t>(), config.nr);
   } else {
-    packed->panel = kGemmNrF32;
-    packed->group_stride = PackedExtent(n, kGemmNrF32) * k;
+    packed->group_stride = PackedExtent(n, config.nr) * k;
     packed->data = NDArray::Empty(Shape({packed->group_stride}), DType::kFloat32);
-    PackPanelsBTransF32(weight.Data<float>(), k, n, k, packed->data.Data<float>());
+    PackPanelsBTransF32(weight.Data<float>(), k, n, k, packed->data.Data<float>(),
+                        config.nr);
   }
   CountWeightPack(packed->total_bytes());
   return packed;
@@ -234,24 +261,26 @@ PackedMatrixPtr PackDenseWeights(const NDArray& weight, bool int8) {
 
 }  // namespace
 
-PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups) {
+PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups,
+                                   const GemmConfig& config) {
   TNP_CHECK(weight.dtype() == DType::kFloat32);
-  return PackConvWeights(weight, groups, /*int8=*/false);
+  return PackConvWeights(weight, groups, /*int8=*/false, config);
 }
 
-PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups) {
+PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups,
+                                  const GemmConfig& config) {
   TNP_CHECK(weight.dtype() == DType::kInt8);
-  return PackConvWeights(weight, groups, /*int8=*/true);
+  return PackConvWeights(weight, groups, /*int8=*/true, config);
 }
 
-PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight) {
+PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight, const GemmConfig& config) {
   TNP_CHECK(weight.dtype() == DType::kFloat32);
-  return PackDenseWeights(weight, /*int8=*/false);
+  return PackDenseWeights(weight, /*int8=*/false, config);
 }
 
-PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight) {
+PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight, const GemmConfig& config) {
   TNP_CHECK(weight.dtype() == DType::kInt8);
-  return PackDenseWeights(weight, /*int8=*/true);
+  return PackDenseWeights(weight, /*int8=*/true, config);
 }
 
 void ValidatePackedLayout(const PackedMatrix& matrix) {
@@ -265,14 +294,16 @@ void ValidatePackedLayout(const PackedMatrix& matrix) {
                            << " x " << matrix.cols << ", " << matrix.groups
                            << " groups)";
   }
+  if (!IsValidGemmConfig(matrix.config, matrix.dtype)) {
+    TNP_THROW(kParseError) << "packed matrix: illegal " << DTypeName(matrix.dtype)
+                           << " GEMM config " << matrix.config.ToString();
+  }
   const bool a_side = matrix.side == PackedMatrix::Side::kA;
-  const std::int64_t panel =
-      a_side ? (int8 ? kGemmMrS8 : kGemmMrF32) : (int8 ? kGemmNrS8 : kGemmNrF32);
+  const std::int64_t panel = a_side ? matrix.config.mr : matrix.config.nr;
   if (matrix.panel != panel) {
     TNP_THROW(kParseError) << "packed matrix: panel width " << matrix.panel
                            << " does not match the " << (a_side ? "A" : "B")
-                           << "-side " << DTypeName(matrix.dtype) << " micro-kernel ("
-                           << panel << ")";
+                           << "-side width of config " << matrix.config.ToString();
   }
   // A-side panels tile rows and run over the k (cols) extent; B-side panels
   // tile cols and run over the k (rows) extent. Int8 pads k up to even.

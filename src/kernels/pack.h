@@ -3,13 +3,13 @@
 //
 // The micro-kernel consumes both operands in panel form:
 //
-//   A (m x k, the LHS)  -> row-panels of kGemmMr rows. Panel ip holds rows
+//   A (m x k, the LHS)  -> row-panels of MR rows. Panel ip holds rows
 //     [ip*MR, ip*MR+MR); within the panel elements are k-major, interleaved
 //     by MR:        ap[(ip*k + kk)*MR + r] = A[ip*MR + r][kk]
 //     Rows past m are zero-filled, so tail panels feed the full-width
 //     micro-kernel and the extra lanes are simply never stored.
 //
-//   B (k x n, the RHS)  -> column-panels of kGemmNr columns:
+//   B (k x n, the RHS)  -> column-panels of NR columns:
 //                   bp[(jp*k + kk)*NR + j] = B[kk][jp*NR + j]
 //     Columns past n are zero-filled.
 //
@@ -26,6 +26,12 @@
 //
 // so the SSE2 micro-kernel can feed pmaddwd (s16 x s16 pair dot -> s32)
 // directly; the zero padding contributes nothing to any product or sum.
+//
+// The register tile (MR x NR) and the cache blocking (Kc, Nc) are no longer
+// fixed constants: every pack and every blocked GEMM run is parameterized by
+// a GemmConfig, so the auto-tuner (src/tune) can pick a schedule per
+// (op, dtype, M, K, N) workload. The kGemm* constants below are the
+// untuned defaults and remain the fallback when no tuning DB entry exists.
 //
 // Constant conv/dense weights are packed into this layout once, at
 // relay::Build / neuron::Compile time, and cached on the compiled artifact
@@ -46,18 +52,61 @@
 namespace tnp {
 namespace kernels {
 
-/// Micro-kernel register tile: MR rows x NR columns of C per inner loop.
-/// 4x8 keeps the full accumulator tile in SSE registers at plain -O3
-/// (baseline x86-64); wider/taller tiles measurably spill.
+/// Default micro-kernel register tile: MR rows x NR columns of C per inner
+/// loop. 4x8 keeps the full accumulator tile in SSE registers at plain -O3
+/// (baseline x86-64); wider/taller tiles measurably spill on some shapes —
+/// which is exactly what the tuner decides per workload.
 inline constexpr std::int64_t kGemmMrF32 = 4;
 inline constexpr std::int64_t kGemmNrF32 = 8;
 inline constexpr std::int64_t kGemmMrS8 = 4;
 inline constexpr std::int64_t kGemmNrS8 = 8;
-/// Cache blocking: k is processed in kGemmKc slices, n in kGemmNc slices
-/// (kGemmNc is a multiple of both NR values so column panels never straddle
-/// a cache block).
+/// Default cache blocking: k is processed in Kc slices, n in Nc slices
+/// (Nc must be a multiple of NR so column panels never straddle a cache
+/// block — IsValidGemmConfig enforces this for every tuned config).
 inline constexpr std::int64_t kGemmKc = 256;
 inline constexpr std::int64_t kGemmNc = 192;
+
+/// One schedule of the tiled GEMM engine: the register tile (mr x nr), the
+/// cache blocking (kc over the reduction, nc over columns) and the
+/// micro-kernel k-unroll. Carried through packing, the blocked drivers and
+/// the scratch-sizing math; recorded on every PackedMatrix so panels and the
+/// core that walks them can never disagree about layout.
+struct GemmConfig {
+  std::int64_t mr = kGemmMrF32;
+  std::int64_t nr = kGemmNrF32;
+  std::int64_t kc = kGemmKc;
+  std::int64_t nc = kGemmNc;
+  std::int64_t unroll = 1;
+
+  static constexpr GemmConfig DefaultF32() {
+    return GemmConfig{kGemmMrF32, kGemmNrF32, kGemmKc, kGemmNc, 1};
+  }
+  static constexpr GemmConfig DefaultS8() {
+    return GemmConfig{kGemmMrS8, kGemmNrS8, kGemmKc, kGemmNc, 1};
+  }
+
+  bool operator==(const GemmConfig& other) const {
+    return mr == other.mr && nr == other.nr && kc == other.kc && nc == other.nc &&
+           unroll == other.unroll;
+  }
+  bool operator!=(const GemmConfig& other) const { return !(*this == other); }
+
+  /// Stable compact rendering ("4x8/kc256/nc192/u1") used in cache keys,
+  /// tuning-DB records and reports.
+  std::string ToString() const;
+};
+
+/// Legality of a config for a dtype. f32 register tiles come from the
+/// pre-instantiated micro-kernel set (4x8, 6x8, 8x4, 4x16) with unroll 1 or
+/// 2; the s8 pmaddwd path keeps its 4x8 layout contract and tunes cache
+/// blocking only. For both: kc > 0 and even (whole s8 pairs), nc > 0 and a
+/// multiple of nr (column panels never straddle an n-cache block).
+bool IsValidGemmConfig(const GemmConfig& config, DType dtype);
+
+/// The config `GemmConfig{}` / the packers default to when none is given.
+inline GemmConfig DefaultGemmConfig(DType dtype) {
+  return dtype == DType::kInt8 ? GemmConfig::DefaultS8() : GemmConfig::DefaultF32();
+}
 
 /// Rows (columns) after padding up to a whole number of panels.
 inline std::int64_t PackedExtent(std::int64_t extent, std::int64_t panel) {
@@ -70,38 +119,41 @@ inline std::int64_t PackedKS8(std::int64_t k) { return (k + 1) & ~std::int64_t{1
 
 // ---------------------------------------------------------------------------
 // Raw panel packing into caller-provided storage (scratch or pre-pack).
+// The trailing panel-width argument is the config's mr (A side) or nr
+// (B side); the defaults reproduce the untuned layout.
 
 /// A-side f32: a is m x k row-major with leading dimension lda.
-/// `out` must hold PackedExtent(m, kGemmMrF32) * k floats.
+/// `out` must hold PackedExtent(m, mr) * k floats.
 void PackPanelsAF32(const float* a, std::int64_t m, std::int64_t k, std::int64_t lda,
-                    float* out);
+                    float* out, std::int64_t mr = kGemmMrF32);
 
 /// A-side s8, pair-interleaved; also emits per-row sums (length m) for the
 /// zero-point factorization when `row_sums` is non-null.
-/// `out` must hold PackedExtent(m, kGemmMrS8) * PackedKS8(k) bytes.
+/// `out` must hold PackedExtent(m, mr) * PackedKS8(k) bytes.
 void PackPanelsAS8(const std::int8_t* a, std::int64_t m, std::int64_t k, std::int64_t lda,
-                   std::int8_t* out, std::int32_t* row_sums);
+                   std::int8_t* out, std::int32_t* row_sums, std::int64_t mr = kGemmMrS8);
 
 /// B-side f32: b is k x n row-major with leading dimension ldb.
-/// `out` must hold PackedExtent(n, kGemmNrF32) * k floats.
+/// `out` must hold PackedExtent(n, nr) * k floats.
 void PackPanelsBF32(const float* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
-                    float* out);
+                    float* out, std::int64_t nr = kGemmNrF32);
 
 /// B-side f32 from a transposed source: bt is n x k row-major (leading
 /// dimension ldbt) representing logical B[kk][j] = bt[j][kk] — the dense
 /// weight matrix.
 void PackPanelsBTransF32(const float* bt, std::int64_t k, std::int64_t n, std::int64_t ldbt,
-                         float* out);
+                         float* out, std::int64_t nr = kGemmNrF32);
 
 /// B-side s8, pair-interleaved; emits per-column sums (length n) when
 /// `col_sums` is non-null.
-/// `out` must hold PackedExtent(n, kGemmNrS8) * PackedKS8(k) bytes.
+/// `out` must hold PackedExtent(n, nr) * PackedKS8(k) bytes.
 void PackPanelsBS8(const std::int8_t* b, std::int64_t k, std::int64_t n, std::int64_t ldb,
-                   std::int8_t* out, std::int32_t* col_sums);
+                   std::int8_t* out, std::int32_t* col_sums, std::int64_t nr = kGemmNrS8);
 
 /// B-side s8 from a transposed (n x k) source, with per-column sums.
 void PackPanelsBTransS8(const std::int8_t* bt, std::int64_t k, std::int64_t n,
-                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums);
+                        std::int64_t ldbt, std::int8_t* out, std::int32_t* col_sums,
+                        std::int64_t nr = kGemmNrS8);
 
 // ---------------------------------------------------------------------------
 // Pre-packed weights.
@@ -119,6 +171,11 @@ struct PackedMatrix {
   std::int64_t groups = 1;
   std::int64_t panel = 0;         ///< MR (A) or NR (B) used at pack time
   std::int64_t group_stride = 0;  ///< elements per group in `data`
+  /// The full schedule the panels were packed under. The runtime kernels run
+  /// the blocked core with exactly this config, so a tuned artifact executes
+  /// its tuned schedule without any side channel; panel == (A ? config.mr :
+  /// config.nr) always.
+  GemmConfig config;
   NDArray data;                   ///< packed panels, 64-byte aligned
   /// s8 only: per-group weight-side sums for zero-point factorization —
   /// row sums (length groups*rows) for A-side, column sums (groups*cols)
@@ -134,14 +191,19 @@ struct PackedMatrix {
 
 using PackedMatrixPtr = std::shared_ptr<const PackedMatrix>;
 
-/// Pack conv weights (OIHW, f32/s8) A-side per group. Throws on dtype
-/// mismatch. Counts one weight pack.
-PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups);
-PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups);
+/// Pack conv weights (OIHW, f32/s8) A-side per group under `config` (the
+/// untuned default when omitted). Throws on dtype mismatch or an illegal
+/// config. Counts one weight pack.
+PackedMatrixPtr PackConvWeightsF32(const NDArray& weight, std::int64_t groups,
+                                   const GemmConfig& config = GemmConfig::DefaultF32());
+PackedMatrixPtr PackConvWeightsS8(const NDArray& weight, std::int64_t groups,
+                                  const GemmConfig& config = GemmConfig::DefaultS8());
 
 /// Pack dense weights (n x k, f32/s8) B-side (transposed to k x n panels).
-PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight);
-PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight);
+PackedMatrixPtr PackDenseWeightsF32(const NDArray& weight,
+                                    const GemmConfig& config = GemmConfig::DefaultF32());
+PackedMatrixPtr PackDenseWeightsS8(const NDArray& weight,
+                                   const GemmConfig& config = GemmConfig::DefaultS8());
 
 /// Build-time cache of packed weights, stored on CompiledModule /
 /// NeuronPackage. Keyed by op + layout + weight identity so instructions
@@ -160,10 +222,11 @@ class PackedWeightsCache {
 };
 
 /// Validate a PackedMatrix whose descriptor and payloads came from an
-/// untrusted source (the artifact loader): dtype, panel width, group_stride
-/// and the data/sums extents must match exactly what the packers above
-/// produce for the recorded geometry, so a mapped panel can be fed to the
-/// micro-kernels without repacking. Throws kParseError on any mismatch.
+/// untrusted source (the artifact loader): dtype, the recorded GemmConfig,
+/// panel width, group_stride and the data/sums extents must match exactly
+/// what the packers above produce for the recorded geometry, so a mapped
+/// panel can be fed to the micro-kernels without repacking. Throws
+/// kParseError on any mismatch.
 void ValidatePackedLayout(const PackedMatrix& matrix);
 
 /// Count one weight-panel pack (compile-time or runtime fallback). Published

@@ -6,6 +6,7 @@
 #include "kernels/conv.h"
 #include "support/memplan.h"
 #include "support/trace.h"
+#include "tune/db.h"
 
 namespace tnp {
 namespace neuron {
@@ -60,8 +61,10 @@ NeuronMemoryPlan PlanOperandStorage(const NeuronModel& model) {
 }
 
 /// Pack constant conv / fully-connected weights into GEMM panel layout once
-/// at compile time. Keyed by the constant's data pointer, so operations
-/// sharing one weight operand share one pack.
+/// at compile time. Keyed by the constant's data pointer plus the chosen
+/// GEMM config, so operations sharing one weight operand (and tuned config)
+/// share one pack. When a tuning DB is active (tune::SetActiveTuningDb) the
+/// per-workload winning config is consulted; misses fall back to defaults.
 void PrepackWeights(NeuronPackage* package) {
   const NeuronModel& model = package->model;
   package->op_packed_weights.resize(model.operations().size());
@@ -69,21 +72,34 @@ void PrepackWeights(NeuronPackage* package) {
     const Operation& op = model.operations()[i];
     const bool conv = op.type == NeuronOpType::kConv2d;
     const bool fc = op.type == NeuronOpType::kFullyConnected;
-    if ((!conv && !fc) || op.inputs.size() < 2) continue;
+    if ((!conv && !fc) || op.inputs.size() < 2 || op.outputs.empty()) continue;
     const Operand& weight = model.operand(op.inputs[1]);
+    const Operand& out = model.operand(op.outputs[0]);
     if (weight.kind != OperandKind::kConstant || !weight.data.defined()) continue;
     const bool int8 = weight.dtype == DType::kInt8;
     if (!int8 && weight.dtype != DType::kFloat32) continue;
 
+    tune::Workload workload;
+    workload.dtype = weight.dtype;
     std::int64_t groups = 1;
     if (conv) {
-      if (weight.shape.rank() != 4) continue;
+      if (weight.shape.rank() != 4 || out.shape.rank() != 4) continue;
       groups = op.attrs.groups;
       if (groups <= 0 || weight.shape[0] % groups != 0) continue;
       if (!kernels::Conv2DUsesPackedWeights(weight.shape[0] / groups)) continue;
-    } else if (weight.shape.rank() != 2) {
-      continue;
+      workload.op = "conv2d";
+      workload.m = weight.shape[0] / groups;
+      workload.k = weight.shape[1] * weight.shape[2] * weight.shape[3];
+      workload.n = out.shape[2] * out.shape[3];
+    } else {
+      if (weight.shape.rank() != 2 || out.shape.rank() != 2) continue;
+      workload.op = "dense";
+      workload.m = out.shape[0];
+      workload.k = weight.shape[1];
+      workload.n = weight.shape[0];
     }
+    if (workload.m <= 0 || workload.k <= 0 || workload.n <= 0) continue;
+    const kernels::GemmConfig config = tune::TunedConfigFor(workload);
 
     const NDArray& data = weight.data;
     const void* identity = int8 ? static_cast<const void*>(data.Data<std::int8_t>())
@@ -91,13 +107,15 @@ void PrepackWeights(NeuronPackage* package) {
     std::string key = (conv ? "conv/" : "fc/");
     key += int8 ? "s8/" : "f32/";
     key += std::to_string(groups) + "/" +
-           std::to_string(reinterpret_cast<std::uintptr_t>(identity));
+           std::to_string(reinterpret_cast<std::uintptr_t>(identity)) + "/" +
+           config.ToString();
     package->op_packed_weights[i] = package->packed_weights.GetOrPack(key, [&] {
       if (conv) {
-        return int8 ? kernels::PackConvWeightsS8(data, groups)
-                    : kernels::PackConvWeightsF32(data, groups);
+        return int8 ? kernels::PackConvWeightsS8(data, groups, config)
+                    : kernels::PackConvWeightsF32(data, groups, config);
       }
-      return int8 ? kernels::PackDenseWeightsS8(data) : kernels::PackDenseWeightsF32(data);
+      return int8 ? kernels::PackDenseWeightsS8(data, config)
+                  : kernels::PackDenseWeightsF32(data, config);
     });
   }
 }
@@ -134,6 +152,7 @@ NeuronPackagePtr NeuronCompiler::Compile(NeuronModel model, const std::string& n
   package->plan = std::move(plan);
   package->memory = PlanOperandStorage(package->model);
   package->options = options_;
+  package->tuning_fingerprint = tune::ActiveTuningFingerprint();
   if (options_.prepack_weights) PrepackWeights(package.get());
   if (scope.armed()) {
     scope.AddArg(support::TraceArg("arena_bytes", package->memory.arena_bytes));

@@ -55,6 +55,10 @@ struct NeuronPackage {
   /// through `packed_weights` so reused constants pack once.
   std::vector<kernels::PackedMatrixPtr> op_packed_weights;
   kernels::PackedWeightsCache packed_weights;
+  /// Fingerprint of the tuning DB active when this package was compiled
+  /// ("none" without one). Serialized with the artifact so packages built
+  /// under different tuning states never mix.
+  std::string tuning_fingerprint = "none";
 
   int NumOps() const { return static_cast<int>(model.operations().size()); }
   int NumOpsOn(sim::DeviceKind device) const;

@@ -225,12 +225,21 @@ class Lowerer {
   int next_group_ = 0;
 };
 
-/// Pack constant conv/dense weights into GEMM panel layout once, at build
-/// time (see kernels/pack.h). The weight's identity is its data pointer —
-/// instructions sharing one constant share one cache entry, and fused
-/// primitive bodies are already inlined as plain kCallOp instructions so
-/// they are covered by the same sweep.
-void PrepackConstantWeights(CompiledModule* compiled) {
+/// One prepack-eligible conv/dense call found by ForEachPrepackSite.
+struct PrepackSite {
+  bool conv = false;            ///< conv2d vs dense
+  bool int8 = false;
+  std::int64_t groups = 1;      ///< conv groups (1 for dense)
+  const NDArray* weight = nullptr;
+  tune::Workload workload;      ///< the GEMM the runtime kernel will execute
+};
+
+/// Walk the host instruction stream and call `fn(inst, site)` for every
+/// conv/dense kCallOp with a constant, pack-eligible weight. One sweep
+/// shared by PrepackConstantWeights and CollectGemmWorkloads so the tuner
+/// tunes exactly the GEMMs the build will look up.
+template <typename Fn>
+void ForEachPrepackSite(CompiledModule* compiled, Fn&& fn) {
   std::unordered_map<int, const NDArray*> constants;
   for (const auto& inst : compiled->instructions) {
     if (inst.kind == Instruction::Kind::kConstant) {
@@ -247,35 +256,64 @@ void PrepackConstantWeights(CompiledModule* compiled) {
     const NDArray& weight = *it->second;
     const bool int8 = weight.dtype() == DType::kInt8;
     if (!int8 && weight.dtype() != DType::kFloat32) continue;
+    if (!inst.out_type.IsTensor()) continue;
+    const TensorType& out = inst.out_type.AsTensor();
 
-    std::int64_t groups = 1;
-    const void* identity;
+    PrepackSite site;
+    site.conv = conv;
+    site.int8 = int8;
+    site.weight = &weight;
+    site.workload.dtype = int8 ? DType::kInt8 : DType::kFloat32;
     if (conv) {
-      if (weight.shape().rank() != 4) continue;
-      groups = inst.attrs.GetInt("groups", 1);
-      if (groups <= 0 || weight.shape()[0] % groups != 0) continue;
-      if (!kernels::Conv2DUsesPackedWeights(weight.shape()[0] / groups)) continue;
-      identity = int8 ? static_cast<const void*>(weight.Data<std::int8_t>())
-                      : static_cast<const void*>(weight.Data<float>());
+      if (weight.shape().rank() != 4 || out.shape.rank() != 4) continue;
+      site.groups = inst.attrs.GetInt("groups", 1);
+      if (site.groups <= 0 || weight.shape()[0] % site.groups != 0) continue;
+      if (!kernels::Conv2DUsesPackedWeights(weight.shape()[0] / site.groups)) continue;
+      // The im2col GEMM: (co_g x k) panels times (k x out-pixels).
+      site.workload.op = "conv2d";
+      site.workload.m = weight.shape()[0] / site.groups;
+      site.workload.k = weight.shape()[1] * weight.shape()[2] * weight.shape()[3];
+      site.workload.n = out.shape[2] * out.shape[3];
     } else {
-      if (weight.shape().rank() != 2) continue;
-      identity = int8 ? static_cast<const void*>(weight.Data<std::int8_t>())
-                      : static_cast<const void*>(weight.Data<float>());
+      if (weight.shape().rank() != 2 || out.shape.rank() != 2) continue;
+      // Dense: (rows x k) activations times (k x units) panels.
+      site.workload.op = "dense";
+      site.workload.m = out.shape[0];
+      site.workload.k = weight.shape()[1];
+      site.workload.n = weight.shape()[0];
     }
-
-    std::string key = (conv ? "conv/" : "dense/");
-    key += int8 ? "s8/" : "f32/";
-    key += std::to_string(groups) + "/" +
-           std::to_string(reinterpret_cast<std::uintptr_t>(identity));
-    inst.packed_weights = compiled->packed_weights.GetOrPack(key, [&] {
-      if (conv) {
-        return int8 ? kernels::PackConvWeightsS8(weight, groups)
-                    : kernels::PackConvWeightsF32(weight, groups);
-      }
-      return int8 ? kernels::PackDenseWeightsS8(weight)
-                  : kernels::PackDenseWeightsF32(weight);
-    });
+    if (site.workload.m <= 0 || site.workload.k <= 0 || site.workload.n <= 0) continue;
+    fn(inst, site);
   }
+}
+
+/// Pack constant conv/dense weights into GEMM panel layout once, at build
+/// time (see kernels/pack.h), under the tuning DB's winning config for each
+/// workload (untuned defaults on miss). The weight's identity is its data
+/// pointer plus the chosen config — instructions sharing one constant and
+/// one schedule share one cache entry, and fused primitive bodies are
+/// already inlined as plain kCallOp instructions so they are covered by the
+/// same sweep.
+void PrepackConstantWeights(CompiledModule* compiled) {
+  ForEachPrepackSite(compiled, [&](Instruction& inst, const PrepackSite& site) {
+    const kernels::GemmConfig config = tune::TunedConfigFor(site.workload);
+    const NDArray& weight = *site.weight;
+    const void* identity = weight.RawData();
+
+    std::string key = (site.conv ? "conv/" : "dense/");
+    key += site.int8 ? "s8/" : "f32/";
+    key += std::to_string(site.groups) + "/" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(identity)) + "/" +
+           config.ToString();
+    inst.packed_weights = compiled->packed_weights.GetOrPack(key, [&] {
+      if (site.conv) {
+        return site.int8 ? kernels::PackConvWeightsS8(weight, site.groups, config)
+                         : kernels::PackConvWeightsF32(weight, site.groups, config);
+      }
+      return site.int8 ? kernels::PackDenseWeightsS8(weight, config)
+                       : kernels::PackDenseWeightsF32(weight, config);
+    });
+  });
 }
 
 /// In-place aliasing classes: which kCallOp instructions may write their
@@ -527,6 +565,7 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
 
   compiled->memory_plan = PlanMemory(*compiled);
 
+  compiled->tuning_fingerprint = tune::ActiveTuningFingerprint();
   if (options.prepack_weights) PrepackConstantWeights(compiled.get());
 
   if (build_scope.armed()) {
@@ -537,6 +576,20 @@ CompiledModulePtr Build(const Module& module, const BuildOptions& options) {
     build_scope.AddArg(support::TraceArg("arena_bytes", compiled->memory_plan.arena_bytes));
   }
   return compiled;
+}
+
+std::vector<tune::Workload> CollectGemmWorkloads(const CompiledModule& compiled) {
+  std::vector<tune::Workload> workloads;
+  std::unordered_map<std::string, bool> seen;
+  // The sweep never mutates through `inst` here; the non-const parameter is
+  // only so PrepackConstantWeights can share it.
+  ForEachPrepackSite(const_cast<CompiledModule*>(&compiled),
+                     [&](Instruction&, const PrepackSite& site) {
+                       if (seen.emplace(site.workload.Key(), true).second) {
+                         workloads.push_back(site.workload);
+                       }
+                     });
+  return workloads;
 }
 
 GraphExecutor::GraphExecutor(CompiledModulePtr compiled, bool use_memory_plan)

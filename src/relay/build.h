@@ -20,6 +20,7 @@
 #include "relay/external.h"
 #include "relay/module.h"
 #include "support/arena.h"
+#include "tune/db.h"
 
 namespace tnp {
 namespace relay {
@@ -122,8 +123,13 @@ class CompiledModule {
   /// Static storage assignment computed at build time.
   MemoryPlan memory_plan;
   /// Build-time packed constant weights, keyed by op kind + weight identity
-  /// (see pack.h). Instructions hold shared_ptrs into this cache.
+  /// + GEMM config (see pack.h). Instructions hold shared_ptrs into this
+  /// cache.
   kernels::PackedWeightsCache packed_weights;
+  /// Fingerprint of the tuning DB active when this module was built ("none"
+  /// without one). Serialized with the artifact and folded into flow-cache
+  /// keys, so artifacts built under different tuning states never mix.
+  std::string tuning_fingerprint = "none";
 
   /// Static (simulation-only) latency estimate: execute no numerics, only
   /// walk the program accumulating simulated time.
@@ -144,6 +150,12 @@ using CompiledModulePtr = std::shared_ptr<const CompiledModule>;
 /// The module may be pre-partitioned (global functions with Compiler attrs);
 /// plain modules build to a pure host program (the "TVM-only" flow).
 CompiledModulePtr Build(const Module& module, const BuildOptions& options = BuildOptions());
+
+/// The GEMM-shaped workloads of a compiled program's host instructions: one
+/// per prepack-eligible conv/dense call with a constant weight (deduplicated,
+/// in instruction order). This is exactly the set the build consults the
+/// tuning DB for — the tuning CLI sweeps it.
+std::vector<tune::Workload> CollectGemmWorkloads(const CompiledModule& compiled);
 
 /// Stateful executor over a CompiledModule (thread-compatible: use one
 /// executor per thread; the CompiledModule itself is immutable and shared).

@@ -1,0 +1,324 @@
+#include "tune/db.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/gemm.h"
+#include "support/json.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+
+namespace tnp {
+namespace tune {
+
+namespace {
+
+support::metrics::Counter& HitCounter() {
+  static support::metrics::Counter& counter =
+      support::metrics::Registry::Global().GetCounter("tune/db_hits");
+  return counter;
+}
+
+support::metrics::Counter& MissCounter() {
+  static support::metrics::Counter& counter =
+      support::metrics::Registry::Global().GetCounter("tune/db_misses");
+  return counter;
+}
+
+const char* DtypeToken(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return "f32";
+    case DType::kInt8: return "s8";
+    default:
+      TNP_THROW(kInvalidArgument)
+          << "tuning workloads cover f32/s8 only, got " << DTypeName(dtype);
+  }
+}
+
+DType DtypeFromToken(const std::string& token) {
+  if (token == "f32") return DType::kFloat32;
+  if (token == "s8") return DType::kInt8;
+  TNP_THROW(kParseError) << "tuning record: unknown dtype token '" << token << "'";
+}
+
+std::string RenderKey(const Workload& w, const std::string& isa, int schema) {
+  std::ostringstream key;
+  key << w.op << '/' << DtypeToken(w.dtype) << "/m" << w.m << "/k" << w.k << "/n" << w.n
+      << "|isa=" << isa << "|schema=" << schema;
+  return key.str();
+}
+
+std::string HashHex16(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+std::int64_t RequireInt(const support::JsonValue& doc, const char* field) {
+  const support::JsonValue* v = doc.Find(field);
+  if (v == nullptr || !v->is_number()) {
+    TNP_THROW(kParseError) << "tuning record: missing numeric field '" << field << "'";
+  }
+  return static_cast<std::int64_t>(v->number());
+}
+
+std::string RequireString(const support::JsonValue& doc, const char* field) {
+  const support::JsonValue* v = doc.Find(field);
+  if (v == nullptr || !v->is_string()) {
+    TNP_THROW(kParseError) << "tuning record: missing string field '" << field << "'";
+  }
+  return v->string();
+}
+
+std::string FormatUs(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", us);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string Workload::Key() const {
+  return RenderKey(*this, kernels::GemmIsaName(), kTuningSchemaVersion);
+}
+
+std::string TuningRecordToJson(const TuningRecord& record) {
+  const kernels::GemmConfig& c = record.config;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": " << kTuningSchemaVersion << ",\n"
+     << "  \"key\": \"" << record.workload.Key() << "\",\n"
+     << "  \"op\": \"" << record.workload.op << "\",\n"
+     << "  \"dtype\": \"" << DtypeToken(record.workload.dtype) << "\",\n"
+     << "  \"m\": " << record.workload.m << ",\n"
+     << "  \"k\": " << record.workload.k << ",\n"
+     << "  \"n\": " << record.workload.n << ",\n"
+     << "  \"isa\": \"" << kernels::GemmIsaName() << "\",\n"
+     << "  \"config\": {\"mr\": " << c.mr << ", \"nr\": " << c.nr << ", \"kc\": " << c.kc
+     << ", \"nc\": " << c.nc << ", \"unroll\": " << c.unroll << "},\n"
+     << "  \"best_us\": " << FormatUs(record.best_us) << ",\n"
+     << "  \"baseline_us\": " << FormatUs(record.baseline_us) << ",\n"
+     << "  \"trials\": " << record.trials << "\n"
+     << "}\n";
+  return os.str();
+}
+
+TuningRecord ParseTuningRecord(const std::string& json_text, std::string* stored_key) {
+  const support::JsonValue doc = support::JsonValue::Parse(json_text);
+  if (!doc.is_object()) {
+    TNP_THROW(kParseError) << "tuning record: document is not an object";
+  }
+  const int schema = static_cast<int>(RequireInt(doc, "schema"));
+  if (schema != kTuningSchemaVersion) {
+    TNP_THROW(kParseError) << "tuning record: schema " << schema << " != "
+                           << kTuningSchemaVersion;
+  }
+  TuningRecord record;
+  record.workload.op = RequireString(doc, "op");
+  if (record.workload.op != "conv2d" && record.workload.op != "dense") {
+    TNP_THROW(kParseError) << "tuning record: unknown op '" << record.workload.op << "'";
+  }
+  record.workload.dtype = DtypeFromToken(RequireString(doc, "dtype"));
+  record.workload.m = RequireInt(doc, "m");
+  record.workload.k = RequireInt(doc, "k");
+  record.workload.n = RequireInt(doc, "n");
+  if (record.workload.m <= 0 || record.workload.k <= 0 || record.workload.n <= 0) {
+    TNP_THROW(kParseError) << "tuning record: non-positive GEMM extents";
+  }
+
+  const support::JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    TNP_THROW(kParseError) << "tuning record: missing config object";
+  }
+  record.config.mr = RequireInt(*config, "mr");
+  record.config.nr = RequireInt(*config, "nr");
+  record.config.kc = RequireInt(*config, "kc");
+  record.config.nc = RequireInt(*config, "nc");
+  record.config.unroll = RequireInt(*config, "unroll");
+  if (!kernels::IsValidGemmConfig(record.config, record.workload.dtype)) {
+    TNP_THROW(kParseError) << "tuning record: illegal "
+                           << DtypeToken(record.workload.dtype) << " config "
+                           << record.config.ToString();
+  }
+
+  // The stored key must agree with the stored fields — a mismatch means the
+  // file was hand-edited or truncated-and-patched; refuse it.
+  const std::string isa = RequireString(doc, "isa");
+  const std::string key = RequireString(doc, "key");
+  if (key != RenderKey(record.workload, isa, schema)) {
+    TNP_THROW(kParseError) << "tuning record: key '" << key
+                           << "' does not match its fields";
+  }
+  if (stored_key != nullptr) *stored_key = key;
+
+  record.best_us = doc.NumberOr("best_us", 0.0);
+  record.baseline_us = doc.NumberOr("baseline_us", 0.0);
+  record.trials = static_cast<int>(doc.NumberOr("trials", 0.0));
+  if (record.best_us < 0.0 || record.baseline_us < 0.0 || record.trials < 0) {
+    TNP_THROW(kParseError) << "tuning record: negative timing fields";
+  }
+  return record;
+}
+
+TuningDb::TuningDb(const std::string& dir) : dir_(dir) {
+  TNP_CHECK(!dir_.empty()) << "tuning DB directory must be non-empty";
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    TNP_THROW(kRuntimeError) << "tuning DB: cannot create directory '" << dir_
+                             << "': " << std::strerror(errno);
+  }
+  LoadDirectory();
+}
+
+void TuningDb::LoadDirectory() {
+  DIR* dp = ::opendir(dir_.c_str());
+  if (dp == nullptr) {
+    TNP_THROW(kRuntimeError) << "tuning DB: cannot open directory '" << dir_
+                             << "': " << std::strerror(errno);
+  }
+  std::vector<std::string> files;
+  while (const dirent* entry = ::readdir(dp)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+      files.push_back(name);
+    }
+  }
+  ::closedir(dp);
+
+  for (const std::string& name : files) {
+    const std::string path = dir_ + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      TNP_THROW(kRuntimeError) << "tuning DB: cannot read '" << path << "'";
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    TuningRecord record;
+    std::string key;
+    try {
+      record = ParseTuningRecord(text.str(), &key);
+    } catch (const Error& e) {
+      // Fail closed, naming the offending file: a half-written or corrupt
+      // record must never silently become "untuned" (or worse, mis-tuned).
+      TNP_THROW(kParseError) << "tuning DB: corrupt record '" << path
+                             << "': " << e.what();
+    }
+    // Indexed under the record's own key: a record tuned on another ISA
+    // simply never matches a lookup on this host.
+    records_[key] = record;
+  }
+}
+
+const TuningRecord* TuningDb::Lookup(const Workload& workload) const {
+  const std::string key = workload.Key();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) {
+    MissCounter().Increment();
+    return nullptr;
+  }
+  HitCounter().Increment();
+  return &it->second;
+}
+
+void TuningDb::Put(const TuningRecord& record) {
+  TNP_CHECK(kernels::IsValidGemmConfig(record.config, record.workload.dtype))
+      << "refusing to store illegal config " << record.config.ToString();
+  const std::string key = record.workload.Key();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[key] = record;
+  }
+  if (dir_.empty()) return;
+
+  const std::string path = dir_ + "/" + HashHex16(support::StableHash(key)) + ".json";
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      TNP_THROW(kRuntimeError) << "tuning DB: cannot write '" << tmp << "'";
+    }
+    out << TuningRecordToJson(record);
+    out.flush();
+    if (!out) {
+      TNP_THROW(kRuntimeError) << "tuning DB: short write to '" << tmp << "'";
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    TNP_THROW(kRuntimeError) << "tuning DB: cannot publish '" << path
+                             << "': " << std::strerror(err);
+  }
+}
+
+std::string TuningDb::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.empty()) return "empty";
+  // std::map iterates in key order, so the digest is insertion-order
+  // independent by construction.
+  std::string blob;
+  for (const auto& [key, record] : records_) {
+    blob += key;
+    blob += "=>";
+    blob += record.config.ToString();
+    blob += ";";
+  }
+  return HashHex16(support::StableHash(blob));
+}
+
+std::size_t TuningDb::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<TuningRecord> TuningDb::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TuningRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [key, record] : records_) out.push_back(record);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Process-global active DB.
+
+namespace {
+
+std::mutex g_active_mutex;
+std::shared_ptr<const TuningDb> g_active_db;
+
+}  // namespace
+
+void SetActiveTuningDb(std::shared_ptr<const TuningDb> db) {
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  g_active_db = std::move(db);
+}
+
+std::shared_ptr<const TuningDb> ActiveTuningDb() {
+  std::lock_guard<std::mutex> lock(g_active_mutex);
+  return g_active_db;
+}
+
+std::string ActiveTuningFingerprint() {
+  const std::shared_ptr<const TuningDb> db = ActiveTuningDb();
+  return db != nullptr ? db->Fingerprint() : "none";
+}
+
+kernels::GemmConfig TunedConfigFor(const Workload& workload) {
+  const std::shared_ptr<const TuningDb> db = ActiveTuningDb();
+  if (db == nullptr) return kernels::DefaultGemmConfig(workload.dtype);
+  const TuningRecord* record = db->Lookup(workload);
+  return record != nullptr ? record->config : kernels::DefaultGemmConfig(workload.dtype);
+}
+
+}  // namespace tune
+}  // namespace tnp

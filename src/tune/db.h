@@ -1,0 +1,149 @@
+// Persistent, content-addressed tuning database.
+//
+// The auto-tuner (tuner.h) searches the GemmConfig schedule space per
+// (op, dtype, M, K, N) workload; the winners land here. A TuningDb is a
+// directory of small JSON records, one file per workload, whose filename is
+// the FNV-1a hash of the workload key — content-addressed, so concurrent
+// tuners writing the same workload converge on the same file and records
+// never collide across workloads.
+//
+// Keying. A workload key bakes in everything that invalidates a tuned
+// schedule:
+//
+//   conv2d/f32/m64/k576/n3136|isa=sse2|schema=1
+//
+// - the op + dtype + GEMM extents identify the computation,
+// - `isa` (kernels::GemmIsaName) pins the micro-kernel instruction set so a
+//   DB tuned on one ISA is never consulted on another,
+// - `schema` is kTuningSchemaVersion, bumped whenever the config search
+//   space or record format changes meaning.
+//
+// Consultation happens at COMPILE time only: relay::Build and
+// neuron::Compile look up the winning config when pre-packing constant
+// weights (falling back to the untuned defaults on miss) and record it on
+// the artifact. Steady-state inference never touches the DB. The process-
+// global active DB (SetActiveTuningDb) is what the compile paths consult;
+// its fingerprint is folded into flow/artifact cache keys so artifacts
+// built under different tuning states never mix.
+//
+// Failure policy: fail closed. A corrupt or inconsistent record file throws
+// kParseError at load time rather than silently serving a half-read config
+// to the packers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernels/pack.h"
+#include "tensor/dtype.h"
+
+namespace tnp {
+namespace tune {
+
+/// Bumped whenever the candidate space or the record format changes meaning;
+/// part of every workload key, so stale records are misses, not corruption.
+inline constexpr int kTuningSchemaVersion = 1;
+
+/// One GEMM-shaped workload as seen by the kernel engine: conv2d im2col
+/// GEMMs are (m = out-channels per group, k = ci_g*kh*kw, n = out pixels),
+/// dense GEMMs are (m = batch rows, k = reduction, n = units).
+struct Workload {
+  std::string op;                    ///< "conv2d" | "dense"
+  DType dtype = DType::kFloat32;     ///< kFloat32 | kInt8
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+
+  /// Full DB key including ISA and schema version (see file comment).
+  std::string Key() const;
+
+  bool operator==(const Workload& other) const {
+    return op == other.op && dtype == other.dtype && m == other.m && k == other.k &&
+           n == other.n;
+  }
+};
+
+/// A tuned winner: the best config found for a workload plus the evidence
+/// (median micro-kernel times, in microseconds, and trial count) so reports
+/// can show before/after without re-measuring.
+struct TuningRecord {
+  Workload workload;
+  kernels::GemmConfig config;
+  double best_us = 0.0;       ///< median runtime of the winning config
+  double baseline_us = 0.0;   ///< median runtime of the untuned default
+  int trials = 0;             ///< candidate configs measured
+};
+
+/// The on-disk + in-process tuning database. Construction with a directory
+/// eagerly loads every `*.json` record (fail-closed); lookups after that are
+/// an in-memory map probe guarded by a mutex, counted on the
+/// "tune/db_hits" / "tune/db_misses" metrics.
+class TuningDb {
+ public:
+  /// In-memory only (no persistence); starts empty.
+  TuningDb() = default;
+
+  /// Open (creating if needed) the DB directory and load every record.
+  /// Throws kParseError on a corrupt record, kRuntimeError on I/O failure.
+  explicit TuningDb(const std::string& dir);
+
+  /// Winning record for the workload, or nullptr on miss. Thread-safe.
+  const TuningRecord* Lookup(const Workload& workload) const;
+
+  /// Insert/overwrite the record in memory and, when the DB has a directory,
+  /// atomically persist it (temp file + rename) under its content hash.
+  void Put(const TuningRecord& record);
+
+  /// Stable digest over the sorted (key, config) pairs. Two DBs with the
+  /// same tuned winners fingerprint identically regardless of insertion
+  /// order; the empty DB fingerprints as "empty". Folded into flow-cache /
+  /// artifact-store keys.
+  std::string Fingerprint() const;
+
+  std::size_t size() const;
+  const std::string& dir() const { return dir_; }
+
+  /// All records, sorted by key (for reports and the CLI).
+  std::vector<TuningRecord> Records() const;
+
+ private:
+  void LoadDirectory();
+
+  std::string dir_;  ///< empty for in-memory DBs
+  mutable std::mutex mutex_;
+  std::map<std::string, TuningRecord> records_;  ///< key -> winner
+};
+
+/// Parse one JSON record (the content of a DB file). Throws kParseError on
+/// any structural problem: wrong schema, illegal config, key/field mismatch.
+/// `stored_key` (optional) receives the record's own key, which differs from
+/// workload.Key() when the record was tuned on another ISA.
+TuningRecord ParseTuningRecord(const std::string& json_text,
+                               std::string* stored_key = nullptr);
+
+/// Serialize a record to the JSON document ParseTuningRecord accepts.
+std::string TuningRecordToJson(const TuningRecord& record);
+
+// ---------------------------------------------------------------------------
+// Process-global active DB: what relay::Build / neuron::Compile consult when
+// pre-packing weights, installed by the examples' --tuning-db flag and the
+// tuning CLI. Null (the default) means "untuned defaults everywhere".
+
+void SetActiveTuningDb(std::shared_ptr<const TuningDb> db);
+std::shared_ptr<const TuningDb> ActiveTuningDb();
+
+/// Fingerprint of the active DB, or "none" when no DB is installed. Safe to
+/// embed in cache keys unconditionally.
+std::string ActiveTuningFingerprint();
+
+/// Lookup against the active DB; returns the untuned default config for the
+/// dtype on miss or when no DB is installed. This is the single call the
+/// compile-time prepack paths use.
+kernels::GemmConfig TunedConfigFor(const Workload& workload);
+
+}  // namespace tune
+}  // namespace tnp

@@ -1,0 +1,69 @@
+// The schedule search: sweep the legal GemmConfig space per workload and
+// record the winner in a TuningDb.
+//
+// The tuner measures the packed GEMM core (GemmPackedF32 / GemmPackedS8S32)
+// on synthetic operands of the workload's exact extents — the same code path
+// steady-state inference runs against pre-packed weights. Panels are packed
+// outside the timed region (weights are packed once at compile time), and
+// the core runs serially so the measurement is the kernel, not the
+// scheduler. Every candidate is measured with the registry-histogram
+// repetition machinery (median over N runs after a warmup) so the tuner's
+// numbers are comparable with the bench harnesses'.
+//
+// The search is exhaustive over the candidate space by default and bounded
+// by a wall-clock budget: the untuned default is always measured first (it
+// is both the baseline and the fallback winner), then remaining candidates
+// run until the budget is spent. A budget too small to finish a sweep still
+// yields a valid record — just one picked from fewer trials.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/pack.h"
+#include "tune/db.h"
+
+namespace tnp {
+namespace tune {
+
+struct TuneOptions {
+  /// Total wall-clock budget in milliseconds across the whole sweep
+  /// (TuneAll) — 0 means unbounded. The default config is always measured.
+  double budget_ms = 0.0;
+  /// Timed repetitions per candidate (after one warmup run); the median is
+  /// the candidate's score.
+  int repetitions = 5;
+  /// Re-measure workloads that already have a DB record.
+  bool retune = false;
+};
+
+/// Result of tuning one workload.
+struct TuneResult {
+  TuningRecord record;
+  int candidates_total = 0;  ///< size of the legal candidate space
+  bool exhausted = false;    ///< every candidate was measured
+};
+
+/// The legal candidate space for a dtype, untuned default first. f32 sweeps
+/// register tiles {4x8, 6x8, 8x4, 4x16} x kc {128,256,384} x nc {96,192,384}
+/// x unroll {1,2}; s8 keeps the 4x8 pmaddwd tile and sweeps kc/nc only.
+std::vector<kernels::GemmConfig> CandidateConfigs(DType dtype);
+
+/// Sweep one workload within `budget_us` microseconds (<= 0: unbounded).
+/// Deterministic synthetic operands (seeded from the workload key). Returns
+/// the winner with baseline/best medians filled in.
+TuneResult TuneWorkload(const Workload& workload, const TuneOptions& options,
+                        double budget_us);
+
+/// Tune every workload (deduplicated, in order) into `db`, sharing
+/// options.budget_ms across the sweep. Workloads already in the DB are
+/// skipped unless options.retune. Calls `progress` (when given) after each
+/// workload. Returns the number of workloads newly tuned.
+int TuneAll(const std::vector<Workload>& workloads, TuningDb* db,
+            const TuneOptions& options,
+            const std::function<void(const TuneResult&)>& progress = nullptr);
+
+}  // namespace tune
+}  // namespace tnp

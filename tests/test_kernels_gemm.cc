@@ -13,6 +13,7 @@
 #include "kernels/gemm.h"
 #include "kernels/pack.h"
 #include "support/rng.h"
+#include "tune/tuner.h"
 
 namespace tnp {
 namespace kernels {
@@ -213,6 +214,130 @@ TEST(PackedDense, F32AndS8PackedMatchFallbackBitwise) {
     QDenseS8(input_q, weight_q, bias_q, qb, in_q, w_q, out_q, nullptr);
     ExpectBitwiseEqualS8(qa, qb);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tuned-config sweep: every legal candidate the tuner can pick must produce
+// exactly what the engine produced before tuning existed. f32 results are
+// bitwise-identical to GemmF32BlockedReference at the candidate's kc (the
+// summation order depends only on kc — see gemm.h); s8 is bit-exact against
+// the naive reference for every candidate (all-integer math). Shapes
+// deliberately straddle the kc/nc candidate boundaries with odd tails.
+
+class ConfigSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(ConfigSweep, F32EveryCandidateBitwiseMatchesBlockedReference) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandomF32(m * k, 70);
+  const auto b = RandomF32(k * n, 71);
+  for (const GemmConfig& config : tune::CandidateConfigs(DType::kFloat32)) {
+    ASSERT_TRUE(IsValidGemmConfig(config, DType::kFloat32)) << config.ToString();
+    std::vector<float> ap(static_cast<std::size_t>(PackedExtent(m, config.mr) * k));
+    std::vector<float> bp(static_cast<std::size_t>(PackedExtent(n, config.nr) * k));
+    PackPanelsAF32(a.data(), m, k, k, ap.data(), config.mr);
+    PackPanelsBF32(b.data(), k, n, n, bp.data(), config.nr);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -1.0f);
+    std::vector<float> ref(static_cast<std::size_t>(m * n), 1.0f);
+    GemmPackedF32(ap.data(), bp.data(), c.data(), m, k, n, n, /*parallel=*/false,
+                  config);
+    GemmF32BlockedReference(a.data(), b.data(), ref.data(), m, k, n, config.kc);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], ref[i]) << "config " << config.ToString() << " element " << i;
+    }
+  }
+}
+
+TEST_P(ConfigSweep, S8EveryCandidateBitExact) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandomS8(m * k, 72);
+  const auto b = RandomS8(k * n, 73);
+  std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n));
+  GemmS8S32Reference(a.data(), b.data(), ref.data(), m, k, n, /*a_zero=*/-5,
+                     /*b_zero=*/7);
+  for (const GemmConfig& config : tune::CandidateConfigs(DType::kInt8)) {
+    ASSERT_TRUE(IsValidGemmConfig(config, DType::kInt8)) << config.ToString();
+    const std::int64_t pk = PackedKS8(k);
+    std::vector<std::int8_t> ap(static_cast<std::size_t>(PackedExtent(m, config.mr) * pk));
+    std::vector<std::int8_t> bp(static_cast<std::size_t>(PackedExtent(n, config.nr) * pk));
+    std::vector<std::int32_t> row_sums(static_cast<std::size_t>(m));
+    std::vector<std::int32_t> col_sums(static_cast<std::size_t>(n));
+    PackPanelsAS8(a.data(), m, k, k, ap.data(), row_sums.data(), config.mr);
+    PackPanelsBS8(b.data(), k, n, n, bp.data(), col_sums.data(), config.nr);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -7);
+    GemmPackedS8S32(ap.data(), bp.data(), c.data(), m, k, n, n, /*parallel=*/false,
+                    config);
+    ApplyZeroPointCorrection(c.data(), m, n, n, k, -5, 7, row_sums.data(),
+                             col_sums.data());
+    ASSERT_EQ(c, ref) << "config " << config.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigSweep,
+    ::testing::Values(GemmShape{5, 9, 17},      // odd tails, single block
+                      GemmShape{13, 129, 97},   // k straddles kc=128
+                      GemmShape{7, 257, 193},   // k spans three kc=128 blocks
+                      GemmShape{9, 33, 385},    // n straddles nc=384 and 96/192
+                      GemmShape{17, 131, 101},  // odd everything, multi-block
+                      GemmShape{4, 384, 96}     // exact kc/nc boundary extents
+                      ));
+
+TEST(ConfigSweep, PackedConvAndDenseCarryTunedConfig) {
+  const GemmConfig tuned{6, 8, 128, 96, 2};
+  NDArray conv_w = NDArray::RandomNormal(Shape({8, 3, 3, 3}), 80, 0.5f);
+  const PackedMatrixPtr conv_packed = PackConvWeightsF32(conv_w, 1, tuned);
+  EXPECT_EQ(conv_packed->config, tuned);
+  EXPECT_EQ(conv_packed->panel, tuned.mr);
+  ValidatePackedLayout(*conv_packed);
+
+  NDArray dense_w = NDArray::RandomNormal(Shape({16, 33}), 81, 0.5f);
+  GemmConfig wide = GemmConfig::DefaultF32();
+  wide.nr = 16;
+  wide.mr = 4;
+  const PackedMatrixPtr dense_packed = PackDenseWeightsF32(dense_w, wide);
+  EXPECT_EQ(dense_packed->config, wide);
+  EXPECT_EQ(dense_packed->panel, wide.nr);
+  ValidatePackedLayout(*dense_packed);
+
+  // Illegal configs are rejected at pack time, not at kernel time.
+  GemmConfig bad = GemmConfig::DefaultF32();
+  bad.kc = 7;  // odd kc breaks the s8 pair layout and is illegal everywhere
+  EXPECT_THROW(PackConvWeightsF32(conv_w, 1, bad), InternalError);
+}
+
+TEST(ConfigSweep, ConvAndDenseBitwiseStableUnderTunedConfigs) {
+  // End-to-end: a conv/dense run against weights packed with a *different
+  // legal config* must agree with the default-config run wherever the
+  // config shares kc (f32 order depends only on kc) and bit-exactly for s8.
+  NDArray input = NDArray::RandomNormal(Shape({1, 5, 9, 9}), 82, 1.0f);
+  NDArray weight = NDArray::RandomNormal(Shape({7, 5, 3, 3}), 83, 0.5f);
+  NDArray bias = NDArray::RandomNormal(Shape({7}), 84, 0.1f);
+  Conv2DParams p;
+  p.pad_h = p.pad_w = 1;
+  const Shape out_shape = Conv2DOutShape(input.shape(), weight.shape(), p);
+  GemmConfig tuned{8, 4, 256, 192, 2};  // default kc/nc, different tile+unroll
+  NDArray base = NDArray::Empty(out_shape, DType::kFloat32);
+  NDArray with_tuned = NDArray::Empty(out_shape, DType::kFloat32);
+  const PackedMatrixPtr packed_default = PackConvWeightsF32(weight, 1);
+  const PackedMatrixPtr packed_tuned = PackConvWeightsF32(weight, 1, tuned);
+  Conv2DF32(input, weight, bias, base, p, packed_default.get());
+  Conv2DF32(input, weight, bias, with_tuned, p, packed_tuned.get());
+  EXPECT_EQ(NDArray::MaxAbsDiff(base, with_tuned), 0.0);
+
+  const QuantParams in_q(0.04f, 5), w_q(0.03f, -2), out_q(0.3f, -1);
+  NDArray q_in = NDArray::RandomInt8(Shape({1, 5, 9, 9}), 85, -110, 110);
+  NDArray q_w = NDArray::RandomInt8(Shape({7, 5, 3, 3}), 86, -110, 110);
+  NDArray q_bias = RandomS32Bias(7, 87, -40, 40);
+  GemmConfig s8_tuned = GemmConfig::DefaultS8();
+  s8_tuned.kc = 128;
+  s8_tuned.nc = 384;
+  NDArray q_base = NDArray::Empty(out_shape, DType::kInt8);
+  NDArray q_tuned = NDArray::Empty(out_shape, DType::kInt8);
+  QConv2DS8(q_in, q_w, q_bias, q_base, p, in_q, w_q, out_q,
+            PackConvWeightsS8(q_w, 1).get());
+  QConv2DS8(q_in, q_w, q_bias, q_tuned, p, in_q, w_q, out_q,
+            PackConvWeightsS8(q_w, 1, s8_tuned).get());
+  ExpectBitwiseEqualS8(q_base, q_tuned);
 }
 
 TEST(PackedWeightsCache, SharesEntriesByKey) {

@@ -1,0 +1,370 @@
+// Tuning subsystem: DB round-trips, key stability, fail-closed loading,
+// concurrent lookup, compile-time consultation (relay::Build picks tuned
+// configs up and records the fingerprint), and artifact round-trips that
+// preserve the tuned config with zero repacks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "artifact/store.h"
+#include "frontend/common.h"
+#include "kernels/gemm.h"
+#include "relay/build.h"
+#include "tune/tuner.h"
+
+namespace tnp {
+namespace tune {
+namespace {
+
+using frontend::TypedCall;
+using frontend::TypedVar;
+using frontend::WeightF32;
+using frontend::ZeroBiasF32;
+
+std::string TempDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("tnp_tune_test_") + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+Workload DenseWorkload() {
+  Workload w;
+  w.op = "dense";
+  w.dtype = DType::kFloat32;
+  w.m = 8;
+  w.k = 32;
+  w.n = 16;
+  return w;
+}
+
+TuningRecord SomeRecord() {
+  TuningRecord record;
+  record.workload = DenseWorkload();
+  record.config = kernels::GemmConfig{6, 8, 128, 96, 2};
+  record.best_us = 12.5;
+  record.baseline_us = 20.0;
+  record.trials = 9;
+  return record;
+}
+
+/// RAII guard: installs a DB as process-global and always uninstalls it, so
+/// a failing test can't leak tuned configs into other suites.
+struct ActiveDbGuard {
+  explicit ActiveDbGuard(std::shared_ptr<const TuningDb> db) {
+    SetActiveTuningDb(std::move(db));
+  }
+  ~ActiveDbGuard() { SetActiveTuningDb(nullptr); }
+};
+
+TEST(TuningKey, StableRendering) {
+  Workload w;
+  w.op = "conv2d";
+  w.dtype = DType::kFloat32;
+  w.m = 64;
+  w.k = 576;
+  w.n = 3136;
+  const std::string expected = std::string("conv2d/f32/m64/k576/n3136|isa=") +
+                               kernels::GemmIsaName() + "|schema=1";
+  EXPECT_EQ(w.Key(), expected);
+  w.dtype = DType::kInt8;
+  EXPECT_NE(w.Key(), expected);  // dtype is part of the key
+}
+
+TEST(TuningRecordJson, RoundTripsExactly) {
+  const TuningRecord record = SomeRecord();
+  const TuningRecord parsed = ParseTuningRecord(TuningRecordToJson(record));
+  EXPECT_EQ(parsed.workload, record.workload);
+  EXPECT_EQ(parsed.config, record.config);
+  EXPECT_EQ(parsed.best_us, record.best_us);
+  EXPECT_EQ(parsed.baseline_us, record.baseline_us);
+  EXPECT_EQ(parsed.trials, record.trials);
+}
+
+TEST(TuningDbPersistence, PutThenReloadFromDisk) {
+  const std::string dir = TempDir("roundtrip");
+  const TuningRecord record = SomeRecord();
+  {
+    TuningDb db(dir);
+    EXPECT_EQ(db.size(), 0u);
+    db.Put(record);
+    EXPECT_EQ(db.size(), 1u);
+  }
+  TuningDb reloaded(dir);  // fresh instance, records come from disk
+  ASSERT_EQ(reloaded.size(), 1u);
+  const TuningRecord* found = reloaded.Lookup(record.workload);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->config, record.config);
+  EXPECT_EQ(found->trials, record.trials);
+
+  Workload other = record.workload;
+  other.n += 1;
+  EXPECT_EQ(reloaded.Lookup(other), nullptr);  // clean miss
+}
+
+TEST(TuningDbPersistence, DistinctWorkloadsNeverCollide) {
+  const std::string dir = TempDir("collide");
+  TuningDb db(dir);
+  TuningRecord a = SomeRecord();
+  TuningRecord b = SomeRecord();
+  b.workload.m += 1;
+  b.config = kernels::GemmConfig{4, 16, 256, 192, 1};
+  db.Put(a);
+  db.Put(b);
+  TuningDb reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.Lookup(a.workload)->config, a.config);
+  EXPECT_EQ(reloaded.Lookup(b.workload)->config, b.config);
+}
+
+TEST(TuningDbPersistence, FingerprintReflectsContentNotOrder) {
+  TuningRecord a = SomeRecord();
+  TuningRecord b = SomeRecord();
+  b.workload.m += 1;
+  TuningDb forward;
+  forward.Put(a);
+  forward.Put(b);
+  TuningDb backward;
+  backward.Put(b);
+  backward.Put(a);
+  EXPECT_EQ(forward.Fingerprint(), backward.Fingerprint());
+  EXPECT_EQ(TuningDb().Fingerprint(), "empty");
+
+  TuningDb changed;
+  changed.Put(a);
+  b.config.kc = 384;
+  changed.Put(b);
+  EXPECT_NE(changed.Fingerprint(), forward.Fingerprint());
+}
+
+TEST(TuningDbFailClosed, CorruptRecordThrowsNamingTheFile) {
+  const std::string dir = TempDir("corrupt");
+  {
+    TuningDb db(dir);
+    db.Put(SomeRecord());
+  }
+  std::ofstream(dir + "/deadbeef00000000.json") << "{ not json";
+  try {
+    TuningDb db(dir);
+    FAIL() << "corrupt record must fail the load";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kParseError);
+    EXPECT_NE(std::string(e.what()).find("deadbeef00000000.json"), std::string::npos);
+  }
+}
+
+TEST(TuningDbFailClosed, InconsistentRecordRejected) {
+  TuningRecord record = SomeRecord();
+  std::string json = TuningRecordToJson(record);
+  // Tamper with an extent but not the stored key: the self-check must fire.
+  const auto pos = json.find("\"m\": 8");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 6, "\"m\": 9");
+  EXPECT_THROW(ParseTuningRecord(json), Error);
+
+  // An illegal config is rejected even when the key is consistent.
+  TuningRecord bad = SomeRecord();
+  bad.config.kc = 7;
+  EXPECT_THROW(ParseTuningRecord(TuningRecordToJson(bad)), Error);
+}
+
+TEST(TuningDbFailClosed, OtherIsaRecordsNeverMatch) {
+  const std::string dir = TempDir("isa");
+  {
+    TuningDb db(dir);
+    db.Put(SomeRecord());
+  }
+  // Rewrite the record as if tuned on another ISA: loading must keep it
+  // (it is well-formed) but Lookup on this host must miss.
+  std::string json = TuningRecordToJson(SomeRecord());
+  const std::string host_isa = std::string("\"isa\": \"") + kernels::GemmIsaName() + "\"";
+  const auto pos = json.find(host_isa);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, host_isa.size(), "\"isa\": \"neon\"");
+  const std::string host_key_isa = std::string("isa=") + kernels::GemmIsaName();
+  const auto key_pos = json.find(host_key_isa);
+  ASSERT_NE(key_pos, std::string::npos);
+  json.replace(key_pos, host_key_isa.size(), "isa=neon");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/0123456789abcdef.json") << json;
+  TuningDb db(dir);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.Lookup(SomeRecord().workload), nullptr);
+}
+
+TEST(TuningDbConcurrency, ParallelLookupsAndPuts) {
+  TuningDb db;  // in-memory
+  const TuningRecord base = SomeRecord();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&db, &base, t] {
+      for (int i = 0; i < 200; ++i) {
+        TuningRecord record = base;
+        record.workload.n = 16 + (t * 200 + i) % 32;
+        db.Put(record);
+        const TuningRecord* found = db.Lookup(record.workload);
+        ASSERT_NE(found, nullptr);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(db.size(), 32u);
+}
+
+TEST(ActiveDb, TunedConfigForFallsBackToDefaults) {
+  SetActiveTuningDb(nullptr);
+  EXPECT_EQ(ActiveTuningFingerprint(), "none");
+  EXPECT_EQ(TunedConfigFor(DenseWorkload()), kernels::GemmConfig::DefaultF32());
+
+  auto db = std::make_shared<TuningDb>();
+  db->Put(SomeRecord());
+  ActiveDbGuard guard(db);
+  EXPECT_EQ(ActiveTuningFingerprint(), db->Fingerprint());
+  EXPECT_EQ(TunedConfigFor(DenseWorkload()), SomeRecord().config);
+  Workload miss = DenseWorkload();
+  miss.k += 1;
+  EXPECT_EQ(TunedConfigFor(miss), kernels::GemmConfig::DefaultF32());
+}
+
+TEST(Candidates, LegalSpaceWithDefaultFirst) {
+  for (const DType dtype : {DType::kFloat32, DType::kInt8}) {
+    const auto candidates = CandidateConfigs(dtype);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(candidates.front(), dtype == DType::kInt8
+                                      ? kernels::GemmConfig::DefaultS8()
+                                      : kernels::GemmConfig::DefaultF32());
+    for (const auto& config : candidates) {
+      EXPECT_TRUE(kernels::IsValidGemmConfig(config, dtype)) << config.ToString();
+    }
+  }
+  EXPECT_GT(CandidateConfigs(DType::kFloat32).size(),
+            CandidateConfigs(DType::kInt8).size());
+}
+
+TEST(Tuner, SmallWorkloadProducesValidRecord) {
+  Workload w;
+  w.op = "dense";
+  w.dtype = DType::kInt8;
+  w.m = 4;
+  w.k = 16;
+  w.n = 8;
+  TuneOptions options;
+  options.repetitions = 1;
+  const TuneResult result = TuneWorkload(w, options, /*budget_us=*/0.0);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.record.trials, result.candidates_total);
+  EXPECT_GT(result.record.baseline_us, 0.0);
+  EXPECT_GT(result.record.best_us, 0.0);
+  EXPECT_LE(result.record.best_us, result.record.baseline_us);
+  EXPECT_TRUE(kernels::IsValidGemmConfig(result.record.config, w.dtype));
+}
+
+TEST(Tuner, TuneAllSkipsExistingRecords) {
+  TuningDb db;
+  Workload w = DenseWorkload();
+  w.m = 4;
+  w.k = 8;
+  w.n = 8;
+  TuneOptions options;
+  options.repetitions = 1;
+  EXPECT_EQ(TuneAll({w, w}, &db, options), 1);  // deduplicated
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(TuneAll({w}, &db, options), 0);  // already tuned -> skipped
+  options.retune = true;
+  EXPECT_EQ(TuneAll({w}, &db, options), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time consultation + artifact round trip.
+
+relay::Module ConvDenseModule() {
+  auto x = TypedVar("data", Shape({1, 3, 8, 8}), DType::kFloat32);
+  auto conv = TypedCall("nn.conv2d",
+                        {x, WeightF32(Shape({8, 3, 3, 3}), 1), ZeroBiasF32(8)},
+                        relay::Attrs().SetInts("padding", {1, 1}));
+  return relay::Module(relay::MakeFunction({x}, conv));
+}
+
+/// The conv's GEMM workload: m = co, k = ci*kh*kw, n = oh*ow.
+Workload ConvWorkload() {
+  Workload w;
+  w.op = "conv2d";
+  w.dtype = DType::kFloat32;
+  w.m = 8;
+  w.k = 27;
+  w.n = 64;
+  return w;
+}
+
+TEST(BuildConsultation, CollectGemmWorkloadsSeesTheConv) {
+  const relay::CompiledModulePtr compiled = relay::Build(ConvDenseModule());
+  const std::vector<Workload> workloads = relay::CollectGemmWorkloads(*compiled);
+  ASSERT_EQ(workloads.size(), 1u);
+  EXPECT_EQ(workloads[0], ConvWorkload());
+}
+
+TEST(BuildConsultation, TunedConfigReachesPackedWeights) {
+  TuningRecord record;
+  record.workload = ConvWorkload();
+  record.config = kernels::GemmConfig{6, 8, 128, 96, 2};
+  record.trials = 1;
+  auto db = std::make_shared<TuningDb>();
+  db->Put(record);
+  ActiveDbGuard guard(db);
+
+  const relay::CompiledModulePtr compiled = relay::Build(ConvDenseModule());
+  EXPECT_EQ(compiled->tuning_fingerprint, db->Fingerprint());
+  bool saw_packed = false;
+  for (const auto& inst : compiled->instructions) {
+    if (inst.packed_weights != nullptr) {
+      saw_packed = true;
+      EXPECT_EQ(inst.packed_weights->config, record.config);
+    }
+  }
+  EXPECT_TRUE(saw_packed);
+}
+
+TEST(BuildConsultation, ArtifactRoundTripPreservesTunedConfig) {
+  TuningRecord record;
+  record.workload = ConvWorkload();
+  record.config = kernels::GemmConfig{4, 16, 128, 192, 2};
+  record.trials = 1;
+  auto db = std::make_shared<TuningDb>();
+  db->Put(record);
+  ActiveDbGuard guard(db);
+
+  const relay::Module module = ConvDenseModule();
+  const relay::CompiledModulePtr compiled = relay::Build(module);
+  NDArray input = NDArray::RandomNormal(Shape({1, 3, 8, 8}), 9);
+  relay::GraphExecutor exec(compiled);
+  exec.SetInput("data", input);
+  exec.Run();
+  const NDArray expected = exec.GetOutput(0).CopyDeep();
+
+  const std::string dir = TempDir("artifact");
+  artifact::ArtifactStore store(dir);
+  store.SaveModule("tuned", *compiled);
+  const std::int64_t packs_before = kernels::TotalWeightPacks();
+  const relay::CompiledModulePtr loaded = store.TryLoadModule("tuned");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(kernels::TotalWeightPacks(), packs_before);  // zero repacks
+  EXPECT_EQ(loaded->tuning_fingerprint, db->Fingerprint());
+  for (const auto& inst : loaded->instructions) {
+    if (inst.packed_weights != nullptr) {
+      EXPECT_EQ(inst.packed_weights->config, record.config);
+    }
+  }
+  relay::GraphExecutor loaded_exec(loaded);
+  loaded_exec.SetInput("data", input);
+  loaded_exec.Run();
+  EXPECT_EQ(NDArray::MaxAbsDiff(loaded_exec.GetOutput(0), expected), 0.0);
+}
+
+}  // namespace
+}  // namespace tune
+}  // namespace tnp

@@ -1,0 +1,184 @@
+// tune_cli — sweep the model zoo's GEMM workloads and persist winners into
+// a tuning DB, the offline half of the tune-then-serve workflow:
+//
+//   tune_cli --db=/var/tnp/tune --budget-ms=2000
+//   showcase_app --tuning-db=/var/tnp/tune ...   # builds consult the DB
+//
+// Workloads come from relay::CollectGemmWorkloads over each model's compiled
+// program, so the CLI tunes exactly the (op, dtype, M, K, N) set the build
+// will look up — no hand-maintained shape list to drift. Output is a
+// per-shape before/after table (default config vs tuned winner) on stdout;
+// CI uploads it next to the DB.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relay/build.h"
+#include "support/logging.h"
+#include "support/metrics.h"
+#include "tune/db.h"
+#include "tune/tuner.h"
+#include "zoo/zoo.h"
+
+namespace {
+
+using tnp::relay::CollectGemmWorkloads;
+using tnp::tune::TuneOptions;
+using tnp::tune::TuneResult;
+using tnp::tune::TuningDb;
+using tnp::tune::Workload;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tune_cli --db=DIR [options]\n"
+               "  --db=DIR          tuning DB directory (created if missing; required)\n"
+               "  --budget-ms=N     total wall-clock budget for the sweep (0 = unbounded)\n"
+               "  --models=a,b,...  zoo models to collect workloads from\n"
+               "                    (default: emotion_cnn,mobilenet_v1,mobilenet_v2,\n"
+               "                     mobilenet_v1_quant,resnet18; 'all' sweeps the zoo)\n"
+               "  --repetitions=N   timed repetitions per candidate (default 5)\n"
+               "  --retune          re-measure workloads already in the DB\n"
+               "  --verify          rebuild the models with the DB active and fail\n"
+               "                    unless the builds consult it (db hits > 0)\n");
+  return 2;
+}
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Deduplicated GEMM workloads of the given models, in discovery order.
+std::vector<Workload> CollectWorkloads(const std::vector<std::string>& models) {
+  std::vector<Workload> workloads;
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : models) {
+    const tnp::relay::Module module = tnp::zoo::Build(name);
+    const tnp::relay::CompiledModulePtr compiled = tnp::relay::Build(module);
+    const std::vector<Workload> found = CollectGemmWorkloads(*compiled);
+    int fresh = 0;
+    for (const Workload& workload : found) {
+      if (seen.insert(workload.Key()).second) {
+        workloads.push_back(workload);
+        ++fresh;
+      }
+    }
+    std::fprintf(stderr, "tune_cli: %s: %d workloads (%d new)\n", name.c_str(),
+                 static_cast<int>(found.size()), fresh);
+  }
+  return workloads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_dir;
+  bool verify = false;
+  TuneOptions options;
+  std::vector<std::string> models = {"emotion_cnn", "mobilenet_v1", "mobilenet_v2",
+                                     "mobilenet_v1_quant", "resnet18"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--db=", 0) == 0) {
+      db_dir = arg.substr(5);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      options.budget_ms = std::atof(arg.substr(12).c_str());
+    } else if (arg.rfind("--models=", 0) == 0) {
+      const std::string list = arg.substr(9);
+      if (list == "all") {
+        models.clear();
+        for (const auto& info : tnp::zoo::AllModels()) models.push_back(info.name);
+      } else {
+        models = SplitList(list);
+      }
+    } else if (arg.rfind("--repetitions=", 0) == 0) {
+      options.repetitions = std::atoi(arg.substr(14).c_str());
+    } else if (arg == "--retune") {
+      options.retune = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      std::fprintf(stderr, "tune_cli: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (db_dir.empty()) return Usage();
+
+  try {
+    auto db = std::make_shared<TuningDb>(db_dir);
+    std::fprintf(stderr, "tune_cli: DB %s (%d existing records)\n", db_dir.c_str(),
+                 static_cast<int>(db->size()));
+
+    const std::vector<Workload> workloads = CollectWorkloads(models);
+    std::fprintf(stderr, "tune_cli: %d distinct workloads, budget %.0f ms\n",
+                 static_cast<int>(workloads.size()), options.budget_ms);
+
+    std::vector<TuneResult> results;
+    const int tuned = tnp::tune::TuneAll(workloads, db.get(), options,
+                                         [&](const TuneResult& result) {
+                                           results.push_back(result);
+                                         });
+
+    // Per-shape before/after table (stdout; everything else goes to stderr).
+    std::printf("%-34s %8s %10s %10s %8s  %s\n", "workload", "trials",
+                "default_us", "best_us", "speedup", "config");
+    for (const TuneResult& result : results) {
+      const auto& record = result.record;
+      const double speedup =
+          record.best_us > 0.0 ? record.baseline_us / record.best_us : 1.0;
+      std::printf("%-34s %5d/%-2d %10.1f %10.1f %7.2fx  %s%s\n",
+                  record.workload.Key().c_str(), record.trials,
+                  result.candidates_total, record.baseline_us, record.best_us,
+                  speedup, record.config.ToString().c_str(),
+                  result.exhausted ? "" : "  (budget hit)");
+    }
+    std::fprintf(stderr, "tune_cli: tuned %d workloads, DB now %d records\n",
+                 tuned, static_cast<int>(db->size()));
+    std::fprintf(stderr, "tune_cli: fingerprint %s\n", db->Fingerprint().c_str());
+
+    if (verify) {
+      // Consultation check: rebuild the same models with the DB active and
+      // require the builds to actually look it up. The workloads were
+      // derived from these exact builds, so every tuned shape must hit.
+      auto& registry = tnp::support::metrics::Registry::Global();
+      const std::int64_t hits_before = registry.GetCounter("tune/db_hits").value();
+      const std::int64_t misses_before =
+          registry.GetCounter("tune/db_misses").value();
+      tnp::tune::SetActiveTuningDb(db);
+      for (const std::string& name : models) {
+        (void)tnp::relay::Build(tnp::zoo::Build(name));
+      }
+      tnp::tune::SetActiveTuningDb(nullptr);
+      const std::int64_t hits =
+          registry.GetCounter("tune/db_hits").value() - hits_before;
+      const std::int64_t misses =
+          registry.GetCounter("tune/db_misses").value() - misses_before;
+      std::fprintf(stderr,
+                   "tune_cli: verify: rebuild consulted the DB %lld times "
+                   "(%lld hits, %lld misses)\n",
+                   static_cast<long long>(hits + misses),
+                   static_cast<long long>(hits), static_cast<long long>(misses));
+      if (hits <= 0) {
+        std::fprintf(stderr,
+                     "tune_cli: verify FAILED: no build looked up a tuned "
+                     "config (db_hits=0)\n");
+        return 1;
+      }
+    }
+  } catch (const tnp::Error& e) {
+    std::fprintf(stderr, "tune_cli: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
