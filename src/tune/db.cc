@@ -217,16 +217,18 @@ void TuningDb::LoadDirectory() {
   }
 }
 
-const TuningRecord* TuningDb::Lookup(const Workload& workload) const {
+std::optional<TuningRecord> TuningDb::Lookup(const Workload& workload) const {
   const std::string key = workload.Key();
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(key);
   if (it == records_.end()) {
     MissCounter().Increment();
-    return nullptr;
+    return std::nullopt;
   }
   HitCounter().Increment();
-  return &it->second;
+  // Copied under the lock: a pointer into records_ would dangle the moment a
+  // concurrent Put overwrote this key.
+  return it->second;
 }
 
 void TuningDb::Put(const TuningRecord& record) {
@@ -316,8 +318,9 @@ std::string ActiveTuningFingerprint() {
 kernels::GemmConfig TunedConfigFor(const Workload& workload) {
   const std::shared_ptr<const TuningDb> db = ActiveTuningDb();
   if (db == nullptr) return kernels::DefaultGemmConfig(workload.dtype);
-  const TuningRecord* record = db->Lookup(workload);
-  return record != nullptr ? record->config : kernels::DefaultGemmConfig(workload.dtype);
+  const std::optional<TuningRecord> record = db->Lookup(workload);
+  return record.has_value() ? record->config
+                            : kernels::DefaultGemmConfig(workload.dtype);
 }
 
 }  // namespace tune

@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -91,8 +92,10 @@ class TuningDb {
   /// Throws kParseError on a corrupt record, kRuntimeError on I/O failure.
   explicit TuningDb(const std::string& dir);
 
-  /// Winning record for the workload, or nullptr on miss. Thread-safe.
-  const TuningRecord* Lookup(const Workload& workload) const;
+  /// Winning record for the workload, or nullopt on miss. Thread-safe: the
+  /// record is copied out under the lock, so the result stays valid even if
+  /// a concurrent Put overwrites the same key.
+  std::optional<TuningRecord> Lookup(const Workload& workload) const;
 
   /// Insert/overwrite the record in memory and, when the DB has a directory,
   /// atomically persist it (temp file + rename) under its content hash.

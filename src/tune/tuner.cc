@@ -1,5 +1,6 @@
 #include "tune/tuner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
@@ -29,13 +30,12 @@ struct TileCandidate {
 };
 constexpr TileCandidate kF32Tiles[] = {{4, 8}, {6, 8}, {8, 4}, {4, 16}};
 
-/// Median of `repetitions` timed runs of `fn`, one warmup first, through the
-/// registry histogram (the same repetition/median machinery the bench
-/// harnesses use).
+/// Median of `repetitions` timed runs of `fn`, one warmup first, through a
+/// LOCAL histogram — the same nearest-rank median the bench harnesses use,
+/// but never the shared registry entry, so concurrent TuneWorkload calls
+/// (or a metrics scrape mid-sweep) cannot interleave samples.
 double MeasureMedianUs(int repetitions, const std::function<void()>& fn) {
-  support::metrics::Histogram& histogram =
-      support::metrics::Registry::Global().GetHistogram("tune/measure/us");
-  histogram.Reset();
+  support::metrics::Histogram histogram;
   fn();  // warmup: first touch of panels/output
   for (int i = 0; i < repetitions; ++i) {
     const auto start = Clock::now();
@@ -138,9 +138,18 @@ TuneResult TuneWorkload(const Workload& workload, const TuneOptions& options,
     for (std::int64_t i = 0; i < k * n; ++i) {
       b[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
     }
-    // Panels sized for the widest candidate tile; repacked per config.
-    float* ap = frame.Alloc<float>(kernels::PackedExtent(m, 8) * k);
-    float* bp = frame.Alloc<float>(kernels::PackedExtent(n, 16) * k);
+    // Panels sized for the worst case over the candidate tiles; repacked per
+    // config. The widest tile is NOT the worst case: a narrower mr can pad to
+    // more rows (ceil(m/6)*6 > ceil(m/8)*8 at m=8), so take the max over the
+    // actual candidates rather than hard-coding one tile.
+    std::int64_t ap_floats = 0;
+    std::int64_t bp_floats = 0;
+    for (const kernels::GemmConfig& config : candidates) {
+      ap_floats = std::max(ap_floats, kernels::PackedExtent(m, config.mr) * k);
+      bp_floats = std::max(bp_floats, kernels::PackedExtent(n, config.nr) * k);
+    }
+    float* ap = frame.Alloc<float>(ap_floats);
+    float* bp = frame.Alloc<float>(bp_floats);
     float* c = frame.Alloc<float>(m * n);
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (i > 0 && budget_us > 0.0 && ElapsedUs(start) >= budget_us) break;
@@ -172,7 +181,7 @@ int TuneAll(const std::vector<Workload>& workloads, TuningDb* db,
   int tuned = 0;
   for (const Workload& workload : workloads) {
     if (!seen.insert(workload.Key()).second) continue;
-    if (!options.retune && db->Lookup(workload) != nullptr) continue;
+    if (!options.retune && db->Lookup(workload).has_value()) continue;
     const double remaining_us =
         budget_us > 0.0 ? budget_us - ElapsedUs(start) : 0.0;
     if (budget_us > 0.0 && remaining_us <= 0.0) break;

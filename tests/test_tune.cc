@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -96,14 +97,14 @@ TEST(TuningDbPersistence, PutThenReloadFromDisk) {
   }
   TuningDb reloaded(dir);  // fresh instance, records come from disk
   ASSERT_EQ(reloaded.size(), 1u);
-  const TuningRecord* found = reloaded.Lookup(record.workload);
-  ASSERT_NE(found, nullptr);
+  const std::optional<TuningRecord> found = reloaded.Lookup(record.workload);
+  ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->config, record.config);
   EXPECT_EQ(found->trials, record.trials);
 
   Workload other = record.workload;
   other.n += 1;
-  EXPECT_EQ(reloaded.Lookup(other), nullptr);  // clean miss
+  EXPECT_FALSE(reloaded.Lookup(other).has_value());  // clean miss
 }
 
 TEST(TuningDbPersistence, DistinctWorkloadsNeverCollide) {
@@ -194,7 +195,7 @@ TEST(TuningDbFailClosed, OtherIsaRecordsNeverMatch) {
   std::ofstream(dir + "/0123456789abcdef.json") << json;
   TuningDb db(dir);
   EXPECT_EQ(db.size(), 1u);
-  EXPECT_EQ(db.Lookup(SomeRecord().workload), nullptr);
+  EXPECT_FALSE(db.Lookup(SomeRecord().workload).has_value());
 }
 
 TEST(TuningDbConcurrency, ParallelLookupsAndPuts) {
@@ -207,8 +208,9 @@ TEST(TuningDbConcurrency, ParallelLookupsAndPuts) {
         TuningRecord record = base;
         record.workload.n = 16 + (t * 200 + i) % 32;
         db.Put(record);
-        const TuningRecord* found = db.Lookup(record.workload);
-        ASSERT_NE(found, nullptr);
+        const std::optional<TuningRecord> found = db.Lookup(record.workload);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(found->workload, record.workload);
       }
     });
   }
@@ -262,6 +264,25 @@ TEST(Tuner, SmallWorkloadProducesValidRecord) {
   EXPECT_GT(result.record.best_us, 0.0);
   EXPECT_LE(result.record.best_us, result.record.baseline_us);
   EXPECT_TRUE(kernels::IsValidGemmConfig(result.record.config, w.dtype));
+}
+
+TEST(Tuner, F32TailShapeSweepsEveryTile) {
+  // Regression: m=8 packs to 12 rows under mr=6 but only 8 under mr=8, so an
+  // A-panel sized for the widest tile under-allocates for narrower ones; the
+  // sweep must size scratch for the worst case over all candidates.
+  for (const std::int64_t m : {std::int64_t{8}, std::int64_t{16}}) {
+    Workload w;
+    w.op = "dense";
+    w.dtype = DType::kFloat32;
+    w.m = m;
+    w.k = 16;
+    w.n = 8;
+    TuneOptions options;
+    options.repetitions = 1;
+    const TuneResult result = TuneWorkload(w, options, /*budget_us=*/0.0);
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_TRUE(kernels::IsValidGemmConfig(result.record.config, w.dtype));
+  }
 }
 
 TEST(Tuner, TuneAllSkipsExistingRecords) {
